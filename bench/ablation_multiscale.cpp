@@ -1,0 +1,141 @@
+// Ablation: single-scale vs multi-scale circular encoding (extension).
+//
+// A circular basis has a triangular similarity kernel supported on the whole
+// ring, so bundled regression models smooth over half the circle.  Binding
+// the same value at two resolutions multiplies the kernels and localizes the
+// estimate.  This bench quantifies the effect on both regression tasks.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/multiscale_encoder.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/data/beijing.hpp"
+#include "hdc/data/mars_express.hpp"
+#include "hdc/data/splits.hpp"
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/experiments/table.hpp"
+#include "hdc/stats/circular.hpp"
+#include "hdc/stats/metrics.hpp"
+
+namespace {
+
+constexpr std::size_t kDim = hdc::default_dimension;
+
+hdc::ScalarEncoderPtr make_labels(double lo, double hi, std::uint64_t seed) {
+  hdc::LevelBasisConfig config;
+  config.dimension = kDim;
+  config.size = 128;
+  config.seed = seed;
+  return std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(config), lo, hi);
+}
+
+double mars_mse(const hdc::ScalarEncoderPtr& anomaly) {
+  const auto records = hdc::data::make_mars_express_dataset({});
+  const auto split = hdc::data::random_split(records.size(), 0.7, 31);
+  hdc::HDRegressor model(make_labels(0.0, 200.0, 32), 33);
+  for (const std::size_t i : split.train) {
+    model.add_sample(anomaly->encode(records[i].mean_anomaly),
+                     records[i].power);
+  }
+  model.finalize();
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  for (const std::size_t i : split.test) {
+    truth.push_back(records[i].power);
+    predicted.push_back(
+        model.predict_integer(anomaly->encode(records[i].mean_anomaly)));
+  }
+  return hdc::stats::mean_squared_error(truth, predicted);
+}
+
+double beijing_mse(const hdc::ScalarEncoderPtr& day) {
+  const auto records = hdc::data::make_beijing_dataset({});
+  hdc::LevelBasisConfig year_config;
+  year_config.dimension = kDim;
+  year_config.size = 5;
+  year_config.seed = 34;
+  const hdc::LinearScalarEncoder year(hdc::make_level_basis(year_config), 0.0,
+                                      4.0);
+  const auto hour = hdc::exp::make_value_encoder(
+      hdc::exp::BasisChoice::Circular, 0.01, kDim, 24, 24.0, 35);
+  const auto encode = [&](const hdc::data::BeijingRecord& r) {
+    return year.encode(static_cast<double>(r.year_index)) ^
+           day->encode(static_cast<double>(r.day_of_year - 1)) ^
+           hour->encode(static_cast<double>(r.hour));
+  };
+  const auto split = hdc::data::chronological_split(records.size(), 0.7);
+  hdc::HDRegressor model(make_labels(-25.0, 42.0, 36), 37);
+  for (const std::size_t i : split.train) {
+    model.add_sample(encode(records[i]), records[i].temperature);
+  }
+  model.finalize();
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  for (std::size_t k = 0; k < split.test.size(); k += 4) {
+    const auto& r = records[split.test[k]];
+    truth.push_back(r.temperature);
+    predicted.push_back(model.predict_integer(encode(r)));
+  }
+  return hdc::stats::mean_squared_error(truth, predicted);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: single-scale vs multi-scale circular encoders "
+            "(extension; see hdc/core/multiscale_encoder.hpp)\n");
+
+  hdc::exp::TextTable table({"Dataset", "single-scale MSE", "two-scale MSE",
+                             "three-scale MSE"});
+
+  {
+    const auto single = hdc::exp::make_value_encoder(
+        hdc::exp::BasisChoice::Circular, 0.01, kDim, 512,
+        hdc::stats::two_pi, 38);
+    hdc::MultiScaleCircularEncoder::Config two;
+    two.dimension = kDim;
+    two.scales = {32, 512};
+    two.period = hdc::stats::two_pi;
+    two.seed = 38;
+    hdc::MultiScaleCircularEncoder::Config three = two;
+    three.scales = {16, 64, 512};
+    table.add_row(
+        {"Mars Express", hdc::exp::format_double(mars_mse(single), 1),
+         hdc::exp::format_double(
+             mars_mse(std::make_shared<hdc::MultiScaleCircularEncoder>(two)),
+             1),
+         hdc::exp::format_double(
+             mars_mse(std::make_shared<hdc::MultiScaleCircularEncoder>(three)),
+             1)});
+  }
+  {
+    const auto single = hdc::exp::make_value_encoder(
+        hdc::exp::BasisChoice::Circular, 0.01, kDim, 64, 366.0, 39);
+    hdc::MultiScaleCircularEncoder::Config two;
+    two.dimension = kDim;
+    two.scales = {12, 64};
+    two.period = 366.0;
+    two.seed = 39;
+    hdc::MultiScaleCircularEncoder::Config three = two;
+    three.scales = {12, 32, 64};
+    table.add_row(
+        {"Beijing", hdc::exp::format_double(beijing_mse(single), 1),
+         hdc::exp::format_double(
+             beijing_mse(std::make_shared<hdc::MultiScaleCircularEncoder>(two)),
+             1),
+         hdc::exp::format_double(
+             beijing_mse(
+                 std::make_shared<hdc::MultiScaleCircularEncoder>(three)),
+             1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nBinding scales multiplies the similarity kernels: a quarter-ring");
+  std::puts("separation is already quasi-orthogonal, so the bundled model");
+  std::puts("localizes — at the cost of needing denser training coverage.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: triangular vs cosine circular distance profile.
+//
+// Section 5.1 states E[delta(C_i, C_j)] = rho/2 (a cosine-shaped profile)
+// but describes a construction that realizes a *triangular* profile — linear
+// in the angular separation (see DESIGN.md).  This bench runs every paper
+// experiment with both profiles to quantify whether the difference matters
+// for learning.
+
+#include <cstdio>
+#include <vector>
+
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/experiments/table.hpp"
+
+namespace {
+
+using hdc::exp::BasisChoice;
+
+}  // namespace
+
+int main() {
+  hdc::exp::ExperimentParams params;
+  params.seed = 1;
+
+  std::printf("Ablation: circular profile — triangular (paper construction, "
+              "r = 0.1/0.01) vs cosine (paper equation, r = 0)\n\n");
+
+  hdc::exp::TextTable table(
+      {"Dataset", "metric", "triangular", "cosine"});
+
+  const std::vector<hdc::data::SurgicalTask> tasks = {
+      hdc::data::SurgicalTask::KnotTying,
+      hdc::data::SurgicalTask::NeedlePassing,
+      hdc::data::SurgicalTask::Suturing,
+  };
+  for (const auto task : tasks) {
+    const auto triangular = hdc::exp::run_gesture_classification(
+        task, BasisChoice::Circular, 0.1, params);
+    const auto cosine = hdc::exp::run_gesture_classification(
+        task, BasisChoice::CircularCosine, 0.0, params);
+    table.add_row({to_string(task), "accuracy",
+                   hdc::exp::format_percent(triangular.accuracy),
+                   hdc::exp::format_percent(cosine.accuracy)});
+  }
+  {
+    const auto triangular =
+        hdc::exp::run_beijing_regression(BasisChoice::Circular, 0.01, params);
+    const auto cosine = hdc::exp::run_beijing_regression(
+        BasisChoice::CircularCosine, 0.0, params);
+    table.add_row({"Beijing", "MSE",
+                   hdc::exp::format_double(triangular.mse, 1),
+                   hdc::exp::format_double(cosine.mse, 1)});
+  }
+  {
+    const auto triangular =
+        hdc::exp::run_mars_regression(BasisChoice::Circular, 0.01, params);
+    const auto cosine =
+        hdc::exp::run_mars_regression(BasisChoice::CircularCosine, 0.0, params);
+    table.add_row({"Mars Express", "MSE",
+                   hdc::exp::format_double(triangular.mse, 1),
+                   hdc::exp::format_double(cosine.mse, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nInterpretation: the cosine profile concentrates resolution at");
+  std::puts("the ring's equator and flattens it near the reference poles; the");
+  std::puts("triangular profile spreads resolution evenly.  Which wins is");
+  std::puts("task-dependent — evidence that the construction (triangular), not");
+  std::puts("the stated rho/2 relation, is what the paper's results rest on.");
+  return 0;
+}

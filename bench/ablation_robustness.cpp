@@ -1,0 +1,140 @@
+// Ablation: the hyperdimensional robustness and capacity claims.
+//
+// Three sweeps that back the paper's Section 1/2 framing ("inherent
+// robustness since each bit carries exactly the same amount of
+// information"):
+//   1. classification accuracy vs hyperspace dimension d;
+//   2. classification accuracy vs corrupted query bits;
+//   3. bundle capacity: cleanup recall vs number of bundled items.
+
+#include <cstdio>
+#include <vector>
+
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/experiments/table.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+using hdc::exp::BasisChoice;
+
+double gesture_accuracy(std::size_t dimension, std::size_t corrupt_bits) {
+  hdc::data::JigsawsConfig data_config;
+  data_config.task = hdc::data::SurgicalTask::KnotTying;
+  const auto dataset = hdc::data::make_jigsaws_dataset(data_config);
+  const auto values = hdc::exp::make_value_encoder(
+      BasisChoice::Circular, 0.1, dimension, 64, hdc::stats::two_pi, 51);
+  const hdc::KeyValueEncoder encoder(dataset.num_channels, values, 52);
+  hdc::CentroidClassifier model(dataset.num_gestures, dimension, 53);
+  for (const auto& sample : dataset.train) {
+    model.add_sample(sample.gesture, encoder.encode(sample.angles));
+  }
+  model.finalize();
+  hdc::Rng rng(54);
+  std::size_t correct = 0;
+  for (const auto& sample : dataset.test) {
+    hdc::Hypervector query = encoder.encode(sample.angles);
+    if (corrupt_bits > 0) {
+      query = hdc::flip_random_bits(query, corrupt_bits, rng);
+    }
+    correct += model.predict(query) == sample.gesture ? 1U : 0U;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(dataset.test.size());
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation: robustness and capacity sweeps (circular basis, Knot "
+            "Tying)\n");
+
+  // 1. Dimension sweep: accuracy degrades gracefully as d shrinks.
+  {
+    hdc::exp::TextTable table({"dimension d", "accuracy"});
+    for (const std::size_t d : {1'000UL, 2'500UL, 5'000UL, 10'000UL, 20'000UL}) {
+      table.add_row({std::to_string(d),
+                     hdc::exp::format_percent(gesture_accuracy(d, 0))});
+    }
+    std::puts("1) accuracy vs hyperspace dimension:");
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  // 2. Corruption sweep at d = 10,000.
+  {
+    hdc::exp::TextTable table({"corrupted bits", "fraction", "accuracy"});
+    for (const std::size_t bits : {0UL, 1'000UL, 2'000UL, 3'000UL, 4'000UL}) {
+      table.add_row({std::to_string(bits),
+                     hdc::exp::format_percent(static_cast<double>(bits) /
+                                              10'000.0, 0),
+                     hdc::exp::format_percent(gesture_accuracy(10'000, bits))});
+    }
+    std::puts("\n2) accuracy vs corrupted bits in every query hypervector:");
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  // 3. Bundle capacity: majority-bundle k random items, check that cleanup
+  //    against a 1000-item memory recovers each member (d = 10,000).
+  {
+    std::puts("\n3) bundle capacity (members recovered from a majority bundle");
+    std::puts("   by nearest-neighbour cleanup over 1000 candidates):");
+    hdc::exp::TextTable table({"bundled items k", "recall"});
+    hdc::RandomBasisConfig pool_config;
+    pool_config.dimension = 10'000;
+    pool_config.size = 1'000;
+    pool_config.seed = 55;
+    const hdc::Basis pool = hdc::make_random_basis(pool_config);
+    hdc::Rng rng(56);
+    for (const std::size_t k : {5UL, 15UL, 31UL, 63UL, 127UL, 255UL}) {
+      std::size_t recovered = 0;
+      std::size_t total = 0;
+      const int trials = 10;
+      for (int t = 0; t < trials; ++t) {
+        hdc::BundleAccumulator acc(10'000);
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < k; ++i) {
+          members.push_back(static_cast<std::size_t>(rng.below(pool.size())));
+          acc.add(pool[members.back()]);
+        }
+        const hdc::Hypervector bundle = acc.finalize(rng);
+        for (const std::size_t member : members) {
+          // Recovered iff the member is closer to the bundle than the best
+          // non-member in the whole pool.
+          const std::size_t member_dist =
+              hdc::hamming_distance(bundle, pool[member]);
+          bool beaten = false;
+          for (std::size_t candidate = 0; candidate < pool.size() && !beaten;
+               ++candidate) {
+            if (candidate != member &&
+                hdc::hamming_distance(bundle, pool[candidate]) < member_dist) {
+              // A non-member may itself be one of the bundled items.
+              beaten = true;
+              for (const std::size_t other : members) {
+                if (other == candidate) {
+                  beaten = false;
+                  break;
+                }
+              }
+            }
+          }
+          recovered += beaten ? 0U : 1U;
+          ++total;
+        }
+      }
+      table.add_row({std::to_string(k),
+                     hdc::exp::format_percent(static_cast<double>(recovered) /
+                                              static_cast<double>(total))});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  std::puts("\nExpected shapes: graceful degradation with shrinking d; a wide");
+  std::puts("flat region under corruption (holographic representation); and");
+  std::puts("bundle recall decaying as k grows past the d-dependent capacity.");
+  return 0;
+}

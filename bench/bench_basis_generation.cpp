@@ -1,0 +1,88 @@
+// Basis-generation cost micro-benchmarks (google-benchmark).  Section 6.1
+// notes that "the one-time differentiating cost of generating the basis set
+// is negligible compared to the training time"; these numbers quantify that
+// for every generator in the library.
+
+#include <benchmark/benchmark.h>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/scatter_code.hpp"
+
+namespace {
+
+constexpr std::size_t kDim = 10'000;
+
+void BM_RandomBasis(benchmark::State& state) {
+  hdc::RandomBasisConfig config;
+  config.dimension = kDim;
+  config.size = static_cast<std::size_t>(state.range(0));
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_random_basis(config));
+  }
+}
+BENCHMARK(BM_RandomBasis)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LevelBasisInterpolation(benchmark::State& state) {
+  hdc::LevelBasisConfig config;
+  config.dimension = kDim;
+  config.size = static_cast<std::size_t>(state.range(0));
+  config.method = hdc::LevelMethod::Interpolation;
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_level_basis(config));
+  }
+}
+BENCHMARK(BM_LevelBasisInterpolation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LevelBasisExactFlip(benchmark::State& state) {
+  hdc::LevelBasisConfig config;
+  config.dimension = kDim;
+  config.size = static_cast<std::size_t>(state.range(0));
+  config.method = hdc::LevelMethod::ExactFlip;
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_level_basis(config));
+  }
+}
+BENCHMARK(BM_LevelBasisExactFlip)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CircularBasis(benchmark::State& state) {
+  hdc::CircularBasisConfig config;
+  config.dimension = kDim;
+  config.size = static_cast<std::size_t>(state.range(0));
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_circular_basis(config));
+  }
+}
+BENCHMARK(BM_CircularBasis)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CircularBasisWithR(benchmark::State& state) {
+  hdc::CircularBasisConfig config;
+  config.dimension = kDim;
+  config.size = 64;
+  config.r = static_cast<double>(state.range(0)) / 100.0;
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_circular_basis(config));
+  }
+}
+BENCHMARK(BM_CircularBasisWithR)->Arg(0)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_ScatterBasis(benchmark::State& state) {
+  hdc::ScatterBasisConfig config;
+  config.dimension = kDim;
+  config.size = static_cast<std::size_t>(state.range(0));
+  config.seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::make_scatter_basis(config));
+  }
+}
+BENCHMARK(BM_ScatterBasis)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

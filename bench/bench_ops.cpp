@@ -1,0 +1,111 @@
+// Micro-benchmarks of the HDC operations (google-benchmark).  Supports the
+// paper's efficiency claims: every operation is dimension-independent
+// word-parallel arithmetic, so throughput scales linearly with d.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace {
+
+using hdc::BundleAccumulator;
+using hdc::Hypervector;
+using hdc::Rng;
+
+void BM_Bind(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const auto a = Hypervector::random(dim, rng);
+  const auto b = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::bind(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Bind)->Arg(1'024)->Arg(10'000)->Arg(65'536);
+
+void BM_HammingDistance(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const auto a = Hypervector::random(dim, rng);
+  const auto b = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::hamming_distance(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HammingDistance)->Arg(1'024)->Arg(10'000)->Arg(65'536);
+
+void BM_Permute(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto a = Hypervector::random(dim, rng);
+  std::size_t shift = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdc::permute(a, shift));
+    shift = (shift * 7 + 1) % dim;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Permute)->Arg(1'024)->Arg(10'000)->Arg(65'536);
+
+void BM_AccumulatorAdd(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const auto a = Hypervector::random(dim, rng);
+  BundleAccumulator acc(dim);
+  for (auto _ : state) {
+    acc.add(a);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AccumulatorAdd)->Arg(1'024)->Arg(10'000)->Arg(65'536);
+
+void BM_MajorityFinalize(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  BundleAccumulator acc(dim);
+  for (int i = 0; i < 101; ++i) {
+    acc.add(Hypervector::random(dim, rng));
+  }
+  const auto tie = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.finalize(tie));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MajorityFinalize)->Arg(1'024)->Arg(10'000)->Arg(65'536);
+
+void BM_NearestOf128(benchmark::State& state) {
+  // The inner loop of regression decoding: cleanup against a 128-vector
+  // label basis.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  Rng rng(6);
+  std::vector<Hypervector> basis;
+  for (int i = 0; i < 128; ++i) {
+    basis.push_back(Hypervector::random(dim, rng));
+  }
+  const auto query = Hypervector::random(dim, rng);
+  for (auto _ : state) {
+    std::size_t best = 0;
+    std::size_t best_dist = dim + 1;
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      const std::size_t d = hdc::hamming_distance(query, basis[i]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NearestOf128)->Arg(10'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Figure 4 companion: the bit-flipping Markov chain of Section 4.2.
+//
+// The paper models scatter-code generation as a random walk on Hamming
+// distance and obtains the required flip count F(i,j) as the expected
+// absorption time u(0) of a tridiagonal linear system.  This binary prints,
+// for a d = 10,000 hyperspace and a range of target distances:
+//   * u(0) from the closed forward recurrence,
+//   * u(0) from assembling and solving the tridiagonal system (Thomas),
+//   * a Monte-Carlo estimate from simulating the walk,
+//   * the closed-form with-replacement flip count for the same target,
+// and then shows the realized (nonlinear) distance profile of a generated
+// scatter-code basis against its prediction.
+
+#include <cstdio>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/core/scatter_code.hpp"
+#include "hdc/experiments/table.hpp"
+#include "hdc/stats/markov_absorption.hpp"
+
+int main() {
+  constexpr std::size_t kDim = 10'000;
+  constexpr std::uint64_t kSeed = 7;
+
+  std::printf("Figure 4: expected absorption times of the bit-flip Markov "
+              "chain (d = %zu)\n\n", kDim);
+
+  hdc::exp::TextTable table({"target delta", "target bits", "u(0) recurrence",
+                             "u(0) tridiagonal", "Monte Carlo (200 walks)",
+                             "with-replacement flips"});
+  hdc::Rng rng(kSeed);
+  for (const double delta : {0.05, 0.10, 0.20, 0.30, 0.40, 0.45}) {
+    const auto target_bits =
+        static_cast<std::size_t>(delta * static_cast<double>(kDim));
+    const double recurrence =
+        hdc::stats::expected_flips_to_distance(kDim, target_bits);
+    const double tridiag =
+        hdc::stats::absorption_times_tridiagonal(kDim, target_bits).front();
+    const double simulated =
+        hdc::stats::simulate_absorption_steps(kDim, target_bits, 200, rng);
+    const double closed_form =
+        hdc::stats::flips_for_expected_distance(kDim, delta);
+    table.add_row({hdc::exp::format_double(delta, 2),
+                   std::to_string(target_bits),
+                   hdc::exp::format_double(recurrence, 1),
+                   hdc::exp::format_double(tridiag, 1),
+                   hdc::exp::format_double(simulated, 1),
+                   hdc::exp::format_double(closed_form, 1)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nScatter-code basis (m = 12): realized vs predicted distance to "
+            "L1 (nonlinear saturation)");
+  hdc::ScatterBasisConfig config;
+  config.dimension = kDim;
+  config.size = 12;
+  config.seed = kSeed;
+  const hdc::Basis scatter = hdc::make_scatter_basis(config);
+  const std::size_t steps = hdc::scatter_calibrated_steps(kDim, 12);
+  std::printf("calibrated steps per level: %zu\n", steps);
+  hdc::exp::TextTable profile({"level j", "delta(L1, Lj) measured",
+                               "delta(L1, Lj) predicted",
+                               "linear target (Algorithm 1)"});
+  for (std::size_t j = 1; j < scatter.size(); ++j) {
+    profile.add_row(
+        {std::to_string(j + 1),
+         hdc::exp::format_double(
+             hdc::normalized_distance(scatter[0], scatter[j]), 3),
+         hdc::exp::format_double(
+             hdc::scatter_expected_distance(kDim, steps, 0, j), 3),
+         hdc::exp::format_double(hdc::level_target_distance(1, j + 1, 12), 3)});
+  }
+  std::fputs(profile.to_string().c_str(), stdout);
+  std::puts("\nThe scatter profile bends away from the linear Algorithm-1");
+  std::puts("target as j grows — the nonlinearity Section 4.2 describes.");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 6 reproduction: effect of the r-hyperparameter on the similarities
+// between each node and a reference node in a circular set of 10
+// hypervectors (r = 0 -> fully circular, r = 1 -> fully random).
+
+#include <cstdio>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/experiments/table.hpp"
+
+int main() {
+  constexpr std::size_t kSize = 10;
+  constexpr std::size_t kDim = 10'000;
+  constexpr std::uint64_t kSeed = 6;
+
+  std::printf("Figure 6: similarity of each node to the reference node C1 in "
+              "a circular set of %zu hypervectors (d = %zu)\n\n",
+              kSize, kDim);
+
+  hdc::exp::TextTable table({"node", "r = 0 (circular)", "r = 0.5", "r = 1 (random)",
+                             "triangular target (r = 0)"});
+
+  std::vector<hdc::Basis> bases;
+  for (const double r : {0.0, 0.5, 1.0}) {
+    hdc::CircularBasisConfig config;
+    config.dimension = kDim;
+    config.size = kSize;
+    config.r = r;
+    config.seed = kSeed;
+    bases.push_back(hdc::make_circular_basis(config));
+  }
+
+  for (std::size_t node = 0; node < kSize; ++node) {
+    std::vector<std::string> row{"C" + std::to_string(node + 1)};
+    for (const hdc::Basis& basis : bases) {
+      row.push_back(hdc::exp::format_double(
+          hdc::similarity(basis[0], basis[node]), 3));
+    }
+    row.push_back(hdc::exp::format_double(
+        1.0 - hdc::circular_target_distance(0, node, kSize), 3));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nExpected shape: at r = 0 similarity decays linearly to ~0.5 at");
+  std::puts("the antipode and climbs back (wrap); at r = 0.5 only immediate");
+  std::puts("neighbours stay correlated; at r = 1 everything is ~0.5.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 7 reproduction: regression normalized MSE per basis-hypervector
+// type, normalized against random-hypervector performance (the bar chart
+// companion of Table 2); circular uses r = 0.01.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/experiments/table.hpp"
+#include "hdc/stats/metrics.hpp"
+
+namespace {
+
+using hdc::exp::BasisChoice;
+
+std::string bar(double fraction) {
+  const int cells = static_cast<int>(fraction * 40.0 + 0.5);
+  return std::string(static_cast<std::size_t>(std::max(cells, 0)), '#');
+}
+
+}  // namespace
+
+int main() {
+  hdc::exp::ExperimentParams params;
+  params.seed = 1;
+  constexpr double kCircularR = 0.01;
+
+  std::printf("Figure 7: normalized regression MSE (reference = random basis; "
+              "d = %zu, circular r = %.2f)\n\n",
+              params.dimension, kCircularR);
+
+  const std::vector<std::pair<BasisChoice, double>> bases = {
+      {BasisChoice::Random, 0.0},
+      {BasisChoice::Level, 0.0},
+      {BasisChoice::Circular, kCircularR},
+  };
+
+  for (const bool beijing : {true, false}) {
+    const char* name = beijing ? "Beijing" : "Mars Express";
+    std::vector<double> mse;
+    for (const auto& [choice, r] : bases) {
+      const auto run = beijing
+                           ? hdc::exp::run_beijing_regression(choice, r, params)
+                           : hdc::exp::run_mars_regression(choice, r, params);
+      mse.push_back(run.mse);
+    }
+    std::printf("%s\n", name);
+    for (std::size_t b = 0; b < bases.size(); ++b) {
+      const double normalized = hdc::stats::normalized_mse(mse[b], mse[0]);
+      std::printf("  %-8s %5.3f |%s\n", to_string(bases[b].first), normalized,
+                  bar(normalized).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::puts("Paper's Figure 7 shape: level bar well below random, circular");
+  std::puts("bar a small fraction of the level bar, on both datasets.");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Satellite available-power prediction from the orbit mean anomaly (the
+// paper's Mars Express scenario, Section 6.2).
+//
+// Compares all three basis families on the same sparse noisy telemetry and
+// plots the learned circular model against the ground-truth power curve.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/data/mars_express.hpp"
+#include "hdc/data/splits.hpp"
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/stats/circular.hpp"
+#include "hdc/stats/metrics.hpp"
+
+namespace {
+
+constexpr std::size_t kDim = hdc::default_dimension;
+constexpr std::size_t kAnomalyLevels = 512;
+
+double evaluate(hdc::exp::BasisChoice choice, double r,
+                const std::vector<hdc::data::MarsRecord>& records,
+                const hdc::data::SplitIndices& split,
+                const hdc::ScalarEncoderPtr& labels,
+                hdc::HDRegressor* fitted_out) {
+  const auto anomaly = hdc::exp::make_value_encoder(
+      choice, r, kDim, kAnomalyLevels, hdc::stats::two_pi, 21);
+  hdc::HDRegressor model(labels, 22);
+  for (const std::size_t i : split.train) {
+    model.add_sample(anomaly->encode(records[i].mean_anomaly),
+                     records[i].power);
+  }
+  model.finalize();
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  for (const std::size_t i : split.test) {
+    truth.push_back(records[i].power);
+    predicted.push_back(
+        model.predict_integer(anomaly->encode(records[i].mean_anomaly)));
+  }
+  if (fitted_out != nullptr) {
+    *fitted_out = std::move(model);
+  }
+  return hdc::stats::mean_squared_error(truth, predicted);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Mars Express power prediction from the mean anomaly ==\n");
+
+  const hdc::data::MarsExpressConfig data_config;
+  const auto records = hdc::data::make_mars_express_dataset(data_config);
+  const auto split = hdc::data::random_split(records.size(), 0.7, 23);
+  std::printf("telemetry: %zu samples (train %zu / test %zu), noise sigma "
+              "%.0f W\n\n",
+              records.size(), split.train.size(), split.test.size(),
+              data_config.noise_sigma);
+
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 128;
+  label_config.seed = 24;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), 0.0, 200.0);
+
+  hdc::HDRegressor circular_model(labels, 0);
+  const double mse_random = evaluate(hdc::exp::BasisChoice::Random, 0.0,
+                                     records, split, labels, nullptr);
+  const double mse_level = evaluate(hdc::exp::BasisChoice::Level, 0.0, records,
+                                    split, labels, nullptr);
+  const double mse_circular = evaluate(hdc::exp::BasisChoice::Circular, 0.01,
+                                       records, split, labels,
+                                       &circular_model);
+  std::printf("test MSE:  random %.0f   level %.0f   circular %.0f  (W^2)\n\n",
+              mse_random, mse_level, mse_circular);
+
+  // Sample the learned circular model around the orbit.
+  const auto anomaly = hdc::exp::make_value_encoder(
+      hdc::exp::BasisChoice::Circular, 0.01, kDim, kAnomalyLevels,
+      hdc::stats::two_pi, 21);
+  std::puts("learned power curve (circular basis) vs model truth:");
+  std::puts("  anomaly  truth   predicted");
+  for (int k = 0; k < 12; ++k) {
+    const double theta = k * hdc::stats::two_pi / 12.0;
+    std::printf("  %7.2f  %5.1f  %9.1f\n", theta,
+                hdc::data::mars_model_power(data_config, theta),
+                circular_model.predict_integer(anomaly->encode(theta)));
+  }
+  std::puts("\nNote the eclipse-season dip around anomaly ~3.14: the circular");
+  std::puts("model interpolates it from sparse bins; a random basis cannot.");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Temperature forecasting on the Beijing-like hourly series (Section 6.2).
+//
+// Encodes each hour as  Y ⊗ D ⊗ H  (year level-hypervector, day-of-year and
+// hour-of-day circular-hypervectors), trains the single-hypervector HDC
+// regressor on the first 70% of the series and prints the test MSE plus a
+// sample winter day's predicted profile — including the Dec 31 -> Jan 1 wrap
+// that breaks level encodings.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/data/beijing.hpp"
+#include "hdc/data/splits.hpp"
+#include "hdc/experiments/experiment.hpp"
+#include "hdc/stats/metrics.hpp"
+
+int main() {
+  constexpr std::size_t kDim = hdc::default_dimension;
+  std::puts("== Beijing temperature regression with circular-hypervectors ==\n");
+
+  const auto records = hdc::data::make_beijing_dataset({});
+
+  // Year: level basis (captures macro trends).  Day/hour: circular.
+  hdc::LevelBasisConfig year_config;
+  year_config.dimension = kDim;
+  year_config.size = 5;
+  year_config.seed = 11;
+  const hdc::LinearScalarEncoder year_encoder(
+      hdc::make_level_basis(year_config), 0.0, 4.0);
+  const auto day_encoder = hdc::exp::make_value_encoder(
+      hdc::exp::BasisChoice::Circular, 0.01, kDim, 64, 366.0, 12);
+  const auto hour_encoder = hdc::exp::make_value_encoder(
+      hdc::exp::BasisChoice::Circular, 0.01, kDim, 24, 24.0, 13);
+
+  const auto encode = [&](const hdc::data::BeijingRecord& r) {
+    return year_encoder.encode(static_cast<double>(r.year_index)) ^
+           day_encoder->encode(static_cast<double>(r.day_of_year - 1)) ^
+           hour_encoder->encode(static_cast<double>(r.hour));
+  };
+
+  // Label encoder over the observed temperature range.
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 128;
+  label_config.seed = 14;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), -25.0, 42.0);
+
+  const auto split = hdc::data::chronological_split(records.size(), 0.7);
+  hdc::HDRegressor model(labels, 15);
+  for (const std::size_t i : split.train) {
+    model.add_sample(encode(records[i]), records[i].temperature);
+  }
+  model.finalize();
+  std::printf("trained on %zu hourly samples (2013-03 .. 2016-01)\n",
+              split.train.size());
+
+  // Test MSE over a strided subsample of the held-out 30%.
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  for (std::size_t k = 0; k < split.test.size(); k += 5) {
+    const auto& r = records[split.test[k]];
+    truth.push_back(r.temperature);
+    predicted.push_back(model.predict_integer(encode(r)));
+  }
+  std::printf("test MSE: %.1f degC^2  (RMSE %.2f degC) over %zu samples\n\n",
+              hdc::stats::mean_squared_error(truth, predicted),
+              hdc::stats::root_mean_squared_error(truth, predicted),
+              truth.size());
+
+  // The wrap demonstration: a circular day encoding is continuous across
+  // Dec 31 -> Jan 1, while a level encoding places those days at opposite
+  // ends of the hyperspace and tears the forecast apart.  Train a level
+  // model on the same data and compare the two across the boundary.
+  const auto day_level = hdc::exp::make_value_encoder(
+      hdc::exp::BasisChoice::Level, 0.0, kDim, 64, 366.0, 12);
+  const auto encode_level = [&](const hdc::data::BeijingRecord& r) {
+    return year_encoder.encode(static_cast<double>(r.year_index)) ^
+           day_level->encode(static_cast<double>(r.day_of_year - 1)) ^
+           hour_encoder->encode(static_cast<double>(r.hour));
+  };
+  hdc::HDRegressor level_model(labels, 16);
+  for (const std::size_t i : split.train) {
+    level_model.add_sample(encode_level(records[i]), records[i].temperature);
+  }
+  level_model.finalize();
+
+  std::puts("forecast continuity across the year wrap (Dec 28 .. Jan 4, noon):");
+  std::puts("  day-of-year  circular   level");
+  std::vector<double> circ_profile;
+  std::vector<double> level_profile;
+  for (const std::size_t day : {362UL, 364UL, 365UL, 1UL, 2UL, 4UL}) {
+    hdc::data::BeijingRecord probe;
+    probe.year_index = 3;
+    probe.day_of_year = day;
+    probe.hour = 12;
+    const double c = model.predict_integer(encode(probe));
+    const double l = level_model.predict_integer(encode_level(probe));
+    circ_profile.push_back(c);
+    level_profile.push_back(l);
+    std::printf("  %11zu  %8.1f  %6.1f\n", day, c, l);
+  }
+  const double circ_jump = std::abs(circ_profile[3] - circ_profile[2]);
+  const double level_jump = std::abs(level_profile[3] - level_profile[2]);
+  std::printf("\njump across Dec 31 -> Jan 1:  circular %.1f degC,  level %.1f "
+              "degC\n",
+              circ_jump, level_jump);
+  std::puts("The circular model is continuous through the wrap; the level");
+  std::puts("model decodes the two sides from unrelated regions of the space.");
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef HDC_BASE_REQUIRE_HPP
+#define HDC_BASE_REQUIRE_HPP
+
+/// \file require.hpp
+/// \brief Precondition-checking helpers used at every public API boundary.
+///
+/// Following the C++ Core Guidelines (I.5 "State preconditions", E.x), public
+/// entry points validate their arguments and throw `std::invalid_argument`
+/// with a message that names the offending parameter.  Internal code relies on
+/// those checks and uses plain assertions.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hdc {
+
+/// Throws `std::invalid_argument` composed as "<where>: <what>".
+[[noreturn]] void throw_invalid(std::string_view where, std::string_view what);
+
+/// Requires `cond` to hold; otherwise throws `std::invalid_argument`.
+/// \param where  Name of the API entry point (e.g. "make_level_basis").
+/// \param what   Description of the violated precondition.
+inline void require(bool cond, std::string_view where, std::string_view what) {
+  if (!cond) {
+    throw_invalid(where, what);
+  }
+}
+
+/// Requires a strictly positive count-like argument.
+template <typename Int>
+void require_positive(Int value, std::string_view where, std::string_view name) {
+  if (!(value > Int{0})) {
+    throw_invalid(where, std::string(name) + " must be positive, got " +
+                             std::to_string(value));
+  }
+}
+
+/// Requires `value` to lie in the closed interval [lo, hi].
+template <typename T>
+void require_in_range(T value, T lo, T hi, std::string_view where,
+                      std::string_view name) {
+  if (!(value >= lo && value <= hi)) {
+    throw_invalid(where, std::string(name) + " out of range [" +
+                             std::to_string(lo) + ", " + std::to_string(hi) +
+                             "], got " + std::to_string(value));
+  }
+}
+
+}  // namespace hdc
+
+#endif  // HDC_BASE_REQUIRE_HPP

@@ -1,0 +1,19 @@
+#ifndef HDC_BASE_VERSION_HPP
+#define HDC_BASE_VERSION_HPP
+
+/// \file version.hpp
+/// \brief Library version constants.
+
+namespace hdc {
+
+/// Semantic version of the hdcpp library.
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+/// Human-readable version string.
+inline constexpr const char* version_string = "1.0.0";
+
+}  // namespace hdc
+
+#endif  // HDC_BASE_VERSION_HPP

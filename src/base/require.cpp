@@ -1,0 +1,14 @@
+#include "hdc/base/require.hpp"
+
+namespace hdc {
+
+void throw_invalid(std::string_view where, std::string_view what) {
+  std::string message;
+  message.reserve(where.size() + 2 + what.size());
+  message.append(where);
+  message.append(": ");
+  message.append(what);
+  throw std::invalid_argument(message);
+}
+
+}  // namespace hdc

@@ -1,0 +1,29 @@
+#include "hdc/base/rng.hpp"
+
+#include <cmath>
+
+namespace hdc {
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Marsaglia polar method: draw a point uniformly in the unit disc and map
+  // it to two independent standard normals.  Chosen over std::normal_
+  // distribution for cross-platform bit reproducibility.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  has_cached_normal_ = true;
+  return u * factor;
+}
+
+}  // namespace hdc

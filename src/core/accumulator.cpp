@@ -1,0 +1,108 @@
+#include "hdc/core/accumulator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc {
+
+BundleAccumulator::BundleAccumulator(std::size_t dimension)
+    : dimension_(dimension), counters_(dimension, 0) {
+  require_positive(dimension, "BundleAccumulator", "dimension");
+}
+
+namespace {
+
+/// Applies `counter += sign * weight` per dimension, unpacking 64 bits at a
+/// time.  The inner loop is branch-free on the bit value.
+void apply(std::span<std::int32_t> counters, const Hypervector& hv,
+           std::int32_t weight) {
+  const std::span<const std::uint64_t> words = hv.words();
+  const std::size_t d = counters.size();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bitsword = words[w];
+    const std::size_t base = w * bits::word_bits;
+    const std::size_t limit = std::min(bits::word_bits, d - base);
+    for (std::size_t b = 0; b < limit; ++b) {
+      // bit set -> +weight, clear -> -weight
+      const std::int32_t sign = static_cast<std::int32_t>(bitsword & 1U) * 2 - 1;
+      counters[base + b] += sign * weight;
+      bitsword >>= 1U;
+    }
+  }
+}
+
+}  // namespace
+
+void BundleAccumulator::add(const Hypervector& hv) {
+  require(hv.dimension() == dimension_, "BundleAccumulator::add",
+          "dimension mismatch");
+  apply(counters_, hv, 1);
+  ++count_;
+}
+
+void BundleAccumulator::subtract(const Hypervector& hv) {
+  require(hv.dimension() == dimension_, "BundleAccumulator::subtract",
+          "dimension mismatch");
+  apply(counters_, hv, -1);
+  ++count_;
+}
+
+void BundleAccumulator::add_weighted(const Hypervector& hv,
+                                     std::int32_t weight) {
+  require(hv.dimension() == dimension_, "BundleAccumulator::add_weighted",
+          "dimension mismatch");
+  require(weight != 0, "BundleAccumulator::add_weighted",
+          "weight must be non-zero");
+  apply(counters_, hv, weight);
+  count_ += static_cast<std::size_t>(std::abs(weight));
+}
+
+Hypervector BundleAccumulator::finalize(Rng& tie_rng) const {
+  const Hypervector tie = Hypervector::random(dimension_, tie_rng);
+  return finalize(tie);
+}
+
+Hypervector BundleAccumulator::finalize(const Hypervector& tie_breaker) const {
+  require(tie_breaker.dimension() == dimension_, "BundleAccumulator::finalize",
+          "tie_breaker dimension mismatch");
+  Hypervector out(dimension_);
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    const std::int32_t c = counters_[i];
+    const bool bit = c > 0 || (c == 0 && tie_breaker.bit(i));
+    if (bit) {
+      bits::set_bit(out.words(), i, true);
+    }
+  }
+  return out;
+}
+
+std::int64_t BundleAccumulator::signed_projection(const Hypervector& hv) const {
+  require(hv.dimension() == dimension_, "BundleAccumulator::signed_projection",
+          "dimension mismatch");
+  // total = sum_set(c) - sum_clear(c) = 2 * sum_set(c) - sum_all(c); walking
+  // words keeps the inner loop branch-free and auto-vectorizable.
+  const std::span<const std::uint64_t> words = hv.words();
+  std::int64_t sum_all = 0;
+  std::int64_t sum_set = 0;
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t bitsword = words[w];
+    const std::size_t base = w * bits::word_bits;
+    const std::size_t limit = std::min(bits::word_bits, dimension_ - base);
+    for (std::size_t b = 0; b < limit; ++b) {
+      const std::int64_t c = counters_[base + b];
+      sum_all += c;
+      sum_set += static_cast<std::int64_t>(bitsword & 1U) * c;
+      bitsword >>= 1U;
+    }
+  }
+  return 2 * sum_set - sum_all;
+}
+
+void BundleAccumulator::clear() noexcept {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  count_ = 0;
+}
+
+}  // namespace hdc

@@ -1,0 +1,86 @@
+#include "hdc/core/basis.hpp"
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+const char* to_string(BasisKind kind) noexcept {
+  switch (kind) {
+    case BasisKind::Random:
+      return "random";
+    case BasisKind::Level:
+      return "level";
+    case BasisKind::Circular:
+      return "circular";
+    case BasisKind::Scatter:
+      return "scatter";
+  }
+  return "unknown";
+}
+
+const char* to_string(LevelMethod method) noexcept {
+  switch (method) {
+    case LevelMethod::ExactFlip:
+      return "exact-flip";
+    case LevelMethod::Interpolation:
+      return "interpolation";
+  }
+  return "unknown";
+}
+
+Basis::Basis(BasisInfo info, std::vector<Hypervector> vectors)
+    : info_(info), vectors_(std::move(vectors)) {
+  require(!vectors_.empty(), "Basis", "vector set must be non-empty");
+  require(info_.size == vectors_.size(), "Basis",
+          "info.size must match the number of vectors");
+  for (const Hypervector& hv : vectors_) {
+    require(hv.dimension() == info_.dimension, "Basis",
+            "all vectors must have info.dimension dimensions");
+  }
+}
+
+const Hypervector& Basis::at(std::size_t i) const {
+  require(i < vectors_.size(), "Basis::at", "index out of range");
+  return vectors_[i];
+}
+
+std::size_t Basis::nearest(const Hypervector& query) const {
+  require(query.dimension() == info_.dimension, "Basis::nearest",
+          "query dimension mismatch");
+  std::size_t best_index = 0;
+  std::size_t best_distance = hamming_distance(query, vectors_[0]);
+  for (std::size_t i = 1; i < vectors_.size(); ++i) {
+    const std::size_t dist = hamming_distance(query, vectors_[i]);
+    if (dist < best_distance) {
+      best_distance = dist;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+std::vector<std::vector<double>> Basis::pairwise_distances() const {
+  const std::size_t m = vectors_.size();
+  std::vector<std::vector<double>> out(m, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double d = normalized_distance(vectors_[i], vectors_[j]);
+      out[i][j] = d;
+      out[j][i] = d;
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Basis::pairwise_similarities() const {
+  std::vector<std::vector<double>> out = pairwise_distances();
+  for (auto& row : out) {
+    for (double& value : row) {
+      value = 1.0 - value;
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc

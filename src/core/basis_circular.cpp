@@ -1,0 +1,138 @@
+#include "hdc/core/basis_circular.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+double circular_target_distance(std::size_t i, std::size_t j, std::size_t m) {
+  require(m >= 2, "circular_target_distance", "m must be >= 2");
+  require(i < m, "circular_target_distance", "i out of range");
+  require(j < m, "circular_target_distance", "j out of range");
+  const std::size_t direct = i > j ? i - j : j - i;
+  const std::size_t arc = direct < m - direct ? direct : m - direct;
+  return static_cast<double>(arc) / static_cast<double>(m);
+}
+
+double circular_cosine_target_distance(std::size_t i, std::size_t j,
+                                       std::size_t m) {
+  require(m >= 2, "circular_cosine_target_distance", "m must be >= 2");
+  require(i < m, "circular_cosine_target_distance", "i out of range");
+  require(j < m, "circular_cosine_target_distance", "j out of range");
+  // Odd sets are every-other-element subsets of a 2m set; evaluate in the
+  // parent even circle, whose halves decide which law applies.
+  const std::size_t me = (m % 2 == 0) ? m : 2 * m;
+  const std::size_t ie = (m % 2 == 0) ? i : 2 * i;
+  const std::size_t je = (m % 2 == 0) ? j : 2 * j;
+  constexpr double tau = 2.0 * std::numbers::pi;
+  const double ci =
+      std::cos(tau * static_cast<double>(ie) / static_cast<double>(me));
+  const double cj =
+      std::cos(tau * static_cast<double>(je) / static_cast<double>(me));
+  const bool i_first = ie <= me / 2;
+  const bool j_first = je <= me / 2;
+  if (i_first == j_first) {
+    // Same half-circle: both are interpolations of the same anchor pair, so
+    // they differ only between their thresholds.
+    return std::abs(ci - cj) / 4.0;
+  }
+  // Opposite halves: phase 2 swaps the anchors, reflecting the law.  At the
+  // anchors themselves (cos = ±1) both branches coincide.
+  return 0.5 - std::abs(ci + cj) / 4.0;
+}
+
+namespace {
+
+/// Even-cardinality construction straight from Section 5.1.
+std::vector<Hypervector> make_even_circular(std::size_t dimension,
+                                            std::size_t size, double r,
+                                            CircularProfile profile,
+                                            std::uint64_t seed) {
+  const std::size_t half = size / 2;
+  const std::size_t phase1_count = half + 1;
+
+  std::vector<Hypervector> levels;
+  if (profile == CircularProfile::Cosine) {
+    // Cosine-spaced phase-1 thresholds: tau_l = (1 + cos(2*pi*l/m)) / 2, so
+    // the distance to the reference C_0 follows rho(theta)/2 exactly; the
+    // phase-2 replay mirrors the same profile onto the second half-circle.
+    std::vector<double> taus(phase1_count);
+    for (std::size_t l = 0; l < phase1_count; ++l) {
+      taus[l] = 0.5 * (1.0 + std::cos(2.0 * std::numbers::pi *
+                                      static_cast<double>(l) /
+                                      static_cast<double>(size)));
+    }
+    taus.front() = 1.0;
+    taus.back() = 0.0;
+    levels = detail::make_threshold_levels(dimension, taus, seed);
+  } else {
+    // Section 5.2: the r-relaxation applies to phase 1 only; its transition
+    // count n uses the phase-1 set size in the n = r + (1-r)(m-1) formula.
+    const double n = r + (1.0 - r) * static_cast<double>(phase1_count - 1);
+    levels = detail::make_interpolated_levels(dimension, phase1_count, n, seed);
+  }
+
+  // Phase-1 transitions T_i = C_i XOR C_{i+1} (the flipped bits between
+  // consecutive levels).
+  std::vector<Hypervector> transitions;
+  transitions.reserve(half);
+  for (std::size_t t = 0; t + 1 < phase1_count; ++t) {
+    transitions.push_back(levels[t] ^ levels[t + 1]);
+  }
+
+  // Phase 1: the first half-circle is the level set itself.
+  std::vector<Hypervector> circle = std::move(levels);
+  circle.reserve(size);
+
+  // Phase 2: replay the transitions from the far point back toward C_1.
+  // Binding is self-inverse, so each step strips one transition's flips,
+  // moving the walker closer to C_1 while staying quasi-orthogonal to the
+  // antipodal element.  The final transition T_{m/2} is not applied — it
+  // would just regenerate C_1 (the dashed arrow of Figure 5).
+  for (std::size_t i = half + 1; i < size; ++i) {
+    circle.push_back(circle[i - 1] ^ transitions[i - half - 1]);
+  }
+  return circle;
+}
+
+}  // namespace
+
+Basis make_circular_basis(const CircularBasisConfig& config) {
+  require_positive(config.dimension, "make_circular_basis", "dimension");
+  require(config.size >= 2, "make_circular_basis", "size must be >= 2");
+  require_in_range(config.r, 0.0, 1.0, "make_circular_basis", "r");
+  require(config.profile == CircularProfile::Triangular || config.r == 0.0,
+          "make_circular_basis",
+          "the r-relaxation is only supported by the Triangular profile");
+
+  std::vector<Hypervector> vectors;
+  if (config.size % 2 == 0) {
+    vectors = make_even_circular(config.dimension, config.size, config.r,
+                                 config.profile, config.seed);
+  } else {
+    // Paper footnote 1: an odd set of size m is the every-other-element
+    // subset {C_1, C_3, ..., C_{2m-1}} of an even set of size 2m.
+    std::vector<Hypervector> doubled =
+        make_even_circular(config.dimension, 2 * config.size, config.r,
+                           config.profile, config.seed);
+    vectors.reserve(config.size);
+    for (std::size_t i = 0; i < config.size; ++i) {
+      vectors.push_back(std::move(doubled[2 * i]));
+    }
+  }
+
+  BasisInfo info;
+  info.kind = BasisKind::Circular;
+  info.method = LevelMethod::Interpolation;
+  info.dimension = config.dimension;
+  info.size = config.size;
+  info.r = config.r;
+  info.seed = config.seed;
+  return Basis(info, std::move(vectors));
+}
+
+}  // namespace hdc

@@ -1,0 +1,217 @@
+#include "hdc/core/basis_level.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+double level_target_distance(std::size_t i, std::size_t j, std::size_t m) {
+  require(m >= 2, "level_target_distance", "m must be >= 2");
+  require(i >= 1 && i <= m, "level_target_distance", "i must be in [1, m]");
+  require(j >= 1 && j <= m, "level_target_distance", "j must be in [1, m]");
+  const double span = static_cast<double>(j > i ? j - i : i - j);
+  return span / (2.0 * static_cast<double>(m - 1));
+}
+
+namespace detail {
+
+std::vector<Hypervector> make_interpolated_levels(
+    std::size_t dimension, std::size_t count, double transitions_per_segment,
+    std::uint64_t seed) {
+  require_positive(dimension, "make_interpolated_levels", "dimension");
+  require(count >= 2, "make_interpolated_levels", "count must be >= 2");
+  require(transitions_per_segment > 0.0, "make_interpolated_levels",
+          "transitions_per_segment must be positive");
+
+  const double n = transitions_per_segment;
+
+  // Anchor hypervectors sit at level positions 0, n, 2n, ... ; each segment
+  // between consecutive anchors is an independent Algorithm-1 level set with
+  // its own interpolation filter Phi.  With n = count - 1 this degenerates to
+  // exactly Algorithm 1 (two anchors, one filter); with n = 1 every level is
+  // an anchor, i.e. a random-hypervector set (r = 1 endpoint of Section 5.2).
+  const auto max_position = static_cast<double>(count - 1);
+  const auto segments =
+      static_cast<std::size_t>(std::ceil(max_position / n - 1e-9));
+  const std::size_t num_anchors = segments + 1;
+
+  std::vector<Hypervector> anchors;
+  anchors.reserve(num_anchors);
+  for (std::size_t a = 0; a < num_anchors; ++a) {
+    Rng rng(derive_seed(seed, a));
+    anchors.push_back(Hypervector::random(dimension, rng));
+  }
+
+  // Interpolation filters, one per segment, drawn lazily below from derived
+  // streams so results do not depend on evaluation order.
+  std::vector<std::vector<double>> filters(segments);
+  const auto filter_for = [&](std::size_t s) -> const std::vector<double>& {
+    std::vector<double>& phi = filters[s];
+    if (phi.empty()) {
+      Rng rng(derive_seed(seed, 0x8000'0000ULL + s));
+      phi.resize(dimension);
+      for (double& value : phi) {
+        value = rng.uniform();
+      }
+    }
+    return phi;
+  };
+
+  std::vector<Hypervector> levels;
+  levels.reserve(count);
+  for (std::size_t l = 0; l < count; ++l) {
+    const double position = static_cast<double>(l) / n;
+    auto segment = static_cast<std::size_t>(std::floor(position + 1e-9));
+    double fraction = position - static_cast<double>(segment);
+    if (fraction < 1e-9) {
+      fraction = 0.0;
+    }
+    if (segment >= segments) {
+      // Numerically at (or beyond) the last anchor.
+      segment = segments > 0 ? segments - 1 : 0;
+      fraction = 1.0;
+    }
+    if (fraction == 0.0) {
+      levels.push_back(anchors[segment]);
+      continue;
+    }
+    if (fraction == 1.0) {
+      levels.push_back(anchors[segment + 1]);
+      continue;
+    }
+    // Algorithm 1, lines 5-10: tau = 1 - fraction; bit from the left anchor
+    // where Phi < tau, from the right anchor otherwise.
+    const double tau = 1.0 - fraction;
+    const std::vector<double>& phi = filter_for(segment);
+    const Hypervector& left = anchors[segment];
+    const Hypervector& right = anchors[segment + 1];
+    Hypervector level(dimension);
+    for (std::size_t b = 0; b < dimension; ++b) {
+      const bool bit = phi[b] < tau ? bits::get_bit(left.words(), b)
+                                    : bits::get_bit(right.words(), b);
+      if (bit) {
+        bits::set_bit(level.words(), b, true);
+      }
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+std::vector<Hypervector> make_threshold_levels(std::size_t dimension,
+                                               std::span<const double> taus,
+                                               std::uint64_t seed) {
+  require_positive(dimension, "make_threshold_levels", "dimension");
+  require(taus.size() >= 2, "make_threshold_levels",
+          "need at least 2 thresholds");
+  for (std::size_t l = 0; l < taus.size(); ++l) {
+    require(taus[l] >= 0.0 && taus[l] <= 1.0, "make_threshold_levels",
+            "thresholds must lie in [0, 1]");
+    if (l > 0) {
+      require(taus[l] <= taus[l - 1], "make_threshold_levels",
+              "thresholds must be non-increasing");
+    }
+  }
+
+  Rng anchor_rng_a(derive_seed(seed, 0));
+  Rng anchor_rng_b(derive_seed(seed, 1));
+  const Hypervector left = Hypervector::random(dimension, anchor_rng_a);
+  const Hypervector right = Hypervector::random(dimension, anchor_rng_b);
+
+  Rng filter_rng(derive_seed(seed, 0x8000'0000ULL));
+  std::vector<double> phi(dimension);
+  for (double& value : phi) {
+    value = filter_rng.uniform();
+  }
+
+  std::vector<Hypervector> levels;
+  levels.reserve(taus.size());
+  for (const double tau : taus) {
+    Hypervector level(dimension);
+    for (std::size_t b = 0; b < dimension; ++b) {
+      const bool bit = phi[b] < tau ? bits::get_bit(left.words(), b)
+                                    : bits::get_bit(right.words(), b);
+      if (bit) {
+        bits::set_bit(level.words(), b, true);
+      }
+    }
+    levels.push_back(std::move(level));
+  }
+  return levels;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Prior-art construction: flip d/2/(m-1) fresh positions per step so the
+/// endpoints end up exactly orthogonal (they differ in exactly floor(d/2)
+/// positions).  The flip schedule distributes floor(d/2) flips as evenly as
+/// possible over the m-1 transitions (Bresenham-style rounding).
+std::vector<Hypervector> make_exact_flip_levels(std::size_t dimension,
+                                                std::size_t count,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Hypervector> levels;
+  levels.reserve(count);
+  levels.push_back(Hypervector::random(dimension, rng));
+
+  // Random permutation of all positions; transition t flips the slice
+  // [cum(t-1), cum(t)) so no position is ever flipped twice.
+  std::vector<std::size_t> order(dimension);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t i = dimension; i-- > 1;) {
+    const auto j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+
+  const std::size_t total_flips = dimension / 2;
+  const std::size_t transitions = count - 1;
+  std::size_t flipped_so_far = 0;
+  for (std::size_t t = 1; t <= transitions; ++t) {
+    const auto target = static_cast<std::size_t>(
+        std::llround(static_cast<double>(t) * static_cast<double>(total_flips) /
+                     static_cast<double>(transitions)));
+    Hypervector next = levels.back();
+    for (; flipped_so_far < target; ++flipped_so_far) {
+      next.flip_bit(order[flipped_so_far]);
+    }
+    levels.push_back(std::move(next));
+  }
+  return levels;
+}
+
+}  // namespace
+
+Basis make_level_basis(const LevelBasisConfig& config) {
+  require_positive(config.dimension, "make_level_basis", "dimension");
+  require(config.size >= 2, "make_level_basis", "size must be >= 2");
+  require_in_range(config.r, 0.0, 1.0, "make_level_basis", "r");
+
+  std::vector<Hypervector> vectors;
+  if (config.method == LevelMethod::ExactFlip) {
+    require(config.r == 0.0, "make_level_basis",
+            "r is only supported by LevelMethod::Interpolation");
+    vectors = make_exact_flip_levels(config.dimension, config.size, config.seed);
+  } else {
+    // Section 5.2: n = r + (1 - r)(m - 1) transitions per level segment.
+    const auto m = static_cast<double>(config.size);
+    const double n = config.r + (1.0 - config.r) * (m - 1.0);
+    vectors = detail::make_interpolated_levels(config.dimension, config.size, n,
+                                               config.seed);
+  }
+
+  BasisInfo info;
+  info.kind = BasisKind::Level;
+  info.method = config.method;
+  info.dimension = config.dimension;
+  info.size = config.size;
+  info.r = config.r;
+  info.seed = config.seed;
+  return Basis(info, std::move(vectors));
+}
+
+}  // namespace hdc

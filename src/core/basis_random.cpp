@@ -1,0 +1,27 @@
+#include "hdc/core/basis_random.hpp"
+
+#include "hdc/base/require.hpp"
+
+namespace hdc {
+
+Basis make_random_basis(const RandomBasisConfig& config) {
+  require_positive(config.dimension, "make_random_basis", "dimension");
+  require_positive(config.size, "make_random_basis", "size");
+
+  Rng rng(config.seed);
+  std::vector<Hypervector> vectors;
+  vectors.reserve(config.size);
+  for (std::size_t i = 0; i < config.size; ++i) {
+    vectors.push_back(Hypervector::random(config.dimension, rng));
+  }
+
+  BasisInfo info;
+  info.kind = BasisKind::Random;
+  info.dimension = config.dimension;
+  info.size = config.size;
+  info.r = 1.0;  // Random sets are the r = 1 endpoint of the interpolation.
+  info.seed = config.seed;
+  return Basis(info, std::move(vectors));
+}
+
+}  // namespace hdc

@@ -1,0 +1,77 @@
+#include "hdc/core/bitops.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace hdc::bits {
+
+void shift_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                std::size_t bit_count, std::size_t shift) noexcept {
+  const std::size_t n = out.size();
+  if (shift >= bit_count) {
+    std::fill(out.begin(), out.end(), 0ULL);
+    return;
+  }
+  const std::size_t word_shift = shift / word_bits;
+  const std::size_t bit_shift = shift % word_bits;
+  // Walk from the top so the routine would also be safe if in == out;
+  // the public contract still forbids aliasing to keep reasoning simple.
+  for (std::size_t w = n; w-- > 0;) {
+    std::uint64_t value = 0;
+    if (w >= word_shift) {
+      value = in[w - word_shift] << bit_shift;
+      if (bit_shift != 0 && w > word_shift) {
+        value |= in[w - word_shift - 1] >> (word_bits - bit_shift);
+      }
+    }
+    out[w] = value;
+  }
+  if (n > 0) {
+    out[n - 1] &= tail_mask(bit_count);
+  }
+}
+
+void shift_right(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                 std::size_t bit_count, std::size_t shift) noexcept {
+  const std::size_t n = out.size();
+  if (shift >= bit_count) {
+    std::fill(out.begin(), out.end(), 0ULL);
+    return;
+  }
+  const std::size_t word_shift = shift / word_bits;
+  const std::size_t bit_shift = shift % word_bits;
+  for (std::size_t w = 0; w < n; ++w) {
+    std::uint64_t value = 0;
+    if (w + word_shift < n) {
+      value = in[w + word_shift] >> bit_shift;
+      if (bit_shift != 0 && w + word_shift + 1 < n) {
+        value |= in[w + word_shift + 1] << (word_bits - bit_shift);
+      }
+    }
+    out[w] = value;
+  }
+  if (n > 0) {
+    out[n - 1] &= tail_mask(bit_count);
+  }
+}
+
+void rotate_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                 std::size_t bit_count, std::size_t shift) noexcept {
+  if (bit_count == 0) {
+    return;
+  }
+  const std::size_t s = shift % bit_count;
+  if (s == 0) {
+    std::copy(in.begin(), in.end(), out.begin());
+    return;
+  }
+  // rot(x, s) = (x << s) | (x >> (d - s)) over d-bit vectors.
+  shift_left(in, out, bit_count, s);
+  std::vector<std::uint64_t> wrapped(in.size());
+  shift_right(in, wrapped, bit_count, bit_count - s);
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    out[w] |= wrapped[w];
+  }
+}
+
+}  // namespace hdc::bits

@@ -1,0 +1,141 @@
+#include "hdc/core/classifier.hpp"
+
+#include <stdexcept>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+CentroidClassifier::CentroidClassifier(std::size_t num_classes,
+                                       std::size_t dimension,
+                                       std::uint64_t seed)
+    : dimension_(dimension) {
+  require_positive(num_classes, "CentroidClassifier", "num_classes");
+  require_positive(dimension, "CentroidClassifier", "dimension");
+  accumulators_.reserve(num_classes);
+  for (std::size_t i = 0; i < num_classes; ++i) {
+    accumulators_.emplace_back(dimension);
+  }
+  class_vectors_.assign(num_classes, Hypervector(dimension));
+  Rng rng(derive_seed(seed, 0xC1A55ULL));
+  tie_breaker_ = Hypervector::random(dimension, rng);
+}
+
+CentroidClassifier CentroidClassifier::from_class_vectors(
+    std::vector<Hypervector> vectors) {
+  require(!vectors.empty(), "CentroidClassifier::from_class_vectors",
+          "need at least one class-vector");
+  const std::size_t dimension = vectors.front().dimension();
+  require(dimension > 0, "CentroidClassifier::from_class_vectors",
+          "class-vectors must be non-empty");
+  for (const Hypervector& hv : vectors) {
+    require(hv.dimension() == dimension,
+            "CentroidClassifier::from_class_vectors",
+            "class-vectors must share one dimension");
+  }
+  CentroidClassifier model(vectors.size(), dimension, 0);
+  model.class_vectors_ = std::move(vectors);
+  model.finalized_ = true;
+  model.inference_only_ = true;
+  return model;
+}
+
+void CentroidClassifier::add_sample(std::size_t label,
+                                    const Hypervector& encoded) {
+  if (inference_only_) {
+    throw std::logic_error(
+        "CentroidClassifier::add_sample: model restored from class-vectors is "
+        "inference-only");
+  }
+  require(label < accumulators_.size(), "CentroidClassifier::add_sample",
+          "label out of range");
+  accumulators_[label].add(encoded);
+  finalized_ = false;
+}
+
+void CentroidClassifier::finalize() {
+  for (std::size_t i = 0; i < accumulators_.size(); ++i) {
+    class_vectors_[i] = accumulators_[i].finalize(tie_breaker_);
+  }
+  finalized_ = true;
+}
+
+void CentroidClassifier::require_finalized(const char* where) const {
+  if (!finalized_) {
+    throw std::logic_error(std::string(where) +
+                           ": call finalize() before inference");
+  }
+}
+
+std::size_t CentroidClassifier::predict(const Hypervector& query) const {
+  require_finalized("CentroidClassifier::predict");
+  require(query.dimension() == dimension_, "CentroidClassifier::predict",
+          "query dimension mismatch");
+  std::size_t best = 0;
+  std::size_t best_distance = hamming_distance(query, class_vectors_[0]);
+  for (std::size_t i = 1; i < class_vectors_.size(); ++i) {
+    const std::size_t dist = hamming_distance(query, class_vectors_[i]);
+    if (dist < best_distance) {
+      best_distance = dist;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double CentroidClassifier::class_similarity(std::size_t label,
+                                            const Hypervector& query) const {
+  require_finalized("CentroidClassifier::class_similarity");
+  require(label < class_vectors_.size(), "CentroidClassifier::class_similarity",
+          "label out of range");
+  return similarity(query, class_vectors_[label]);
+}
+
+std::vector<double> CentroidClassifier::similarities(
+    const Hypervector& query) const {
+  require_finalized("CentroidClassifier::similarities");
+  require(query.dimension() == dimension_, "CentroidClassifier::similarities",
+          "query dimension mismatch");
+  std::vector<double> out;
+  out.reserve(class_vectors_.size());
+  for (const Hypervector& cv : class_vectors_) {
+    out.push_back(similarity(query, cv));
+  }
+  return out;
+}
+
+std::size_t CentroidClassifier::adapt(std::size_t label,
+                                      const Hypervector& encoded) {
+  if (inference_only_) {
+    throw std::logic_error(
+        "CentroidClassifier::adapt: model restored from class-vectors is "
+        "inference-only");
+  }
+  require(label < accumulators_.size(), "CentroidClassifier::adapt",
+          "label out of range");
+  require_finalized("CentroidClassifier::adapt");
+  const std::size_t predicted = predict(encoded);
+  if (predicted != label) {
+    accumulators_[label].add(encoded);
+    accumulators_[predicted].subtract(encoded);
+    class_vectors_[label] = accumulators_[label].finalize(tie_breaker_);
+    class_vectors_[predicted] = accumulators_[predicted].finalize(tie_breaker_);
+  }
+  return predicted;
+}
+
+const Hypervector& CentroidClassifier::class_vector(std::size_t label) const {
+  require_finalized("CentroidClassifier::class_vector");
+  require(label < class_vectors_.size(), "CentroidClassifier::class_vector",
+          "label out of range");
+  return class_vectors_[label];
+}
+
+std::size_t CentroidClassifier::class_count(std::size_t label) const {
+  require(label < accumulators_.size(), "CentroidClassifier::class_count",
+          "label out of range");
+  return accumulators_[label].count();
+}
+
+}  // namespace hdc

@@ -1,0 +1,43 @@
+#include "hdc/core/feature_encoder.hpp"
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+namespace {
+
+Basis make_keys(std::size_t num_features, const ScalarEncoderPtr& values,
+                std::uint64_t seed) {
+  require(values != nullptr, "KeyValueEncoder",
+          "values encoder must not be null");
+  require_positive(num_features, "KeyValueEncoder", "num_features");
+  RandomBasisConfig config;
+  config.dimension = values->dimension();
+  config.size = num_features;
+  config.seed = derive_seed(seed, 0x4B455953ULL);  // "KEYS"
+  return make_random_basis(config);
+}
+
+}  // namespace
+
+KeyValueEncoder::KeyValueEncoder(std::size_t num_features,
+                                 ScalarEncoderPtr values, std::uint64_t seed)
+    : keys_(make_keys(num_features, values, seed)), values_(std::move(values)) {
+  Rng rng(derive_seed(seed, 0x7EBCULL));
+  tie_breaker_ = Hypervector::random(dimension(), rng);
+}
+
+Hypervector KeyValueEncoder::encode(std::span<const double> features) const {
+  require(features.size() == keys_.size(), "KeyValueEncoder::encode",
+          "feature count mismatch");
+  BundleAccumulator acc(dimension());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    acc.add(keys_[i] ^ values_->encode(features[i]));
+  }
+  return acc.finalize(tie_breaker_);
+}
+
+}  // namespace hdc

@@ -1,0 +1,66 @@
+#include "hdc/core/hypervector.hpp"
+
+#include "hdc/base/require.hpp"
+
+namespace hdc {
+
+Hypervector::Hypervector(std::size_t dimension)
+    : dimension_(dimension), words_(bits::words_for(dimension), 0ULL) {
+  require_positive(dimension, "Hypervector", "dimension");
+}
+
+Hypervector Hypervector::random(std::size_t dimension, Rng& rng) {
+  Hypervector hv(dimension);
+  for (auto& word : hv.words_) {
+    word = rng();
+  }
+  hv.mask_tail();
+  return hv;
+}
+
+Hypervector Hypervector::from_bits(std::span<const bool> bits) {
+  require(!bits.empty(), "Hypervector::from_bits", "bits must be non-empty");
+  Hypervector hv(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) {
+      bits::set_bit(hv.words(), i, true);
+    }
+  }
+  return hv;
+}
+
+bool Hypervector::bit(std::size_t index) const {
+  require(index < dimension_, "Hypervector::bit", "index out of range");
+  return bits::get_bit(words_, index);
+}
+
+void Hypervector::set_bit(std::size_t index, bool value) {
+  require(index < dimension_, "Hypervector::set_bit", "index out of range");
+  bits::set_bit(words_, index, value);
+}
+
+void Hypervector::flip_bit(std::size_t index) {
+  require(index < dimension_, "Hypervector::flip_bit", "index out of range");
+  bits::flip_bit(words_, index);
+}
+
+void Hypervector::mask_tail() noexcept {
+  if (!words_.empty()) {
+    words_.back() &= bits::tail_mask(dimension_);
+  }
+}
+
+Hypervector& Hypervector::operator^=(const Hypervector& other) {
+  require(dimension_ == other.dimension_, "Hypervector::operator^=",
+          "dimension mismatch");
+  bits::xor_into(words_, other.words_);
+  return *this;
+}
+
+Hypervector operator^(const Hypervector& a, const Hypervector& b) {
+  Hypervector out = a;
+  out ^= b;
+  return out;
+}
+
+}  // namespace hdc

@@ -1,0 +1,80 @@
+#ifndef HDC_CORE_ACCUMULATOR_HPP
+#define HDC_CORE_ACCUMULATOR_HPP
+
+/// \file accumulator.hpp
+/// \brief Streaming integer accumulator for majority bundling.
+///
+/// Training an HDC model bundles thousands of hypervectors; materializing
+/// them to take an n-ary majority would be wasteful.  `BundleAccumulator`
+/// keeps one signed counter per dimension (+1 for a set bit, -1 for a clear
+/// bit) and thresholds at zero on `finalize()`, which is exactly the
+/// element-wise majority of everything added.  It also supports weighted and
+/// negative updates (used by the adaptive-classifier extension) and signed
+/// projections (used by the non-quantized regression variant).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc {
+
+/// Signed per-dimension bundle counters.
+class BundleAccumulator {
+ public:
+  /// Zero-initialized accumulator for \p dimension-bit hypervectors.
+  /// \throws std::invalid_argument if dimension == 0.
+  explicit BundleAccumulator(std::size_t dimension);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+
+  /// Number of (unweighted) add() calls so far.  Weighted updates count by
+  /// their |weight|.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Adds one hypervector: counter += bit ? +1 : -1 per dimension.
+  /// \throws std::invalid_argument on dimension mismatch.
+  void add(const Hypervector& hv);
+
+  /// Subtracts one hypervector (inverse of add); counters may go negative.
+  /// \throws std::invalid_argument on dimension mismatch.
+  void subtract(const Hypervector& hv);
+
+  /// Adds with an integer weight (negative weights subtract).
+  /// \throws std::invalid_argument on dimension mismatch or weight == 0.
+  void add_weighted(const Hypervector& hv, std::int32_t weight);
+
+  /// Read-only view of the signed counters.
+  [[nodiscard]] std::span<const std::int32_t> counters() const noexcept {
+    return counters_;
+  }
+
+  /// Majority threshold: bit = counter > 0; exact zero ties take the
+  /// corresponding bit of a hypervector freshly drawn from \p tie_rng.
+  [[nodiscard]] Hypervector finalize(Rng& tie_rng) const;
+
+  /// Majority threshold with a caller-supplied tie-break hypervector, for
+  /// deterministic pipelines that reuse one tie vector.
+  /// \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Hypervector finalize(const Hypervector& tie_breaker) const;
+
+  /// Signed projection <counters, ±1(hv)>: sum over dimensions of
+  /// counter * (bit ? +1 : -1).  This is (up to scale) the dot-product
+  /// similarity between the un-quantized bundle and \p hv; larger means more
+  /// similar.  \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::int64_t signed_projection(const Hypervector& hv) const;
+
+  /// Resets all counters to zero.
+  void clear() noexcept;
+
+ private:
+  std::size_t dimension_;
+  std::size_t count_ = 0;
+  std::vector<std::int32_t> counters_;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_ACCUMULATOR_HPP

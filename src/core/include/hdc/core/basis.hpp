@@ -1,0 +1,105 @@
+#ifndef HDC_CORE_BASIS_HPP
+#define HDC_CORE_BASIS_HPP
+
+/// \file basis.hpp
+/// \brief Basis-hypervector sets: the common container and provenance info.
+///
+/// Basis-hypervectors (Section 3) are stochastically created sets used to
+/// encode the smallest units of meaningful information.  The library provides
+/// four families, each with its own factory:
+///   * random   — i.i.d. uniform, quasi-orthogonal (basis_random.hpp)
+///   * level    — linearly correlated, for real intervals (basis_level.hpp)
+///   * circular — circularly correlated, for angles (basis_circular.hpp)
+///   * scatter  — nonlinear random-walk codes (scatter_code.hpp)
+///
+/// A `Basis` is an immutable, value-semantic set of equal-dimension
+/// hypervectors plus a `BasisInfo` provenance record (kind, generation
+/// method, r-hyperparameter, seed) that serialization and the experiment
+/// logs rely on.
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc {
+
+/// The family a basis set belongs to.
+enum class BasisKind : std::uint8_t {
+  Random = 0,
+  Level = 1,
+  Circular = 2,
+  Scatter = 3,
+};
+
+/// How level sets (and the phase-1 levels of circular sets) are generated.
+enum class LevelMethod : std::uint8_t {
+  /// Paper Section 4 prior art: monotone flipping of d/2/(m-1) distinct bits
+  /// per step; pairwise distances are (nearly) deterministic and the
+  /// endpoints are exactly orthogonal.
+  ExactFlip = 0,
+  /// Paper Section 4.3 contribution (Algorithm 1): random interpolation
+  /// filters; E[delta(L_i, L_j)] = (j - i) / (2 (m - 1)) with the relaxed
+  /// "quasi" distances that carry more information content.
+  Interpolation = 1,
+};
+
+/// Human-readable names, for table output and error messages.
+[[nodiscard]] const char* to_string(BasisKind kind) noexcept;
+[[nodiscard]] const char* to_string(LevelMethod method) noexcept;
+
+/// Provenance of a basis set.
+struct BasisInfo {
+  BasisKind kind = BasisKind::Random;
+  LevelMethod method = LevelMethod::Interpolation;  ///< Level/Circular only.
+  std::size_t dimension = default_dimension;
+  std::size_t size = 0;   ///< Number of hypervectors m.
+  double r = 0.0;         ///< Correlation-relaxation hyperparameter (Sec. 5.2).
+  std::uint64_t seed = 0; ///< Seed the set was generated from.
+};
+
+/// An immutable set of m equal-dimension hypervectors with provenance.
+class Basis {
+ public:
+  /// Takes ownership of \p vectors; validates they are non-empty, of equal
+  /// dimension, and consistent with \p info.
+  /// \throws std::invalid_argument on any inconsistency.
+  Basis(BasisInfo info, std::vector<Hypervector> vectors);
+
+  [[nodiscard]] const BasisInfo& info() const noexcept { return info_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vectors_.size(); }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return info_.dimension;
+  }
+
+  /// Unchecked element access (0-based).
+  [[nodiscard]] const Hypervector& operator[](std::size_t i) const noexcept {
+    return vectors_[i];
+  }
+
+  /// Checked element access. \throws std::invalid_argument if out of range.
+  [[nodiscard]] const Hypervector& at(std::size_t i) const;
+
+  [[nodiscard]] auto begin() const noexcept { return vectors_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return vectors_.end(); }
+
+  /// Index of the basis vector nearest (in normalized Hamming distance) to
+  /// \p query; the "cleanup" step of decoding.
+  /// \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::size_t nearest(const Hypervector& query) const;
+
+  /// Full m x m matrix of pairwise normalized distances delta(B_i, B_j);
+  /// used by the Figure 3 reproduction and the property tests.
+  [[nodiscard]] std::vector<std::vector<double>> pairwise_distances() const;
+
+  /// Full m x m matrix of pairwise similarities 1 - delta.
+  [[nodiscard]] std::vector<std::vector<double>> pairwise_similarities() const;
+
+ private:
+  BasisInfo info_;
+  std::vector<Hypervector> vectors_;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_BASIS_HPP

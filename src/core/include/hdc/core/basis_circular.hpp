@@ -1,0 +1,87 @@
+#ifndef HDC_CORE_BASIS_CIRCULAR_HPP
+#define HDC_CORE_BASIS_CIRCULAR_HPP
+
+/// \file basis_circular.hpp
+/// \brief Circular basis-hypervectors for angular data (Section 5) —
+///        the paper's main contribution.
+///
+/// A circular set C = {C_1, ..., C_m} maps m equidistant points on the circle
+/// to hypervectors whose pairwise distance grows with the angular separation
+/// and is maximal (quasi-orthogonal, delta ≈ 1/2) between antipodal points —
+/// unlike level sets, which tear the circle apart at the interval endpoints.
+///
+/// Construction (Section 5.1, Figure 5), two phases:
+///   phase 1: the first half-circle C_1..C_{m/2+1} is a level set (built with
+///            Algorithm 1, optionally relaxed by the r-hyperparameter);
+///   phase 2: the second half applies the phase-1 transitions
+///            T_i = C_i XOR C_{i+1} in order: C_i = C_{i-1} XOR T_{i-m/2-1}.
+/// Because binding is self-inverse, walking the second half undoes the
+/// first-half flips one transition at a time, closing the circle.
+///
+/// Realized distance profile: E[delta(C_i, C_j)] = arc(i, j) / m where
+/// arc(i, j) = min(|i-j|, m-|i-j|) — triangular in the angular separation
+/// (see DESIGN.md section 3 for the relation to the paper's rho statement).
+///
+/// Odd cardinalities follow the paper's footnote: a set of size m (odd) is
+/// the subset {C_1, C_3, ..., C_{2m-1}} of a generated set of size 2m.
+
+#include <cstdint>
+
+#include "hdc/core/basis.hpp"
+
+namespace hdc {
+
+/// Distance profile of a circular set, as a function of the angular
+/// separation theta between two elements.
+enum class CircularProfile : std::uint8_t {
+  /// E[delta] = theta_arc / (2*pi) * 2 capped at 1/2 — linear in the
+  /// separation (what the Section 5.1 construction with evenly spaced
+  /// phase-1 thresholds realizes; also torchhd's behaviour).
+  Triangular = 0,
+  /// E[delta(C_ref, C_i)] = rho(theta)/2 = (1 - cos theta)/4 — the profile
+  /// the paper's Section 5.1 equation states, realized here by cosine-spaced
+  /// phase-1 thresholds (extension; see DESIGN.md).  Only distances to the
+  /// phase anchors follow rho exactly; general pairs follow
+  /// |cos(theta_i) - cos(theta_j)|/4 within a half-circle and
+  /// 1/2 - |cos(theta_i) + cos(theta_j)|/4 across halves (see
+  /// circular_cosine_target_distance).
+  Cosine = 1,
+};
+
+/// Configuration for `make_circular_basis`.
+struct CircularBasisConfig {
+  std::size_t dimension = default_dimension;  ///< d, must be > 0.
+  std::size_t size = 0;                       ///< m, must be >= 2 (odd OK).
+  /// Section 5.2 correlation-relaxation hyperparameter in [0, 1]; applies to
+  /// the phase-1 level construction only, exactly as the paper specifies.
+  /// Only supported by the Triangular profile.
+  double r = 0.0;
+  /// Distance profile (see CircularProfile).
+  CircularProfile profile = CircularProfile::Triangular;
+  std::uint64_t seed = 1;
+};
+
+/// Creates a circular-hypervector set.
+/// \throws std::invalid_argument on invalid configuration.
+[[nodiscard]] Basis make_circular_basis(const CircularBasisConfig& config);
+
+/// The triangular target expected distance between circular elements i and j
+/// (0-based) in a set of size m: arc(i, j) / m, capped at 1/2 at the
+/// antipode.  Exposed for tests and the Figure 6 bench.
+/// \throws std::invalid_argument if indices are out of range or m < 2.
+[[nodiscard]] double circular_target_distance(std::size_t i, std::size_t j,
+                                              std::size_t m);
+
+/// The cosine-profile target expected distance between elements i and j
+/// (0-based) of a CircularProfile::Cosine set of size m: with c_x denoting
+/// cos(2*pi*x/m), the law is |c_i - c_j|/4 when both elements lie in the
+/// same half-circle and 1/2 - |c_i + c_j|/4 across halves; both branches
+/// reduce to rho/2 when either index is a phase anchor (0 or m/2).
+/// \throws std::invalid_argument if indices are out of range or m < 2.
+[[nodiscard]] double circular_cosine_target_distance(std::size_t i,
+                                                     std::size_t j,
+                                                     std::size_t m);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_BASIS_CIRCULAR_HPP

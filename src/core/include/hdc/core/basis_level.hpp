@@ -1,0 +1,78 @@
+#ifndef HDC_CORE_BASIS_LEVEL_HPP
+#define HDC_CORE_BASIS_LEVEL_HPP
+
+/// \file basis_level.hpp
+/// \brief Level basis-hypervectors for linearly correlated data (Section 4).
+///
+/// Two generation methods are provided:
+///
+/// * `LevelMethod::ExactFlip` — the prior-art construction (Rahimi et al.
+///   2016; Widdows & Cohen 2015): start from a random L_1 and flip
+///   d/2/(m-1) fresh bits per step, never unflipping.  Pairwise distances
+///   are then essentially deterministic and L_1 ⟂ L_m exactly.
+///
+/// * `LevelMethod::Interpolation` — the paper's contribution (Algorithm 1):
+///   draw random endpoints L_1, L_m and a uniform filter Phi in [0,1]^d;
+///   level l takes bit ∂ from L_1 when Phi(∂) < tau_l = (m-l)/(m-1) and from
+///   L_m otherwise.  Proposition 4.1: E[delta(L_i, L_j)] = (j-i)/(2(m-1)),
+///   relaxing the distances to "quasi" and increasing information content.
+///
+/// The interpolation method additionally supports the Section 5.2
+/// r-hyperparameter: the set becomes a concatenation of independent level
+/// segments with n = r + (1-r)(m-1) transitions each, interpolating between
+/// fully correlated (r = 0) and fully random (r = 1) sets.
+
+#include <cstdint>
+#include <span>
+
+#include "hdc/core/basis.hpp"
+
+namespace hdc {
+
+/// Configuration for `make_level_basis`.
+struct LevelBasisConfig {
+  std::size_t dimension = default_dimension;  ///< d, must be > 0.
+  std::size_t size = 0;                       ///< m, must be >= 2.
+  LevelMethod method = LevelMethod::Interpolation;
+  /// Section 5.2 correlation-relaxation hyperparameter in [0, 1]; only valid
+  /// with `LevelMethod::Interpolation` (ExactFlip requires r == 0).
+  double r = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Creates a level-hypervector set per the chosen method.
+/// \throws std::invalid_argument on invalid configuration.
+[[nodiscard]] Basis make_level_basis(const LevelBasisConfig& config);
+
+/// The paper's target expected distance between levels i and j (1-based),
+/// Delta_{i,j} = |j - i| / (2 (m - 1)).  Exposed for tests and docs.
+/// \throws std::invalid_argument if m < 2 or an index is out of [1, m].
+[[nodiscard]] double level_target_distance(std::size_t i, std::size_t j,
+                                           std::size_t m);
+
+namespace detail {
+
+/// Builds `count` hypervectors interpolating between anchors that are
+/// `transitions_per_segment` levels apart (the Section 5.2 concatenation);
+/// shared by the level and circular factories.  `transitions_per_segment` is
+/// n = r + (1-r)(m_ref - 1), where m_ref is the size used in the r formula
+/// (the full set for levels; see basis_circular.cpp for the phase-1 use).
+[[nodiscard]] std::vector<Hypervector> make_interpolated_levels(
+    std::size_t dimension, std::size_t count, double transitions_per_segment,
+    std::uint64_t seed);
+
+/// Single-segment Algorithm-1 interpolation with *explicit* thresholds:
+/// level l takes bit ∂ from the first anchor when Phi(∂) < taus[l] and from
+/// the second anchor otherwise, so E[delta(L_0, L_l)] = (1 - taus[l]) / 2.
+/// Thresholds must be non-increasing and within [0, 1]; taus.front() == 1
+/// yields the first anchor exactly and taus.back() == 0 the second.  Used by
+/// the cosine-profile circular construction.
+/// \throws std::invalid_argument on invalid thresholds.
+[[nodiscard]] std::vector<Hypervector> make_threshold_levels(
+    std::size_t dimension, std::span<const double> taus, std::uint64_t seed);
+
+}  // namespace detail
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_BASIS_LEVEL_HPP

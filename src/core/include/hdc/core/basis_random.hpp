@@ -1,0 +1,32 @@
+#ifndef HDC_CORE_BASIS_RANDOM_HPP
+#define HDC_CORE_BASIS_RANDOM_HPP
+
+/// \file basis_random.hpp
+/// \brief Random basis-hypervectors (Section 3.1).
+///
+/// Each vector is sampled uniformly and independently from H = {0, 1}^d, so
+/// any two of them are quasi-orthogonal with overwhelming probability
+/// (E[delta] = 1/2, sd ≈ 1/(2 sqrt(d))).  This is the basis for symbolic /
+/// categorical data and the maximum-information-content reference point of
+/// the paper's trade-off analysis (Section 4.1).
+
+#include <cstdint>
+
+#include "hdc/core/basis.hpp"
+
+namespace hdc {
+
+/// Configuration for `make_random_basis`.
+struct RandomBasisConfig {
+  std::size_t dimension = default_dimension;  ///< d, must be > 0.
+  std::size_t size = 0;                       ///< m, must be > 0.
+  std::uint64_t seed = 1;                     ///< Generation seed.
+};
+
+/// Creates m i.i.d. uniform hypervectors.
+/// \throws std::invalid_argument on invalid configuration.
+[[nodiscard]] Basis make_random_basis(const RandomBasisConfig& config);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_BASIS_RANDOM_HPP

@@ -1,0 +1,107 @@
+#ifndef HDC_CORE_BITOPS_HPP
+#define HDC_CORE_BITOPS_HPP
+
+/// \file bitops.hpp
+/// \brief Word-level primitives for bit-packed binary hypervectors.
+///
+/// Hypervectors are stored little-endian in 64-bit words: bit i of the vector
+/// is bit (i % 64) of word (i / 64).  A dimension d that is not a multiple of
+/// 64 leaves unused high bits in the last word; every routine here preserves
+/// the invariant that those tail bits are zero, so popcount-based distances
+/// and equality work on whole words.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hdc::bits {
+
+/// Number of bits per storage word.
+inline constexpr std::size_t word_bits = 64;
+
+/// Number of words needed to store \p bit_count bits.
+[[nodiscard]] constexpr std::size_t words_for(std::size_t bit_count) noexcept {
+  return (bit_count + word_bits - 1) / word_bits;
+}
+
+/// Mask selecting the valid bits of the last word of a \p bit_count-bit
+/// vector.  All-ones when bit_count is a multiple of 64 (and for 0).
+[[nodiscard]] constexpr std::uint64_t tail_mask(std::size_t bit_count) noexcept {
+  const std::size_t rem = bit_count % word_bits;
+  return rem == 0 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+}
+
+/// Population count over a word span.
+[[nodiscard]] inline std::size_t count_ones(
+    std::span<const std::uint64_t> words) noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+/// Hamming distance (bit count of XOR) between two equal-length word spans.
+/// \pre a.size() == b.size().
+[[nodiscard]] inline std::size_t hamming(std::span<const std::uint64_t> a,
+                                         std::span<const std::uint64_t> b) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+/// dst ^= src, element-wise. \pre dst.size() == src.size().
+inline void xor_into(std::span<std::uint64_t> dst,
+                     std::span<const std::uint64_t> src) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+/// Reads bit \p index. \pre index < 64 * words.size().
+[[nodiscard]] inline bool get_bit(std::span<const std::uint64_t> words,
+                                  std::size_t index) noexcept {
+  return ((words[index / word_bits] >> (index % word_bits)) & 1U) != 0;
+}
+
+/// Writes bit \p index. \pre index < 64 * words.size().
+inline void set_bit(std::span<std::uint64_t> words, std::size_t index,
+                    bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << (index % word_bits);
+  if (value) {
+    words[index / word_bits] |= mask;
+  } else {
+    words[index / word_bits] &= ~mask;
+  }
+}
+
+/// Toggles bit \p index. \pre index < 64 * words.size().
+inline void flip_bit(std::span<std::uint64_t> words, std::size_t index) noexcept {
+  words[index / word_bits] ^= std::uint64_t{1} << (index % word_bits);
+}
+
+/// Logical left shift of a \p bit_count-bit vector by \p shift bits
+/// (bit i of out = bit i - shift of in; vacated low bits are zero).
+/// Handles shift >= bit_count by producing all zeros.  Tail bits of the
+/// output are masked.  \pre in.size() == out.size() == words_for(bit_count),
+/// and in/out must not alias.
+void shift_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                std::size_t bit_count, std::size_t shift) noexcept;
+
+/// Logical right shift (bit i of out = bit i + shift of in).  Same contract
+/// as shift_left.
+void shift_right(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                 std::size_t bit_count, std::size_t shift) noexcept;
+
+/// Cyclic left rotation of a \p bit_count-bit vector by \p shift bits
+/// (bit i of out = bit (i - shift) mod bit_count of in).  \p shift is reduced
+/// modulo bit_count.  \pre same as shift_left.
+void rotate_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
+                 std::size_t bit_count, std::size_t shift) noexcept;
+
+}  // namespace hdc::bits
+
+#endif  // HDC_CORE_BITOPS_HPP

@@ -1,0 +1,97 @@
+#ifndef HDC_CORE_CLASSIFIER_HPP
+#define HDC_CORE_CLASSIFIER_HPP
+
+/// \file classifier.hpp
+/// \brief The standard HDC classification framework (Section 2.2, Figure 2).
+///
+/// Training bundles the encoded samples of each class i into a class-vector
+/// M_i (the class "prototype"); inference returns the class whose vector is
+/// nearest (argmin of the normalized Hamming distance) to the encoded query.
+///
+/// Beyond the paper's single-pass trainer, `adapt()` implements the common
+/// mistake-driven refinement (add the sample to the true class accumulator,
+/// subtract it from the wrongly predicted one) as a documented extension.
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc {
+
+/// Centroid (class-vector) classifier.
+class CentroidClassifier {
+ public:
+  /// \throws std::invalid_argument if num_classes == 0 or dimension == 0.
+  CentroidClassifier(std::size_t num_classes, std::size_t dimension,
+                     std::uint64_t seed);
+
+  /// Restores an inference-only model from finalized class-vectors (the
+  /// serialization path).  The returned model predicts immediately; training
+  /// updates (add_sample/adapt) throw std::logic_error because the integer
+  /// accumulators are not part of the serialized state.
+  /// \throws std::invalid_argument if vectors is empty or dimensions differ.
+  [[nodiscard]] static CentroidClassifier from_class_vectors(
+      std::vector<Hypervector> vectors);
+
+  /// True for models restored by from_class_vectors().
+  [[nodiscard]] bool inference_only() const noexcept { return inference_only_; }
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return accumulators_.size();
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+
+  /// Accumulates one encoded training sample into class \p label.
+  /// \throws std::invalid_argument on bad label or dimension mismatch.
+  void add_sample(std::size_t label, const Hypervector& encoded);
+
+  /// Thresholds all accumulators into class-vectors.  Must be called after
+  /// training (and after any adapt() pass) before predict().
+  void finalize();
+
+  /// True once finalize() has been called and no update invalidated it.
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// argmin_i delta(query, M_i).
+  /// \throws std::logic_error if the model is not finalized.
+  /// \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::size_t predict(const Hypervector& query) const;
+
+  /// Similarity (1 - delta) between the query and one class-vector.
+  /// \throws std::logic_error / std::invalid_argument as for predict().
+  [[nodiscard]] double class_similarity(std::size_t label,
+                                        const Hypervector& query) const;
+
+  /// Similarities to every class-vector, index == label.
+  [[nodiscard]] std::vector<double> similarities(const Hypervector& query) const;
+
+  /// Extension: one mistake-driven update.  Predicts \p encoded with the
+  /// current class-vectors; on a miss, adds the sample to the true class and
+  /// subtracts it from the predicted class, then refreshes the two affected
+  /// class-vectors.  Returns the (pre-update) prediction.
+  /// \throws std::logic_error if the model is not finalized.
+  std::size_t adapt(std::size_t label, const Hypervector& encoded);
+
+  /// The finalized class-vector M_label.
+  /// \throws std::logic_error / std::invalid_argument as for predict().
+  [[nodiscard]] const Hypervector& class_vector(std::size_t label) const;
+
+  /// Number of training samples accumulated into a class so far.
+  [[nodiscard]] std::size_t class_count(std::size_t label) const;
+
+ private:
+  void require_finalized(const char* where) const;
+
+  std::size_t dimension_;
+  std::vector<BundleAccumulator> accumulators_;
+  std::vector<Hypervector> class_vectors_;
+  Hypervector tie_breaker_;
+  bool finalized_ = false;
+  bool inference_only_ = false;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_CLASSIFIER_HPP

@@ -1,0 +1,94 @@
+#ifndef HDC_CORE_HYPERVECTOR_HPP
+#define HDC_CORE_HYPERVECTOR_HPP
+
+/// \file hypervector.hpp
+/// \brief The binary hypervector value type, H = {0, 1}^d.
+///
+/// The paper (Section 2) represents information as ~10,000-bit words whose
+/// bits are i.i.d.  `Hypervector` is a bit-packed, value-semantic
+/// implementation supporting any runtime dimension d >= 1; all arithmetic on
+/// it lives in ops.hpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/bitops.hpp"
+
+namespace hdc {
+
+/// Default hyperspace dimensionality used throughout the paper.
+inline constexpr std::size_t default_dimension = 10'000;
+
+/// A d-dimensional binary hypervector.
+///
+/// Invariant: storage bits at positions >= dimension() are always zero, so
+/// whole-word popcounts and equality are exact.
+class Hypervector {
+ public:
+  /// Empty hypervector of dimension 0 (useful as a "moved-from"-like state).
+  Hypervector() = default;
+
+  /// All-zeros hypervector of the given dimension.
+  /// \throws std::invalid_argument if dimension == 0.
+  explicit Hypervector(std::size_t dimension);
+
+  /// Uniformly random hypervector: each bit i.i.d. Bernoulli(1/2).
+  /// This is the sampling primitive behind random basis-hypervectors.
+  /// \throws std::invalid_argument if dimension == 0.
+  [[nodiscard]] static Hypervector random(std::size_t dimension, Rng& rng);
+
+  /// Builds a hypervector from explicit bits (bits.size() is the dimension).
+  /// \throws std::invalid_argument if bits is empty.
+  [[nodiscard]] static Hypervector from_bits(std::span<const bool> bits);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] bool empty() const noexcept { return dimension_ == 0; }
+
+  /// Reads bit \p index. \throws std::invalid_argument if out of range.
+  [[nodiscard]] bool bit(std::size_t index) const;
+
+  /// Writes bit \p index. \throws std::invalid_argument if out of range.
+  void set_bit(std::size_t index, bool value);
+
+  /// Toggles bit \p index. \throws std::invalid_argument if out of range.
+  void flip_bit(std::size_t index);
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count_ones() const noexcept {
+    return bits::count_ones(words_);
+  }
+
+  /// Read-only view of the packed words (little-endian bit order).
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Mutable view of the packed words.  Callers that write through this view
+  /// must keep tail bits zero (see mask_tail()).
+  [[nodiscard]] std::span<std::uint64_t> words() noexcept { return words_; }
+
+  /// Re-establishes the tail-bits-are-zero invariant after raw word writes.
+  void mask_tail() noexcept;
+
+  /// In-place XOR (binding). \throws std::invalid_argument on dimension
+  /// mismatch.
+  Hypervector& operator^=(const Hypervector& other);
+
+  [[nodiscard]] bool operator==(const Hypervector& other) const noexcept = default;
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Binding of two hypervectors (element-wise XOR); the result is dissimilar
+/// to both operands and binding is its own inverse: A ^ (A ^ B) == B.
+/// \throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] Hypervector operator^(const Hypervector& a, const Hypervector& b);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_HYPERVECTOR_HPP

@@ -1,0 +1,73 @@
+#ifndef HDC_CORE_MULTISCALE_ENCODER_HPP
+#define HDC_CORE_MULTISCALE_ENCODER_HPP
+
+/// \file multiscale_encoder.hpp
+/// \brief Extension: multi-resolution circular encoding.
+///
+/// A single circular basis has a triangular similarity kernel whose support
+/// spans the entire ring — similarity only reaches zero at the antipode, so
+/// a bundled regression model smooths over half the circle (see the Table 2
+/// analysis in EXPERIMENTS.md).  Binding encodings of the *same* value at
+/// several resolutions multiplies their correlation kernels
+/// (corr(a ⊗ b, a' ⊗ b') = corr(a, a') * corr(b, b') for independent pairs),
+/// which sharpens the kernel while preserving the wrap topology.  This is a
+/// natural extension of the paper's circular-hypervectors; the
+/// `ablation_multiscale` bench quantifies the effect on both regression
+/// tasks.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+
+namespace hdc {
+
+/// Encodes a periodic value as the binding of circular encodings at several
+/// grid resolutions.  The public grid (index_of/value_of/decode) is the
+/// finest of the configured scales.
+///
+/// Not thread-safe: encoded vectors are cached lazily per grid index.
+class MultiScaleCircularEncoder final : public ScalarEncoder {
+ public:
+  /// Configuration.
+  struct Config {
+    std::size_t dimension = default_dimension;
+    /// Ring sizes of the bound scales, e.g. {16, 64}; at least one, each
+    /// >= 2.  The largest becomes the public grid.
+    std::vector<std::size_t> scales;
+    double period = 1.0;  ///< Domain period, must be > 0.
+    std::uint64_t seed = 1;
+  };
+
+  /// \throws std::invalid_argument on an invalid configuration.
+  explicit MultiScaleCircularEncoder(const Config& config);
+
+  [[nodiscard]] const Hypervector& encode(double value) const override;
+  [[nodiscard]] std::size_t index_of(double value) const override;
+  [[nodiscard]] double value_of(std::size_t index) const override;
+  [[nodiscard]] double decode(const Hypervector& query) const override;
+
+  /// The finest-scale basis (defines the public grid).
+  [[nodiscard]] const Basis& basis() const noexcept override {
+    return bases_.back();
+  }
+
+  [[nodiscard]] double period() const noexcept { return period_; }
+  [[nodiscard]] std::size_t num_scales() const noexcept {
+    return bases_.size();
+  }
+
+ private:
+  [[nodiscard]] const Hypervector& combined(std::size_t index) const;
+
+  std::vector<Basis> bases_;  ///< Sorted coarse -> fine.
+  double period_;
+  /// Lazily materialized bound vectors, one per finest-grid index.
+  mutable std::vector<std::optional<Hypervector>> cache_;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_MULTISCALE_ENCODER_HPP

@@ -1,0 +1,73 @@
+#ifndef HDC_CORE_OPS_HPP
+#define HDC_CORE_OPS_HPP
+
+/// \file ops.hpp
+/// \brief The three HDC operations (Section 2.1) and similarity measures.
+///
+/// * binding   — element-wise XOR; associates information, self-inverse.
+/// * bundling  — element-wise majority; represents sets, output similar to
+///               its operands (see also accumulator.hpp for streaming use).
+/// * permuting — cyclic shift; encodes order, invertible.
+///
+/// Distances use the normalized Hamming distance delta in [0, 1]; similarity
+/// is 1 - delta, exactly as defined in the paper.
+
+#include <cstddef>
+#include <span>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc {
+
+/// Binding: associates two hypervectors. Commutative, self-inverse,
+/// distributes over bundling.  Equivalent to operator^.
+/// \throws std::invalid_argument on dimension mismatch.
+[[nodiscard]] Hypervector bind(const Hypervector& a, const Hypervector& b);
+
+/// Permutation Pi^shift: cyclic left shift of the elements by \p shift
+/// coordinates.  permute(permute(x, s), dimension - s) == x.
+/// \throws std::invalid_argument if the input is empty.
+[[nodiscard]] Hypervector permute(const Hypervector& input, std::size_t shift);
+
+/// Inverse permutation: permute_inverse(permute(x, s), s) == x.
+[[nodiscard]] Hypervector permute_inverse(const Hypervector& input,
+                                          std::size_t shift);
+
+/// Hamming distance in bits.
+/// \throws std::invalid_argument on dimension mismatch or empty inputs.
+[[nodiscard]] std::size_t hamming_distance(const Hypervector& a,
+                                           const Hypervector& b);
+
+/// Normalized Hamming distance delta in [0, 1].
+/// \throws std::invalid_argument on dimension mismatch or empty inputs.
+[[nodiscard]] double normalized_distance(const Hypervector& a,
+                                         const Hypervector& b);
+
+/// Similarity 1 - delta in [0, 1].
+[[nodiscard]] double similarity(const Hypervector& a, const Hypervector& b);
+
+/// Exact n-ary majority bundling of a set of hypervectors.  A result bit is 1
+/// iff more than half of the inputs have a 1 there; exact ties (possible only
+/// for an even number of inputs) are broken by the corresponding bit of a
+/// random tie-break hypervector drawn from \p tie_rng.  This matches the
+/// majority-gate semantics of Figure 1.
+/// \throws std::invalid_argument if the span is empty or dimensions mismatch.
+[[nodiscard]] Hypervector majority(std::span<const Hypervector> inputs,
+                                   Rng& tie_rng);
+
+/// Flips \p count distinct, uniformly chosen bit positions of \p input.
+/// Used by the classic ("exact flip") level-hypervector construction.
+/// \throws std::invalid_argument if count > dimension.
+[[nodiscard]] Hypervector flip_random_bits(const Hypervector& input,
+                                           std::size_t count, Rng& rng);
+
+/// Performs \p steps random-walk steps: each step flips one uniformly chosen
+/// position, *with* replacement across steps.  This is the Section 4.2
+/// bit-flipping walk used by scatter codes.
+[[nodiscard]] Hypervector random_walk_flips(const Hypervector& input,
+                                            std::size_t steps, Rng& rng);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_OPS_HPP

@@ -1,0 +1,76 @@
+#ifndef HDC_CORE_REGRESSOR_HPP
+#define HDC_CORE_REGRESSOR_HPP
+
+/// \file regressor.hpp
+/// \brief The HDC regression framework (Section 2.3).
+///
+/// Training memorizes samples in a single hypervector
+///   M = ⊕_i phi(x_i) ⊗ phi_l(y_i),
+/// where phi_l is an *invertible* label encoder over a level basis.
+/// Inference exploits the self-inverse binding:  M ⊗ phi(x̂) ≈ phi_l(y), so
+/// the predicted label is the decoded nearest label-basis vector.
+///
+/// Two inference paths are provided:
+///  * `predict()` — the paper-faithful path: M is the majority-quantized
+///    binary model;
+///  * `predict_integer()` — extension: skips quantization and scores each
+///    label vector by the signed projection of the integer accumulator,
+///    which preserves per-sample magnitudes.
+
+#include <cstdint>
+
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+
+namespace hdc {
+
+/// Single-hypervector HDC regressor.
+class HDRegressor {
+ public:
+  /// \param labels  Invertible label encoder phi_l (shared, non-null).
+  /// \throws std::invalid_argument if labels is null.
+  HDRegressor(ScalarEncoderPtr labels, std::uint64_t seed);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return accumulator_.dimension();
+  }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return accumulator_.count();
+  }
+  [[nodiscard]] const ScalarEncoder& labels() const noexcept { return *labels_; }
+
+  /// Accumulates one training pair (phi(x) given encoded, label y).
+  /// \throws std::invalid_argument on dimension mismatch.
+  void add_sample(const Hypervector& encoded_input, double label);
+
+  /// Quantizes the accumulated model.  Must be called before predict().
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Paper-faithful prediction: decode(M ⊗ phi(x̂)) via the label basis.
+  /// \throws std::logic_error if not finalized; std::invalid_argument on
+  /// dimension mismatch.
+  [[nodiscard]] double predict(const Hypervector& encoded_input) const;
+
+  /// Extension: integer-accumulator prediction.  For each label vector L_l,
+  /// scores the signed projection of the accumulator onto phi(x̂) ⊗ L_l and
+  /// returns the value of the best-scoring label.  Does not require
+  /// finalize().  \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] double predict_integer(const Hypervector& encoded_input) const;
+
+  /// The quantized model hypervector M.
+  /// \throws std::logic_error if not finalized.
+  [[nodiscard]] const Hypervector& model() const;
+
+ private:
+  ScalarEncoderPtr labels_;
+  BundleAccumulator accumulator_;
+  Hypervector model_;
+  Hypervector tie_breaker_;
+  bool finalized_ = false;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_REGRESSOR_HPP

@@ -1,0 +1,56 @@
+#ifndef HDC_CORE_SCATTER_CODE_HPP
+#define HDC_CORE_SCATTER_CODE_HPP
+
+/// \file scatter_code.hpp
+/// \brief Scatter codes: random-walk level sets (Section 4.2, Smith &
+///        Stanford 1990).
+///
+/// The paper's Section 4.2 analyses an "intuitive idea" before presenting
+/// Algorithm 1: obtain L_{i+1} from L_i by flipping bits *with replacement*
+/// (a random walk in Hamming space), choosing the number of steps so the
+/// expected distance matches a target.  The expected steps-to-target is the
+/// absorption time of the Figure 4 Markov chain (see
+/// hdc/stats/markov_absorption.hpp).  The resulting sets — scatter codes —
+/// map the input space *nonlinearly* to hyperspace similarity: the distance
+/// to L_1 saturates exponentially instead of growing linearly.
+///
+/// This module ships a working generator for completeness and for the
+/// Figure 4 bench; the learning experiments use the linear Algorithm 1 sets.
+
+#include <cstdint>
+
+#include "hdc/core/basis.hpp"
+
+namespace hdc {
+
+/// Configuration for `make_scatter_basis`.
+struct ScatterBasisConfig {
+  std::size_t dimension = default_dimension;  ///< d, must be > 0.
+  std::size_t size = 0;                       ///< m, must be >= 2.
+  std::uint64_t seed = 1;
+  /// Walk steps between consecutive levels.  0 (default) means "calibrate":
+  /// use the closed-form flip count whose expected distance equals the
+  /// neighbouring-level target Delta_{i,i+1} = 1/(2(m-1)).
+  std::size_t steps_per_level = 0;
+};
+
+/// Creates a scatter-code set by walking `steps_per_level` random single-bit
+/// flips (with replacement) from each level to the next.
+/// \throws std::invalid_argument on invalid configuration.
+[[nodiscard]] Basis make_scatter_basis(const ScatterBasisConfig& config);
+
+/// Expected normalized distance between scatter levels i and j (0-based)
+/// given the per-level step count actually used; saturates at 1/2.
+/// E[delta] = (1 - (1 - 2/d)^{steps * |i-j|}) / 2.
+[[nodiscard]] double scatter_expected_distance(std::size_t dimension,
+                                               std::size_t steps_per_level,
+                                               std::size_t i, std::size_t j);
+
+/// The calibrated per-level step count used when
+/// `ScatterBasisConfig::steps_per_level == 0`.
+[[nodiscard]] std::size_t scatter_calibrated_steps(std::size_t dimension,
+                                                   std::size_t size);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_SCATTER_CODE_HPP

@@ -1,0 +1,72 @@
+#ifndef HDC_CORE_SEQUENCE_ENCODER_HPP
+#define HDC_CORE_SEQUENCE_ENCODER_HPP
+
+/// \file sequence_encoder.hpp
+/// \brief Sequence and n-gram encoders over symbolic data (Section 3.1).
+///
+/// A word w = (a_1, ..., a_n) is encoded as  phi(w) = ⊕_{i=1..n} Pi^i(R(a_i))
+/// — bundle the per-symbol random hypervectors, each permuted by its
+/// position, so the location of every symbol is preserved.  The n-gram
+/// encoder instead *binds* the permuted symbols of each length-n window and
+/// bundles the windows; this is the classic HDC text-classification
+/// encoding (Rahimi et al., 2016).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "hdc/core/item_memory.hpp"
+
+namespace hdc {
+
+/// Position-aware sequence encoder backed by an `ItemMemory`.
+class SequenceEncoder {
+ public:
+  /// \throws std::invalid_argument if dimension == 0.
+  SequenceEncoder(std::size_t dimension, std::uint64_t seed);
+
+  /// Encodes a token sequence as ⊕_i Pi^i(R(token_i)) (1-based shifts, as in
+  /// the paper).  \throws std::invalid_argument if tokens is empty.
+  [[nodiscard]] Hypervector encode(std::span<const std::string_view> tokens);
+
+  /// Convenience: encodes a word character by character.
+  /// \throws std::invalid_argument if word is empty.
+  [[nodiscard]] Hypervector encode_word(std::string_view word);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return items_.dimension();
+  }
+  [[nodiscard]] ItemMemory& items() noexcept { return items_; }
+  [[nodiscard]] const ItemMemory& items() const noexcept { return items_; }
+
+ private:
+  ItemMemory items_;
+  Hypervector tie_breaker_;
+};
+
+/// Bound-n-gram text encoder: phi(text) = ⊕_windows ⊗_{k=0..n-1}
+/// Pi^k(R(text[i+k])).
+class NGramEncoder {
+ public:
+  /// \throws std::invalid_argument if dimension == 0 or n == 0.
+  NGramEncoder(std::size_t dimension, std::size_t n, std::uint64_t seed);
+
+  /// Encodes text; texts shorter than n are encoded as a single partial
+  /// window.  \throws std::invalid_argument if text is empty.
+  [[nodiscard]] Hypervector encode(std::string_view text);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return items_.dimension();
+  }
+
+ private:
+  ItemMemory items_;
+  std::size_t n_;
+  Hypervector tie_breaker_;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_SEQUENCE_ENCODER_HPP

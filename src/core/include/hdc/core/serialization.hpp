@@ -1,0 +1,55 @@
+#ifndef HDC_CORE_SERIALIZATION_HPP
+#define HDC_CORE_SERIALIZATION_HPP
+
+/// \file serialization.hpp
+/// \brief Versioned binary (de)serialization of hypervectors and bases.
+///
+/// Format: little-endian, a 4-byte magic ("HDC\x01"), a record tag, then the
+/// record payload.  Streams that fail the magic, tag, or structural checks
+/// raise `SerializationError`; all reads are bounds-checked so corrupted or
+/// truncated inputs cannot produce invalid objects.
+
+#include <iosfwd>
+#include <stdexcept>
+
+#include "hdc/core/basis.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc {
+
+/// Raised on malformed input streams and I/O failures.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes one hypervector record. \throws SerializationError on I/O failure
+/// or if the hypervector is empty.
+void write_hypervector(std::ostream& out, const Hypervector& hv);
+
+/// Reads one hypervector record. \throws SerializationError on malformed
+/// input.
+[[nodiscard]] Hypervector read_hypervector(std::istream& in);
+
+/// Writes one basis record (provenance info + all vectors).
+/// \throws SerializationError on I/O failure.
+void write_basis(std::ostream& out, const Basis& basis);
+
+/// Reads one basis record. \throws SerializationError on malformed input.
+[[nodiscard]] Basis read_basis(std::istream& in);
+
+/// Writes a finalized classifier as its class-vectors (the inference model
+/// of Section 2.2: M = {M_1, ..., M_k}).
+/// \throws SerializationError if the model is not finalized or on I/O
+/// failure.
+void write_classifier(std::ostream& out, const CentroidClassifier& model);
+
+/// Reads a classifier record; the result is inference-only (training state
+/// is not serialized, and updates on it throw std::logic_error).
+/// \throws SerializationError on malformed input.
+[[nodiscard]] CentroidClassifier read_classifier(std::istream& in);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_SERIALIZATION_HPP

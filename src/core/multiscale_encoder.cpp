@@ -1,0 +1,104 @@
+#include "hdc/core/multiscale_encoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+namespace {
+
+std::vector<Basis> make_scale_bases(
+    const MultiScaleCircularEncoder::Config& config) {
+  require_positive(config.dimension, "MultiScaleCircularEncoder", "dimension");
+  require(!config.scales.empty(), "MultiScaleCircularEncoder",
+          "need at least one scale");
+  require(std::isfinite(config.period) && config.period > 0.0,
+          "MultiScaleCircularEncoder", "period must be positive");
+
+  std::vector<std::size_t> scales = config.scales;
+  std::sort(scales.begin(), scales.end());
+  for (const std::size_t m : scales) {
+    require(m >= 2, "MultiScaleCircularEncoder", "every scale must be >= 2");
+  }
+
+  std::vector<Basis> bases;
+  bases.reserve(scales.size());
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    CircularBasisConfig basis_config;
+    basis_config.dimension = config.dimension;
+    basis_config.size = scales[s];
+    basis_config.seed = derive_seed(config.seed, s);
+    bases.push_back(make_circular_basis(basis_config));
+  }
+  return bases;
+}
+
+}  // namespace
+
+MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
+    : bases_(make_scale_bases(config)), period_(config.period) {
+  cache_.resize(bases_.back().size());
+}
+
+std::size_t MultiScaleCircularEncoder::index_of(double value) const {
+  const auto m = static_cast<double>(bases_.back().size());
+  double wrapped = std::fmod(value, period_);
+  if (wrapped < 0.0) {
+    wrapped += period_;
+  }
+  const auto index =
+      static_cast<std::size_t>(std::llround(wrapped / period_ * m));
+  return index % bases_.back().size();
+}
+
+double MultiScaleCircularEncoder::value_of(std::size_t index) const {
+  require(index < bases_.back().size(),
+          "MultiScaleCircularEncoder::value_of", "index out of range");
+  return static_cast<double>(index) * period_ /
+         static_cast<double>(bases_.back().size());
+}
+
+const Hypervector& MultiScaleCircularEncoder::combined(
+    std::size_t index) const {
+  std::optional<Hypervector>& slot = cache_[index];
+  if (!slot.has_value()) {
+    // Bind the value's encoding across all scales, coarse to fine.  Each
+    // scale quantizes the same representative angle onto its own ring.
+    const double theta = value_of(index);
+    Hypervector bound = bases_.back()[index];
+    for (std::size_t s = 0; s + 1 < bases_.size(); ++s) {
+      const Basis& basis = bases_[s];
+      const auto m = static_cast<double>(basis.size());
+      const auto coarse = static_cast<std::size_t>(
+                              std::llround(theta / period_ * m)) %
+                          basis.size();
+      bound ^= basis[coarse];
+    }
+    slot.emplace(std::move(bound));
+  }
+  return *slot;
+}
+
+const Hypervector& MultiScaleCircularEncoder::encode(double value) const {
+  return combined(index_of(value));
+}
+
+double MultiScaleCircularEncoder::decode(const Hypervector& query) const {
+  require(query.dimension() == bases_.back().dimension(),
+          "MultiScaleCircularEncoder::decode", "query dimension mismatch");
+  std::size_t best_index = 0;
+  std::size_t best_distance = hamming_distance(query, combined(0));
+  for (std::size_t i = 1; i < cache_.size(); ++i) {
+    const std::size_t dist = hamming_distance(query, combined(i));
+    if (dist < best_distance) {
+      best_distance = dist;
+      best_index = i;
+    }
+  }
+  return value_of(best_index);
+}
+
+}  // namespace hdc

@@ -1,0 +1,101 @@
+#include "hdc/core/ops.hpp"
+
+#include <vector>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/accumulator.hpp"
+
+namespace hdc {
+
+Hypervector bind(const Hypervector& a, const Hypervector& b) { return a ^ b; }
+
+Hypervector permute(const Hypervector& input, std::size_t shift) {
+  require(!input.empty(), "permute", "input must be non-empty");
+  Hypervector out(input.dimension());
+  bits::rotate_left(input.words(), out.words(), input.dimension(), shift);
+  return out;
+}
+
+Hypervector permute_inverse(const Hypervector& input, std::size_t shift) {
+  require(!input.empty(), "permute_inverse", "input must be non-empty");
+  const std::size_t d = input.dimension();
+  return permute(input, d - (shift % d));
+}
+
+std::size_t hamming_distance(const Hypervector& a, const Hypervector& b) {
+  require(!a.empty(), "hamming_distance", "inputs must be non-empty");
+  require(a.dimension() == b.dimension(), "hamming_distance",
+          "dimension mismatch");
+  return bits::hamming(a.words(), b.words());
+}
+
+double normalized_distance(const Hypervector& a, const Hypervector& b) {
+  return static_cast<double>(hamming_distance(a, b)) /
+         static_cast<double>(a.dimension());
+}
+
+double similarity(const Hypervector& a, const Hypervector& b) {
+  return 1.0 - normalized_distance(a, b);
+}
+
+Hypervector majority(std::span<const Hypervector> inputs, Rng& tie_rng) {
+  require(!inputs.empty(), "majority", "inputs must be non-empty");
+  BundleAccumulator acc(inputs.front().dimension());
+  for (const Hypervector& hv : inputs) {
+    acc.add(hv);
+  }
+  return acc.finalize(tie_rng);
+}
+
+Hypervector flip_random_bits(const Hypervector& input, std::size_t count,
+                             Rng& rng) {
+  require(!input.empty(), "flip_random_bits", "input must be non-empty");
+  const std::size_t d = input.dimension();
+  require(count <= d, "flip_random_bits", "count must be <= dimension");
+  Hypervector out = input;
+  if (count == 0) {
+    return out;
+  }
+  // Floyd's algorithm samples `count` distinct positions in O(count) expected
+  // time without materializing a d-element permutation.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  // For simplicity and exactness use partial Fisher-Yates over an index pool
+  // when count is large relative to d, otherwise rejection sampling.
+  if (count * 4 >= d) {
+    std::vector<std::size_t> pool(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      pool[i] = i;
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(rng.below(d - i));
+      std::swap(pool[i], pool[j]);
+      out.flip_bit(pool[i]);
+    }
+  } else {
+    std::vector<bool> used(d, false);
+    std::size_t flipped = 0;
+    while (flipped < count) {
+      const auto pos = static_cast<std::size_t>(rng.below(d));
+      if (!used[pos]) {
+        used[pos] = true;
+        out.flip_bit(pos);
+        ++flipped;
+      }
+    }
+  }
+  return out;
+}
+
+Hypervector random_walk_flips(const Hypervector& input, std::size_t steps,
+                              Rng& rng) {
+  require(!input.empty(), "random_walk_flips", "input must be non-empty");
+  Hypervector out = input;
+  const std::size_t d = input.dimension();
+  for (std::size_t s = 0; s < steps; ++s) {
+    out.flip_bit(static_cast<std::size_t>(rng.below(d)));
+  }
+  return out;
+}
+
+}  // namespace hdc

@@ -1,0 +1,73 @@
+#include "hdc/core/regressor.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+namespace {
+
+std::size_t checked_dimension(const ScalarEncoderPtr& labels) {
+  require(labels != nullptr, "HDRegressor", "labels encoder must not be null");
+  return labels->dimension();
+}
+
+}  // namespace
+
+HDRegressor::HDRegressor(ScalarEncoderPtr labels, std::uint64_t seed)
+    : labels_(labels), accumulator_(checked_dimension(labels)) {
+  Rng rng(derive_seed(seed, 0x4E64ULL));
+  tie_breaker_ = Hypervector::random(dimension(), rng);
+}
+
+void HDRegressor::add_sample(const Hypervector& encoded_input, double label) {
+  require(encoded_input.dimension() == dimension(), "HDRegressor::add_sample",
+          "input dimension mismatch");
+  accumulator_.add(encoded_input ^ labels_->encode(label));
+  finalized_ = false;
+}
+
+void HDRegressor::finalize() {
+  model_ = accumulator_.finalize(tie_breaker_);
+  finalized_ = true;
+}
+
+double HDRegressor::predict(const Hypervector& encoded_input) const {
+  if (!finalized_) {
+    throw std::logic_error("HDRegressor::predict: call finalize() first");
+  }
+  require(encoded_input.dimension() == dimension(), "HDRegressor::predict",
+          "input dimension mismatch");
+  // M ⊗ phi(x̂) ≈ phi_l(y); the label encoder's decode() is the cleanup +
+  // inverse mapping.
+  return labels_->decode(model_ ^ encoded_input);
+}
+
+double HDRegressor::predict_integer(const Hypervector& encoded_input) const {
+  require(encoded_input.dimension() == dimension(),
+          "HDRegressor::predict_integer", "input dimension mismatch");
+  const Basis& basis = labels_->basis();
+  std::size_t best_index = 0;
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t l = 0; l < basis.size(); ++l) {
+    const std::int64_t score =
+        accumulator_.signed_projection(encoded_input ^ basis[l]);
+    if (score > best_score) {
+      best_score = score;
+      best_index = l;
+    }
+  }
+  return labels_->value_of(best_index);
+}
+
+const Hypervector& HDRegressor::model() const {
+  if (!finalized_) {
+    throw std::logic_error("HDRegressor::model: call finalize() first");
+  }
+  return model_;
+}
+
+}  // namespace hdc

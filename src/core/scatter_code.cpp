@@ -1,0 +1,55 @@
+#include "hdc/core/scatter_code.hpp"
+
+#include <cmath>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/markov_absorption.hpp"
+
+namespace hdc {
+
+std::size_t scatter_calibrated_steps(std::size_t dimension, std::size_t size) {
+  require_positive(dimension, "scatter_calibrated_steps", "dimension");
+  require(size >= 2, "scatter_calibrated_steps", "size must be >= 2");
+  const double target = 1.0 / (2.0 * static_cast<double>(size - 1));
+  const double flips =
+      stats::flips_for_expected_distance(dimension, target);
+  const auto rounded = static_cast<std::size_t>(std::llround(flips));
+  return rounded > 0 ? rounded : 1;
+}
+
+double scatter_expected_distance(std::size_t dimension,
+                                 std::size_t steps_per_level, std::size_t i,
+                                 std::size_t j) {
+  const std::size_t span = i > j ? i - j : j - i;
+  return stats::expected_distance_after_flips(
+      dimension,
+      static_cast<double>(steps_per_level) * static_cast<double>(span));
+}
+
+Basis make_scatter_basis(const ScatterBasisConfig& config) {
+  require_positive(config.dimension, "make_scatter_basis", "dimension");
+  require(config.size >= 2, "make_scatter_basis", "size must be >= 2");
+
+  const std::size_t steps =
+      config.steps_per_level != 0
+          ? config.steps_per_level
+          : scatter_calibrated_steps(config.dimension, config.size);
+
+  Rng rng(config.seed);
+  std::vector<Hypervector> vectors;
+  vectors.reserve(config.size);
+  vectors.push_back(Hypervector::random(config.dimension, rng));
+  for (std::size_t l = 1; l < config.size; ++l) {
+    vectors.push_back(random_walk_flips(vectors.back(), steps, rng));
+  }
+
+  BasisInfo info;
+  info.kind = BasisKind::Scatter;
+  info.dimension = config.dimension;
+  info.size = config.size;
+  info.seed = config.seed;
+  return Basis(info, std::move(vectors));
+}
+
+}  // namespace hdc

@@ -1,0 +1,64 @@
+#include "hdc/core/sequence_encoder.hpp"
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace hdc {
+
+namespace {
+
+Hypervector make_tie_breaker(std::size_t dimension, std::uint64_t seed) {
+  Rng rng(derive_seed(seed, 0x71EB4EA4ULL));
+  return Hypervector::random(dimension, rng);
+}
+
+}  // namespace
+
+SequenceEncoder::SequenceEncoder(std::size_t dimension, std::uint64_t seed)
+    : items_(dimension, seed),
+      tie_breaker_(make_tie_breaker(dimension, seed)) {}
+
+Hypervector SequenceEncoder::encode(std::span<const std::string_view> tokens) {
+  require(!tokens.empty(), "SequenceEncoder::encode",
+          "token sequence must be non-empty");
+  BundleAccumulator acc(dimension());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    acc.add(permute(items_.get(tokens[i]), i + 1));
+  }
+  return acc.finalize(tie_breaker_);
+}
+
+Hypervector SequenceEncoder::encode_word(std::string_view word) {
+  require(!word.empty(), "SequenceEncoder::encode_word",
+          "word must be non-empty");
+  BundleAccumulator acc(dimension());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    acc.add(permute(items_.get(std::string_view(&word[i], 1)), i + 1));
+  }
+  return acc.finalize(tie_breaker_);
+}
+
+NGramEncoder::NGramEncoder(std::size_t dimension, std::size_t n,
+                           std::uint64_t seed)
+    : items_(dimension, seed), n_(n),
+      tie_breaker_(make_tie_breaker(dimension, seed)) {
+  require_positive(n, "NGramEncoder", "n");
+}
+
+Hypervector NGramEncoder::encode(std::string_view text) {
+  require(!text.empty(), "NGramEncoder::encode", "text must be non-empty");
+  BundleAccumulator acc(dimension());
+  const std::size_t window = std::min(n_, text.size());
+  const std::size_t last_start = text.size() - window;
+  for (std::size_t start = 0; start <= last_start; ++start) {
+    Hypervector gram = permute(items_.get(std::string_view(&text[start], 1)), 0);
+    for (std::size_t k = 1; k < window; ++k) {
+      gram ^= permute(items_.get(std::string_view(&text[start + k], 1)), k);
+    }
+    acc.add(gram);
+  }
+  return acc.finalize(tie_breaker_);
+}
+
+}  // namespace hdc

@@ -1,0 +1,222 @@
+#include "hdc/core/serialization.hpp"
+
+#include <array>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace hdc {
+
+namespace {
+
+constexpr std::array<char, 4> magic = {'H', 'D', 'C', '\x01'};
+constexpr std::uint8_t tag_hypervector = 0x01;
+constexpr std::uint8_t tag_basis = 0x02;
+constexpr std::uint8_t tag_classifier = 0x03;
+
+/// Hard cap on accepted dimensions/sizes so corrupted headers cannot trigger
+/// multi-gigabyte allocations.
+constexpr std::uint64_t sanity_limit = 1ULL << 28;
+
+void write_u8(std::ostream& out, std::uint8_t value) {
+  out.put(static_cast<char>(value));
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  std::array<char, 8> buf{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xFFU);
+  }
+  out.write(buf.data(), buf.size());
+}
+
+void write_f64(std::ostream& out, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  write_u64(out, bits);
+}
+
+std::uint8_t read_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == std::char_traits<char>::eof()) {
+    throw SerializationError("unexpected end of stream");
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::array<char, 8> buf{};
+  in.read(buf.data(), buf.size());
+  if (in.gcount() != static_cast<std::streamsize>(buf.size())) {
+    throw SerializationError("unexpected end of stream");
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 8; i-- > 0;) {
+    value = (value << 8) | static_cast<std::uint8_t>(buf[i]);
+  }
+  return value;
+}
+
+double read_f64(std::istream& in) {
+  const std::uint64_t bits = read_u64(in);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void write_header(std::ostream& out, std::uint8_t tag) {
+  out.write(magic.data(), magic.size());
+  write_u8(out, tag);
+}
+
+void read_header(std::istream& in, std::uint8_t expected_tag) {
+  std::array<char, 4> buf{};
+  in.read(buf.data(), buf.size());
+  if (in.gcount() != static_cast<std::streamsize>(buf.size()) || buf != magic) {
+    throw SerializationError("bad magic: not an hdcpp stream");
+  }
+  const std::uint8_t tag = read_u8(in);
+  if (tag != expected_tag) {
+    throw SerializationError("unexpected record tag");
+  }
+}
+
+void write_hypervector_body(std::ostream& out, const Hypervector& hv) {
+  write_u64(out, hv.dimension());
+  for (const std::uint64_t word : hv.words()) {
+    write_u64(out, word);
+  }
+}
+
+Hypervector read_hypervector_body(std::istream& in) {
+  const std::uint64_t dimension = read_u64(in);
+  if (dimension == 0 || dimension > sanity_limit) {
+    throw SerializationError("implausible hypervector dimension");
+  }
+  Hypervector hv(static_cast<std::size_t>(dimension));
+  for (auto& word : hv.words()) {
+    word = read_u64(in);
+  }
+  // Reject streams carrying set bits beyond the dimension: they violate the
+  // tail invariant and indicate corruption.
+  Hypervector masked = hv;
+  masked.mask_tail();
+  if (!(masked == hv)) {
+    throw SerializationError("tail bits set beyond dimension");
+  }
+  return hv;
+}
+
+}  // namespace
+
+void write_hypervector(std::ostream& out, const Hypervector& hv) {
+  if (hv.empty()) {
+    throw SerializationError("cannot serialize an empty hypervector");
+  }
+  write_header(out, tag_hypervector);
+  write_hypervector_body(out, hv);
+  if (!out) {
+    throw SerializationError("stream write failure");
+  }
+}
+
+Hypervector read_hypervector(std::istream& in) {
+  read_header(in, tag_hypervector);
+  return read_hypervector_body(in);
+}
+
+void write_basis(std::ostream& out, const Basis& basis) {
+  write_header(out, tag_basis);
+  const BasisInfo& info = basis.info();
+  write_u8(out, static_cast<std::uint8_t>(info.kind));
+  write_u8(out, static_cast<std::uint8_t>(info.method));
+  write_u64(out, info.dimension);
+  write_u64(out, info.size);
+  write_f64(out, info.r);
+  write_u64(out, info.seed);
+  for (const Hypervector& hv : basis) {
+    write_hypervector_body(out, hv);
+  }
+  if (!out) {
+    throw SerializationError("stream write failure");
+  }
+}
+
+Basis read_basis(std::istream& in) {
+  read_header(in, tag_basis);
+  BasisInfo info;
+  const std::uint8_t kind = read_u8(in);
+  if (kind > static_cast<std::uint8_t>(BasisKind::Scatter)) {
+    throw SerializationError("unknown basis kind");
+  }
+  info.kind = static_cast<BasisKind>(kind);
+  const std::uint8_t method = read_u8(in);
+  if (method > static_cast<std::uint8_t>(LevelMethod::Interpolation)) {
+    throw SerializationError("unknown level method");
+  }
+  info.method = static_cast<LevelMethod>(method);
+  const std::uint64_t dimension = read_u64(in);
+  const std::uint64_t size = read_u64(in);
+  if (dimension == 0 || dimension > sanity_limit || size == 0 ||
+      size > sanity_limit) {
+    throw SerializationError("implausible basis header");
+  }
+  info.dimension = static_cast<std::size_t>(dimension);
+  info.size = static_cast<std::size_t>(size);
+  info.r = read_f64(in);
+  if (!(info.r >= 0.0 && info.r <= 1.0)) {
+    throw SerializationError("r out of [0, 1]");
+  }
+  info.seed = read_u64(in);
+
+  std::vector<Hypervector> vectors;
+  vectors.reserve(info.size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Hypervector hv = read_hypervector_body(in);
+    if (hv.dimension() != info.dimension) {
+      throw SerializationError("vector dimension disagrees with basis header");
+    }
+    vectors.push_back(std::move(hv));
+  }
+  return Basis(info, std::move(vectors));
+}
+
+void write_classifier(std::ostream& out, const CentroidClassifier& model) {
+  if (!model.finalized()) {
+    throw SerializationError(
+        "cannot serialize an unfinalized classifier; call finalize() first");
+  }
+  write_header(out, tag_classifier);
+  write_u64(out, model.num_classes());
+  write_u64(out, model.dimension());
+  for (std::size_t c = 0; c < model.num_classes(); ++c) {
+    write_hypervector_body(out, model.class_vector(c));
+  }
+  if (!out) {
+    throw SerializationError("stream write failure");
+  }
+}
+
+CentroidClassifier read_classifier(std::istream& in) {
+  read_header(in, tag_classifier);
+  const std::uint64_t num_classes = read_u64(in);
+  const std::uint64_t dimension = read_u64(in);
+  if (num_classes == 0 || num_classes > sanity_limit || dimension == 0 ||
+      dimension > sanity_limit) {
+    throw SerializationError("implausible classifier header");
+  }
+  std::vector<Hypervector> vectors;
+  vectors.reserve(static_cast<std::size_t>(num_classes));
+  for (std::uint64_t c = 0; c < num_classes; ++c) {
+    Hypervector hv = read_hypervector_body(in);
+    if (hv.dimension() != dimension) {
+      throw SerializationError(
+          "class-vector dimension disagrees with classifier header");
+    }
+    vectors.push_back(std::move(hv));
+  }
+  return CentroidClassifier::from_class_vectors(std::move(vectors));
+}
+
+}  // namespace hdc

@@ -1,0 +1,90 @@
+#include "hdc/data/beijing.hpp"
+
+#include <cmath>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace hdc::data {
+
+namespace {
+
+bool is_leap_year(std::size_t year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+std::size_t days_in_year(std::size_t year) noexcept {
+  return is_leap_year(year) ? 366 : 365;
+}
+
+}  // namespace
+
+double beijing_model_temperature(const BeijingConfig& config,
+                                 std::size_t year_index,
+                                 std::size_t day_of_year, std::size_t hour) {
+  // Annual cycle: coldest around Jan 15 (day 15), warmest mid-July.
+  const double annual_angle = stats::two_pi *
+                              (static_cast<double>(day_of_year) - 15.0) /
+                              365.25;
+  const double seasonal = -config.annual_amplitude * std::cos(annual_angle);
+
+  // Diurnal cycle: warmest around 15:00, swing slightly larger in summer.
+  const double summer_weight = 0.5 * (1.0 - std::cos(annual_angle));
+  const double diurnal_amp =
+      config.diurnal_amplitude + config.diurnal_summer_boost * summer_weight;
+  const double diurnal_angle =
+      stats::two_pi * (static_cast<double>(hour) - 15.0) / 24.0;
+  const double diurnal = diurnal_amp * std::cos(diurnal_angle);
+
+  const double trend =
+      config.trend_per_year * static_cast<double>(year_index);
+
+  return config.mean_temperature + seasonal + diurnal + trend;
+}
+
+std::vector<BeijingRecord> make_beijing_dataset(const BeijingConfig& config) {
+  std::vector<BeijingRecord> records;
+  records.reserve(35'064);
+
+  Rng rng(config.seed);
+  // Stationary start for the AR(1) weather process.
+  const double stationary_sigma =
+      config.noise_sigma /
+      std::sqrt(1.0 - config.noise_ar1 * config.noise_ar1);
+  double weather = rng.normal(0.0, stationary_sigma);
+
+  // Hourly walk from 2013-03-01 (day-of-year 60 in a non-leap year) through
+  // 2017-02-28 inclusive.
+  std::size_t year = 2013;
+  std::size_t day_of_year = 31 + 28 + 1;  // March 1st
+  std::size_t hour = 0;
+  for (;;) {
+    BeijingRecord record;
+    record.year_index = year - 2013;
+    record.day_of_year = day_of_year;
+    record.hour = hour;
+    record.temperature =
+        beijing_model_temperature(config, record.year_index, day_of_year,
+                                  hour) +
+        weather;
+    records.push_back(record);
+
+    weather = config.noise_ar1 * weather +
+              rng.normal(0.0, config.noise_sigma);
+
+    // Advance one hour.
+    if (++hour == 24) {
+      hour = 0;
+      if (++day_of_year > days_in_year(year)) {
+        day_of_year = 1;
+        ++year;
+      }
+    }
+    if (year == 2017 && day_of_year == 31 + 28 + 1) {
+      break;  // reached 2017-03-01 00:00, one past the final record
+    }
+  }
+  return records;
+}
+
+}  // namespace hdc::data

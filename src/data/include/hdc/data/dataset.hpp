@@ -1,0 +1,52 @@
+#ifndef HDC_DATA_DATASET_HPP
+#define HDC_DATA_DATASET_HPP
+
+/// \file dataset.hpp
+/// \brief Sample and dataset containers shared by the synthetic generators.
+///
+/// The paper evaluates on three datasets that cannot be redistributed here;
+/// each has a seeded synthetic substitute that preserves the property the
+/// experiment exercises (angular structure straddling the wrap point).  See
+/// DESIGN.md section 3 for the substitution rationale.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hdc::data {
+
+/// One surgical-gesture sample: angular kinematic channels plus labels.
+struct GestureSample {
+  std::vector<double> angles;  ///< Channel values in [0, 2*pi).
+  std::size_t gesture = 0;     ///< Class label in [0, num_gestures).
+  std::size_t surgeon = 0;     ///< Performing surgeon in [0, num_surgeons).
+};
+
+/// A train/test gesture dataset for one surgical task.
+struct GestureDataset {
+  std::string task_name;
+  std::size_t num_gestures = 0;
+  std::size_t num_channels = 0;
+  std::size_t num_surgeons = 0;
+  std::size_t train_surgeon = 0;  ///< The surgeon whose data trains the model.
+  std::vector<GestureSample> train;
+  std::vector<GestureSample> test;
+};
+
+/// One hourly weather record of the Beijing-like series.
+struct BeijingRecord {
+  std::size_t year_index = 0;  ///< 0 = 2013, ..., 4 = 2017.
+  std::size_t day_of_year = 1; ///< 1..366.
+  std::size_t hour = 0;        ///< 0..23.
+  double temperature = 0.0;    ///< Degrees Celsius.
+};
+
+/// One telemetry record of the Mars-Express-like series.
+struct MarsRecord {
+  double mean_anomaly = 0.0;  ///< Elapsed orbit fraction as angle [0, 2*pi).
+  double power = 0.0;         ///< Available power level (watts).
+};
+
+}  // namespace hdc::data
+
+#endif  // HDC_DATA_DATASET_HPP

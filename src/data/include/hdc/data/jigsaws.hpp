@@ -1,0 +1,73 @@
+#ifndef HDC_DATA_JIGSAWS_HPP
+#define HDC_DATA_JIGSAWS_HPP
+
+/// \file jigsaws.hpp
+/// \brief Synthetic JIGSAWS-like surgical-gesture dataset (Section 6.1).
+///
+/// The paper uses the JHU-ISI Gesture and Skill Assessment Working Set:
+/// 18 kinematic variables (the rotation matrices of the left master tool
+/// manipulator and patient-side manipulator) for three surgical tasks,
+/// labelled with 15 surgical gestures, performed by eight surgeons; the
+/// model trains on surgeon "D" and is tested on the others.
+///
+/// The substitute generator preserves exactly the structure that drives the
+/// experiment: per gesture, 18 *angular* kinematic channels (orientation
+/// angles of the two manipulators across temporal taps) drawn from von Mises
+/// distributions.  Channel mean directions are biased toward the 0/2*pi wrap
+/// point on half of the channels, so a gesture's samples routinely straddle
+/// the boundary — the regime where level encodings tear the circle and
+/// circular encodings do not.  Per-surgeon style biases make the
+/// train-on-one-surgeon split a genuine generalization test, and per-task
+/// concentrations make Suturing the hardest task, as in the paper.
+
+#include <cstdint>
+
+#include "hdc/data/dataset.hpp"
+
+namespace hdc::data {
+
+/// The three JIGSAWS surgical tasks evaluated in Table 1.
+enum class SurgicalTask : std::uint8_t {
+  KnotTying = 0,
+  NeedlePassing = 1,
+  Suturing = 2,
+};
+
+/// Human-readable task name ("Knot Tying", ...).
+[[nodiscard]] const char* to_string(SurgicalTask task) noexcept;
+
+/// Configuration for `make_jigsaws_dataset`.
+struct JigsawsConfig {
+  SurgicalTask task = SurgicalTask::KnotTying;
+  std::size_t num_gestures = 15;   ///< Gesture classes (paper: 15).
+  std::size_t num_channels = 18;   ///< Angular kinematic channels (paper: 18).
+  std::size_t num_surgeons = 8;    ///< Paper: 8 surgeons.
+  std::size_t train_surgeon = 3;   ///< Index of surgeon "D".
+  std::size_t train_samples_per_gesture = 120;
+  std::size_t test_samples_per_gesture_per_surgeon = 20;
+  std::uint64_t seed = 42;
+
+  /// Spread of gesture mean directions around the 0/2*pi wrap point (radians
+  /// of the wrapped normal).  Small values pack the gesture structure into a
+  /// narrow band straddling the boundary — the regime that separates
+  /// circular- from level-hypervectors.
+  double wrap_band_sigma = 0.6;
+  /// Standard deviation of the per-surgeon constant channel bias (radians);
+  /// controls how hard the cross-surgeon generalization is.
+  double surgeon_bias_sigma = 0.08;
+  /// Multiplies the per-task von Mises concentration (1.0 = defaults).
+  double kappa_scale = 1.0;
+  /// Poses a gesture visits per channel: each sample draws one of this many
+  /// von Mises modes.  Real gestures are trajectories through several poses;
+  /// multimodal channels are what separate the basis families (see
+  /// DESIGN.md).
+  std::size_t modes_per_channel = 4;
+};
+
+/// Generates the dataset for one surgical task.
+/// \throws std::invalid_argument on degenerate configuration.
+[[nodiscard]] GestureDataset make_jigsaws_dataset(const JigsawsConfig& config);
+
+}  // namespace hdc::data
+
+#endif  // HDC_DATA_JIGSAWS_HPP

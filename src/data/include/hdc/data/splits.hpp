@@ -1,0 +1,36 @@
+#ifndef HDC_DATA_SPLITS_HPP
+#define HDC_DATA_SPLITS_HPP
+
+/// \file splits.hpp
+/// \brief Train/test index splits used by the regression experiments.
+///
+/// The paper trains the Beijing model on the *first* 70% of the series
+/// (chronological split) and the Mars Express model on a *random* 70%
+/// (Section 6.2); both splitters are provided.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hdc::data {
+
+/// Index partition into train and test sets.
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// First `round(n * train_fraction)` indices train, the rest test.
+/// \throws std::invalid_argument if n == 0 or fraction not in (0, 1).
+[[nodiscard]] SplitIndices chronological_split(std::size_t n,
+                                               double train_fraction);
+
+/// Uniformly random partition with the given train fraction (seeded
+/// Fisher-Yates shuffle; deterministic).
+/// \throws std::invalid_argument if n == 0 or fraction not in (0, 1).
+[[nodiscard]] SplitIndices random_split(std::size_t n, double train_fraction,
+                                        std::uint64_t seed);
+
+}  // namespace hdc::data
+
+#endif  // HDC_DATA_SPLITS_HPP

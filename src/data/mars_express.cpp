@@ -1,0 +1,42 @@
+#include "hdc/data/mars_express.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "hdc/base/require.hpp"
+#include "hdc/base/rng.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace hdc::data {
+
+double mars_model_power(const MarsExpressConfig& config, double mean_anomaly) {
+  const double orbit =
+      config.orbit_amplitude * std::cos(mean_anomaly - config.orbit_phase);
+  const double aspect = config.second_amplitude *
+                        std::cos(2.0 * mean_anomaly + config.second_phase);
+  // von-Mises-shaped dip centred at anomaly pi (eclipse season).
+  const double eclipse =
+      -config.eclipse_depth *
+      std::exp(config.eclipse_kappa *
+               (std::cos(mean_anomaly - std::numbers::pi) - 1.0));
+  return config.base_power + orbit + aspect + eclipse;
+}
+
+std::vector<MarsRecord> make_mars_express_dataset(
+    const MarsExpressConfig& config) {
+  require_positive(config.num_samples, "make_mars_express_dataset",
+                   "num_samples");
+  Rng rng(config.seed);
+  std::vector<MarsRecord> records;
+  records.reserve(config.num_samples);
+  for (std::size_t i = 0; i < config.num_samples; ++i) {
+    MarsRecord record;
+    record.mean_anomaly = rng.uniform(0.0, stats::two_pi);
+    record.power = mars_model_power(config, record.mean_anomaly) +
+                   rng.normal(0.0, config.noise_sigma);
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace hdc::data

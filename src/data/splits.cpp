@@ -1,0 +1,58 @@
+#include "hdc/data/splits.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "hdc/base/require.hpp"
+#include "hdc/base/rng.hpp"
+
+namespace hdc::data {
+
+namespace {
+
+std::size_t train_count(std::size_t n, double train_fraction,
+                        const char* where) {
+  require_positive(n, where, "n");
+  require(train_fraction > 0.0 && train_fraction < 1.0, where,
+          "train_fraction must be in (0, 1)");
+  auto count = static_cast<std::size_t>(
+      std::llround(static_cast<double>(n) * train_fraction));
+  if (count == 0) {
+    count = 1;
+  }
+  if (count >= n) {
+    count = n - 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+SplitIndices chronological_split(std::size_t n, double train_fraction) {
+  const std::size_t k = train_count(n, train_fraction, "chronological_split");
+  SplitIndices out;
+  out.train.resize(k);
+  out.test.resize(n - k);
+  std::iota(out.train.begin(), out.train.end(), std::size_t{0});
+  std::iota(out.test.begin(), out.test.end(), k);
+  return out;
+}
+
+SplitIndices random_split(std::size_t n, double train_fraction,
+                          std::uint64_t seed) {
+  const std::size_t k = train_count(n, train_fraction, "random_split");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  for (std::size_t i = n; i-- > 1;) {
+    const auto j = static_cast<std::size_t>(rng.below(i + 1));
+    std::swap(order[i], order[j]);
+  }
+  SplitIndices out;
+  out.train.assign(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(k));
+  out.test.assign(order.begin() + static_cast<std::ptrdiff_t>(k), order.end());
+  return out;
+}
+
+}  // namespace hdc::data

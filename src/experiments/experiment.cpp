@@ -1,0 +1,346 @@
+#include "hdc/experiments/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/data/beijing.hpp"
+#include "hdc/data/mars_express.hpp"
+#include "hdc/data/splits.hpp"
+#include "hdc/stats/circular.hpp"
+#include "hdc/stats/descriptive.hpp"
+#include "hdc/stats/metrics.hpp"
+
+namespace hdc::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+const char* to_string(BasisChoice choice) noexcept {
+  switch (choice) {
+    case BasisChoice::Random:
+      return "Random";
+    case BasisChoice::Level:
+      return "Level";
+    case BasisChoice::Circular:
+      return "Circular";
+    case BasisChoice::CircularCosine:
+      return "Circular-cos";
+  }
+  return "unknown";
+}
+
+const char* to_string(DatasetId id) noexcept {
+  switch (id) {
+    case DatasetId::Beijing:
+      return "Beijing";
+    case DatasetId::MarsExpress:
+      return "Mars Express";
+    case DatasetId::KnotTying:
+      return "Knot Tying";
+    case DatasetId::NeedlePassing:
+      return "Needle Passing";
+    case DatasetId::Suturing:
+      return "Suturing";
+  }
+  return "unknown";
+}
+
+ScalarEncoderPtr make_value_encoder(BasisChoice choice, double r,
+                                    std::size_t dimension, std::size_t size,
+                                    double span, std::uint64_t seed) {
+  require(span > 0.0, "make_value_encoder", "span must be positive");
+  require_in_range(r, 0.0, 1.0, "make_value_encoder", "r");
+  switch (choice) {
+    case BasisChoice::Random: {
+      RandomBasisConfig config;
+      config.dimension = dimension;
+      config.size = size;
+      config.seed = seed;
+      return std::make_shared<LinearScalarEncoder>(make_random_basis(config),
+                                                   0.0, span);
+    }
+    case BasisChoice::Level: {
+      LevelBasisConfig config;
+      config.dimension = dimension;
+      config.size = size;
+      config.method = LevelMethod::Interpolation;
+      config.r = r;
+      config.seed = seed;
+      return std::make_shared<LinearScalarEncoder>(make_level_basis(config),
+                                                   0.0, span);
+    }
+    case BasisChoice::Circular: {
+      CircularBasisConfig config;
+      config.dimension = dimension;
+      config.size = size;
+      config.r = r;
+      config.seed = seed;
+      return std::make_shared<CircularScalarEncoder>(
+          make_circular_basis(config), span);
+    }
+    case BasisChoice::CircularCosine: {
+      require(r == 0.0, "make_value_encoder",
+              "the cosine profile does not support r-relaxation");
+      CircularBasisConfig config;
+      config.dimension = dimension;
+      config.size = size;
+      config.profile = CircularProfile::Cosine;
+      config.seed = seed;
+      return std::make_shared<CircularScalarEncoder>(
+          make_circular_basis(config), span);
+    }
+  }
+  throw_invalid("make_value_encoder", "unknown basis choice");
+}
+
+ClassificationRun run_gesture_classification(data::SurgicalTask task,
+                                             BasisChoice choice, double r,
+                                             const ExperimentParams& params) {
+  data::JigsawsConfig data_config;
+  data_config.task = task;
+  data_config.seed = derive_seed(params.seed, 0xDA7AULL);
+  const data::GestureDataset dataset = data::make_jigsaws_dataset(data_config);
+
+  const ScalarEncoderPtr values = make_value_encoder(
+      choice, r, params.dimension, params.value_levels, stats::two_pi,
+      derive_seed(params.seed, 0x7A1ULL));
+  const KeyValueEncoder encoder(dataset.num_channels, values,
+                                derive_seed(params.seed, 0x7A2ULL));
+
+  ClassificationRun run;
+  run.train_size = dataset.train.size();
+  run.test_size = dataset.test.size();
+
+  CentroidClassifier model(dataset.num_gestures, params.dimension,
+                           derive_seed(params.seed, 0x7A3ULL));
+  const auto train_start = Clock::now();
+  for (const data::GestureSample& sample : dataset.train) {
+    model.add_sample(sample.gesture, encoder.encode(sample.angles));
+  }
+  model.finalize();
+  run.train_seconds = seconds_since(train_start);
+
+  const auto test_start = Clock::now();
+  std::vector<std::size_t> truth;
+  std::vector<std::size_t> predicted;
+  truth.reserve(dataset.test.size());
+  predicted.reserve(dataset.test.size());
+  for (const data::GestureSample& sample : dataset.test) {
+    truth.push_back(sample.gesture);
+    predicted.push_back(model.predict(encoder.encode(sample.angles)));
+  }
+  run.test_seconds = seconds_since(test_start);
+  run.accuracy = stats::accuracy(truth, predicted);
+  return run;
+}
+
+namespace {
+
+/// Shared tail of both regression tasks: train on (input HV, label) pairs,
+/// evaluate MSE on (a strided subsample of) the test pairs.
+RegressionRun evaluate_regression(const std::vector<Hypervector>& inputs,
+                                  const std::vector<double>& labels,
+                                  const data::SplitIndices& split,
+                                  const ScalarEncoderPtr& label_encoder,
+                                  const ExperimentParams& params,
+                                  std::uint64_t seed) {
+  RegressionRun run;
+  run.train_size = split.train.size();
+
+  HDRegressor model(label_encoder, seed);
+  const auto train_start = Clock::now();
+  for (const std::size_t index : split.train) {
+    model.add_sample(inputs[index], labels[index]);
+  }
+  model.finalize();
+  run.train_seconds = seconds_since(train_start);
+
+  // Evenly strided test subsample (all of it when it already fits).
+  std::vector<std::size_t> test_indices;
+  const std::size_t limit =
+      params.max_test_samples > 0 ? params.max_test_samples
+                                  : split.test.size();
+  if (split.test.size() <= limit) {
+    test_indices = split.test;
+  } else {
+    test_indices.reserve(limit);
+    for (std::size_t k = 0; k < limit; ++k) {
+      test_indices.push_back(split.test[k * split.test.size() / limit]);
+    }
+  }
+  run.test_size = test_indices.size();
+
+  const auto test_start = Clock::now();
+  std::vector<double> truth;
+  std::vector<double> predicted;
+  truth.reserve(test_indices.size());
+  predicted.reserve(test_indices.size());
+  for (const std::size_t index : test_indices) {
+    truth.push_back(labels[index]);
+    predicted.push_back(params.integer_decode
+                            ? model.predict_integer(inputs[index])
+                            : model.predict(inputs[index]));
+  }
+  run.test_seconds = seconds_since(test_start);
+  run.mse = stats::mean_squared_error(truth, predicted);
+  run.rmse = std::sqrt(run.mse);
+  return run;
+}
+
+/// Label encoder over the observed range, padded by 5% on both sides.
+ScalarEncoderPtr make_label_encoder(const std::vector<double>& labels,
+                                    const ExperimentParams& params,
+                                    std::uint64_t seed) {
+  const double lo = stats::minimum(labels);
+  const double hi = stats::maximum(labels);
+  const double pad = 0.05 * (hi - lo);
+  LevelBasisConfig config;
+  config.dimension = params.dimension;
+  config.size = params.label_levels;
+  config.method = LevelMethod::Interpolation;
+  config.seed = seed;
+  return std::make_shared<LinearScalarEncoder>(make_level_basis(config),
+                                               lo - pad, hi + pad);
+}
+
+}  // namespace
+
+RegressionRun run_beijing_regression(BasisChoice choice, double r,
+                                     const ExperimentParams& params) {
+  data::BeijingConfig data_config;
+  data_config.seed = derive_seed(params.seed, 0xBE111ULL);
+  const std::vector<data::BeijingRecord> records =
+      data::make_beijing_dataset(data_config);
+
+  // Year stays a level encoding in every configuration (it captures macro
+  // trends; Section 6.2); day and hour use the basis family under test.
+  LevelBasisConfig year_config;
+  year_config.dimension = params.dimension;
+  year_config.size = 5;
+  year_config.seed = derive_seed(params.seed, 0x4EA4ULL);
+  const LinearScalarEncoder year_encoder(make_level_basis(year_config), 0.0,
+                                         4.0);
+
+  const ScalarEncoderPtr day_encoder = make_value_encoder(
+      choice, r, params.dimension, params.value_levels, 366.0,
+      derive_seed(params.seed, 0xDA4ULL));
+  const ScalarEncoderPtr hour_encoder =
+      make_value_encoder(choice, r, params.dimension, 24, 24.0,
+                         derive_seed(params.seed, 0x404ULL));
+
+  std::vector<Hypervector> inputs;
+  std::vector<double> labels;
+  inputs.reserve(records.size());
+  labels.reserve(records.size());
+  for (const data::BeijingRecord& record : records) {
+    const Hypervector& year = year_encoder.encode(
+        static_cast<double>(record.year_index));
+    const Hypervector& day = day_encoder->encode(
+        static_cast<double>(record.day_of_year - 1));
+    const Hypervector& hour =
+        hour_encoder->encode(static_cast<double>(record.hour));
+    inputs.push_back(year ^ day ^ hour);
+    labels.push_back(record.temperature);
+  }
+
+  const data::SplitIndices split =
+      data::chronological_split(records.size(), 0.7);
+  const ScalarEncoderPtr label_encoder = make_label_encoder(
+      labels, params, derive_seed(params.seed, 0x1ABE1ULL));
+  return evaluate_regression(inputs, labels, split, label_encoder, params,
+                             derive_seed(params.seed, 0x4E64ULL));
+}
+
+RegressionRun run_mars_regression(BasisChoice choice, double r,
+                                  const ExperimentParams& params) {
+  data::MarsExpressConfig data_config;
+  data_config.seed = derive_seed(params.seed, 0x3A45ULL);
+  const std::vector<data::MarsRecord> records =
+      data::make_mars_express_dataset(data_config);
+
+  const ScalarEncoderPtr anomaly_encoder = make_value_encoder(
+      choice, r, params.dimension, params.mars_value_levels, stats::two_pi,
+      derive_seed(params.seed, 0xA40ULL));
+
+  std::vector<Hypervector> inputs;
+  std::vector<double> labels;
+  inputs.reserve(records.size());
+  labels.reserve(records.size());
+  for (const data::MarsRecord& record : records) {
+    inputs.push_back(anomaly_encoder->encode(record.mean_anomaly));
+    labels.push_back(record.power);
+  }
+
+  const data::SplitIndices split = data::random_split(
+      records.size(), 0.7, derive_seed(params.seed, 0x5911ULL));
+  const ScalarEncoderPtr label_encoder = make_label_encoder(
+      labels, params, derive_seed(params.seed, 0x1ABE2ULL));
+  return evaluate_regression(inputs, labels, split, label_encoder, params,
+                             derive_seed(params.seed, 0x4E65ULL));
+}
+
+namespace {
+
+/// Raw error of one dataset under one basis choice: MSE for regression,
+/// 1 - accuracy for classification.
+double raw_error(DatasetId id, BasisChoice choice, double r,
+                 const ExperimentParams& params) {
+  switch (id) {
+    case DatasetId::Beijing:
+      return run_beijing_regression(choice, r, params).mse;
+    case DatasetId::MarsExpress:
+      return run_mars_regression(choice, r, params).mse;
+    case DatasetId::KnotTying:
+      return 1.0 - run_gesture_classification(data::SurgicalTask::KnotTying,
+                                              choice, r, params)
+                       .accuracy;
+    case DatasetId::NeedlePassing:
+      return 1.0 -
+             run_gesture_classification(data::SurgicalTask::NeedlePassing,
+                                        choice, r, params)
+                 .accuracy;
+    case DatasetId::Suturing:
+      return 1.0 - run_gesture_classification(data::SurgicalTask::Suturing,
+                                              choice, r, params)
+                       .accuracy;
+  }
+  throw_invalid("raw_error", "unknown dataset");
+}
+
+}  // namespace
+
+RSweepResult run_r_sweep(DatasetId id, std::span<const double> r_values,
+                         const ExperimentParams& params) {
+  require(!r_values.empty(), "run_r_sweep", "r_values must be non-empty");
+  for (const double r : r_values) {
+    require_in_range(r, 0.0, 1.0, "run_r_sweep", "r");
+  }
+  RSweepResult result;
+  result.dataset = id;
+  result.reference_error = raw_error(id, BasisChoice::Random, 0.0, params);
+  result.r_values.assign(r_values.begin(), r_values.end());
+  result.normalized_error.reserve(r_values.size());
+  for (const double r : r_values) {
+    const double error = raw_error(id, BasisChoice::Circular, r, params);
+    result.normalized_error.push_back(error / result.reference_error);
+  }
+  return result;
+}
+
+}  // namespace hdc::exp

@@ -1,0 +1,47 @@
+#ifndef HDC_EXPERIMENTS_TABLE_HPP
+#define HDC_EXPERIMENTS_TABLE_HPP
+
+/// \file table.hpp
+/// \brief Plain-text table and heat-map rendering for the bench binaries.
+
+#include <string>
+#include <vector>
+
+namespace hdc::exp {
+
+/// Column-aligned plain-text table.
+class TextTable {
+ public:
+  /// Sets the header row and fixes the column count.
+  /// \throws std::invalid_argument if header is empty.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row. \throws std::invalid_argument if the cell count
+  /// differs from the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column padding, a header rule, and a trailing newline.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+[[nodiscard]] std::string format_double(double value, int decimals);
+
+/// Formats a fraction as a percentage ("84.0%").
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+
+/// Renders a matrix of values in [lo, hi] as an ASCII heat map (one glyph
+/// per cell, darker = larger), for the Figure 3 similarity matrices.
+/// \throws std::invalid_argument if the matrix is empty/ragged or lo >= hi.
+[[nodiscard]] std::string render_heatmap(
+    const std::vector<std::vector<double>>& matrix, double lo, double hi);
+
+}  // namespace hdc::exp
+
+#endif  // HDC_EXPERIMENTS_TABLE_HPP

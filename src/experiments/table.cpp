@@ -1,0 +1,86 @@
+#include "hdc/experiments/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::exp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TextTable", "header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "TextTable::add_row",
+          "cell count must match the header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << ' ';
+    }
+    out << "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << '|' << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string format_double(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_double(fraction * 100.0, decimals) + "%";
+}
+
+std::string render_heatmap(const std::vector<std::vector<double>>& matrix,
+                           double lo, double hi) {
+  require(!matrix.empty(), "render_heatmap", "matrix must be non-empty");
+  require(lo < hi, "render_heatmap", "lo must be < hi");
+  const std::size_t cols = matrix.front().size();
+  require(cols > 0, "render_heatmap", "matrix must have columns");
+  // Light -> dark ramp; one glyph per cell, doubled for aspect ratio.
+  static constexpr std::string_view ramp = " .:-=+*#%@";
+  std::ostringstream out;
+  for (const auto& row : matrix) {
+    require(row.size() == cols, "render_heatmap", "matrix must be rectangular");
+    for (const double value : row) {
+      const double unit = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+      const auto idx = static_cast<std::size_t>(
+          std::min<double>(std::floor(unit * static_cast<double>(ramp.size())),
+                           static_cast<double>(ramp.size() - 1)));
+      out << ramp[idx] << ramp[idx];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hdc::exp

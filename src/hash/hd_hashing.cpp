@@ -1,0 +1,110 @@
+#include "hdc/hash/hd_hashing.hpp"
+
+#include <string>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/item_memory.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace hdc::hash {
+
+namespace {
+
+Basis make_ring_basis(const HDHashRing::Config& config) {
+  require(config.ring_size >= 2, "HDHashRing", "ring_size must be >= 2");
+  require_positive(config.dimension, "HDHashRing", "dimension");
+  require_positive(config.virtual_nodes, "HDHashRing", "virtual_nodes");
+  CircularBasisConfig basis_config;
+  basis_config.dimension = config.dimension;
+  basis_config.size = config.ring_size;
+  basis_config.seed = config.seed;
+  return make_circular_basis(basis_config);
+}
+
+}  // namespace
+
+HDHashRing::HDHashRing(const Config& config)
+    : encoder_(make_ring_basis(config), stats::two_pi),
+      virtual_nodes_(config.virtual_nodes),
+      seed_(config.seed) {}
+
+double HDHashRing::key_angle(std::string_view key) const noexcept {
+  // Map the 64-bit key hash uniformly onto the circle.
+  const std::uint64_t h = fnv1a64(key);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * stats::two_pi;
+}
+
+void HDHashRing::add_server(std::string_view id) {
+  require(!id.empty(), "HDHashRing::add_server", "server id must be non-empty");
+  require(!servers_.contains(std::string(id)), "HDHashRing::add_server",
+          "server already present");
+  servers_.insert(std::string(id));
+  for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+    const std::string node = std::string(id) + "#" + std::to_string(v);
+    const std::size_t slot =
+        static_cast<std::size_t>(derive_seed(seed_, fnv1a64(node))) %
+        ring_size();
+    occupancy_[slot].insert(std::string(id));
+  }
+}
+
+bool HDHashRing::remove_server(std::string_view id) {
+  const auto it = servers_.find(std::string(id));
+  if (it == servers_.end()) {
+    return false;
+  }
+  servers_.erase(it);
+  for (auto slot_it = occupancy_.begin(); slot_it != occupancy_.end();) {
+    slot_it->second.erase(std::string(id));
+    if (slot_it->second.empty()) {
+      slot_it = occupancy_.erase(slot_it);
+    } else {
+      ++slot_it;
+    }
+  }
+  return true;
+}
+
+std::size_t HDHashRing::slot_of_key(std::string_view key) const {
+  return encoder_.index_of(key_angle(key));
+}
+
+std::optional<std::string> HDHashRing::resolve_slot(std::size_t slot) const {
+  if (occupancy_.empty()) {
+    return std::nullopt;
+  }
+  // First occupied slot clockwise (i.e. >= slot, wrapping around).
+  auto it = occupancy_.lower_bound(slot);
+  if (it == occupancy_.end()) {
+    it = occupancy_.begin();
+  }
+  return *it->second.begin();
+}
+
+std::optional<std::string> HDHashRing::lookup(std::string_view key) const {
+  return resolve_slot(slot_of_key(key));
+}
+
+std::optional<std::string> HDHashRing::lookup_noisy(std::string_view key,
+                                                    std::size_t corrupted_bits,
+                                                    Rng& rng) const {
+  const Hypervector& clean = encoder_.basis()[slot_of_key(key)];
+  const Hypervector noisy = flip_random_bits(clean, corrupted_bits, rng);
+  // Nearest-neighbour cleanup over the ring recovers the slot despite the
+  // corruption; this is where hyperdimensional robustness pays off.
+  const std::size_t recovered = encoder_.basis().nearest(noisy);
+  return resolve_slot(recovered);
+}
+
+std::vector<std::size_t> HDHashRing::server_slots(std::string_view id) const {
+  std::vector<std::size_t> out;
+  for (const auto& [slot, ids] : occupancy_) {
+    if (ids.contains(std::string(id))) {
+      out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+}  // namespace hdc::hash

@@ -1,0 +1,93 @@
+#ifndef HDC_HASH_HD_HASHING_HPP
+#define HDC_HASH_HD_HASHING_HPP
+
+/// \file hd_hashing.hpp
+/// \brief Hyperdimensional consistent hashing (Heddes et al., DAC 2022).
+///
+/// Circular-hypervectors were introduced for dynamic hash tables before the
+/// paper generalized them to learning (Section 5.1 cites the system as [13]).
+/// This module implements that substrate: a consistent-hashing ring whose
+/// slots are the elements of a circular basis.  A key hashes to an angle,
+/// the angle is encoded as the nearest ring hypervector, and the key is
+/// served by the first occupied slot clockwise.  Because slot recovery is a
+/// nearest-neighbour search in hyperspace, lookups stay correct even when
+/// the query hypervector is corrupted by hundreds of bit flips — the
+/// robustness property the DAC'22 paper exploits — and adding or removing a
+/// server only remaps the keys of the arc it owns.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+
+namespace hdc::hash {
+
+/// Consistent-hashing ring over circular hypervectors.
+class HDHashRing {
+ public:
+  /// Configuration of the ring geometry.
+  struct Config {
+    std::size_t dimension = default_dimension;  ///< Hypervector bits.
+    std::size_t ring_size = 256;                ///< Slots on the circle.
+    std::size_t virtual_nodes = 4;              ///< Slots per server.
+    std::uint64_t seed = 1;
+  };
+
+  /// \throws std::invalid_argument on degenerate configuration.
+  explicit HDHashRing(const Config& config);
+
+  [[nodiscard]] std::size_t ring_size() const noexcept {
+    return encoder_.size();
+  }
+  [[nodiscard]] std::size_t num_servers() const noexcept {
+    return servers_.size();
+  }
+
+  /// Registers a server under \p virtual_nodes ring slots.
+  /// \throws std::invalid_argument if the id is empty or already present.
+  void add_server(std::string_view id);
+
+  /// Removes a server; returns false if it was not present.
+  bool remove_server(std::string_view id);
+
+  /// The ring slot a key's hypervector lands on (before walking to a
+  /// server); pure function of the key and the ring geometry.
+  [[nodiscard]] std::size_t slot_of_key(std::string_view key) const;
+
+  /// The server responsible for \p key, or nullopt if the ring is empty.
+  [[nodiscard]] std::optional<std::string> lookup(std::string_view key) const;
+
+  /// Robustness probe: encodes the key, flips \p corrupted_bits random bits
+  /// of the query hypervector, then resolves it like lookup().  With a
+  /// d = 10,000 ring even thousands of flipped bits rarely change the
+  /// outcome.  \throws std::invalid_argument if corrupted_bits > dimension.
+  [[nodiscard]] std::optional<std::string> lookup_noisy(
+      std::string_view key, std::size_t corrupted_bits, Rng& rng) const;
+
+  /// Slots currently owned by \p id (empty if unknown).
+  [[nodiscard]] std::vector<std::size_t> server_slots(std::string_view id) const;
+
+  /// The circular basis backing the ring (for inspection and tests).
+  [[nodiscard]] const Basis& ring() const noexcept { return encoder_.basis(); }
+
+ private:
+  [[nodiscard]] std::optional<std::string> resolve_slot(std::size_t slot) const;
+  [[nodiscard]] double key_angle(std::string_view key) const noexcept;
+
+  CircularScalarEncoder encoder_;
+  std::size_t virtual_nodes_;
+  std::uint64_t seed_;
+  /// slot -> servers anchored there (ordered for deterministic tie-breaks).
+  std::map<std::size_t, std::set<std::string>> occupancy_;
+  std::set<std::string> servers_;
+};
+
+}  // namespace hdc::hash
+
+#endif  // HDC_HASH_HD_HASHING_HPP

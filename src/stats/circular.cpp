@@ -1,0 +1,123 @@
+#include "hdc/stats/circular.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::stats {
+
+double wrap_angle(double theta) noexcept {
+  double wrapped = std::fmod(theta, two_pi);
+  if (wrapped < 0.0) {
+    wrapped += two_pi;
+  }
+  return wrapped;
+}
+
+double angular_difference(double alpha, double beta) noexcept {
+  double diff = std::fmod(alpha - beta, two_pi);
+  if (diff > std::numbers::pi) {
+    diff -= two_pi;
+  } else if (diff <= -std::numbers::pi) {
+    diff += two_pi;
+  }
+  return diff;
+}
+
+double circular_distance(double alpha, double beta) noexcept {
+  return 0.5 * (1.0 - std::cos(alpha - beta));
+}
+
+double arc_distance(double alpha, double beta) noexcept {
+  return std::abs(angular_difference(alpha, beta));
+}
+
+std::size_t index_arc_distance(std::size_t i, std::size_t j,
+                               std::size_t m) noexcept {
+  const std::size_t direct = i > j ? i - j : j - i;
+  return std::min(direct, m - direct);
+}
+
+CircularSummary circular_summary(std::span<const double> angles) {
+  require(!angles.empty(), "circular_summary", "sample must be non-empty");
+  double sum_cos = 0.0;
+  double sum_sin = 0.0;
+  for (const double theta : angles) {
+    sum_cos += std::cos(theta);
+    sum_sin += std::sin(theta);
+  }
+  const auto n = static_cast<double>(angles.size());
+  const double c = sum_cos / n;
+  const double s = sum_sin / n;
+  const double r = std::sqrt(c * c + s * s);
+  CircularSummary out{};
+  out.mean_direction = wrap_angle(std::atan2(s, c));
+  out.resultant_length = std::min(r, 1.0);
+  out.variance = 1.0 - out.resultant_length;
+  out.stddev = out.resultant_length > 0.0
+                   ? std::sqrt(std::max(0.0, -2.0 * std::log(out.resultant_length)))
+                   : std::numeric_limits<double>::infinity();
+  return out;
+}
+
+double circular_mean(std::span<const double> angles) {
+  return circular_summary(angles).mean_direction;
+}
+
+double circular_linear_correlation(std::span<const double> angles,
+                                   std::span<const double> values) {
+  require(angles.size() == values.size(), "circular_linear_correlation",
+          "angles and values must have equal length");
+  require(angles.size() >= 3, "circular_linear_correlation",
+          "need at least 3 samples");
+  const auto n = static_cast<double>(angles.size());
+
+  double mean_y = 0.0;
+  for (const double y : values) {
+    mean_y += y;
+  }
+  mean_y /= n;
+
+  // Pearson correlations of y with cos(theta) and sin(theta), plus the
+  // cos-sin cross correlation, combined per Mardia & Jupp (11.2.3).
+  double sc = 0.0, ss = 0.0;  // centered sums for cos and sin
+  double mean_c = 0.0, mean_s = 0.0;
+  for (const double theta : angles) {
+    mean_c += std::cos(theta);
+    mean_s += std::sin(theta);
+  }
+  mean_c /= n;
+  mean_s /= n;
+
+  double syc = 0.0, sys = 0.0, scs = 0.0, syy = 0.0, scc = 0.0, sss = 0.0;
+  for (std::size_t i = 0; i < angles.size(); ++i) {
+    const double dc = std::cos(angles[i]) - mean_c;
+    const double ds = std::sin(angles[i]) - mean_s;
+    const double dy = values[i] - mean_y;
+    syc += dy * dc;
+    sys += dy * ds;
+    scs += dc * ds;
+    syy += dy * dy;
+    scc += dc * dc;
+    sss += ds * ds;
+  }
+  sc = scc;
+  ss = sss;
+  if (syy <= 0.0 || sc <= 0.0 || ss <= 0.0) {
+    return 0.0;
+  }
+  const double rxc = syc / std::sqrt(syy * sc);
+  const double rxs = sys / std::sqrt(syy * ss);
+  const double rcs = scs / std::sqrt(sc * ss);
+  const double denom = 1.0 - rcs * rcs;
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  const double r2 =
+      (rxc * rxc + rxs * rxs - 2.0 * rxc * rxs * rcs) / denom;
+  return std::clamp(r2, 0.0, 1.0);
+}
+
+}  // namespace hdc::stats

@@ -1,0 +1,87 @@
+#include "hdc/stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::stats {
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean", "sample must be non-empty");
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double sample_variance(std::span<const double> xs) {
+  require(xs.size() >= 2, "sample_variance", "need at least 2 samples");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(std::span<const double> xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+double population_variance(std::span<const double> xs) {
+  require(!xs.empty(), "population_variance", "sample must be non-empty");
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    ss += (x - m) * (x - m);
+  }
+  return ss / static_cast<double>(xs.size());
+}
+
+double minimum(std::span<const double> xs) {
+  require(!xs.empty(), "minimum", "sample must be non-empty");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double maximum(std::span<const double> xs) {
+  require(!xs.empty(), "maximum", "sample must be non-empty");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  require(!xs.empty(), "quantile", "sample must be non-empty");
+  require_in_range(q, 0.0, 1.0, "quantile", "q");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double pearson_correlation(std::span<const double> xs,
+                           std::span<const double> ys) {
+  require(xs.size() == ys.size(), "pearson_correlation",
+          "samples must have equal length");
+  require(xs.size() >= 2, "pearson_correlation", "need at least 2 samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace hdc::stats

@@ -1,0 +1,67 @@
+#ifndef HDC_STATS_CIRCULAR_HPP
+#define HDC_STATS_CIRCULAR_HPP
+
+/// \file circular.hpp
+/// \brief Directional-statistics primitives (circular data substrate).
+///
+/// The paper's Section 5 defines the distance between two angles
+/// alpha, beta in [0, 2*pi] as rho(alpha, beta) = (1 - cos(alpha - beta)) / 2
+/// (Lund, 1999).  This header provides that distance plus the standard
+/// descriptive statistics of directional data (circular mean, resultant
+/// length, circular variance/std) used by the synthetic dataset generators
+/// and by the tests that validate the circular basis-hypervector profile.
+
+#include <cstddef>
+#include <numbers>
+#include <span>
+
+namespace hdc::stats {
+
+/// 2*pi as a double; the period of all angular quantities in this library.
+inline constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// Wraps an angle (radians) into [0, 2*pi).
+[[nodiscard]] double wrap_angle(double theta) noexcept;
+
+/// Signed minimal angular difference alpha - beta wrapped into (-pi, pi].
+[[nodiscard]] double angular_difference(double alpha, double beta) noexcept;
+
+/// Circular distance rho(alpha, beta) = (1 - cos(alpha - beta)) / 2 in [0, 1].
+/// This is the distance the paper adopts for angles (Section 5, eq. for rho).
+[[nodiscard]] double circular_distance(double alpha, double beta) noexcept;
+
+/// Arc-length distance |alpha - beta| measured around the circle, in [0, pi].
+[[nodiscard]] double arc_distance(double alpha, double beta) noexcept;
+
+/// Circular distance between indices i and j of m equidistant points on the
+/// circle, in index units: min(|i-j|, m-|i-j|).  Used by the triangular
+/// distance profile of circular-hypervectors.
+[[nodiscard]] std::size_t index_arc_distance(std::size_t i, std::size_t j,
+                                             std::size_t m) noexcept;
+
+/// Summary of a sample of directions.
+struct CircularSummary {
+  double mean_direction;    ///< Argument of the resultant vector, in [0, 2*pi).
+  double resultant_length;  ///< Mean resultant length R-bar in [0, 1].
+  double variance;          ///< Circular variance 1 - R-bar in [0, 1].
+  double stddev;            ///< Circular standard deviation sqrt(-2 ln R-bar).
+};
+
+/// Computes the circular summary statistics of a sample of angles (radians).
+/// \throws std::invalid_argument if the sample is empty.
+[[nodiscard]] CircularSummary circular_summary(std::span<const double> angles);
+
+/// Circular mean direction of a sample of angles (radians), in [0, 2*pi).
+/// \throws std::invalid_argument if the sample is empty.
+[[nodiscard]] double circular_mean(std::span<const double> angles);
+
+/// Circular-linear association: the squared correlation of a linear variable
+/// y with (cos theta, sin theta) regressors (Mardia & Jupp, 2000, sec. 11.2).
+/// Returns a value in [0, 1]; 0 means no circular-linear correlation.
+/// \throws std::invalid_argument if sizes differ or fewer than 3 samples.
+[[nodiscard]] double circular_linear_correlation(std::span<const double> angles,
+                                                 std::span<const double> values);
+
+}  // namespace hdc::stats
+
+#endif  // HDC_STATS_CIRCULAR_HPP

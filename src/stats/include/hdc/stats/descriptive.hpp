@@ -1,0 +1,45 @@
+#ifndef HDC_STATS_DESCRIPTIVE_HPP
+#define HDC_STATS_DESCRIPTIVE_HPP
+
+/// \file descriptive.hpp
+/// \brief Linear descriptive statistics used by tests and the bench harness.
+
+#include <cstddef>
+#include <span>
+
+namespace hdc::stats {
+
+/// Arithmetic mean. \throws std::invalid_argument on an empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator).
+/// \throws std::invalid_argument if fewer than 2 samples.
+[[nodiscard]] double sample_variance(std::span<const double> xs);
+
+/// Unbiased sample standard deviation.
+/// \throws std::invalid_argument if fewer than 2 samples.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+/// Population variance (n denominator).
+/// \throws std::invalid_argument on an empty sample.
+[[nodiscard]] double population_variance(std::span<const double> xs);
+
+/// Minimum value. \throws std::invalid_argument on an empty sample.
+[[nodiscard]] double minimum(std::span<const double> xs);
+
+/// Maximum value. \throws std::invalid_argument on an empty sample.
+[[nodiscard]] double maximum(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1] (q = 0.5 gives the median).
+/// \throws std::invalid_argument on an empty sample or q outside [0, 1].
+[[nodiscard]] double quantile(std::span<const double> xs, double q);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Returns 0 when either sample has zero variance.
+/// \throws std::invalid_argument if sizes differ or fewer than 2 samples.
+[[nodiscard]] double pearson_correlation(std::span<const double> xs,
+                                         std::span<const double> ys);
+
+}  // namespace hdc::stats
+
+#endif  // HDC_STATS_DESCRIPTIVE_HPP

@@ -1,0 +1,73 @@
+#ifndef HDC_STATS_MARKOV_ABSORPTION_HPP
+#define HDC_STATS_MARKOV_ABSORPTION_HPP
+
+/// \file markov_absorption.hpp
+/// \brief Expected absorption times of the paper's bit-flipping Markov chain.
+///
+/// Section 4.2 (Figure 4) models the creation of a hypervector at expected
+/// normalized distance Delta from a start vector as a random walk on Hamming
+/// distance: each step flips one uniformly random position of a d-bit vector,
+/// which moves the walk away from the start with probability (d - k)/d when
+/// the current distance is k bits, and back with probability k/d.  The number
+/// of flips F(i,j) needed so that E[delta(L_i, L_j)] = Delta(i,j) is the
+/// expected number of steps until the walk is absorbed at k = Delta * d.
+///
+/// This module computes u(k) — the expected steps-to-absorption from distance
+/// k — three ways, which the tests cross-check:
+///   1. the tridiagonal linear system of the paper, solved by the Thomas
+///      algorithm (`absorption_times_tridiagonal`);
+///   2. a closed forward recurrence v(k) = (d + k v(k-1)) / (d - k)
+///      (`absorption_times`), derived from the same system;
+///   3. Monte-Carlo simulation of the walk (`simulate_absorption_steps`).
+///
+/// It also provides the closed-form expected distance after F *independent*
+/// uniform flips (with replacement), used to calibrate scatter codes.
+
+#include <cstdint>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+
+namespace hdc::stats {
+
+/// Expected steps-to-absorption u(k) for k = 0..target_bits, computed with
+/// the forward recurrence.  u(target_bits) == 0.
+///
+/// \param dimension    d, number of bits in the hypervector (> 0).
+/// \param target_bits  absorption state Delta*d in bits (0 < target <= d).
+/// \throws std::invalid_argument on invalid arguments.
+[[nodiscard]] std::vector<double> absorption_times(std::size_t dimension,
+                                                   std::size_t target_bits);
+
+/// Same quantity computed by assembling the (target_bits x target_bits)
+/// tridiagonal system of Section 4.2 and solving it with the Thomas
+/// algorithm.  Exposed so tests can verify both derivations agree.
+[[nodiscard]] std::vector<double> absorption_times_tridiagonal(
+    std::size_t dimension, std::size_t target_bits);
+
+/// Expected number of single-bit flips to walk from distance 0 to
+/// `target_bits`; this is u(0), i.e. the paper's F(i,j).
+[[nodiscard]] double expected_flips_to_distance(std::size_t dimension,
+                                                std::size_t target_bits);
+
+/// Monte-Carlo estimate of the absorption step count from state 0: simulates
+/// `trials` random walks and averages the step counts.  Used by tests and the
+/// Figure 4 bench to validate the analytic solutions.
+[[nodiscard]] double simulate_absorption_steps(std::size_t dimension,
+                                               std::size_t target_bits,
+                                               std::size_t trials, Rng& rng);
+
+/// Closed-form expected normalized Hamming distance after `flips` uniform
+/// independent single-bit flips (positions drawn with replacement):
+/// E[delta] = (1 - (1 - 2/d)^F) / 2.
+[[nodiscard]] double expected_distance_after_flips(std::size_t dimension,
+                                                   double flips);
+
+/// Inverse of `expected_distance_after_flips`: the (real-valued) flip count
+/// F such that E[delta] = target_delta.  Requires 0 <= target_delta < 0.5.
+[[nodiscard]] double flips_for_expected_distance(std::size_t dimension,
+                                                 double target_delta);
+
+}  // namespace hdc::stats
+
+#endif  // HDC_STATS_MARKOV_ABSORPTION_HPP

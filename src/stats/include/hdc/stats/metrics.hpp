@@ -1,0 +1,85 @@
+#ifndef HDC_STATS_METRICS_HPP
+#define HDC_STATS_METRICS_HPP
+
+/// \file metrics.hpp
+/// \brief Evaluation metrics used by the paper's experiments (Section 6).
+///
+/// Includes the two normalizations used in Figures 7 and 8: normalized MSE
+/// (MSE divided by a reference MSE) and the normalized accuracy error
+/// (1 - a) / (1 - a_ref).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hdc::stats {
+
+/// Fraction of positions where predicted label equals the true label.
+/// \throws std::invalid_argument if sizes differ or the sample is empty.
+[[nodiscard]] double accuracy(std::span<const std::size_t> truth,
+                              std::span<const std::size_t> predicted);
+
+/// Mean squared error. \throws std::invalid_argument on size mismatch/empty.
+[[nodiscard]] double mean_squared_error(std::span<const double> truth,
+                                        std::span<const double> predicted);
+
+/// Root mean squared error.
+[[nodiscard]] double root_mean_squared_error(std::span<const double> truth,
+                                             std::span<const double> predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mean_absolute_error(std::span<const double> truth,
+                                         std::span<const double> predicted);
+
+/// Coefficient of determination R^2 (1 - SS_res / SS_tot); returns 0 when the
+/// truth has zero variance.
+[[nodiscard]] double r_squared(std::span<const double> truth,
+                               std::span<const double> predicted);
+
+/// Figure 7/8 normalization: mse / reference_mse.
+/// \throws std::invalid_argument if reference_mse <= 0.
+[[nodiscard]] double normalized_mse(double mse, double reference_mse);
+
+/// Figure 8 normalization for classification: (1 - a) / (1 - a_ref), where
+/// `a` is the accuracy under test and `a_ref` the reference accuracy.
+/// \throws std::invalid_argument unless 0 <= a <= 1 and 0 <= a_ref < 1.
+[[nodiscard]] double normalized_accuracy_error(double accuracy_value,
+                                               double reference_accuracy);
+
+/// Dense confusion matrix for k-way classification.
+class ConfusionMatrix {
+ public:
+  /// \param num_classes k, must be positive.
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Records one (truth, predicted) pair. \throws std::invalid_argument on
+  /// out-of-range labels.
+  void record(std::size_t truth, std::size_t predicted);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return k_; }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Count of samples with the given true and predicted labels.
+  [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+
+  /// Overall accuracy; 0 if no samples recorded.
+  [[nodiscard]] double accuracy() const noexcept;
+
+  /// Per-class recall (diagonal / row sum); 0 for classes never seen.
+  [[nodiscard]] std::vector<double> per_class_recall() const;
+
+  /// Per-class precision (diagonal / column sum); 0 for classes never predicted.
+  [[nodiscard]] std::vector<double> per_class_precision() const;
+
+  /// Macro-averaged F1 score over all classes.
+  [[nodiscard]] double macro_f1() const;
+
+ private:
+  std::size_t k_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // row-major [truth][predicted]
+};
+
+}  // namespace hdc::stats
+
+#endif  // HDC_STATS_METRICS_HPP

@@ -1,0 +1,65 @@
+#ifndef HDC_STATS_VON_MISES_HPP
+#define HDC_STATS_VON_MISES_HPP
+
+/// \file von_mises.hpp
+/// \brief The von Mises distribution, the circular analogue of the normal.
+///
+/// Used by the synthetic JIGSAWS-like gesture generator to draw angular
+/// kinematic channels around class-specific mean directions (the paper's real
+/// datasets are angular; see DESIGN.md section 3 for the substitution).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+
+namespace hdc::stats {
+
+/// von Mises distribution VM(mu, kappa) on the circle [0, 2*pi).
+///
+/// kappa = 0 degenerates to the uniform distribution on the circle; large
+/// kappa approaches a wrapped normal with variance 1/kappa.
+class VonMises {
+ public:
+  /// \param mu     Mean direction in radians (wrapped into [0, 2*pi)).
+  /// \param kappa  Concentration, must be >= 0.
+  /// \throws std::invalid_argument if kappa < 0 or not finite.
+  VonMises(double mu, double kappa);
+
+  [[nodiscard]] double mu() const noexcept { return mu_; }
+  [[nodiscard]] double kappa() const noexcept { return kappa_; }
+
+  /// Probability density at angle theta.
+  [[nodiscard]] double pdf(double theta) const noexcept;
+
+  /// Natural log of the density at angle theta.
+  [[nodiscard]] double log_pdf(double theta) const noexcept;
+
+  /// Draws one sample using the Best-Fisher (1979) rejection algorithm.
+  [[nodiscard]] double sample(Rng& rng) const noexcept;
+
+  /// Draws \p n samples.
+  [[nodiscard]] std::vector<double> sample(Rng& rng, std::size_t n) const;
+
+  /// Maximum-likelihood estimate of (mu, kappa) from a sample, using the
+  /// standard A(kappa) inversion approximation (Fisher, 1995, eq. 4.40-4.41).
+  /// \throws std::invalid_argument if the sample is empty.
+  [[nodiscard]] static VonMises fit(std::span<const double> angles);
+
+  /// Modified Bessel function of the first kind, order zero (series +
+  /// asymptotic regimes); exposed for tests.
+  [[nodiscard]] static double bessel_i0(double x) noexcept;
+
+ private:
+  double mu_;
+  double kappa_;
+  double log_norm_;  ///< log(2*pi*I0(kappa)), cached normalization constant.
+  // Cached constants of the Best-Fisher sampler.
+  double b_ = 0.0;
+  double r0_ = 0.0;
+};
+
+}  // namespace hdc::stats
+
+#endif  // HDC_STATS_VON_MISES_HPP

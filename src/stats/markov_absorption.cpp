@@ -1,0 +1,125 @@
+#include "hdc/stats/markov_absorption.hpp"
+
+#include <cmath>
+
+#include "hdc/base/require.hpp"
+#include "hdc/stats/tridiagonal.hpp"
+
+namespace hdc::stats {
+
+namespace {
+
+void validate(std::size_t dimension, std::size_t target_bits,
+              const char* where) {
+  require_positive(dimension, where, "dimension");
+  require_positive(target_bits, where, "target_bits");
+  require(target_bits <= dimension, where, "target_bits must be <= dimension");
+}
+
+}  // namespace
+
+std::vector<double> absorption_times(std::size_t dimension,
+                                     std::size_t target_bits) {
+  validate(dimension, target_bits, "absorption_times");
+  const auto d = static_cast<double>(dimension);
+  // Let v(k) = u(k) - u(k+1).  Substituting into the paper's recurrence
+  //   u(k) = 1 + ((d-k) u(k+1) + k u(k-1)) / d,  u(0) = 1 + u(1)
+  // yields v(0) = 1 and (d - k) v(k) = d + k v(k-1).  Then
+  //   u(k) = sum_{j=k}^{target-1} v(j)   (since u(target) = 0).
+  std::vector<double> v(target_bits);
+  v[0] = 1.0;
+  for (std::size_t k = 1; k < target_bits; ++k) {
+    const auto kd = static_cast<double>(k);
+    v[k] = (d + kd * v[k - 1]) / (d - kd);
+  }
+  std::vector<double> u(target_bits + 1);
+  u[target_bits] = 0.0;
+  for (std::size_t k = target_bits; k-- > 0;) {
+    u[k] = u[k + 1] + v[k];
+  }
+  return u;
+}
+
+std::vector<double> absorption_times_tridiagonal(std::size_t dimension,
+                                                 std::size_t target_bits) {
+  validate(dimension, target_bits, "absorption_times_tridiagonal");
+  const auto d = static_cast<double>(dimension);
+  const std::size_t n = target_bits;  // unknowns u(0) .. u(target-1)
+
+  // Row k encodes: d*u(k) - (d-k)*u(k+1) - k*u(k-1) = d, with u(target) = 0
+  // folded into the last row's right-hand side (its coefficient is zero there
+  // only when target == d; otherwise the term simply vanishes because
+  // u(target) = 0).  Row 0 encodes u(0) - u(1) = 1.
+  std::vector<double> lower(n > 1 ? n - 1 : 0);
+  std::vector<double> diag(n);
+  std::vector<double> upper(n > 1 ? n - 1 : 0);
+  std::vector<double> rhs(n);
+
+  diag[0] = 1.0;
+  rhs[0] = 1.0;
+  if (n > 1) {
+    upper[0] = -1.0;
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto kd = static_cast<double>(k);
+    lower[k - 1] = -kd;
+    diag[k] = d;
+    if (k < n - 1) {
+      upper[k] = -(d - kd);
+    }
+    rhs[k] = d;  // the -(d-k) u(k+1) term is zero at k = n-1 since u(n) = 0
+  }
+  std::vector<double> u = solve_tridiagonal(lower, diag, upper, rhs);
+  u.push_back(0.0);  // u(target) = 0 for symmetry with absorption_times().
+  return u;
+}
+
+double expected_flips_to_distance(std::size_t dimension,
+                                  std::size_t target_bits) {
+  return absorption_times(dimension, target_bits).front();
+}
+
+double simulate_absorption_steps(std::size_t dimension, std::size_t target_bits,
+                                 std::size_t trials, Rng& rng) {
+  validate(dimension, target_bits, "simulate_absorption_steps");
+  require_positive(trials, "simulate_absorption_steps", "trials");
+  // The walk only needs the current Hamming distance k, not the actual
+  // vector: a uniformly chosen position is one of the k differing bits with
+  // probability k/d.
+  double total_steps = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t k = 0;
+    std::uint64_t steps = 0;
+    while (k < target_bits) {
+      ++steps;
+      if (rng.below(dimension) >= k) {
+        ++k;  // flipped an agreeing position: moved away from the start
+      } else {
+        --k;  // re-flipped a differing position: moved back
+      }
+    }
+    total_steps += static_cast<double>(steps);
+  }
+  return total_steps / static_cast<double>(trials);
+}
+
+double expected_distance_after_flips(std::size_t dimension, double flips) {
+  require_positive(dimension, "expected_distance_after_flips", "dimension");
+  require(flips >= 0.0, "expected_distance_after_flips",
+          "flips must be non-negative");
+  const double q = 1.0 - 2.0 / static_cast<double>(dimension);
+  return 0.5 * (1.0 - std::pow(q, flips));
+}
+
+double flips_for_expected_distance(std::size_t dimension, double target_delta) {
+  require_positive(dimension, "flips_for_expected_distance", "dimension");
+  require(target_delta >= 0.0 && target_delta < 0.5,
+          "flips_for_expected_distance", "target_delta must be in [0, 0.5)");
+  if (target_delta == 0.0) {
+    return 0.0;
+  }
+  const double q = 1.0 - 2.0 / static_cast<double>(dimension);
+  return std::log(1.0 - 2.0 * target_delta) / std::log(q);
+}
+
+}  // namespace hdc::stats

@@ -1,0 +1,157 @@
+#include "hdc/stats/metrics.hpp"
+
+#include <cmath>
+
+#include "hdc/base/require.hpp"
+#include "hdc/stats/descriptive.hpp"
+
+namespace hdc::stats {
+
+double accuracy(std::span<const std::size_t> truth,
+                std::span<const std::size_t> predicted) {
+  require(truth.size() == predicted.size(), "accuracy",
+          "truth and predicted must have equal length");
+  require(!truth.empty(), "accuracy", "sample must be non-empty");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    correct += (truth[i] == predicted[i]) ? 1U : 0U;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double mean_squared_error(std::span<const double> truth,
+                          std::span<const double> predicted) {
+  require(truth.size() == predicted.size(), "mean_squared_error",
+          "truth and predicted must have equal length");
+  require(!truth.empty(), "mean_squared_error", "sample must be non-empty");
+  double ss = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double e = truth[i] - predicted[i];
+    ss += e * e;
+  }
+  return ss / static_cast<double>(truth.size());
+}
+
+double root_mean_squared_error(std::span<const double> truth,
+                               std::span<const double> predicted) {
+  return std::sqrt(mean_squared_error(truth, predicted));
+}
+
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> predicted) {
+  require(truth.size() == predicted.size(), "mean_absolute_error",
+          "truth and predicted must have equal length");
+  require(!truth.empty(), "mean_absolute_error", "sample must be non-empty");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    sum += std::abs(truth[i] - predicted[i]);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double r_squared(std::span<const double> truth,
+                 std::span<const double> predicted) {
+  require(truth.size() == predicted.size(), "r_squared",
+          "truth and predicted must have equal length");
+  require(!truth.empty(), "r_squared", "sample must be non-empty");
+  const double mean_truth = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - mean_truth) * (truth[i] - mean_truth);
+  }
+  if (ss_tot <= 0.0) {
+    return 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double normalized_mse(double mse, double reference_mse) {
+  require(reference_mse > 0.0, "normalized_mse",
+          "reference_mse must be positive");
+  require(mse >= 0.0, "normalized_mse", "mse must be non-negative");
+  return mse / reference_mse;
+}
+
+double normalized_accuracy_error(double accuracy_value,
+                                 double reference_accuracy) {
+  require_in_range(accuracy_value, 0.0, 1.0, "normalized_accuracy_error",
+                   "accuracy_value");
+  require(reference_accuracy >= 0.0 && reference_accuracy < 1.0,
+          "normalized_accuracy_error", "reference_accuracy must be in [0, 1)");
+  return (1.0 - accuracy_value) / (1.0 - reference_accuracy);
+}
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes) : k_(num_classes) {
+  require_positive(num_classes, "ConfusionMatrix", "num_classes");
+  cells_.assign(k_ * k_, 0);
+}
+
+void ConfusionMatrix::record(std::size_t truth, std::size_t predicted) {
+  require(truth < k_, "ConfusionMatrix::record", "truth label out of range");
+  require(predicted < k_, "ConfusionMatrix::record",
+          "predicted label out of range");
+  ++cells_[truth * k_ + predicted];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  require(truth < k_, "ConfusionMatrix::count", "truth label out of range");
+  require(predicted < k_, "ConfusionMatrix::count",
+          "predicted label out of range");
+  return cells_[truth * k_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  std::size_t diag = 0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    diag += cells_[i * k_ + i];
+  }
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> out(k_, 0.0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    std::size_t row = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      row += cells_[i * k_ + j];
+    }
+    if (row > 0) {
+      out[i] = static_cast<double>(cells_[i * k_ + i]) / static_cast<double>(row);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::per_class_precision() const {
+  std::vector<double> out(k_, 0.0);
+  for (std::size_t j = 0; j < k_; ++j) {
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      col += cells_[i * k_ + j];
+    }
+    if (col > 0) {
+      out[j] = static_cast<double>(cells_[j * k_ + j]) / static_cast<double>(col);
+    }
+  }
+  return out;
+}
+
+double ConfusionMatrix::macro_f1() const {
+  const std::vector<double> recall = per_class_recall();
+  const std::vector<double> precision = per_class_precision();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k_; ++i) {
+    const double denom = recall[i] + precision[i];
+    sum += denom > 0.0 ? 2.0 * recall[i] * precision[i] / denom : 0.0;
+  }
+  return sum / static_cast<double>(k_);
+}
+
+}  // namespace hdc::stats

@@ -1,0 +1,53 @@
+#include "hdc/stats/tridiagonal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::stats {
+
+std::vector<double> solve_tridiagonal(std::span<const double> lower,
+                                      std::span<const double> diag,
+                                      std::span<const double> upper,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  require(n > 0, "solve_tridiagonal", "system must be non-empty");
+  require(rhs.size() == n, "solve_tridiagonal", "rhs size must equal diag size");
+  require(lower.size() == n - 1, "solve_tridiagonal",
+          "lower diagonal must have n-1 entries");
+  require(upper.size() == n - 1, "solve_tridiagonal",
+          "upper diagonal must have n-1 entries");
+
+  // Forward sweep: eliminate the sub-diagonal, storing modified coefficients.
+  std::vector<double> c_prime(n - 1 > 0 ? n - 1 : 0);
+  std::vector<double> d_prime(n);
+  double pivot = diag[0];
+  if (pivot == 0.0 || !std::isfinite(pivot)) {
+    throw std::domain_error("solve_tridiagonal: zero or non-finite pivot");
+  }
+  if (n > 1) {
+    c_prime[0] = upper[0] / pivot;
+  }
+  d_prime[0] = rhs[0] / pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - lower[i - 1] * c_prime[i - 1];
+    if (pivot == 0.0 || !std::isfinite(pivot)) {
+      throw std::domain_error("solve_tridiagonal: zero or non-finite pivot");
+    }
+    if (i < n - 1) {
+      c_prime[i] = upper[i] / pivot;
+    }
+    d_prime[i] = (rhs[i] - lower[i - 1] * d_prime[i - 1]) / pivot;
+  }
+
+  // Back substitution.
+  std::vector<double> x(n);
+  x[n - 1] = d_prime[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    x[i] = d_prime[i] - c_prime[i] * x[i + 1];
+  }
+  return x;
+}
+
+}  // namespace hdc::stats

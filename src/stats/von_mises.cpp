@@ -1,0 +1,99 @@
+#include "hdc/stats/von_mises.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hdc/base/require.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace hdc::stats {
+
+VonMises::VonMises(double mu, double kappa) : mu_(wrap_angle(mu)), kappa_(kappa) {
+  require(std::isfinite(kappa) && kappa >= 0.0, "VonMises",
+          "kappa must be finite and non-negative");
+  log_norm_ = std::log(two_pi) + std::log(bessel_i0(kappa_));
+  if (kappa_ > 0.0) {
+    const double tau = 1.0 + std::sqrt(1.0 + 4.0 * kappa_ * kappa_);
+    const double rho = (tau - std::sqrt(2.0 * tau)) / (2.0 * kappa_);
+    r0_ = (1.0 + rho * rho) / (2.0 * rho);
+    b_ = rho;
+  }
+}
+
+double VonMises::pdf(double theta) const noexcept {
+  return std::exp(log_pdf(theta));
+}
+
+double VonMises::log_pdf(double theta) const noexcept {
+  return kappa_ * std::cos(theta - mu_) - log_norm_;
+}
+
+double VonMises::sample(Rng& rng) const noexcept {
+  if (kappa_ == 0.0) {
+    return rng.uniform(0.0, two_pi);
+  }
+  // Best & Fisher (1979) wrapped-Cauchy envelope rejection sampler.
+  for (;;) {
+    const double u1 = rng.uniform();
+    const double z = std::cos(std::numbers::pi * u1);
+    const double f = (1.0 + r0_ * z) / (r0_ + z);
+    const double c = kappa_ * (r0_ - f);
+    const double u2 = rng.uniform();
+    if (c * (2.0 - c) - u2 > 0.0 || std::log(c / u2) + 1.0 - c >= 0.0) {
+      const double u3 = rng.uniform();
+      const double sign = (u3 < 0.5) ? -1.0 : 1.0;
+      return wrap_angle(mu_ + sign * std::acos(std::clamp(f, -1.0, 1.0)));
+    }
+  }
+}
+
+std::vector<double> VonMises::sample(Rng& rng, std::size_t n) const {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(sample(rng));
+  }
+  return out;
+}
+
+VonMises VonMises::fit(std::span<const double> angles) {
+  const CircularSummary summary = circular_summary(angles);
+  const double r = summary.resultant_length;
+  // Piecewise A^{-1}(R-bar) approximation, Fisher (1995) eq. 4.40.
+  double kappa = 0.0;
+  if (r < 0.53) {
+    kappa = 2.0 * r + r * r * r + 5.0 * r * r * r * r * r / 6.0;
+  } else if (r < 0.85) {
+    kappa = -0.4 + 1.39 * r + 0.43 / (1.0 - r);
+  } else if (r < 1.0) {
+    kappa = 1.0 / (r * r * r - 4.0 * r * r + 3.0 * r);
+  } else {
+    kappa = 1e8;  // Degenerate: all mass at one point.
+  }
+  return VonMises(summary.mean_direction, kappa);
+}
+
+double VonMises::bessel_i0(double x) noexcept {
+  const double ax = std::abs(x);
+  if (ax < 15.0) {
+    // Power series: I0(x) = sum_k (x^2/4)^k / (k!)^2, converges fast here.
+    const double q = ax * ax / 4.0;
+    double term = 1.0;
+    double sum = 1.0;
+    for (int k = 1; k < 200; ++k) {
+      term *= q / (static_cast<double>(k) * static_cast<double>(k));
+      sum += term;
+      if (term < sum * 1e-17) {
+        break;
+      }
+    }
+    return sum;
+  }
+  // Asymptotic expansion for large argument.
+  const double inv = 1.0 / ax;
+  const double series =
+      1.0 + inv * (0.125 + inv * (0.0703125 + inv * 0.0732421875));
+  return std::exp(ax) * series / std::sqrt(two_pi * ax);
+}
+
+}  // namespace hdc::stats

@@ -1,0 +1,144 @@
+// Tests for the portable RNG: determinism, range contracts, and
+// distributional sanity.
+
+#include "hdc/base/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using hdc::Rng;
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, KnownFirstOutputsAreStable) {
+  // Pin the exact output stream: experiment reproducibility depends on it.
+  Rng rng(0);
+  const std::uint64_t first = rng();
+  const std::uint64_t second = rng();
+  Rng replay(0);
+  EXPECT_EQ(replay(), first);
+  EXPECT_EQ(replay(), second);
+  EXPECT_NE(first, second);
+}
+
+TEST(RngTest, DifferentSeedsDecorrelate) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(RngTest, BelowIsUnbiasedOverSmallBound) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  const int draws = 70'000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.below(7))];
+  }
+  for (int c = 0; c < 7; ++c) {
+    EXPECT_NEAR(counts[static_cast<std::size_t>(c)], draws / 7, 450) << "bucket " << c;
+  }
+}
+
+TEST(RngTest, BetweenCoversClosedInterval) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1'000; ++i) {
+    const std::int64_t v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7U);
+}
+
+TEST(RngTest, FlipIsFair) {
+  Rng rng(7);
+  int heads = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    heads += rng.flip() ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 5'000, 250);
+}
+
+TEST(RngTest, NormalHasUnitMoments) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalScalesAndShifts) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.normal(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, SplitMix64MatchesReferenceVector) {
+  // Pinned outputs of this implementation for state = 1234567; guards the
+  // cross-platform reproducibility of every seeded experiment.
+  std::uint64_t state = 1'234'567;
+  const std::uint64_t v1 = hdc::splitmix64(state);
+  const std::uint64_t v2 = hdc::splitmix64(state);
+  EXPECT_EQ(v1, 6457827717110365317ULL);
+  EXPECT_EQ(v2, 3203168211198807973ULL);
+}
+
+TEST(RngTest, DeriveSeedSeparatesStreams) {
+  const std::uint64_t base = 99;
+  std::set<std::uint64_t> derived;
+  for (std::uint64_t stream = 0; stream < 100; ++stream) {
+    derived.insert(hdc::derive_seed(base, stream));
+  }
+  EXPECT_EQ(derived.size(), 100U);
+  EXPECT_EQ(hdc::derive_seed(base, 0), hdc::derive_seed(base, 0));
+  EXPECT_NE(hdc::derive_seed(base, 0), hdc::derive_seed(base + 1, 0));
+}
+
+}  // namespace

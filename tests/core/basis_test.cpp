@@ -1,0 +1,119 @@
+// Tests for the Basis container: invariants, nearest-neighbour cleanup and
+// pairwise matrices.
+
+#include "hdc/core/basis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/ops.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::BasisInfo;
+using hdc::Hypervector;
+using hdc::Rng;
+
+Basis small_basis(std::size_t m, std::size_t d, std::uint64_t seed) {
+  hdc::RandomBasisConfig config;
+  config.dimension = d;
+  config.size = m;
+  config.seed = seed;
+  return hdc::make_random_basis(config);
+}
+
+TEST(BasisTest, RejectsEmptySet) {
+  BasisInfo info;
+  info.size = 0;
+  EXPECT_THROW(Basis(info, {}), std::invalid_argument);
+}
+
+TEST(BasisTest, RejectsSizeMismatch) {
+  Rng rng(1);
+  std::vector<Hypervector> vectors;
+  vectors.push_back(Hypervector::random(100, rng));
+  BasisInfo info;
+  info.dimension = 100;
+  info.size = 2;  // wrong: only one vector supplied
+  EXPECT_THROW(Basis(info, std::move(vectors)), std::invalid_argument);
+}
+
+TEST(BasisTest, RejectsDimensionMismatch) {
+  Rng rng(1);
+  std::vector<Hypervector> vectors;
+  vectors.push_back(Hypervector::random(100, rng));
+  vectors.push_back(Hypervector::random(101, rng));
+  BasisInfo info;
+  info.dimension = 100;
+  info.size = 2;
+  EXPECT_THROW(Basis(info, std::move(vectors)), std::invalid_argument);
+}
+
+TEST(BasisTest, CheckedAccessThrowsOutOfRange) {
+  const Basis basis = small_basis(4, 256, 3);
+  EXPECT_NO_THROW((void)basis.at(3));
+  EXPECT_THROW((void)basis.at(4), std::invalid_argument);
+}
+
+TEST(BasisTest, NearestFindsExactMember) {
+  const Basis basis = small_basis(16, 10'000, 4);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    EXPECT_EQ(basis.nearest(basis[i]), i);
+  }
+}
+
+TEST(BasisTest, NearestSurvivesNoise) {
+  const Basis basis = small_basis(16, 10'000, 5);
+  Rng rng(6);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    // 20% corruption still leaves the true member by far the closest.
+    const Hypervector noisy = hdc::flip_random_bits(basis[i], 2'000, rng);
+    EXPECT_EQ(basis.nearest(noisy), i);
+  }
+}
+
+TEST(BasisTest, NearestValidatesDimension) {
+  const Basis basis = small_basis(4, 128, 7);
+  Rng rng(8);
+  const auto query = Hypervector::random(64, rng);
+  EXPECT_THROW((void)basis.nearest(query), std::invalid_argument);
+}
+
+TEST(BasisTest, PairwiseDistancesAreSymmetricWithZeroDiagonal) {
+  const Basis basis = small_basis(8, 2'048, 9);
+  const auto dist = basis.pairwise_distances();
+  ASSERT_EQ(dist.size(), 8U);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(dist[i].size(), 8U);
+    EXPECT_DOUBLE_EQ(dist[i][i], 0.0);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(dist[i][j], dist[j][i]);
+      EXPECT_DOUBLE_EQ(dist[i][j],
+                       hdc::normalized_distance(basis[i], basis[j]));
+    }
+  }
+}
+
+TEST(BasisTest, SimilaritiesAreOneMinusDistances) {
+  const Basis basis = small_basis(5, 1'024, 10);
+  const auto dist = basis.pairwise_distances();
+  const auto sims = basis.pairwise_similarities();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_DOUBLE_EQ(sims[i][j], 1.0 - dist[i][j]);
+    }
+  }
+}
+
+TEST(BasisTest, ToStringNamesAllEnumerators) {
+  EXPECT_STREQ(hdc::to_string(hdc::BasisKind::Random), "random");
+  EXPECT_STREQ(hdc::to_string(hdc::BasisKind::Level), "level");
+  EXPECT_STREQ(hdc::to_string(hdc::BasisKind::Circular), "circular");
+  EXPECT_STREQ(hdc::to_string(hdc::BasisKind::Scatter), "scatter");
+  EXPECT_STREQ(hdc::to_string(hdc::LevelMethod::ExactFlip), "exact-flip");
+  EXPECT_STREQ(hdc::to_string(hdc::LevelMethod::Interpolation),
+               "interpolation");
+}
+
+}  // namespace

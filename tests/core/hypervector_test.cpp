@@ -1,0 +1,103 @@
+// Unit tests for the Hypervector value type and its invariants.
+
+#include "hdc/core/hypervector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using hdc::Hypervector;
+using hdc::Rng;
+
+TEST(HypervectorTest, DefaultConstructedIsEmpty) {
+  const Hypervector hv;
+  EXPECT_TRUE(hv.empty());
+  EXPECT_EQ(hv.dimension(), 0U);
+}
+
+TEST(HypervectorTest, ZeroDimensionThrows) {
+  EXPECT_THROW(Hypervector(0), std::invalid_argument);
+}
+
+TEST(HypervectorTest, ConstructedZeroed) {
+  const Hypervector hv(130);
+  EXPECT_EQ(hv.dimension(), 130U);
+  EXPECT_EQ(hv.count_ones(), 0U);
+}
+
+TEST(HypervectorTest, RandomHasRoughlyHalfOnes) {
+  Rng rng(42);
+  const Hypervector hv = Hypervector::random(10'000, rng);
+  // Binomial(10000, 1/2): mean 5000, sd 50; 6 sigma = 300.
+  EXPECT_NEAR(static_cast<double>(hv.count_ones()), 5'000.0, 300.0);
+}
+
+TEST(HypervectorTest, RandomRespectsTailInvariant) {
+  Rng rng(43);
+  Hypervector hv = Hypervector::random(70, rng);  // 6 tail bits unused
+  Hypervector masked = hv;
+  masked.mask_tail();
+  EXPECT_EQ(hv, masked);
+}
+
+TEST(HypervectorTest, BitAccessorsRoundTrip) {
+  Hypervector hv(100);
+  hv.set_bit(0, true);
+  hv.set_bit(99, true);
+  EXPECT_TRUE(hv.bit(0));
+  EXPECT_TRUE(hv.bit(99));
+  EXPECT_FALSE(hv.bit(50));
+  hv.flip_bit(50);
+  EXPECT_TRUE(hv.bit(50));
+  hv.flip_bit(50);
+  EXPECT_FALSE(hv.bit(50));
+  EXPECT_EQ(hv.count_ones(), 2U);
+}
+
+TEST(HypervectorTest, OutOfRangeAccessThrows) {
+  Hypervector hv(64);
+  EXPECT_THROW((void)hv.bit(64), std::invalid_argument);
+  EXPECT_THROW(hv.set_bit(64, true), std::invalid_argument);
+  EXPECT_THROW(hv.flip_bit(1'000), std::invalid_argument);
+}
+
+TEST(HypervectorTest, FromBitsMatchesInput) {
+  const bool raw[] = {true, false, true, true, false};
+  const Hypervector hv = Hypervector::from_bits(raw);
+  ASSERT_EQ(hv.dimension(), 5U);
+  EXPECT_TRUE(hv.bit(0));
+  EXPECT_FALSE(hv.bit(1));
+  EXPECT_TRUE(hv.bit(2));
+  EXPECT_TRUE(hv.bit(3));
+  EXPECT_FALSE(hv.bit(4));
+}
+
+TEST(HypervectorTest, XorIsSelfInverse) {
+  Rng rng(7);
+  const Hypervector a = Hypervector::random(1'000, rng);
+  const Hypervector b = Hypervector::random(1'000, rng);
+  EXPECT_EQ(a ^ (a ^ b), b);
+}
+
+TEST(HypervectorTest, XorDimensionMismatchThrows) {
+  Rng rng(8);
+  const Hypervector a = Hypervector::random(100, rng);
+  const Hypervector b = Hypervector::random(101, rng);
+  EXPECT_THROW((void)(a ^ b), std::invalid_argument);
+}
+
+TEST(HypervectorTest, DeterministicGivenSeed) {
+  Rng rng_a(123);
+  Rng rng_b(123);
+  EXPECT_EQ(Hypervector::random(512, rng_a), Hypervector::random(512, rng_b));
+}
+
+TEST(HypervectorTest, DifferentSeedsDiffer) {
+  Rng rng_a(123);
+  Rng rng_b(124);
+  EXPECT_NE(Hypervector::random(512, rng_a), Hypervector::random(512, rng_b));
+}
+
+}  // namespace

@@ -1,0 +1,101 @@
+// Tests for the deterministic symbol item memory and cleanup.
+
+#include "hdc/core/item_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdc/core/ops.hpp"
+
+namespace {
+
+using hdc::ItemMemory;
+
+TEST(ItemMemoryTest, ValidatesDimension) {
+  EXPECT_THROW(ItemMemory(0, 1), std::invalid_argument);
+}
+
+TEST(ItemMemoryTest, SymbolVectorIsStableAcrossCalls) {
+  ItemMemory memory(1'024, 42);
+  const auto first = memory.get("alpha");
+  const auto second = memory.get("alpha");
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(memory.size(), 1U);
+}
+
+TEST(ItemMemoryTest, IndependentOfInsertionOrder) {
+  ItemMemory forward(1'024, 42);
+  const auto a1 = forward.get("alpha");
+  const auto b1 = forward.get("beta");
+  ItemMemory backward(1'024, 42);
+  const auto b2 = backward.get("beta");
+  const auto a2 = backward.get("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(ItemMemoryTest, DistinctSymbolsQuasiOrthogonal) {
+  ItemMemory memory(10'000, 7);
+  const auto a = memory.get("left-manipulator");
+  const auto b = memory.get("right-manipulator");
+  EXPECT_NEAR(hdc::normalized_distance(a, b), 0.5, 0.03);
+}
+
+TEST(ItemMemoryTest, DifferentSeedsGiveDifferentVectors) {
+  ItemMemory one(512, 1);
+  ItemMemory two(512, 2);
+  EXPECT_NE(one.get("x"), two.get("x"));
+}
+
+TEST(ItemMemoryTest, FindOnlyReturnsMaterializedSymbols) {
+  ItemMemory memory(256, 3);
+  EXPECT_EQ(memory.find("ghost"), nullptr);
+  (void)memory.get("real");
+  EXPECT_NE(memory.find("real"), nullptr);
+}
+
+TEST(ItemMemoryTest, CleanupRecoversNearestSymbol) {
+  ItemMemory memory(10'000, 4);
+  for (const char* symbol : {"a", "b", "c", "d", "e"}) {
+    (void)memory.get(symbol);
+  }
+  hdc::Rng rng(5);
+  const hdc::Hypervector noisy =
+      hdc::flip_random_bits(*memory.find("c"), 1'500, rng);
+  const auto result = memory.cleanup(noisy);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->symbol, "c");
+  EXPECT_NEAR(result->distance, 0.15, 0.01);
+}
+
+TEST(ItemMemoryTest, CleanupOnEmptyMemoryIsNullopt) {
+  ItemMemory memory(128, 6);
+  hdc::Rng rng(7);
+  EXPECT_FALSE(memory.cleanup(hdc::Hypervector::random(128, rng)).has_value());
+}
+
+TEST(ItemMemoryTest, CleanupValidatesDimension) {
+  ItemMemory memory(128, 8);
+  (void)memory.get("x");
+  hdc::Rng rng(9);
+  EXPECT_THROW((void)memory.cleanup(hdc::Hypervector::random(64, rng)),
+               std::invalid_argument);
+}
+
+TEST(ItemMemoryTest, SymbolsListedInFirstUseOrder) {
+  ItemMemory memory(128, 10);
+  (void)memory.get("z");
+  (void)memory.get("a");
+  (void)memory.get("z");  // repeat must not duplicate
+  (void)memory.get("m");
+  const std::vector<std::string> expected{"z", "a", "m"};
+  EXPECT_EQ(memory.symbols(), expected);
+}
+
+TEST(ItemMemoryTest, Fnv1a64KnownValues) {
+  // Reference values of the FNV-1a 64-bit test vectors.
+  EXPECT_EQ(hdc::fnv1a64(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(hdc::fnv1a64("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(hdc::fnv1a64("foobar"), 0x85944171F73967E8ULL);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Round-trip and failure-injection tests for classifier serialization and
+// the inference-only restore semantics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hdc/core/ops.hpp"
+#include "hdc/core/serialization.hpp"
+
+namespace {
+
+using hdc::CentroidClassifier;
+using hdc::Hypervector;
+using hdc::Rng;
+using hdc::SerializationError;
+
+CentroidClassifier trained_model(Rng& rng,
+                                 std::vector<Hypervector>* prototypes) {
+  constexpr std::size_t dim = 4'096;
+  CentroidClassifier model(3, dim, 5);
+  for (int c = 0; c < 3; ++c) {
+    prototypes->push_back(Hypervector::random(dim, rng));
+  }
+  for (int i = 0; i < 20; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      model.add_sample(c, hdc::flip_random_bits((*prototypes)[c], 400, rng));
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+TEST(ModelSerializationTest, ClassifierRoundTripPredictsIdentically) {
+  Rng rng(1);
+  std::vector<Hypervector> prototypes;
+  const CentroidClassifier original = trained_model(rng, &prototypes);
+
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  const CentroidClassifier loaded = hdc::read_classifier(stream);
+
+  EXPECT_EQ(loaded.num_classes(), original.num_classes());
+  EXPECT_EQ(loaded.dimension(), original.dimension());
+  EXPECT_TRUE(loaded.inference_only());
+  EXPECT_TRUE(loaded.finalized());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(loaded.class_vector(c), original.class_vector(c));
+  }
+  // Identical predictions on noisy probes.
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t c = static_cast<std::size_t>(i) % 3;
+    const Hypervector probe = hdc::flip_random_bits(prototypes[c], 800, rng);
+    EXPECT_EQ(loaded.predict(probe), original.predict(probe));
+  }
+}
+
+TEST(ModelSerializationTest, UnfinalizedClassifierRejected) {
+  CentroidClassifier model(2, 128, 1);
+  std::stringstream stream;
+  EXPECT_THROW(hdc::write_classifier(stream, model), SerializationError);
+}
+
+TEST(ModelSerializationTest, LoadedModelIsInferenceOnly) {
+  Rng rng(2);
+  std::vector<Hypervector> prototypes;
+  const CentroidClassifier original = trained_model(rng, &prototypes);
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  CentroidClassifier loaded = hdc::read_classifier(stream);
+
+  const Hypervector sample = Hypervector::random(loaded.dimension(), rng);
+  EXPECT_THROW(loaded.add_sample(0, sample), std::logic_error);
+  EXPECT_THROW((void)loaded.adapt(0, sample), std::logic_error);
+  EXPECT_NO_THROW((void)loaded.predict(sample));
+}
+
+TEST(ModelSerializationTest, FromClassVectorsValidates) {
+  EXPECT_THROW((void)CentroidClassifier::from_class_vectors({}),
+               std::invalid_argument);
+  Rng rng(3);
+  std::vector<Hypervector> mixed;
+  mixed.push_back(Hypervector::random(64, rng));
+  mixed.push_back(Hypervector::random(65, rng));
+  EXPECT_THROW((void)CentroidClassifier::from_class_vectors(std::move(mixed)),
+               std::invalid_argument);
+}
+
+TEST(ModelSerializationTest, RejectsTruncatedClassifierStream) {
+  Rng rng(4);
+  std::vector<Hypervector> prototypes;
+  const CentroidClassifier original = trained_model(rng, &prototypes);
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  const std::string full = stream.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW((void)hdc::read_classifier(cut), SerializationError);
+}
+
+TEST(ModelSerializationTest, RejectsWrongTag) {
+  Rng rng(5);
+  std::stringstream stream;
+  hdc::write_hypervector(stream, Hypervector::random(64, rng));
+  EXPECT_THROW((void)hdc::read_classifier(stream), SerializationError);
+}
+
+}  // namespace

@@ -1,0 +1,118 @@
+// Tests for the multi-resolution circular encoder (extension).
+
+#include "hdc/core/multiscale_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+using hdc::MultiScaleCircularEncoder;
+
+MultiScaleCircularEncoder::Config config_with(
+    std::vector<std::size_t> scales, std::size_t d = 10'000) {
+  MultiScaleCircularEncoder::Config config;
+  config.dimension = d;
+  config.scales = std::move(scales);
+  config.period = hdc::stats::two_pi;
+  config.seed = 3;
+  return config;
+}
+
+TEST(MultiScaleEncoderTest, ValidatesConfig) {
+  EXPECT_THROW((void)MultiScaleCircularEncoder(config_with({})),
+               std::invalid_argument);
+  EXPECT_THROW((void)MultiScaleCircularEncoder(config_with({16, 1})),
+               std::invalid_argument);
+  auto bad_period = config_with({16});
+  bad_period.period = 0.0;
+  EXPECT_THROW((void)MultiScaleCircularEncoder(bad_period), std::invalid_argument);
+  auto bad_dim = config_with({16});
+  bad_dim.dimension = 0;
+  EXPECT_THROW((void)MultiScaleCircularEncoder(bad_dim), std::invalid_argument);
+}
+
+TEST(MultiScaleEncoderTest, PublicGridIsTheFinestScale) {
+  const MultiScaleCircularEncoder enc(config_with({8, 64, 16}));
+  EXPECT_EQ(enc.size(), 64U);
+  EXPECT_EQ(enc.num_scales(), 3U);
+  EXPECT_DOUBLE_EQ(enc.value_of(16), hdc::stats::two_pi / 4.0);
+  EXPECT_THROW((void)enc.value_of(64), std::invalid_argument);
+}
+
+TEST(MultiScaleEncoderTest, IndexWraps) {
+  const MultiScaleCircularEncoder enc(config_with({4, 16}, 1'024));
+  EXPECT_EQ(enc.index_of(0.0), 0U);
+  EXPECT_EQ(enc.index_of(hdc::stats::two_pi), 0U);
+  EXPECT_EQ(enc.index_of(-0.1), 0U);   // -0.1 rounds to the wrap point
+  EXPECT_EQ(enc.index_of(-0.3), 15U);  // -0.3 is nearest to the last point
+}
+
+TEST(MultiScaleEncoderTest, EncodeIsDeterministicAndCached) {
+  const MultiScaleCircularEncoder enc(config_with({8, 32}, 2'048));
+  const hdc::Hypervector& first = enc.encode(1.0);
+  const hdc::Hypervector& second = enc.encode(1.0);
+  EXPECT_EQ(&first, &second);  // same cached object
+  EXPECT_EQ(first.dimension(), 2'048U);
+}
+
+TEST(MultiScaleEncoderTest, DecodeRoundTripsToGrid) {
+  const MultiScaleCircularEncoder enc(config_with({8, 32}));
+  for (const double theta : {0.0, 1.0, 3.1, 5.9}) {
+    EXPECT_DOUBLE_EQ(enc.decode(enc.encode(theta)),
+                     enc.value_of(enc.index_of(theta)));
+  }
+}
+
+TEST(MultiScaleEncoderTest, KernelIsSharperThanSingleScale) {
+  // The whole point: at a quarter-ring separation the bound encoding is
+  // already quasi-orthogonal, while one circular basis still has similarity
+  // 0.75 there.
+  const MultiScaleCircularEncoder multi(config_with({16, 64}));
+
+  hdc::CircularBasisConfig single_config;
+  single_config.dimension = 10'000;
+  single_config.size = 64;
+  single_config.seed = 4;
+  const hdc::CircularScalarEncoder single(
+      hdc::make_circular_basis(single_config), hdc::stats::two_pi);
+
+  const double quarter = hdc::stats::two_pi / 4.0;
+  const double multi_sim =
+      hdc::similarity(multi.encode(0.0), multi.encode(quarter));
+  const double single_sim =
+      hdc::similarity(single.encode(0.0), single.encode(quarter));
+  EXPECT_LT(multi_sim, single_sim - 0.1);
+
+  // ... while immediate neighbours stay strongly correlated.
+  const double step = hdc::stats::two_pi / 64.0;
+  EXPECT_GT(hdc::similarity(multi.encode(0.0), multi.encode(step)), 0.9);
+}
+
+TEST(MultiScaleEncoderTest, PreservesWrapTopology) {
+  const MultiScaleCircularEncoder enc(config_with({16, 64}));
+  const double just_before = hdc::stats::two_pi - 0.05;
+  EXPECT_GT(hdc::similarity(enc.encode(just_before), enc.encode(0.05)), 0.85);
+}
+
+TEST(MultiScaleEncoderTest, SingleScaleDegeneratesToCircularEncoder) {
+  // With one scale the encoder must agree with CircularScalarEncoder built
+  // from the equivalent basis (same derived seed).
+  MultiScaleCircularEncoder::Config config = config_with({32}, 2'048);
+  const MultiScaleCircularEncoder multi(config);
+  hdc::CircularBasisConfig basis_config;
+  basis_config.dimension = 2'048;
+  basis_config.size = 32;
+  basis_config.seed = hdc::derive_seed(config.seed, 0);
+  const hdc::CircularScalarEncoder single(
+      hdc::make_circular_basis(basis_config), config.period);
+  for (const double theta : {0.3, 2.2, 4.4}) {
+    EXPECT_EQ(multi.encode(theta), single.encode(theta));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+// Property tests for the HDC operations of Section 2.1: binding, bundling,
+// permutation, and the normalized Hamming distance.
+
+#include "hdc/core/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "hdc/core/accumulator.hpp"
+
+namespace {
+
+using hdc::BundleAccumulator;
+using hdc::Hypervector;
+using hdc::Rng;
+
+constexpr std::size_t kDim = 10'000;
+// Normalized distance between random vectors: mean 1/2, sd = 1/(2 sqrt(d)).
+// 6 sigma at d = 10,000 is 0.03.
+constexpr double kSixSigma = 0.03;
+
+class OpsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OpsPropertyTest, RandomPairsAreQuasiOrthogonal) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  EXPECT_NEAR(hdc::normalized_distance(a, b), 0.5, kSixSigma);
+}
+
+TEST_P(OpsPropertyTest, BindingIsCommutative) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  EXPECT_EQ(hdc::bind(a, b), hdc::bind(b, a));
+}
+
+TEST_P(OpsPropertyTest, BindingIsSelfInverse) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  EXPECT_EQ(hdc::bind(a, hdc::bind(a, b)), b);
+}
+
+TEST_P(OpsPropertyTest, BindingOutputDissimilarToOperands) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  const auto bound = hdc::bind(a, b);
+  EXPECT_NEAR(hdc::normalized_distance(bound, a), 0.5, kSixSigma);
+  EXPECT_NEAR(hdc::normalized_distance(bound, b), 0.5, kSixSigma);
+}
+
+TEST_P(OpsPropertyTest, BindingPreservesDistances) {
+  // delta(A^C, B^C) == delta(A, B): XOR by a common vector is an isometry.
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  const auto c = Hypervector::random(kDim, rng);
+  EXPECT_EQ(hdc::hamming_distance(a ^ c, b ^ c), hdc::hamming_distance(a, b));
+}
+
+TEST_P(OpsPropertyTest, PermutationIsInvertible) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  for (const std::size_t shift : {std::size_t{1}, std::size_t{64},
+                                  std::size_t{123}, kDim - 1, kDim, kDim + 7}) {
+    EXPECT_EQ(hdc::permute_inverse(hdc::permute(a, shift), shift), a)
+        << "shift " << shift;
+  }
+}
+
+TEST_P(OpsPropertyTest, PermutationOutputDissimilarToInput) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  EXPECT_NEAR(hdc::normalized_distance(hdc::permute(a, 1), a), 0.5, kSixSigma);
+}
+
+TEST_P(OpsPropertyTest, PermutationPreservesDistances) {
+  Rng rng(GetParam());
+  const auto a = Hypervector::random(kDim, rng);
+  const auto b = Hypervector::random(kDim, rng);
+  EXPECT_EQ(hdc::hamming_distance(hdc::permute(a, 17), hdc::permute(b, 17)),
+            hdc::hamming_distance(a, b));
+}
+
+TEST_P(OpsPropertyTest, BundleIsSimilarToOperands) {
+  Rng rng(GetParam());
+  std::vector<Hypervector> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back(Hypervector::random(kDim, rng));
+  }
+  const Hypervector bundle = hdc::majority(inputs, rng);
+  for (const auto& input : inputs) {
+    // Each of 5 random inputs agrees with the majority in expectation on
+    // 1/2 + C(4,2)/2^5 = 11/16 of positions -> delta = 5/16.
+    EXPECT_NEAR(hdc::normalized_distance(bundle, input), 5.0 / 16.0, kSixSigma);
+  }
+  // ... but stays quasi-orthogonal to an unrelated vector.
+  const auto other = Hypervector::random(kDim, rng);
+  EXPECT_NEAR(hdc::normalized_distance(bundle, other), 0.5, kSixSigma);
+}
+
+TEST_P(OpsPropertyTest, BindingDistributesOverBundling) {
+  // C ^ majority(A1..A3) == majority(C^A1, .., C^A3) — exact for odd n.
+  Rng rng(GetParam());
+  const auto c = Hypervector::random(kDim, rng);
+  std::vector<Hypervector> inputs;
+  std::vector<Hypervector> bound_inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back(Hypervector::random(kDim, rng));
+    bound_inputs.push_back(c ^ inputs.back());
+  }
+  Rng tie_a(99);
+  Rng tie_b(99);
+  EXPECT_EQ(c ^ hdc::majority(inputs, tie_a),
+            hdc::majority(bound_inputs, tie_b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsPropertyTest,
+                         ::testing::Values(1U, 2U, 3U, 17U, 1234U, 99999U));
+
+TEST(OpsTest, MajorityOfOneIsIdentity) {
+  Rng rng(5);
+  const auto a = Hypervector::random(257, rng);
+  const std::vector<Hypervector> one{a};
+  EXPECT_EQ(hdc::majority(one, rng), a);
+}
+
+TEST(OpsTest, MajorityOddIsExact) {
+  // 3-input majority computed bit by bit.
+  const bool a_bits[] = {true, true, false, false, true};
+  const bool b_bits[] = {true, false, true, false, false};
+  const bool c_bits[] = {false, true, true, false, false};
+  const std::vector<Hypervector> inputs{Hypervector::from_bits(a_bits),
+                                        Hypervector::from_bits(b_bits),
+                                        Hypervector::from_bits(c_bits)};
+  Rng rng(1);
+  const Hypervector out = hdc::majority(inputs, rng);
+  EXPECT_TRUE(out.bit(0));
+  EXPECT_TRUE(out.bit(1));
+  EXPECT_TRUE(out.bit(2));
+  EXPECT_FALSE(out.bit(3));
+  EXPECT_FALSE(out.bit(4));
+}
+
+TEST(OpsTest, MajorityEmptyThrows) {
+  Rng rng(1);
+  const std::vector<Hypervector> empty;
+  EXPECT_THROW((void)hdc::majority(empty, rng), std::invalid_argument);
+}
+
+TEST(OpsTest, FlipRandomBitsFlipsExactCount) {
+  Rng rng(11);
+  const auto a = Hypervector::random(1'000, rng);
+  for (const std::size_t count : {0U, 1U, 10U, 500U, 999U, 1'000U}) {
+    const auto flipped = hdc::flip_random_bits(a, count, rng);
+    EXPECT_EQ(hdc::hamming_distance(a, flipped), count) << "count " << count;
+  }
+  EXPECT_THROW((void)hdc::flip_random_bits(a, 1'001, rng),
+               std::invalid_argument);
+}
+
+TEST(OpsTest, RandomWalkMatchesClosedFormExpectation) {
+  Rng rng(12);
+  const std::size_t dim = 10'000;
+  const auto a = Hypervector::random(dim, rng);
+  const std::size_t steps = 2'000;
+  // E[delta] = (1 - (1 - 2/d)^steps) / 2 ~ 0.1648 at these parameters.
+  double total = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    total += hdc::normalized_distance(a, hdc::random_walk_flips(a, steps, rng));
+  }
+  EXPECT_NEAR(total / trials, 0.5 * (1.0 - std::pow(1.0 - 2.0 / 10'000.0,
+                                                    2'000.0)),
+              0.01);
+}
+
+TEST(OpsTest, AccumulatorMatchesNaryMajority) {
+  Rng rng(13);
+  std::vector<Hypervector> inputs;
+  for (int i = 0; i < 7; ++i) {
+    inputs.push_back(Hypervector::random(333, rng));
+  }
+  BundleAccumulator acc(333);
+  for (const auto& hv : inputs) {
+    acc.add(hv);
+  }
+  Rng tie_a(7);
+  Rng tie_b(7);
+  EXPECT_EQ(acc.finalize(tie_a), hdc::majority(inputs, tie_b));
+}
+
+TEST(OpsTest, AccumulatorSubtractUndoesAdd) {
+  Rng rng(14);
+  const auto a = Hypervector::random(100, rng);
+  const auto b = Hypervector::random(100, rng);
+  BundleAccumulator acc(100);
+  acc.add(a);
+  acc.add(b);
+  acc.subtract(b);
+  BundleAccumulator only_a(100);
+  only_a.add(a);
+  EXPECT_TRUE(std::ranges::equal(acc.counters(), only_a.counters()));
+}
+
+TEST(OpsTest, SignedProjectionIdentifiesMember) {
+  Rng rng(15);
+  std::vector<Hypervector> inputs;
+  BundleAccumulator acc(10'000);
+  for (int i = 0; i < 9; ++i) {
+    inputs.push_back(Hypervector::random(10'000, rng));
+    acc.add(inputs.back());
+  }
+  const auto outsider = Hypervector::random(10'000, rng);
+  for (const auto& member : inputs) {
+    EXPECT_GT(acc.signed_projection(member),
+              acc.signed_projection(outsider));
+  }
+}
+
+}  // namespace

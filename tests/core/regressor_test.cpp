@@ -1,0 +1,143 @@
+// Tests for the HDC regression framework (Section 2.3): binary and integer
+// readouts on synthetic circular-linear functions.
+
+#include "hdc/core/regressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+using hdc::HDRegressor;
+using hdc::Rng;
+
+hdc::ScalarEncoderPtr label_encoder(double lo, double hi,
+                                    std::size_t d = 10'000) {
+  hdc::LevelBasisConfig config;
+  config.dimension = d;
+  config.size = 64;
+  config.seed = 100;
+  return std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(config), lo, hi);
+}
+
+std::shared_ptr<hdc::CircularScalarEncoder> angle_encoder(
+    std::size_t d = 10'000, std::size_t m = 64) {
+  hdc::CircularBasisConfig config;
+  config.dimension = d;
+  config.size = m;
+  config.seed = 101;
+  return std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(config), hdc::stats::two_pi);
+}
+
+TEST(RegressorTest, ValidatesConstruction) {
+  EXPECT_THROW(HDRegressor(nullptr, 1), std::invalid_argument);
+}
+
+TEST(RegressorTest, PredictRequiresFinalize) {
+  HDRegressor model(label_encoder(0.0, 1.0, 256), 1);
+  Rng rng(2);
+  const auto query = hdc::Hypervector::random(256, rng);
+  EXPECT_THROW((void)model.predict(query), std::logic_error);
+  EXPECT_THROW((void)model.model(), std::logic_error);
+  // The integer readout works straight off the accumulator.
+  EXPECT_NO_THROW((void)model.predict_integer(query));
+}
+
+TEST(RegressorTest, ValidatesInputDimension) {
+  HDRegressor model(label_encoder(0.0, 1.0, 256), 1);
+  Rng rng(3);
+  const auto wrong = hdc::Hypervector::random(128, rng);
+  EXPECT_THROW(model.add_sample(wrong, 0.5), std::invalid_argument);
+  model.finalize();
+  EXPECT_THROW((void)model.predict(wrong), std::invalid_argument);
+  EXPECT_THROW((void)model.predict_integer(wrong), std::invalid_argument);
+}
+
+TEST(RegressorTest, MemorizesSingleSampleExactly) {
+  // One sample: M = phi(x) ^ phi_l(y), so M ^ phi(x) == phi_l(y) exactly
+  // and decoding returns y's grid point.
+  const auto labels = label_encoder(0.0, 63.0);
+  const auto inputs = angle_encoder();
+  HDRegressor model(labels, 4);
+  model.add_sample(inputs->encode(1.0), 17.0);
+  model.finalize();
+  EXPECT_DOUBLE_EQ(model.predict(inputs->encode(1.0)), 17.0);
+  EXPECT_DOUBLE_EQ(model.predict_integer(inputs->encode(1.0)), 17.0);
+}
+
+TEST(RegressorTest, LearnsSmoothCircularFunction) {
+  // y = sin(theta): a few hundred samples, integer readout tracks the curve.
+  const auto labels = label_encoder(-1.2, 1.2);
+  const auto inputs = angle_encoder();
+  HDRegressor model(labels, 5);
+  Rng rng(6);
+  for (int i = 0; i < 400; ++i) {
+    const double theta = rng.uniform(0.0, hdc::stats::two_pi);
+    model.add_sample(inputs->encode(theta),
+                     std::sin(theta) + rng.normal(0.0, 0.05));
+  }
+  model.finalize();
+  double se = 0.0;
+  const int probes = 100;
+  for (int i = 0; i < probes; ++i) {
+    const double theta = rng.uniform(0.0, hdc::stats::two_pi);
+    const double predicted = model.predict_integer(inputs->encode(theta));
+    se += (predicted - std::sin(theta)) * (predicted - std::sin(theta));
+  }
+  EXPECT_LT(se / probes, 0.2);  // the curve's variance is 0.5
+}
+
+TEST(RegressorTest, BinaryReadoutRecallsMemorizedPairs) {
+  // Section 2.3's core property: the single bundled hypervector memorizes
+  // (sample, label) pairs and the binary readout recalls them.  Recall needs
+  // quasi-orthogonal sample keys, so the inputs use a random basis (with
+  // correlated bases the bundle saturates; see EXPERIMENTS.md).
+  const auto labels = label_encoder(-1.2, 1.2);
+  hdc::RandomBasisConfig keys_config;
+  keys_config.dimension = 10'000;
+  keys_config.size = 15;
+  keys_config.seed = 102;
+  const hdc::Basis keys = hdc::make_random_basis(keys_config);
+  HDRegressor model(labels, 7);
+  Rng rng(8);
+  std::vector<double> values;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    values.push_back(rng.uniform(-1.0, 1.0));
+    model.add_sample(keys[i], values.back());
+  }
+  model.finalize();
+  double se = 0.0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const double predicted = model.predict(keys[i]);
+    se += (predicted - values[i]) * (predicted - values[i]);
+  }
+  EXPECT_LT(se / static_cast<double>(keys.size()), 0.05);
+}
+
+TEST(RegressorTest, SampleCountTracksAdds) {
+  HDRegressor model(label_encoder(0.0, 1.0, 128), 9);
+  Rng rng(10);
+  EXPECT_EQ(model.sample_count(), 0U);
+  model.add_sample(hdc::Hypervector::random(128, rng), 0.3);
+  model.add_sample(hdc::Hypervector::random(128, rng), 0.7);
+  EXPECT_EQ(model.sample_count(), 2U);
+}
+
+TEST(RegressorTest, LabelsAccessorExposesEncoder) {
+  const auto labels = label_encoder(0.0, 10.0, 128);
+  HDRegressor model(labels, 11);
+  EXPECT_EQ(&model.labels(), labels.get());
+  EXPECT_EQ(model.dimension(), 128U);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for the invertible scalar encoders (phi_L of Sections 2.3/3.2 and
+// the circular variant of Section 5).
+
+#include "hdc/core/scalar_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::CircularScalarEncoder;
+using hdc::LinearScalarEncoder;
+
+Basis levels(std::size_t m, std::uint64_t seed, std::size_t d = 2'048) {
+  hdc::LevelBasisConfig config;
+  config.dimension = d;
+  config.size = m;
+  config.seed = seed;
+  return hdc::make_level_basis(config);
+}
+
+Basis circle(std::size_t m, std::uint64_t seed, std::size_t d = 2'048) {
+  hdc::CircularBasisConfig config;
+  config.dimension = d;
+  config.size = m;
+  config.seed = seed;
+  return hdc::make_circular_basis(config);
+}
+
+TEST(LinearScalarEncoderTest, ValidatesArguments) {
+  EXPECT_THROW(LinearScalarEncoder(levels(4, 1), 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(LinearScalarEncoder(levels(4, 1), 2.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(LinearScalarEncoderTest, GridAssignmentIsNearestPoint) {
+  // m = 5 over [0, 4]: grid points 0, 1, 2, 3, 4.
+  const LinearScalarEncoder enc(levels(5, 2), 0.0, 4.0);
+  EXPECT_EQ(enc.index_of(0.0), 0U);
+  EXPECT_EQ(enc.index_of(0.49), 0U);
+  EXPECT_EQ(enc.index_of(0.51), 1U);
+  EXPECT_EQ(enc.index_of(2.0), 2U);
+  EXPECT_EQ(enc.index_of(3.9), 4U);
+  EXPECT_EQ(enc.index_of(4.0), 4U);
+}
+
+TEST(LinearScalarEncoderTest, ClampsOutOfRangeValues) {
+  const LinearScalarEncoder enc(levels(5, 3), -1.0, 1.0);
+  EXPECT_EQ(enc.index_of(-100.0), 0U);
+  EXPECT_EQ(enc.index_of(100.0), 4U);
+}
+
+TEST(LinearScalarEncoderTest, ValueOfIsGridPoint) {
+  const LinearScalarEncoder enc(levels(5, 4), 10.0, 18.0);
+  EXPECT_DOUBLE_EQ(enc.value_of(0), 10.0);
+  EXPECT_DOUBLE_EQ(enc.value_of(2), 14.0);
+  EXPECT_DOUBLE_EQ(enc.value_of(4), 18.0);
+  EXPECT_THROW((void)enc.value_of(5), std::invalid_argument);
+}
+
+TEST(LinearScalarEncoderTest, EncodeDecodeRoundTripsToGrid) {
+  const LinearScalarEncoder enc(levels(9, 5), 0.0, 8.0);
+  for (const double x : {0.0, 1.2, 3.9, 6.5, 8.0}) {
+    const double decoded = enc.decode(enc.encode(x));
+    EXPECT_DOUBLE_EQ(decoded,
+                     enc.value_of(enc.index_of(x)));
+    EXPECT_LE(std::abs(decoded - x), 0.5 + 1e-12);  // half a grid step
+  }
+}
+
+TEST(LinearScalarEncoderTest, DecodeSurvivesNoise) {
+  const LinearScalarEncoder enc(levels(9, 6, 10'000), 0.0, 8.0);
+  hdc::Rng rng(7);
+  const hdc::Hypervector noisy = hdc::flip_random_bits(enc.encode(5.0), 300, rng);
+  EXPECT_DOUBLE_EQ(enc.decode(noisy), 5.0);
+}
+
+TEST(CircularScalarEncoderTest, ValidatesArguments) {
+  EXPECT_THROW(CircularScalarEncoder(circle(4, 1), 0.0), std::invalid_argument);
+  EXPECT_THROW(CircularScalarEncoder(circle(4, 1), -1.0),
+               std::invalid_argument);
+}
+
+TEST(CircularScalarEncoderTest, GridWrapsAround) {
+  constexpr double period = hdc::stats::two_pi;
+  const CircularScalarEncoder enc(circle(8, 2), period);
+  EXPECT_EQ(enc.index_of(0.0), 0U);
+  EXPECT_EQ(enc.index_of(period), 0U);               // exact wrap
+  EXPECT_EQ(enc.index_of(period - 0.01), 0U);        // rounds up, wraps
+  EXPECT_EQ(enc.index_of(period / 2), 4U);
+  EXPECT_EQ(enc.index_of(-period / 8), 7U);          // negative wraps
+  EXPECT_EQ(enc.index_of(3 * period), 0U);           // multiple turns
+}
+
+TEST(CircularScalarEncoderTest, ValueOfIsGridAngle) {
+  constexpr double period = 24.0;  // e.g. hours of a day
+  const CircularScalarEncoder enc(circle(24, 3), period);
+  EXPECT_DOUBLE_EQ(enc.value_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(enc.value_of(6), 6.0);
+  EXPECT_DOUBLE_EQ(enc.value_of(23), 23.0);
+  EXPECT_THROW((void)enc.value_of(24), std::invalid_argument);
+}
+
+TEST(CircularScalarEncoderTest, EncodeDecodeRoundTripsToGrid) {
+  const CircularScalarEncoder enc(circle(12, 4), hdc::stats::two_pi);
+  for (const double theta : {0.0, 1.0, 3.14, 6.0, 6.28}) {
+    EXPECT_DOUBLE_EQ(enc.decode(enc.encode(theta)),
+                     enc.value_of(enc.index_of(theta)));
+  }
+}
+
+TEST(CircularScalarEncoderTest, NeighbouringAnglesAreSimilar) {
+  const CircularScalarEncoder enc(circle(16, 5, 10'000), hdc::stats::two_pi);
+  // Angles just across the wrap boundary map to adjacent ring elements.
+  const double before = hdc::stats::two_pi - 0.2;
+  const double after = 0.2;
+  EXPECT_LT(hdc::normalized_distance(enc.encode(before), enc.encode(after)),
+            0.2);
+}
+
+TEST(ScalarEncoderInterfaceTest, SizeAndDimensionComeFromBasis) {
+  const LinearScalarEncoder lin(levels(7, 8, 512), 0.0, 1.0);
+  EXPECT_EQ(lin.size(), 7U);
+  EXPECT_EQ(lin.dimension(), 512U);
+  const CircularScalarEncoder circ(circle(6, 9, 256), 1.0);
+  EXPECT_EQ(circ.size(), 6U);
+  EXPECT_EQ(circ.dimension(), 256U);
+}
+
+}  // namespace

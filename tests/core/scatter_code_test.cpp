@@ -1,0 +1,105 @@
+// Tests for scatter codes (Section 4.2): calibration, the saturating
+// (nonlinear) distance profile, and validation.
+
+#include "hdc/core/scatter_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/ops.hpp"
+#include "hdc/stats/markov_absorption.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::ScatterBasisConfig;
+
+Basis make(std::size_t d, std::size_t m, std::uint64_t seed,
+           std::size_t steps = 0) {
+  ScatterBasisConfig config;
+  config.dimension = d;
+  config.size = m;
+  config.seed = seed;
+  config.steps_per_level = steps;
+  return hdc::make_scatter_basis(config);
+}
+
+TEST(ScatterCodeTest, ValidatesConfig) {
+  EXPECT_THROW((void)make(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)make(128, 1, 1), std::invalid_argument);
+  EXPECT_THROW((void)hdc::scatter_calibrated_steps(0, 4),
+               std::invalid_argument);
+  EXPECT_THROW((void)hdc::scatter_calibrated_steps(100, 1),
+               std::invalid_argument);
+}
+
+TEST(ScatterCodeTest, CalibratedStepsHitNeighbourTarget) {
+  const std::size_t d = 10'000;
+  for (const std::size_t m : {4UL, 12UL, 64UL}) {
+    const std::size_t steps = hdc::scatter_calibrated_steps(d, m);
+    ASSERT_GT(steps, 0U);
+    const double realized =
+        hdc::stats::expected_distance_after_flips(d, static_cast<double>(steps));
+    const double target = 1.0 / (2.0 * static_cast<double>(m - 1));
+    // Rounding to an integer step count moves the expectation by less than
+    // one flip's worth, i.e. < 1/d.
+    EXPECT_NEAR(realized, target, 1.0 / static_cast<double>(d)) << "m=" << m;
+  }
+}
+
+TEST(ScatterCodeTest, ProfileMatchesClosedForm) {
+  const std::size_t d = 10'000;
+  const std::size_t m = 12;
+  const Basis basis = make(d, m, 3);
+  const std::size_t steps = hdc::scatter_calibrated_steps(d, m);
+  const double tolerance = 5.0 / (2.0 * std::sqrt(static_cast<double>(d)));
+  for (std::size_t j = 1; j < m; ++j) {
+    const double expected = hdc::scatter_expected_distance(d, steps, 0, j);
+    EXPECT_NEAR(hdc::normalized_distance(basis[0], basis[j]), expected,
+                tolerance)
+        << "level " << j;
+  }
+}
+
+TEST(ScatterCodeTest, ProfileIsNonlinearlySaturating) {
+  // Unlike Algorithm 1's linear profile, the scatter profile falls short of
+  // the linear target at the far end (Section 4.2's nonlinear mapping).
+  const std::size_t d = 10'000;
+  const std::size_t m = 12;
+  const Basis basis = make(d, m, 4);
+  const double far = hdc::normalized_distance(basis[0], basis[m - 1]);
+  const double linear_target = hdc::level_target_distance(1, m, m);  // 0.5
+  EXPECT_LT(far, linear_target - 0.1);
+  // ... while the neighbour distance still matches the linear target.
+  EXPECT_NEAR(hdc::normalized_distance(basis[0], basis[1]),
+              hdc::level_target_distance(1, 2, m), 0.02);
+}
+
+TEST(ScatterCodeTest, ExplicitStepCountIsHonoured) {
+  const std::size_t d = 4'096;
+  const Basis basis = make(d, 3, 5, /*steps=*/100);
+  // 100 flips with replacement: expected distance (1 - (1-2/d)^100)/2.
+  const double expected = hdc::stats::expected_distance_after_flips(d, 100.0);
+  EXPECT_NEAR(hdc::normalized_distance(basis[0], basis[1]), expected, 0.03);
+  EXPECT_NEAR(hdc::normalized_distance(basis[1], basis[2]), expected, 0.03);
+}
+
+TEST(ScatterCodeTest, DeterministicGivenSeed) {
+  const Basis a = make(1'024, 6, 9);
+  const Basis b = make(1'024, 6, 9);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(ScatterCodeTest, InfoRecordsProvenance) {
+  const Basis basis = make(256, 4, 11);
+  EXPECT_EQ(basis.info().kind, hdc::BasisKind::Scatter);
+  EXPECT_EQ(basis.info().dimension, 256U);
+  EXPECT_EQ(basis.info().size, 4U);
+  EXPECT_EQ(basis.info().seed, 11U);
+}
+
+}  // namespace

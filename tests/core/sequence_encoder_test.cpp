@@ -1,0 +1,93 @@
+// Tests for the position-aware sequence encoder and the n-gram text encoder
+// (Section 3.1).
+
+#include "hdc/core/sequence_encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "hdc/core/ops.hpp"
+
+namespace {
+
+using hdc::NGramEncoder;
+using hdc::SequenceEncoder;
+
+TEST(SequenceEncoderTest, ValidatesArguments) {
+  EXPECT_THROW(SequenceEncoder(0, 1), std::invalid_argument);
+  SequenceEncoder enc(128, 1);
+  const std::vector<std::string_view> empty;
+  EXPECT_THROW((void)enc.encode(empty), std::invalid_argument);
+  EXPECT_THROW((void)enc.encode_word(""), std::invalid_argument);
+}
+
+TEST(SequenceEncoderTest, EncodingIsDeterministic) {
+  SequenceEncoder a(4'096, 11);
+  SequenceEncoder b(4'096, 11);
+  EXPECT_EQ(a.encode_word("gesture"), b.encode_word("gesture"));
+}
+
+TEST(SequenceEncoderTest, OrderMatters) {
+  SequenceEncoder enc(10'000, 12);
+  const auto abc = enc.encode_word("abc");
+  const auto acb = enc.encode_word("acb");
+  // Swapping two letters moves 2 of 3 bundled items: far in hyperspace.
+  EXPECT_GT(hdc::normalized_distance(abc, acb), 0.25);
+}
+
+TEST(SequenceEncoderTest, SharedTokensPreserveSimilarity) {
+  SequenceEncoder enc(10'000, 13);
+  const auto word = enc.encode_word("surgeons");
+  const auto near = enc.encode_word("surgeonz");  // one letter differs
+  const auto far = enc.encode_word("telemetry");
+  EXPECT_LT(hdc::normalized_distance(word, near),
+            hdc::normalized_distance(word, far));
+  EXPECT_LT(hdc::normalized_distance(word, near), 0.3);
+}
+
+TEST(SequenceEncoderTest, WordEncodingMatchesTokenEncoding) {
+  SequenceEncoder enc(2'048, 14);
+  const std::vector<std::string_view> tokens{"c", "a", "t"};
+  EXPECT_EQ(enc.encode(tokens), enc.encode_word("cat"));
+}
+
+TEST(NGramEncoderTest, ValidatesArguments) {
+  EXPECT_THROW(NGramEncoder(0, 3, 1), std::invalid_argument);
+  EXPECT_THROW(NGramEncoder(128, 0, 1), std::invalid_argument);
+  NGramEncoder enc(128, 3, 1);
+  EXPECT_THROW((void)enc.encode(""), std::invalid_argument);
+}
+
+TEST(NGramEncoderTest, DeterministicGivenSeed) {
+  NGramEncoder a(4'096, 3, 21);
+  NGramEncoder b(4'096, 3, 21);
+  EXPECT_EQ(a.encode("hyperdimensional"), b.encode("hyperdimensional"));
+}
+
+TEST(NGramEncoderTest, SharedSubstringsIncreaseSimilarity) {
+  NGramEncoder enc(10'000, 3, 22);
+  const auto base = enc.encode("the quick brown fox");
+  const auto related = enc.encode("the quick brown cat");
+  const auto unrelated = enc.encode("zxqj vwpk mlrt ghnd");
+  EXPECT_LT(hdc::normalized_distance(base, related),
+            hdc::normalized_distance(base, unrelated));
+}
+
+TEST(NGramEncoderTest, ShortTextsUsePartialWindow) {
+  NGramEncoder enc(1'024, 5, 23);
+  // Shorter than n: encoded as a single partial gram, must not throw.
+  const auto hv = enc.encode("ab");
+  EXPECT_EQ(hv.dimension(), 1'024U);
+}
+
+TEST(NGramEncoderTest, AnagramsDiffer) {
+  // Binding with positional permutation distinguishes "abc" from "cba"
+  // within each window.
+  NGramEncoder enc(10'000, 3, 24);
+  EXPECT_GT(hdc::normalized_distance(enc.encode("abc"), enc.encode("cba")),
+            0.3);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+// Round-trip and failure-injection tests for the binary serialization.
+
+#include "hdc/core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/scatter_code.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::Hypervector;
+using hdc::Rng;
+using hdc::SerializationError;
+
+TEST(SerializationTest, HypervectorRoundTrip) {
+  Rng rng(1);
+  for (const std::size_t d : {1UL, 63UL, 64UL, 65UL, 10'000UL}) {
+    const Hypervector original = Hypervector::random(d, rng);
+    std::stringstream stream;
+    hdc::write_hypervector(stream, original);
+    const Hypervector loaded = hdc::read_hypervector(stream);
+    EXPECT_EQ(loaded, original) << "d = " << d;
+  }
+}
+
+TEST(SerializationTest, MultipleRecordsInOneStream) {
+  Rng rng(2);
+  const auto a = Hypervector::random(300, rng);
+  const auto b = Hypervector::random(300, rng);
+  std::stringstream stream;
+  hdc::write_hypervector(stream, a);
+  hdc::write_hypervector(stream, b);
+  EXPECT_EQ(hdc::read_hypervector(stream), a);
+  EXPECT_EQ(hdc::read_hypervector(stream), b);
+}
+
+TEST(SerializationTest, EmptyHypervectorRejected) {
+  std::stringstream stream;
+  EXPECT_THROW(hdc::write_hypervector(stream, Hypervector()),
+               SerializationError);
+}
+
+TEST(SerializationTest, BasisRoundTripPreservesEverything) {
+  hdc::CircularBasisConfig config;
+  config.dimension = 1'000;
+  config.size = 10;
+  config.r = 0.25;
+  config.seed = 99;
+  const Basis original = hdc::make_circular_basis(config);
+
+  std::stringstream stream;
+  hdc::write_basis(stream, original);
+  const Basis loaded = hdc::read_basis(stream);
+
+  EXPECT_EQ(loaded.info().kind, original.info().kind);
+  EXPECT_EQ(loaded.info().method, original.info().method);
+  EXPECT_EQ(loaded.info().dimension, original.info().dimension);
+  EXPECT_EQ(loaded.info().size, original.info().size);
+  EXPECT_DOUBLE_EQ(loaded.info().r, original.info().r);
+  EXPECT_EQ(loaded.info().seed, original.info().seed);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i], original[i]);
+  }
+}
+
+TEST(SerializationTest, AllBasisKindsRoundTrip) {
+  std::vector<Basis> bases;
+  {
+    hdc::RandomBasisConfig c;
+    c.dimension = 200;
+    c.size = 3;
+    c.seed = 1;
+    bases.push_back(hdc::make_random_basis(c));
+  }
+  {
+    hdc::LevelBasisConfig c;
+    c.dimension = 200;
+    c.size = 4;
+    c.method = hdc::LevelMethod::ExactFlip;
+    c.seed = 2;
+    bases.push_back(hdc::make_level_basis(c));
+  }
+  {
+    hdc::ScatterBasisConfig c;
+    c.dimension = 200;
+    c.size = 5;
+    c.seed = 3;
+    bases.push_back(hdc::make_scatter_basis(c));
+  }
+  for (const Basis& basis : bases) {
+    std::stringstream stream;
+    hdc::write_basis(stream, basis);
+    const Basis loaded = hdc::read_basis(stream);
+    EXPECT_EQ(loaded.info().kind, basis.info().kind);
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      EXPECT_EQ(loaded[i], basis[i]);
+    }
+  }
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::stringstream stream("NOPE....garbage");
+  EXPECT_THROW((void)hdc::read_hypervector(stream), SerializationError);
+}
+
+TEST(SerializationTest, RejectsWrongTag) {
+  Rng rng(3);
+  std::stringstream stream;
+  hdc::write_hypervector(stream, Hypervector::random(64, rng));
+  // Reading a basis from a hypervector record must fail on the tag.
+  EXPECT_THROW((void)hdc::read_basis(stream), SerializationError);
+}
+
+TEST(SerializationTest, RejectsTruncatedStream) {
+  Rng rng(4);
+  std::stringstream stream;
+  hdc::write_hypervector(stream, Hypervector::random(10'000, rng));
+  const std::string full = stream.str();
+  for (const std::size_t keep : {4UL, 5UL, 12UL, full.size() - 8}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW((void)hdc::read_hypervector(cut), SerializationError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(SerializationTest, RejectsImplausibleDimension) {
+  // Header with a huge dimension must be rejected before allocation.
+  std::stringstream stream;
+  stream.write("HDC\x01", 4);
+  stream.put('\x01');  // hypervector tag
+  const std::uint64_t absurd = ~0ULL;
+  stream.write(reinterpret_cast<const char*>(&absurd), 8);
+  EXPECT_THROW((void)hdc::read_hypervector(stream), SerializationError);
+}
+
+TEST(SerializationTest, RejectsTailBitViolation) {
+  // d = 60 with all-ones payload word: bits beyond the dimension are set.
+  std::stringstream stream;
+  stream.write("HDC\x01", 4);
+  stream.put('\x01');
+  const std::uint64_t dim = 60;
+  stream.write(reinterpret_cast<const char*>(&dim), 8);
+  const std::uint64_t word = ~0ULL;
+  stream.write(reinterpret_cast<const char*>(&word), 8);
+  EXPECT_THROW((void)hdc::read_hypervector(stream), SerializationError);
+}
+
+TEST(SerializationTest, RejectsCorruptedBasisHeader) {
+  hdc::RandomBasisConfig config;
+  config.dimension = 100;
+  config.size = 2;
+  config.seed = 7;
+  std::stringstream stream;
+  hdc::write_basis(stream, hdc::make_random_basis(config));
+  std::string bytes = stream.str();
+  bytes[5] = '\x7F';  // corrupt the basis-kind byte
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)hdc::read_basis(corrupted), SerializationError);
+}
+
+}  // namespace

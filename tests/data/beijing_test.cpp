@@ -1,0 +1,126 @@
+// Tests for the synthetic Beijing temperature series.
+
+#include "hdc/data/beijing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hdc/stats/descriptive.hpp"
+
+namespace {
+
+namespace data = hdc::data;
+
+TEST(BeijingTest, CoversPaperDateRangeHourly) {
+  const auto records = data::make_beijing_dataset({});
+  // 2013-03-01 .. 2017-02-28, hourly; 2016 is a leap year:
+  // 306 + 365 + 365 + 366 + 59 days = 1461 days = 35064 hours.
+  EXPECT_EQ(records.size(), 35'064U);
+  EXPECT_EQ(records.front().year_index, 0U);
+  EXPECT_EQ(records.front().day_of_year, 60U);  // March 1st, non-leap
+  EXPECT_EQ(records.front().hour, 0U);
+  EXPECT_EQ(records.back().year_index, 4U);
+  EXPECT_EQ(records.back().day_of_year, 59U);  // February 28th, 2017
+  EXPECT_EQ(records.back().hour, 23U);
+}
+
+TEST(BeijingTest, FieldsAreInRange) {
+  const auto records = data::make_beijing_dataset({});
+  for (const auto& record : records) {
+    EXPECT_LE(record.year_index, 4U);
+    EXPECT_GE(record.day_of_year, 1U);
+    EXPECT_LE(record.day_of_year, 366U);
+    EXPECT_LT(record.hour, 24U);
+    EXPECT_GT(record.temperature, -40.0);
+    EXPECT_LT(record.temperature, 50.0);
+  }
+}
+
+TEST(BeijingTest, LeapDayAppearsExactlyOnce) {
+  const auto records = data::make_beijing_dataset({});
+  std::size_t leap_hours = 0;
+  for (const auto& record : records) {
+    leap_hours += record.day_of_year == 366 ? 1 : 0;
+  }
+  EXPECT_EQ(leap_hours, 24U);  // Dec 31, 2016 in day-of-year numbering
+}
+
+TEST(BeijingTest, SummerIsWarmerThanWinter) {
+  const auto records = data::make_beijing_dataset({});
+  std::vector<double> july;
+  std::vector<double> january;
+  for (const auto& record : records) {
+    if (record.day_of_year >= 182 && record.day_of_year <= 212) {
+      july.push_back(record.temperature);
+    } else if (record.day_of_year >= 1 && record.day_of_year <= 31) {
+      january.push_back(record.temperature);
+    }
+  }
+  EXPECT_GT(hdc::stats::mean(july), hdc::stats::mean(january) + 20.0);
+}
+
+TEST(BeijingTest, AfternoonIsWarmerThanNight) {
+  const auto records = data::make_beijing_dataset({});
+  std::vector<double> afternoon;
+  std::vector<double> night;
+  for (const auto& record : records) {
+    if (record.hour == 15) {
+      afternoon.push_back(record.temperature);
+    } else if (record.hour == 3) {
+      night.push_back(record.temperature);
+    }
+  }
+  EXPECT_GT(hdc::stats::mean(afternoon), hdc::stats::mean(night) + 4.0);
+}
+
+TEST(BeijingTest, ModelMatchesSpecification) {
+  const data::BeijingConfig config;
+  // Mid-January at night, year 0: roughly mean - annual amplitude - diurnal.
+  const double winter_night = data::beijing_model_temperature(config, 0, 15, 3);
+  EXPECT_NEAR(winter_night,
+              config.mean_temperature - config.annual_amplitude -
+                  config.diurnal_amplitude,
+              1.5);
+  // Mid-July afternoon of year 4 adds the trend and both amplitudes.
+  const double summer_afternoon =
+      data::beijing_model_temperature(config, 4, 197, 15);
+  EXPECT_GT(summer_afternoon, 28.0);
+  EXPECT_LT(summer_afternoon, 36.0);
+}
+
+TEST(BeijingTest, DeterministicGivenSeed) {
+  const auto a = data::make_beijing_dataset({});
+  const auto b = data::make_beijing_dataset({});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    EXPECT_DOUBLE_EQ(a[i].temperature, b[i].temperature);
+  }
+  data::BeijingConfig other;
+  other.seed = 1234;
+  const auto c = data::make_beijing_dataset(other);
+  EXPECT_NE(a.front().temperature, c.front().temperature);
+}
+
+TEST(BeijingTest, WeatherNoiseIsAutocorrelated) {
+  // Consecutive-hour residuals must correlate strongly (AR(1) with 0.97).
+  const data::BeijingConfig config;
+  const auto records = data::make_beijing_dataset(config);
+  std::vector<double> residual_now;
+  std::vector<double> residual_next;
+  for (std::size_t i = 0; i + 1 < 5'000; ++i) {
+    const auto& now = records[i];
+    const auto& next = records[i + 1];
+    residual_now.push_back(now.temperature -
+                           data::beijing_model_temperature(
+                               config, now.year_index, now.day_of_year,
+                               now.hour));
+    residual_next.push_back(next.temperature -
+                            data::beijing_model_temperature(
+                                config, next.year_index, next.day_of_year,
+                                next.hour));
+  }
+  EXPECT_GT(hdc::stats::pearson_correlation(residual_now, residual_next), 0.9);
+}
+
+}  // namespace

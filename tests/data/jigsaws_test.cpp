@@ -1,0 +1,156 @@
+// Tests for the synthetic JIGSAWS-like gesture dataset generator.
+
+#include "hdc/data/jigsaws.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+namespace data = hdc::data;
+
+TEST(JigsawsTest, ToStringNamesTasks) {
+  EXPECT_STREQ(data::to_string(data::SurgicalTask::KnotTying), "Knot Tying");
+  EXPECT_STREQ(data::to_string(data::SurgicalTask::NeedlePassing),
+               "Needle Passing");
+  EXPECT_STREQ(data::to_string(data::SurgicalTask::Suturing), "Suturing");
+}
+
+TEST(JigsawsTest, ValidatesConfig) {
+  data::JigsawsConfig config;
+  config.num_gestures = 1;
+  EXPECT_THROW((void)data::make_jigsaws_dataset(config), std::invalid_argument);
+  config = {};
+  config.train_surgeon = 8;
+  EXPECT_THROW((void)data::make_jigsaws_dataset(config), std::invalid_argument);
+  config = {};
+  config.wrap_band_sigma = 0.0;
+  EXPECT_THROW((void)data::make_jigsaws_dataset(config), std::invalid_argument);
+  config = {};
+  config.modes_per_channel = 0;
+  EXPECT_THROW((void)data::make_jigsaws_dataset(config), std::invalid_argument);
+}
+
+TEST(JigsawsTest, SizesMatchConfiguration) {
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 10;
+  config.test_samples_per_gesture_per_surgeon = 4;
+  const data::GestureDataset dataset = data::make_jigsaws_dataset(config);
+  EXPECT_EQ(dataset.num_gestures, 15U);
+  EXPECT_EQ(dataset.num_channels, 18U);
+  EXPECT_EQ(dataset.train.size(), 15U * 10U);
+  // 7 non-training surgeons x 15 gestures x 4 samples.
+  EXPECT_EQ(dataset.test.size(), 7U * 15U * 4U);
+}
+
+TEST(JigsawsTest, LabelsAndAnglesAreInRange) {
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 5;
+  config.test_samples_per_gesture_per_surgeon = 2;
+  const auto dataset = data::make_jigsaws_dataset(config);
+  const auto check = [&](const data::GestureSample& sample) {
+    EXPECT_LT(sample.gesture, dataset.num_gestures);
+    EXPECT_LT(sample.surgeon, dataset.num_surgeons);
+    ASSERT_EQ(sample.angles.size(), dataset.num_channels);
+    for (const double theta : sample.angles) {
+      EXPECT_GE(theta, 0.0);
+      EXPECT_LT(theta, hdc::stats::two_pi);
+    }
+  };
+  for (const auto& sample : dataset.train) {
+    check(sample);
+    EXPECT_EQ(sample.surgeon, dataset.train_surgeon);
+  }
+  for (const auto& sample : dataset.test) {
+    check(sample);
+    EXPECT_NE(sample.surgeon, dataset.train_surgeon);
+  }
+}
+
+TEST(JigsawsTest, AllGesturesAndSurgeonsAppear) {
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 3;
+  config.test_samples_per_gesture_per_surgeon = 2;
+  const auto dataset = data::make_jigsaws_dataset(config);
+  std::set<std::size_t> train_gestures;
+  for (const auto& sample : dataset.train) {
+    train_gestures.insert(sample.gesture);
+  }
+  EXPECT_EQ(train_gestures.size(), dataset.num_gestures);
+  std::set<std::size_t> test_surgeons;
+  for (const auto& sample : dataset.test) {
+    test_surgeons.insert(sample.surgeon);
+  }
+  EXPECT_EQ(test_surgeons.size(), dataset.num_surgeons - 1);
+}
+
+TEST(JigsawsTest, DeterministicGivenSeed) {
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 4;
+  config.test_samples_per_gesture_per_surgeon = 2;
+  const auto a = data::make_jigsaws_dataset(config);
+  const auto b = data::make_jigsaws_dataset(config);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].angles, b.train[i].angles);
+    EXPECT_EQ(a.train[i].gesture, b.train[i].gesture);
+  }
+}
+
+TEST(JigsawsTest, TasksProduceDifferentData) {
+  data::JigsawsConfig knot;
+  knot.task = data::SurgicalTask::KnotTying;
+  knot.train_samples_per_gesture = 3;
+  knot.test_samples_per_gesture_per_surgeon = 1;
+  data::JigsawsConfig suture = knot;
+  suture.task = data::SurgicalTask::Suturing;
+  const auto a = data::make_jigsaws_dataset(knot);
+  const auto b = data::make_jigsaws_dataset(suture);
+  EXPECT_NE(a.train.front().angles, b.train.front().angles);
+  EXPECT_EQ(a.task_name, "Knot Tying");
+  EXPECT_EQ(b.task_name, "Suturing");
+}
+
+TEST(JigsawsTest, GestureClassesAreConcentrated) {
+  // Samples of one gesture cluster around its modes: the within-gesture
+  // dispersion of a channel must be far below the uniform-circle dispersion.
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 200;
+  config.test_samples_per_gesture_per_surgeon = 1;
+  config.modes_per_channel = 1;  // unimodal for a clean dispersion check
+  const auto dataset = data::make_jigsaws_dataset(config);
+  std::vector<double> channel0;
+  for (const auto& sample : dataset.train) {
+    if (sample.gesture == 0) {
+      channel0.push_back(sample.angles[0]);
+    }
+  }
+  ASSERT_EQ(channel0.size(), 200U);
+  const auto summary = hdc::stats::circular_summary(channel0);
+  EXPECT_GT(summary.resultant_length, 0.9);  // kappa ~ 30 is tight
+}
+
+TEST(JigsawsTest, WrapStraddlingMassExists) {
+  // The generator's purpose: a substantial share of samples near the 0/2*pi
+  // boundary (within 0.35 rad), the regime separating circular from level.
+  data::JigsawsConfig config;
+  config.train_samples_per_gesture = 50;
+  config.test_samples_per_gesture_per_surgeon = 1;
+  const auto dataset = data::make_jigsaws_dataset(config);
+  std::size_t near_boundary = 0;
+  std::size_t total = 0;
+  for (const auto& sample : dataset.train) {
+    for (const double theta : sample.angles) {
+      near_boundary +=
+          (theta < 0.35 || theta > hdc::stats::two_pi - 0.35) ? 1 : 0;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(near_boundary) / static_cast<double>(total),
+            0.2);
+}
+
+}  // namespace

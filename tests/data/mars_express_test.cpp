@@ -1,0 +1,93 @@
+// Tests for the synthetic Mars Express power telemetry.
+
+#include "hdc/data/mars_express.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <vector>
+
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+namespace data = hdc::data;
+
+TEST(MarsExpressTest, ValidatesConfig) {
+  data::MarsExpressConfig config;
+  config.num_samples = 0;
+  EXPECT_THROW((void)data::make_mars_express_dataset(config),
+               std::invalid_argument);
+}
+
+TEST(MarsExpressTest, ProducesRequestedSampleCount) {
+  data::MarsExpressConfig config;
+  config.num_samples = 1'234;
+  EXPECT_EQ(data::make_mars_express_dataset(config).size(), 1'234U);
+}
+
+TEST(MarsExpressTest, AnomaliesCoverTheCircle) {
+  const auto records = data::make_mars_express_dataset({});
+  std::vector<double> anomalies;
+  for (const auto& record : records) {
+    EXPECT_GE(record.mean_anomaly, 0.0);
+    EXPECT_LT(record.mean_anomaly, hdc::stats::two_pi);
+    anomalies.push_back(record.mean_anomaly);
+  }
+  // Uniform coverage: resultant length near zero.
+  EXPECT_LT(hdc::stats::circular_summary(anomalies).resultant_length, 0.1);
+}
+
+TEST(MarsExpressTest, EclipseSeasonDipsThePower) {
+  const data::MarsExpressConfig config;
+  // The model dips around anomaly pi by roughly eclipse_depth.
+  const double at_pi = data::mars_model_power(config, std::numbers::pi);
+  const double away =
+      data::mars_model_power(config, std::numbers::pi / 4.0);
+  EXPECT_LT(at_pi, away - 20.0);
+}
+
+TEST(MarsExpressTest, ModelMatchesSpecification) {
+  data::MarsExpressConfig config;
+  config.eclipse_depth = 0.0;  // isolate the harmonics
+  const double at_perihelion =
+      data::mars_model_power(config, config.orbit_phase);
+  // First harmonic peaks at the orbit phase.
+  EXPECT_GT(at_perihelion, config.base_power + config.orbit_amplitude -
+                               config.second_amplitude - 1e-9);
+}
+
+TEST(MarsExpressTest, PowerIsCircularlyCorrelatedWithAnomaly) {
+  const auto records = data::make_mars_express_dataset({});
+  std::vector<double> anomalies;
+  std::vector<double> power;
+  for (const auto& record : records) {
+    anomalies.push_back(record.mean_anomaly);
+    power.push_back(record.power);
+  }
+  EXPECT_GT(hdc::stats::circular_linear_correlation(anomalies, power), 0.3);
+}
+
+TEST(MarsExpressTest, DeterministicGivenSeed) {
+  const auto a = data::make_mars_express_dataset({});
+  const auto b = data::make_mars_express_dataset({});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 37) {
+    EXPECT_DOUBLE_EQ(a[i].mean_anomaly, b[i].mean_anomaly);
+    EXPECT_DOUBLE_EQ(a[i].power, b[i].power);
+  }
+  data::MarsExpressConfig other;
+  other.seed = 555;
+  const auto c = data::make_mars_express_dataset(other);
+  EXPECT_NE(a.front().power, c.front().power);
+}
+
+TEST(MarsExpressTest, PowerStaysInPhysicalRange) {
+  const auto records = data::make_mars_express_dataset({});
+  for (const auto& record : records) {
+    EXPECT_GT(record.power, 0.0);
+    EXPECT_LT(record.power, 250.0);
+  }
+}
+
+}  // namespace

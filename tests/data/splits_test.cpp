@@ -1,0 +1,74 @@
+// Tests for the train/test splitters.
+
+#include "hdc/data/splits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace {
+
+namespace data = hdc::data;
+
+TEST(SplitsTest, ChronologicalSplitsPrefix) {
+  const auto split = data::chronological_split(10, 0.7);
+  ASSERT_EQ(split.train.size(), 7U);
+  ASSERT_EQ(split.test.size(), 3U);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(split.train[i], i);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(split.test[i], 7 + i);
+  }
+}
+
+TEST(SplitsTest, ChronologicalNeverEmptiesEitherSide) {
+  const auto tiny = data::chronological_split(2, 0.99);
+  EXPECT_EQ(tiny.train.size(), 1U);
+  EXPECT_EQ(tiny.test.size(), 1U);
+  const auto tiny2 = data::chronological_split(2, 0.01);
+  EXPECT_EQ(tiny2.train.size(), 1U);
+  EXPECT_EQ(tiny2.test.size(), 1U);
+}
+
+TEST(SplitsTest, RandomSplitIsAPartition) {
+  const auto split = data::random_split(100, 0.7, 42);
+  EXPECT_EQ(split.train.size(), 70U);
+  EXPECT_EQ(split.test.size(), 30U);
+  std::set<std::size_t> all(split.train.begin(), split.train.end());
+  all.insert(split.test.begin(), split.test.end());
+  EXPECT_EQ(all.size(), 100U);
+  EXPECT_EQ(*all.begin(), 0U);
+  EXPECT_EQ(*all.rbegin(), 99U);
+}
+
+TEST(SplitsTest, RandomSplitActuallyShuffles) {
+  const auto split = data::random_split(1'000, 0.7, 42);
+  // The train set must not be the sorted prefix.
+  EXPECT_FALSE(std::is_sorted(split.train.begin(), split.train.end()));
+  // ... and must contain indices from the high end.
+  EXPECT_TRUE(std::any_of(split.train.begin(), split.train.end(),
+                          [](std::size_t i) { return i >= 900; }));
+}
+
+TEST(SplitsTest, RandomSplitDeterministicPerSeed) {
+  const auto a = data::random_split(50, 0.5, 7);
+  const auto b = data::random_split(50, 0.5, 7);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+  const auto c = data::random_split(50, 0.5, 8);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitsTest, Validation) {
+  EXPECT_THROW((void)data::chronological_split(0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)data::chronological_split(10, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)data::chronological_split(10, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)data::random_split(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW((void)data::random_split(10, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace

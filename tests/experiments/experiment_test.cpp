@@ -1,0 +1,129 @@
+// Integration tests of the experiment harness: the exact code paths behind
+// the Table 1 / Table 2 / Figure 8 bench binaries, at reduced scale.
+
+#include "hdc/experiments/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+namespace exp = hdc::exp;
+
+exp::ExperimentParams small_params() {
+  exp::ExperimentParams params;
+  params.dimension = 2'048;
+  params.value_levels = 32;
+  params.label_levels = 64;
+  params.mars_value_levels = 256;
+  params.max_test_samples = 800;
+  params.seed = 1;
+  return params;
+}
+
+TEST(ExperimentTest, ToStringCoversEnums) {
+  EXPECT_STREQ(to_string(exp::BasisChoice::Random), "Random");
+  EXPECT_STREQ(to_string(exp::BasisChoice::Level), "Level");
+  EXPECT_STREQ(to_string(exp::BasisChoice::Circular), "Circular");
+  EXPECT_STREQ(to_string(exp::DatasetId::Beijing), "Beijing");
+  EXPECT_STREQ(to_string(exp::DatasetId::MarsExpress), "Mars Express");
+  EXPECT_STREQ(to_string(exp::DatasetId::Suturing), "Suturing");
+}
+
+TEST(ExperimentTest, ValueEncoderFactoryBuildsEachFamily) {
+  for (const auto choice :
+       {exp::BasisChoice::Random, exp::BasisChoice::Level,
+        exp::BasisChoice::Circular, exp::BasisChoice::CircularCosine}) {
+    const auto encoder =
+        exp::make_value_encoder(choice, 0.0, 1'024, 16, 10.0, 7);
+    ASSERT_NE(encoder, nullptr);
+    EXPECT_EQ(encoder->size(), 16U);
+    EXPECT_EQ(encoder->dimension(), 1'024U);
+    // Domain [0, 10): in-range values round-trip through the grid.
+    EXPECT_LE(encoder->index_of(9.9), 16U);
+  }
+  EXPECT_THROW(
+      (void)exp::make_value_encoder(exp::BasisChoice::Level, 2.0, 128, 8, 1.0, 1),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)exp::make_value_encoder(exp::BasisChoice::Level, 0.0, 128, 8, 0.0, 1),
+      std::invalid_argument);
+  // The cosine profile has no r-relaxation.
+  EXPECT_THROW((void)exp::make_value_encoder(exp::BasisChoice::CircularCosine,
+                                             0.5, 128, 8, 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(ExperimentTest, CircularEncoderWrapsWhereLinearClamps) {
+  const auto circular = exp::make_value_encoder(exp::BasisChoice::Circular,
+                                                0.0, 1'024, 8, 8.0, 3);
+  const auto linear =
+      exp::make_value_encoder(exp::BasisChoice::Level, 0.0, 1'024, 8, 8.0, 3);
+  EXPECT_EQ(circular->index_of(7.9), 0U);  // wraps to the first grid point
+  EXPECT_EQ(linear->index_of(7.9), 7U);    // clamps to the last one
+}
+
+TEST(ExperimentTest, GestureClassificationReproducesTable1Ordering) {
+  const auto params = small_params();
+  const auto random = exp::run_gesture_classification(
+      hdc::data::SurgicalTask::KnotTying, exp::BasisChoice::Random, 0.0,
+      params);
+  const auto circular = exp::run_gesture_classification(
+      hdc::data::SurgicalTask::KnotTying, exp::BasisChoice::Circular, 0.1,
+      params);
+  EXPECT_GT(random.accuracy, 0.3);  // far above the 1/15 chance level
+  EXPECT_GT(circular.accuracy, random.accuracy);
+  EXPECT_EQ(random.train_size, circular.train_size);
+  EXPECT_GT(random.test_size, 0U);
+}
+
+TEST(ExperimentTest, MarsRegressionReproducesTable2Ordering) {
+  const auto params = small_params();
+  const auto random =
+      exp::run_mars_regression(exp::BasisChoice::Random, 0.0, params);
+  const auto level =
+      exp::run_mars_regression(exp::BasisChoice::Level, 0.0, params);
+  const auto circular =
+      exp::run_mars_regression(exp::BasisChoice::Circular, 0.01, params);
+  EXPECT_LT(circular.mse, level.mse);
+  EXPECT_LT(level.mse, random.mse);
+  EXPECT_DOUBLE_EQ(circular.rmse * circular.rmse, circular.mse);
+}
+
+TEST(ExperimentTest, RSweepValidatesAndNormalizes) {
+  const auto params = small_params();
+  EXPECT_THROW((void)exp::run_r_sweep(exp::DatasetId::MarsExpress, {}, params),
+               std::invalid_argument);
+  const std::vector<double> bad{0.5, 1.5};
+  EXPECT_THROW((void)exp::run_r_sweep(exp::DatasetId::MarsExpress, bad, params),
+               std::invalid_argument);
+
+  const std::vector<double> rs{0.0, 1.0};
+  const auto sweep = exp::run_r_sweep(exp::DatasetId::MarsExpress, rs, params);
+  ASSERT_EQ(sweep.normalized_error.size(), 2U);
+  EXPECT_GT(sweep.reference_error, 0.0);
+  // r = 0 (circular) must beat the random reference; r = 1 degenerates to a
+  // random set, landing near 1.0.
+  EXPECT_LT(sweep.normalized_error[0], 0.8);
+  EXPECT_NEAR(sweep.normalized_error[1], 1.0, 0.45);
+}
+
+TEST(ExperimentTest, RunsAreDeterministic) {
+  const auto params = small_params();
+  const auto a =
+      exp::run_mars_regression(exp::BasisChoice::Circular, 0.01, params);
+  const auto b =
+      exp::run_mars_regression(exp::BasisChoice::Circular, 0.01, params);
+  EXPECT_DOUBLE_EQ(a.mse, b.mse);
+}
+
+TEST(ExperimentTest, BinaryReadoutPathRuns) {
+  auto params = small_params();
+  params.integer_decode = false;
+  const auto run =
+      exp::run_mars_regression(exp::BasisChoice::Circular, 0.01, params);
+  EXPECT_GT(run.mse, 0.0);
+}
+
+}  // namespace

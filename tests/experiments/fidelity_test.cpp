@@ -1,0 +1,94 @@
+// Shape-fidelity tests: assert, at reduced scale, the orderings that the
+// paper's tables report and that the bench binaries print at full scale.
+// These are the repository's regression guards for the reproduction itself.
+
+#include <gtest/gtest.h>
+
+#include "hdc/experiments/experiment.hpp"
+
+namespace {
+
+namespace exp = hdc::exp;
+
+exp::ExperimentParams medium_params() {
+  exp::ExperimentParams params;
+  params.dimension = 4'096;  // enough signal for stable orderings, fast
+  params.value_levels = 64;
+  params.label_levels = 128;
+  params.mars_value_levels = 512;
+  params.max_test_samples = 1'500;
+  params.seed = 1;
+  return params;
+}
+
+TEST(FidelityTest, Table1OrderingHoldsOnEveryTask) {
+  const auto params = medium_params();
+  for (const auto task :
+       {hdc::data::SurgicalTask::KnotTying,
+        hdc::data::SurgicalTask::NeedlePassing,
+        hdc::data::SurgicalTask::Suturing}) {
+    const double random =
+        exp::run_gesture_classification(task, exp::BasisChoice::Random, 0.0,
+                                        params)
+            .accuracy;
+    const double level =
+        exp::run_gesture_classification(task, exp::BasisChoice::Level, 0.0,
+                                        params)
+            .accuracy;
+    const double circular =
+        exp::run_gesture_classification(task, exp::BasisChoice::Circular, 0.1,
+                                        params)
+            .accuracy;
+    // Paper Table 1 shape: circular wins clearly; level does not beat random.
+    EXPECT_GT(circular, random + 0.03) << to_string(task);
+    EXPECT_LE(level, random + 0.02) << to_string(task);
+  }
+}
+
+TEST(FidelityTest, Table2OrderingHoldsOnBothDatasets) {
+  const auto params = medium_params();
+  const double beijing_random =
+      exp::run_beijing_regression(exp::BasisChoice::Random, 0.0, params).mse;
+  const double beijing_level =
+      exp::run_beijing_regression(exp::BasisChoice::Level, 0.0, params).mse;
+  const double beijing_circular =
+      exp::run_beijing_regression(exp::BasisChoice::Circular, 0.01, params)
+          .mse;
+  EXPECT_LT(beijing_circular, 0.7 * beijing_level);
+  EXPECT_LT(beijing_level, 0.7 * beijing_random);
+
+  const double mars_random =
+      exp::run_mars_regression(exp::BasisChoice::Random, 0.0, params).mse;
+  const double mars_level =
+      exp::run_mars_regression(exp::BasisChoice::Level, 0.0, params).mse;
+  const double mars_circular =
+      exp::run_mars_regression(exp::BasisChoice::Circular, 0.01, params).mse;
+  EXPECT_LT(mars_circular, 0.8 * mars_level);
+  EXPECT_LT(mars_level, 0.8 * mars_random);
+}
+
+TEST(FidelityTest, Figure8EndpointsBracketTheSweep) {
+  const auto params = medium_params();
+  const std::vector<double> rs{0.0, 0.5, 1.0};
+  const auto sweep =
+      exp::run_r_sweep(exp::DatasetId::MarsExpress, rs, params);
+  // r = 0 beats the random reference decisively; r = 1 is statistically the
+  // random reference (normalized error near 1).
+  EXPECT_LT(sweep.normalized_error[0], 0.7);
+  EXPECT_GT(sweep.normalized_error[2], 0.6);
+  // The r = 0.5 point stays between "clearly better" and "random-like".
+  EXPECT_LT(sweep.normalized_error[1], sweep.normalized_error[2]);
+}
+
+TEST(FidelityTest, CosineProfileAlsoBeatsRandomOnRegression) {
+  // The extension profile preserves the paper's headline regression claim.
+  const auto params = medium_params();
+  const double random =
+      exp::run_mars_regression(exp::BasisChoice::Random, 0.0, params).mse;
+  const double cosine =
+      exp::run_mars_regression(exp::BasisChoice::CircularCosine, 0.0, params)
+          .mse;
+  EXPECT_LT(cosine, 0.6 * random);
+}
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Tests for the plain-text table and heat-map renderers.
+
+#include "hdc/experiments/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using hdc::exp::TextTable;
+
+TEST(TextTableTest, ValidatesHeaderAndRows) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);  // header rule
+  EXPECT_EQ(table.num_rows(), 2U);
+}
+
+TEST(FormattersTest, FormatDouble) {
+  EXPECT_EQ(hdc::exp::format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(hdc::exp::format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(hdc::exp::format_double(2.0, 0), "2");
+}
+
+TEST(FormattersTest, FormatPercent) {
+  EXPECT_EQ(hdc::exp::format_percent(0.84), "84.0%");
+  EXPECT_EQ(hdc::exp::format_percent(0.7659, 2), "76.59%");
+}
+
+TEST(HeatmapTest, RendersOneGlyphPairPerCell) {
+  const std::vector<std::vector<double>> matrix{{0.5, 1.0}, {0.75, 0.5}};
+  const std::string out = hdc::exp::render_heatmap(matrix, 0.5, 1.0);
+  // Two rows, each 2 cells x 2 chars + newline.
+  EXPECT_EQ(out, "  @@\n++  \n");
+}
+
+TEST(HeatmapTest, ClampsOutOfRangeValues) {
+  const std::vector<std::vector<double>> matrix{{-5.0, 5.0}};
+  const std::string out = hdc::exp::render_heatmap(matrix, 0.0, 1.0);
+  EXPECT_EQ(out, "  @@\n");
+}
+
+TEST(HeatmapTest, Validation) {
+  EXPECT_THROW((void)hdc::exp::render_heatmap({}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)hdc::exp::render_heatmap({{1.0}}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)hdc::exp::render_heatmap({{1.0}, {1.0, 2.0}}, 0.0, 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Tests for hyperdimensional consistent hashing (the Heddes et al. [13]
+// substrate): correctness, balance, minimal remapping, and noise robustness.
+
+#include "hdc/hash/hd_hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using hdc::hash::HDHashRing;
+
+HDHashRing::Config small_config() {
+  HDHashRing::Config config;
+  config.dimension = 2'048;
+  config.ring_size = 64;
+  config.virtual_nodes = 4;
+  config.seed = 9;
+  return config;
+}
+
+std::vector<std::string> make_keys(std::size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+  }
+  return keys;
+}
+
+TEST(HDHashRingTest, ValidatesConfig) {
+  HDHashRing::Config config = small_config();
+  config.ring_size = 1;
+  EXPECT_THROW(HDHashRing ring(config), std::invalid_argument);
+  config = small_config();
+  config.dimension = 0;
+  EXPECT_THROW(HDHashRing ring(config), std::invalid_argument);
+  config = small_config();
+  config.virtual_nodes = 0;
+  EXPECT_THROW(HDHashRing ring(config), std::invalid_argument);
+}
+
+TEST(HDHashRingTest, EmptyRingReturnsNullopt) {
+  const HDHashRing ring(small_config());
+  EXPECT_FALSE(ring.lookup("anything").has_value());
+}
+
+TEST(HDHashRingTest, AddRemoveServerLifecycle) {
+  HDHashRing ring(small_config());
+  EXPECT_THROW(ring.add_server(""), std::invalid_argument);
+  ring.add_server("alpha");
+  EXPECT_EQ(ring.num_servers(), 1U);
+  EXPECT_THROW(ring.add_server("alpha"), std::invalid_argument);
+  EXPECT_FALSE(ring.remove_server("ghost"));
+  EXPECT_TRUE(ring.remove_server("alpha"));
+  EXPECT_EQ(ring.num_servers(), 0U);
+  EXPECT_TRUE(ring.server_slots("alpha").empty());
+}
+
+TEST(HDHashRingTest, SingleServerOwnsEverything) {
+  HDHashRing ring(small_config());
+  ring.add_server("solo");
+  for (const auto& key : make_keys(100)) {
+    const auto owner = ring.lookup(key);
+    ASSERT_TRUE(owner.has_value());
+    EXPECT_EQ(*owner, "solo");
+  }
+}
+
+TEST(HDHashRingTest, LookupIsDeterministic) {
+  HDHashRing ring(small_config());
+  for (const char* s : {"a", "b", "c"}) {
+    ring.add_server(s);
+  }
+  for (const auto& key : make_keys(50)) {
+    EXPECT_EQ(ring.lookup(key), ring.lookup(key));
+  }
+}
+
+TEST(HDHashRingTest, LoadIsRoughlyBalanced) {
+  HDHashRing::Config config = small_config();
+  config.ring_size = 256;
+  config.virtual_nodes = 8;
+  HDHashRing ring(config);
+  const std::size_t servers = 8;
+  for (std::size_t s = 0; s < servers; ++s) {
+    ring.add_server("server-" + std::to_string(s));
+  }
+  std::map<std::string, std::size_t> load;
+  const auto keys = make_keys(4'000);
+  for (const auto& key : keys) {
+    load[*ring.lookup(key)] += 1;
+  }
+  EXPECT_EQ(load.size(), servers);
+  for (const auto& [server, count] : load) {
+    // No server should see more than ~3x its fair share.
+    EXPECT_LT(count, 3 * keys.size() / servers) << server;
+    EXPECT_GT(count, 0U) << server;
+  }
+}
+
+TEST(HDHashRingTest, RemovalOnlyRemapsRemovedServersKeys) {
+  HDHashRing ring(small_config());
+  for (const char* s : {"a", "b", "c", "d"}) {
+    ring.add_server(s);
+  }
+  const auto keys = make_keys(1'000);
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) {
+    before[key] = *ring.lookup(key);
+  }
+  ring.remove_server("b");
+  for (const auto& key : keys) {
+    const std::string now = *ring.lookup(key);
+    if (before[key] != "b") {
+      EXPECT_EQ(now, before[key]) << key;
+    } else {
+      EXPECT_NE(now, "b") << key;
+    }
+  }
+}
+
+TEST(HDHashRingTest, AdditionOnlyStealsKeysForNewServer) {
+  HDHashRing ring(small_config());
+  for (const char* s : {"a", "b", "c"}) {
+    ring.add_server(s);
+  }
+  const auto keys = make_keys(1'000);
+  std::map<std::string, std::string> before;
+  for (const auto& key : keys) {
+    before[key] = *ring.lookup(key);
+  }
+  ring.add_server("fresh");
+  std::size_t moved = 0;
+  for (const auto& key : keys) {
+    const std::string now = *ring.lookup(key);
+    if (now != before[key]) {
+      EXPECT_EQ(now, "fresh") << key;
+      ++moved;
+    }
+  }
+  // The newcomer takes a nonzero but minority share.
+  EXPECT_GT(moved, 0U);
+  EXPECT_LT(moved, keys.size() / 2);
+}
+
+TEST(HDHashRingTest, NoisyLookupIsRobust) {
+  HDHashRing::Config config = small_config();
+  config.dimension = 10'000;
+  HDHashRing ring(config);
+  for (const char* s : {"a", "b", "c", "d", "e"}) {
+    ring.add_server(s);
+  }
+  hdc::Rng rng(4);
+  const auto keys = make_keys(300);
+  // 10% corruption: ring slots are ~1/64 apart in similarity, yet cleanup
+  // still recovers the slot almost always.
+  std::size_t agree = 0;
+  for (const auto& key : keys) {
+    agree += (ring.lookup_noisy(key, 1'000, rng) == ring.lookup(key)) ? 1U : 0U;
+  }
+  EXPECT_GE(agree, 295U);
+}
+
+TEST(HDHashRingTest, SlotOfKeyIsStableUnderServerChurn) {
+  HDHashRing ring(small_config());
+  const std::size_t slot = ring.slot_of_key("stable-key");
+  ring.add_server("x");
+  ring.add_server("y");
+  ring.remove_server("x");
+  EXPECT_EQ(ring.slot_of_key("stable-key"), slot);
+  EXPECT_LT(slot, ring.ring_size());
+}
+
+}  // namespace

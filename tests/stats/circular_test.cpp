@@ -1,0 +1,136 @@
+// Tests for the directional-statistics primitives.
+
+#include "hdc/stats/circular.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+
+namespace {
+
+namespace stats = hdc::stats;
+constexpr double pi = std::numbers::pi;
+
+TEST(CircularTest, WrapAngleIntoPrincipalRange) {
+  EXPECT_DOUBLE_EQ(stats::wrap_angle(0.0), 0.0);
+  EXPECT_NEAR(stats::wrap_angle(stats::two_pi), 0.0, 1e-12);
+  EXPECT_NEAR(stats::wrap_angle(-0.1), stats::two_pi - 0.1, 1e-12);
+  EXPECT_NEAR(stats::wrap_angle(5.0 * pi), pi, 1e-12);
+  EXPECT_NEAR(stats::wrap_angle(-7.25 * stats::two_pi),
+              0.75 * stats::two_pi, 1e-9);
+}
+
+TEST(CircularTest, AngularDifferenceIsSignedMinimal) {
+  EXPECT_NEAR(stats::angular_difference(0.3, 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(stats::angular_difference(0.1, 0.3), -0.2, 1e-12);
+  // Across the wrap: 0.1 and 2*pi - 0.1 are 0.2 apart.
+  EXPECT_NEAR(stats::angular_difference(0.1, stats::two_pi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(stats::angular_difference(stats::two_pi - 0.1, 0.1), -0.2,
+              1e-12);
+  // Antipodal angles map to +pi (the half-open convention).
+  EXPECT_NEAR(stats::angular_difference(pi, 0.0), pi, 1e-12);
+}
+
+TEST(CircularTest, CircularDistanceMatchesPaperFormula) {
+  // rho(a, b) = (1 - cos(a - b)) / 2 (Section 5).
+  EXPECT_DOUBLE_EQ(stats::circular_distance(1.0, 1.0), 0.0);
+  EXPECT_NEAR(stats::circular_distance(0.0, pi), 1.0, 1e-12);
+  EXPECT_NEAR(stats::circular_distance(0.0, pi / 2), 0.5, 1e-12);
+  // Symmetric and wrap-invariant.
+  EXPECT_DOUBLE_EQ(stats::circular_distance(0.3, 1.7),
+                   stats::circular_distance(1.7, 0.3));
+  EXPECT_NEAR(stats::circular_distance(0.1, stats::two_pi - 0.1),
+              stats::circular_distance(0.1, -0.1), 1e-12);
+}
+
+TEST(CircularTest, ArcDistance) {
+  EXPECT_NEAR(stats::arc_distance(0.0, pi / 3), pi / 3, 1e-12);
+  EXPECT_NEAR(stats::arc_distance(0.1, stats::two_pi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(stats::arc_distance(0.0, pi), pi, 1e-12);
+}
+
+TEST(CircularTest, IndexArcDistance) {
+  EXPECT_EQ(stats::index_arc_distance(0, 0, 12), 0U);
+  EXPECT_EQ(stats::index_arc_distance(0, 3, 12), 3U);
+  EXPECT_EQ(stats::index_arc_distance(0, 6, 12), 6U);
+  EXPECT_EQ(stats::index_arc_distance(0, 9, 12), 3U);
+  EXPECT_EQ(stats::index_arc_distance(11, 0, 12), 1U);
+}
+
+TEST(CircularTest, SummaryOfConcentratedSample) {
+  // Tight cluster around 1.0 radian.
+  std::vector<double> angles;
+  hdc::Rng rng(1);
+  for (int i = 0; i < 2'000; ++i) {
+    angles.push_back(1.0 + rng.normal(0.0, 0.1));
+  }
+  const stats::CircularSummary summary = stats::circular_summary(angles);
+  EXPECT_NEAR(summary.mean_direction, 1.0, 0.02);
+  EXPECT_GT(summary.resultant_length, 0.95);
+  EXPECT_LT(summary.variance, 0.05);
+  EXPECT_NEAR(summary.stddev, 0.1, 0.02);
+}
+
+TEST(CircularTest, MeanHandlesWrapBoundary) {
+  // Samples straddling 0/2*pi must average near 0, not near pi — the very
+  // failure mode linear statistics (and level encodings) exhibit.
+  std::vector<double> angles;
+  hdc::Rng rng(2);
+  for (int i = 0; i < 2'000; ++i) {
+    angles.push_back(stats::wrap_angle(rng.normal(0.0, 0.2)));
+  }
+  const double mean = stats::circular_mean(angles);
+  EXPECT_LT(std::min(mean, stats::two_pi - mean), 0.05);
+}
+
+TEST(CircularTest, UniformSampleHasLowResultant) {
+  std::vector<double> angles;
+  hdc::Rng rng(3);
+  for (int i = 0; i < 5'000; ++i) {
+    angles.push_back(rng.uniform(0.0, stats::two_pi));
+  }
+  EXPECT_LT(stats::circular_summary(angles).resultant_length, 0.05);
+}
+
+TEST(CircularTest, EmptySampleThrows) {
+  EXPECT_THROW((void)stats::circular_summary({}), std::invalid_argument);
+  EXPECT_THROW((void)stats::circular_mean({}), std::invalid_argument);
+}
+
+TEST(CircularTest, CircularLinearCorrelationDetectsCosineLink) {
+  std::vector<double> angles;
+  std::vector<double> values;
+  hdc::Rng rng(4);
+  for (int i = 0; i < 3'000; ++i) {
+    const double theta = rng.uniform(0.0, stats::two_pi);
+    angles.push_back(theta);
+    values.push_back(3.0 * std::cos(theta - 0.7) + rng.normal(0.0, 0.1));
+  }
+  EXPECT_GT(stats::circular_linear_correlation(angles, values), 0.95);
+}
+
+TEST(CircularTest, CircularLinearCorrelationNearZeroForNoise) {
+  std::vector<double> angles;
+  std::vector<double> values;
+  hdc::Rng rng(5);
+  for (int i = 0; i < 3'000; ++i) {
+    angles.push_back(rng.uniform(0.0, stats::two_pi));
+    values.push_back(rng.normal(0.0, 1.0));
+  }
+  EXPECT_LT(stats::circular_linear_correlation(angles, values), 0.05);
+}
+
+TEST(CircularTest, CircularLinearCorrelationValidates) {
+  const std::vector<double> two{0.1, 0.2};
+  EXPECT_THROW(
+      (void)stats::circular_linear_correlation(two, std::vector<double>{1.0}),
+      std::invalid_argument);
+  EXPECT_THROW((void)stats::circular_linear_correlation(two, two),
+               std::invalid_argument);
+}
+
+}  // namespace

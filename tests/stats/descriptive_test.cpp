@@ -1,0 +1,58 @@
+// Tests for the linear descriptive statistics helpers.
+
+#include "hdc/stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+namespace stats = hdc::stats;
+
+TEST(DescriptiveTest, MeanAndVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(stats::population_variance(xs), 4.0);
+  EXPECT_NEAR(stats::sample_variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats::sample_stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(stats::minimum(xs), -1.0);
+  EXPECT_DOUBLE_EQ(stats::maximum(xs), 7.0);
+}
+
+TEST(DescriptiveTest, Quantiles) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(stats::quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(DescriptiveTest, PearsonCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(stats::pearson_correlation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> anti{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::pearson_correlation(xs, anti), -1.0, 1e-12);
+  const std::vector<double> flat(4, 1.0);
+  EXPECT_DOUBLE_EQ(stats::pearson_correlation(xs, flat), 0.0);
+}
+
+TEST(DescriptiveTest, Validation) {
+  EXPECT_THROW((void)stats::mean({}), std::invalid_argument);
+  EXPECT_THROW((void)stats::minimum({}), std::invalid_argument);
+  EXPECT_THROW((void)stats::maximum({}), std::invalid_argument);
+  const std::vector<double> one{1.0};
+  EXPECT_THROW((void)stats::sample_variance(one), std::invalid_argument);
+  EXPECT_THROW((void)stats::quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)stats::quantile(one, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)stats::pearson_correlation(one, one),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Tests for the evaluation metrics, including the paper's Figure 7/8
+// normalizations.
+
+#include "hdc/stats/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+namespace stats = hdc::stats;
+
+TEST(MetricsTest, Accuracy) {
+  const std::vector<std::size_t> truth{0, 1, 2, 1, 0};
+  const std::vector<std::size_t> predicted{0, 1, 1, 1, 2};
+  EXPECT_DOUBLE_EQ(stats::accuracy(truth, predicted), 0.6);
+  EXPECT_THROW((void)stats::accuracy(truth, {}), std::invalid_argument);
+}
+
+TEST(MetricsTest, RegressionErrors) {
+  const std::vector<double> truth{1.0, 2.0, 3.0};
+  const std::vector<double> predicted{1.0, 4.0, 2.0};
+  EXPECT_NEAR(stats::mean_squared_error(truth, predicted), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stats::root_mean_squared_error(truth, predicted),
+              std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(stats::mean_absolute_error(truth, predicted), 1.0, 1e-12);
+  EXPECT_THROW((void)stats::mean_squared_error(truth, {}),
+               std::invalid_argument);
+}
+
+TEST(MetricsTest, RSquared) {
+  const std::vector<double> truth{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::r_squared(truth, truth), 1.0);
+  const std::vector<double> mean_pred(4, 2.5);
+  EXPECT_DOUBLE_EQ(stats::r_squared(truth, mean_pred), 0.0);
+  const std::vector<double> constant_truth(4, 1.0);
+  EXPECT_DOUBLE_EQ(stats::r_squared(constant_truth, mean_pred), 0.0);
+}
+
+TEST(MetricsTest, NormalizedMse) {
+  EXPECT_DOUBLE_EQ(stats::normalized_mse(21.9, 441.1), 21.9 / 441.1);
+  EXPECT_DOUBLE_EQ(stats::normalized_mse(0.0, 5.0), 0.0);
+  EXPECT_THROW((void)stats::normalized_mse(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)stats::normalized_mse(-1.0, 1.0), std::invalid_argument);
+}
+
+TEST(MetricsTest, NormalizedAccuracyError) {
+  // (1 - a) / (1 - a_ref), Section 6.3.
+  EXPECT_DOUBLE_EQ(stats::normalized_accuracy_error(0.84, 0.766),
+                   (1.0 - 0.84) / (1.0 - 0.766));
+  EXPECT_DOUBLE_EQ(stats::normalized_accuracy_error(1.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(stats::normalized_accuracy_error(0.5, 0.5), 1.0);
+  EXPECT_THROW((void)stats::normalized_accuracy_error(1.1, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW((void)stats::normalized_accuracy_error(0.9, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, ValidatesConstructionAndLabels) {
+  EXPECT_THROW(stats::ConfusionMatrix(0), std::invalid_argument);
+  stats::ConfusionMatrix cm(3);
+  EXPECT_THROW(cm.record(3, 0), std::invalid_argument);
+  EXPECT_THROW(cm.record(0, 3), std::invalid_argument);
+  EXPECT_THROW((void)cm.count(3, 0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  stats::ConfusionMatrix cm(2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);  // empty
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  cm.record(1, 1);
+  EXPECT_EQ(cm.total(), 4U);
+  EXPECT_EQ(cm.count(0, 0), 2U);
+  EXPECT_EQ(cm.count(0, 1), 1U);
+  EXPECT_EQ(cm.count(1, 1), 1U);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, PerClassStatistics) {
+  stats::ConfusionMatrix cm(3);
+  // class 0: 3 truths, 2 recovered; predictions of 0: 2 (both correct).
+  cm.record(0, 0);
+  cm.record(0, 0);
+  cm.record(0, 1);
+  // class 1: 2 truths, 1 recovered; predictions of 1: 2 (1 correct).
+  cm.record(1, 1);
+  cm.record(1, 2);
+  // class 2 never occurs as truth; predicted once (wrongly).
+  const auto recall = cm.per_class_recall();
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(recall[1], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[2], 0.0);
+  const auto precision = cm.per_class_precision();
+  EXPECT_DOUBLE_EQ(precision[0], 1.0);
+  EXPECT_DOUBLE_EQ(precision[1], 0.5);
+  EXPECT_DOUBLE_EQ(precision[2], 0.0);
+  // Macro F1 averages the harmonic means.
+  const double f1_0 = 2.0 * (2.0 / 3.0) * 1.0 / (2.0 / 3.0 + 1.0);
+  const double f1_1 = 0.5;
+  EXPECT_NEAR(cm.macro_f1(), (f1_0 + f1_1 + 0.0) / 3.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Tests for the von Mises distribution: density, sampling and fitting.
+
+#include "hdc/stats/von_mises.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hdc/stats/circular.hpp"
+
+namespace {
+
+using hdc::Rng;
+using hdc::stats::VonMises;
+
+TEST(VonMisesTest, ValidatesKappa) {
+  EXPECT_THROW(VonMises(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(VonMises(0.0, std::nan("")), std::invalid_argument);
+  EXPECT_NO_THROW(VonMises(0.0, 0.0));
+}
+
+TEST(VonMisesTest, WrapsMu) {
+  const VonMises dist(hdc::stats::two_pi + 1.0, 2.0);
+  EXPECT_NEAR(dist.mu(), 1.0, 1e-12);
+}
+
+TEST(VonMisesTest, BesselI0KnownValues) {
+  EXPECT_DOUBLE_EQ(VonMises::bessel_i0(0.0), 1.0);
+  EXPECT_NEAR(VonMises::bessel_i0(1.0), 1.2660658777520082, 1e-12);
+  EXPECT_NEAR(VonMises::bessel_i0(2.5), 3.2898391440501231, 1e-10);
+  EXPECT_NEAR(VonMises::bessel_i0(10.0), 2815.7166284662544, 1e-6);
+  // Large-argument asymptotic branch.
+  EXPECT_NEAR(VonMises::bessel_i0(20.0) / 4.355828255955353e7, 1.0, 1e-6);
+}
+
+class VonMisesPdfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(VonMisesPdfTest, DensityIntegratesToOne) {
+  const double kappa = GetParam();
+  const VonMises dist(1.3, kappa);
+  const int n = 20'000;
+  double integral = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double theta = (i + 0.5) * hdc::stats::two_pi / n;
+    integral += dist.pdf(theta) * hdc::stats::two_pi / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-6) << "kappa = " << kappa;
+}
+
+TEST_P(VonMisesPdfTest, DensityPeaksAtMu) {
+  const double kappa = GetParam();
+  if (kappa == 0.0) {
+    GTEST_SKIP() << "uniform distribution has no peak";
+  }
+  const VonMises dist(2.0, kappa);
+  EXPECT_GT(dist.pdf(2.0), dist.pdf(2.5));
+  EXPECT_GT(dist.pdf(2.0), dist.pdf(1.5));
+  EXPECT_NEAR(dist.log_pdf(2.0), std::log(dist.pdf(2.0)), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, VonMisesPdfTest,
+                         ::testing::Values(0.0, 0.5, 2.0, 8.0, 32.0));
+
+TEST(VonMisesTest, SampleRecoversMeanDirection) {
+  Rng rng(1);
+  for (const double mu : {0.1, 2.0, 6.1}) {  // includes wrap-adjacent means
+    const VonMises dist(mu, 6.0);
+    const auto sample = dist.sample(rng, 4'000);
+    const auto summary = hdc::stats::circular_summary(sample);
+    EXPECT_LT(hdc::stats::arc_distance(summary.mean_direction, mu), 0.05)
+        << "mu = " << mu;
+  }
+}
+
+TEST(VonMisesTest, ConcentrationOrdersResultantLength) {
+  Rng rng(2);
+  double previous = 0.0;
+  for (const double kappa : {0.5, 2.0, 8.0, 32.0}) {
+    const VonMises dist(1.0, kappa);
+    const auto sample = dist.sample(rng, 3'000);
+    const double r = hdc::stats::circular_summary(sample).resultant_length;
+    EXPECT_GT(r, previous) << "kappa = " << kappa;
+    previous = r;
+  }
+  EXPECT_GT(previous, 0.95);  // kappa = 32 is tightly concentrated
+}
+
+TEST(VonMisesTest, KappaZeroIsUniform) {
+  Rng rng(3);
+  const VonMises dist(0.0, 0.0);
+  const auto sample = dist.sample(rng, 5'000);
+  EXPECT_LT(hdc::stats::circular_summary(sample).resultant_length, 0.05);
+}
+
+TEST(VonMisesTest, SampleMatchesDensityHistogram) {
+  // Chi-squared-style check: relative bin frequencies track the pdf.
+  Rng rng(4);
+  const VonMises dist(3.0, 4.0);
+  const auto sample = dist.sample(rng, 50'000);
+  constexpr int bins = 16;
+  std::vector<double> counts(bins, 0.0);
+  for (const double theta : sample) {
+    const auto bin = static_cast<std::size_t>(theta / hdc::stats::two_pi * bins);
+    counts[std::min<std::size_t>(bin, bins - 1)] += 1.0;
+  }
+  for (int b = 0; b < bins; ++b) {
+    const double center = (b + 0.5) * hdc::stats::two_pi / bins;
+    const double expected =
+        dist.pdf(center) * hdc::stats::two_pi / bins * 50'000;
+    if (expected > 100.0) {  // only well-populated bins are statistically firm
+      EXPECT_NEAR(counts[static_cast<std::size_t>(b)] / expected, 1.0, 0.15) << "bin " << b;
+    }
+  }
+}
+
+TEST(VonMisesTest, FitRecoversParameters) {
+  Rng rng(5);
+  const VonMises truth(4.5, 7.0);
+  const auto sample = truth.sample(rng, 20'000);
+  const VonMises fitted = VonMises::fit(sample);
+  EXPECT_LT(hdc::stats::arc_distance(fitted.mu(), truth.mu()), 0.03);
+  EXPECT_NEAR(fitted.kappa(), truth.kappa(), 0.7);
+}
+
+TEST(VonMisesTest, FitValidates) {
+  EXPECT_THROW((void)VonMises::fit({}), std::invalid_argument);
+}
+
+}  // namespace

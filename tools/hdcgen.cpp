@@ -1,0 +1,203 @@
+// hdcgen — generate, inspect and compare basis-hypervector files.
+//
+// Usage:
+//   hdcgen gen  --kind random|level|level-flip|circular|circular-cos|scatter
+//               --size M [--dim D] [--r R] [--seed S] --out FILE
+//   hdcgen info FILE            # provenance + summary statistics
+//   hdcgen dist FILE            # pairwise distance matrix
+//   hdcgen heatmap FILE         # ASCII similarity heat map (paper Fig. 3)
+//
+// Files use the library's versioned binary format (hdc/core/serialization).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hdc/core/hdc.hpp"
+#include "hdc/experiments/table.hpp"
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage:\n"
+      "  hdcgen gen --kind KIND --size M [--dim D] [--r R] [--seed S] --out FILE\n"
+      "       KIND: random | level | level-flip | circular | circular-cos | scatter\n"
+      "  hdcgen info FILE\n"
+      "  hdcgen dist FILE\n"
+      "  hdcgen heatmap FILE\n",
+      stderr);
+  return 2;
+}
+
+std::optional<std::string> arg_value(int argc, char** argv,
+                                     std::string_view name) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (name == argv[i]) {
+      return std::string(argv[i + 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+hdc::Basis load_basis(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return hdc::read_basis(in);
+}
+
+int cmd_gen(int argc, char** argv) {
+  const auto kind = arg_value(argc, argv, "--kind");
+  const auto size = arg_value(argc, argv, "--size");
+  const auto out_path = arg_value(argc, argv, "--out");
+  if (!kind || !size || !out_path) {
+    return usage();
+  }
+  const std::size_t m = std::stoul(*size);
+  const std::size_t dim =
+      std::stoul(arg_value(argc, argv, "--dim").value_or("10000"));
+  const double r = std::stod(arg_value(argc, argv, "--r").value_or("0"));
+  const std::uint64_t seed =
+      std::stoull(arg_value(argc, argv, "--seed").value_or("1"));
+
+  std::optional<hdc::Basis> basis;
+  if (*kind == "random") {
+    hdc::RandomBasisConfig config;
+    config.dimension = dim;
+    config.size = m;
+    config.seed = seed;
+    basis.emplace(hdc::make_random_basis(config));
+  } else if (*kind == "level" || *kind == "level-flip") {
+    hdc::LevelBasisConfig config;
+    config.dimension = dim;
+    config.size = m;
+    config.method = *kind == "level" ? hdc::LevelMethod::Interpolation
+                                     : hdc::LevelMethod::ExactFlip;
+    config.r = r;
+    config.seed = seed;
+    basis.emplace(hdc::make_level_basis(config));
+  } else if (*kind == "circular" || *kind == "circular-cos") {
+    hdc::CircularBasisConfig config;
+    config.dimension = dim;
+    config.size = m;
+    config.r = r;
+    config.profile = *kind == "circular" ? hdc::CircularProfile::Triangular
+                                         : hdc::CircularProfile::Cosine;
+    config.seed = seed;
+    basis.emplace(hdc::make_circular_basis(config));
+  } else if (*kind == "scatter") {
+    hdc::ScatterBasisConfig config;
+    config.dimension = dim;
+    config.size = m;
+    config.seed = seed;
+    basis.emplace(hdc::make_scatter_basis(config));
+  } else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind->c_str());
+    return usage();
+  }
+
+  std::ofstream out(*out_path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
+    return 1;
+  }
+  hdc::write_basis(out, *basis);
+  std::printf("wrote %s: %s basis, m = %zu, d = %zu, r = %.3f, seed = %llu\n",
+              out_path->c_str(), hdc::to_string(basis->info().kind), m, dim, r,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const hdc::Basis basis = load_basis(path);
+  const hdc::BasisInfo& info = basis.info();
+  std::printf("file:       %s\n", path.c_str());
+  std::printf("kind:       %s\n", hdc::to_string(info.kind));
+  std::printf("method:     %s\n", hdc::to_string(info.method));
+  std::printf("size m:     %zu\n", info.size);
+  std::printf("dimension:  %zu\n", info.dimension);
+  std::printf("r:          %.4f\n", info.r);
+  std::printf("seed:       %llu\n",
+              static_cast<unsigned long long>(info.seed));
+
+  // Summary of the off-diagonal distance distribution.
+  const auto matrix = basis.pairwise_distances();
+  double min = 1.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    for (std::size_t j = i + 1; j < matrix.size(); ++j) {
+      min = std::min(min, matrix[i][j]);
+      max = std::max(max, matrix[i][j]);
+      sum += matrix[i][j];
+      ++count;
+    }
+  }
+  if (count > 0) {
+    std::printf("pairwise delta: min %.4f  mean %.4f  max %.4f\n", min,
+                sum / static_cast<double>(count), max);
+  }
+  // Density sanity: each vector should be ~half ones.
+  double ones = 0.0;
+  for (const hdc::Hypervector& hv : basis) {
+    ones += static_cast<double>(hv.count_ones()) /
+            static_cast<double>(hv.dimension());
+  }
+  std::printf("mean bit density: %.4f\n",
+              ones / static_cast<double>(basis.size()));
+  return 0;
+}
+
+int cmd_dist(const std::string& path) {
+  const hdc::Basis basis = load_basis(path);
+  const auto matrix = basis.pairwise_distances();
+  for (const auto& row : matrix) {
+    for (const double value : row) {
+      std::printf("%6.3f ", value);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_heatmap(const std::string& path) {
+  const hdc::Basis basis = load_basis(path);
+  std::fputs(hdc::exp::render_heatmap(basis.pairwise_similarities(), 0.5, 1.0)
+                 .c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string_view command = argv[1];
+  try {
+    if (command == "gen") {
+      return cmd_gen(argc, argv);
+    }
+    if (argc >= 3 && command == "info") {
+      return cmd_info(argv[2]);
+    }
+    if (argc >= 3 && command == "dist") {
+      return cmd_dist(argv[2]);
+    }
+    if (argc >= 3 && command == "heatmap") {
+      return cmd_heatmap(argv[2]);
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "hdcgen: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
