@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "hdc/core/basis_circular.hpp"
 #include "hdc/core/basis_level.hpp"
@@ -13,6 +15,7 @@
 #include "hdc/core/regressor.hpp"
 #include "hdc/core/scalar_encoder.hpp"
 #include "hdc/core/sequence_encoder.hpp"
+#include "hdc/runtime/runtime.hpp"
 #include "hdc/stats/circular.hpp"
 
 namespace {
@@ -126,6 +129,55 @@ void BM_RegressorPredictInteger(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RegressorPredictInteger);
+
+void BM_BatchEncodeKeyValue18(benchmark::State& state) {
+  // The Table 1 sample encoding pushed through the batch runtime: 18 bound
+  // key-value pairs per row, rows fanned out over the thread pool.
+  const auto encoder =
+      std::make_shared<hdc::KeyValueEncoder>(18, make_angle_encoder(64), 2);
+  const hdc::runtime::BatchEncoder batch(
+      kDim,
+      [encoder](std::span<const double> row) { return encoder->encode(row); },
+      std::make_shared<hdc::runtime::ThreadPool>());
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  std::vector<double> flat(rows * 18);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = 0.013 * static_cast<double>(i % 483);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batch.encode(flat, 18));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows));
+}
+// Real time, not caller CPU time: the caller sleeps while workers run.
+BENCHMARK(BM_BatchEncodeKeyValue18)->Arg(64)->Arg(1'024)->UseRealTime();
+
+void BM_BatchClassifierPredict15(benchmark::State& state) {
+  // Table 1 inference through the batch runtime: arena queries against 15
+  // packed class-vectors, vectors/sec reported as items_per_second.
+  hdc::Rng rng(7);
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  hdc::runtime::BatchClassifier model(
+      15, kDim, 6, std::make_shared<hdc::runtime::ThreadPool>());
+  hdc::runtime::VectorArena train(kDim);
+  std::vector<std::size_t> labels;
+  for (int c = 0; c < 15; ++c) {
+    train.append(hdc::Hypervector::random(kDim, rng));
+    labels.push_back(static_cast<std::size_t>(c));
+  }
+  model.fit_finalize(train, labels);
+  hdc::runtime::VectorArena queries(kDim);
+  for (std::size_t i = 0; i < rows; ++i) {
+    queries.append(hdc::Hypervector::random(kDim, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(queries));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_BatchClassifierPredict15)->Arg(256)->Arg(4'096)->UseRealTime();
 
 }  // namespace
 

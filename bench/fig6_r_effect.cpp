@@ -31,7 +31,11 @@ int main() {
   }
 
   for (std::size_t node = 0; node < kSize; ++node) {
-    std::vector<std::string> row{"C" + std::to_string(node + 1)};
+    // Built via += to dodge GCC 12's -Wrestrict false positive on
+    // operator+(const char*, std::string&&) (GCC bug 105651).
+    std::string label = "C";
+    label += std::to_string(node + 1);
+    std::vector<std::string> row{std::move(label)};
     for (const hdc::Basis& basis : bases) {
       row.push_back(hdc::exp::format_double(
           hdc::similarity(basis[0], basis[node]), 3));

@@ -16,9 +16,8 @@ namespace {
 
 /// Applies `counter += sign * weight` per dimension, unpacking 64 bits at a
 /// time.  The inner loop is branch-free on the bit value.
-void apply(std::span<std::int32_t> counters, const Hypervector& hv,
-           std::int32_t weight) {
-  const std::span<const std::uint64_t> words = hv.words();
+void apply(std::span<std::int32_t> counters,
+           std::span<const std::uint64_t> words, std::int32_t weight) {
   const std::size_t d = counters.size();
   for (std::size_t w = 0; w < words.size(); ++w) {
     std::uint64_t bitsword = words[w];
@@ -38,14 +37,21 @@ void apply(std::span<std::int32_t> counters, const Hypervector& hv,
 void BundleAccumulator::add(const Hypervector& hv) {
   require(hv.dimension() == dimension_, "BundleAccumulator::add",
           "dimension mismatch");
-  apply(counters_, hv, 1);
+  apply(counters_, hv.words(), 1);
+  ++count_;
+}
+
+void BundleAccumulator::add_words(std::span<const std::uint64_t> words) {
+  require(words.size() == bits::words_for(dimension_),
+          "BundleAccumulator::add_words", "word-count mismatch");
+  apply(counters_, words, 1);
   ++count_;
 }
 
 void BundleAccumulator::subtract(const Hypervector& hv) {
   require(hv.dimension() == dimension_, "BundleAccumulator::subtract",
           "dimension mismatch");
-  apply(counters_, hv, -1);
+  apply(counters_, hv.words(), -1);
   ++count_;
 }
 
@@ -55,8 +61,17 @@ void BundleAccumulator::add_weighted(const Hypervector& hv,
           "dimension mismatch");
   require(weight != 0, "BundleAccumulator::add_weighted",
           "weight must be non-zero");
-  apply(counters_, hv, weight);
+  apply(counters_, hv.words(), weight);
   count_ += static_cast<std::size_t>(std::abs(weight));
+}
+
+void BundleAccumulator::merge(const BundleAccumulator& other) {
+  require(other.dimension_ == dimension_, "BundleAccumulator::merge",
+          "dimension mismatch");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  count_ += other.count_;
 }
 
 Hypervector BundleAccumulator::finalize(Rng& tie_rng) const {

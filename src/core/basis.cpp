@@ -1,5 +1,7 @@
 #include "hdc/core/basis.hpp"
 
+#include <algorithm>
+
 #include "hdc/base/require.hpp"
 #include "hdc/core/ops.hpp"
 
@@ -38,6 +40,8 @@ Basis::Basis(BasisInfo info, std::vector<Hypervector> vectors)
     require(hv.dimension() == info_.dimension, "Basis",
             "all vectors must have info.dimension dimensions");
   }
+  words_per_vector_ = bits::words_for(info_.dimension);
+  packed_ = pack_words(vectors_);
 }
 
 const Hypervector& Basis::at(std::size_t i) const {
@@ -48,16 +52,14 @@ const Hypervector& Basis::at(std::size_t i) const {
 std::size_t Basis::nearest(const Hypervector& query) const {
   require(query.dimension() == info_.dimension, "Basis::nearest",
           "query dimension mismatch");
-  std::size_t best_index = 0;
-  std::size_t best_distance = hamming_distance(query, vectors_[0]);
-  for (std::size_t i = 1; i < vectors_.size(); ++i) {
-    const std::size_t dist = hamming_distance(query, vectors_[i]);
-    if (dist < best_distance) {
-      best_distance = dist;
-      best_index = i;
-    }
-  }
-  return best_index;
+  return nearest_words(query.words());
+}
+
+std::size_t Basis::nearest_words(
+    std::span<const std::uint64_t> query_words) const noexcept {
+  return bits::nearest_hamming(query_words, packed_, words_per_vector_,
+                               vectors_.size())
+      .index;
 }
 
 std::vector<std::vector<double>> Basis::pairwise_distances() const {

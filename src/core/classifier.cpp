@@ -1,8 +1,10 @@
 #include "hdc/core/classifier.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "hdc/base/require.hpp"
+#include "hdc/core/bitops.hpp"
 #include "hdc/core/ops.hpp"
 
 namespace hdc {
@@ -38,6 +40,7 @@ CentroidClassifier CentroidClassifier::from_class_vectors(
   model.class_vectors_ = std::move(vectors);
   model.finalized_ = true;
   model.inference_only_ = true;
+  model.repack_all();
   return model;
 }
 
@@ -54,11 +57,34 @@ void CentroidClassifier::add_sample(std::size_t label,
   finalized_ = false;
 }
 
+void CentroidClassifier::absorb(std::size_t label,
+                                const BundleAccumulator& partial) {
+  if (inference_only_) {
+    throw std::logic_error(
+        "CentroidClassifier::absorb: model restored from class-vectors is "
+        "inference-only");
+  }
+  require(label < accumulators_.size(), "CentroidClassifier::absorb",
+          "label out of range");
+  accumulators_[label].merge(partial);
+  finalized_ = false;
+}
+
 void CentroidClassifier::finalize() {
   for (std::size_t i = 0; i < accumulators_.size(); ++i) {
     class_vectors_[i] = accumulators_[i].finalize(tie_breaker_);
   }
+  repack_all();
   finalized_ = true;
+}
+
+void CentroidClassifier::repack_class(std::size_t label) {
+  pack_row(class_vectors_[label], class_arena_, words_per_class_, label);
+}
+
+void CentroidClassifier::repack_all() {
+  words_per_class_ = bits::words_for(dimension_);
+  class_arena_ = pack_words(class_vectors_);
 }
 
 void CentroidClassifier::require_finalized(const char* where) const {
@@ -72,16 +98,14 @@ std::size_t CentroidClassifier::predict(const Hypervector& query) const {
   require_finalized("CentroidClassifier::predict");
   require(query.dimension() == dimension_, "CentroidClassifier::predict",
           "query dimension mismatch");
-  std::size_t best = 0;
-  std::size_t best_distance = hamming_distance(query, class_vectors_[0]);
-  for (std::size_t i = 1; i < class_vectors_.size(); ++i) {
-    const std::size_t dist = hamming_distance(query, class_vectors_[i]);
-    if (dist < best_distance) {
-      best_distance = dist;
-      best = i;
-    }
-  }
-  return best;
+  return predict_words(query.words());
+}
+
+std::size_t CentroidClassifier::predict_words(
+    std::span<const std::uint64_t> query_words) const noexcept {
+  return bits::nearest_hamming(query_words, class_arena_, words_per_class_,
+                               class_vectors_.size())
+      .index;
 }
 
 double CentroidClassifier::class_similarity(std::size_t label,
@@ -97,10 +121,14 @@ std::vector<double> CentroidClassifier::similarities(
   require_finalized("CentroidClassifier::similarities");
   require(query.dimension() == dimension_, "CentroidClassifier::similarities",
           "query dimension mismatch");
+  std::vector<std::size_t> distances(class_vectors_.size());
+  bits::hamming_many(query.words(), class_arena_, words_per_class_,
+                     class_vectors_.size(), distances);
   std::vector<double> out;
-  out.reserve(class_vectors_.size());
-  for (const Hypervector& cv : class_vectors_) {
-    out.push_back(similarity(query, cv));
+  out.reserve(distances.size());
+  for (const std::size_t dist : distances) {
+    out.push_back(1.0 -
+                  static_cast<double>(dist) / static_cast<double>(dimension_));
   }
   return out;
 }
@@ -121,6 +149,8 @@ std::size_t CentroidClassifier::adapt(std::size_t label,
     accumulators_[predicted].subtract(encoded);
     class_vectors_[label] = accumulators_[label].finalize(tie_breaker_);
     class_vectors_[predicted] = accumulators_[predicted].finalize(tie_breaker_);
+    repack_class(label);
+    repack_class(predicted);
   }
   return predicted;
 }

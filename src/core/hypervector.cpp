@@ -1,5 +1,7 @@
 #include "hdc/core/hypervector.hpp"
 
+#include <algorithm>
+
 #include "hdc/base/require.hpp"
 
 namespace hdc {
@@ -61,6 +63,23 @@ Hypervector operator^(const Hypervector& a, const Hypervector& b) {
   Hypervector out = a;
   out ^= b;
   return out;
+}
+
+void pack_row(const Hypervector& hv, std::span<std::uint64_t> arena,
+              std::size_t stride, std::size_t row) {
+  const auto words = hv.words();
+  std::copy(words.begin(), words.end(), arena.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                row * stride));
+}
+
+std::vector<std::uint64_t> pack_words(std::span<const Hypervector> vectors) {
+  const std::size_t stride = bits::words_for(vectors.front().dimension());
+  std::vector<std::uint64_t> arena(stride * vectors.size());
+  for (std::size_t i = 0; i < vectors.size(); ++i) {
+    pack_row(vectors[i], arena, stride, i);
+  }
+  return arena;
 }
 
 }  // namespace hdc

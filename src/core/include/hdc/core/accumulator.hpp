@@ -38,6 +38,12 @@ class BundleAccumulator {
   /// \throws std::invalid_argument on dimension mismatch.
   void add(const Hypervector& hv);
 
+  /// add() on a raw word view (bits::words_for(dimension()) words, tail bits
+  /// zero): the allocation-free entry point the batch runtime uses to
+  /// accumulate straight from arena rows.
+  /// \throws std::invalid_argument on word-count mismatch.
+  void add_words(std::span<const std::uint64_t> words);
+
   /// Subtracts one hypervector (inverse of add); counters may go negative.
   /// \throws std::invalid_argument on dimension mismatch.
   void subtract(const Hypervector& hv);
@@ -45,6 +51,13 @@ class BundleAccumulator {
   /// Adds with an integer weight (negative weights subtract).
   /// \throws std::invalid_argument on dimension mismatch or weight == 0.
   void add_weighted(const Hypervector& hv, std::int32_t weight);
+
+  /// Merges another accumulator: counters and counts add element-wise.
+  /// Because integer addition commutes, splitting a sample stream across
+  /// several accumulators and merging them yields exactly the sequential
+  /// result — the primitive behind the batch runtime's per-thread
+  /// accumulators.  \throws std::invalid_argument on dimension mismatch.
+  void merge(const BundleAccumulator& other);
 
   /// Read-only view of the signed counters.
   [[nodiscard]] std::span<const std::int32_t> counters() const noexcept {

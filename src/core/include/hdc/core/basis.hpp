@@ -18,6 +18,7 @@
 /// logs rely on.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hdc/core/hypervector.hpp"
@@ -84,9 +85,28 @@ class Basis {
   [[nodiscard]] auto end() const noexcept { return vectors_.end(); }
 
   /// Index of the basis vector nearest (in normalized Hamming distance) to
-  /// \p query; the "cleanup" step of decoding.
+  /// \p query; the "cleanup" step of decoding.  Ties keep the lowest index.
+  /// Runs on the fused XOR+popcount kernel over the packed arena.
   /// \throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] std::size_t nearest(const Hypervector& query) const;
+
+  /// nearest() on a raw word span (words_for(dimension()) words, tail bits
+  /// zero); the allocation-free entry point used by the batch runtime.
+  /// \pre query_words.size() == bits::words_for(dimension()).
+  [[nodiscard]] std::size_t nearest_words(
+      std::span<const std::uint64_t> query_words) const noexcept;
+
+  /// All m vectors bit-packed into one contiguous arena, vector i at words
+  /// [i * words_per_vector(), (i + 1) * words_per_vector()); built once at
+  /// construction so cleanup scans are a single linear sweep.
+  [[nodiscard]] std::span<const std::uint64_t> packed_words() const noexcept {
+    return packed_;
+  }
+
+  /// Arena stride in 64-bit words.
+  [[nodiscard]] std::size_t words_per_vector() const noexcept {
+    return words_per_vector_;
+  }
 
   /// Full m x m matrix of pairwise normalized distances delta(B_i, B_j);
   /// used by the Figure 3 reproduction and the property tests.
@@ -98,6 +118,8 @@ class Basis {
  private:
   BasisInfo info_;
   std::vector<Hypervector> vectors_;
+  std::vector<std::uint64_t> packed_;
+  std::size_t words_per_vector_ = 0;
 };
 
 }  // namespace hdc

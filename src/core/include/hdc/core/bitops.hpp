@@ -43,15 +43,45 @@ inline constexpr std::size_t word_bits = 64;
 }
 
 /// Hamming distance (bit count of XOR) between two equal-length word spans.
+/// Fused XOR+popcount with a 4-way unrolled word loop: four independent
+/// accumulators keep the popcount chains out of each other's dependency
+/// shadow, which is what lets the compiler issue them in parallel.
+///
+/// Deliberately non-inline: the definition lives in bitops.cpp, which the
+/// build may compile with a wider popcount ISA (e.g. -mpopcnt on x86-64, see
+/// HDC_KERNEL_POPCNT) than the portable baseline the rest of the library
+/// targets — every caller then shares the fast kernel without changing the
+/// global architecture flags.
 /// \pre a.size() == b.size().
-[[nodiscard]] inline std::size_t hamming(std::span<const std::uint64_t> a,
-                                         std::span<const std::uint64_t> b) noexcept {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return total;
-}
+[[nodiscard]] std::size_t hamming(std::span<const std::uint64_t> a,
+                                  std::span<const std::uint64_t> b) noexcept;
+
+/// Result of a fused nearest-candidate scan: the first index attaining the
+/// minimum Hamming distance (ties keep the lowest index, matching a strict
+/// less-than linear scan).
+struct NearestMatch {
+  std::size_t index = 0;
+  std::size_t distance = 0;
+};
+
+/// Fused nearest-neighbour scan over a contiguous candidate arena: candidate
+/// i occupies words [i * stride, i * stride + query.size()).  Replaces
+/// per-pair hamming() calls with one XOR+popcount sweep; this is the shared
+/// inference kernel behind Basis::nearest, CentroidClassifier::predict and
+/// the hdc::runtime batch engines.
+/// \pre stride >= query.size() and arena.size() >= count * stride.
+/// \pre count >= 1.
+[[nodiscard]] NearestMatch nearest_hamming(std::span<const std::uint64_t> query,
+                                           std::span<const std::uint64_t> arena,
+                                           std::size_t stride,
+                                           std::size_t count) noexcept;
+
+/// Hamming distance from \p query to each of \p count candidates laid out as
+/// in nearest_hamming; distances are written to out[0..count).
+/// \pre out.size() >= count, plus the nearest_hamming layout preconditions.
+void hamming_many(std::span<const std::uint64_t> query,
+                  std::span<const std::uint64_t> arena, std::size_t stride,
+                  std::size_t count, std::span<std::size_t> out) noexcept;
 
 /// dst ^= src, element-wise. \pre dst.size() == src.size().
 inline void xor_into(std::span<std::uint64_t> dst,

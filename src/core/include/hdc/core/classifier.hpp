@@ -13,6 +13,7 @@
 /// subtract it from the wrongly predicted one) as a documented extension.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hdc/core/accumulator.hpp"
@@ -47,6 +48,13 @@ class CentroidClassifier {
   /// \throws std::invalid_argument on bad label or dimension mismatch.
   void add_sample(std::size_t label, const Hypervector& encoded);
 
+  /// Merges a partial accumulation (e.g. one worker's share of a batch) into
+  /// class \p label.  Counter addition commutes, so absorbing per-worker
+  /// accumulators in any order equals the sequential add_sample stream.
+  /// \throws std::invalid_argument on bad label or dimension mismatch;
+  /// std::logic_error on inference-only models.
+  void absorb(std::size_t label, const BundleAccumulator& partial);
+
   /// Thresholds all accumulators into class-vectors.  Must be called after
   /// training (and after any adapt() pass) before predict().
   void finalize();
@@ -54,10 +62,30 @@ class CentroidClassifier {
   /// True once finalize() has been called and no update invalidated it.
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
 
-  /// argmin_i delta(query, M_i).
+  /// argmin_i delta(query, M_i); ties keep the lowest class index.  Runs on
+  /// the fused XOR+popcount kernel over the packed class-vector arena.
   /// \throws std::logic_error if the model is not finalized.
   /// \throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] std::size_t predict(const Hypervector& query) const;
+
+  /// predict() on a raw word span (bits::words_for(dimension()) words, tail
+  /// bits zero); the allocation-free entry point shared with the batch
+  /// runtime.  \pre the model is finalized.
+  [[nodiscard]] std::size_t predict_words(
+      std::span<const std::uint64_t> query_words) const noexcept;
+
+  /// The finalized class-vectors bit-packed into one contiguous arena
+  /// (class i at words [i * words_per_class(), ...)); rebuilt by finalize()
+  /// and adapt().  Empty until the first finalize().
+  [[nodiscard]] std::span<const std::uint64_t> packed_class_words()
+      const noexcept {
+    return class_arena_;
+  }
+
+  /// Arena stride in 64-bit words.
+  [[nodiscard]] std::size_t words_per_class() const noexcept {
+    return words_per_class_;
+  }
 
   /// Similarity (1 - delta) between the query and one class-vector.
   /// \throws std::logic_error / std::invalid_argument as for predict().
@@ -83,10 +111,14 @@ class CentroidClassifier {
 
  private:
   void require_finalized(const char* where) const;
+  void repack_class(std::size_t label);
+  void repack_all();
 
   std::size_t dimension_;
   std::vector<BundleAccumulator> accumulators_;
   std::vector<Hypervector> class_vectors_;
+  std::vector<std::uint64_t> class_arena_;
+  std::size_t words_per_class_ = 0;
   Hypervector tie_breaker_;
   bool finalized_ = false;
   bool inference_only_ = false;

@@ -89,6 +89,19 @@ class Hypervector {
 /// \throws std::invalid_argument on dimension mismatch.
 [[nodiscard]] Hypervector operator^(const Hypervector& a, const Hypervector& b);
 
+/// Copies \p hv into row \p row of a contiguous word arena with the given
+/// stride; the shared packing primitive behind every fused nearest-neighbour
+/// sweep (Basis, CentroidClassifier, the batch runtime).
+/// \pre arena.size() >= (row + 1) * stride and stride >= hv word count.
+void pack_row(const Hypervector& hv, std::span<std::uint64_t> arena,
+              std::size_t stride, std::size_t row);
+
+/// Packs equal-dimension vectors into one contiguous buffer with stride
+/// bits::words_for(dimension), vector i at row i.
+/// \pre vectors is non-empty and all dimensions match.
+[[nodiscard]] std::vector<std::uint64_t> pack_words(
+    std::span<const Hypervector> vectors);
+
 }  // namespace hdc
 
 #endif  // HDC_CORE_HYPERVECTOR_HPP

@@ -16,7 +16,6 @@
 /// tasks.
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "hdc/core/basis_circular.hpp"
@@ -28,7 +27,9 @@ namespace hdc {
 /// grid resolutions.  The public grid (index_of/value_of/decode) is the
 /// finest of the configured scales.
 ///
-/// Not thread-safe: encoded vectors are cached lazily per grid index.
+/// All bound vectors are materialized at construction; the encoder is
+/// immutable afterwards and safe to share across threads (the contract the
+/// hdc::runtime batch engines rely on).
 class MultiScaleCircularEncoder final : public ScalarEncoder {
  public:
   /// Configuration.
@@ -60,12 +61,13 @@ class MultiScaleCircularEncoder final : public ScalarEncoder {
   }
 
  private:
-  [[nodiscard]] const Hypervector& combined(std::size_t index) const;
-
   std::vector<Basis> bases_;  ///< Sorted coarse -> fine.
   double period_;
-  /// Lazily materialized bound vectors, one per finest-grid index.
-  mutable std::vector<std::optional<Hypervector>> cache_;
+  /// Bound vectors, one per finest-grid index, materialized eagerly.
+  std::vector<Hypervector> combined_;
+  /// combined_ bit-packed for the fused decode sweep.
+  std::vector<std::uint64_t> packed_;
+  std::size_t words_per_vector_ = 0;
 };
 
 }  // namespace hdc

@@ -43,6 +43,12 @@ class HDRegressor {
   /// \throws std::invalid_argument on dimension mismatch.
   void add_sample(const Hypervector& encoded_input, double label);
 
+  /// Merges a partial accumulation of already label-bound samples
+  /// (phi(x_i) ⊗ phi_l(y_i)), e.g. one worker's share of a batch; absorbing
+  /// per-worker accumulators in any order equals the sequential add_sample
+  /// stream.  \throws std::invalid_argument on dimension mismatch.
+  void absorb(const BundleAccumulator& partial);
+
   /// Quantizes the accumulated model.  Must be called before predict().
   void finalize();
 

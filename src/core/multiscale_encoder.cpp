@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "hdc/base/require.hpp"
-#include "hdc/core/ops.hpp"
+#include "hdc/core/bitops.hpp"
 
 namespace hdc {
 
@@ -40,7 +40,26 @@ std::vector<Basis> make_scale_bases(
 
 MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
     : bases_(make_scale_bases(config)), period_(config.period) {
-  cache_.resize(bases_.back().size());
+  // Materialize every bound vector up front: encode() and decode() then only
+  // read immutable state, which is what makes concurrent use safe.  Each
+  // scale quantizes the same representative angle onto its own ring.
+  const std::size_t m_fine = bases_.back().size();
+  combined_.reserve(m_fine);
+  for (std::size_t index = 0; index < m_fine; ++index) {
+    const double theta = value_of(index);
+    Hypervector bound = bases_.back()[index];
+    for (std::size_t s = 0; s + 1 < bases_.size(); ++s) {
+      const Basis& basis = bases_[s];
+      const auto m = static_cast<double>(basis.size());
+      const auto coarse = static_cast<std::size_t>(
+                              std::llround(theta / period_ * m)) %
+                          basis.size();
+      bound ^= basis[coarse];
+    }
+    combined_.push_back(std::move(bound));
+  }
+  words_per_vector_ = bits::words_for(bases_.back().dimension());
+  packed_ = pack_words(combined_);
 }
 
 std::size_t MultiScaleCircularEncoder::index_of(double value) const {
@@ -61,44 +80,16 @@ double MultiScaleCircularEncoder::value_of(std::size_t index) const {
          static_cast<double>(bases_.back().size());
 }
 
-const Hypervector& MultiScaleCircularEncoder::combined(
-    std::size_t index) const {
-  std::optional<Hypervector>& slot = cache_[index];
-  if (!slot.has_value()) {
-    // Bind the value's encoding across all scales, coarse to fine.  Each
-    // scale quantizes the same representative angle onto its own ring.
-    const double theta = value_of(index);
-    Hypervector bound = bases_.back()[index];
-    for (std::size_t s = 0; s + 1 < bases_.size(); ++s) {
-      const Basis& basis = bases_[s];
-      const auto m = static_cast<double>(basis.size());
-      const auto coarse = static_cast<std::size_t>(
-                              std::llround(theta / period_ * m)) %
-                          basis.size();
-      bound ^= basis[coarse];
-    }
-    slot.emplace(std::move(bound));
-  }
-  return *slot;
-}
-
 const Hypervector& MultiScaleCircularEncoder::encode(double value) const {
-  return combined(index_of(value));
+  return combined_[index_of(value)];
 }
 
 double MultiScaleCircularEncoder::decode(const Hypervector& query) const {
   require(query.dimension() == bases_.back().dimension(),
           "MultiScaleCircularEncoder::decode", "query dimension mismatch");
-  std::size_t best_index = 0;
-  std::size_t best_distance = hamming_distance(query, combined(0));
-  for (std::size_t i = 1; i < cache_.size(); ++i) {
-    const std::size_t dist = hamming_distance(query, combined(i));
-    if (dist < best_distance) {
-      best_distance = dist;
-      best_index = i;
-    }
-  }
-  return value_of(best_index);
+  return value_of(bits::nearest_hamming(query.words(), packed_,
+                                        words_per_vector_, combined_.size())
+                      .index);
 }
 
 }  // namespace hdc

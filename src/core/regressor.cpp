@@ -30,6 +30,11 @@ void HDRegressor::add_sample(const Hypervector& encoded_input, double label) {
   finalized_ = false;
 }
 
+void HDRegressor::absorb(const BundleAccumulator& partial) {
+  accumulator_.merge(partial);
+  finalized_ = false;
+}
+
 void HDRegressor::finalize() {
   model_ = accumulator_.finalize(tie_breaker_);
   finalized_ = true;

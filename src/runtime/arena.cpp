@@ -1,0 +1,92 @@
+#include "hdc/runtime/arena.hpp"
+
+#include <algorithm>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/bitops.hpp"
+
+namespace hdc::runtime {
+
+VectorArena::VectorArena(std::size_t dimension, std::size_t count)
+    : dimension_(dimension),
+      words_per_vector_(bits::words_for(dimension)),
+      count_(count),
+      words_(words_per_vector_ * count, 0ULL) {
+  require_positive(dimension, "VectorArena", "dimension");
+}
+
+VectorArena VectorArena::pack(std::span<const Hypervector> vectors) {
+  require(!vectors.empty(), "VectorArena::pack",
+          "vector set must be non-empty");
+  VectorArena arena(vectors.front().dimension(), 0);
+  for (const Hypervector& hv : vectors) {
+    require(hv.dimension() == arena.dimension_, "VectorArena::pack",
+            "all vectors must share one dimension");
+  }
+  arena.words_ = pack_words(vectors);
+  arena.count_ = vectors.size();
+  return arena;
+}
+
+void VectorArena::append(const Hypervector& hv) {
+  require(hv.dimension() == dimension_, "VectorArena::append",
+          "dimension mismatch");
+  const auto src = hv.words();
+  words_.insert(words_.end(), src.begin(), src.end());
+  ++count_;
+}
+
+std::size_t VectorArena::append_zero() {
+  words_.resize(words_.size() + words_per_vector_, 0ULL);
+  return count_++;
+}
+
+void VectorArena::resize(std::size_t count) {
+  words_.resize(words_per_vector_ * count, 0ULL);
+  count_ = count;
+}
+
+std::span<const std::uint64_t> VectorArena::words(std::size_t i) const {
+  require(i < count_, "VectorArena::words", "index out of range");
+  return std::span<const std::uint64_t>(words_).subspan(i * words_per_vector_,
+                                                        words_per_vector_);
+}
+
+std::span<std::uint64_t> VectorArena::mutable_words(std::size_t i) {
+  require(i < count_, "VectorArena::mutable_words", "index out of range");
+  return std::span<std::uint64_t>(words_).subspan(i * words_per_vector_,
+                                                  words_per_vector_);
+}
+
+Hypervector VectorArena::extract(std::size_t i) const {
+  const auto src = words(i);
+  Hypervector out(dimension_);
+  std::copy(src.begin(), src.end(), out.words().begin());
+  return out;
+}
+
+void VectorArena::mask_tails() noexcept {
+  if (words_per_vector_ == 0) {
+    return;
+  }
+  const std::uint64_t mask = bits::tail_mask(dimension_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    words_[(i + 1) * words_per_vector_ - 1] &= mask;
+  }
+}
+
+bool VectorArena::tails_clean() const noexcept {
+  if (words_per_vector_ == 0) {
+    return true;
+  }
+  const std::uint64_t mask = bits::tail_mask(dimension_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const std::uint64_t tail = words_[(i + 1) * words_per_vector_ - 1];
+    if ((tail & ~mask) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace hdc::runtime

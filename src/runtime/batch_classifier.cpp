@@ -1,0 +1,84 @@
+#include "hdc/runtime/batch_classifier.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::runtime {
+
+BatchClassifier::BatchClassifier(std::size_t num_classes, std::size_t dimension,
+                                 std::uint64_t seed, ThreadPoolPtr pool)
+    : model_(num_classes, dimension, seed), pool_(std::move(pool)) {
+  require(pool_ != nullptr, "BatchClassifier", "pool must not be null");
+}
+
+void BatchClassifier::fit(const VectorArena& samples,
+                          std::span<const std::size_t> labels) {
+  require(samples.size() == labels.size(), "BatchClassifier::fit",
+          "one label per sample required");
+  require(samples.dimension() == dimension(), "BatchClassifier::fit",
+          "sample dimension mismatch");
+  const std::size_t classes = num_classes();
+  for (const std::size_t label : labels) {
+    require(label < classes, "BatchClassifier::fit", "label out of range");
+  }
+  if (samples.empty()) {
+    return;
+  }
+
+  // One BundleAccumulator per (worker chunk, class seen by that chunk),
+  // created lazily so memory scales with the labels a chunk touches, not
+  // chunks x classes; merged below in chunk order.  Merging commutes, so any
+  // thread count produces the same model.
+  const std::size_t chunks = pool_->num_chunks(samples.size());
+  std::vector<std::vector<std::optional<BundleAccumulator>>> partials(
+      chunks, std::vector<std::optional<BundleAccumulator>>(classes));
+
+  pool_->for_chunks(samples.size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t chunk) {
+    std::vector<std::optional<BundleAccumulator>>& mine = partials[chunk];
+    for (std::size_t i = begin; i < end; ++i) {
+      std::optional<BundleAccumulator>& acc = mine[labels[i]];
+      if (!acc.has_value()) {
+        acc.emplace(dimension());
+      }
+      acc->add_words(samples.words(i));
+    }
+  });
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t k = 0; k < classes; ++k) {
+      if (partials[c][k].has_value()) {
+        model_.absorb(k, *partials[c][k]);
+      }
+    }
+  }
+}
+
+void BatchClassifier::fit_finalize(const VectorArena& samples,
+                                   std::span<const std::size_t> labels) {
+  fit(samples, labels);
+  model_.finalize();
+}
+
+std::vector<std::size_t> BatchClassifier::predict(
+    const VectorArena& queries) const {
+  if (!model_.finalized()) {
+    throw std::logic_error(
+        "BatchClassifier::predict: call model().finalize() before inference");
+  }
+  require(queries.dimension() == dimension(), "BatchClassifier::predict",
+          "query dimension mismatch");
+  std::vector<std::size_t> out(queries.size());
+  pool_->for_chunks(queries.size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = model_.predict_words(queries.words(i));
+    }
+  });
+  return out;
+}
+
+}  // namespace hdc::runtime

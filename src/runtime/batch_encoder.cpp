@@ -1,0 +1,55 @@
+#include "hdc/runtime/batch_encoder.hpp"
+
+#include <algorithm>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::runtime {
+
+BatchEncoder::BatchEncoder(std::size_t dimension, EncodeFn encode,
+                           ThreadPoolPtr pool)
+    : dimension_(dimension), encode_(std::move(encode)),
+      pool_(std::move(pool)) {
+  require_positive(dimension, "BatchEncoder", "dimension");
+  require(encode_ != nullptr, "BatchEncoder", "encode must not be null");
+  require(pool_ != nullptr, "BatchEncoder", "pool must not be null");
+}
+
+VectorArena BatchEncoder::encode(std::span<const double> rows,
+                                 std::size_t row_width) const {
+  require_positive(row_width, "BatchEncoder::encode", "row_width");
+  require(rows.size() % row_width == 0, "BatchEncoder::encode",
+          "rows.size() must be a multiple of row_width");
+  const std::size_t count = rows.size() / row_width;
+  VectorArena arena(dimension_, count);
+  pool_->for_chunks(count, [&](std::size_t begin, std::size_t end,
+                               std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Hypervector hv = encode_(rows.subspan(i * row_width, row_width));
+      require(hv.dimension() == dimension_, "BatchEncoder::encode",
+              "encode function returned a wrong-dimension hypervector");
+      const auto src = hv.words();
+      std::copy(src.begin(), src.end(), arena.mutable_words(i).begin());
+    }
+  });
+  return arena;
+}
+
+VectorArena BatchEncoder::encode(
+    std::span<const std::vector<double>> rows) const {
+  const std::size_t count = rows.size();
+  VectorArena arena(dimension_, count);
+  pool_->for_chunks(count, [&](std::size_t begin, std::size_t end,
+                               std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Hypervector hv = encode_(rows[i]);
+      require(hv.dimension() == dimension_, "BatchEncoder::encode",
+              "encode function returned a wrong-dimension hypervector");
+      const auto src = hv.words();
+      std::copy(src.begin(), src.end(), arena.mutable_words(i).begin());
+    }
+  });
+  return arena;
+}
+
+}  // namespace hdc::runtime

@@ -1,0 +1,93 @@
+#ifndef HDC_RUNTIME_ARENA_HPP
+#define HDC_RUNTIME_ARENA_HPP
+
+/// \file arena.hpp
+/// \brief Contiguous word storage for batches of hypervectors.
+///
+/// The batch runtime never walks vectors of `Hypervector` objects: every
+/// batch lives in one `VectorArena`, a single word buffer holding n
+/// equal-dimension vectors back to back.  That keeps query sweeps a linear
+/// walk over memory (the layout the fused XOR+popcount kernels in
+/// hdc/core/bitops.hpp expect) and lets worker threads fill disjoint slots
+/// without synchronization.
+///
+/// Invariant: every slot keeps the Hypervector tail invariant — storage bits
+/// at positions >= dimension() are zero — so whole-word popcounts over arena
+/// rows are exact.  Writers going through `mutable_words()` must either
+/// preserve it or call `mask_tails()` before handing the arena to a kernel.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/core/hypervector.hpp"
+
+namespace hdc::runtime {
+
+/// A batch of n d-dimensional hypervectors in one contiguous buffer.
+class VectorArena {
+ public:
+  /// Empty arena (dimension 0); assign over it before use.
+  VectorArena() = default;
+
+  /// Arena of \p count all-zero vectors of the given dimension.
+  /// \throws std::invalid_argument if dimension == 0.
+  explicit VectorArena(std::size_t dimension, std::size_t count = 0);
+
+  /// Packs existing hypervectors into an arena (copies the words).
+  /// \throws std::invalid_argument if vectors is empty or dimensions differ.
+  [[nodiscard]] static VectorArena pack(std::span<const Hypervector> vectors);
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+  /// Arena stride: number of 64-bit words each vector occupies.
+  [[nodiscard]] std::size_t words_per_vector() const noexcept {
+    return words_per_vector_;
+  }
+
+  /// Appends a copy of \p hv. \throws std::invalid_argument on dimension
+  /// mismatch.
+  void append(const Hypervector& hv);
+
+  /// Appends an all-zero slot and returns its index (for in-place encoding).
+  std::size_t append_zero();
+
+  /// Grows/shrinks to exactly \p count slots (new slots are all-zero).
+  void resize(std::size_t count);
+
+  /// Read-only view of slot \p i. \throws std::invalid_argument if out of
+  /// range.
+  [[nodiscard]] std::span<const std::uint64_t> words(std::size_t i) const;
+
+  /// Mutable view of slot \p i; writers must keep tail bits zero (or call
+  /// mask_tails()). \throws std::invalid_argument if out of range.
+  [[nodiscard]] std::span<std::uint64_t> mutable_words(std::size_t i);
+
+  /// The whole buffer (size() * words_per_vector() words).
+  [[nodiscard]] std::span<const std::uint64_t> data() const noexcept {
+    return words_;
+  }
+
+  /// Copies slot \p i out as a standalone Hypervector.
+  /// \throws std::invalid_argument if out of range.
+  [[nodiscard]] Hypervector extract(std::size_t i) const;
+
+  /// Re-establishes the tail-bits-are-zero invariant on every slot.
+  void mask_tails() noexcept;
+
+  /// True iff every slot satisfies the tail invariant (test/debug hook).
+  [[nodiscard]] bool tails_clean() const noexcept;
+
+ private:
+  std::size_t dimension_ = 0;
+  std::size_t words_per_vector_ = 0;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hdc::runtime
+
+#endif  // HDC_RUNTIME_ARENA_HPP

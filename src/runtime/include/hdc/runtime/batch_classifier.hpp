@@ -1,0 +1,71 @@
+#ifndef HDC_RUNTIME_BATCH_CLASSIFIER_HPP
+#define HDC_RUNTIME_BATCH_CLASSIFIER_HPP
+
+/// \file batch_classifier.hpp
+/// \brief Batched training and inference over a CentroidClassifier.
+///
+/// Training fans the sample stream out to per-thread BundleAccumulators and
+/// merges them into the wrapped model (commutative integer addition, so the
+/// result is bit-identical to the sequential add_sample stream for any
+/// thread count).  Inference runs each arena row through the same fused
+/// XOR+popcount kernel as CentroidClassifier::predict — one implementation,
+/// two entry points.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hdc/core/classifier.hpp"
+#include "hdc/runtime/arena.hpp"
+#include "hdc/runtime/batch_encoder.hpp"
+
+namespace hdc::runtime {
+
+/// Thread-parallel wrapper around a CentroidClassifier.
+class BatchClassifier {
+ public:
+  /// Owns a fresh model. \throws std::invalid_argument as the
+  /// CentroidClassifier constructor, or if pool is null.
+  BatchClassifier(std::size_t num_classes, std::size_t dimension,
+                  std::uint64_t seed, ThreadPoolPtr pool);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return model_.num_classes();
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return model_.dimension();
+  }
+
+  /// The wrapped model (e.g. for finalize(), adapt(), serialization).
+  [[nodiscard]] CentroidClassifier& model() noexcept { return model_; }
+  [[nodiscard]] const CentroidClassifier& model() const noexcept {
+    return model_;
+  }
+
+  /// Accumulates one encoded sample per arena row under the corresponding
+  /// label, in parallel.  Equivalent to calling model().add_sample for every
+  /// row in order; call model().finalize() (or fit_finalize) afterwards.
+  /// \throws std::invalid_argument if sizes or dimensions mismatch, or any
+  /// label is out of range.
+  void fit(const VectorArena& samples, std::span<const std::size_t> labels);
+
+  /// fit() followed by model().finalize().
+  void fit_finalize(const VectorArena& samples,
+                    std::span<const std::size_t> labels);
+
+  /// Nearest-class prediction for every arena row, in parallel; out[i] ==
+  /// model().predict(samples.extract(i)) for all i, for any thread count.
+  /// \throws std::logic_error if the model is not finalized;
+  /// std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::vector<std::size_t> predict(
+      const VectorArena& queries) const;
+
+ private:
+  CentroidClassifier model_;
+  ThreadPoolPtr pool_;
+};
+
+}  // namespace hdc::runtime
+
+#endif  // HDC_RUNTIME_BATCH_CLASSIFIER_HPP

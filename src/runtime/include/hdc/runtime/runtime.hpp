@@ -1,0 +1,13 @@
+#ifndef HDC_RUNTIME_RUNTIME_HPP
+#define HDC_RUNTIME_RUNTIME_HPP
+
+/// \file runtime.hpp
+/// \brief Umbrella header: the batched HDC serving runtime.
+
+#include "hdc/runtime/arena.hpp"             // IWYU pragma: export
+#include "hdc/runtime/batch_classifier.hpp"  // IWYU pragma: export
+#include "hdc/runtime/batch_encoder.hpp"     // IWYU pragma: export
+#include "hdc/runtime/batch_regressor.hpp"   // IWYU pragma: export
+#include "hdc/runtime/thread_pool.hpp"       // IWYU pragma: export
+
+#endif  // HDC_RUNTIME_RUNTIME_HPP

@@ -1,0 +1,121 @@
+// Unit tests for the contiguous hypervector arena, with a focus on the
+// tail-bits-are-zero invariant the fused kernels rely on.
+
+#include "hdc/runtime/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/bitops.hpp"
+
+namespace {
+
+using hdc::Hypervector;
+using hdc::Rng;
+using hdc::runtime::VectorArena;
+
+TEST(VectorArenaTest, RejectsZeroDimension) {
+  EXPECT_THROW(VectorArena(0), std::invalid_argument);
+}
+
+TEST(VectorArenaTest, LayoutMatchesWordsFor) {
+  const VectorArena arena(100, 3);
+  EXPECT_EQ(arena.dimension(), 100U);
+  EXPECT_EQ(arena.size(), 3U);
+  EXPECT_EQ(arena.words_per_vector(), hdc::bits::words_for(100));
+  EXPECT_EQ(arena.data().size(), 3U * arena.words_per_vector());
+}
+
+TEST(VectorArenaTest, AppendExtractRoundTrips) {
+  Rng rng(11);
+  VectorArena arena(777);
+  std::vector<Hypervector> originals;
+  for (int i = 0; i < 5; ++i) {
+    originals.push_back(Hypervector::random(777, rng));
+    arena.append(originals.back());
+  }
+  ASSERT_EQ(arena.size(), 5U);
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(arena.extract(i), originals[i]) << "slot " << i;
+  }
+}
+
+TEST(VectorArenaTest, AppendRejectsDimensionMismatch) {
+  Rng rng(12);
+  VectorArena arena(64);
+  EXPECT_THROW(arena.append(Hypervector::random(65, rng)),
+               std::invalid_argument);
+}
+
+TEST(VectorArenaTest, PackMatchesAppend) {
+  Rng rng(13);
+  std::vector<Hypervector> vectors;
+  for (int i = 0; i < 4; ++i) {
+    vectors.push_back(Hypervector::random(130, rng));
+  }
+  const VectorArena packed = VectorArena::pack(vectors);
+  VectorArena appended(130);
+  for (const Hypervector& hv : vectors) {
+    appended.append(hv);
+  }
+  ASSERT_EQ(packed.size(), appended.size());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    EXPECT_EQ(packed.extract(i), appended.extract(i));
+  }
+}
+
+TEST(VectorArenaTest, PackRejectsMixedDimensions) {
+  Rng rng(14);
+  const std::vector<Hypervector> vectors = {Hypervector::random(64, rng),
+                                            Hypervector::random(128, rng)};
+  EXPECT_THROW((void)VectorArena::pack(vectors), std::invalid_argument);
+}
+
+// The invariant tests: every slot of a non-multiple-of-64 dimension keeps
+// its tail bits zero through every mutation path.
+TEST(VectorArenaTest, TailsStayCleanThroughAppendAndResize) {
+  Rng rng(15);
+  VectorArena arena(100);  // 36 tail bits in the second word
+  for (int i = 0; i < 7; ++i) {
+    arena.append(Hypervector::random(100, rng));
+  }
+  EXPECT_TRUE(arena.tails_clean());
+  arena.resize(12);  // grow: new slots all-zero
+  EXPECT_TRUE(arena.tails_clean());
+  arena.resize(3);  // shrink
+  EXPECT_TRUE(arena.tails_clean());
+  (void)arena.append_zero();
+  EXPECT_TRUE(arena.tails_clean());
+}
+
+TEST(VectorArenaTest, MaskTailsRepairsRawWordWrites) {
+  VectorArena arena(100, 2);
+  // Deliberately violate the invariant through the mutable view.
+  arena.mutable_words(1).back() = ~std::uint64_t{0};
+  EXPECT_FALSE(arena.tails_clean());
+  arena.mask_tails();
+  EXPECT_TRUE(arena.tails_clean());
+  // The valid low bits of the tail word survive the mask.
+  EXPECT_EQ(arena.mutable_words(1).back(), hdc::bits::tail_mask(100));
+  // And extraction after repair produces a well-formed hypervector: only the
+  // 100 - 64 = 36 valid bits of the tail word survive.
+  EXPECT_EQ(arena.extract(1).count_ones(), 36U);
+}
+
+TEST(VectorArenaTest, ExactMultipleDimensionHasFullTailMask) {
+  VectorArena arena(128, 1);
+  arena.mutable_words(0).back() = ~std::uint64_t{0};
+  EXPECT_TRUE(arena.tails_clean());  // no spare bits to dirty
+}
+
+TEST(VectorArenaTest, BoundsChecking) {
+  VectorArena arena(64, 2);
+  EXPECT_THROW((void)arena.words(2), std::invalid_argument);
+  EXPECT_THROW((void)arena.mutable_words(2), std::invalid_argument);
+  EXPECT_THROW((void)arena.extract(2), std::invalid_argument);
+}
+
+}  // namespace
