@@ -36,7 +36,7 @@ void BM_ScalarEncode(benchmark::State& state) {
   const auto encoder = make_angle_encoder(64);
   double theta = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(&encoder->encode(theta));
+    benchmark::DoNotOptimize(encoder->encode(theta));
     theta += 0.37;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
@@ -45,7 +45,7 @@ BENCHMARK(BM_ScalarEncode);
 
 void BM_ScalarDecode(benchmark::State& state) {
   const auto encoder = make_angle_encoder(static_cast<std::size_t>(state.range(0)));
-  const hdc::Hypervector query = encoder->encode(1.0);
+  const hdc::Hypervector query(encoder->encode(1.0));
   for (auto _ : state) {
     benchmark::DoNotOptimize(encoder->decode(query));
   }
@@ -76,7 +76,7 @@ void BM_MultiScaleEncodeCached(benchmark::State& state) {
   const hdc::MultiScaleCircularEncoder encoder(config);
   double theta = 0.0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(&encoder.encode(theta));
+    benchmark::DoNotOptimize(encoder.encode(theta));
     theta += 0.37;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hdc/core/accumulator.hpp"
+#include "hdc/core/basis_random.hpp"
 #include "hdc/core/bitops.hpp"
 #include "hdc/core/classifier.hpp"
 #include "hdc/core/ops.hpp"
@@ -252,6 +253,34 @@ void report_batch_speedup() {
               naive_seconds / batched_seconds);
 }
 
+// Basis-resident memory report: the arena-only Basis must stay ~half the
+// legacy layout (packed arena + a parallel std::vector<Hypervector>, i.e.
+// a second full copy of every vector's words plus per-object overhead).
+// CI archives this and gates the reduction factor so the saving cannot
+// silently regress.
+void report_basis_memory() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kCount = 256;
+  hdc::RandomBasisConfig config;
+  config.dimension = kDim;
+  config.size = kCount;
+  config.seed = 7;
+  const hdc::Basis basis = hdc::make_random_basis(config);
+
+  const std::size_t resident = basis.resident_bytes();
+  const std::size_t word_bytes =
+      kCount * hdc::bits::words_for(kDim) * sizeof(std::uint64_t);
+  const std::size_t legacy =
+      word_bytes                                       // packed arena
+      + word_bytes                                     // per-vector word heaps
+      + kCount * sizeof(Hypervector);                  // object headers
+  std::printf("\n[basis-memory] d=%zu m=%zu\n", kDim, kCount);
+  std::printf("  arena-backed resident : %9zu bytes\n", resident);
+  std::printf("  legacy dual layout    : %9zu bytes\n", legacy);
+  std::printf("[basis-memory] reduction: %.2f\n",
+              static_cast<double>(legacy) / static_cast<double>(resident));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,5 +291,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_batch_speedup();
+  report_basis_memory();
   return 0;
 }

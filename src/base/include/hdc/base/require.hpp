@@ -9,6 +9,7 @@
 /// with a message that names the offending parameter.  Internal code relies on
 /// those checks and uses plain assertions.
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -17,6 +18,21 @@ namespace hdc {
 
 /// Throws `std::invalid_argument` composed as "<where>: <what>".
 [[noreturn]] void throw_invalid(std::string_view where, std::string_view what);
+
+/// Throws `std::out_of_range` composed as "<where>: <what>".
+[[noreturn]] void throw_out_of_range(std::string_view where,
+                                     std::string_view what);
+
+/// Requires `index < size`; otherwise throws `std::out_of_range` (the
+/// standard-library convention for checked element access, e.g. vector::at).
+inline void require_index(std::size_t index, std::size_t size,
+                          std::string_view where) {
+  if (index >= size) {
+    throw_out_of_range(where, "index " + std::to_string(index) +
+                                  " out of range [0, " + std::to_string(size) +
+                                  ")");
+  }
+}
 
 /// Requires `cond` to hold; otherwise throws `std::invalid_argument`.
 /// \param where  Name of the API entry point (e.g. "make_level_basis").

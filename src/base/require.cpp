@@ -11,4 +11,13 @@ void throw_invalid(std::string_view where, std::string_view what) {
   throw std::invalid_argument(message);
 }
 
+void throw_out_of_range(std::string_view where, std::string_view what) {
+  std::string message;
+  message.reserve(where.size() + 2 + what.size());
+  message.append(where);
+  message.append(": ");
+  message.append(what);
+  throw std::out_of_range(message);
+}
+
 }  // namespace hdc

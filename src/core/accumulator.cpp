@@ -34,7 +34,7 @@ void apply(std::span<std::int32_t> counters,
 
 }  // namespace
 
-void BundleAccumulator::add(const Hypervector& hv) {
+void BundleAccumulator::add(HypervectorView hv) {
   require(hv.dimension() == dimension_, "BundleAccumulator::add",
           "dimension mismatch");
   apply(counters_, hv.words(), 1);
@@ -48,14 +48,14 @@ void BundleAccumulator::add_words(std::span<const std::uint64_t> words) {
   ++count_;
 }
 
-void BundleAccumulator::subtract(const Hypervector& hv) {
+void BundleAccumulator::subtract(HypervectorView hv) {
   require(hv.dimension() == dimension_, "BundleAccumulator::subtract",
           "dimension mismatch");
   apply(counters_, hv.words(), -1);
   ++count_;
 }
 
-void BundleAccumulator::add_weighted(const Hypervector& hv,
+void BundleAccumulator::add_weighted(HypervectorView hv,
                                      std::int32_t weight) {
   require(hv.dimension() == dimension_, "BundleAccumulator::add_weighted",
           "dimension mismatch");
@@ -79,7 +79,7 @@ Hypervector BundleAccumulator::finalize(Rng& tie_rng) const {
   return finalize(tie);
 }
 
-Hypervector BundleAccumulator::finalize(const Hypervector& tie_breaker) const {
+Hypervector BundleAccumulator::finalize(HypervectorView tie_breaker) const {
   require(tie_breaker.dimension() == dimension_, "BundleAccumulator::finalize",
           "tie_breaker dimension mismatch");
   Hypervector out(dimension_);
@@ -93,7 +93,7 @@ Hypervector BundleAccumulator::finalize(const Hypervector& tie_breaker) const {
   return out;
 }
 
-std::int64_t BundleAccumulator::signed_projection(const Hypervector& hv) const {
+std::int64_t BundleAccumulator::signed_projection(HypervectorView hv) const {
   require(hv.dimension() == dimension_, "BundleAccumulator::signed_projection",
           "dimension mismatch");
   // total = sum_set(c) - sum_clear(c) = 2 * sum_set(c) - sum_all(c); walking

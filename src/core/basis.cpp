@@ -31,45 +31,73 @@ const char* to_string(LevelMethod method) noexcept {
   return "unknown";
 }
 
-Basis::Basis(BasisInfo info, std::vector<Hypervector> vectors)
-    : info_(info), vectors_(std::move(vectors)) {
-  require(!vectors_.empty(), "Basis", "vector set must be non-empty");
-  require(info_.size == vectors_.size(), "Basis",
+Basis::Basis(BasisInfo info, std::vector<Hypervector> vectors) : info_(info) {
+  require(!vectors.empty(), "Basis", "vector set must be non-empty");
+  require(info_.size == vectors.size(), "Basis",
           "info.size must match the number of vectors");
-  for (const Hypervector& hv : vectors_) {
+  for (const Hypervector& hv : vectors) {
     require(hv.dimension() == info_.dimension, "Basis",
             "all vectors must have info.dimension dimensions");
   }
   words_per_vector_ = bits::words_for(info_.dimension);
-  packed_ = pack_words(vectors_);
+  packed_ = pack_words(vectors);
+  packed_.shrink_to_fit();
 }
 
-const Hypervector& Basis::at(std::size_t i) const {
-  require(i < vectors_.size(), "Basis::at", "index out of range");
-  return vectors_[i];
+Basis::Basis(BasisInfo info, std::vector<std::uint64_t> packed_words)
+    : info_(info),
+      packed_(std::move(packed_words)),
+      words_per_vector_(bits::words_for(info.dimension)) {
+  // An incrementally grown arena (e.g. read_basis) can carry up to 2x slack
+  // capacity; drop it so resident_bytes() reflects the data.
+  packed_.shrink_to_fit();
+  require(info_.size > 0, "Basis", "info.size must be positive");
+  require_positive(info_.dimension, "Basis", "info.dimension");
+  // Division form so a crafted info.size cannot overflow the multiply and
+  // slip an undersized arena past validation.
+  require(packed_.size() % words_per_vector_ == 0 &&
+              packed_.size() / words_per_vector_ == info_.size,
+          "Basis",
+          "packed word count must be info.size * words_for(info.dimension)");
+  const std::uint64_t tail = bits::tail_mask(info_.dimension);
+  for (std::size_t i = 0; i < info_.size; ++i) {
+    require((packed_[(i + 1) * words_per_vector_ - 1] & ~tail) == 0, "Basis",
+            "arena row has set bits beyond the dimension");
+  }
 }
 
-std::size_t Basis::nearest(const Hypervector& query) const {
+HypervectorView Basis::at(std::size_t i) const {
+  require_index(i, info_.size, "Basis::at");
+  return (*this)[i];
+}
+
+std::size_t Basis::nearest(HypervectorView query) const {
   require(query.dimension() == info_.dimension, "Basis::nearest",
           "query dimension mismatch");
   return nearest_words(query.words());
 }
 
 std::size_t Basis::nearest_words(
-    std::span<const std::uint64_t> query_words) const noexcept {
+    std::span<const std::uint64_t> query_words) const {
+  require(query_words.size() == words_per_vector_, "Basis::nearest_words",
+          "query word count must equal words_per_vector()");
   return bits::nearest_hamming(query_words, packed_, words_per_vector_,
-                               vectors_.size())
+                               info_.size)
       .index;
 }
 
 std::vector<std::vector<double>> Basis::pairwise_distances() const {
-  const std::size_t m = vectors_.size();
+  const std::size_t m = info_.size;
+  const auto d = static_cast<double>(info_.dimension);
   std::vector<std::vector<double>> out(m, std::vector<double>(m, 0.0));
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t j = i + 1; j < m; ++j) {
-      const double d = normalized_distance(vectors_[i], vectors_[j]);
-      out[i][j] = d;
-      out[j][i] = d;
+      const double dist =
+          static_cast<double>(
+              bits::hamming((*this)[i].words(), (*this)[j].words())) /
+          d;
+      out[i][j] = dist;
+      out[j][i] = dist;
     }
   }
   return out;

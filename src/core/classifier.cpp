@@ -19,7 +19,8 @@ CentroidClassifier::CentroidClassifier(std::size_t num_classes,
   for (std::size_t i = 0; i < num_classes; ++i) {
     accumulators_.emplace_back(dimension);
   }
-  class_vectors_.assign(num_classes, Hypervector(dimension));
+  words_per_class_ = bits::words_for(dimension);
+  class_arena_.assign(num_classes * words_per_class_, 0ULL);
   Rng rng(derive_seed(seed, 0xC1A55ULL));
   tie_breaker_ = Hypervector::random(dimension, rng);
 }
@@ -37,15 +38,13 @@ CentroidClassifier CentroidClassifier::from_class_vectors(
             "class-vectors must share one dimension");
   }
   CentroidClassifier model(vectors.size(), dimension, 0);
-  model.class_vectors_ = std::move(vectors);
+  model.class_arena_ = pack_words(vectors);
   model.finalized_ = true;
   model.inference_only_ = true;
-  model.repack_all();
   return model;
 }
 
-void CentroidClassifier::add_sample(std::size_t label,
-                                    const Hypervector& encoded) {
+void CentroidClassifier::add_sample(std::size_t label, HypervectorView encoded) {
   if (inference_only_) {
     throw std::logic_error(
         "CentroidClassifier::add_sample: model restored from class-vectors is "
@@ -70,21 +69,15 @@ void CentroidClassifier::absorb(std::size_t label,
   finalized_ = false;
 }
 
+void CentroidClassifier::store_class(std::size_t label, HypervectorView vector) {
+  pack_row(vector, class_arena_, words_per_class_, label);
+}
+
 void CentroidClassifier::finalize() {
   for (std::size_t i = 0; i < accumulators_.size(); ++i) {
-    class_vectors_[i] = accumulators_[i].finalize(tie_breaker_);
+    store_class(i, accumulators_[i].finalize(tie_breaker_));
   }
-  repack_all();
   finalized_ = true;
-}
-
-void CentroidClassifier::repack_class(std::size_t label) {
-  pack_row(class_vectors_[label], class_arena_, words_per_class_, label);
-}
-
-void CentroidClassifier::repack_all() {
-  words_per_class_ = bits::words_for(dimension_);
-  class_arena_ = pack_words(class_vectors_);
 }
 
 void CentroidClassifier::require_finalized(const char* where) const {
@@ -94,7 +87,7 @@ void CentroidClassifier::require_finalized(const char* where) const {
   }
 }
 
-std::size_t CentroidClassifier::predict(const Hypervector& query) const {
+std::size_t CentroidClassifier::predict(HypervectorView query) const {
   require_finalized("CentroidClassifier::predict");
   require(query.dimension() == dimension_, "CentroidClassifier::predict",
           "query dimension mismatch");
@@ -102,28 +95,31 @@ std::size_t CentroidClassifier::predict(const Hypervector& query) const {
 }
 
 std::size_t CentroidClassifier::predict_words(
-    std::span<const std::uint64_t> query_words) const noexcept {
+    std::span<const std::uint64_t> query_words) const {
+  require(query_words.size() == words_per_class_,
+          "CentroidClassifier::predict_words",
+          "query word count must equal words_per_class()");
   return bits::nearest_hamming(query_words, class_arena_, words_per_class_,
-                               class_vectors_.size())
+                               accumulators_.size())
       .index;
 }
 
 double CentroidClassifier::class_similarity(std::size_t label,
-                                            const Hypervector& query) const {
+                                            HypervectorView query) const {
   require_finalized("CentroidClassifier::class_similarity");
-  require(label < class_vectors_.size(), "CentroidClassifier::class_similarity",
-          "label out of range");
-  return similarity(query, class_vectors_[label]);
+  require(label < accumulators_.size(),
+          "CentroidClassifier::class_similarity", "label out of range");
+  return similarity(query, class_vector(label));
 }
 
 std::vector<double> CentroidClassifier::similarities(
-    const Hypervector& query) const {
+    HypervectorView query) const {
   require_finalized("CentroidClassifier::similarities");
   require(query.dimension() == dimension_, "CentroidClassifier::similarities",
           "query dimension mismatch");
-  std::vector<std::size_t> distances(class_vectors_.size());
+  std::vector<std::size_t> distances(accumulators_.size());
   bits::hamming_many(query.words(), class_arena_, words_per_class_,
-                     class_vectors_.size(), distances);
+                     accumulators_.size(), distances);
   std::vector<double> out;
   out.reserve(distances.size());
   for (const std::size_t dist : distances) {
@@ -134,7 +130,7 @@ std::vector<double> CentroidClassifier::similarities(
 }
 
 std::size_t CentroidClassifier::adapt(std::size_t label,
-                                      const Hypervector& encoded) {
+                                      HypervectorView encoded) {
   if (inference_only_) {
     throw std::logic_error(
         "CentroidClassifier::adapt: model restored from class-vectors is "
@@ -147,19 +143,17 @@ std::size_t CentroidClassifier::adapt(std::size_t label,
   if (predicted != label) {
     accumulators_[label].add(encoded);
     accumulators_[predicted].subtract(encoded);
-    class_vectors_[label] = accumulators_[label].finalize(tie_breaker_);
-    class_vectors_[predicted] = accumulators_[predicted].finalize(tie_breaker_);
-    repack_class(label);
-    repack_class(predicted);
+    store_class(label, accumulators_[label].finalize(tie_breaker_));
+    store_class(predicted, accumulators_[predicted].finalize(tie_breaker_));
   }
   return predicted;
 }
 
-const Hypervector& CentroidClassifier::class_vector(std::size_t label) const {
+HypervectorView CentroidClassifier::class_vector(std::size_t label) const {
   require_finalized("CentroidClassifier::class_vector");
-  require(label < class_vectors_.size(), "CentroidClassifier::class_vector",
+  require(label < accumulators_.size(), "CentroidClassifier::class_vector",
           "label out of range");
-  return class_vectors_[label];
+  return row_view(class_arena_, dimension_, words_per_class_, label);
 }
 
 std::size_t CentroidClassifier::class_count(std::size_t label) const {

@@ -34,8 +34,13 @@ Hypervector KeyValueEncoder::encode(std::span<const double> features) const {
   require(features.size() == keys_.size(), "KeyValueEncoder::encode",
           "feature count mismatch");
   BundleAccumulator acc(dimension());
+  // K_i ⊗ V(x_i) is XORed straight from the two basis arenas into one
+  // scratch row, so the loop never materializes a Hypervector.
+  std::vector<std::uint64_t> scratch(bits::words_for(dimension()));
   for (std::size_t i = 0; i < features.size(); ++i) {
-    acc.add(keys_[i] ^ values_->encode(features[i]));
+    bits::xor_rows(scratch, keys_[i].words(),
+                   values_->encode(features[i]).words());
+    acc.add_words(scratch);
   }
   return acc.finalize(tie_breaker_);
 }

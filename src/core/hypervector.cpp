@@ -6,9 +6,29 @@
 
 namespace hdc {
 
+HypervectorView::HypervectorView(std::size_t dimension,
+                                 std::span<const std::uint64_t> words)
+    : dimension_(dimension), words_(words) {
+  require(words.size() == bits::words_for(dimension), "HypervectorView",
+          "word count must be words_for(dimension)");
+  require(dimension == 0 || (words.back() & ~bits::tail_mask(dimension)) == 0,
+          "HypervectorView", "tail bits beyond dimension must be zero");
+}
+
+bool HypervectorView::bit(std::size_t index) const {
+  require_index(index, dimension_, "HypervectorView::bit");
+  return bits::get_bit(words_, index);
+}
+
 Hypervector::Hypervector(std::size_t dimension)
     : dimension_(dimension), words_(bits::words_for(dimension), 0ULL) {
   require_positive(dimension, "Hypervector", "dimension");
+}
+
+Hypervector::Hypervector(HypervectorView view)
+    : dimension_(view.dimension()),
+      words_(view.words().begin(), view.words().end()) {
+  require_positive(dimension_, "Hypervector", "dimension");
 }
 
 Hypervector Hypervector::random(std::size_t dimension, Rng& rng) {
@@ -32,17 +52,17 @@ Hypervector Hypervector::from_bits(std::span<const bool> bits) {
 }
 
 bool Hypervector::bit(std::size_t index) const {
-  require(index < dimension_, "Hypervector::bit", "index out of range");
+  require_index(index, dimension_, "Hypervector::bit");
   return bits::get_bit(words_, index);
 }
 
 void Hypervector::set_bit(std::size_t index, bool value) {
-  require(index < dimension_, "Hypervector::set_bit", "index out of range");
+  require_index(index, dimension_, "Hypervector::set_bit");
   bits::set_bit(words_, index, value);
 }
 
 void Hypervector::flip_bit(std::size_t index) {
-  require(index < dimension_, "Hypervector::flip_bit", "index out of range");
+  require_index(index, dimension_, "Hypervector::flip_bit");
   bits::flip_bit(words_, index);
 }
 
@@ -52,20 +72,21 @@ void Hypervector::mask_tail() noexcept {
   }
 }
 
-Hypervector& Hypervector::operator^=(const Hypervector& other) {
-  require(dimension_ == other.dimension_, "Hypervector::operator^=",
+Hypervector& Hypervector::operator^=(HypervectorView other) {
+  require(dimension_ == other.dimension(), "Hypervector::operator^=",
           "dimension mismatch");
-  bits::xor_into(words_, other.words_);
+  bits::xor_into(words_, other.words());
   return *this;
 }
 
-Hypervector operator^(const Hypervector& a, const Hypervector& b) {
-  Hypervector out = a;
+Hypervector operator^(HypervectorView a, HypervectorView b) {
+  require(!a.empty(), "operator^", "operands must be non-empty");
+  Hypervector out(a);
   out ^= b;
   return out;
 }
 
-void pack_row(const Hypervector& hv, std::span<std::uint64_t> arena,
+void pack_row(HypervectorView hv, std::span<std::uint64_t> arena,
               std::size_t stride, std::size_t row) {
   const auto words = hv.words();
   std::copy(words.begin(), words.end(), arena.begin() +

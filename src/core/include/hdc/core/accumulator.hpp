@@ -35,8 +35,9 @@ class BundleAccumulator {
   [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
   /// Adds one hypervector: counter += bit ? +1 : -1 per dimension.
+  /// Accepts owning hypervectors and zero-copy views alike.
   /// \throws std::invalid_argument on dimension mismatch.
-  void add(const Hypervector& hv);
+  void add(HypervectorView hv);
 
   /// add() on a raw word view (bits::words_for(dimension()) words, tail bits
   /// zero): the allocation-free entry point the batch runtime uses to
@@ -46,11 +47,11 @@ class BundleAccumulator {
 
   /// Subtracts one hypervector (inverse of add); counters may go negative.
   /// \throws std::invalid_argument on dimension mismatch.
-  void subtract(const Hypervector& hv);
+  void subtract(HypervectorView hv);
 
   /// Adds with an integer weight (negative weights subtract).
   /// \throws std::invalid_argument on dimension mismatch or weight == 0.
-  void add_weighted(const Hypervector& hv, std::int32_t weight);
+  void add_weighted(HypervectorView hv, std::int32_t weight);
 
   /// Merges another accumulator: counters and counts add element-wise.
   /// Because integer addition commutes, splitting a sample stream across
@@ -71,13 +72,13 @@ class BundleAccumulator {
   /// Majority threshold with a caller-supplied tie-break hypervector, for
   /// deterministic pipelines that reuse one tie vector.
   /// \throws std::invalid_argument on dimension mismatch.
-  [[nodiscard]] Hypervector finalize(const Hypervector& tie_breaker) const;
+  [[nodiscard]] Hypervector finalize(HypervectorView tie_breaker) const;
 
   /// Signed projection <counters, ±1(hv)>: sum over dimensions of
   /// counter * (bit ? +1 : -1).  This is (up to scale) the dot-product
   /// similarity between the un-quantized bundle and \p hv; larger means more
   /// similar.  \throws std::invalid_argument on dimension mismatch.
-  [[nodiscard]] std::int64_t signed_projection(const Hypervector& hv) const;
+  [[nodiscard]] std::int64_t signed_projection(HypervectorView hv) const;
 
   /// Resets all counters to zero.
   void clear() noexcept;

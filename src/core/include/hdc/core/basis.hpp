@@ -16,8 +16,17 @@
 /// hypervectors plus a `BasisInfo` provenance record (kind, generation
 /// method, r-hyperparameter, seed) that serialization and the experiment
 /// logs rely on.
+///
+/// Storage: the packed word arena is the *single* source of truth — vector i
+/// lives at arena words [i * words_per_vector(), (i + 1) *
+/// words_per_vector()) and element access hands out zero-copy
+/// `HypervectorView`s into it.  Nothing per-vector is duplicated, which
+/// halves basis-resident memory versus keeping a parallel
+/// std::vector<Hypervector> and is what makes mmap-able snapshots feasible.
 
+#include <compare>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <vector>
 
@@ -59,46 +68,124 @@ struct BasisInfo {
   std::uint64_t seed = 0; ///< Seed the set was generated from.
 };
 
-/// An immutable set of m equal-dimension hypervectors with provenance.
+/// An immutable set of m equal-dimension hypervectors with provenance,
+/// stored solely as one packed word arena.
 class Basis {
  public:
-  /// Takes ownership of \p vectors; validates they are non-empty, of equal
-  /// dimension, and consistent with \p info.
+  /// Packs \p vectors into the arena and releases them; validates they are
+  /// non-empty, of equal dimension, and consistent with \p info.
   /// \throws std::invalid_argument on any inconsistency.
   Basis(BasisInfo info, std::vector<Hypervector> vectors);
 
+  /// Adopts an already-packed arena (info.size rows of
+  /// bits::words_for(info.dimension) words each) without copying — the
+  /// zero-copy deserialization path.  Validates the word count and the
+  /// per-row tail-bits-zero invariant.
+  /// \throws std::invalid_argument on any inconsistency.
+  Basis(BasisInfo info, std::vector<std::uint64_t> packed_words);
+
   [[nodiscard]] const BasisInfo& info() const noexcept { return info_; }
-  [[nodiscard]] std::size_t size() const noexcept { return vectors_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return info_.size; }
   [[nodiscard]] std::size_t dimension() const noexcept {
     return info_.dimension;
   }
 
-  /// Unchecked element access (0-based).
-  [[nodiscard]] const Hypervector& operator[](std::size_t i) const noexcept {
-    return vectors_[i];
+  /// Unchecked element access (0-based): a zero-copy view into the arena,
+  /// valid for the lifetime of this Basis.
+  [[nodiscard]] HypervectorView operator[](std::size_t i) const noexcept {
+    return row_view(packed_, info_.dimension, words_per_vector_, i);
   }
 
-  /// Checked element access. \throws std::invalid_argument if out of range.
-  [[nodiscard]] const Hypervector& at(std::size_t i) const;
+  /// Checked element access. \throws std::out_of_range if out of range.
+  [[nodiscard]] HypervectorView at(std::size_t i) const;
 
-  [[nodiscard]] auto begin() const noexcept { return vectors_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return vectors_.end(); }
+  /// Random-access iterator over the arena rows, yielding
+  /// `HypervectorView`s by value.
+  class const_iterator {
+   public:
+    // Proxy iterator: operator* returns a view by value, so the legacy
+    // category stays input_iterator (whose requirements we do satisfy) while
+    // iterator_concept advertises random access to C++20 ranges — the
+    // std::views::iota pattern.
+    using iterator_concept = std::random_access_iterator_tag;
+    using iterator_category = std::input_iterator_tag;
+    using value_type = HypervectorView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const HypervectorView*;
+    using reference = HypervectorView;
+
+    const_iterator() = default;
+    const_iterator(const Basis* basis, std::size_t index)
+        : basis_(basis), index_(index) {}
+
+    reference operator*() const { return (*basis_)[index_]; }
+    reference operator[](difference_type n) const {
+      return (*basis_)[index_ + static_cast<std::size_t>(n)];
+    }
+
+    const_iterator& operator++() { ++index_; return *this; }
+    const_iterator operator++(int) { auto tmp = *this; ++index_; return tmp; }
+    const_iterator& operator--() { --index_; return *this; }
+    const_iterator operator--(int) { auto tmp = *this; --index_; return tmp; }
+    const_iterator& operator+=(difference_type n) {
+      index_ = static_cast<std::size_t>(static_cast<difference_type>(index_) + n);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type n) { return *this += -n; }
+    friend const_iterator operator+(const_iterator it, difference_type n) {
+      return it += n;
+    }
+    friend const_iterator operator+(difference_type n, const_iterator it) {
+      return it += n;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const_iterator a, const_iterator b) {
+      return static_cast<difference_type>(a.index_) -
+             static_cast<difference_type>(b.index_);
+    }
+    friend bool operator==(const_iterator a, const_iterator b) {
+      return a.basis_ == b.basis_ && a.index_ == b.index_;
+    }
+    friend std::strong_ordering operator<=>(const_iterator a,
+                                            const_iterator b) {
+      if (const auto c = std::compare_three_way{}(a.basis_, b.basis_);
+          c != std::strong_ordering::equal) {
+        return c;
+      }
+      return a.index_ <=> b.index_;
+    }
+
+   private:
+    const Basis* basis_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return const_iterator(this, 0);
+  }
+  [[nodiscard]] const_iterator end() const noexcept {
+    return const_iterator(this, info_.size);
+  }
 
   /// Index of the basis vector nearest (in normalized Hamming distance) to
   /// \p query; the "cleanup" step of decoding.  Ties keep the lowest index.
   /// Runs on the fused XOR+popcount kernel over the packed arena.
   /// \throws std::invalid_argument on dimension mismatch.
-  [[nodiscard]] std::size_t nearest(const Hypervector& query) const;
+  [[nodiscard]] std::size_t nearest(HypervectorView query) const;
 
-  /// nearest() on a raw word span (words_for(dimension()) words, tail bits
-  /// zero); the allocation-free entry point used by the batch runtime.
-  /// \pre query_words.size() == bits::words_for(dimension()).
+  /// nearest() on a raw word span; the allocation-free entry point used by
+  /// the batch runtime.  The span must carry exactly
+  /// words_for(dimension()) words with tail bits zero.
+  /// \throws std::invalid_argument if query_words.size() !=
+  /// words_per_vector().
   [[nodiscard]] std::size_t nearest_words(
-      std::span<const std::uint64_t> query_words) const noexcept;
+      std::span<const std::uint64_t> query_words) const;
 
   /// All m vectors bit-packed into one contiguous arena, vector i at words
-  /// [i * words_per_vector(), (i + 1) * words_per_vector()); built once at
-  /// construction so cleanup scans are a single linear sweep.
+  /// [i * words_per_vector(), (i + 1) * words_per_vector()); the single
+  /// source of truth every accessor serves views from.
   [[nodiscard]] std::span<const std::uint64_t> packed_words() const noexcept {
     return packed_;
   }
@@ -106,6 +193,15 @@ class Basis {
   /// Arena stride in 64-bit words.
   [[nodiscard]] std::size_t words_per_vector() const noexcept {
     return words_per_vector_;
+  }
+
+  /// Heap bytes resident for the vector storage (the arena data; both
+  /// constructors shrink growth slack away, and reporting size keeps the
+  /// number portable across allocators).  The memory-footprint bench gates
+  /// on this staying ~half of the legacy arena + std::vector<Hypervector>
+  /// layout.
+  [[nodiscard]] std::size_t resident_bytes() const noexcept {
+    return packed_.size() * sizeof(std::uint64_t);
   }
 
   /// Full m x m matrix of pairwise normalized distances delta(B_i, B_j);
@@ -117,7 +213,6 @@ class Basis {
 
  private:
   BasisInfo info_;
-  std::vector<Hypervector> vectors_;
   std::vector<std::uint64_t> packed_;
   std::size_t words_per_vector_ = 0;
 };

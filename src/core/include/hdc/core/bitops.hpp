@@ -91,6 +91,17 @@ inline void xor_into(std::span<std::uint64_t> dst,
   }
 }
 
+/// dst = a ^ b, element-wise; the allocation-free binding of two arena rows
+/// into a caller-provided scratch row.  \pre all three spans are the same
+/// length; dst may alias a or b.
+inline void xor_rows(std::span<std::uint64_t> dst,
+                     std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] = a[i] ^ b[i];
+  }
+}
+
 /// Reads bit \p index. \pre index < 64 * words.size().
 [[nodiscard]] inline bool get_bit(std::span<const std::uint64_t> words,
                                   std::size_t index) noexcept {

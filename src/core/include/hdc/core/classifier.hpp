@@ -46,7 +46,7 @@ class CentroidClassifier {
 
   /// Accumulates one encoded training sample into class \p label.
   /// \throws std::invalid_argument on bad label or dimension mismatch.
-  void add_sample(std::size_t label, const Hypervector& encoded);
+  void add_sample(std::size_t label, HypervectorView encoded);
 
   /// Merges a partial accumulation (e.g. one worker's share of a batch) into
   /// class \p label.  Counter addition commutes, so absorbing per-worker
@@ -66,17 +66,21 @@ class CentroidClassifier {
   /// the fused XOR+popcount kernel over the packed class-vector arena.
   /// \throws std::logic_error if the model is not finalized.
   /// \throws std::invalid_argument on dimension mismatch.
-  [[nodiscard]] std::size_t predict(const Hypervector& query) const;
+  [[nodiscard]] std::size_t predict(HypervectorView query) const;
 
-  /// predict() on a raw word span (bits::words_for(dimension()) words, tail
-  /// bits zero); the allocation-free entry point shared with the batch
-  /// runtime.  \pre the model is finalized.
+  /// predict() on a raw word span; the allocation-free entry point shared
+  /// with the batch runtime.  The span must carry exactly
+  /// words_per_class() words with tail bits zero.  \pre the model is
+  /// finalized.
+  /// \throws std::invalid_argument if query_words.size() !=
+  /// words_per_class().
   [[nodiscard]] std::size_t predict_words(
-      std::span<const std::uint64_t> query_words) const noexcept;
+      std::span<const std::uint64_t> query_words) const;
 
   /// The finalized class-vectors bit-packed into one contiguous arena
-  /// (class i at words [i * words_per_class(), ...)); rebuilt by finalize()
-  /// and adapt().  Empty until the first finalize().
+  /// (class i at words [i * words_per_class(), ...)); the *only* class-vector
+  /// storage, rewritten by finalize() and adapt().  All-zero rows until the
+  /// first finalize().
   [[nodiscard]] std::span<const std::uint64_t> packed_class_words()
       const noexcept {
     return class_arena_;
@@ -90,33 +94,32 @@ class CentroidClassifier {
   /// Similarity (1 - delta) between the query and one class-vector.
   /// \throws std::logic_error / std::invalid_argument as for predict().
   [[nodiscard]] double class_similarity(std::size_t label,
-                                        const Hypervector& query) const;
+                                        HypervectorView query) const;
 
   /// Similarities to every class-vector, index == label.
-  [[nodiscard]] std::vector<double> similarities(const Hypervector& query) const;
+  [[nodiscard]] std::vector<double> similarities(HypervectorView query) const;
 
   /// Extension: one mistake-driven update.  Predicts \p encoded with the
   /// current class-vectors; on a miss, adds the sample to the true class and
   /// subtracts it from the predicted class, then refreshes the two affected
   /// class-vectors.  Returns the (pre-update) prediction.
   /// \throws std::logic_error if the model is not finalized.
-  std::size_t adapt(std::size_t label, const Hypervector& encoded);
+  std::size_t adapt(std::size_t label, HypervectorView encoded);
 
-  /// The finalized class-vector M_label.
+  /// The finalized class-vector M_label: a zero-copy view into the packed
+  /// class arena, valid until the next finalize()/adapt().
   /// \throws std::logic_error / std::invalid_argument as for predict().
-  [[nodiscard]] const Hypervector& class_vector(std::size_t label) const;
+  [[nodiscard]] HypervectorView class_vector(std::size_t label) const;
 
   /// Number of training samples accumulated into a class so far.
   [[nodiscard]] std::size_t class_count(std::size_t label) const;
 
  private:
   void require_finalized(const char* where) const;
-  void repack_class(std::size_t label);
-  void repack_all();
+  void store_class(std::size_t label, HypervectorView vector);
 
   std::size_t dimension_;
   std::vector<BundleAccumulator> accumulators_;
-  std::vector<Hypervector> class_vectors_;
   std::vector<std::uint64_t> class_arena_;
   std::size_t words_per_class_ = 0;
   Hypervector tie_breaker_;

@@ -2,12 +2,17 @@
 #define HDC_CORE_HYPERVECTOR_HPP
 
 /// \file hypervector.hpp
-/// \brief The binary hypervector value type, H = {0, 1}^d.
+/// \brief The binary hypervector value type, H = {0, 1}^d, and its
+///        non-owning view.
 ///
 /// The paper (Section 2) represents information as ~10,000-bit words whose
 /// bits are i.i.d.  `Hypervector` is a bit-packed, value-semantic
 /// implementation supporting any runtime dimension d >= 1; all arithmetic on
-/// it lives in ops.hpp.
+/// it lives in ops.hpp.  `HypervectorView` is the zero-copy read-only
+/// counterpart: it points at packed words owned elsewhere (a `Hypervector`,
+/// a `Basis` arena row, a `hdc::runtime::VectorArena` slot) and is the
+/// currency of every read-only API in the library, so arena-backed storage
+/// never has to materialize per-vector copies.
 
 #include <cstddef>
 #include <cstdint>
@@ -22,7 +27,96 @@ namespace hdc {
 /// Default hyperspace dimensionality used throughout the paper.
 inline constexpr std::size_t default_dimension = 10'000;
 
-/// A d-dimensional binary hypervector.
+class Hypervector;
+
+/// A non-owning, read-only view of a d-dimensional binary hypervector:
+/// a dimension plus a span of bits::words_for(d) packed little-endian words.
+///
+/// Invariant (inherited from the viewed storage): bits at positions >=
+/// dimension() are zero, so whole-word popcounts and equality are exact.
+/// A view is trivially copyable and must not outlive the storage it points
+/// into — treat it like std::span or std::string_view.
+class HypervectorView {
+ public:
+  /// Empty view of dimension 0.
+  constexpr HypervectorView() = default;
+
+  /// View over externally owned packed words.
+  /// \pre words.size() == bits::words_for(dimension) and the tail bits of
+  /// the last word are zero; checked (throws std::invalid_argument) because
+  /// views are how raw arenas enter the typed API.
+  HypervectorView(std::size_t dimension, std::span<const std::uint64_t> words);
+
+  /// Every owning hypervector is implicitly viewable; this is what lets one
+  /// view-accepting overload serve owning and arena-backed callers alike.
+  HypervectorView(const Hypervector& hv) noexcept;  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr std::size_t dimension() const noexcept {
+    return dimension_;
+  }
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return dimension_ == 0;
+  }
+
+  /// Reads bit \p index. \throws std::out_of_range if index >= dimension().
+  [[nodiscard]] bool bit(std::size_t index) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count_ones() const noexcept {
+    return bits::count_ones(words_);
+  }
+
+  /// The packed words (little-endian bit order, words_for(dimension()) of
+  /// them, tail bits zero).
+  [[nodiscard]] constexpr std::span<const std::uint64_t> words()
+      const noexcept {
+    return words_;
+  }
+
+  /// Bit-exact equality (same dimension, same words).
+  [[nodiscard]] friend bool operator==(HypervectorView a,
+                                       HypervectorView b) noexcept {
+    if (a.dimension_ != b.dimension_) {
+      return false;
+    }
+    for (std::size_t i = 0; i < a.words_.size(); ++i) {
+      if (a.words_[i] != b.words_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Trusted {};
+  /// Unchecked construction for pre-validated arena rows; reachable only via
+  /// row_view() so the validating public constructor stays the sole entry
+  /// point for untrusted word spans.
+  constexpr HypervectorView(Trusted, std::size_t dimension,
+                            std::span<const std::uint64_t> words) noexcept
+      : dimension_(dimension), words_(words) {}
+
+  friend HypervectorView row_view(std::span<const std::uint64_t> arena,
+                                  std::size_t dimension, std::size_t stride,
+                                  std::size_t row) noexcept;
+
+  std::size_t dimension_ = 0;
+  std::span<const std::uint64_t> words_;
+};
+
+/// View of row \p row of a packed word arena — the zero-copy counterpart of
+/// pack_row(), and like it a trusted primitive: the caller guarantees the
+/// arena layout (stride == words_for(dimension), row in range, tail bits
+/// zero), which Basis / CentroidClassifier / the encoders establish once at
+/// arena construction.  No validation, so it is safe in noexcept accessors.
+[[nodiscard]] inline HypervectorView row_view(
+    std::span<const std::uint64_t> arena, std::size_t dimension,
+    std::size_t stride, std::size_t row) noexcept {
+  return HypervectorView(HypervectorView::Trusted{}, dimension,
+                         arena.subspan(row * stride, stride));
+}
+
+/// A d-dimensional binary hypervector (owning).
 ///
 /// Invariant: storage bits at positions >= dimension() are always zero, so
 /// whole-word popcounts and equality are exact.
@@ -34,6 +128,11 @@ class Hypervector {
   /// All-zeros hypervector of the given dimension.
   /// \throws std::invalid_argument if dimension == 0.
   explicit Hypervector(std::size_t dimension);
+
+  /// Materializes an owning copy of a view (the only copying crossover from
+  /// the zero-copy world back to owning storage — deliberately explicit).
+  /// \throws std::invalid_argument if the view is empty.
+  explicit Hypervector(HypervectorView view);
 
   /// Uniformly random hypervector: each bit i.i.d. Bernoulli(1/2).
   /// This is the sampling primitive behind random basis-hypervectors.
@@ -47,13 +146,13 @@ class Hypervector {
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
   [[nodiscard]] bool empty() const noexcept { return dimension_ == 0; }
 
-  /// Reads bit \p index. \throws std::invalid_argument if out of range.
+  /// Reads bit \p index. \throws std::out_of_range if out of range.
   [[nodiscard]] bool bit(std::size_t index) const;
 
-  /// Writes bit \p index. \throws std::invalid_argument if out of range.
+  /// Writes bit \p index. \throws std::out_of_range if out of range.
   void set_bit(std::size_t index, bool value);
 
-  /// Toggles bit \p index. \throws std::invalid_argument if out of range.
+  /// Toggles bit \p index. \throws std::out_of_range if out of range.
   void flip_bit(std::size_t index);
 
   /// Number of set bits.
@@ -73,9 +172,9 @@ class Hypervector {
   /// Re-establishes the tail-bits-are-zero invariant after raw word writes.
   void mask_tail() noexcept;
 
-  /// In-place XOR (binding). \throws std::invalid_argument on dimension
-  /// mismatch.
-  Hypervector& operator^=(const Hypervector& other);
+  /// In-place XOR (binding) with any view. \throws std::invalid_argument on
+  /// dimension mismatch.
+  Hypervector& operator^=(HypervectorView other);
 
   [[nodiscard]] bool operator==(const Hypervector& other) const noexcept = default;
 
@@ -84,16 +183,20 @@ class Hypervector {
   std::vector<std::uint64_t> words_;
 };
 
+inline HypervectorView::HypervectorView(const Hypervector& hv) noexcept
+    : dimension_(hv.dimension()), words_(hv.words()) {}
+
 /// Binding of two hypervectors (element-wise XOR); the result is dissimilar
 /// to both operands and binding is its own inverse: A ^ (A ^ B) == B.
+/// Accepts any mix of owning hypervectors and views.
 /// \throws std::invalid_argument on dimension mismatch.
-[[nodiscard]] Hypervector operator^(const Hypervector& a, const Hypervector& b);
+[[nodiscard]] Hypervector operator^(HypervectorView a, HypervectorView b);
 
 /// Copies \p hv into row \p row of a contiguous word arena with the given
 /// stride; the shared packing primitive behind every fused nearest-neighbour
 /// sweep (Basis, CentroidClassifier, the batch runtime).
 /// \pre arena.size() >= (row + 1) * stride and stride >= hv word count.
-void pack_row(const Hypervector& hv, std::span<std::uint64_t> arena,
+void pack_row(HypervectorView hv, std::span<std::uint64_t> arena,
               std::size_t stride, std::size_t row);
 
 /// Packs equal-dimension vectors into one contiguous buffer with stride

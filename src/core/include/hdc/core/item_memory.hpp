@@ -52,7 +52,7 @@ class ItemMemory {
   /// Nearest stored symbol to \p query, or nullopt when the memory is empty.
   /// \throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] std::optional<CleanupResult> cleanup(
-      const Hypervector& query) const;
+      HypervectorView query) const;
 
   /// Symbols in first-use order (stable iteration for tests and logs).
   [[nodiscard]] const std::vector<std::string>& symbols() const noexcept {

@@ -27,9 +27,10 @@ namespace hdc {
 /// grid resolutions.  The public grid (index_of/value_of/decode) is the
 /// finest of the configured scales.
 ///
-/// All bound vectors are materialized at construction; the encoder is
-/// immutable afterwards and safe to share across threads (the contract the
-/// hdc::runtime batch engines rely on).
+/// All bound vectors are packed into one arena at construction; the encoder
+/// is immutable afterwards and safe to share across threads (the contract
+/// the hdc::runtime batch engines rely on), and encode() serves zero-copy
+/// views out of that arena.
 class MultiScaleCircularEncoder final : public ScalarEncoder {
  public:
   /// Configuration.
@@ -45,10 +46,10 @@ class MultiScaleCircularEncoder final : public ScalarEncoder {
   /// \throws std::invalid_argument on an invalid configuration.
   explicit MultiScaleCircularEncoder(const Config& config);
 
-  [[nodiscard]] const Hypervector& encode(double value) const override;
+  [[nodiscard]] HypervectorView encode(double value) const override;
   [[nodiscard]] std::size_t index_of(double value) const override;
   [[nodiscard]] double value_of(std::size_t index) const override;
-  [[nodiscard]] double decode(const Hypervector& query) const override;
+  [[nodiscard]] double decode(HypervectorView query) const override;
 
   /// The finest-scale basis (defines the public grid).
   [[nodiscard]] const Basis& basis() const noexcept override {
@@ -63,9 +64,8 @@ class MultiScaleCircularEncoder final : public ScalarEncoder {
  private:
   std::vector<Basis> bases_;  ///< Sorted coarse -> fine.
   double period_;
-  /// Bound vectors, one per finest-grid index, materialized eagerly.
-  std::vector<Hypervector> combined_;
-  /// combined_ bit-packed for the fused decode sweep.
+  /// Bound vectors, one per finest-grid index, bit-packed into the single
+  /// arena both encode() views and the fused decode sweep read from.
   std::vector<std::uint64_t> packed_;
   std::size_t words_per_vector_ = 0;
 };

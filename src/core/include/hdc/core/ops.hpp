@@ -21,31 +21,31 @@
 namespace hdc {
 
 /// Binding: associates two hypervectors. Commutative, self-inverse,
-/// distributes over bundling.  Equivalent to operator^.
+/// distributes over bundling.  Equivalent to operator^.  Accepts any mix of
+/// owning hypervectors and zero-copy views (e.g. Basis arena rows).
 /// \throws std::invalid_argument on dimension mismatch.
-[[nodiscard]] Hypervector bind(const Hypervector& a, const Hypervector& b);
+[[nodiscard]] Hypervector bind(HypervectorView a, HypervectorView b);
 
 /// Permutation Pi^shift: cyclic left shift of the elements by \p shift
 /// coordinates.  permute(permute(x, s), dimension - s) == x.
 /// \throws std::invalid_argument if the input is empty.
-[[nodiscard]] Hypervector permute(const Hypervector& input, std::size_t shift);
+[[nodiscard]] Hypervector permute(HypervectorView input, std::size_t shift);
 
 /// Inverse permutation: permute_inverse(permute(x, s), s) == x.
-[[nodiscard]] Hypervector permute_inverse(const Hypervector& input,
+[[nodiscard]] Hypervector permute_inverse(HypervectorView input,
                                           std::size_t shift);
 
 /// Hamming distance in bits.
 /// \throws std::invalid_argument on dimension mismatch or empty inputs.
-[[nodiscard]] std::size_t hamming_distance(const Hypervector& a,
-                                           const Hypervector& b);
+[[nodiscard]] std::size_t hamming_distance(HypervectorView a,
+                                           HypervectorView b);
 
 /// Normalized Hamming distance delta in [0, 1].
 /// \throws std::invalid_argument on dimension mismatch or empty inputs.
-[[nodiscard]] double normalized_distance(const Hypervector& a,
-                                         const Hypervector& b);
+[[nodiscard]] double normalized_distance(HypervectorView a, HypervectorView b);
 
 /// Similarity 1 - delta in [0, 1].
-[[nodiscard]] double similarity(const Hypervector& a, const Hypervector& b);
+[[nodiscard]] double similarity(HypervectorView a, HypervectorView b);
 
 /// Exact n-ary majority bundling of a set of hypervectors.  A result bit is 1
 /// iff more than half of the inputs have a 1 there; exact ties (possible only
@@ -59,13 +59,13 @@ namespace hdc {
 /// Flips \p count distinct, uniformly chosen bit positions of \p input.
 /// Used by the classic ("exact flip") level-hypervector construction.
 /// \throws std::invalid_argument if count > dimension.
-[[nodiscard]] Hypervector flip_random_bits(const Hypervector& input,
+[[nodiscard]] Hypervector flip_random_bits(HypervectorView input,
                                            std::size_t count, Rng& rng);
 
 /// Performs \p steps random-walk steps: each step flips one uniformly chosen
 /// position, *with* replacement across steps.  This is the Section 4.2
 /// bit-flipping walk used by scatter codes.
-[[nodiscard]] Hypervector random_walk_flips(const Hypervector& input,
+[[nodiscard]] Hypervector random_walk_flips(HypervectorView input,
                                             std::size_t steps, Rng& rng);
 
 }  // namespace hdc

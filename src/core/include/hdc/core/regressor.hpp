@@ -41,7 +41,7 @@ class HDRegressor {
 
   /// Accumulates one training pair (phi(x) given encoded, label y).
   /// \throws std::invalid_argument on dimension mismatch.
-  void add_sample(const Hypervector& encoded_input, double label);
+  void add_sample(HypervectorView encoded_input, double label);
 
   /// Merges a partial accumulation of already label-bound samples
   /// (phi(x_i) ⊗ phi_l(y_i)), e.g. one worker's share of a batch; absorbing
@@ -57,13 +57,13 @@ class HDRegressor {
   /// Paper-faithful prediction: decode(M ⊗ phi(x̂)) via the label basis.
   /// \throws std::logic_error if not finalized; std::invalid_argument on
   /// dimension mismatch.
-  [[nodiscard]] double predict(const Hypervector& encoded_input) const;
+  [[nodiscard]] double predict(HypervectorView encoded_input) const;
 
   /// Extension: integer-accumulator prediction.  For each label vector L_l,
   /// scores the signed projection of the accumulator onto phi(x̂) ⊗ L_l and
   /// returns the value of the best-scoring label.  Does not require
   /// finalize().  \throws std::invalid_argument on dimension mismatch.
-  [[nodiscard]] double predict_integer(const Hypervector& encoded_input) const;
+  [[nodiscard]] double predict_integer(HypervectorView encoded_input) const;
 
   /// The quantized model hypervector M.
   /// \throws std::logic_error if not finalized.

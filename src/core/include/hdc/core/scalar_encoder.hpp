@@ -28,8 +28,10 @@ class ScalarEncoder {
   ScalarEncoder(ScalarEncoder&&) = default;
   ScalarEncoder& operator=(ScalarEncoder&&) = default;
 
-  /// phi: value -> basis hypervector of the nearest grid point.
-  [[nodiscard]] virtual const Hypervector& encode(double value) const = 0;
+  /// phi: value -> basis hypervector of the nearest grid point, as a
+  /// zero-copy view into the encoder's basis arena (valid for the lifetime
+  /// of the encoder).
+  [[nodiscard]] virtual HypervectorView encode(double value) const = 0;
 
   /// Grid index of the nearest grid point for \p value.
   [[nodiscard]] virtual std::size_t index_of(double value) const = 0;
@@ -39,7 +41,7 @@ class ScalarEncoder {
   [[nodiscard]] virtual double value_of(std::size_t index) const = 0;
 
   /// phi^{-1}: nearest-basis-vector cleanup followed by value_of.
-  [[nodiscard]] virtual double decode(const Hypervector& query) const = 0;
+  [[nodiscard]] virtual double decode(HypervectorView query) const = 0;
 
   /// The underlying basis set.
   [[nodiscard]] virtual const Basis& basis() const noexcept = 0;
@@ -63,10 +65,10 @@ class LinearScalarEncoder final : public ScalarEncoder {
   /// vectors.
   LinearScalarEncoder(Basis basis, double lo, double hi);
 
-  [[nodiscard]] const Hypervector& encode(double value) const override;
+  [[nodiscard]] HypervectorView encode(double value) const override;
   [[nodiscard]] std::size_t index_of(double value) const override;
   [[nodiscard]] double value_of(std::size_t index) const override;
-  [[nodiscard]] double decode(const Hypervector& query) const override;
+  [[nodiscard]] double decode(HypervectorView query) const override;
   [[nodiscard]] const Basis& basis() const noexcept override { return basis_; }
 
   [[nodiscard]] double low() const noexcept { return lo_; }
@@ -88,10 +90,10 @@ class CircularScalarEncoder final : public ScalarEncoder {
   /// than 2 vectors.
   explicit CircularScalarEncoder(Basis basis, double period);
 
-  [[nodiscard]] const Hypervector& encode(double value) const override;
+  [[nodiscard]] HypervectorView encode(double value) const override;
   [[nodiscard]] std::size_t index_of(double value) const override;
   [[nodiscard]] double value_of(std::size_t index) const override;
-  [[nodiscard]] double decode(const Hypervector& query) const override;
+  [[nodiscard]] double decode(HypervectorView query) const override;
   [[nodiscard]] const Basis& basis() const noexcept override { return basis_; }
 
   [[nodiscard]] double period() const noexcept { return period_; }

@@ -24,9 +24,10 @@ class SerializationError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Writes one hypervector record. \throws SerializationError on I/O failure
-/// or if the hypervector is empty.
-void write_hypervector(std::ostream& out, const Hypervector& hv);
+/// Writes one hypervector record (owning vectors and zero-copy views are
+/// both accepted). \throws SerializationError on I/O failure or if the
+/// hypervector is empty.
+void write_hypervector(std::ostream& out, HypervectorView hv);
 
 /// Reads one hypervector record. \throws SerializationError on malformed
 /// input.
@@ -36,7 +37,9 @@ void write_hypervector(std::ostream& out, const Hypervector& hv);
 /// \throws SerializationError on I/O failure.
 void write_basis(std::ostream& out, const Basis& basis);
 
-/// Reads one basis record. \throws SerializationError on malformed input.
+/// Reads one basis record, deserializing the vector payload directly into
+/// the basis's packed arena (no per-vector intermediates).
+/// \throws SerializationError on malformed input.
 [[nodiscard]] Basis read_basis(std::istream& in);
 
 /// Writes a finalized classifier as its class-vectors (the inference model

@@ -37,7 +37,7 @@ const Hypervector* ItemMemory::find(std::string_view symbol) const noexcept {
 }
 
 std::optional<CleanupResult> ItemMemory::cleanup(
-    const Hypervector& query) const {
+    HypervectorView query) const {
   require(query.dimension() == dimension_, "ItemMemory::cleanup",
           "query dimension mismatch");
   if (table_.empty()) {

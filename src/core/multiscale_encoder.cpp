@@ -40,14 +40,16 @@ std::vector<Basis> make_scale_bases(
 
 MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
     : bases_(make_scale_bases(config)), period_(config.period) {
-  // Materialize every bound vector up front: encode() and decode() then only
-  // read immutable state, which is what makes concurrent use safe.  Each
-  // scale quantizes the same representative angle onto its own ring.
+  // Pack every bound vector straight into the arena up front: encode() and
+  // decode() then only read immutable state, which is what makes concurrent
+  // use safe.  Each scale quantizes the same representative angle onto its
+  // own ring.
   const std::size_t m_fine = bases_.back().size();
-  combined_.reserve(m_fine);
+  words_per_vector_ = bits::words_for(bases_.back().dimension());
+  packed_.assign(m_fine * words_per_vector_, 0ULL);
   for (std::size_t index = 0; index < m_fine; ++index) {
     const double theta = value_of(index);
-    Hypervector bound = bases_.back()[index];
+    Hypervector bound(bases_.back()[index]);
     for (std::size_t s = 0; s + 1 < bases_.size(); ++s) {
       const Basis& basis = bases_[s];
       const auto m = static_cast<double>(basis.size());
@@ -56,10 +58,8 @@ MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
                           basis.size();
       bound ^= basis[coarse];
     }
-    combined_.push_back(std::move(bound));
+    pack_row(bound, packed_, words_per_vector_, index);
   }
-  words_per_vector_ = bits::words_for(bases_.back().dimension());
-  packed_ = pack_words(combined_);
 }
 
 std::size_t MultiScaleCircularEncoder::index_of(double value) const {
@@ -80,15 +80,17 @@ double MultiScaleCircularEncoder::value_of(std::size_t index) const {
          static_cast<double>(bases_.back().size());
 }
 
-const Hypervector& MultiScaleCircularEncoder::encode(double value) const {
-  return combined_[index_of(value)];
+HypervectorView MultiScaleCircularEncoder::encode(double value) const {
+  return row_view(packed_, bases_.back().dimension(), words_per_vector_,
+                  index_of(value));
 }
 
-double MultiScaleCircularEncoder::decode(const Hypervector& query) const {
+double MultiScaleCircularEncoder::decode(HypervectorView query) const {
   require(query.dimension() == bases_.back().dimension(),
           "MultiScaleCircularEncoder::decode", "query dimension mismatch");
   return value_of(bits::nearest_hamming(query.words(), packed_,
-                                        words_per_vector_, combined_.size())
+                                        words_per_vector_,
+                                        bases_.back().size())
                       .index);
 }
 

@@ -7,34 +7,34 @@
 
 namespace hdc {
 
-Hypervector bind(const Hypervector& a, const Hypervector& b) { return a ^ b; }
+Hypervector bind(HypervectorView a, HypervectorView b) { return a ^ b; }
 
-Hypervector permute(const Hypervector& input, std::size_t shift) {
+Hypervector permute(HypervectorView input, std::size_t shift) {
   require(!input.empty(), "permute", "input must be non-empty");
   Hypervector out(input.dimension());
   bits::rotate_left(input.words(), out.words(), input.dimension(), shift);
   return out;
 }
 
-Hypervector permute_inverse(const Hypervector& input, std::size_t shift) {
+Hypervector permute_inverse(HypervectorView input, std::size_t shift) {
   require(!input.empty(), "permute_inverse", "input must be non-empty");
   const std::size_t d = input.dimension();
   return permute(input, d - (shift % d));
 }
 
-std::size_t hamming_distance(const Hypervector& a, const Hypervector& b) {
+std::size_t hamming_distance(HypervectorView a, HypervectorView b) {
   require(!a.empty(), "hamming_distance", "inputs must be non-empty");
   require(a.dimension() == b.dimension(), "hamming_distance",
           "dimension mismatch");
   return bits::hamming(a.words(), b.words());
 }
 
-double normalized_distance(const Hypervector& a, const Hypervector& b) {
+double normalized_distance(HypervectorView a, HypervectorView b) {
   return static_cast<double>(hamming_distance(a, b)) /
          static_cast<double>(a.dimension());
 }
 
-double similarity(const Hypervector& a, const Hypervector& b) {
+double similarity(HypervectorView a, HypervectorView b) {
   return 1.0 - normalized_distance(a, b);
 }
 
@@ -47,12 +47,12 @@ Hypervector majority(std::span<const Hypervector> inputs, Rng& tie_rng) {
   return acc.finalize(tie_rng);
 }
 
-Hypervector flip_random_bits(const Hypervector& input, std::size_t count,
+Hypervector flip_random_bits(HypervectorView input, std::size_t count,
                              Rng& rng) {
   require(!input.empty(), "flip_random_bits", "input must be non-empty");
   const std::size_t d = input.dimension();
   require(count <= d, "flip_random_bits", "count must be <= dimension");
-  Hypervector out = input;
+  Hypervector out(input);
   if (count == 0) {
     return out;
   }
@@ -87,10 +87,10 @@ Hypervector flip_random_bits(const Hypervector& input, std::size_t count,
   return out;
 }
 
-Hypervector random_walk_flips(const Hypervector& input, std::size_t steps,
+Hypervector random_walk_flips(HypervectorView input, std::size_t steps,
                               Rng& rng) {
   require(!input.empty(), "random_walk_flips", "input must be non-empty");
-  Hypervector out = input;
+  Hypervector out(input);
   const std::size_t d = input.dimension();
   for (std::size_t s = 0; s < steps; ++s) {
     out.flip_bit(static_cast<std::size_t>(rng.below(d)));

@@ -23,7 +23,7 @@ HDRegressor::HDRegressor(ScalarEncoderPtr labels, std::uint64_t seed)
   tie_breaker_ = Hypervector::random(dimension(), rng);
 }
 
-void HDRegressor::add_sample(const Hypervector& encoded_input, double label) {
+void HDRegressor::add_sample(HypervectorView encoded_input, double label) {
   require(encoded_input.dimension() == dimension(), "HDRegressor::add_sample",
           "input dimension mismatch");
   accumulator_.add(encoded_input ^ labels_->encode(label));
@@ -40,7 +40,7 @@ void HDRegressor::finalize() {
   finalized_ = true;
 }
 
-double HDRegressor::predict(const Hypervector& encoded_input) const {
+double HDRegressor::predict(HypervectorView encoded_input) const {
   if (!finalized_) {
     throw std::logic_error("HDRegressor::predict: call finalize() first");
   }
@@ -51,15 +51,20 @@ double HDRegressor::predict(const Hypervector& encoded_input) const {
   return labels_->decode(model_ ^ encoded_input);
 }
 
-double HDRegressor::predict_integer(const Hypervector& encoded_input) const {
+double HDRegressor::predict_integer(HypervectorView encoded_input) const {
   require(encoded_input.dimension() == dimension(),
           "HDRegressor::predict_integer", "input dimension mismatch");
   const Basis& basis = labels_->basis();
   std::size_t best_index = 0;
   std::int64_t best_score = std::numeric_limits<std::int64_t>::min();
+  // phi(x̂) ⊗ L_l is XORed into one scratch row per label, so the scoring
+  // loop never allocates.
+  std::vector<std::uint64_t> scratch(bits::words_for(dimension()));
+  const auto input = encoded_input.words();
   for (std::size_t l = 0; l < basis.size(); ++l) {
-    const std::int64_t score =
-        accumulator_.signed_projection(encoded_input ^ basis[l]);
+    bits::xor_rows(scratch, input, basis[l].words());
+    const std::int64_t score = accumulator_.signed_projection(
+        HypervectorView(dimension(), scratch));
     if (score > best_score) {
       best_score = score;
       best_index = l;

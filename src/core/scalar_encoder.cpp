@@ -23,7 +23,7 @@ std::size_t LinearScalarEncoder::index_of(double value) const {
   return std::min(index, basis_.size() - 1);
 }
 
-const Hypervector& LinearScalarEncoder::encode(double value) const {
+HypervectorView LinearScalarEncoder::encode(double value) const {
   return basis_[index_of(value)];
 }
 
@@ -33,7 +33,7 @@ double LinearScalarEncoder::value_of(std::size_t index) const {
   return lo_ + static_cast<double>(index) * step_;
 }
 
-double LinearScalarEncoder::decode(const Hypervector& query) const {
+double LinearScalarEncoder::decode(HypervectorView query) const {
   return value_of(basis_.nearest(query));
 }
 
@@ -56,7 +56,7 @@ std::size_t CircularScalarEncoder::index_of(double value) const {
   return index % basis_.size();  // grid point m wraps to 0
 }
 
-const Hypervector& CircularScalarEncoder::encode(double value) const {
+HypervectorView CircularScalarEncoder::encode(double value) const {
   return basis_[index_of(value)];
 }
 
@@ -67,7 +67,7 @@ double CircularScalarEncoder::value_of(std::size_t index) const {
          static_cast<double>(basis_.size());
 }
 
-double CircularScalarEncoder::decode(const Hypervector& query) const {
+double CircularScalarEncoder::decode(HypervectorView query) const {
   return value_of(basis_.nearest(query));
 }
 

@@ -11,11 +11,18 @@ namespace hdc {
 std::size_t scatter_calibrated_steps(std::size_t dimension, std::size_t size) {
   require_positive(dimension, "scatter_calibrated_steps", "dimension");
   require(size >= 2, "scatter_calibrated_steps", "size must be >= 2");
+  if (dimension <= 2) {
+    // The closed form's decay factor q = 1 - 2/d is <= 0 here, so the
+    // logarithm is undefined; one flip per level is the only sane walk.
+    return 1;
+  }
   const double target = 1.0 / (2.0 * static_cast<double>(size - 1));
   const double flips =
       stats::flips_for_expected_distance(dimension, target);
-  const auto rounded = static_cast<std::size_t>(std::llround(flips));
-  return rounded > 0 ? rounded : 1;
+  if (!(flips >= 1.0)) {  // also catches NaN defensively
+    return 1;
+  }
+  return static_cast<std::size_t>(std::llround(flips));
 }
 
 double scatter_expected_distance(std::size_t dimension,

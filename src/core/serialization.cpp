@@ -1,5 +1,6 @@
 #include "hdc/core/serialization.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <istream>
@@ -82,7 +83,7 @@ void read_header(std::istream& in, std::uint8_t expected_tag) {
   }
 }
 
-void write_hypervector_body(std::ostream& out, const Hypervector& hv) {
+void write_hypervector_body(std::ostream& out, HypervectorView hv) {
   write_u64(out, hv.dimension());
   for (const std::uint64_t word : hv.words()) {
     write_u64(out, word);
@@ -110,7 +111,7 @@ Hypervector read_hypervector_body(std::istream& in) {
 
 }  // namespace
 
-void write_hypervector(std::ostream& out, const Hypervector& hv) {
+void write_hypervector(std::ostream& out, HypervectorView hv) {
   if (hv.empty()) {
     throw SerializationError("cannot serialize an empty hypervector");
   }
@@ -135,7 +136,7 @@ void write_basis(std::ostream& out, const Basis& basis) {
   write_u64(out, info.size);
   write_f64(out, info.r);
   write_u64(out, info.seed);
-  for (const Hypervector& hv : basis) {
+  for (const HypervectorView hv : basis) {
     write_hypervector_body(out, hv);
   }
   if (!out) {
@@ -170,16 +171,30 @@ Basis read_basis(std::istream& in) {
   }
   info.seed = read_u64(in);
 
-  std::vector<Hypervector> vectors;
-  vectors.reserve(info.size);
+  // Stream the vector payload straight into the packed arena; each record
+  // still carries its own dimension field (format unchanged) which must agree
+  // with the header, and tail bits beyond the dimension mean corruption.
+  const std::size_t stride = bits::words_for(info.dimension);
+  const std::uint64_t tail = bits::tail_mask(info.dimension);
+  // Grow the arena with the data that actually arrives instead of trusting
+  // the (possibly corrupted) header for one big upfront allocation: a
+  // truncated stream then fails after at most one row's worth of growth.
+  std::vector<std::uint64_t> packed;
   for (std::uint64_t i = 0; i < size; ++i) {
-    Hypervector hv = read_hypervector_body(in);
-    if (hv.dimension() != info.dimension) {
+    const std::uint64_t vector_dimension = read_u64(in);
+    if (vector_dimension != info.dimension) {
       throw SerializationError("vector dimension disagrees with basis header");
     }
-    vectors.push_back(std::move(hv));
+    const std::size_t base = packed.size();
+    packed.resize(base + stride);
+    for (std::size_t w = 0; w < stride; ++w) {
+      packed[base + w] = read_u64(in);
+    }
+    if ((packed[base + stride - 1] & ~tail) != 0) {
+      throw SerializationError("tail bits set beyond dimension");
+    }
   }
-  return Basis(info, std::move(vectors));
+  return Basis(info, std::move(packed));
 }
 
 void write_classifier(std::ostream& out, const CentroidClassifier& model) {
@@ -207,7 +222,9 @@ CentroidClassifier read_classifier(std::istream& in) {
     throw SerializationError("implausible classifier header");
   }
   std::vector<Hypervector> vectors;
-  vectors.reserve(static_cast<std::size_t>(num_classes));
+  // Bounded reserve: the header is untrusted until the payload backs it up.
+  vectors.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      num_classes, 4096)));
   for (std::uint64_t c = 0; c < num_classes; ++c) {
     Hypervector hv = read_hypervector_body(in);
     if (hv.dimension() != dimension) {

@@ -249,11 +249,11 @@ RegressionRun run_beijing_regression(BasisChoice choice, double r,
   inputs.reserve(records.size());
   labels.reserve(records.size());
   for (const data::BeijingRecord& record : records) {
-    const Hypervector& year = year_encoder.encode(
+    const HypervectorView year = year_encoder.encode(
         static_cast<double>(record.year_index));
-    const Hypervector& day = day_encoder->encode(
+    const HypervectorView day = day_encoder->encode(
         static_cast<double>(record.day_of_year - 1));
-    const Hypervector& hour =
+    const HypervectorView hour =
         hour_encoder->encode(static_cast<double>(record.hour));
     inputs.push_back(year ^ day ^ hour);
     labels.push_back(record.temperature);
@@ -283,7 +283,7 @@ RegressionRun run_mars_regression(BasisChoice choice, double r,
   inputs.reserve(records.size());
   labels.reserve(records.size());
   for (const data::MarsRecord& record : records) {
-    inputs.push_back(anomaly_encoder->encode(record.mean_anomaly));
+    inputs.emplace_back(anomaly_encoder->encode(record.mean_anomaly));
     labels.push_back(record.power);
   }
 

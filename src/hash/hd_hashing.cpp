@@ -89,7 +89,7 @@ std::optional<std::string> HDHashRing::lookup(std::string_view key) const {
 std::optional<std::string> HDHashRing::lookup_noisy(std::string_view key,
                                                     std::size_t corrupted_bits,
                                                     Rng& rng) const {
-  const Hypervector& clean = encoder_.basis()[slot_of_key(key)];
+  const HypervectorView clean = encoder_.basis()[slot_of_key(key)];
   const Hypervector noisy = flip_random_bits(clean, corrupted_bits, rng);
   // Nearest-neighbour cleanup over the ring recovers the slot despite the
   // corruption; this is where hyperdimensional robustness pays off.

@@ -28,7 +28,7 @@ VectorArena VectorArena::pack(std::span<const Hypervector> vectors) {
   return arena;
 }
 
-void VectorArena::append(const Hypervector& hv) {
+void VectorArena::append(HypervectorView hv) {
   require(hv.dimension() == dimension_, "VectorArena::append",
           "dimension mismatch");
   const auto src = hv.words();

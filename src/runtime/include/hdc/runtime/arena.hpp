@@ -48,9 +48,9 @@ class VectorArena {
     return words_per_vector_;
   }
 
-  /// Appends a copy of \p hv. \throws std::invalid_argument on dimension
-  /// mismatch.
-  void append(const Hypervector& hv);
+  /// Appends a copy of \p hv (owning vectors and zero-copy views alike).
+  /// \throws std::invalid_argument on dimension mismatch.
+  void append(HypervectorView hv);
 
   /// Appends an all-zero slot and returns its index (for in-place encoding).
   std::size_t append_zero();
@@ -61,6 +61,15 @@ class VectorArena {
   /// Read-only view of slot \p i. \throws std::invalid_argument if out of
   /// range.
   [[nodiscard]] std::span<const std::uint64_t> words(std::size_t i) const;
+
+  /// Slot \p i as a typed zero-copy view (valid until the arena reallocates:
+  /// append/resize).  Trusts the arena tail invariant — writers that went
+  /// through mutable_words() must mask_tails() first.
+  /// \throws std::invalid_argument if out of range.
+  [[nodiscard]] HypervectorView view(std::size_t i) const {
+    const auto row = words(i);
+    return row_view(row, dimension_, row.size(), 0);
+  }
 
   /// Mutable view of slot \p i; writers must keep tail bits zero (or call
   /// mask_tails()). \throws std::invalid_argument if out of range.

@@ -26,7 +26,7 @@ Basis small_basis(std::size_t m, std::size_t d, std::uint64_t seed) {
 TEST(BasisTest, RejectsEmptySet) {
   BasisInfo info;
   info.size = 0;
-  EXPECT_THROW(Basis(info, {}), std::invalid_argument);
+  EXPECT_THROW(Basis(info, std::vector<Hypervector>{}), std::invalid_argument);
 }
 
 TEST(BasisTest, RejectsSizeMismatch) {
@@ -53,7 +53,7 @@ TEST(BasisTest, RejectsDimensionMismatch) {
 TEST(BasisTest, CheckedAccessThrowsOutOfRange) {
   const Basis basis = small_basis(4, 256, 3);
   EXPECT_NO_THROW((void)basis.at(3));
-  EXPECT_THROW((void)basis.at(4), std::invalid_argument);
+  EXPECT_THROW((void)basis.at(4), std::out_of_range);
 }
 
 TEST(BasisTest, NearestFindsExactMember) {
@@ -104,6 +104,85 @@ TEST(BasisTest, SimilaritiesAreOneMinusDistances) {
       EXPECT_DOUBLE_EQ(sims[i][j], 1.0 - dist[i][j]);
     }
   }
+}
+
+TEST(BasisTest, NearestBreaksTiesTowardTheLowestIndex) {
+  // Construct bases whose rows are exactly equidistant from a chosen query:
+  // duplicated rows, and rows at symmetric single-bit offsets.  The
+  // documented contract (ties keep the lowest index) must hold on both the
+  // typed path and the raw-words path, across tail-word shapes.
+  for (const std::size_t d : {64UL, 70UL, 130UL}) {
+    Rng rng(100 + d);
+    const Hypervector a = Hypervector::random(d, rng);
+    Hypervector b = a;
+    b.flip_bit(0);
+    Hypervector c = a;
+    c.flip_bit(d - 1);
+
+    BasisInfo info;
+    info.dimension = d;
+    info.size = 4;
+    // Rows 1 and 2 are both at distance 1 from `a`; row 3 duplicates row 1.
+    const Basis basis(info, std::vector<Hypervector>{a, b, c, b});
+
+    EXPECT_EQ(basis.nearest(a), 0U) << "d " << d;          // exact hit
+    EXPECT_EQ(basis.nearest(b), 1U) << "d " << d;          // dup: 1 over 3
+    Hypervector far = a;
+    far.flip_bit(0);
+    far.flip_bit(d - 1);  // distance 1 from rows 1 and 2, 2 from row 0
+    EXPECT_EQ(basis.nearest(far), 1U) << "d " << d;        // tie: 1 over 2
+    EXPECT_EQ(basis.nearest_words(far.words()), 1U) << "d " << d;
+  }
+}
+
+TEST(BasisTest, NearestWordsRejectsWrongWordCount) {
+  const Basis basis = small_basis(4, 130, 11);  // 3 words per vector
+  const std::vector<std::uint64_t> short_query(2, 0ULL);
+  const std::vector<std::uint64_t> long_query(4, 0ULL);
+  EXPECT_THROW((void)basis.nearest_words(short_query), std::invalid_argument);
+  EXPECT_THROW((void)basis.nearest_words(long_query), std::invalid_argument);
+  const std::vector<std::uint64_t> exact(3, 0ULL);
+  EXPECT_NO_THROW((void)basis.nearest_words(exact));
+}
+
+TEST(BasisTest, PackedArenaIsTheOnlyVectorStorage) {
+  // The arena must account for every resident vector byte: m rows of
+  // words_for(d) words, and nothing duplicated per Hypervector.
+  const std::size_t d = 10'240;
+  const std::size_t m = 16;
+  const Basis basis = small_basis(m, d, 12);
+  const std::size_t arena_bytes =
+      m * hdc::bits::words_for(d) * sizeof(std::uint64_t);
+  EXPECT_EQ(basis.packed_words().size() * sizeof(std::uint64_t), arena_bytes);
+  EXPECT_EQ(basis.resident_bytes(), arena_bytes);
+}
+
+TEST(BasisTest, AdoptsPrepackedArenaZeroCopy) {
+  const Basis original = small_basis(5, 70, 13);
+  std::vector<std::uint64_t> packed(original.packed_words().begin(),
+                                    original.packed_words().end());
+  const Basis adopted(original.info(), std::move(packed));
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_TRUE(adopted[i] == original[i]) << "row " << i;
+  }
+
+  // Arena validation: wrong word count and dirty tail bits are rejected.
+  std::vector<std::uint64_t> wrong_count(original.packed_words().begin(),
+                                         original.packed_words().end() - 1);
+  EXPECT_THROW(Basis(original.info(), std::move(wrong_count)),
+               std::invalid_argument);
+  std::vector<std::uint64_t> dirty(original.packed_words().begin(),
+                                   original.packed_words().end());
+  dirty[1] |= 1ULL << 63;  // bit 127 of row 0: beyond dimension 70
+  EXPECT_THROW(Basis(original.info(), std::move(dirty)),
+               std::invalid_argument);
+
+  // A crafted size whose multiply with the stride wraps to the arena length
+  // must not bypass validation (overflow-safe word-count check).
+  BasisInfo overflow = original.info();
+  overflow.size = std::size_t{1} << 63;  // * 2 words/vector wraps to 0
+  EXPECT_THROW(Basis(overflow, std::vector<std::uint64_t>{}),
+               std::invalid_argument);
 }
 
 TEST(BasisTest, ToStringNamesAllEnumerators) {

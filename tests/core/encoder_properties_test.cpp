@@ -34,7 +34,7 @@ TEST_P(LevelEncoderPropertyTest, SimilarityDecreasesMonotonicallyWithDistance) {
   const hdc::LinearScalarEncoder enc(hdc::make_level_basis(config), 0.0, 1.0);
   // Similarity from the left endpoint must be non-increasing in the value,
   // within statistical noise (4 sigma ~ 0.02 at d = 10,000).
-  const hdc::Hypervector& origin = enc.encode(0.0);
+  const hdc::HypervectorView origin = enc.encode(0.0);
   double previous = 1.0;
   for (std::size_t i = 0; i < m; ++i) {
     const double sim =
@@ -55,7 +55,7 @@ TEST_P(LevelEncoderPropertyTest, NearbyValuesShareTheirEncodings) {
   const hdc::LinearScalarEncoder enc(hdc::make_level_basis(config), -5.0, 5.0);
   // Values inside the same grid cell encode identically.
   const double step = 10.0 / static_cast<double>(m - 1);
-  EXPECT_EQ(&enc.encode(0.0), &enc.encode(0.4 * step));
+  EXPECT_EQ(enc.encode(0.0).words().data(), enc.encode(0.4 * step).words().data());
   // ... and neighbouring cells stay close: delta = 1/(2(m-1)).
   EXPECT_NEAR(hdc::normalized_distance(enc.encode(0.0), enc.encode(step)),
               0.5 / static_cast<double>(m - 1), 0.02);
@@ -76,7 +76,7 @@ TEST_P(CircularEncoderPropertyTest, SimilarityTracksArcDistance) {
   config.seed = seed;
   const hdc::CircularScalarEncoder enc(hdc::make_circular_basis(config),
                                        hdc::stats::two_pi);
-  const hdc::Hypervector& origin = enc.encode(0.0);
+  const hdc::HypervectorView origin = enc.encode(0.0);
   for (std::size_t i = 0; i < m; ++i) {
     const double theta = enc.value_of(i);
     const double expected =
@@ -153,7 +153,7 @@ TEST(EncoderInteropTest, BindingTwoEncodersYieldsProductKernel) {
   const hdc::Basis a = hdc::make_circular_basis(config_a);
   const hdc::Basis b = hdc::make_circular_basis(config_b);
 
-  const auto corr = [](const hdc::Hypervector& x, const hdc::Hypervector& y) {
+  const auto corr = [](hdc::HypervectorView x, hdc::HypervectorView y) {
     return 1.0 - 2.0 * hdc::normalized_distance(x, y);
   };
   for (const std::size_t i : {1UL, 3UL, 6UL}) {

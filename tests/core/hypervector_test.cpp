@@ -57,10 +57,14 @@ TEST(HypervectorTest, BitAccessorsRoundTrip) {
 }
 
 TEST(HypervectorTest, OutOfRangeAccessThrows) {
+  // Checked element access follows the standard-library convention
+  // (vector::at): out-of-range indices raise std::out_of_range.
   Hypervector hv(64);
-  EXPECT_THROW((void)hv.bit(64), std::invalid_argument);
-  EXPECT_THROW(hv.set_bit(64, true), std::invalid_argument);
-  EXPECT_THROW(hv.flip_bit(1'000), std::invalid_argument);
+  EXPECT_THROW((void)hv.bit(64), std::out_of_range);
+  EXPECT_THROW(hv.set_bit(64, true), std::out_of_range);
+  EXPECT_THROW(hv.flip_bit(1'000), std::out_of_range);
+  const hdc::HypervectorView view = hv;
+  EXPECT_THROW((void)view.bit(64), std::out_of_range);
 }
 
 TEST(HypervectorTest, FromBitsMatchesInput) {

@@ -54,9 +54,10 @@ TEST(MultiScaleEncoderTest, IndexWraps) {
 
 TEST(MultiScaleEncoderTest, EncodeIsDeterministicAndCached) {
   const MultiScaleCircularEncoder enc(config_with({8, 32}, 2'048));
-  const hdc::Hypervector& first = enc.encode(1.0);
-  const hdc::Hypervector& second = enc.encode(1.0);
-  EXPECT_EQ(&first, &second);  // same cached object
+  const hdc::HypervectorView first = enc.encode(1.0);
+  const hdc::HypervectorView second = enc.encode(1.0);
+  // Same cached arena row, zero-copy on every call.
+  EXPECT_EQ(first.words().data(), second.words().data());
   EXPECT_EQ(first.dimension(), 2'048U);
 }
 

@@ -157,7 +157,7 @@ TEST(ThreadInvarianceTest, BatchClassifierModelIndependentOfThreadCount) {
     predictions.push_back(batch.predict(query_arena));
     if (threads == kThreadCounts[0]) {
       for (std::size_t c = 0; c < kClasses; ++c) {
-        first_class_vectors.push_back(batch.model().class_vector(c));
+        first_class_vectors.emplace_back(batch.model().class_vector(c));
       }
     } else {
       for (std::size_t c = 0; c < kClasses; ++c) {

@@ -146,7 +146,7 @@ int cmd_info(const std::string& path) {
   }
   // Density sanity: each vector should be ~half ones.
   double ones = 0.0;
-  for (const hdc::Hypervector& hv : basis) {
+  for (const hdc::HypervectorView hv : basis) {
     ones += static_cast<double>(hv.count_ones()) /
             static_cast<double>(hv.dimension());
   }
