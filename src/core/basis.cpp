@@ -45,23 +45,31 @@ Basis::Basis(BasisInfo info, std::vector<Hypervector> vectors) : info_(info) {
 }
 
 Basis::Basis(BasisInfo info, std::vector<std::uint64_t> packed_words)
+    : Basis(info, WordStorage(std::move(packed_words))) {}
+
+Basis::Basis(BasisInfo info, std::span<const std::uint64_t> packed_words,
+             borrow_t)
+    : Basis(info, WordStorage(packed_words, borrowed)) {}
+
+Basis::Basis(BasisInfo info, WordStorage storage)
     : info_(info),
-      packed_(std::move(packed_words)),
+      packed_(std::move(storage)),
       words_per_vector_(bits::words_for(info.dimension)) {
-  // An incrementally grown arena (e.g. read_basis) can carry up to 2x slack
-  // capacity; drop it so resident_bytes() reflects the data.
+  // An incrementally grown owning arena (e.g. read_basis) can carry up to 2x
+  // slack capacity; drop it so resident_bytes() reflects the data.
   packed_.shrink_to_fit();
   require(info_.size > 0, "Basis", "info.size must be positive");
   require_positive(info_.dimension, "Basis", "info.dimension");
+  const auto words = packed_.words();
   // Division form so a crafted info.size cannot overflow the multiply and
   // slip an undersized arena past validation.
-  require(packed_.size() % words_per_vector_ == 0 &&
-              packed_.size() / words_per_vector_ == info_.size,
+  require(words.size() % words_per_vector_ == 0 &&
+              words.size() / words_per_vector_ == info_.size,
           "Basis",
           "packed word count must be info.size * words_for(info.dimension)");
   const std::uint64_t tail = bits::tail_mask(info_.dimension);
   for (std::size_t i = 0; i < info_.size; ++i) {
-    require((packed_[(i + 1) * words_per_vector_ - 1] & ~tail) == 0, "Basis",
+    require((words[(i + 1) * words_per_vector_ - 1] & ~tail) == 0, "Basis",
             "arena row has set bits beyond the dimension");
   }
 }
@@ -81,7 +89,7 @@ std::size_t Basis::nearest_words(
     std::span<const std::uint64_t> query_words) const {
   require(query_words.size() == words_per_vector_, "Basis::nearest_words",
           "query word count must equal words_per_vector()");
-  return bits::nearest_hamming(query_words, packed_, words_per_vector_,
+  return bits::nearest_hamming(query_words, packed_.words(), words_per_vector_,
                                info_.size)
       .index;
 }

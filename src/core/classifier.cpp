@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "hdc/base/require.hpp"
 #include "hdc/core/bitops.hpp"
@@ -12,7 +13,7 @@ namespace hdc {
 CentroidClassifier::CentroidClassifier(std::size_t num_classes,
                                        std::size_t dimension,
                                        std::uint64_t seed)
-    : dimension_(dimension) {
+    : dimension_(dimension), num_classes_(num_classes) {
   require_positive(num_classes, "CentroidClassifier", "num_classes");
   require_positive(dimension, "CentroidClassifier", "dimension");
   accumulators_.reserve(num_classes);
@@ -20,7 +21,8 @@ CentroidClassifier::CentroidClassifier(std::size_t num_classes,
     accumulators_.emplace_back(dimension);
   }
   words_per_class_ = bits::words_for(dimension);
-  class_arena_.assign(num_classes * words_per_class_, 0ULL);
+  class_arena_ =
+      std::vector<std::uint64_t>(num_classes * words_per_class_, 0ULL);
   Rng rng(derive_seed(seed, 0xC1A55ULL));
   tie_breaker_ = Hypervector::random(dimension, rng);
 }
@@ -37,20 +39,66 @@ CentroidClassifier CentroidClassifier::from_class_vectors(
             "CentroidClassifier::from_class_vectors",
             "class-vectors must share one dimension");
   }
-  CentroidClassifier model(vectors.size(), dimension, 0);
-  model.class_arena_ = pack_words(vectors);
+  return from_packed_class_words(vectors.size(), dimension,
+                                 WordStorage(pack_words(vectors)), unchecked);
+}
+
+CentroidClassifier CentroidClassifier::from_packed_class_words(
+    std::size_t num_classes, std::size_t dimension, WordStorage arena) {
+  require(num_classes > 0, "CentroidClassifier::from_packed_class_words",
+          "num_classes must be positive");
+  require_positive(dimension, "CentroidClassifier::from_packed_class_words",
+                   "dimension");
+  const std::size_t words_per_class = bits::words_for(dimension);
+  const auto words = arena.words();
+  // Division form so a crafted num_classes cannot overflow the multiply and
+  // slip an undersized arena past validation.
+  require(words.size() % words_per_class == 0 &&
+              words.size() / words_per_class == num_classes,
+          "CentroidClassifier::from_packed_class_words",
+          "arena word count must be num_classes * words_for(dimension)");
+  const std::uint64_t tail = bits::tail_mask(dimension);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    require((words[(c + 1) * words_per_class - 1] & ~tail) == 0,
+            "CentroidClassifier::from_packed_class_words",
+            "arena row has set bits beyond the dimension");
+  }
+  return from_packed_class_words(num_classes, dimension, std::move(arena),
+                                 unchecked);
+}
+
+CentroidClassifier CentroidClassifier::from_packed_class_words(
+    std::size_t num_classes, std::size_t dimension, WordStorage arena,
+    unchecked_t) {
+  CentroidClassifier model;
+  model.dimension_ = dimension;
+  model.num_classes_ = num_classes;
+  model.words_per_class_ = bits::words_for(dimension);
+  model.class_arena_ = std::move(arena);
+  model.class_arena_.shrink_to_fit();
   model.finalized_ = true;
   model.inference_only_ = true;
   return model;
 }
 
-void CentroidClassifier::add_sample(std::size_t label, HypervectorView encoded) {
+CentroidClassifier CentroidClassifier::detach() const {
+  require_finalized("CentroidClassifier::detach");
+  return from_packed_class_words(num_classes_, dimension_,
+                                 class_arena_.to_owned(), unchecked);
+}
+
+void CentroidClassifier::require_trainable(const char* where) const {
   if (inference_only_) {
     throw std::logic_error(
-        "CentroidClassifier::add_sample: model restored from class-vectors is "
-        "inference-only");
+        std::string(where) +
+        ": model restored from class-vectors is inference-only "
+        "(trainable() == false)");
   }
-  require(label < accumulators_.size(), "CentroidClassifier::add_sample",
+}
+
+void CentroidClassifier::add_sample(std::size_t label, HypervectorView encoded) {
+  require_trainable("CentroidClassifier::add_sample");
+  require(label < num_classes_, "CentroidClassifier::add_sample",
           "label out of range");
   accumulators_[label].add(encoded);
   finalized_ = false;
@@ -58,22 +106,19 @@ void CentroidClassifier::add_sample(std::size_t label, HypervectorView encoded) 
 
 void CentroidClassifier::absorb(std::size_t label,
                                 const BundleAccumulator& partial) {
-  if (inference_only_) {
-    throw std::logic_error(
-        "CentroidClassifier::absorb: model restored from class-vectors is "
-        "inference-only");
-  }
-  require(label < accumulators_.size(), "CentroidClassifier::absorb",
+  require_trainable("CentroidClassifier::absorb");
+  require(label < num_classes_, "CentroidClassifier::absorb",
           "label out of range");
   accumulators_[label].merge(partial);
   finalized_ = false;
 }
 
 void CentroidClassifier::store_class(std::size_t label, HypervectorView vector) {
-  pack_row(vector, class_arena_, words_per_class_, label);
+  pack_row(vector, class_arena_.mutable_words(), words_per_class_, label);
 }
 
 void CentroidClassifier::finalize() {
+  require_trainable("CentroidClassifier::finalize");
   for (std::size_t i = 0; i < accumulators_.size(); ++i) {
     store_class(i, accumulators_[i].finalize(tie_breaker_));
   }
@@ -99,15 +144,15 @@ std::size_t CentroidClassifier::predict_words(
   require(query_words.size() == words_per_class_,
           "CentroidClassifier::predict_words",
           "query word count must equal words_per_class()");
-  return bits::nearest_hamming(query_words, class_arena_, words_per_class_,
-                               accumulators_.size())
+  return bits::nearest_hamming(query_words, class_arena_.words(),
+                               words_per_class_, num_classes_)
       .index;
 }
 
 double CentroidClassifier::class_similarity(std::size_t label,
                                             HypervectorView query) const {
   require_finalized("CentroidClassifier::class_similarity");
-  require(label < accumulators_.size(),
+  require(label < num_classes_,
           "CentroidClassifier::class_similarity", "label out of range");
   return similarity(query, class_vector(label));
 }
@@ -117,9 +162,9 @@ std::vector<double> CentroidClassifier::similarities(
   require_finalized("CentroidClassifier::similarities");
   require(query.dimension() == dimension_, "CentroidClassifier::similarities",
           "query dimension mismatch");
-  std::vector<std::size_t> distances(accumulators_.size());
-  bits::hamming_many(query.words(), class_arena_, words_per_class_,
-                     accumulators_.size(), distances);
+  std::vector<std::size_t> distances(num_classes_);
+  bits::hamming_many(query.words(), class_arena_.words(), words_per_class_,
+                     num_classes_, distances);
   std::vector<double> out;
   out.reserve(distances.size());
   for (const std::size_t dist : distances) {
@@ -131,12 +176,8 @@ std::vector<double> CentroidClassifier::similarities(
 
 std::size_t CentroidClassifier::adapt(std::size_t label,
                                       HypervectorView encoded) {
-  if (inference_only_) {
-    throw std::logic_error(
-        "CentroidClassifier::adapt: model restored from class-vectors is "
-        "inference-only");
-  }
-  require(label < accumulators_.size(), "CentroidClassifier::adapt",
+  require_trainable("CentroidClassifier::adapt");
+  require(label < num_classes_, "CentroidClassifier::adapt",
           "label out of range");
   require_finalized("CentroidClassifier::adapt");
   const std::size_t predicted = predict(encoded);
@@ -151,15 +192,15 @@ std::size_t CentroidClassifier::adapt(std::size_t label,
 
 HypervectorView CentroidClassifier::class_vector(std::size_t label) const {
   require_finalized("CentroidClassifier::class_vector");
-  require(label < accumulators_.size(), "CentroidClassifier::class_vector",
+  require(label < num_classes_, "CentroidClassifier::class_vector",
           "label out of range");
-  return row_view(class_arena_, dimension_, words_per_class_, label);
+  return row_view(class_arena_.words(), dimension_, words_per_class_, label);
 }
 
 std::size_t CentroidClassifier::class_count(std::size_t label) const {
-  require(label < accumulators_.size(), "CentroidClassifier::class_count",
+  require(label < num_classes_, "CentroidClassifier::class_count",
           "label out of range");
-  return accumulators_[label].count();
+  return inference_only_ ? 0 : accumulators_[label].count();
 }
 
 }  // namespace hdc

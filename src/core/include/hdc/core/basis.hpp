@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "hdc/core/hypervector.hpp"
+#include "hdc/core/word_storage.hpp"
 
 namespace hdc {
 
@@ -84,6 +85,36 @@ class Basis {
   /// \throws std::invalid_argument on any inconsistency.
   Basis(BasisInfo info, std::vector<std::uint64_t> packed_words);
 
+  /// Borrows an externally owned packed arena (e.g. a read-only snapshot
+  /// mapping) without copying a single payload word.  The basis is valid
+  /// only while the borrowed words outlive it — the mmap-serving path of
+  /// hdc::io::MappedSnapshot.  Validates the same invariants as the owning
+  /// arena constructor.
+  /// \throws std::invalid_argument on any inconsistency.
+  Basis(BasisInfo info, std::span<const std::uint64_t> packed_words, borrow_t);
+
+  /// Borrowing constructor that skips the per-row invariant scan.  Only for
+  /// callers that can prove the invariants already hold (a checksummed
+  /// snapshot section written by the validating writer): touching every
+  /// arena row here would page in the whole payload and defeat
+  /// size-independent cold-start.  \pre same invariants as the validating
+  /// overload — violating them is undefined behaviour.
+  Basis(BasisInfo info, std::span<const std::uint64_t> packed_words, borrow_t,
+        unchecked_t) noexcept
+      : info_(info),
+        packed_(packed_words, borrowed),
+        words_per_vector_(bits::words_for(info.dimension)) {}
+
+  /// True when the arena words live on this object's heap; false for
+  /// borrowed (snapshot-backed) storage.
+  [[nodiscard]] bool owns_storage() const noexcept { return packed_.owning(); }
+
+  /// An owning deep copy (the crossover from snapshot-backed storage back to
+  /// heap storage, for models that must outlive their snapshot).
+  [[nodiscard]] Basis detach() const {
+    return Basis(info_, packed_.to_owned(), unchecked);
+  }
+
   [[nodiscard]] const BasisInfo& info() const noexcept { return info_; }
   [[nodiscard]] std::size_t size() const noexcept { return info_.size; }
   [[nodiscard]] std::size_t dimension() const noexcept {
@@ -91,9 +122,10 @@ class Basis {
   }
 
   /// Unchecked element access (0-based): a zero-copy view into the arena,
-  /// valid for the lifetime of this Basis.
+  /// valid for the lifetime of this Basis (and, for borrowed storage, of the
+  /// mapping behind it).
   [[nodiscard]] HypervectorView operator[](std::size_t i) const noexcept {
-    return row_view(packed_, info_.dimension, words_per_vector_, i);
+    return row_view(packed_.words(), info_.dimension, words_per_vector_, i);
   }
 
   /// Checked element access. \throws std::out_of_range if out of range.
@@ -187,7 +219,7 @@ class Basis {
   /// [i * words_per_vector(), (i + 1) * words_per_vector()); the single
   /// source of truth every accessor serves views from.
   [[nodiscard]] std::span<const std::uint64_t> packed_words() const noexcept {
-    return packed_;
+    return packed_.words();
   }
 
   /// Arena stride in 64-bit words.
@@ -195,13 +227,14 @@ class Basis {
     return words_per_vector_;
   }
 
-  /// Heap bytes resident for the vector storage (the arena data; both
+  /// Heap bytes resident for the vector storage (the arena data; the owning
   /// constructors shrink growth slack away, and reporting size keeps the
-  /// number portable across allocators).  The memory-footprint bench gates
-  /// on this staying ~half of the legacy arena + std::vector<Hypervector>
-  /// layout.
+  /// number portable across allocators).  Zero for borrowed storage — the
+  /// words belong to the snapshot mapping, not this object.  The
+  /// memory-footprint bench gates on this staying ~half of the legacy
+  /// arena + std::vector<Hypervector> layout.
   [[nodiscard]] std::size_t resident_bytes() const noexcept {
-    return packed_.size() * sizeof(std::uint64_t);
+    return packed_.resident_bytes();
   }
 
   /// Full m x m matrix of pairwise normalized distances delta(B_i, B_j);
@@ -212,8 +245,19 @@ class Basis {
   [[nodiscard]] std::vector<std::vector<double>> pairwise_similarities() const;
 
  private:
+  /// Shared adopting path behind the owning and borrowed public
+  /// constructors; validates count and per-row tail invariants.
+  Basis(BasisInfo info, WordStorage storage);
+
+  /// Trusted adopting path (no per-row scan); used by detach(), whose source
+  /// rows were validated when this basis was built.
+  Basis(BasisInfo info, WordStorage storage, unchecked_t) noexcept
+      : info_(info),
+        packed_(std::move(storage)),
+        words_per_vector_(bits::words_for(info.dimension)) {}
+
   BasisInfo info_;
-  std::vector<std::uint64_t> packed_;
+  WordStorage packed_;
   std::size_t words_per_vector_ = 0;
 };
 

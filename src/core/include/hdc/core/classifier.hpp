@@ -18,6 +18,7 @@
 
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/hypervector.hpp"
+#include "hdc/core/word_storage.hpp"
 
 namespace hdc {
 
@@ -30,17 +31,55 @@ class CentroidClassifier {
 
   /// Restores an inference-only model from finalized class-vectors (the
   /// serialization path).  The returned model predicts immediately; training
-  /// updates (add_sample/adapt) throw std::logic_error because the integer
-  /// accumulators are not part of the serialized state.
+  /// updates (add_sample/absorb/adapt/finalize) throw std::logic_error
+  /// because the integer accumulators are not part of the serialized state —
+  /// query `trainable()` first instead of relying on the throw.
   /// \throws std::invalid_argument if vectors is empty or dimensions differ.
   [[nodiscard]] static CentroidClassifier from_class_vectors(
       std::vector<Hypervector> vectors);
 
-  /// True for models restored by from_class_vectors().
+  /// Restores an inference-only model straight from a packed class-vector
+  /// arena (num_classes rows of bits::words_for(dimension) words each).
+  /// Owning storage is adopted without copying; borrowed storage
+  /// (WordStorage(span, borrowed)) serves predictions directly over an
+  /// external mapping — the hdc::io::MappedSnapshot path.  Validates the
+  /// word count and per-row tail invariants.
+  /// \throws std::invalid_argument on any inconsistency.
+  [[nodiscard]] static CentroidClassifier from_packed_class_words(
+      std::size_t num_classes, std::size_t dimension, WordStorage arena);
+
+  /// Trusted variant of from_packed_class_words() that skips the per-row
+  /// invariant scan; only for arenas whose invariants are already proven
+  /// (e.g. a checksum-verified snapshot section).  \pre same invariants as
+  /// the validating overload.
+  [[nodiscard]] static CentroidClassifier from_packed_class_words(
+      std::size_t num_classes, std::size_t dimension, WordStorage arena,
+      unchecked_t);
+
+  /// True for models restored by from_class_vectors() /
+  /// from_packed_class_words().
   [[nodiscard]] bool inference_only() const noexcept { return inference_only_; }
 
+  /// False for restored inference-only models: every training-state mutator
+  /// (add_sample, absorb, adapt, finalize) would throw std::logic_error.
+  /// Callers holding deserialized models should branch on this instead of
+  /// catching the throw.
+  [[nodiscard]] bool trainable() const noexcept { return !inference_only_; }
+
+  /// True when the class arena lives on this object's heap; false for
+  /// borrowed (snapshot-backed) models.
+  [[nodiscard]] bool owns_storage() const noexcept {
+    return class_arena_.owning();
+  }
+
+  /// An owning deep copy of this finalized model (the crossover from
+  /// snapshot-backed storage back to heap storage).  The copy is
+  /// inference-only, like every restored model.
+  /// \throws std::logic_error if the model is not finalized.
+  [[nodiscard]] CentroidClassifier detach() const;
+
   [[nodiscard]] std::size_t num_classes() const noexcept {
-    return accumulators_.size();
+    return num_classes_;
   }
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
 
@@ -57,6 +96,7 @@ class CentroidClassifier {
 
   /// Thresholds all accumulators into class-vectors.  Must be called after
   /// training (and after any adapt() pass) before predict().
+  /// \throws std::logic_error on inference-only models (no accumulators).
   void finalize();
 
   /// True once finalize() has been called and no update invalidated it.
@@ -83,7 +123,7 @@ class CentroidClassifier {
   /// first finalize().
   [[nodiscard]] std::span<const std::uint64_t> packed_class_words()
       const noexcept {
-    return class_arena_;
+    return class_arena_.words();
   }
 
   /// Arena stride in 64-bit words.
@@ -111,16 +151,24 @@ class CentroidClassifier {
   /// \throws std::logic_error / std::invalid_argument as for predict().
   [[nodiscard]] HypervectorView class_vector(std::size_t label) const;
 
-  /// Number of training samples accumulated into a class so far.
+  /// Number of training samples accumulated into a class so far; always 0
+  /// for inference-only models (the accumulators are not serialized).
   [[nodiscard]] std::size_t class_count(std::size_t label) const;
 
  private:
+  /// Uninitialized shell for the inference-only restore paths, which skip
+  /// the accumulator and tie-breaker allocation entirely (restoring a model
+  /// must not cost O(num_classes * dimension) heap it can never use).
+  CentroidClassifier() = default;
+
   void require_finalized(const char* where) const;
+  void require_trainable(const char* where) const;
   void store_class(std::size_t label, HypervectorView vector);
 
-  std::size_t dimension_;
-  std::vector<BundleAccumulator> accumulators_;
-  std::vector<std::uint64_t> class_arena_;
+  std::size_t dimension_ = 0;
+  std::size_t num_classes_ = 0;
+  std::vector<BundleAccumulator> accumulators_;  ///< Empty when inference-only.
+  WordStorage class_arena_;
   std::size_t words_per_class_ = 0;
   Hypervector tie_breaker_;
   bool finalized_ = false;

@@ -31,8 +31,26 @@ class HDRegressor {
   /// \throws std::invalid_argument if labels is null.
   HDRegressor(ScalarEncoderPtr labels, std::uint64_t seed);
 
+  /// Restores an inference-only regressor from its quantized model
+  /// hypervector (the serialization/snapshot path).  The result predicts
+  /// immediately; training updates (add_sample/absorb) and the
+  /// integer-accumulator path (predict_integer) throw std::logic_error
+  /// because the accumulator is not part of the serialized state — query
+  /// `trainable()` first instead of relying on the throw.
+  /// \throws std::invalid_argument if labels is null or the model dimension
+  /// does not match the label encoder.
+  [[nodiscard]] static HDRegressor from_model(ScalarEncoderPtr labels,
+                                              Hypervector model);
+
+  /// False for models restored by from_model(): every mutator and the
+  /// accumulator-backed predict_integer() would throw std::logic_error.
+  [[nodiscard]] bool trainable() const noexcept { return !inference_only_; }
+
+  /// True for models restored by from_model().
+  [[nodiscard]] bool inference_only() const noexcept { return inference_only_; }
+
   [[nodiscard]] std::size_t dimension() const noexcept {
-    return accumulator_.dimension();
+    return labels_->dimension();
   }
   [[nodiscard]] std::size_t sample_count() const noexcept {
     return accumulator_.count();
@@ -40,7 +58,8 @@ class HDRegressor {
   [[nodiscard]] const ScalarEncoder& labels() const noexcept { return *labels_; }
 
   /// Accumulates one training pair (phi(x) given encoded, label y).
-  /// \throws std::invalid_argument on dimension mismatch.
+  /// \throws std::invalid_argument on dimension mismatch; std::logic_error
+  /// on inference-only models.
   void add_sample(HypervectorView encoded_input, double label);
 
   /// Merges a partial accumulation of already label-bound samples
@@ -50,6 +69,7 @@ class HDRegressor {
   void absorb(const BundleAccumulator& partial);
 
   /// Quantizes the accumulated model.  Must be called before predict().
+  /// \throws std::logic_error on inference-only models.
   void finalize();
 
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
@@ -62,7 +82,8 @@ class HDRegressor {
   /// Extension: integer-accumulator prediction.  For each label vector L_l,
   /// scores the signed projection of the accumulator onto phi(x̂) ⊗ L_l and
   /// returns the value of the best-scoring label.  Does not require
-  /// finalize().  \throws std::invalid_argument on dimension mismatch.
+  /// finalize().  \throws std::invalid_argument on dimension mismatch;
+  /// std::logic_error on inference-only models (no accumulator state).
   [[nodiscard]] double predict_integer(HypervectorView encoded_input) const;
 
   /// The quantized model hypervector M.
@@ -70,11 +91,21 @@ class HDRegressor {
   [[nodiscard]] const Hypervector& model() const;
 
  private:
+  /// Restore-path shell: skips the O(dimension) accumulator and tie-breaker
+  /// state an inference-only model can never reach (cold-starting a mapped
+  /// snapshot must not pay for training machinery).
+  struct restore_t {};
+  HDRegressor(ScalarEncoderPtr labels, restore_t);
+
+  void require_trainable(const char* where) const;
+
   ScalarEncoderPtr labels_;
+  /// 1-slot placeholder on inference-only models (see restore_t).
   BundleAccumulator accumulator_;
   Hypervector model_;
-  Hypervector tie_breaker_;
+  Hypervector tie_breaker_;  ///< Empty on inference-only models.
   bool finalized_ = false;
+  bool inference_only_ = false;
 };
 
 }  // namespace hdc

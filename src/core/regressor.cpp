@@ -2,6 +2,8 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "hdc/base/require.hpp"
 #include "hdc/core/ops.hpp"
@@ -23,7 +25,33 @@ HDRegressor::HDRegressor(ScalarEncoderPtr labels, std::uint64_t seed)
   tie_breaker_ = Hypervector::random(dimension(), rng);
 }
 
+HDRegressor::HDRegressor(ScalarEncoderPtr labels, restore_t)
+    : labels_(std::move(labels)), accumulator_(1) {}
+
+HDRegressor HDRegressor::from_model(ScalarEncoderPtr labels,
+                                    Hypervector model) {
+  require(labels != nullptr, "HDRegressor::from_model",
+          "labels encoder must not be null");
+  HDRegressor restored(std::move(labels), restore_t{});
+  require(model.dimension() == restored.dimension(), "HDRegressor::from_model",
+          "model dimension must match the label encoder");
+  restored.model_ = std::move(model);
+  restored.finalized_ = true;
+  restored.inference_only_ = true;
+  return restored;
+}
+
+void HDRegressor::require_trainable(const char* where) const {
+  if (inference_only_) {
+    throw std::logic_error(
+        std::string(where) +
+        ": model restored from its quantized hypervector is inference-only "
+        "(trainable() == false)");
+  }
+}
+
 void HDRegressor::add_sample(HypervectorView encoded_input, double label) {
+  require_trainable("HDRegressor::add_sample");
   require(encoded_input.dimension() == dimension(), "HDRegressor::add_sample",
           "input dimension mismatch");
   accumulator_.add(encoded_input ^ labels_->encode(label));
@@ -31,11 +59,13 @@ void HDRegressor::add_sample(HypervectorView encoded_input, double label) {
 }
 
 void HDRegressor::absorb(const BundleAccumulator& partial) {
+  require_trainable("HDRegressor::absorb");
   accumulator_.merge(partial);
   finalized_ = false;
 }
 
 void HDRegressor::finalize() {
+  require_trainable("HDRegressor::finalize");
   model_ = accumulator_.finalize(tie_breaker_);
   finalized_ = true;
 }
@@ -52,6 +82,7 @@ double HDRegressor::predict(HypervectorView encoded_input) const {
 }
 
 double HDRegressor::predict_integer(HypervectorView encoded_input) const {
+  require_trainable("HDRegressor::predict_integer");
   require(encoded_input.dimension() == dimension(),
           "HDRegressor::predict_integer", "input dimension mismatch");
   const Basis& basis = labels_->basis();

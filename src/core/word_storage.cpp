@@ -1,0 +1,23 @@
+#include "hdc/core/word_storage.hpp"
+
+#include <stdexcept>
+
+namespace hdc {
+
+std::span<std::uint64_t> WordStorage::mutable_words() {
+  if (!owning_) {
+    throw std::logic_error(
+        "WordStorage::mutable_words: borrowed storage is read-only");
+  }
+  return owned_;
+}
+
+std::vector<std::uint64_t>& WordStorage::owned() {
+  if (!owning_) {
+    throw std::logic_error(
+        "WordStorage::owned: borrowed storage is read-only");
+  }
+  return owned_;
+}
+
+}  // namespace hdc

@@ -1,0 +1,105 @@
+#include "hdc/io/checksum.hpp"
+
+namespace hdc::io {
+
+namespace {
+
+constexpr std::uint64_t prime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t prime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t prime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t prime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t prime5 = 0x27D4EB2F165667C5ULL;
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// Little-endian loads composed from bytes: portable regardless of host
+/// endianness or alignment.
+std::uint64_t load_le64(const std::byte* p) noexcept {
+  std::uint64_t value = 0;
+  for (std::size_t i = 8; i-- > 0;) {
+    value = (value << 8) | static_cast<std::uint64_t>(p[i]);
+  }
+  return value;
+}
+
+std::uint32_t load_le32(const std::byte* p) noexcept {
+  std::uint32_t value = 0;
+  for (std::size_t i = 4; i-- > 0;) {
+    value = (value << 8) | static_cast<std::uint32_t>(p[i]);
+  }
+  return value;
+}
+
+constexpr std::uint64_t round_step(std::uint64_t acc,
+                                   std::uint64_t input) noexcept {
+  acc += input * prime2;
+  acc = rotl(acc, 31);
+  acc *= prime1;
+  return acc;
+}
+
+constexpr std::uint64_t merge_round(std::uint64_t hash,
+                                    std::uint64_t acc) noexcept {
+  hash ^= round_step(0, acc);
+  return hash * prime1 + prime4;
+}
+
+}  // namespace
+
+std::uint64_t xxhash64(std::span<const std::byte> data,
+                       std::uint64_t seed) noexcept {
+  const std::byte* p = data.data();
+  const std::byte* const end = p + data.size();
+  std::uint64_t hash;
+
+  if (data.size() >= 32) {
+    std::uint64_t v1 = seed + prime1 + prime2;
+    std::uint64_t v2 = seed + prime2;
+    std::uint64_t v3 = seed;
+    std::uint64_t v4 = seed - prime1;
+    const std::byte* const limit = end - 32;
+    do {
+      v1 = round_step(v1, load_le64(p));
+      v2 = round_step(v2, load_le64(p + 8));
+      v3 = round_step(v3, load_le64(p + 16));
+      v4 = round_step(v4, load_le64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    hash = rotl(v1, 1) + rotl(v2, 7) + rotl(v3, 12) + rotl(v4, 18);
+    hash = merge_round(hash, v1);
+    hash = merge_round(hash, v2);
+    hash = merge_round(hash, v3);
+    hash = merge_round(hash, v4);
+  } else {
+    hash = seed + prime5;
+  }
+
+  hash += static_cast<std::uint64_t>(data.size());
+
+  while (p + 8 <= end) {
+    hash ^= round_step(0, load_le64(p));
+    hash = rotl(hash, 27) * prime1 + prime4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    hash ^= static_cast<std::uint64_t>(load_le32(p)) * prime1;
+    hash = rotl(hash, 23) * prime2 + prime3;
+    p += 4;
+  }
+  while (p < end) {
+    hash ^= static_cast<std::uint64_t>(*p) * prime5;
+    hash = rotl(hash, 11) * prime1;
+    ++p;
+  }
+
+  hash ^= hash >> 33;
+  hash *= prime2;
+  hash ^= hash >> 29;
+  hash *= prime3;
+  hash ^= hash >> 32;
+  return hash;
+}
+
+}  // namespace hdc::io

@@ -1,0 +1,150 @@
+#include "hdc/io/fixture_models.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <utility>
+
+#include "hdc/core/basis_circular.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+#include "hdc/core/scatter_code.hpp"
+#include "hdc/io/snapshot.hpp"
+
+namespace hdc::io::fixtures {
+
+namespace {
+
+/// Per-model seed streams so editing one fixture never reshuffles another.
+enum : std::uint64_t {
+  stream_random = 1,
+  stream_level = 2,
+  stream_circular = 3,
+  stream_scatter = 4,
+  stream_classifier = 5,
+  stream_regressor = 6,
+};
+
+}  // namespace
+
+Basis make_basis(BasisKind kind, const FixtureSpec& spec) {
+  switch (kind) {
+    case BasisKind::Random: {
+      RandomBasisConfig config;
+      config.dimension = spec.dimension;
+      config.size = spec.size;
+      config.seed = derive_seed(spec.seed, stream_random);
+      return make_random_basis(config);
+    }
+    case BasisKind::Level: {
+      LevelBasisConfig config;
+      config.dimension = spec.dimension;
+      config.size = spec.size;
+      config.method = LevelMethod::Interpolation;
+      config.r = 0.3;
+      config.seed = derive_seed(spec.seed, stream_level);
+      return make_level_basis(config);
+    }
+    case BasisKind::Circular: {
+      CircularBasisConfig config;
+      config.dimension = spec.dimension;
+      config.size = spec.size;
+      config.r = 0.25;
+      config.seed = derive_seed(spec.seed, stream_circular);
+      return make_circular_basis(config);
+    }
+    case BasisKind::Scatter: {
+      ScatterBasisConfig config;
+      config.dimension = spec.dimension;
+      config.size = spec.size;
+      config.seed = derive_seed(spec.seed, stream_scatter);
+      return make_scatter_basis(config);
+    }
+  }
+  throw SnapshotError("fixtures::make_basis: unknown basis kind");
+}
+
+CentroidClassifier make_classifier(const FixtureSpec& spec) {
+  constexpr std::size_t num_classes = 3;
+  constexpr std::size_t samples_per_class = 4;
+  CentroidClassifier model(num_classes, spec.dimension,
+                           derive_seed(spec.seed, stream_classifier));
+  Rng rng(derive_seed(spec.seed, stream_classifier));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (std::size_t s = 0; s < samples_per_class; ++s) {
+      model.add_sample(c, Hypervector::random(spec.dimension, rng));
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+HDRegressor make_regressor(const FixtureSpec& spec) {
+  LevelBasisConfig config;
+  config.dimension = spec.dimension;
+  config.size = 8;
+  config.r = 0.0;
+  config.seed = derive_seed(spec.seed, stream_regressor);
+  auto labels = std::make_shared<LinearScalarEncoder>(
+      make_level_basis(config), 0.0, 1.0);
+  HDRegressor model(labels, derive_seed(spec.seed, stream_regressor));
+  for (std::size_t k = 0; k < 8; ++k) {
+    const double x = static_cast<double>(k) / 7.0;
+    model.add_sample(labels->encode(x), x);
+  }
+  model.finalize();
+  return model;
+}
+
+std::vector<std::string> fixture_names() {
+  return {
+      "basis_random.hdcs",   "basis_level.hdcs", "basis_circular.hdcs",
+      "basis_scatter.hdcs",  "classifier.hdcs",  "regressor.hdcs",
+      "combined.hdcs",
+  };
+}
+
+std::vector<std::string> write_all(const std::string& dir,
+                                   const FixtureSpec& spec) {
+  std::filesystem::create_directories(dir);
+  const auto path = [&dir](const std::string& name) {
+    return (std::filesystem::path(dir) / name).string();
+  };
+
+  const Basis random = make_basis(BasisKind::Random, spec);
+  const Basis level = make_basis(BasisKind::Level, spec);
+  const Basis circular = make_basis(BasisKind::Circular, spec);
+  const Basis scatter = make_basis(BasisKind::Scatter, spec);
+  const CentroidClassifier classifier = make_classifier(spec);
+  const HDRegressor regressor = make_regressor(spec);
+
+  std::vector<std::string> written;
+  const auto write_one = [&](const std::string& name, const auto& add) {
+    SnapshotWriter writer;
+    add(writer);
+    writer.write_file(path(name));
+    written.push_back(path(name));
+  };
+  write_one("basis_random.hdcs",
+            [&](SnapshotWriter& w) { w.add_basis(random); });
+  write_one("basis_level.hdcs", [&](SnapshotWriter& w) { w.add_basis(level); });
+  write_one("basis_circular.hdcs",
+            [&](SnapshotWriter& w) { w.add_basis(circular); });
+  write_one("basis_scatter.hdcs",
+            [&](SnapshotWriter& w) { w.add_basis(scatter); });
+  write_one("classifier.hdcs",
+            [&](SnapshotWriter& w) { w.add_classifier(classifier); });
+  write_one("regressor.hdcs",
+            [&](SnapshotWriter& w) { w.add_regressor(regressor); });
+  write_one("combined.hdcs", [&](SnapshotWriter& w) {
+    w.add_basis(random);
+    w.add_basis(level);
+    w.add_basis(circular);
+    w.add_basis(scatter);
+    w.add_classifier(classifier);
+    w.add_regressor(regressor);
+  });
+  return written;
+}
+
+}  // namespace hdc::io::fixtures

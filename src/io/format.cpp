@@ -1,0 +1,252 @@
+#include "hdc/io/format.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "hdc/core/basis.hpp"
+#include "hdc/io/checksum.hpp"
+
+namespace hdc::io {
+
+namespace detail {
+
+void store_f64(std::span<std::byte> out, std::size_t at, double value) noexcept {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  store_u64(out, at, bits);
+}
+
+double load_f64(std::span<const std::byte> in, std::size_t at) noexcept {
+  const std::uint64_t bits = load_u64(in, at);
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void encode_section_entry(std::span<std::byte> out, std::size_t at,
+                          const SectionRecord& record) noexcept {
+  store_u16(out, at + 0, static_cast<std::uint16_t>(record.type));
+  store_u16(out, at + 2, record.kind);
+  store_u16(out, at + 4, record.method);
+  store_u16(out, at + 6, static_cast<std::uint16_t>(record.label_encoder));
+  store_u64(out, at + 8, record.dimension);
+  store_u64(out, at + 16, record.count);
+  store_f64(out, at + 24, record.param_a);
+  store_f64(out, at + 32, record.param_b);
+  store_u64(out, at + 40, record.seed);
+  store_u64(out, at + 48, record.aux_section);
+  store_u64(out, at + 56, record.payload_offset);
+  store_u64(out, at + 64, record.payload_bytes);
+  store_u64(out, at + 72, record.payload_checksum);
+  // Bytes [at + 80, at + 128) are reserved and stay zero in version 1.
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::load_f64;
+using detail::load_u16;
+using detail::load_u32;
+using detail::load_u64;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SnapshotError("snapshot: " + what);
+}
+
+void require_zero_bytes(std::span<const std::byte> bytes, std::size_t begin,
+                        std::size_t end, const char* where) {
+  for (std::size_t i = begin; i < end; ++i) {
+    if (bytes[i] != std::byte{0}) {
+      fail(std::string(where) + " reserved bytes must be zero in version 1");
+    }
+  }
+}
+
+SectionRecord decode_section_entry(std::span<const std::byte> table,
+                                   std::size_t at) {
+  SectionRecord record;
+  record.type = static_cast<SectionType>(load_u16(table, at + 0));
+  record.kind = load_u16(table, at + 2);
+  record.method = load_u16(table, at + 4);
+  record.label_encoder =
+      static_cast<LabelEncoderKind>(load_u16(table, at + 6));
+  record.dimension = load_u64(table, at + 8);
+  record.count = load_u64(table, at + 16);
+  record.param_a = load_f64(table, at + 24);
+  record.param_b = load_f64(table, at + 32);
+  record.seed = load_u64(table, at + 40);
+  record.aux_section = load_u64(table, at + 48);
+  record.payload_offset = load_u64(table, at + 56);
+  record.payload_bytes = load_u64(table, at + 64);
+  record.payload_checksum = load_u64(table, at + 72);
+  require_zero_bytes(table, at + 80, at + snapshot_entry_bytes,
+                     "section entry");
+  return record;
+}
+
+/// Per-entry metadata rules beyond bounds: what combination of fields each
+/// section type may carry in version 1.  Strict on purpose — every field a
+/// v1 reader does not interpret must be zero/sentinel, which keeps the fuzz
+/// contract tight (a bit flip either breaks a checksum or breaks a rule
+/// here) and leaves room to assign meanings in later versions.
+void validate_section_metadata(const SectionRecord& record, std::size_t index,
+                               const std::vector<SectionRecord>& previous) {
+  const std::string where = "section " + std::to_string(index);
+  if (record.dimension == 0 || record.dimension > snapshot_sanity_limit) {
+    fail(where + ": implausible dimension");
+  }
+  if (record.count == 0 || record.count > snapshot_sanity_limit) {
+    fail(where + ": implausible row count");
+  }
+  const std::uint64_t words_per_row = (record.dimension + 63) / 64;
+  const std::uint64_t expected_bytes = record.count * words_per_row * 8;
+  if (record.payload_bytes != expected_bytes) {
+    fail(where + ": payload byte count disagrees with dimension and count");
+  }
+  switch (record.type) {
+    case SectionType::BasisArena:
+      if (record.kind > 3 || record.method > 1) {
+        fail(where + ": unknown basis kind or level method");
+      }
+      if (!(record.param_a >= 0.0 && record.param_a <= 1.0) ||
+          record.param_b != 0.0) {
+        fail(where + ": basis r out of [0, 1] or nonzero reserved param");
+      }
+      if (record.label_encoder != LabelEncoderKind::None ||
+          record.aux_section != snapshot_no_aux) {
+        fail(where + ": basis sections carry no encoder or aux fields");
+      }
+      break;
+    case SectionType::ClassifierClassVectors:
+      if (record.kind != 0 || record.method != 0 || record.seed != 0 ||
+          record.param_a != 0.0 || record.param_b != 0.0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.aux_section != snapshot_no_aux) {
+        fail(where + ": classifier sections carry no basis or encoder fields");
+      }
+      break;
+    case SectionType::RegressorModel: {
+      if (record.count != 1) {
+        fail(where + ": regressor model must be exactly one row");
+      }
+      if (record.kind != 0 || record.method != 0 || record.seed != 0) {
+        fail(where + ": regressor sections carry no basis fields");
+      }
+      if (record.aux_section >= index) {
+        fail(where + ": label-basis section must precede the model");
+      }
+      const SectionRecord& labels = previous[record.aux_section];
+      if (labels.type != SectionType::BasisArena ||
+          labels.dimension != record.dimension || labels.count < 2) {
+        fail(where + ": aux section is not a compatible label basis");
+      }
+      if (record.label_encoder == LabelEncoderKind::Linear) {
+        if (!(record.param_a < record.param_b)) {
+          fail(where + ": linear label encoder needs lo < hi");
+        }
+      } else if (record.label_encoder == LabelEncoderKind::Circular) {
+        if (record.param_a != 0.0 || !(record.param_b > 0.0)) {
+          fail(where + ": circular label encoder needs period > 0");
+        }
+      } else {
+        fail(where + ": unknown label encoder kind");
+      }
+      break;
+    }
+    default:
+      fail(where + ": unknown section type");
+  }
+}
+
+}  // namespace
+
+SnapshotLayout parse_snapshot_layout(std::span<const std::byte> file) {
+  if constexpr (std::endian::native != std::endian::little) {
+    fail("zero-copy snapshots require a little-endian host; use the "
+         "hdc/core stream serialization instead");
+  }
+  if (file.size() < snapshot_header_bytes) {
+    fail("file shorter than the 64-byte header");
+  }
+  for (std::size_t i = 0; i < snapshot_magic.size(); ++i) {
+    if (file[i] != static_cast<std::byte>(snapshot_magic[i])) {
+      fail("bad magic: not an HDCS snapshot");
+    }
+  }
+  if (load_u16(file, 4) != snapshot_version) {
+    fail("unsupported format version");
+  }
+  if (load_u16(file, 6) != snapshot_endian_marker) {
+    fail("endianness marker mismatch: snapshot was not written little-endian");
+  }
+  if (load_u32(file, 8) != snapshot_header_bytes ||
+      load_u32(file, 12) != snapshot_entry_bytes) {
+    fail("header or section-entry size disagrees with version 1");
+  }
+  const std::uint32_t section_count = load_u32(file, 16);
+  const std::uint32_t alignment = load_u32(file, 20);
+  const std::uint64_t file_bytes = load_u64(file, 24);
+  const std::uint64_t table_checksum = load_u64(file, 32);
+  require_zero_bytes(file, 40, snapshot_header_bytes, "header");
+
+  if (section_count == 0 || section_count > snapshot_max_sections) {
+    fail("implausible section count");
+  }
+  if (alignment < snapshot_min_alignment ||
+      alignment > snapshot_max_alignment ||
+      !std::has_single_bit(alignment)) {
+    fail("payload alignment must be a power of two in [64, 1 MiB]");
+  }
+  if (file_bytes != file.size()) {
+    fail("recorded file size disagrees with the actual bytes (truncated?)");
+  }
+  const std::uint64_t table_end =
+      snapshot_header_bytes +
+      static_cast<std::uint64_t>(section_count) * snapshot_entry_bytes;
+  if (table_end > file.size()) {
+    fail("section table extends past the end of the file");
+  }
+  const auto table = file.subspan(
+      snapshot_header_bytes, table_end - snapshot_header_bytes);
+  if (xxhash64(table, snapshot_version) != table_checksum) {
+    fail("section table checksum mismatch");
+  }
+
+  SnapshotLayout layout;
+  layout.payload_alignment = alignment;
+  layout.file_bytes = file_bytes;
+  layout.sections.reserve(section_count);
+  std::uint64_t previous_end = table_end;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    SectionRecord record =
+        decode_section_entry(table, i * snapshot_entry_bytes);
+    validate_section_metadata(record, i, layout.sections);
+    if (record.payload_offset % alignment != 0) {
+      fail("section " + std::to_string(i) + ": payload is not aligned");
+    }
+    // Sections are laid out in table order with no overlap; subtraction
+    // form so corrupt offsets cannot overflow the bounds check.
+    if (record.payload_offset < previous_end ||
+        record.payload_offset > file_bytes ||
+        record.payload_bytes > file_bytes - record.payload_offset) {
+      fail("section " + std::to_string(i) +
+           ": payload is out of order or out of bounds");
+    }
+    previous_end = record.payload_offset + record.payload_bytes;
+    layout.sections.push_back(record);
+  }
+  return layout;
+}
+
+void verify_section_payload(std::span<const std::byte> file,
+                            const SectionRecord& section) {
+  const auto payload =
+      file.subspan(section.payload_offset, section.payload_bytes);
+  if (xxhash64(payload) != section.payload_checksum) {
+    fail("payload checksum mismatch: section content is corrupt");
+  }
+}
+
+}  // namespace hdc::io

@@ -1,0 +1,29 @@
+#ifndef HDC_IO_CHECKSUM_HPP
+#define HDC_IO_CHECKSUM_HPP
+
+/// \file checksum.hpp
+/// \brief XXH64-style payload checksums for the snapshot format.
+///
+/// Snapshot sections are integrity-checked with a from-the-spec
+/// re-implementation of the XXH64 algorithm (Yann Collet's xxHash, a
+/// public-domain specification): a fast, non-cryptographic 64-bit hash whose
+/// throughput is a small fraction of memory bandwidth, so verifying a mapped
+/// model costs little more than paging it in.  The implementation here is
+/// self-contained (no external dependency) and byte-portable: it consumes
+/// the on-disk little-endian byte stream, so the digest of a snapshot file
+/// is identical on every platform.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace hdc::io {
+
+/// XXH64 digest of \p data with the given seed.  Matches the reference
+/// xxHash XXH64 output for the same bytes and seed.
+[[nodiscard]] std::uint64_t xxhash64(std::span<const std::byte> data,
+                                     std::uint64_t seed = 0) noexcept;
+
+}  // namespace hdc::io
+
+#endif  // HDC_IO_CHECKSUM_HPP

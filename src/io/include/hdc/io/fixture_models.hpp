@@ -1,0 +1,61 @@
+#ifndef HDC_IO_FIXTURE_MODELS_HPP
+#define HDC_IO_FIXTURE_MODELS_HPP
+
+/// \file fixture_models.hpp
+/// \brief Canonical models behind the snapshot compatibility suite.
+///
+/// The golden-file tests commit small binary snapshots under
+/// tests/io/fixtures/ and assert byte-exact write stability; CI regenerates
+/// them with `hdcgen snap-fixtures` and diffs against the committed files.
+/// Both sides — the test binary and the tool — must build the *same* models
+/// from the same seeds, so the single definition lives here.  Every
+/// generator below is deterministic and bit-portable (hdc::Rng), which is
+/// what makes committing the binaries meaningful.
+///
+/// Changing anything in this file or in the format intentionally breaks the
+/// golden tests: bump the fixture files and the format version together and
+/// document the change in docs/snapshot_format.md.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdc/core/basis.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/regressor.hpp"
+
+namespace hdc::io::fixtures {
+
+/// Shared shape of the fixture models: small (d = 96 exercises a partial
+/// tail word; m = 5 covers row boundaries) but structurally complete.
+struct FixtureSpec {
+  std::size_t dimension = 96;
+  std::size_t size = 5;
+  std::uint64_t seed = 2023;
+};
+
+/// The canonical basis of one family under \p spec (level method is
+/// Interpolation; r is 0.3 for level, 0.25 for circular).
+[[nodiscard]] Basis make_basis(BasisKind kind, const FixtureSpec& spec = {});
+
+/// A finalized 3-class classifier trained on seeded random encodings.
+[[nodiscard]] CentroidClassifier make_classifier(const FixtureSpec& spec = {});
+
+/// A finalized regressor over a linear label encoder on [0, 1] with an
+/// 8-point level basis.
+[[nodiscard]] HDRegressor make_regressor(const FixtureSpec& spec = {});
+
+/// File names of the canonical fixture set, in generation order: one
+/// single-section snapshot per basis kind, a classifier, a regressor, and
+/// one combined multi-section snapshot.
+[[nodiscard]] std::vector<std::string> fixture_names();
+
+/// Writes the canonical fixture snapshots into \p dir (created if missing)
+/// and returns the paths written.  Deterministic: repeated runs produce
+/// byte-identical files.
+std::vector<std::string> write_all(const std::string& dir,
+                                   const FixtureSpec& spec = {});
+
+}  // namespace hdc::io::fixtures
+
+#endif  // HDC_IO_FIXTURE_MODELS_HPP

@@ -1,0 +1,11 @@
+#ifndef HDC_IO_IO_HPP
+#define HDC_IO_IO_HPP
+
+/// \file io.hpp
+/// \brief Umbrella header: the full public API of the hdc::io subsystem.
+
+#include "hdc/io/checksum.hpp"  // IWYU pragma: export
+#include "hdc/io/format.hpp"    // IWYU pragma: export
+#include "hdc/io/snapshot.hpp"  // IWYU pragma: export
+
+#endif  // HDC_IO_IO_HPP

@@ -1,0 +1,199 @@
+#ifndef HDC_IO_SNAPSHOT_HPP
+#define HDC_IO_SNAPSHOT_HPP
+
+/// \file snapshot.hpp
+/// \brief Mmap-able model snapshots: write, map, and load HDCS files.
+///
+/// Three entry points (see docs/snapshot_format.md for the byte layout):
+///
+///  * `SnapshotWriter` streams finalized models — `Basis` arenas,
+///    `CentroidClassifier` class-vectors, `HDRegressor` models with their
+///    label bases — into one snapshot file whose payload bytes are the
+///    runtime arena layout.
+///  * `MappedSnapshot` maps a snapshot read-only (POSIX mmap; a transparent
+///    heap fallback elsewhere) and hands out models whose storage is a
+///    borrowed span straight over the mapping: zero payload copies, so
+///    cold-start latency is independent of model size.  Models borrow from
+///    the snapshot and are valid only while it stays open.
+///  * `load_snapshot` is the portable heap-backed fallback: it reads the
+///    whole file (or any std::istream) into memory and serves the same API
+///    with the snapshot owning the buffer.
+///
+/// Integrity: every reader fully validates the header and section table
+/// (including the table checksum) before anything else, so a corrupt file
+/// can never yield a partial model.  Payload checksums are verified eagerly
+/// by `load_snapshot`, and on first access per section by `MappedSnapshot`
+/// — pass `SnapshotIntegrity::Trust` to skip the payload hash for
+/// content-addressed artifact stores whose bytes are already authenticated;
+/// only then is section access O(1) in the payload size.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/core/basis.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/io/format.hpp"
+
+namespace hdc::io {
+
+/// Streams finalized models into one HDCS snapshot.
+///
+/// `add_*` records a *reference* to the model's packed words (no copy); the
+/// model must stay alive and unmodified until `write()`/`write_file()`.
+class SnapshotWriter {
+ public:
+  /// \param payload_alignment  Boundary every payload section starts on; a
+  /// power of two in [64, 1 MiB].  The 4096 default keeps sections
+  /// page-aligned for mmap serving; tests use smaller alignments to keep
+  /// golden files compact.
+  /// \throws SnapshotError on an invalid alignment.
+  explicit SnapshotWriter(
+      std::size_t payload_alignment = snapshot_default_alignment);
+
+  /// Adds a basis arena section; returns its section index.
+  std::size_t add_basis(const Basis& basis);
+
+  /// Adds a finalized classifier's class-vector arena; returns its section
+  /// index.  \throws SnapshotError if the model is not finalized.
+  std::size_t add_classifier(const CentroidClassifier& model);
+
+  /// Adds a finalized regressor as *two* sections — its label basis, then
+  /// the quantized model hypervector referencing it — and returns the index
+  /// of the model section.  \throws SnapshotError if the model is not
+  /// finalized or its label encoder is not a LinearScalarEncoder /
+  /// CircularScalarEncoder.
+  std::size_t add_regressor(const HDRegressor& model);
+
+  [[nodiscard]] std::size_t section_count() const noexcept {
+    return sections_.size();
+  }
+
+  /// Writes the snapshot: header, checksummed section table, aligned
+  /// payloads.  Deterministic — the same models and alignment produce
+  /// byte-identical output (the golden-file guarantee).
+  /// \throws SnapshotError if no sections were added or on write failure.
+  void write(std::ostream& out) const;
+
+  /// write() into a fresh binary file at \p path.
+  /// \throws SnapshotError if the file cannot be created.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Pending {
+    SectionRecord record;
+    std::span<const std::uint64_t> payload;
+  };
+
+  std::size_t alignment_;
+  std::vector<Pending> sections_;
+};
+
+/// Payload-integrity policy for snapshot readers.
+enum class SnapshotIntegrity {
+  /// Verify each section's XXH64 payload checksum before handing out a
+  /// model over it (default; `load_snapshot` verifies eagerly at load).
+  Checksum,
+  /// Skip payload hashing; structural validation only.  Section access is
+  /// then O(1) in payload size.  Only for stores whose bytes are already
+  /// authenticated (content-addressed artifacts, verified-once replicas).
+  Trust,
+};
+
+/// A read-only snapshot serving models with zero payload copies.
+///
+/// Move-only.  Every model handed out borrows its storage from this object
+/// and must not outlive it; use `Basis::detach()` /
+/// `CentroidClassifier::detach()` to break the tie.  Const accessors are
+/// safe to call from multiple threads concurrently.
+class MappedSnapshot {
+ public:
+  /// Maps \p path read-only and validates the header and section table.
+  /// On platforms without mmap the file is read into a heap buffer instead
+  /// (`zero_copy()` reports which).  \throws SnapshotError on any open,
+  /// map, or validation failure.
+  [[nodiscard]] static MappedSnapshot open(
+      const std::string& path,
+      SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+
+  /// Heap-backed snapshot over a copy of \p bytes (the in-memory entry
+  /// point; `load_snapshot` builds on it).  With `Checksum`, every payload
+  /// is verified here, eagerly.  \throws SnapshotError on validation
+  /// failure.
+  [[nodiscard]] static MappedSnapshot from_bytes(
+      std::span<const std::byte> bytes,
+      SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+
+  MappedSnapshot(MappedSnapshot&&) noexcept;
+  MappedSnapshot& operator=(MappedSnapshot&&) noexcept;
+  MappedSnapshot(const MappedSnapshot&) = delete;
+  MappedSnapshot& operator=(const MappedSnapshot&) = delete;
+  ~MappedSnapshot();
+
+  [[nodiscard]] std::size_t section_count() const noexcept;
+
+  /// Decoded table entry \p i. \throws std::out_of_range if out of range.
+  [[nodiscard]] const SectionRecord& section(std::size_t i) const;
+
+  /// True when the payload bytes are served straight off an mmap; false for
+  /// the heap-backed fallback.
+  [[nodiscard]] bool zero_copy() const noexcept;
+
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept;
+
+  /// Verifies every section's payload checksum now (idempotent; sections
+  /// already verified are skipped).  Hashes even on a Trust-integrity
+  /// snapshot — an explicit call asks for it by name.
+  /// \throws SnapshotError on mismatch.
+  void verify() const;
+
+  /// Section \p i's payload as packed words over the snapshot storage —
+  /// the raw material for borrowed arenas (runtime::VectorArena::borrow).
+  /// Verifies the payload checksum first under `Checksum` integrity.
+  /// \throws std::out_of_range / SnapshotError.
+  [[nodiscard]] std::span<const std::uint64_t> section_words(
+      std::size_t i) const;
+
+  /// Basis section \p i as a borrowed, zero-copy `Basis`.
+  /// \throws SnapshotError if the section is not a BasisArena or fails its
+  /// checksum; std::out_of_range if out of range.
+  [[nodiscard]] Basis basis(std::size_t i) const;
+
+  /// Classifier section \p i as a borrowed, inference-only
+  /// `CentroidClassifier`.  \throws as basis().
+  [[nodiscard]] CentroidClassifier classifier(std::size_t i) const;
+
+  /// Regressor section \p i as an inference-only `HDRegressor` whose label
+  /// basis borrows from the snapshot.  \throws as basis().
+  [[nodiscard]] HDRegressor regressor(std::size_t i) const;
+
+ private:
+  struct Impl;
+  explicit MappedSnapshot(std::unique_ptr<Impl> impl) noexcept;
+
+  /// The heap loader constructs Impl directly to avoid an extra buffer copy.
+  friend MappedSnapshot load_snapshot(std::istream& in,
+                                      SnapshotIntegrity integrity);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Heap-backed fallback loader: reads the whole snapshot into memory
+/// through portable stream I/O and returns it with all payload checksums
+/// verified (unless `Trust`).  \throws SnapshotError on any failure.
+[[nodiscard]] MappedSnapshot load_snapshot(
+    std::istream& in, SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+
+/// load_snapshot() over a file path.
+[[nodiscard]] MappedSnapshot load_snapshot(
+    const std::string& path,
+    SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+
+}  // namespace hdc::io
+
+#endif  // HDC_IO_SNAPSHOT_HPP

@@ -1,0 +1,187 @@
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <fstream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "hdc/core/scalar_encoder.hpp"
+#include "hdc/io/checksum.hpp"
+#include "hdc/io/snapshot.hpp"
+
+namespace hdc::io {
+
+namespace {
+
+using detail::align_up;
+using detail::encode_section_entry;
+using detail::store_u16;
+using detail::store_u32;
+using detail::store_u64;
+
+/// Payload words encoded as the on-disk little-endian byte stream; the
+/// returned buffer is both what gets written and what gets checksummed, so
+/// the digest always matches the file bytes (on little-endian hosts this is
+/// a straight byte copy of the arena).
+std::vector<std::byte> encode_payload(std::span<const std::uint64_t> words) {
+  std::vector<std::byte> bytes(words.size() * sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store_u64(bytes, i * sizeof(std::uint64_t), words[i]);
+  }
+  return bytes;
+}
+
+void write_zeros(std::ostream& out, std::uint64_t count) {
+  static constexpr std::array<char, 256> zeros{};
+  while (count > 0) {
+    const auto chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, zeros.size()));
+    out.write(zeros.data(), static_cast<std::streamsize>(chunk));
+    count -= chunk;
+  }
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(std::size_t payload_alignment)
+    : alignment_(payload_alignment) {
+  if (payload_alignment < snapshot_min_alignment ||
+      payload_alignment > snapshot_max_alignment ||
+      !std::has_single_bit(payload_alignment)) {
+    throw SnapshotError(
+        "SnapshotWriter: payload alignment must be a power of two in "
+        "[64, 1 MiB]");
+  }
+}
+
+std::size_t SnapshotWriter::add_basis(const Basis& basis) {
+  const BasisInfo& info = basis.info();
+  SectionRecord record;
+  record.type = SectionType::BasisArena;
+  record.kind = static_cast<std::uint16_t>(info.kind);
+  record.method = static_cast<std::uint16_t>(info.method);
+  record.dimension = info.dimension;
+  record.count = info.size;
+  record.param_a = info.r;
+  record.seed = info.seed;
+  sections_.push_back(Pending{record, basis.packed_words()});
+  return sections_.size() - 1;
+}
+
+std::size_t SnapshotWriter::add_classifier(const CentroidClassifier& model) {
+  if (!model.finalized()) {
+    throw SnapshotError(
+        "SnapshotWriter::add_classifier: model is not finalized");
+  }
+  SectionRecord record;
+  record.type = SectionType::ClassifierClassVectors;
+  record.dimension = model.dimension();
+  record.count = model.num_classes();
+  sections_.push_back(Pending{record, model.packed_class_words()});
+  return sections_.size() - 1;
+}
+
+std::size_t SnapshotWriter::add_regressor(const HDRegressor& model) {
+  if (!model.finalized()) {
+    throw SnapshotError(
+        "SnapshotWriter::add_regressor: model is not finalized");
+  }
+  const ScalarEncoder& labels = model.labels();
+  SectionRecord record;
+  record.type = SectionType::RegressorModel;
+  record.dimension = model.dimension();
+  record.count = 1;
+  if (const auto* linear =
+          dynamic_cast<const LinearScalarEncoder*>(&labels)) {
+    record.label_encoder = LabelEncoderKind::Linear;
+    record.param_a = linear->low();
+    record.param_b = linear->high();
+  } else if (const auto* circular =
+                 dynamic_cast<const CircularScalarEncoder*>(&labels)) {
+    record.label_encoder = LabelEncoderKind::Circular;
+    record.param_b = circular->period();
+  } else {
+    throw SnapshotError(
+        "SnapshotWriter::add_regressor: only LinearScalarEncoder and "
+        "CircularScalarEncoder label encoders are snapshot-able");
+  }
+  record.aux_section = add_basis(labels.basis());
+  sections_.push_back(Pending{record, model.model().words()});
+  return sections_.size() - 1;
+}
+
+void SnapshotWriter::write(std::ostream& out) const {
+  if (sections_.empty()) {
+    throw SnapshotError("SnapshotWriter::write: no sections added");
+  }
+
+  // Lay out payload offsets in section order, then checksum the encoded
+  // payloads so the table can be finished before any payload is written.
+  std::vector<SectionRecord> records;
+  std::vector<std::vector<std::byte>> payloads;
+  records.reserve(sections_.size());
+  payloads.reserve(sections_.size());
+  const std::uint64_t table_end =
+      snapshot_header_bytes + sections_.size() * snapshot_entry_bytes;
+  std::uint64_t offset = align_up(table_end, alignment_);
+  for (const Pending& pending : sections_) {
+    SectionRecord record = pending.record;
+    payloads.push_back(encode_payload(pending.payload));
+    record.payload_offset = offset;
+    record.payload_bytes = payloads.back().size();
+    record.payload_checksum = xxhash64(payloads.back());
+    offset = align_up(offset + record.payload_bytes, alignment_);
+    records.push_back(record);
+  }
+  // The file ends with the last payload byte, not its alignment padding.
+  const std::uint64_t file_bytes =
+      records.back().payload_offset + records.back().payload_bytes;
+
+  std::vector<std::byte> head(static_cast<std::size_t>(table_end));
+  for (std::size_t i = 0; i < snapshot_magic.size(); ++i) {
+    head[i] = static_cast<std::byte>(snapshot_magic[i]);
+  }
+  store_u16(head, 4, snapshot_version);
+  store_u16(head, 6, snapshot_endian_marker);
+  store_u32(head, 8, snapshot_header_bytes);
+  store_u32(head, 12, snapshot_entry_bytes);
+  store_u32(head, 16, static_cast<std::uint32_t>(records.size()));
+  store_u32(head, 20, static_cast<std::uint32_t>(alignment_));
+  store_u64(head, 24, file_bytes);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    encode_section_entry(head, snapshot_header_bytes + i * snapshot_entry_bytes,
+                         records[i]);
+  }
+  const auto table = std::span<const std::byte>(head).subspan(
+      snapshot_header_bytes, head.size() - snapshot_header_bytes);
+  store_u64(head, 32, xxhash64(table, snapshot_version));
+
+  out.write(reinterpret_cast<const char*>(head.data()),
+            static_cast<std::streamsize>(head.size()));
+  std::uint64_t written = table_end;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    write_zeros(out, records[i].payload_offset - written);
+    out.write(reinterpret_cast<const char*>(payloads[i].data()),
+              static_cast<std::streamsize>(payloads[i].size()));
+    written = records[i].payload_offset + records[i].payload_bytes;
+  }
+  if (!out) {
+    throw SnapshotError("SnapshotWriter::write: stream write failure");
+  }
+}
+
+void SnapshotWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw SnapshotError("SnapshotWriter::write_file: cannot create " + path);
+  }
+  write(out);
+  out.flush();
+  if (!out) {
+    throw SnapshotError("SnapshotWriter::write_file: write failed for " +
+                        path);
+  }
+}
+
+}  // namespace hdc::io

@@ -11,7 +11,7 @@ VectorArena::VectorArena(std::size_t dimension, std::size_t count)
     : dimension_(dimension),
       words_per_vector_(bits::words_for(dimension)),
       count_(count),
-      words_(words_per_vector_ * count, 0ULL) {
+      storage_(std::vector<std::uint64_t>(words_per_vector_ * count, 0ULL)) {
   require_positive(dimension, "VectorArena", "dimension");
 }
 
@@ -23,8 +23,27 @@ VectorArena VectorArena::pack(std::span<const Hypervector> vectors) {
     require(hv.dimension() == arena.dimension_, "VectorArena::pack",
             "all vectors must share one dimension");
   }
-  arena.words_ = pack_words(vectors);
+  arena.storage_ = pack_words(vectors);
   arena.count_ = vectors.size();
+  return arena;
+}
+
+VectorArena VectorArena::borrow(std::size_t dimension, std::size_t count,
+                                std::span<const std::uint64_t> words) {
+  require_positive(dimension, "VectorArena::borrow", "dimension");
+  VectorArena arena;
+  arena.dimension_ = dimension;
+  arena.words_per_vector_ = bits::words_for(dimension);
+  // Division form so a crafted count cannot overflow the multiply and slip
+  // an undersized buffer past validation.
+  require(words.size() % arena.words_per_vector_ == 0 &&
+              words.size() / arena.words_per_vector_ == count,
+          "VectorArena::borrow",
+          "word count must be count * words_for(dimension)");
+  arena.count_ = count;
+  arena.storage_ = WordStorage(words, hdc::borrowed);
+  require(arena.tails_clean(), "VectorArena::borrow",
+          "slot has set bits beyond the dimension");
   return arena;
 }
 
@@ -32,30 +51,31 @@ void VectorArena::append(HypervectorView hv) {
   require(hv.dimension() == dimension_, "VectorArena::append",
           "dimension mismatch");
   const auto src = hv.words();
-  words_.insert(words_.end(), src.begin(), src.end());
+  auto& words = storage_.owned();
+  words.insert(words.end(), src.begin(), src.end());
   ++count_;
 }
 
 std::size_t VectorArena::append_zero() {
-  words_.resize(words_.size() + words_per_vector_, 0ULL);
+  auto& words = storage_.owned();
+  words.resize(words.size() + words_per_vector_, 0ULL);
   return count_++;
 }
 
 void VectorArena::resize(std::size_t count) {
-  words_.resize(words_per_vector_ * count, 0ULL);
+  storage_.owned().resize(words_per_vector_ * count, 0ULL);
   count_ = count;
 }
 
 std::span<const std::uint64_t> VectorArena::words(std::size_t i) const {
   require(i < count_, "VectorArena::words", "index out of range");
-  return std::span<const std::uint64_t>(words_).subspan(i * words_per_vector_,
-                                                        words_per_vector_);
+  return storage_.words().subspan(i * words_per_vector_, words_per_vector_);
 }
 
 std::span<std::uint64_t> VectorArena::mutable_words(std::size_t i) {
   require(i < count_, "VectorArena::mutable_words", "index out of range");
-  return std::span<std::uint64_t>(words_).subspan(i * words_per_vector_,
-                                                  words_per_vector_);
+  return storage_.mutable_words().subspan(i * words_per_vector_,
+                                          words_per_vector_);
 }
 
 Hypervector VectorArena::extract(std::size_t i) const {
@@ -66,12 +86,13 @@ Hypervector VectorArena::extract(std::size_t i) const {
 }
 
 void VectorArena::mask_tails() noexcept {
-  if (words_per_vector_ == 0) {
+  if (words_per_vector_ == 0 || !storage_.owning()) {
     return;
   }
   const std::uint64_t mask = bits::tail_mask(dimension_);
+  const auto words = storage_.mutable_words();
   for (std::size_t i = 0; i < count_; ++i) {
-    words_[(i + 1) * words_per_vector_ - 1] &= mask;
+    words[(i + 1) * words_per_vector_ - 1] &= mask;
   }
 }
 
@@ -80,8 +101,9 @@ bool VectorArena::tails_clean() const noexcept {
     return true;
   }
   const std::uint64_t mask = bits::tail_mask(dimension_);
+  const auto words = storage_.words();
   for (std::size_t i = 0; i < count_; ++i) {
-    const std::uint64_t tail = words_[(i + 1) * words_per_vector_ - 1];
+    const std::uint64_t tail = words[(i + 1) * words_per_vector_ - 1];
     if ((tail & ~mask) != 0) {
       return false;
     }

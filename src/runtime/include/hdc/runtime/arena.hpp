@@ -22,10 +22,15 @@
 #include <vector>
 
 #include "hdc/core/hypervector.hpp"
+#include "hdc/core/word_storage.hpp"
 
 namespace hdc::runtime {
 
 /// A batch of n d-dimensional hypervectors in one contiguous buffer.
+///
+/// Storage is owning by default; `borrow()` builds a read-only arena over
+/// externally owned words (e.g. a snapshot mapping) with zero copies, on
+/// which every mutating member throws std::logic_error.
 class VectorArena {
  public:
   /// Empty arena (dimension 0); assign over it before use.
@@ -39,6 +44,21 @@ class VectorArena {
   /// \throws std::invalid_argument if vectors is empty or dimensions differ.
   [[nodiscard]] static VectorArena pack(std::span<const Hypervector> vectors);
 
+  /// Read-only arena over externally owned words — \p count rows of
+  /// bits::words_for(dimension) words each, zero copies.  The arena is valid
+  /// only while the words outlive it (the hdc::io::MappedSnapshot serving
+  /// path).  Validates the word count and per-row tail invariants.
+  /// \throws std::invalid_argument on any inconsistency.
+  [[nodiscard]] static VectorArena borrow(
+      std::size_t dimension, std::size_t count,
+      std::span<const std::uint64_t> words);
+
+  /// True when the arena words live on this object's heap; false for
+  /// borrowed arenas.
+  [[nodiscard]] bool owns_storage() const noexcept {
+    return storage_.owning();
+  }
+
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
   [[nodiscard]] std::size_t size() const noexcept { return count_; }
   [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
@@ -49,13 +69,16 @@ class VectorArena {
   }
 
   /// Appends a copy of \p hv (owning vectors and zero-copy views alike).
-  /// \throws std::invalid_argument on dimension mismatch.
+  /// \throws std::invalid_argument on dimension mismatch; std::logic_error
+  /// on borrowed arenas.
   void append(HypervectorView hv);
 
   /// Appends an all-zero slot and returns its index (for in-place encoding).
+  /// \throws std::logic_error on borrowed arenas.
   std::size_t append_zero();
 
   /// Grows/shrinks to exactly \p count slots (new slots are all-zero).
+  /// \throws std::logic_error on borrowed arenas.
   void resize(std::size_t count);
 
   /// Read-only view of slot \p i. \throws std::invalid_argument if out of
@@ -72,12 +95,13 @@ class VectorArena {
   }
 
   /// Mutable view of slot \p i; writers must keep tail bits zero (or call
-  /// mask_tails()). \throws std::invalid_argument if out of range.
+  /// mask_tails()). \throws std::invalid_argument if out of range;
+  /// std::logic_error on borrowed arenas.
   [[nodiscard]] std::span<std::uint64_t> mutable_words(std::size_t i);
 
   /// The whole buffer (size() * words_per_vector() words).
   [[nodiscard]] std::span<const std::uint64_t> data() const noexcept {
-    return words_;
+    return storage_.words();
   }
 
   /// Copies slot \p i out as a standalone Hypervector.
@@ -85,6 +109,8 @@ class VectorArena {
   [[nodiscard]] Hypervector extract(std::size_t i) const;
 
   /// Re-establishes the tail-bits-are-zero invariant on every slot.
+  /// No-op on borrowed arenas, whose tails were validated at borrow() and
+  /// cannot be written through this object.
   void mask_tails() noexcept;
 
   /// True iff every slot satisfies the tail invariant (test/debug hook).
@@ -94,7 +120,7 @@ class VectorArena {
   std::size_t dimension_ = 0;
   std::size_t words_per_vector_ = 0;
   std::size_t count_ = 0;
-  std::vector<std::uint64_t> words_;
+  WordStorage storage_;
 };
 
 }  // namespace hdc::runtime

@@ -97,6 +97,51 @@ TEST(ModelSerializationTest, RejectsTruncatedClassifierStream) {
   EXPECT_THROW((void)hdc::read_classifier(cut), SerializationError);
 }
 
+// Regression: a model loaded inference-only must *report* that state
+// (finalized() / trainable()) so serving code can branch on it up front
+// instead of discovering it via std::logic_error on the first update.
+TEST(ModelSerializationTest, LoadedModelReportsQueryableTrainability) {
+  Rng rng(6);
+  std::vector<Hypervector> prototypes;
+  const CentroidClassifier original = trained_model(rng, &prototypes);
+  EXPECT_TRUE(original.trainable());
+  EXPECT_FALSE(original.inference_only());
+
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  CentroidClassifier loaded = hdc::read_classifier(stream);
+
+  EXPECT_TRUE(loaded.finalized());
+  EXPECT_FALSE(loaded.trainable());
+  EXPECT_TRUE(loaded.inference_only());
+  // Every training-state mutator still throws, including the ones the
+  // queryable state is meant to predict.
+  const Hypervector sample = Hypervector::random(loaded.dimension(), rng);
+  hdc::BundleAccumulator partial(loaded.dimension());
+  partial.add(sample);
+  EXPECT_THROW(loaded.absorb(0, partial), std::logic_error);
+  EXPECT_THROW(loaded.finalize(), std::logic_error);
+  // Restored models report zero accumulated samples, not stale counts.
+  EXPECT_EQ(loaded.class_count(0), 0U);
+  EXPECT_NO_THROW((void)loaded.predict(sample));
+}
+
+TEST(ModelSerializationTest, DetachYieldsOwningBitExactCopy) {
+  Rng rng(7);
+  std::vector<Hypervector> prototypes;
+  const CentroidClassifier original = trained_model(rng, &prototypes);
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  const CentroidClassifier loaded = hdc::read_classifier(stream);
+
+  const CentroidClassifier copy = loaded.detach();
+  EXPECT_TRUE(copy.owns_storage());
+  EXPECT_EQ(copy.num_classes(), loaded.num_classes());
+  for (std::size_t c = 0; c < copy.num_classes(); ++c) {
+    EXPECT_EQ(copy.class_vector(c), loaded.class_vector(c));
+  }
+}
+
 TEST(ModelSerializationTest, RejectsWrongTag) {
   Rng rng(5);
   std::stringstream stream;

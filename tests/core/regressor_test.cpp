@@ -124,6 +124,47 @@ TEST(RegressorTest, BinaryReadoutRecallsMemorizedPairs) {
   EXPECT_LT(se / static_cast<double>(keys.size()), 0.05);
 }
 
+// Regression companion to the classifier's queryable trainability: a
+// regressor restored from its quantized model reports the inference-only
+// state and rejects accumulator-dependent paths up front.
+TEST(RegressorTest, FromModelRestoresInferenceOnlyPredictor) {
+  const auto labels = label_encoder(0.0, 1.0, 512);
+  HDRegressor trained(labels, 3);
+  for (int k = 0; k < 16; ++k) {
+    const double x = static_cast<double>(k) / 15.0;
+    trained.add_sample(labels->encode(x), x);
+  }
+  trained.finalize();
+  EXPECT_TRUE(trained.trainable());
+
+  HDRegressor restored = HDRegressor::from_model(labels, trained.model());
+  EXPECT_TRUE(restored.finalized());
+  EXPECT_FALSE(restored.trainable());
+  EXPECT_TRUE(restored.inference_only());
+  for (int k = 0; k < 16; ++k) {
+    const double x = static_cast<double>(k) / 15.0;
+    EXPECT_DOUBLE_EQ(restored.predict(labels->encode(x)),
+                     trained.predict(labels->encode(x)));
+  }
+  EXPECT_THROW(restored.add_sample(labels->encode(0.5), 0.5),
+               std::logic_error);
+  hdc::BundleAccumulator partial(restored.dimension());
+  EXPECT_THROW(restored.absorb(partial), std::logic_error);
+  EXPECT_THROW(restored.finalize(), std::logic_error);
+  EXPECT_THROW((void)restored.predict_integer(labels->encode(0.5)),
+               std::logic_error);
+}
+
+TEST(RegressorTest, FromModelValidatesDimension) {
+  const auto labels = label_encoder(0.0, 1.0, 512);
+  Rng rng(9);
+  EXPECT_THROW((void)HDRegressor::from_model(
+                   labels, hdc::Hypervector::random(64, rng)),
+               std::invalid_argument);
+  EXPECT_THROW((void)HDRegressor::from_model(nullptr, hdc::Hypervector(512)),
+               std::invalid_argument);
+}
+
 TEST(RegressorTest, SampleCountTracksAdds) {
   HDRegressor model(label_encoder(0.0, 1.0, 128), 9);
   Rng rng(10);

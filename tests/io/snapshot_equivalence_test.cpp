@@ -1,0 +1,283 @@
+// Equivalence suite: models served straight over a snapshot mapping must be
+// bit-identical to the classic stream-deserialized models for every basis
+// kind and every entry point (nearest / predict / encode-decode), and
+// concurrent MappedSnapshots of one file must agree under the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hdc/core/hdc.hpp"
+#include "hdc/io/io.hpp"
+#include "hdc/runtime/runtime.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::BasisKind;
+using hdc::Hypervector;
+using hdc::Rng;
+using hdc::io::MappedSnapshot;
+using hdc::io::SnapshotWriter;
+
+constexpr std::size_t kDim = 129;  // exercises a partial tail word
+constexpr std::size_t kSize = 16;
+
+Basis make_basis(BasisKind kind) {
+  switch (kind) {
+    case BasisKind::Random: {
+      hdc::RandomBasisConfig config;
+      config.dimension = kDim;
+      config.size = kSize;
+      config.seed = 31;
+      return hdc::make_random_basis(config);
+    }
+    case BasisKind::Level: {
+      hdc::LevelBasisConfig config;
+      config.dimension = kDim;
+      config.size = kSize;
+      config.r = 0.2;
+      config.seed = 32;
+      return hdc::make_level_basis(config);
+    }
+    case BasisKind::Circular: {
+      hdc::CircularBasisConfig config;
+      config.dimension = kDim;
+      config.size = kSize;
+      config.r = 0.15;
+      config.seed = 33;
+      return hdc::make_circular_basis(config);
+    }
+    default: {
+      hdc::ScatterBasisConfig config;
+      config.dimension = kDim;
+      config.size = kSize;
+      config.seed = 34;
+      return hdc::make_scatter_basis(config);
+    }
+  }
+}
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+TEST(SnapshotEquivalenceTest, MappedBasisMatchesStreamLoadedBasis) {
+  for (const BasisKind kind : {BasisKind::Random, BasisKind::Level,
+                               BasisKind::Circular, BasisKind::Scatter}) {
+    SCOPED_TRACE(hdc::to_string(kind));
+    const Basis original = make_basis(kind);
+
+    const std::string path = temp_file(std::string("equiv_") +
+                                       hdc::to_string(kind) + ".hdcs");
+    SnapshotWriter writer;
+    writer.add_basis(original);
+    writer.write_file(path);
+    const auto snapshot = MappedSnapshot::open(path);
+    const Basis mapped = snapshot.basis(0);
+
+    std::stringstream stream;
+    hdc::write_basis(stream, original);
+    const Basis streamed = hdc::read_basis(stream);
+
+    EXPECT_FALSE(mapped.owns_storage());
+    EXPECT_EQ(mapped.resident_bytes(), 0U);
+    ASSERT_EQ(mapped.size(), streamed.size());
+    ASSERT_EQ(mapped.dimension(), streamed.dimension());
+    EXPECT_EQ(mapped.info().seed, streamed.info().seed);
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_TRUE(mapped[i] == streamed[i]) << "row " << i;
+    }
+    // nearest: identical cleanup decisions on noisy probes.
+    Rng rng(7);
+    for (int probe = 0; probe < 64; ++probe) {
+      const Hypervector query = Hypervector::random(kDim, rng);
+      EXPECT_EQ(mapped.nearest(query), streamed.nearest(query));
+    }
+    // detach(): the owning escape hatch is bit-exact too.
+    const Basis detached = mapped.detach();
+    EXPECT_TRUE(detached.owns_storage());
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      EXPECT_TRUE(detached[i] == streamed[i]) << "row " << i;
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(SnapshotEquivalenceTest, MappedEncodeDecodeMatchesStreamLoaded) {
+  // Level basis under a linear encoder, circular basis under a circular
+  // encoder: phi and phi^{-1} must agree between mapped and stream models.
+  const Basis level = make_basis(BasisKind::Level);
+  const Basis circular = make_basis(BasisKind::Circular);
+  const std::string path = temp_file("equiv_encoders.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(level);
+  writer.add_basis(circular);
+  writer.write_file(path);
+  const auto snapshot = MappedSnapshot::open(path);
+
+  std::stringstream stream;
+  hdc::write_basis(stream, level);
+  hdc::write_basis(stream, circular);
+  const Basis stream_level = hdc::read_basis(stream);
+  const Basis stream_circular = hdc::read_basis(stream);
+
+  const hdc::LinearScalarEncoder mapped_linear(snapshot.basis(0), 0.0, 10.0);
+  const hdc::LinearScalarEncoder stream_linear(stream_level, 0.0, 10.0);
+  const hdc::CircularScalarEncoder mapped_circ(snapshot.basis(1), 360.0);
+  const hdc::CircularScalarEncoder stream_circ(stream_circular, 360.0);
+  for (int k = 0; k <= 50; ++k) {
+    const double x = static_cast<double>(k) / 5.0;
+    EXPECT_TRUE(mapped_linear.encode(x) == stream_linear.encode(x));
+    EXPECT_DOUBLE_EQ(mapped_linear.decode(mapped_linear.encode(x)),
+                     stream_linear.decode(stream_linear.encode(x)));
+    const double angle = x * 36.0;
+    EXPECT_TRUE(mapped_circ.encode(angle) == stream_circ.encode(angle));
+    EXPECT_DOUBLE_EQ(mapped_circ.decode(mapped_circ.encode(angle)),
+                     stream_circ.decode(stream_circ.encode(angle)));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalenceTest, MappedClassifierMatchesStreamLoaded) {
+  Rng rng(11);
+  hdc::CentroidClassifier original(4, kDim, 3);
+  for (int i = 0; i < 40; ++i) {
+    original.add_sample(static_cast<std::size_t>(i) % 4,
+                        Hypervector::random(kDim, rng));
+  }
+  original.finalize();
+
+  const std::string path = temp_file("equiv_classifier.hdcs");
+  SnapshotWriter writer;
+  writer.add_classifier(original);
+  writer.write_file(path);
+  const auto snapshot = MappedSnapshot::open(path);
+  const hdc::CentroidClassifier mapped = snapshot.classifier(0);
+
+  std::stringstream stream;
+  hdc::write_classifier(stream, original);
+  const hdc::CentroidClassifier streamed = hdc::read_classifier(stream);
+
+  EXPECT_FALSE(mapped.owns_storage());
+  EXPECT_FALSE(mapped.trainable());
+  ASSERT_EQ(mapped.num_classes(), streamed.num_classes());
+  for (std::size_t c = 0; c < streamed.num_classes(); ++c) {
+    EXPECT_TRUE(mapped.class_vector(c) == streamed.class_vector(c));
+  }
+  for (int probe = 0; probe < 64; ++probe) {
+    const Hypervector query = Hypervector::random(kDim, rng);
+    EXPECT_EQ(mapped.predict(query), streamed.predict(query));
+    EXPECT_EQ(mapped.similarities(query), streamed.similarities(query));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalenceTest, BorrowedArenaServesSectionWords) {
+  const Basis original = make_basis(BasisKind::Random);
+  const std::string path = temp_file("equiv_arena.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(original);
+  writer.write_file(path);
+  const auto snapshot = MappedSnapshot::open(path);
+
+  const auto arena = hdc::runtime::VectorArena::borrow(
+      kDim, kSize, snapshot.section_words(0));
+  EXPECT_FALSE(arena.owns_storage());
+  EXPECT_TRUE(arena.tails_clean());
+  ASSERT_EQ(arena.size(), original.size());
+  for (std::size_t i = 0; i < arena.size(); ++i) {
+    EXPECT_TRUE(arena.view(i) == original[i]) << "slot " << i;
+  }
+  // Borrowed arenas are read-only: every mutator must refuse.
+  auto mutable_arena = hdc::runtime::VectorArena::borrow(
+      kDim, kSize, snapshot.section_words(0));
+  EXPECT_THROW(mutable_arena.append(original[0]), std::logic_error);
+  EXPECT_THROW((void)mutable_arena.append_zero(), std::logic_error);
+  EXPECT_THROW(mutable_arena.resize(4), std::logic_error);
+  EXPECT_THROW((void)mutable_arena.mutable_words(0), std::logic_error);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalenceTest, ConcurrentMappedSnapshotsAgreeUnderThreadPool) {
+  Rng rng(13);
+  const Basis basis = make_basis(BasisKind::Circular);
+  hdc::CentroidClassifier classifier(4, kDim, 3);
+  for (int i = 0; i < 32; ++i) {
+    classifier.add_sample(static_cast<std::size_t>(i) % 4,
+                          Hypervector::random(kDim, rng));
+  }
+  classifier.finalize();
+
+  const std::string path = temp_file("equiv_concurrent.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(basis);
+  writer.add_classifier(classifier);
+  writer.write_file(path);
+
+  // Two independent mappings of one file, plus the original as the oracle.
+  const auto snapshot_a = MappedSnapshot::open(path);
+  const auto snapshot_b = MappedSnapshot::open(path);
+
+  constexpr std::size_t kQueries = 256;
+  std::vector<Hypervector> queries;
+  std::vector<std::size_t> expected_class(kQueries);
+  std::vector<std::size_t> expected_nearest(kQueries);
+  queries.reserve(kQueries);
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    queries.push_back(Hypervector::random(kDim, rng));
+    expected_class[i] = classifier.predict(queries[i]);
+    expected_nearest[i] = basis.nearest(queries[i]);
+  }
+
+  hdc::runtime::ThreadPool pool(4);
+  std::vector<std::size_t> got_class(kQueries);
+  std::vector<std::size_t> got_nearest(kQueries);
+  pool.for_chunks(kQueries, [&](std::size_t begin, std::size_t end,
+                                std::size_t chunk) {
+    // Alternate mappings per chunk; each chunk materializes its own
+    // borrowed models, exercising the verify-once path concurrently.
+    const MappedSnapshot& snapshot = (chunk % 2 == 0) ? snapshot_a
+                                                      : snapshot_b;
+    const Basis chunk_basis = snapshot.basis(0);
+    const hdc::CentroidClassifier chunk_model = snapshot.classifier(1);
+    for (std::size_t i = begin; i < end; ++i) {
+      got_class[i] = chunk_model.predict(queries[i]);
+      got_nearest[i] = chunk_basis.nearest(queries[i]);
+    }
+  });
+  EXPECT_EQ(got_class, expected_class);
+  EXPECT_EQ(got_nearest, expected_nearest);
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalenceTest, HeapLoaderMatchesMappedLoader) {
+  const Basis original = make_basis(BasisKind::Level);
+  const std::string path = temp_file("equiv_heap.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(original);
+  writer.write_file(path);
+
+  const auto mapped = MappedSnapshot::open(path);
+  const auto heap = hdc::io::load_snapshot(path);
+  EXPECT_FALSE(heap.zero_copy());
+  ASSERT_EQ(heap.section_count(), mapped.section_count());
+  const Basis mapped_basis = mapped.basis(0);
+  const Basis heap_basis = heap.basis(0);
+  ASSERT_EQ(heap_basis.size(), mapped_basis.size());
+  for (std::size_t i = 0; i < mapped_basis.size(); ++i) {
+    EXPECT_TRUE(heap_basis[i] == mapped_basis[i]) << "row " << i;
+  }
+  // The stream overload serves the no-filesystem path.
+  std::ifstream in(path, std::ios::binary);
+  const auto stream_loaded = hdc::io::load_snapshot(in);
+  EXPECT_TRUE(stream_loaded.basis(0)[0] == mapped_basis[0]);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+// Corrupted-snapshot fuzzing, extending the PR-2 corrupted-stream harness
+// to the HDCS format.  Every header/section-table truncation and every
+// byte-level bit flip of a small multi-section snapshot is replayed through
+// the readers, which must either raise SnapshotError or — when the flip
+// lands in inter-section padding, the only bytes no checksum covers —
+// yield models bit-identical to the originals.  No corruption may ever
+// construct a partial or altered model.  The suite runs under the
+// ASan/UBSan CI job, so "survives" also means no out-of-bounds read or
+// undefined behaviour on any path.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/basis_random.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+#include "hdc/io/io.hpp"
+
+namespace {
+
+using hdc::Basis;
+using hdc::Hypervector;
+using hdc::Rng;
+using hdc::io::MappedSnapshot;
+using hdc::io::SnapshotError;
+using hdc::io::SnapshotWriter;
+
+std::span<const std::byte> as_bytes(const std::string& bytes) {
+  return {reinterpret_cast<const std::byte*>(bytes.data()), bytes.size()};
+}
+
+/// A small snapshot covering every section type: basis (d = 70 exercises a
+/// partial tail word), classifier, and regressor (label basis + model).
+/// Alignment 64 keeps the file a few hundred bytes so the quadratic fuzz
+/// loops stay fast.
+std::string snapshot_bytes() {
+  hdc::RandomBasisConfig basis_config;
+  basis_config.dimension = 70;
+  basis_config.size = 3;
+  basis_config.seed = 97;
+  const Basis basis = hdc::make_random_basis(basis_config);
+
+  Rng rng(6);
+  std::vector<Hypervector> class_vectors;
+  for (int c = 0; c < 2; ++c) {
+    class_vectors.push_back(Hypervector::random(70, rng));
+  }
+  const auto classifier =
+      hdc::CentroidClassifier::from_class_vectors(class_vectors);
+
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = 70;
+  label_config.size = 4;
+  label_config.seed = 23;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), 0.0, 1.0);
+  hdc::HDRegressor regressor(labels, 5);
+  for (int k = 0; k < 4; ++k) {
+    const double x = static_cast<double>(k) / 3.0;
+    regressor.add_sample(labels->encode(x), x);
+  }
+  regressor.finalize();
+
+  SnapshotWriter writer(64);
+  writer.add_basis(basis);
+  writer.add_classifier(classifier);
+  writer.add_regressor(regressor);
+
+  std::stringstream out;
+  writer.write(out);
+  return out.str();
+}
+
+/// Materializes every model in the snapshot, proving no constructor path is
+/// reachable with broken invariants, and returns the payload words of every
+/// section for bit-exact comparison.
+std::vector<std::vector<std::uint64_t>> materialize_all(
+    const MappedSnapshot& snapshot) {
+  std::vector<std::vector<std::uint64_t>> payloads;
+  for (std::size_t i = 0; i < snapshot.section_count(); ++i) {
+    switch (snapshot.section(i).type) {
+      case hdc::io::SectionType::BasisArena: {
+        const Basis basis = snapshot.basis(i);
+        EXPECT_GT(basis.size(), 0U);
+        EXPECT_LT(basis.nearest(basis[0]), basis.size());
+        break;
+      }
+      case hdc::io::SectionType::ClassifierClassVectors: {
+        const hdc::CentroidClassifier model = snapshot.classifier(i);
+        EXPECT_TRUE(model.finalized());
+        EXPECT_LT(model.predict(model.class_vector(0)), model.num_classes());
+        break;
+      }
+      case hdc::io::SectionType::RegressorModel: {
+        const hdc::HDRegressor model = snapshot.regressor(i);
+        EXPECT_NO_THROW(
+            (void)model.predict(model.labels().encode(0.5)));
+        break;
+      }
+    }
+    const auto words = snapshot.section_words(i);
+    payloads.emplace_back(words.begin(), words.end());
+  }
+  return payloads;
+}
+
+TEST(SnapshotFuzzTest, EveryTruncationThrows) {
+  const std::string bytes = snapshot_bytes();
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    EXPECT_THROW(
+        (void)MappedSnapshot::from_bytes(as_bytes(bytes.substr(0, length))),
+        SnapshotError)
+        << "prefix length " << length;
+  }
+  // The untruncated image stays readable and fully coherent.
+  const auto snapshot = MappedSnapshot::from_bytes(as_bytes(bytes));
+  EXPECT_EQ(snapshot.section_count(), 4U);
+  (void)materialize_all(snapshot);
+}
+
+TEST(SnapshotFuzzTest, EveryBitFlipIsRejectedOrHarmless) {
+  const std::string bytes = snapshot_bytes();
+  const auto original = MappedSnapshot::from_bytes(as_bytes(bytes));
+  const auto original_payloads = materialize_all(original);
+
+  std::size_t rejected = 0;
+  std::size_t harmless = 0;
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[pos] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[pos]) ^ (1U << bit));
+      try {
+        const auto snapshot = MappedSnapshot::from_bytes(as_bytes(corrupted));
+        // Only flips in inter-section padding can survive: every header,
+        // table, and payload byte is covered by a checksum or a structural
+        // rule.  The models must be bit-identical to the originals.
+        const auto payloads = materialize_all(snapshot);
+        ASSERT_EQ(payloads, original_payloads)
+            << "byte " << pos << " bit " << bit
+            << ": corrupted snapshot loaded with altered content";
+        ++harmless;
+      } catch (const SnapshotError&) {
+        ++rejected;  // never UB, never a partial model
+      }
+    }
+  }
+  // Everything but padding must actually be rejected; this file carries
+  // only a few dozen padding bytes.
+  EXPECT_GT(rejected, bytes.size() * 8U * 9U / 10U);
+  EXPECT_GT(harmless, 0U);
+}
+
+TEST(SnapshotFuzzTest, PayloadChecksumMismatchRaisesBeforeAnyModel) {
+  const std::string bytes = snapshot_bytes();
+  const auto layout = hdc::io::parse_snapshot_layout(as_bytes(bytes));
+  for (const auto& section : layout.sections) {
+    std::string corrupted = bytes;
+    corrupted[static_cast<std::size_t>(section.payload_offset)] ^= '\x01';
+    EXPECT_THROW((void)MappedSnapshot::from_bytes(as_bytes(corrupted)),
+                 SnapshotError);
+    // Trust mode skips the hash by contract; structural parsing still works.
+    EXPECT_NO_THROW((void)MappedSnapshot::from_bytes(
+        as_bytes(corrupted), hdc::io::SnapshotIntegrity::Trust));
+  }
+}
+
+TEST(SnapshotFuzzTest, TableChecksumFieldItselfIsCovered) {
+  std::string corrupted = snapshot_bytes();
+  corrupted[32] ^= '\x01';  // header's table-checksum field
+  EXPECT_THROW((void)MappedSnapshot::from_bytes(as_bytes(corrupted)),
+               SnapshotError);
+}
+
+// The mmap path shares the parser, but its lazy per-access verification is
+// a distinct code path: open() must succeed on a payload-corrupt file (the
+// table is intact) and the *accessor* must throw before any model escapes.
+TEST(SnapshotFuzzTest, MappedOpenVerifiesLazilyButBeforeConstruction) {
+  const std::string bytes = snapshot_bytes();
+  const auto layout = hdc::io::parse_snapshot_layout(as_bytes(bytes));
+  const auto dir = std::filesystem::path(testing::TempDir());
+
+  std::string corrupted = bytes;
+  corrupted[static_cast<std::size_t>(layout.sections[0].payload_offset)] ^=
+      '\x01';
+  const auto corrupt_path = (dir / "corrupt_payload.hdcs").string();
+  std::ofstream(corrupt_path, std::ios::binary) << corrupted;
+  const auto snapshot = MappedSnapshot::open(corrupt_path);
+  EXPECT_THROW((void)snapshot.basis(0), SnapshotError);
+  EXPECT_THROW((void)snapshot.section_words(0), SnapshotError);
+  EXPECT_THROW(snapshot.verify(), SnapshotError);
+  // Other sections are independently checksummed and still load.
+  EXPECT_NO_THROW((void)snapshot.classifier(1));
+
+  const auto truncated_path = (dir / "truncated.hdcs").string();
+  std::ofstream(truncated_path, std::ios::binary)
+      << bytes.substr(0, bytes.size() / 2);
+  EXPECT_THROW((void)MappedSnapshot::open(truncated_path), SnapshotError);
+
+  EXPECT_THROW((void)MappedSnapshot::open((dir / "missing.hdcs").string()),
+               SnapshotError);
+}
+
+TEST(SnapshotFuzzTest, ImplausibleTableFieldsAreRejectedWithoutAllocating) {
+  // Rewriting the dimension field to an absurd value also breaks the table
+  // checksum, so craft the check at the layer that owns the rule: the
+  // parser must reject oversize fields even with a matching checksum.
+  // Build a 1-section snapshot, patch dimension, then re-checksum the table.
+  const std::string bytes = snapshot_bytes();
+  std::string corrupted = bytes;
+  // dimension field of entry 0 lives at 64 + 8.
+  corrupted[64 + 8 + 6] = '\x7F';  // blow past snapshot_sanity_limit
+  auto* raw = reinterpret_cast<std::byte*>(corrupted.data());
+  const std::size_t table_bytes =
+      corrupted.size() >= 64 ? 4 * hdc::io::snapshot_entry_bytes : 0;
+  const std::uint64_t checksum = hdc::io::xxhash64(
+      {raw + 64, table_bytes}, hdc::io::snapshot_version);
+  for (std::size_t i = 0; i < 8; ++i) {
+    corrupted[32 + i] = static_cast<char>((checksum >> (8 * i)) & 0xFFU);
+  }
+  EXPECT_THROW((void)MappedSnapshot::from_bytes(as_bytes(corrupted)),
+               SnapshotError);
+}
+
+TEST(SnapshotFuzzTest, WriterRejectsUnusableInputs) {
+  SnapshotWriter empty;
+  std::stringstream out;
+  EXPECT_THROW(empty.write(out), SnapshotError);
+  EXPECT_THROW(SnapshotWriter(48), SnapshotError);      // not a power of two
+  EXPECT_THROW(SnapshotWriter(32), SnapshotError);      // below the floor
+  hdc::CentroidClassifier unfinalized(2, 70, 1);
+  SnapshotWriter writer;
+  EXPECT_THROW((void)writer.add_classifier(unfinalized), SnapshotError);
+}
+
+}  // namespace

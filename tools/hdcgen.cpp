@@ -6,8 +6,13 @@
 //   hdcgen info FILE            # provenance + summary statistics
 //   hdcgen dist FILE            # pairwise distance matrix
 //   hdcgen heatmap FILE         # ASCII similarity heat map (paper Fig. 3)
+//   hdcgen snap ...             # like gen, but writes an HDCS snapshot
+//   hdcgen snap-info FILE       # snapshot header + section table + verify
+//   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
 //
-// Files use the library's versioned binary format (hdc/core/serialization).
+// `gen` files use the library's portable stream format
+// (hdc/core/serialization); `snap*` commands use the mmap-able HDCS
+// snapshot format (hdc/io/snapshot, docs/snapshot_format.md).
 
 #include <cstdio>
 #include <cstring>
@@ -19,6 +24,8 @@
 
 #include "hdc/core/hdc.hpp"
 #include "hdc/experiments/table.hpp"
+#include "hdc/io/fixture_models.hpp"
+#include "hdc/io/io.hpp"
 
 namespace {
 
@@ -29,7 +36,10 @@ int usage() {
       "       KIND: random | level | level-flip | circular | circular-cos | scatter\n"
       "  hdcgen info FILE\n"
       "  hdcgen dist FILE\n"
-      "  hdcgen heatmap FILE\n",
+      "  hdcgen heatmap FILE\n"
+      "  hdcgen snap --kind KIND --size M [--dim D] [--r R] [--seed S] --out FILE\n"
+      "  hdcgen snap-info FILE\n"
+      "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n",
       stderr);
   return 2;
 }
@@ -52,12 +62,13 @@ hdc::Basis load_basis(const std::string& path) {
   return hdc::read_basis(in);
 }
 
-int cmd_gen(int argc, char** argv) {
+/// Builds the basis described by the gen/snap command-line flags; empty on
+/// a malformed or missing flag set.
+std::optional<hdc::Basis> basis_from_args(int argc, char** argv) {
   const auto kind = arg_value(argc, argv, "--kind");
   const auto size = arg_value(argc, argv, "--size");
-  const auto out_path = arg_value(argc, argv, "--out");
-  if (!kind || !size || !out_path) {
-    return usage();
+  if (!kind || !size) {
+    return std::nullopt;
   }
   const std::size_t m = std::stoul(*size);
   const std::size_t dim =
@@ -99,18 +110,105 @@ int cmd_gen(int argc, char** argv) {
     basis.emplace(hdc::make_scatter_basis(config));
   } else {
     std::fprintf(stderr, "unknown kind '%s'\n", kind->c_str());
+    return std::nullopt;
+  }
+  return basis;
+}
+
+void print_basis_summary(const char* path, const hdc::Basis& basis) {
+  const hdc::BasisInfo& info = basis.info();
+  std::printf("wrote %s: %s basis, m = %zu, d = %zu, r = %.3f, seed = %llu\n",
+              path, hdc::to_string(info.kind), info.size, info.dimension,
+              info.r, static_cast<unsigned long long>(info.seed));
+}
+
+int cmd_gen(int argc, char** argv) {
+  const auto out_path = arg_value(argc, argv, "--out");
+  const auto basis = basis_from_args(argc, argv);
+  if (!basis || !out_path) {
     return usage();
   }
-
   std::ofstream out(*out_path, std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
     return 1;
   }
   hdc::write_basis(out, *basis);
-  std::printf("wrote %s: %s basis, m = %zu, d = %zu, r = %.3f, seed = %llu\n",
-              out_path->c_str(), hdc::to_string(basis->info().kind), m, dim, r,
-              static_cast<unsigned long long>(seed));
+  print_basis_summary(out_path->c_str(), *basis);
+  return 0;
+}
+
+int cmd_snap(int argc, char** argv) {
+  const auto out_path = arg_value(argc, argv, "--out");
+  const auto basis = basis_from_args(argc, argv);
+  if (!basis || !out_path) {
+    return usage();
+  }
+  hdc::io::SnapshotWriter writer;
+  writer.add_basis(*basis);
+  writer.write_file(*out_path);
+  print_basis_summary(out_path->c_str(), *basis);
+  return 0;
+}
+
+int cmd_snap_info(const std::string& path) {
+  const hdc::io::MappedSnapshot snapshot = hdc::io::MappedSnapshot::open(path);
+  std::printf("file:       %s\n", path.c_str());
+  std::printf("format:     HDCS v%u, %s-backed\n",
+              static_cast<unsigned>(hdc::io::snapshot_version),
+              snapshot.zero_copy() ? "mmap" : "heap");
+  std::printf("bytes:      %llu\n",
+              static_cast<unsigned long long>(snapshot.file_bytes()));
+  std::printf("sections:   %zu\n", snapshot.section_count());
+  for (std::size_t i = 0; i < snapshot.section_count(); ++i) {
+    const hdc::io::SectionRecord& record = snapshot.section(i);
+    const char* type = "?";
+    switch (record.type) {
+      case hdc::io::SectionType::BasisArena:
+        type = "basis";
+        break;
+      case hdc::io::SectionType::ClassifierClassVectors:
+        type = "classifier";
+        break;
+      case hdc::io::SectionType::RegressorModel:
+        type = "regressor";
+        break;
+    }
+    std::printf(
+        "  [%zu] %-10s d=%llu rows=%llu offset=%llu bytes=%llu xxh64=%016llx",
+        i, type, static_cast<unsigned long long>(record.dimension),
+        static_cast<unsigned long long>(record.count),
+        static_cast<unsigned long long>(record.payload_offset),
+        static_cast<unsigned long long>(record.payload_bytes),
+        static_cast<unsigned long long>(record.payload_checksum));
+    if (record.type == hdc::io::SectionType::BasisArena) {
+      std::printf(" kind=%s",
+                  hdc::to_string(static_cast<hdc::BasisKind>(record.kind)));
+    }
+    std::printf("\n");
+  }
+  snapshot.verify();
+  std::printf("checksums:  all sections OK\n");
+  return 0;
+}
+
+int cmd_snap_fixtures(int argc, char** argv, const std::string& dir) {
+  // FixtureSpec's member initializers are the single source of the default
+  // shape; only explicit flags override them.
+  hdc::io::fixtures::FixtureSpec spec;
+  if (const auto dim = arg_value(argc, argv, "--dim")) {
+    spec.dimension = std::stoul(*dim);
+  }
+  if (const auto size = arg_value(argc, argv, "--size")) {
+    spec.size = std::stoul(*size);
+  }
+  if (const auto seed = arg_value(argc, argv, "--seed")) {
+    spec.seed = std::stoull(*seed);
+  }
+  const auto written = hdc::io::fixtures::write_all(dir, spec);
+  for (const std::string& path : written) {
+    std::printf("wrote %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -185,6 +283,15 @@ int main(int argc, char** argv) {
   try {
     if (command == "gen") {
       return cmd_gen(argc, argv);
+    }
+    if (command == "snap") {
+      return cmd_snap(argc, argv);
+    }
+    if (argc >= 3 && command == "snap-info") {
+      return cmd_snap_info(argv[2]);
+    }
+    if (argc >= 3 && command == "snap-fixtures") {
+      return cmd_snap_fixtures(argc, argv, argv[2]);
     }
     if (argc >= 3 && command == "info") {
       return cmd_info(argv[2]);
