@@ -24,6 +24,8 @@
 #include "hdc/core/classifier.hpp"
 #include "hdc/core/ops.hpp"
 #include "hdc/core/serialization.hpp"
+#include "hdc/io/fixture_models.hpp"
+#include "hdc/io/pipeline.hpp"
 #include "hdc/io/snapshot.hpp"
 #include "hdc/runtime/runtime.hpp"
 
@@ -390,6 +392,34 @@ void report_snapshot_load() {
                 stream_nearest == mapped_nearest ? "yes" : "NO");
     std::filesystem::remove(variant.snap_path);
     std::filesystem::remove(variant.stream_path);
+  }
+  // Pipeline row: restoring a complete encode->predict pipeline (encoder
+  // config sections + model) must stay in the same cold-start class as a
+  // bare basis — the encoder configs are table metadata, not payload.
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_classifier_pipeline(spec);
+    const std::string pipeline_path = (dir / "bench_pipeline.hdcs").string();
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(models.encoder, models.model);
+    writer.write_file(pipeline_path);
+    const double pipeline_ms = best_ms([&] {
+      const auto snapshot = hdc::io::MappedSnapshot::open(
+          pipeline_path, hdc::io::SnapshotIntegrity::Trust);
+      benchmark::DoNotOptimize(
+          hdc::io::Pipeline::restore(snapshot).dimension());
+    });
+    const auto snapshot = hdc::io::MappedSnapshot::open(pipeline_path);
+    const auto pipeline = hdc::io::Pipeline::restore(snapshot);
+    const std::vector<double> probe{15.0, 140.0, 250.0, 355.0};
+    const bool agree =
+        pipeline.classify(probe) ==
+        models.model.predict(models.encoder.encode(probe));
+    std::printf("  pipeline   mmap (trusted)    : %9.3f ms  "
+                "(predictions agree: %s)\n",
+                pipeline_ms, agree ? "yes" : "NO");
+    std::filesystem::remove(pipeline_path);
   }
   std::filesystem::remove_all(dir);
   // ~1.0 means the 8x payload loads in the same time as 1x: latency is a

@@ -1,19 +1,21 @@
-// Zero-copy model serving from an mmap-able HDCS snapshot.
+// One-file cold-start: serve a complete encode->predict pipeline from a
+// single mmap-able HDCS snapshot.
 //
-// Simulates the cold-start path of a freshly scheduled serving replica:
-// a "trainer" process builds a circular-basis angle model (basis +
-// centroid classifier), publishes it as one snapshot artifact, and a
-// "replica" maps that artifact read-only and serves predictions straight
-// over the mapping — no deserialization copies, so start-up latency is
-// independent of model size.  The replica's answers are compared
-// bit-for-bit against the classic stream-deserialized model.
+// Simulates the cold-start path of a freshly scheduled serving replica.  A
+// "trainer" process builds the full gesture-style pipeline — a
+// KeyValueEncoder with circular-hypervector values AND the centroid
+// classifier behind it — and publishes everything as ONE snapshot artifact
+// (PR 3 could only ship the model; the encoder config had to be plumbed out
+// of band).  The "replica" maps that artifact read-only and is serving
+// features-in/labels-out immediately: encoder bases, bound arenas and class
+// vectors all borrow the mapping, so start-up latency is independent of
+// model size.  The replica's answers are compared bit-for-bit against the
+// in-memory pipeline, sequentially and through the batched runtime.
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <vector>
 
 #include "hdc/core/hdc.hpp"
@@ -33,96 +35,100 @@ double ms_since(clock_type::time_point start) {
 
 int main() {
   constexpr std::size_t kDim = 10'240;
-  constexpr std::size_t kAngles = 256;   // circular grid points
-  constexpr std::size_t kClasses = 8;    // 45-degree sectors
+  constexpr std::size_t kChannels = 6;   // angular feature channels
+  constexpr std::size_t kLevels = 64;    // circular grid points per channel
+  constexpr std::size_t kClasses = 8;    // 45-degree sectors of channel 0
   constexpr double kPeriod = 360.0;
-  std::puts("== Snapshot serving: mmap cold-start vs stream deserialization ==\n");
+  std::puts("== Snapshot serving: one-file pipeline cold-start ==\n");
 
-  // --- Trainer: circular basis + sector classifier, published as one file.
-  hdc::CircularBasisConfig config;
-  config.dimension = kDim;
-  config.size = kAngles;
-  config.r = 0.05;
-  config.seed = 42;
-  const hdc::Basis basis = hdc::make_circular_basis(config);
-  const auto encoder =
-      std::make_shared<hdc::CircularScalarEncoder>(basis, kPeriod);
+  // --- Trainer: the full encode->predict pipeline.
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = kDim;
+  values_config.size = kLevels;
+  values_config.r = 0.05;
+  values_config.seed = 42;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), kPeriod);
+  const hdc::KeyValueEncoder encoder(kChannels, values, 43);
 
   hdc::CentroidClassifier classifier(kClasses, kDim, 7);
-  for (std::size_t i = 0; i < kAngles; ++i) {
-    const double angle = kPeriod * static_cast<double>(i) /
-                         static_cast<double>(kAngles);
-    const auto sector = static_cast<std::size_t>(angle / (kPeriod / kClasses));
-    classifier.add_sample(sector, encoder->encode(angle));
+  hdc::Rng rng(8);
+  constexpr std::size_t kTrainSamples = 512;
+  for (std::size_t i = 0; i < kTrainSamples; ++i) {
+    std::vector<double> angles(kChannels);
+    angles[0] = kPeriod * static_cast<double>(i) /
+                static_cast<double>(kTrainSamples);
+    for (std::size_t c = 1; c < kChannels; ++c) {
+      angles[c] = angles[0] + rng.uniform(-30.0, 30.0);
+    }
+    const auto sector =
+        static_cast<std::size_t>(angles[0] / (kPeriod / kClasses));
+    classifier.add_sample(sector, encoder.encode(angles));
   }
   classifier.finalize();
 
   const auto dir = std::filesystem::temp_directory_path();
   const std::string snap_path = (dir / "snapshot_serving.hdcs").string();
-  const std::string stream_path = (dir / "snapshot_serving.hdc").string();
   {
     hdc::io::SnapshotWriter writer;
-    writer.add_basis(basis);
-    writer.add_classifier(classifier);
+    writer.add_pipeline(encoder, classifier);
     writer.write_file(snap_path);
-    std::ofstream out(stream_path, std::ios::binary);
-    hdc::write_basis(out, basis);
-    hdc::write_classifier(out, classifier);
   }
-  std::printf("published artifact: %s (%ju bytes)\n\n", snap_path.c_str(),
+  std::printf("published artifact: %s (%ju bytes, encoder + model)\n\n",
+              snap_path.c_str(),
               static_cast<std::uintmax_t>(
                   std::filesystem::file_size(snap_path)));
 
-  // --- Replica A: classic stream deserialization (copies every payload).
-  auto start = clock_type::now();
-  std::ifstream stream_in(stream_path, std::ios::binary);
-  const hdc::Basis stream_basis = hdc::read_basis(stream_in);
-  const hdc::CentroidClassifier stream_model =
-      hdc::read_classifier(stream_in);
-  const double stream_ms = ms_since(start);
-
-  // --- Replica B: mmap the snapshot; models borrow the mapping.
-  start = clock_type::now();
+  // --- Replica: one open + one restore and it is serving.
+  const auto start = clock_type::now();
   const auto snapshot = hdc::io::MappedSnapshot::open(
       snap_path, hdc::io::SnapshotIntegrity::Trust);
-  const hdc::Basis mapped_basis = snapshot.basis(0);
-  const hdc::CentroidClassifier mapped_model = snapshot.classifier(1);
-  const double mmap_ms = ms_since(start);
-
-  std::printf("stream cold-start : %8.3f ms (heap resident: %zu bytes)\n",
-              stream_ms,
-              stream_basis.resident_bytes());
-  std::printf("mmap cold-start   : %8.3f ms (heap resident: %zu bytes, "
+  const hdc::io::Pipeline pipeline = hdc::io::Pipeline::restore(snapshot);
+  const double cold_start_ms = ms_since(start);
+  std::printf("pipeline cold-start: %8.3f ms (kind=%s, features=%zu, d=%zu, "
               "zero_copy=%s)\n\n",
-              mmap_ms, mapped_basis.resident_bytes(),
+              cold_start_ms, hdc::io::to_string(pipeline.kind()),
+              pipeline.num_features(), pipeline.dimension(),
               snapshot.zero_copy() ? "yes" : "no");
 
-  // --- Serve a query batch through both replicas; answers must agree.
-  const hdc::CircularScalarEncoder mapped_encoder(mapped_basis, kPeriod);
-  const hdc::CircularScalarEncoder stream_encoder(stream_basis, kPeriod);
-  std::size_t agreements = 0;
+  // --- Serve a query batch; answers must match the trainer bit for bit.
   constexpr std::size_t kQueries = 1'000;
+  std::vector<std::vector<double>> queries;
+  queries.reserve(kQueries);
   for (std::size_t q = 0; q < kQueries; ++q) {
-    const double angle =
+    std::vector<double> angles(kChannels);
+    angles[0] =
         kPeriod * static_cast<double>(q) / static_cast<double>(kQueries);
-    const std::size_t mapped_prediction =
-        mapped_model.predict(mapped_encoder.encode(angle));
-    const std::size_t stream_prediction =
-        stream_model.predict(stream_encoder.encode(angle));
-    agreements += (mapped_prediction == stream_prediction) ? 1 : 0;
+    for (std::size_t c = 1; c < kChannels; ++c) {
+      angles[c] = angles[0] + rng.uniform(-30.0, 30.0);
+    }
+    queries.push_back(std::move(angles));
   }
-  std::printf("served %zu queries; mapped == stream predictions: %zu/%zu\n",
+  std::size_t agreements = 0;
+  std::vector<std::size_t> served(kQueries);
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    served[q] = pipeline.classify(queries[q]);
+    const std::size_t trained =
+        classifier.predict(encoder.encode(queries[q]));
+    agreements += (served[q] == trained) ? 1 : 0;
+  }
+  std::printf("served %zu queries; pipeline == in-memory predictions: "
+              "%zu/%zu\n",
               kQueries, agreements, kQueries);
 
-  // --- The batch runtime can also borrow a section as a read-only arena.
-  const auto arena = hdc::runtime::VectorArena::borrow(
-      kDim, kAngles, snapshot.section_words(0));
-  const std::size_t cleanup = mapped_basis.nearest(arena.view(17));
-  std::printf("borrowed arena: %zu slots, owns_storage=%s, "
-              "nearest(slot 17) = %zu\n",
-              arena.size(), arena.owns_storage() ? "yes" : "no", cleanup);
+  // --- The same pipeline fanned out over the batched runtime.
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>();
+  const auto batch_start = clock_type::now();
+  const auto arena = pipeline.batch_encoder(pool).encode(queries);
+  const auto batched = pipeline.batch_classifier(pool).predict(arena);
+  const double batch_ms = ms_since(batch_start);
+  std::size_t batch_agreements = 0;
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    batch_agreements += (batched[q] == served[q]) ? 1 : 0;
+  }
+  std::printf("batched runtime (%zu threads): %zu/%zu identical in %.2f ms\n",
+              pool->size(), batch_agreements, kQueries, batch_ms);
 
   std::filesystem::remove(snap_path);
-  std::filesystem::remove(stream_path);
-  return agreements == kQueries ? 0 : 1;
+  return (agreements == kQueries && batch_agreements == kQueries) ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "hdc/core/feature_encoder.hpp"
 
+#include <utility>
+
 #include "hdc/base/require.hpp"
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/basis_random.hpp"
@@ -25,9 +27,26 @@ Basis make_keys(std::size_t num_features, const ScalarEncoderPtr& values,
 
 KeyValueEncoder::KeyValueEncoder(std::size_t num_features,
                                  ScalarEncoderPtr values, std::uint64_t seed)
-    : keys_(make_keys(num_features, values, seed)), values_(std::move(values)) {
+    : keys_(make_keys(num_features, values, seed)),
+      values_(std::move(values)),
+      seed_(seed) {
   Rng rng(derive_seed(seed, 0x7EBCULL));
   tie_breaker_ = Hypervector::random(dimension(), rng);
+}
+
+KeyValueEncoder::KeyValueEncoder(Basis keys, ScalarEncoderPtr values,
+                                 Hypervector tie_breaker, std::uint64_t seed)
+    : keys_(std::move(keys)),
+      values_(std::move(values)),
+      tie_breaker_(std::move(tie_breaker)),
+      seed_(seed) {
+  require(values_ != nullptr, "KeyValueEncoder",
+          "values encoder must not be null");
+  require_positive(keys_.size(), "KeyValueEncoder", "num_features");
+  require(keys_.dimension() == values_->dimension() &&
+              keys_.dimension() == tie_breaker_.dimension(),
+          "KeyValueEncoder",
+          "key, value and tie-breaker dimensions must agree");
 }
 
 Hypervector KeyValueEncoder::encode(std::span<const double> features) const {

@@ -28,6 +28,16 @@ class KeyValueEncoder {
   KeyValueEncoder(std::size_t num_features, ScalarEncoderPtr values,
                   std::uint64_t seed);
 
+  /// Restores an encoder from its serialized state (the hdc::io snapshot
+  /// path): the key basis, the shared value encoder and the bundling
+  /// tie-breaker are adopted as-is, so a restored encoder is bit-identical
+  /// to the one that was written — including over borrowed (mmap-backed)
+  /// basis storage.  \p seed is provenance only (the adopted state already
+  /// encodes it).  \throws std::invalid_argument if values is null, keys is
+  /// empty, or the key/value/tie-breaker dimensions disagree.
+  KeyValueEncoder(Basis keys, ScalarEncoderPtr values, Hypervector tie_breaker,
+                  std::uint64_t seed);
+
   /// Encodes one feature vector. \throws std::invalid_argument if
   /// features.size() != num_features().
   [[nodiscard]] Hypervector encode(std::span<const double> features) const;
@@ -42,11 +52,23 @@ class KeyValueEncoder {
   [[nodiscard]] const ScalarEncoder& values() const noexcept {
     return *values_;
   }
+  /// The shared handle behind values(), for serializers that persist it.
+  [[nodiscard]] const ScalarEncoderPtr& values_ptr() const noexcept {
+    return values_;
+  }
+  /// The bundling tie-breaker; part of the encoder's serialized state
+  /// because encode() is only bit-reproducible with it.
+  [[nodiscard]] const Hypervector& tie_breaker() const noexcept {
+    return tie_breaker_;
+  }
+  /// The seed this encoder was created from (provenance).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
  private:
   Basis keys_;
   ScalarEncoderPtr values_;
   Hypervector tie_breaker_;
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace hdc

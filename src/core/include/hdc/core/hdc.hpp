@@ -17,6 +17,7 @@
 #include "hdc/core/feature_encoder.hpp"  // IWYU pragma: export
 #include "hdc/core/hypervector.hpp"      // IWYU pragma: export
 #include "hdc/core/item_memory.hpp"      // IWYU pragma: export
+#include "hdc/core/multiscale_encoder.hpp"  // IWYU pragma: export
 #include "hdc/core/ops.hpp"              // IWYU pragma: export
 #include "hdc/core/regressor.hpp"        // IWYU pragma: export
 #include "hdc/core/scalar_encoder.hpp"   // IWYU pragma: export

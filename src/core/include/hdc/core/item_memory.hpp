@@ -40,6 +40,9 @@ class ItemMemory {
 
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
   [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  /// The seed every symbol vector is derived from; together with the
+  /// dimension it is the memory's whole serializable configuration.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Returns the hypervector for \p symbol, creating (and remembering) it on
   /// first use.  The vector depends only on (seed, symbol), never on

@@ -37,6 +37,9 @@ class SequenceEncoder {
   [[nodiscard]] std::size_t dimension() const noexcept {
     return items_.dimension();
   }
+  /// The seed this encoder was created from; (dimension, seed) reconstructs
+  /// it bit-exactly, which is all a snapshot section needs to store.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return items_.seed(); }
   [[nodiscard]] ItemMemory& items() noexcept { return items_; }
   [[nodiscard]] const ItemMemory& items() const noexcept { return items_; }
 
@@ -60,6 +63,9 @@ class NGramEncoder {
   [[nodiscard]] std::size_t dimension() const noexcept {
     return items_.dimension();
   }
+  /// The seed this encoder was created from; (dimension, n, seed)
+  /// reconstructs it bit-exactly.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return items_.seed(); }
 
  private:
   ItemMemory items_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "hdc/base/require.hpp"
 #include "hdc/core/bitops.hpp"
@@ -10,7 +11,7 @@ namespace hdc {
 
 namespace {
 
-std::vector<Basis> make_scale_bases(
+std::vector<std::size_t> sorted_scales(
     const MultiScaleCircularEncoder::Config& config) {
   require_positive(config.dimension, "MultiScaleCircularEncoder", "dimension");
   require(!config.scales.empty(), "MultiScaleCircularEncoder",
@@ -23,7 +24,12 @@ std::vector<Basis> make_scale_bases(
   for (const std::size_t m : scales) {
     require(m >= 2, "MultiScaleCircularEncoder", "every scale must be >= 2");
   }
+  return scales;
+}
 
+std::vector<Basis> make_scale_bases(
+    const MultiScaleCircularEncoder::Config& config,
+    const std::vector<std::size_t>& scales) {
   std::vector<Basis> bases;
   bases.reserve(scales.size());
   for (std::size_t s = 0; s < scales.size(); ++s) {
@@ -39,14 +45,17 @@ std::vector<Basis> make_scale_bases(
 }  // namespace
 
 MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
-    : bases_(make_scale_bases(config)), period_(config.period) {
+    : scales_(sorted_scales(config)),
+      period_(config.period),
+      seed_(config.seed) {
+  bases_ = make_scale_bases(config, scales_);
   // Pack every bound vector straight into the arena up front: encode() and
   // decode() then only read immutable state, which is what makes concurrent
   // use safe.  Each scale quantizes the same representative angle onto its
   // own ring.
   const std::size_t m_fine = bases_.back().size();
   words_per_vector_ = bits::words_for(bases_.back().dimension());
-  packed_.assign(m_fine * words_per_vector_, 0ULL);
+  std::vector<std::uint64_t> arena(m_fine * words_per_vector_, 0ULL);
   for (std::size_t index = 0; index < m_fine; ++index) {
     const double theta = value_of(index);
     Hypervector bound(bases_.back()[index]);
@@ -58,9 +67,56 @@ MultiScaleCircularEncoder::MultiScaleCircularEncoder(const Config& config)
                           basis.size();
       bound ^= basis[coarse];
     }
-    pack_row(bound, packed_, words_per_vector_, index);
+    pack_row(bound, arena, words_per_vector_, index);
+  }
+  packed_ = WordStorage(std::move(arena));
+}
+
+MultiScaleCircularEncoder::MultiScaleCircularEncoder(
+    Basis finest, std::vector<std::size_t> scales, double period,
+    std::uint64_t seed, WordStorage bound_arena)
+    : scales_(std::move(scales)),
+      period_(period),
+      seed_(seed),
+      packed_(std::move(bound_arena)) {
+  require(!scales_.empty(), "MultiScaleCircularEncoder",
+          "need at least one scale");
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    require(scales_[s] >= 2 && (s == 0 || scales_[s] > scales_[s - 1]),
+            "MultiScaleCircularEncoder",
+            "restored scales must be >= 2 and strictly increasing");
+  }
+  require(std::isfinite(period_) && period_ > 0.0,
+          "MultiScaleCircularEncoder", "period must be positive");
+  require(finest.size() == scales_.back(), "MultiScaleCircularEncoder",
+          "finest basis size must equal the finest scale");
+  words_per_vector_ = bits::words_for(finest.dimension());
+  require(packed_.size() == finest.size() * words_per_vector_,
+          "MultiScaleCircularEncoder",
+          "bound arena word count disagrees with the finest scale");
+  bases_.push_back(std::move(finest));
+}
+
+MultiScaleCircularEncoder::MultiScaleCircularEncoder(
+    Basis finest, std::vector<std::size_t> scales, double period,
+    std::uint64_t seed, std::span<const std::uint64_t> bound_arena, borrow_t)
+    : MultiScaleCircularEncoder(std::move(finest), std::move(scales), period,
+                                seed, WordStorage(bound_arena, borrowed)) {
+  const std::uint64_t tail = bits::tail_mask(bases_.back().dimension());
+  const auto words = packed_.words();
+  for (std::size_t row = 0; row < scales_.back(); ++row) {
+    require((words[(row + 1) * words_per_vector_ - 1] & ~tail) == 0,
+            "MultiScaleCircularEncoder",
+            "bound arena rows must keep tail bits zero");
   }
 }
+
+MultiScaleCircularEncoder::MultiScaleCircularEncoder(
+    Basis finest, std::vector<std::size_t> scales, double period,
+    std::uint64_t seed, std::span<const std::uint64_t> bound_arena, borrow_t,
+    unchecked_t)
+    : MultiScaleCircularEncoder(std::move(finest), std::move(scales), period,
+                                seed, WordStorage(bound_arena, borrowed)) {}
 
 std::size_t MultiScaleCircularEncoder::index_of(double value) const {
   const auto m = static_cast<double>(bases_.back().size());
@@ -81,14 +137,14 @@ double MultiScaleCircularEncoder::value_of(std::size_t index) const {
 }
 
 HypervectorView MultiScaleCircularEncoder::encode(double value) const {
-  return row_view(packed_, bases_.back().dimension(), words_per_vector_,
-                  index_of(value));
+  return row_view(packed_.words(), bases_.back().dimension(),
+                  words_per_vector_, index_of(value));
 }
 
 double MultiScaleCircularEncoder::decode(HypervectorView query) const {
   require(query.dimension() == bases_.back().dimension(),
           "MultiScaleCircularEncoder::decode", "query dimension mismatch");
-  return value_of(bits::nearest_hamming(query.words(), packed_,
+  return value_of(bits::nearest_hamming(query.words(), packed_.words(),
                                         words_per_vector_,
                                         bases_.back().size())
                       .index);

@@ -1,5 +1,7 @@
 #include "hdc/io/fixture_models.hpp"
 
+#include <array>
+#include <cmath>
 #include <filesystem>
 #include <memory>
 #include <utility>
@@ -23,6 +25,11 @@ enum : std::uint64_t {
   stream_scatter = 4,
   stream_classifier = 5,
   stream_regressor = 6,
+  stream_pipeline_values = 7,
+  stream_pipeline_keys = 8,
+  stream_pipeline_classifier = 9,
+  stream_pipeline_multiscale = 10,
+  stream_pipeline_regressor = 11,
 };
 
 }  // namespace
@@ -96,11 +103,79 @@ HDRegressor make_regressor(const FixtureSpec& spec) {
   return model;
 }
 
+ClassifierPipeline make_classifier_pipeline(const FixtureSpec& spec) {
+  constexpr std::size_t num_channels = 4;
+  constexpr std::size_t num_classes = 3;
+  constexpr std::size_t samples_per_class = 6;
+  constexpr double period = 360.0;
+
+  CircularBasisConfig values_config;
+  values_config.dimension = spec.dimension;
+  values_config.size = 8;
+  values_config.r = 0.2;
+  values_config.seed = derive_seed(spec.seed, stream_pipeline_values);
+  auto values = std::make_shared<CircularScalarEncoder>(
+      make_circular_basis(values_config), period);
+  KeyValueEncoder encoder(num_channels, values,
+                          derive_seed(spec.seed, stream_pipeline_keys));
+
+  // Each class is a band of channel angles around its own mean direction;
+  // samples straddle the 0/360 wrap for class 0, the regime the circular
+  // values exist for.
+  CentroidClassifier model(num_classes, spec.dimension,
+                           derive_seed(spec.seed, stream_pipeline_classifier));
+  Rng rng(derive_seed(spec.seed, stream_pipeline_classifier));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    const double mean = period * static_cast<double>(c) /
+                        static_cast<double>(num_classes);
+    for (std::size_t s = 0; s < samples_per_class; ++s) {
+      std::array<double, num_channels> angles{};
+      for (double& angle : angles) {
+        angle = mean + rng.uniform(-40.0, 40.0);
+      }
+      model.add_sample(c, encoder.encode(angles));
+    }
+  }
+  model.finalize();
+  return {std::move(encoder), std::move(model)};
+}
+
+RegressorPipeline make_regressor_pipeline(const FixtureSpec& spec) {
+  MultiScaleCircularEncoder::Config encoder_config;
+  encoder_config.dimension = spec.dimension;
+  encoder_config.scales = {4, 8};
+  encoder_config.period = 1.0;
+  encoder_config.seed = derive_seed(spec.seed, stream_pipeline_multiscale);
+  auto encoder =
+      std::make_shared<const MultiScaleCircularEncoder>(encoder_config);
+
+  LevelBasisConfig label_config;
+  label_config.dimension = spec.dimension;
+  label_config.size = 8;
+  label_config.r = 0.0;
+  label_config.seed = derive_seed(spec.seed, stream_pipeline_regressor);
+  auto labels = std::make_shared<LinearScalarEncoder>(
+      make_level_basis(label_config), -1.0, 1.0);
+
+  // A seasonal triangle wave over one period of the circular domain:
+  // continuous across the 0/1 wrap, like the temperature curve it stands for.
+  HDRegressor model(labels, derive_seed(spec.seed, stream_pipeline_regressor));
+  for (std::size_t k = 0; k < 16; ++k) {
+    const double phase = static_cast<double>(k) / 16.0;
+    const double label = 2.0 * std::abs(2.0 * phase - 1.0) - 1.0;
+    model.add_sample(encoder->encode(phase), label);
+  }
+  model.finalize();
+  return {std::move(encoder), std::move(model)};
+}
+
 std::vector<std::string> fixture_names() {
   return {
-      "basis_random.hdcs",   "basis_level.hdcs", "basis_circular.hdcs",
-      "basis_scatter.hdcs",  "classifier.hdcs",  "regressor.hdcs",
-      "combined.hdcs",
+      "basis_random.hdcs",   "basis_level.hdcs",
+      "basis_circular.hdcs", "basis_scatter.hdcs",
+      "classifier.hdcs",     "regressor.hdcs",
+      "combined.hdcs",       "pipeline_classifier.hdcs",
+      "pipeline_regressor.hdcs", "pipeline_combined.hdcs",
   };
 }
 
@@ -117,6 +192,8 @@ std::vector<std::string> write_all(const std::string& dir,
   const Basis scatter = make_basis(BasisKind::Scatter, spec);
   const CentroidClassifier classifier = make_classifier(spec);
   const HDRegressor regressor = make_regressor(spec);
+  const ClassifierPipeline classifier_pipeline = make_classifier_pipeline(spec);
+  const RegressorPipeline regressor_pipeline = make_regressor_pipeline(spec);
 
   std::vector<std::string> written;
   const auto write_one = [&](const std::string& name, const auto& add) {
@@ -143,6 +220,16 @@ std::vector<std::string> write_all(const std::string& dir,
     w.add_basis(scatter);
     w.add_classifier(classifier);
     w.add_regressor(regressor);
+  });
+  write_one("pipeline_classifier.hdcs", [&](SnapshotWriter& w) {
+    w.add_pipeline(classifier_pipeline.encoder, classifier_pipeline.model);
+  });
+  write_one("pipeline_regressor.hdcs", [&](SnapshotWriter& w) {
+    w.add_pipeline(*regressor_pipeline.encoder, regressor_pipeline.model);
+  });
+  write_one("pipeline_combined.hdcs", [&](SnapshotWriter& w) {
+    w.add_pipeline(classifier_pipeline.encoder, classifier_pipeline.model);
+    w.add_pipeline(*regressor_pipeline.encoder, regressor_pipeline.model);
   });
   return written;
 }

@@ -39,7 +39,12 @@ void encode_section_entry(std::span<std::byte> out, std::size_t at,
   store_u64(out, at + 56, record.payload_offset);
   store_u64(out, at + 64, record.payload_bytes);
   store_u64(out, at + 72, record.payload_checksum);
-  // Bytes [at + 80, at + 128) are reserved and stay zero in version 1.
+  store_u64(out, at + 80, record.aux_section_b);
+  // [at + 88, at + 128): the multiscale scale list; zero for every other
+  // section type, which keeps those bytes reserved in practice.
+  for (std::size_t i = 0; i < snapshot_max_scales; ++i) {
+    store_u64(out, at + 88 + 8 * i, record.scales[i]);
+  }
 }
 
 }  // namespace detail
@@ -59,7 +64,7 @@ void require_zero_bytes(std::span<const std::byte> bytes, std::size_t begin,
                         std::size_t end, const char* where) {
   for (std::size_t i = begin; i < end; ++i) {
     if (bytes[i] != std::byte{0}) {
-      fail(std::string(where) + " reserved bytes must be zero in version 1");
+      fail(std::string(where) + " reserved bytes must be zero in version 2");
     }
   }
 }
@@ -81,14 +86,16 @@ SectionRecord decode_section_entry(std::span<const std::byte> table,
   record.payload_offset = load_u64(table, at + 56);
   record.payload_bytes = load_u64(table, at + 64);
   record.payload_checksum = load_u64(table, at + 72);
-  require_zero_bytes(table, at + 80, at + snapshot_entry_bytes,
-                     "section entry");
+  record.aux_section_b = load_u64(table, at + 80);
+  for (std::size_t i = 0; i < snapshot_max_scales; ++i) {
+    record.scales[i] = load_u64(table, at + 88 + 8 * i);
+  }
   return record;
 }
 
 /// Per-entry metadata rules beyond bounds: what combination of fields each
-/// section type may carry in version 1.  Strict on purpose — every field a
-/// v1 reader does not interpret must be zero/sentinel, which keeps the fuzz
+/// section type may carry in version 2.  Strict on purpose — every field a
+/// v2 reader does not interpret must be zero/sentinel, which keeps the fuzz
 /// contract tight (a bit flip either breaks a checksum or breaks a rule
 /// here) and leaves room to assign meanings in later versions.
 void validate_section_metadata(const SectionRecord& record, std::size_t index,
@@ -97,14 +104,63 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
   if (record.dimension == 0 || record.dimension > snapshot_sanity_limit) {
     fail(where + ": implausible dimension");
   }
-  if (record.count == 0 || record.count > snapshot_sanity_limit) {
-    fail(where + ": implausible row count");
+  // Config-only sections (encoder parameters, pipeline wiring) carry their
+  // whole state in the table entry: no payload, count == 0.
+  const bool config_only = record.type == SectionType::ScalarEncoderConfig ||
+                           record.type == SectionType::PipelineHead ||
+                           record.type == SectionType::SequenceEncoderConfig;
+  if (config_only) {
+    if (record.count != 0 || record.payload_bytes != 0) {
+      fail(where + ": config sections carry no payload rows");
+    }
+  } else {
+    if (record.count == 0 || record.count > snapshot_sanity_limit) {
+      fail(where + ": implausible row count");
+    }
+    const std::uint64_t words_per_row = (record.dimension + 63) / 64;
+    if (record.payload_bytes != record.count * words_per_row * 8) {
+      fail(where + ": payload byte count disagrees with dimension and count");
+    }
   }
-  const std::uint64_t words_per_row = (record.dimension + 63) / 64;
-  const std::uint64_t expected_bytes = record.count * words_per_row * 8;
-  if (record.payload_bytes != expected_bytes) {
-    fail(where + ": payload byte count disagrees with dimension and count");
-  }
+  const auto require_zero_scales = [&] {
+    for (const std::uint64_t scale : record.scales) {
+      if (scale != 0) {
+        fail(where + ": scale list on a non-multiscale section");
+      }
+    }
+  };
+  const auto require_no_aux_b = [&] {
+    if (record.aux_section_b != snapshot_no_aux) {
+      fail(where + ": unexpected secondary section reference");
+    }
+  };
+  /// An aux reference must point at an already-validated earlier section of
+  /// the expected type with the same dimension (the "missing or
+  /// mismatched-dimension basis" guard the restore layer relies on).
+  const auto resolve = [&](std::uint64_t aux,
+                           const char* what) -> const SectionRecord& {
+    if (aux >= index) {
+      fail(where + ": " + what + " must reference an earlier section");
+    }
+    const SectionRecord& target = previous[aux];
+    if (target.dimension != record.dimension) {
+      fail(where + ": " + what + " has a mismatched dimension");
+    }
+    return target;
+  };
+  const auto require_scalar_params = [&] {
+    if (record.label_encoder == LabelEncoderKind::Linear) {
+      if (!(record.param_a < record.param_b)) {
+        fail(where + ": linear encoder needs lo < hi");
+      }
+    } else if (record.label_encoder == LabelEncoderKind::Circular) {
+      if (record.param_a != 0.0 || !(record.param_b > 0.0)) {
+        fail(where + ": circular encoder needs period > 0");
+      }
+    } else {
+      fail(where + ": unknown scalar encoder kind");
+    }
+  };
   switch (record.type) {
     case SectionType::BasisArena:
       if (record.kind > 3 || record.method > 1) {
@@ -118,6 +174,8 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
           record.aux_section != snapshot_no_aux) {
         fail(where + ": basis sections carry no encoder or aux fields");
       }
+      require_no_aux_b();
+      require_zero_scales();
       break;
     case SectionType::ClassifierClassVectors:
       if (record.kind != 0 || record.method != 0 || record.seed != 0 ||
@@ -126,6 +184,8 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
           record.aux_section != snapshot_no_aux) {
         fail(where + ": classifier sections carry no basis or encoder fields");
       }
+      require_no_aux_b();
+      require_zero_scales();
       break;
     case SectionType::RegressorModel: {
       if (record.count != 1) {
@@ -134,27 +194,124 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
       if (record.kind != 0 || record.method != 0 || record.seed != 0) {
         fail(where + ": regressor sections carry no basis fields");
       }
-      if (record.aux_section >= index) {
-        fail(where + ": label-basis section must precede the model");
-      }
-      const SectionRecord& labels = previous[record.aux_section];
-      if (labels.type != SectionType::BasisArena ||
-          labels.dimension != record.dimension || labels.count < 2) {
+      const SectionRecord& labels = resolve(record.aux_section, "label basis");
+      if (labels.type != SectionType::BasisArena || labels.count < 2) {
         fail(where + ": aux section is not a compatible label basis");
       }
-      if (record.label_encoder == LabelEncoderKind::Linear) {
-        if (!(record.param_a < record.param_b)) {
-          fail(where + ": linear label encoder needs lo < hi");
-        }
-      } else if (record.label_encoder == LabelEncoderKind::Circular) {
-        if (record.param_a != 0.0 || !(record.param_b > 0.0)) {
-          fail(where + ": circular label encoder needs period > 0");
-        }
-      } else {
-        fail(where + ": unknown label encoder kind");
-      }
+      require_scalar_params();
+      require_no_aux_b();
+      require_zero_scales();
       break;
     }
+    case SectionType::ScalarEncoderConfig: {
+      if (record.kind != 0 || record.method != 0 || record.seed != 0) {
+        fail(where + ": scalar encoder sections carry no basis fields");
+      }
+      const SectionRecord& basis = resolve(record.aux_section, "encoder basis");
+      if (basis.type != SectionType::BasisArena || basis.count < 2) {
+        fail(where + ": aux section is not a compatible encoder basis");
+      }
+      require_scalar_params();
+      require_no_aux_b();
+      require_zero_scales();
+      break;
+    }
+    case SectionType::MultiScaleEncoderConfig: {
+      if (record.method != 0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0) {
+        fail(where + ": unexpected fields on a multiscale encoder section");
+      }
+      if (!(record.param_b > 0.0)) {
+        fail(where + ": multiscale encoder needs period > 0");
+      }
+      if (record.count < 2) {
+        fail(where + ": multiscale encoder needs at least two grid points");
+      }
+      const std::size_t num_scales = record.kind;
+      if (num_scales == 0 || num_scales > snapshot_max_scales) {
+        fail(where + ": scale count out of [1, " +
+             std::to_string(snapshot_max_scales) + "]");
+      }
+      for (std::size_t s = 0; s < snapshot_max_scales; ++s) {
+        if (s >= num_scales) {
+          if (record.scales[s] != 0) {
+            fail(where + ": trailing scale slots must be zero");
+          }
+        } else if (record.scales[s] < 2 ||
+                   (s > 0 && record.scales[s] <= record.scales[s - 1])) {
+          fail(where + ": scales must be >= 2 and strictly increasing");
+        }
+      }
+      if (record.scales[num_scales - 1] != record.count) {
+        fail(where + ": finest scale must equal the bound-arena row count");
+      }
+      const SectionRecord& finest = resolve(record.aux_section, "finest basis");
+      if (finest.type != SectionType::BasisArena ||
+          finest.count != record.count) {
+        fail(where + ": aux section is not the finest-scale basis");
+      }
+      require_no_aux_b();
+      break;
+    }
+    case SectionType::FeatureEncoderConfig: {
+      if (record.count != 1) {
+        fail(where + ": feature encoder payload is one tie-breaker row");
+      }
+      if (record.kind != 0 || record.method != 0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0 || record.param_b != 0.0) {
+        fail(where + ": unexpected fields on a feature encoder section");
+      }
+      const SectionRecord& keys = resolve(record.aux_section, "key basis");
+      if (keys.type != SectionType::BasisArena) {
+        fail(where + ": aux section is not a key basis");
+      }
+      const SectionRecord& values =
+          resolve(record.aux_section_b, "value encoder");
+      if (values.type != SectionType::ScalarEncoderConfig &&
+          values.type != SectionType::MultiScaleEncoderConfig) {
+        fail(where + ": secondary aux section is not a value encoder");
+      }
+      require_zero_scales();
+      break;
+    }
+    case SectionType::PipelineHead: {
+      if (record.kind != 0 || record.method != 0 || record.seed != 0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0 || record.param_b != 0.0) {
+        fail(where + ": unexpected fields on a pipeline head");
+      }
+      const SectionRecord& encoder =
+          resolve(record.aux_section, "pipeline encoder");
+      if (encoder.type != SectionType::ScalarEncoderConfig &&
+          encoder.type != SectionType::MultiScaleEncoderConfig &&
+          encoder.type != SectionType::FeatureEncoderConfig) {
+        fail(where + ": aux section is not a pipeline encoder");
+      }
+      const SectionRecord& model =
+          resolve(record.aux_section_b, "pipeline model");
+      if (model.type != SectionType::ClassifierClassVectors &&
+          model.type != SectionType::RegressorModel) {
+        fail(where + ": secondary aux section is not a pipeline model");
+      }
+      require_zero_scales();
+      break;
+    }
+    case SectionType::SequenceEncoderConfig:
+      if (record.kind > 1 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0 || record.param_b != 0.0 ||
+          record.aux_section != snapshot_no_aux) {
+        fail(where + ": unexpected fields on a sequence encoder section");
+      }
+      // `method` carries n for n-gram encoders and must be zero otherwise.
+      if (record.kind == 1 ? record.method == 0 : record.method != 0) {
+        fail(where + ": n-gram sections need n >= 1, sequence sections n == 0");
+      }
+      require_no_aux_b();
+      require_zero_scales();
+      break;
     default:
       fail(where + ": unknown section type");
   }
@@ -183,7 +340,7 @@ SnapshotLayout parse_snapshot_layout(std::span<const std::byte> file) {
   }
   if (load_u32(file, 8) != snapshot_header_bytes ||
       load_u32(file, 12) != snapshot_entry_bytes) {
-    fail("header or section-entry size disagrees with version 1");
+    fail("header or section-entry size disagrees with version 2");
   }
   const std::uint32_t section_count = load_u32(file, 16);
   const std::uint32_t alignment = load_u32(file, 20);

@@ -17,11 +17,14 @@
 /// document the change in docs/snapshot_format.md.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "hdc/core/basis.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/regressor.hpp"
 
 namespace hdc::io::fixtures {
@@ -45,9 +48,30 @@ struct FixtureSpec {
 /// 8-point level basis.
 [[nodiscard]] HDRegressor make_regressor(const FixtureSpec& spec = {});
 
+/// A complete feature-encoder classification pipeline in the JIGSAWS shape:
+/// 4 angular channels encoded as ⊕_i K_i ⊗ V(x_i) with circular-basis
+/// values, plus a 3-class centroid model trained on seeded samples.
+struct ClassifierPipeline {
+  KeyValueEncoder encoder;
+  CentroidClassifier model;
+};
+[[nodiscard]] ClassifierPipeline make_classifier_pipeline(
+    const FixtureSpec& spec = {});
+
+/// A complete multiscale-circular regression pipeline in the Beijing shape:
+/// one periodic feature encoded at scales {4, 8} over period 1, plus a
+/// regressor over a linear label encoder trained on a seeded seasonal curve.
+struct RegressorPipeline {
+  std::shared_ptr<const MultiScaleCircularEncoder> encoder;
+  HDRegressor model;
+};
+[[nodiscard]] RegressorPipeline make_regressor_pipeline(
+    const FixtureSpec& spec = {});
+
 /// File names of the canonical fixture set, in generation order: one
-/// single-section snapshot per basis kind, a classifier, a regressor, and
-/// one combined multi-section snapshot.
+/// single-section snapshot per basis kind, a classifier, a regressor, one
+/// combined multi-section snapshot, and the three pipeline snapshots
+/// (classifier pipeline, regressor pipeline, both in one file).
 [[nodiscard]] std::vector<std::string> fixture_names();
 
 /// Writes the canonical fixture snapshots into \p dir (created if missing)

@@ -48,7 +48,10 @@ class SnapshotError : public std::runtime_error {
 };
 
 inline constexpr std::array<char, 4> snapshot_magic = {'H', 'D', 'C', 'S'};
-inline constexpr std::uint16_t snapshot_version = 1;
+/// Version 2 added the encoder/pipeline section types (4..8), the second
+/// aux-reference field and the multiscale scale list; see
+/// docs/snapshot_format.md for the migration notes.
+inline constexpr std::uint16_t snapshot_version = 2;
 /// 'E','L' on disk; a reader decoding the header little-endian sees 0x4C45.
 inline constexpr std::uint16_t snapshot_endian_marker = 0x4C45;
 inline constexpr std::size_t snapshot_header_bytes = 64;
@@ -65,6 +68,9 @@ inline constexpr std::uint64_t snapshot_no_aux = ~std::uint64_t{0};
 inline constexpr std::uint64_t snapshot_sanity_limit = 1ULL << 28;
 /// Hard cap on the section count (the table alone would be 128 MiB here).
 inline constexpr std::uint64_t snapshot_max_sections = 1ULL << 20;
+/// Most scales a MultiScaleEncoderConfig section can record: the scale list
+/// lives in the fixed-size section entry (offsets [88, 128)).
+inline constexpr std::size_t snapshot_max_scales = 5;
 
 /// What a payload section holds.
 enum class SectionType : std::uint16_t {
@@ -77,9 +83,32 @@ enum class SectionType : std::uint16_t {
   /// A finalized regressor's quantized model hypervector (count == 1);
   /// `aux_section` indexes the label-basis section written alongside.
   RegressorModel = 3,
+  /// A LinearScalarEncoder / CircularScalarEncoder configuration (no
+  /// payload); `aux_section` indexes its basis, `label_encoder` carries the
+  /// encoder family and param_a/param_b its lo/hi or period.
+  ScalarEncoderConfig = 4,
+  /// A MultiScaleCircularEncoder: the payload is the bound-vector arena
+  /// (`count` rows, one per finest-grid index), `aux_section` indexes the
+  /// finest-scale circular basis, `kind` is the number of bound scales and
+  /// `scales` lists their ring sizes coarse -> fine.
+  MultiScaleEncoderConfig = 5,
+  /// A KeyValueEncoder: the payload is its bundling tie-breaker (count ==
+  /// 1), `aux_section` indexes the key basis and `aux_section_b` the value
+  /// encoder's config section (ScalarEncoderConfig or
+  /// MultiScaleEncoderConfig).
+  FeatureEncoderConfig = 6,
+  /// A complete encode->predict pipeline (no payload): `aux_section`
+  /// indexes the encoder config section, `aux_section_b` the model section
+  /// (ClassifierClassVectors or RegressorModel).
+  PipelineHead = 7,
+  /// A SequenceEncoder / NGramEncoder configuration (no payload): both are
+  /// fully determined by (dimension, seed[, n]); `kind` is 0 for sequence,
+  /// 1 for n-gram, and `method` carries n for n-gram sections.
+  SequenceEncoderConfig = 8,
 };
 
-/// Label-encoder family of a RegressorModel section.
+/// Scalar-encoder family: the label encoder of a RegressorModel section and
+/// the encoder family of a ScalarEncoderConfig section.
 enum class LabelEncoderKind : std::uint16_t {
   None = 0,
   /// LinearScalarEncoder over [param_a, param_b].
@@ -103,6 +132,12 @@ struct SectionRecord {
   std::uint64_t payload_offset = 0;
   std::uint64_t payload_bytes = 0;
   std::uint64_t payload_checksum = 0;
+  /// Second section reference (version 2): the value-encoder section of a
+  /// FeatureEncoderConfig, or the model section of a PipelineHead.
+  std::uint64_t aux_section_b = snapshot_no_aux;
+  /// Ring sizes of a MultiScaleEncoderConfig's bound scales, coarse -> fine
+  /// in the first `kind` slots; all-zero for every other section type.
+  std::array<std::uint64_t, snapshot_max_scales> scales{};
 };
 
 /// A structurally validated snapshot image: header fields + section table.

@@ -1,0 +1,125 @@
+#ifndef HDC_IO_PIPELINE_HPP
+#define HDC_IO_PIPELINE_HPP
+
+/// \file pipeline.hpp
+/// \brief One-file cold-start: restore a complete encode->predict pipeline.
+///
+/// PR 3's snapshots restored bases, classifiers and regressors, but a
+/// serving replica still had to reconstruct the *encoding* side (which
+/// feature encoder, which scale set, which r) out of band.  A PipelineHead
+/// section closes that gap: `SnapshotWriter::add_pipeline` writes encoder
+/// configuration and model into one artifact, and `Pipeline::restore` hands
+/// back a ready-to-serve object — features in, prediction out — from a
+/// single `MappedSnapshot` (borrowed, zero-copy storage end to end,
+/// `SnapshotIntegrity::Trust` fast path included) or from `load_snapshot`.
+///
+/// A restored Pipeline borrows its basis arenas from the snapshot and must
+/// not outlive it.  All prediction paths are const and safe to call
+/// concurrently; the `batch_*` bridges fan a pipeline out over the
+/// hdc::runtime thread pool.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/hypervector.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+#include "hdc/io/snapshot.hpp"
+#include "hdc/runtime/batch_classifier.hpp"
+#include "hdc/runtime/batch_encoder.hpp"
+#include "hdc/runtime/batch_regressor.hpp"
+
+namespace hdc::io {
+
+/// What a restored pipeline predicts.
+enum class PipelineKind : std::uint8_t {
+  Classifier = 0,
+  Regressor = 1,
+};
+
+/// Human-readable kind name ("classifier" / "regressor").
+[[nodiscard]] const char* to_string(PipelineKind kind) noexcept;
+
+/// A ready-to-serve encode->predict pipeline restored from a snapshot.
+///
+/// Copyable (copies share the immutable encoder/model state); every model
+/// and basis inside may borrow the snapshot mapping, so the pipeline — and
+/// anything built from it — is valid only while the snapshot stays open.
+class Pipeline {
+ public:
+  /// Restores the snapshot's single pipeline.  \throws SnapshotError if the
+  /// snapshot holds no PipelineHead section or more than one (pass the
+  /// explicit head index then).
+  [[nodiscard]] static Pipeline restore(const MappedSnapshot& snapshot);
+
+  /// Restores the pipeline rooted at head section \p head_index.
+  /// \throws SnapshotError if the section is not a PipelineHead or any
+  /// referenced section fails its checksum; std::out_of_range if out of
+  /// range.
+  [[nodiscard]] static Pipeline restore(const MappedSnapshot& snapshot,
+                                        std::size_t head_index);
+
+  [[nodiscard]] PipelineKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
+
+  /// Features per sample: the key count of a feature-encoder pipeline, 1
+  /// for a scalar-encoder pipeline.
+  [[nodiscard]] std::size_t num_features() const noexcept;
+
+  /// Encodes one feature row exactly as the written pipeline did.
+  /// \throws std::invalid_argument if features.size() != num_features().
+  [[nodiscard]] Hypervector encode(std::span<const double> features) const;
+
+  /// encode() + nearest-class prediction.  \throws std::logic_error on a
+  /// regressor pipeline; std::invalid_argument as encode().
+  [[nodiscard]] std::size_t classify(std::span<const double> features) const;
+
+  /// encode() + paper-faithful regression readout.  \throws
+  /// std::logic_error on a classifier pipeline; std::invalid_argument as
+  /// encode().
+  [[nodiscard]] double regress(std::span<const double> features) const;
+
+  /// The restored model.  \throws std::logic_error when the pipeline is not
+  /// of that kind — query kind() first.
+  [[nodiscard]] const CentroidClassifier& classifier() const;
+  [[nodiscard]] const HDRegressor& regressor() const;
+
+  /// The restored encoder: exactly one of these is non-null.
+  [[nodiscard]] const KeyValueEncoder* feature_encoder() const noexcept {
+    return features_.get();
+  }
+  [[nodiscard]] const ScalarEncoder* scalar_encoder() const noexcept {
+    return scalar_.get();
+  }
+
+  /// hdc::runtime bridges: a BatchEncoder wrapping this pipeline's encode()
+  /// and Batch{Classifier,Regressor} engines adopting (a shallow copy of)
+  /// the restored model.  The encoder lambda shares the pipeline's encoder
+  /// state, so the engines outlive this Pipeline object — but never the
+  /// snapshot it borrows from.  \throws std::invalid_argument if pool is
+  /// null; std::logic_error on a kind mismatch.
+  [[nodiscard]] runtime::BatchEncoder batch_encoder(
+      runtime::ThreadPoolPtr pool) const;
+  [[nodiscard]] runtime::BatchClassifier batch_classifier(
+      runtime::ThreadPoolPtr pool) const;
+  [[nodiscard]] runtime::BatchRegressor batch_regressor(
+      runtime::ThreadPoolPtr pool) const;
+
+ private:
+  Pipeline() = default;
+
+  PipelineKind kind_ = PipelineKind::Classifier;
+  std::size_t dimension_ = 0;
+  /// Exactly one encoder and one model slot is set, per kind_.
+  std::shared_ptr<const KeyValueEncoder> features_;
+  ScalarEncoderPtr scalar_;
+  std::shared_ptr<const CentroidClassifier> classifier_;
+  std::shared_ptr<const HDRegressor> regressor_;
+};
+
+}  // namespace hdc::io
+
+#endif  // HDC_IO_PIPELINE_HPP

@@ -8,8 +8,9 @@
 ///
 ///  * `SnapshotWriter` streams finalized models — `Basis` arenas,
 ///    `CentroidClassifier` class-vectors, `HDRegressor` models with their
-///    label bases — into one snapshot file whose payload bytes are the
-///    runtime arena layout.
+///    label bases, encoder configurations, and whole encode->predict
+///    pipelines (`add_pipeline`; restored by `hdc::io::Pipeline`) — into one
+///    snapshot file whose payload bytes are the runtime arena layout.
 ///  * `MappedSnapshot` maps a snapshot read-only (POSIX mmap; a transparent
 ///    heap fallback elsewhere) and hands out models whose storage is a
 ///    borrowed span straight over the mapping: zero payload copies, so
@@ -37,7 +38,11 @@
 
 #include "hdc/core/basis.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/regressor.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+#include "hdc/core/sequence_encoder.hpp"
 #include "hdc/io/format.hpp"
 
 namespace hdc::io {
@@ -70,6 +75,42 @@ class SnapshotWriter {
   /// CircularScalarEncoder.
   std::size_t add_regressor(const HDRegressor& model);
 
+  /// Adds a scalar encoder and returns the index of its *config* section.
+  /// A LinearScalarEncoder / CircularScalarEncoder becomes its basis
+  /// section plus a payload-less ScalarEncoderConfig; a
+  /// MultiScaleCircularEncoder becomes its finest-scale basis plus a
+  /// MultiScaleEncoderConfig whose payload is the bound-vector arena.
+  /// \throws SnapshotError on any other encoder type, or on a multiscale
+  /// encoder with duplicate scales or more than `snapshot_max_scales`.
+  std::size_t add_scalar_encoder(const ScalarEncoder& encoder);
+
+  /// Adds a KeyValueEncoder — its value encoder (as add_scalar_encoder),
+  /// its key basis, then a FeatureEncoderConfig whose payload is the
+  /// bundling tie-breaker — and returns the index of the config section.
+  /// \throws SnapshotError as add_scalar_encoder.
+  std::size_t add_feature_encoder(const KeyValueEncoder& encoder);
+
+  /// Adds a sequence / n-gram encoder as one payload-less config section
+  /// (both are fully determined by dimension, seed and n) and returns its
+  /// index.  \throws SnapshotError if an n-gram n exceeds 65535.
+  std::size_t add_sequence_encoder(const SequenceEncoder& encoder);
+  std::size_t add_sequence_encoder(const NGramEncoder& encoder);
+
+  /// Adds a complete encode->predict pipeline — the encoder's sections, the
+  /// model's sections, and a PipelineHead tying them together — in one
+  /// call, and returns the index of the head section.  The restored
+  /// counterpart is `Pipeline::restore` (hdc/io/pipeline.hpp).
+  /// \throws SnapshotError if the encoder and model dimensions disagree, or
+  /// as the underlying add_* calls.
+  std::size_t add_pipeline(const ScalarEncoder& encoder,
+                           const CentroidClassifier& model);
+  std::size_t add_pipeline(const ScalarEncoder& encoder,
+                           const HDRegressor& model);
+  std::size_t add_pipeline(const KeyValueEncoder& encoder,
+                           const CentroidClassifier& model);
+  std::size_t add_pipeline(const KeyValueEncoder& encoder,
+                           const HDRegressor& model);
+
   [[nodiscard]] std::size_t section_count() const noexcept {
     return sections_.size();
   }
@@ -89,6 +130,12 @@ class SnapshotWriter {
     SectionRecord record;
     std::span<const std::uint64_t> payload;
   };
+
+  /// Appends the payload-less PipelineHead section tying an already-added
+  /// encoder config to an already-added model section.
+  std::size_t add_pipeline_head(std::size_t encoder_section,
+                                std::size_t model_section,
+                                std::size_t dimension);
 
   std::size_t alignment_;
   std::vector<Pending> sections_;
@@ -171,6 +218,24 @@ class MappedSnapshot {
   /// Regressor section \p i as an inference-only `HDRegressor` whose label
   /// basis borrows from the snapshot.  \throws as basis().
   [[nodiscard]] HDRegressor regressor(std::size_t i) const;
+
+  /// Scalar-encoder config section \p i (ScalarEncoderConfig or
+  /// MultiScaleEncoderConfig) as a shared encoder whose basis — and, for
+  /// multiscale, bound arena — borrows from the snapshot.  \throws as
+  /// basis().
+  [[nodiscard]] ScalarEncoderPtr scalar_encoder(std::size_t i) const;
+
+  /// Feature-encoder config section \p i as a restored `KeyValueEncoder`
+  /// (key basis and value encoder borrow from the snapshot).  \throws as
+  /// basis().
+  [[nodiscard]] KeyValueEncoder feature_encoder(std::size_t i) const;
+
+  /// Sequence-encoder config section \p i as a `SequenceEncoder` /
+  /// `NGramEncoder`, rebuilt bit-exactly from (dimension, seed[, n]).
+  /// \throws SnapshotError if the section is not a SequenceEncoderConfig of
+  /// the matching kind; std::out_of_range if out of range.
+  [[nodiscard]] SequenceEncoder sequence_encoder(std::size_t i) const;
+  [[nodiscard]] NGramEncoder ngram_encoder(std::size_t i) const;
 
  private:
   struct Impl;

@@ -283,6 +283,80 @@ HDRegressor MappedSnapshot::regressor(std::size_t i) const {
   return HDRegressor::from_model(std::move(labels), std::move(model));
 }
 
+ScalarEncoderPtr MappedSnapshot::scalar_encoder(std::size_t i) const {
+  const SectionRecord& record = impl_->checked_section(i);
+  if (record.type == SectionType::ScalarEncoderConfig) {
+    // Payload-less: the whole encoder is the referenced basis + parameters.
+    Basis encoder_basis = basis(static_cast<std::size_t>(record.aux_section));
+    if (record.label_encoder == LabelEncoderKind::Linear) {
+      return std::make_shared<LinearScalarEncoder>(
+          std::move(encoder_basis), record.param_a, record.param_b);
+    }
+    return std::make_shared<CircularScalarEncoder>(std::move(encoder_basis),
+                                                   record.param_b);
+  }
+  if (record.type == SectionType::MultiScaleEncoderConfig) {
+    impl_->ensure_verified(i);
+    Basis finest = basis(static_cast<std::size_t>(record.aux_section));
+    std::vector<std::size_t> scales(record.kind);
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      scales[s] = static_cast<std::size_t>(record.scales[s]);
+    }
+    const auto words = impl_->payload_words(record);
+    if (impl_->integrity == SnapshotIntegrity::Checksum) {
+      return std::make_shared<MultiScaleCircularEncoder>(
+          std::move(finest), std::move(scales), record.param_b, record.seed,
+          words, hdc::borrowed);
+    }
+    return std::make_shared<MultiScaleCircularEncoder>(
+        std::move(finest), std::move(scales), record.param_b, record.seed,
+        words, hdc::borrowed, hdc::unchecked);
+  }
+  throw SnapshotError("MappedSnapshot::scalar_encoder: section " +
+                      std::to_string(i) + " is not a scalar encoder config");
+}
+
+KeyValueEncoder MappedSnapshot::feature_encoder(std::size_t i) const {
+  const SectionRecord& record = impl_->checked_section(i);
+  if (record.type != SectionType::FeatureEncoderConfig) {
+    throw SnapshotError("MappedSnapshot::feature_encoder: section " +
+                        std::to_string(i) +
+                        " is not a feature encoder config");
+  }
+  impl_->ensure_verified(i);
+  Basis keys = basis(static_cast<std::size_t>(record.aux_section));
+  ScalarEncoderPtr values =
+      scalar_encoder(static_cast<std::size_t>(record.aux_section_b));
+  // The tie-breaker is one row and is copied into the owning encoder state
+  // (bundling scratch must not depend on the mapping's lifetime rules any
+  // more than the regressor model row does).
+  Hypervector tie_breaker(HypervectorView(
+      static_cast<std::size_t>(record.dimension), impl_->payload_words(record)));
+  return KeyValueEncoder(std::move(keys), std::move(values),
+                         std::move(tie_breaker), record.seed);
+}
+
+SequenceEncoder MappedSnapshot::sequence_encoder(std::size_t i) const {
+  const SectionRecord& record = impl_->checked_section(i);
+  if (record.type != SectionType::SequenceEncoderConfig || record.kind != 0) {
+    throw SnapshotError("MappedSnapshot::sequence_encoder: section " +
+                        std::to_string(i) +
+                        " is not a sequence encoder config");
+  }
+  return SequenceEncoder(static_cast<std::size_t>(record.dimension),
+                         record.seed);
+}
+
+NGramEncoder MappedSnapshot::ngram_encoder(std::size_t i) const {
+  const SectionRecord& record = impl_->checked_section(i);
+  if (record.type != SectionType::SequenceEncoderConfig || record.kind != 1) {
+    throw SnapshotError("MappedSnapshot::ngram_encoder: section " +
+                        std::to_string(i) + " is not an n-gram encoder config");
+  }
+  return NGramEncoder(static_cast<std::size_t>(record.dimension),
+                      record.method, record.seed);
+}
+
 MappedSnapshot load_snapshot(std::istream& in, SnapshotIntegrity integrity) {
   std::size_t byte_size = 0;
   std::vector<std::uint64_t> words = slurp(in, byte_size);

@@ -1,0 +1,142 @@
+#include "hdc/io/pipeline.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hdc::io {
+
+const char* to_string(PipelineKind kind) noexcept {
+  return kind == PipelineKind::Classifier ? "classifier" : "regressor";
+}
+
+Pipeline Pipeline::restore(const MappedSnapshot& snapshot) {
+  std::size_t head_index = 0;
+  std::size_t heads = 0;
+  for (std::size_t i = 0; i < snapshot.section_count(); ++i) {
+    if (snapshot.section(i).type == SectionType::PipelineHead) {
+      head_index = i;
+      ++heads;
+    }
+  }
+  if (heads == 0) {
+    throw SnapshotError(
+        "Pipeline::restore: snapshot carries no pipeline head section");
+  }
+  if (heads > 1) {
+    throw SnapshotError(
+        "Pipeline::restore: snapshot carries " + std::to_string(heads) +
+        " pipeline heads; pass an explicit head section index");
+  }
+  return restore(snapshot, head_index);
+}
+
+Pipeline Pipeline::restore(const MappedSnapshot& snapshot,
+                           std::size_t head_index) {
+  const SectionRecord& head = snapshot.section(head_index);
+  if (head.type != SectionType::PipelineHead) {
+    throw SnapshotError("Pipeline::restore: section " +
+                        std::to_string(head_index) +
+                        " is not a pipeline head");
+  }
+  Pipeline pipeline;
+  pipeline.dimension_ = static_cast<std::size_t>(head.dimension);
+
+  const auto encoder_index = static_cast<std::size_t>(head.aux_section);
+  if (snapshot.section(encoder_index).type ==
+      SectionType::FeatureEncoderConfig) {
+    pipeline.features_ = std::make_shared<KeyValueEncoder>(
+        snapshot.feature_encoder(encoder_index));
+  } else {
+    pipeline.scalar_ = snapshot.scalar_encoder(encoder_index);
+  }
+
+  const auto model_index = static_cast<std::size_t>(head.aux_section_b);
+  if (snapshot.section(model_index).type ==
+      SectionType::ClassifierClassVectors) {
+    pipeline.kind_ = PipelineKind::Classifier;
+    pipeline.classifier_ = std::make_shared<CentroidClassifier>(
+        snapshot.classifier(model_index));
+  } else {
+    pipeline.kind_ = PipelineKind::Regressor;
+    pipeline.regressor_ =
+        std::make_shared<HDRegressor>(snapshot.regressor(model_index));
+  }
+  return pipeline;
+}
+
+std::size_t Pipeline::num_features() const noexcept {
+  return features_ ? features_->num_features() : 1;
+}
+
+Hypervector Pipeline::encode(std::span<const double> features) const {
+  if (features_) {
+    return features_->encode(features);
+  }
+  if (features.size() != 1) {
+    throw std::invalid_argument(
+        "Pipeline::encode: scalar-encoder pipelines take exactly one "
+        "feature");
+  }
+  return Hypervector(scalar_->encode(features[0]));
+}
+
+std::size_t Pipeline::classify(std::span<const double> features) const {
+  return classifier().predict(encode(features));
+}
+
+double Pipeline::regress(std::span<const double> features) const {
+  return regressor().predict(encode(features));
+}
+
+const CentroidClassifier& Pipeline::classifier() const {
+  if (!classifier_) {
+    throw std::logic_error(
+        "Pipeline::classifier: this is a regressor pipeline");
+  }
+  return *classifier_;
+}
+
+const HDRegressor& Pipeline::regressor() const {
+  if (!regressor_) {
+    throw std::logic_error(
+        "Pipeline::regressor: this is a classifier pipeline");
+  }
+  return *regressor_;
+}
+
+runtime::BatchEncoder Pipeline::batch_encoder(runtime::ThreadPoolPtr pool) const {
+  if (features_) {
+    // Captures the shared encoder state, not this Pipeline object; the
+    // engine stays valid as long as the snapshot mapping does.
+    auto encoder = features_;
+    return runtime::BatchEncoder(
+        dimension_,
+        [encoder](std::span<const double> row) { return encoder->encode(row); },
+        std::move(pool));
+  }
+  auto encoder = scalar_;
+  return runtime::BatchEncoder(
+      dimension_,
+      [encoder](std::span<const double> row) {
+        if (row.size() != 1) {
+          throw std::invalid_argument(
+              "Pipeline batch encoder: scalar-encoder pipelines take exactly "
+              "one feature per row");
+        }
+        return Hypervector(encoder->encode(row[0]));
+      },
+      std::move(pool));
+}
+
+runtime::BatchClassifier Pipeline::batch_classifier(
+    runtime::ThreadPoolPtr pool) const {
+  return {CentroidClassifier(classifier()), std::move(pool)};
+}
+
+runtime::BatchRegressor Pipeline::batch_regressor(
+    runtime::ThreadPoolPtr pool) const {
+  return {HDRegressor(regressor()), std::move(pool)};
+}
+
+}  // namespace hdc::io

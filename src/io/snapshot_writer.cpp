@@ -111,6 +111,159 @@ std::size_t SnapshotWriter::add_regressor(const HDRegressor& model) {
   return sections_.size() - 1;
 }
 
+std::size_t SnapshotWriter::add_scalar_encoder(const ScalarEncoder& encoder) {
+  if (const auto* multiscale =
+          dynamic_cast<const MultiScaleCircularEncoder*>(&encoder)) {
+    const std::vector<std::size_t>& scales = multiscale->scales();
+    if (scales.size() > snapshot_max_scales) {
+      throw SnapshotError(
+          "SnapshotWriter::add_scalar_encoder: multiscale encoders with more "
+          "than " + std::to_string(snapshot_max_scales) +
+          " scales are not snapshot-able");
+    }
+    for (std::size_t s = 1; s < scales.size(); ++s) {
+      if (scales[s] == scales[s - 1]) {
+        throw SnapshotError(
+            "SnapshotWriter::add_scalar_encoder: multiscale encoders with "
+            "duplicate scales are not snapshot-able");
+      }
+    }
+    SectionRecord record;
+    record.type = SectionType::MultiScaleEncoderConfig;
+    record.kind = static_cast<std::uint16_t>(scales.size());
+    record.dimension = multiscale->dimension();
+    record.count = multiscale->basis().size();
+    record.param_b = multiscale->period();
+    record.seed = multiscale->seed();
+    record.aux_section = add_basis(multiscale->basis());
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      record.scales[s] = scales[s];
+    }
+    sections_.push_back(Pending{record, multiscale->packed_words()});
+    return sections_.size() - 1;
+  }
+  SectionRecord record;
+  record.type = SectionType::ScalarEncoderConfig;
+  record.dimension = encoder.dimension();
+  if (const auto* linear =
+          dynamic_cast<const LinearScalarEncoder*>(&encoder)) {
+    record.label_encoder = LabelEncoderKind::Linear;
+    record.param_a = linear->low();
+    record.param_b = linear->high();
+  } else if (const auto* circular =
+                 dynamic_cast<const CircularScalarEncoder*>(&encoder)) {
+    record.label_encoder = LabelEncoderKind::Circular;
+    record.param_b = circular->period();
+  } else {
+    throw SnapshotError(
+        "SnapshotWriter::add_scalar_encoder: only LinearScalarEncoder, "
+        "CircularScalarEncoder and MultiScaleCircularEncoder are "
+        "snapshot-able");
+  }
+  record.aux_section = add_basis(encoder.basis());
+  sections_.push_back(Pending{record, {}});
+  return sections_.size() - 1;
+}
+
+std::size_t SnapshotWriter::add_feature_encoder(const KeyValueEncoder& encoder) {
+  SectionRecord record;
+  record.type = SectionType::FeatureEncoderConfig;
+  record.dimension = encoder.dimension();
+  record.count = 1;
+  record.seed = encoder.seed();
+  record.aux_section_b = add_scalar_encoder(encoder.values());
+  record.aux_section = add_basis(encoder.keys());
+  sections_.push_back(Pending{record, encoder.tie_breaker().words()});
+  return sections_.size() - 1;
+}
+
+std::size_t SnapshotWriter::add_sequence_encoder(const SequenceEncoder& encoder) {
+  SectionRecord record;
+  record.type = SectionType::SequenceEncoderConfig;
+  record.kind = 0;
+  record.dimension = encoder.dimension();
+  record.seed = encoder.seed();
+  sections_.push_back(Pending{record, {}});
+  return sections_.size() - 1;
+}
+
+std::size_t SnapshotWriter::add_sequence_encoder(const NGramEncoder& encoder) {
+  if (encoder.n() > 0xFFFFU) {
+    throw SnapshotError(
+        "SnapshotWriter::add_sequence_encoder: n-gram n exceeds the 16-bit "
+        "section field");
+  }
+  SectionRecord record;
+  record.type = SectionType::SequenceEncoderConfig;
+  record.kind = 1;
+  record.method = static_cast<std::uint16_t>(encoder.n());
+  record.dimension = encoder.dimension();
+  record.seed = encoder.seed();
+  sections_.push_back(Pending{record, {}});
+  return sections_.size() - 1;
+}
+
+namespace {
+
+void require_pipeline_dimensions(std::size_t encoder_dimension,
+                                 std::size_t model_dimension) {
+  if (encoder_dimension != model_dimension) {
+    throw SnapshotError(
+        "SnapshotWriter::add_pipeline: encoder and model dimensions "
+        "disagree");
+  }
+}
+
+}  // namespace
+
+// Encoder sections are added before model sections with explicitly
+// sequenced statements: golden snapshots must be byte-identical across
+// compilers, and C++ argument evaluation order is unspecified.
+
+std::size_t SnapshotWriter::add_pipeline(const ScalarEncoder& encoder,
+                                         const CentroidClassifier& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_scalar_encoder(encoder);
+  const std::size_t model_section = add_classifier(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const ScalarEncoder& encoder,
+                                         const HDRegressor& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_scalar_encoder(encoder);
+  const std::size_t model_section = add_regressor(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const KeyValueEncoder& encoder,
+                                         const CentroidClassifier& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_feature_encoder(encoder);
+  const std::size_t model_section = add_classifier(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const KeyValueEncoder& encoder,
+                                         const HDRegressor& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_feature_encoder(encoder);
+  const std::size_t model_section = add_regressor(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline_head(std::size_t encoder_section,
+                                              std::size_t model_section,
+                                              std::size_t dimension) {
+  SectionRecord record;
+  record.type = SectionType::PipelineHead;
+  record.dimension = dimension;
+  record.aux_section = encoder_section;
+  record.aux_section_b = model_section;
+  sections_.push_back(Pending{record, {}});
+  return sections_.size() - 1;
+}
+
 void SnapshotWriter::write(std::ostream& out) const {
   if (sections_.empty()) {
     throw SnapshotError("SnapshotWriter::write: no sections added");

@@ -14,6 +14,13 @@ BatchClassifier::BatchClassifier(std::size_t num_classes, std::size_t dimension,
   require(pool_ != nullptr, "BatchClassifier", "pool must not be null");
 }
 
+BatchClassifier::BatchClassifier(CentroidClassifier model, ThreadPoolPtr pool)
+    : model_(std::move(model)), pool_(std::move(pool)) {
+  require(pool_ != nullptr, "BatchClassifier", "pool must not be null");
+  require(model_.finalized(), "BatchClassifier",
+          "adopted model must be finalized");
+}
+
 void BatchClassifier::fit(const VectorArena& samples,
                           std::span<const std::size_t> labels) {
   require(samples.size() == labels.size(), "BatchClassifier::fit",

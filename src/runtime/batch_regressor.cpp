@@ -14,6 +14,13 @@ BatchRegressor::BatchRegressor(ScalarEncoderPtr labels, std::uint64_t seed,
   require(pool_ != nullptr, "BatchRegressor", "pool must not be null");
 }
 
+BatchRegressor::BatchRegressor(HDRegressor model, ThreadPoolPtr pool)
+    : model_(std::move(model)), pool_(std::move(pool)) {
+  require(pool_ != nullptr, "BatchRegressor", "pool must not be null");
+  require(model_.finalized(), "BatchRegressor",
+          "adopted model must be finalized");
+}
+
 void BatchRegressor::fit(const VectorArena& inputs,
                          std::span<const double> labels) {
   require(inputs.size() == labels.size(), "BatchRegressor::fit",

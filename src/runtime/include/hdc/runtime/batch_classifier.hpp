@@ -30,6 +30,14 @@ class BatchClassifier {
   BatchClassifier(std::size_t num_classes, std::size_t dimension,
                   std::uint64_t seed, ThreadPoolPtr pool);
 
+  /// Adopts an existing finalized model — typically one restored from an
+  /// hdc::io snapshot, whose class arena may borrow a read-only mapping (the
+  /// engine never mutates it on the predict path; fit() on an
+  /// inference-only model throws std::logic_error as the model itself does).
+  /// \throws std::invalid_argument if the model is not finalized or pool is
+  /// null.
+  BatchClassifier(CentroidClassifier model, ThreadPoolPtr pool);
+
   [[nodiscard]] std::size_t num_classes() const noexcept {
     return model_.num_classes();
   }

@@ -31,6 +31,14 @@ class BatchRegressor {
   BatchRegressor(ScalarEncoderPtr labels, std::uint64_t seed,
                  ThreadPoolPtr pool);
 
+  /// Adopts an existing finalized model — typically one restored from an
+  /// hdc::io snapshot, whose label basis may borrow a read-only mapping (the
+  /// engine never mutates it on the predict path; fit() on an
+  /// inference-only model throws std::logic_error as the model itself does).
+  /// \throws std::invalid_argument if the model is not finalized or pool is
+  /// null.
+  BatchRegressor(HDRegressor model, ThreadPoolPtr pool);
+
   [[nodiscard]] std::size_t dimension() const noexcept {
     return model_.dimension();
   }

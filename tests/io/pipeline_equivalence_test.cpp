@@ -1,0 +1,316 @@
+// Dataset-level conformance suite for full-pipeline snapshots.
+//
+// Trains the paper's two workloads end to end — a JIGSAWS-style gesture
+// classifier (18 angular channels through a KeyValueEncoder with circular
+// values) and a Beijing-style temperature regressor (periodic day/hour
+// features through multiscale-circular values) — snapshots each as ONE
+// artifact with SnapshotWriter::add_pipeline, restores it through both the
+// mmap reader and the stream loader, and asserts bit-exact encoded vectors
+// and identical predictions across the full test split, including under the
+// thread pool via the Pipeline -> Batch* bridges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hdc/core/hdc.hpp"
+#include "hdc/data/beijing.hpp"
+#include "hdc/data/jigsaws.hpp"
+#include "hdc/data/splits.hpp"
+#include "hdc/io/io.hpp"
+#include "hdc/runtime/runtime.hpp"
+
+namespace {
+
+using hdc::Hypervector;
+using hdc::KeyValueEncoder;
+using hdc::io::MappedSnapshot;
+using hdc::io::Pipeline;
+using hdc::io::PipelineKind;
+using hdc::io::SnapshotIntegrity;
+using hdc::io::SnapshotWriter;
+
+constexpr std::size_t kDim = 1024;
+constexpr double kTwoPi = 6.283185307179586476925287;
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+/// Asserts that \p pipeline reproduces \p expected_encoded /
+/// \p expected_prediction for every feature row, bit for bit.
+void expect_pipeline_matches(
+    const Pipeline& pipeline, const std::vector<std::vector<double>>& rows,
+    const std::vector<Hypervector>& expected_encoded,
+    const std::vector<double>& expected_predictions) {
+  ASSERT_EQ(rows.size(), expected_encoded.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Hypervector encoded = pipeline.encode(rows[i]);
+    ASSERT_TRUE(encoded == expected_encoded[i]) << "row " << i;
+    const double prediction =
+        pipeline.kind() == PipelineKind::Classifier
+            ? static_cast<double>(pipeline.classify(rows[i]))
+            : pipeline.regress(rows[i]);
+    ASSERT_EQ(prediction, expected_predictions[i]) << "row " << i;
+  }
+}
+
+TEST(PipelineEquivalenceTest, GestureClassifierPipelineRoundTripsBitExact) {
+  // JIGSAWS-style split: train on one surgeon, test on the others.
+  hdc::data::JigsawsConfig data_config;
+  data_config.num_gestures = 6;
+  data_config.num_surgeons = 4;
+  data_config.train_samples_per_gesture = 24;
+  data_config.test_samples_per_gesture_per_surgeon = 6;
+  const hdc::data::GestureDataset dataset =
+      hdc::data::make_jigsaws_dataset(data_config);
+
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = kDim;
+  values_config.size = 32;
+  values_config.r = 0.1;
+  values_config.seed = 101;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), kTwoPi);
+  const KeyValueEncoder encoder(dataset.num_channels, values, 102);
+
+  hdc::CentroidClassifier model(dataset.num_gestures, kDim, 103);
+  for (const auto& sample : dataset.train) {
+    model.add_sample(sample.gesture, encoder.encode(sample.angles));
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_gesture.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  // In-memory oracle over the FULL test split.
+  std::vector<std::vector<double>> rows;
+  std::vector<Hypervector> expected_encoded;
+  std::vector<double> expected_predictions;
+  for (const auto& sample : dataset.test) {
+    rows.push_back(sample.angles);
+    expected_encoded.push_back(encoder.encode(sample.angles));
+    expected_predictions.push_back(
+        static_cast<double>(model.predict(expected_encoded.back())));
+  }
+
+  const auto mapped = MappedSnapshot::open(path);
+  const Pipeline mapped_pipeline = Pipeline::restore(mapped);
+  EXPECT_EQ(mapped_pipeline.kind(), PipelineKind::Classifier);
+  EXPECT_EQ(mapped_pipeline.dimension(), kDim);
+  EXPECT_EQ(mapped_pipeline.num_features(), dataset.num_channels);
+  ASSERT_NE(mapped_pipeline.feature_encoder(), nullptr);
+  EXPECT_EQ(mapped_pipeline.scalar_encoder(), nullptr);
+  expect_pipeline_matches(mapped_pipeline, rows, expected_encoded,
+                          expected_predictions);
+
+  // The heap/stream loader and the Trust fast path serve the same bits.
+  const auto streamed = hdc::io::load_snapshot(path);
+  expect_pipeline_matches(Pipeline::restore(streamed), rows, expected_encoded,
+                          expected_predictions);
+  const auto trusted = MappedSnapshot::open(path, SnapshotIntegrity::Trust);
+  expect_pipeline_matches(Pipeline::restore(trusted), rows, expected_encoded,
+                          expected_predictions);
+
+  // Thread pool: the Batch* bridges must agree with the sequential oracle
+  // for every row, for any thread count.
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>(4);
+  const auto arena = mapped_pipeline.batch_encoder(pool).encode(rows);
+  const auto batch_predictions =
+      mapped_pipeline.batch_classifier(pool).predict(arena);
+  ASSERT_EQ(batch_predictions.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(arena.view(i) == expected_encoded[i]) << "row " << i;
+    EXPECT_EQ(static_cast<double>(batch_predictions[i]),
+              expected_predictions[i])
+        << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineEquivalenceTest, TemperatureRegressorPipelineRoundTripsBitExact) {
+  // Beijing-style chronological split over the full hourly series; day and
+  // hour enter as phases of period 1 through one shared multiscale-circular
+  // value encoder.
+  const auto records = hdc::data::make_beijing_dataset({});
+  const auto split = hdc::data::chronological_split(records.size(), 0.7);
+
+  hdc::MultiScaleCircularEncoder::Config values_config;
+  values_config.dimension = kDim;
+  values_config.scales = {16, 64};
+  values_config.period = 1.0;
+  values_config.seed = 201;
+  const auto values =
+      std::make_shared<hdc::MultiScaleCircularEncoder>(values_config);
+  const KeyValueEncoder encoder(2, values, 202);
+  const auto featurize = [](const hdc::data::BeijingRecord& r) {
+    return std::vector<double>{
+        static_cast<double>(r.day_of_year - 1) / 366.0,
+        static_cast<double>(r.hour) / 24.0};
+  };
+
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 64;
+  label_config.seed = 203;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), -25.0, 42.0);
+  hdc::HDRegressor model(labels, 204);
+  for (const std::size_t i : split.train) {
+    model.add_sample(encoder.encode(featurize(records[i])),
+                     records[i].temperature);
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_temperature.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  std::vector<std::vector<double>> rows;
+  std::vector<Hypervector> expected_encoded;
+  std::vector<double> expected_predictions;
+  rows.reserve(split.test.size());
+  for (const std::size_t i : split.test) {
+    rows.push_back(featurize(records[i]));
+    expected_encoded.push_back(encoder.encode(rows.back()));
+    expected_predictions.push_back(model.predict(expected_encoded.back()));
+  }
+
+  const auto mapped = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(mapped);
+  EXPECT_EQ(pipeline.kind(), PipelineKind::Regressor);
+  EXPECT_EQ(pipeline.num_features(), 2U);
+  EXPECT_FALSE(pipeline.regressor().trainable());
+  expect_pipeline_matches(pipeline, rows, expected_encoded,
+                          expected_predictions);
+  const auto streamed = hdc::io::load_snapshot(path);
+  expect_pipeline_matches(Pipeline::restore(streamed), rows, expected_encoded,
+                          expected_predictions);
+
+  // Thread pool over the full test split.
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>(4);
+  const auto arena = pipeline.batch_encoder(pool).encode(rows);
+  const auto batch_predictions =
+      pipeline.batch_regressor(pool).predict(arena);
+  ASSERT_EQ(batch_predictions.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batch_predictions[i], expected_predictions[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineEquivalenceTest, ScalarEncoderPipelineRoundTripsBitExact) {
+  // A single-feature pipeline: day-of-year phase -> temperature, with the
+  // multiscale encoder itself as the pipeline encoder (exercises the
+  // scalar-encoder head and the one-feature encode contract).
+  hdc::MultiScaleCircularEncoder::Config encoder_config;
+  encoder_config.dimension = kDim;
+  encoder_config.scales = {8, 32};
+  encoder_config.period = 1.0;
+  encoder_config.seed = 301;
+  const hdc::MultiScaleCircularEncoder encoder(encoder_config);
+
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 32;
+  label_config.seed = 302;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), -1.0, 1.0);
+  hdc::HDRegressor model(labels, 303);
+  for (int k = 0; k < 64; ++k) {
+    const double phase = static_cast<double>(k) / 64.0;
+    model.add_sample(encoder.encode(phase),
+                     2.0 * std::abs(2.0 * phase - 1.0) - 1.0);
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_scalar.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  const auto mapped = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(mapped);
+  EXPECT_EQ(pipeline.num_features(), 1U);
+  ASSERT_NE(pipeline.scalar_encoder(), nullptr);
+  EXPECT_EQ(pipeline.feature_encoder(), nullptr);
+  const auto* restored =
+      dynamic_cast<const hdc::MultiScaleCircularEncoder*>(
+          pipeline.scalar_encoder());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->scales(), encoder.scales());
+  EXPECT_EQ(restored->seed(), encoder.seed());
+  EXPECT_FALSE(restored->owns_storage());
+  for (int k = 0; k <= 200; ++k) {
+    const double phase = static_cast<double>(k) / 200.0;
+    const std::vector<double> row{phase};
+    ASSERT_TRUE(pipeline.encode(row) == Hypervector(encoder.encode(phase)))
+        << "phase " << phase;
+    EXPECT_EQ(pipeline.regress(row), model.predict(encoder.encode(phase)))
+        << "phase " << phase;
+  }
+  EXPECT_THROW((void)pipeline.encode(std::vector<double>{0.1, 0.2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pipeline.classify(std::vector<double>{0.1}),
+               std::logic_error);
+  std::filesystem::remove(path);
+}
+
+// The restored objects must expose coherent state: inference-only models,
+// borrowed storage, and round-tripped encoder provenance.
+TEST(PipelineEquivalenceTest, RestoredPipelineStateIsCoherent) {
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = 256;
+  values_config.size = 16;
+  values_config.seed = 401;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), 360.0);
+  const KeyValueEncoder encoder(3, values, 402);
+  hdc::CentroidClassifier model(2, 256, 403);
+  hdc::Rng rng(404);
+  for (int i = 0; i < 8; ++i) {
+    model.add_sample(static_cast<std::size_t>(i) % 2,
+                     Hypervector::random(256, rng));
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_state.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+  const auto snapshot = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(snapshot);
+
+  const KeyValueEncoder* restored = pipeline.feature_encoder();
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->num_features(), 3U);
+  EXPECT_EQ(restored->seed(), encoder.seed());
+  EXPECT_TRUE(restored->tie_breaker() == encoder.tie_breaker());
+  EXPECT_FALSE(restored->keys().owns_storage());
+  const auto* restored_values = dynamic_cast<const hdc::CircularScalarEncoder*>(
+      &restored->values());
+  ASSERT_NE(restored_values, nullptr);
+  EXPECT_DOUBLE_EQ(restored_values->period(), 360.0);
+  EXPECT_FALSE(restored_values->basis().owns_storage());
+
+  // Restored models are inference-only; the batch bridge inherits that.
+  EXPECT_FALSE(pipeline.classifier().trainable());
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>(2);
+  auto batch = pipeline.batch_classifier(pool);
+  hdc::runtime::VectorArena arena(256);
+  arena.append(Hypervector::random(256, rng));
+  const std::vector<std::size_t> labels{0};
+  EXPECT_THROW(batch.fit(arena, labels), std::logic_error);
+  EXPECT_THROW((void)pipeline.regressor(), std::logic_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

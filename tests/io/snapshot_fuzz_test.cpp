@@ -18,17 +18,24 @@
 #include <string>
 #include <vector>
 
+#include "hdc/core/basis_circular.hpp"
 #include "hdc/core/basis_level.hpp"
 #include "hdc/core/basis_random.hpp"
+#include "hdc/core/feature_encoder.hpp"
+#include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/scalar_encoder.hpp"
+#include "hdc/core/sequence_encoder.hpp"
 #include "hdc/io/io.hpp"
 
 namespace {
 
 using hdc::Basis;
 using hdc::Hypervector;
+using hdc::KeyValueEncoder;
 using hdc::Rng;
 using hdc::io::MappedSnapshot;
+using hdc::io::Pipeline;
+using hdc::io::PipelineKind;
 using hdc::io::SnapshotError;
 using hdc::io::SnapshotWriter;
 
@@ -78,6 +85,58 @@ std::string snapshot_bytes() {
   return out.str();
 }
 
+/// A pipeline snapshot covering every v2 section type: a feature-encoder
+/// classification pipeline, a multiscale-circular regression pipeline, and
+/// both sequence-encoder kinds, at d = 70 (partial tail word) with
+/// alignment 64 so the quadratic fuzz loops stay fast.
+std::string pipeline_snapshot_bytes() {
+  constexpr std::size_t d = 70;
+
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = d;
+  values_config.size = 4;
+  values_config.seed = 41;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), 360.0);
+  const KeyValueEncoder feature_encoder(2, values, 42);
+  Rng rng(43);
+  hdc::CentroidClassifier classifier(2, d, 43);
+  for (int i = 0; i < 4; ++i) {
+    classifier.add_sample(static_cast<std::size_t>(i) % 2,
+                          Hypervector::random(d, rng));
+  }
+  classifier.finalize();
+
+  hdc::MultiScaleCircularEncoder::Config multiscale_config;
+  multiscale_config.dimension = d;
+  multiscale_config.scales = {2, 4};
+  multiscale_config.period = 1.0;
+  multiscale_config.seed = 44;
+  const hdc::MultiScaleCircularEncoder multiscale(multiscale_config);
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = d;
+  label_config.size = 4;
+  label_config.seed = 45;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), 0.0, 1.0);
+  hdc::HDRegressor regressor(labels, 46);
+  for (int k = 0; k < 4; ++k) {
+    const double x = static_cast<double>(k) / 4.0;
+    regressor.add_sample(multiscale.encode(x), x);
+  }
+  regressor.finalize();
+
+  SnapshotWriter writer(64);
+  writer.add_pipeline(feature_encoder, classifier);
+  writer.add_pipeline(multiscale, regressor);
+  writer.add_sequence_encoder(hdc::SequenceEncoder(d, 47));
+  writer.add_sequence_encoder(hdc::NGramEncoder(d, 3, 48));
+
+  std::stringstream out;
+  writer.write(out);
+  return out.str();
+}
+
 /// Materializes every model in the snapshot, proving no constructor path is
 /// reachable with broken invariants, and returns the payload words of every
 /// section for bit-exact comparison.
@@ -104,11 +163,82 @@ std::vector<std::vector<std::uint64_t>> materialize_all(
             (void)model.predict(model.labels().encode(0.5)));
         break;
       }
+      case hdc::io::SectionType::ScalarEncoderConfig:
+      case hdc::io::SectionType::MultiScaleEncoderConfig: {
+        const hdc::ScalarEncoderPtr encoder = snapshot.scalar_encoder(i);
+        EXPECT_NO_THROW((void)encoder->decode(encoder->encode(0.3)));
+        break;
+      }
+      case hdc::io::SectionType::FeatureEncoderConfig: {
+        const KeyValueEncoder encoder = snapshot.feature_encoder(i);
+        const std::vector<double> row(encoder.num_features(), 0.5);
+        EXPECT_EQ(encoder.encode(row).dimension(), encoder.dimension());
+        break;
+      }
+      case hdc::io::SectionType::PipelineHead: {
+        const Pipeline pipeline = Pipeline::restore(snapshot, i);
+        const std::vector<double> row(pipeline.num_features(), 0.25);
+        if (pipeline.kind() == PipelineKind::Classifier) {
+          EXPECT_LT(pipeline.classify(row),
+                    pipeline.classifier().num_classes());
+        } else {
+          EXPECT_NO_THROW((void)pipeline.regress(row));
+        }
+        break;
+      }
+      case hdc::io::SectionType::SequenceEncoderConfig: {
+        if (snapshot.section(i).kind == 0) {
+          auto encoder = snapshot.sequence_encoder(i);
+          EXPECT_EQ(encoder.encode_word("ab").dimension(),
+                    encoder.dimension());
+        } else {
+          auto encoder = snapshot.ngram_encoder(i);
+          EXPECT_EQ(encoder.encode("abcd").dimension(), encoder.dimension());
+        }
+        break;
+      }
     }
     const auto words = snapshot.section_words(i);
     payloads.emplace_back(words.begin(), words.end());
   }
   return payloads;
+}
+
+/// Overwrites one u64 field of a section-table entry and re-seals the table
+/// checksum, so the parser's *semantic* rules are exercised rather than the
+/// checksum (the restore-misuse fixture factory).
+std::string patch_entry_u64(std::string bytes, std::size_t entry,
+                            std::size_t field_offset, std::uint64_t value) {
+  const std::size_t at = 64 + entry * hdc::io::snapshot_entry_bytes +
+                         field_offset;
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[at + i] = static_cast<char>((value >> (8 * i)) & 0xFFU);
+  }
+  const auto* raw = reinterpret_cast<const std::byte*>(bytes.data());
+  std::uint32_t section_count = 0;
+  for (std::size_t i = 4; i-- > 0;) {
+    section_count = (section_count << 8) |
+                    static_cast<unsigned char>(bytes[16 + i]);
+  }
+  const std::uint64_t checksum = hdc::io::xxhash64(
+      {raw + 64, section_count * hdc::io::snapshot_entry_bytes},
+      hdc::io::snapshot_version);
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[32 + i] = static_cast<char>((checksum >> (8 * i)) & 0xFFU);
+  }
+  return bytes;
+}
+
+/// First section index of the given type; the snapshot must contain one.
+std::size_t section_of_type(const hdc::io::SnapshotLayout& layout,
+                            hdc::io::SectionType type) {
+  for (std::size_t i = 0; i < layout.sections.size(); ++i) {
+    if (layout.sections[i].type == type) {
+      return i;
+    }
+  }
+  ADD_FAILURE() << "no section of type " << static_cast<int>(type);
+  return 0;
 }
 
 TEST(SnapshotFuzzTest, EveryTruncationThrows) {
@@ -229,6 +359,162 @@ TEST(SnapshotFuzzTest, ImplausibleTableFieldsAreRejectedWithoutAllocating) {
                SnapshotError);
 }
 
+// Same corruption contract, now over every v2 encoder/pipeline section
+// type: every truncation throws, and every single-bit flip is either
+// rejected or provably harmless (padding), never a silently altered model.
+TEST(SnapshotFuzzTest, PipelineEveryTruncationThrows) {
+  const std::string bytes = pipeline_snapshot_bytes();
+  for (std::size_t length = 0; length < bytes.size(); ++length) {
+    EXPECT_THROW(
+        (void)MappedSnapshot::from_bytes(as_bytes(bytes.substr(0, length))),
+        SnapshotError)
+        << "prefix length " << length;
+  }
+  const auto snapshot = MappedSnapshot::from_bytes(as_bytes(bytes));
+  EXPECT_EQ(snapshot.section_count(), 13U);
+  (void)materialize_all(snapshot);
+}
+
+TEST(SnapshotFuzzTest, PipelineEveryBitFlipIsRejectedOrHarmless) {
+  const std::string bytes = pipeline_snapshot_bytes();
+  const auto original = MappedSnapshot::from_bytes(as_bytes(bytes));
+  const auto original_payloads = materialize_all(original);
+
+  std::size_t rejected = 0;
+  std::size_t harmless = 0;
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = bytes;
+      corrupted[pos] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[pos]) ^ (1U << bit));
+      try {
+        const auto snapshot = MappedSnapshot::from_bytes(as_bytes(corrupted));
+        const auto payloads = materialize_all(snapshot);
+        ASSERT_EQ(payloads, original_payloads)
+            << "byte " << pos << " bit " << bit
+            << ": corrupted pipeline snapshot loaded with altered content";
+        ++harmless;
+      } catch (const SnapshotError&) {
+        ++rejected;  // never UB, never a partial pipeline
+      }
+    }
+  }
+  EXPECT_GT(rejected, bytes.size() * 8U * 8U / 10U);
+  EXPECT_GT(harmless, 0U);
+}
+
+// Restore-time misuse: a pipeline whose encoder references a missing or
+// incompatible section must fail with a *descriptive* SnapshotError at
+// parse, long before any index could run out of bounds.
+TEST(SnapshotFuzzTest, PipelineBrokenSectionReferencesAreDescriptiveErrors) {
+  const std::string bytes = pipeline_snapshot_bytes();
+  const auto layout = hdc::io::parse_snapshot_layout(as_bytes(bytes));
+  const std::size_t feature =
+      section_of_type(layout, hdc::io::SectionType::FeatureEncoderConfig);
+  const std::size_t scalar =
+      section_of_type(layout, hdc::io::SectionType::ScalarEncoderConfig);
+  const std::size_t multiscale =
+      section_of_type(layout, hdc::io::SectionType::MultiScaleEncoderConfig);
+  const std::size_t head =
+      section_of_type(layout, hdc::io::SectionType::PipelineHead);
+  const std::size_t keys_basis =
+      static_cast<std::size_t>(layout.sections[feature].aux_section);
+
+  const auto expect_error = [&](const std::string& corrupted,
+                                const char* needle) {
+    try {
+      (void)MappedSnapshot::from_bytes(as_bytes(corrupted));
+      FAIL() << "corrupted reference accepted (wanted error containing '"
+             << needle << "')";
+    } catch (const SnapshotError& error) {
+      EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+          << "actual error: " << error.what();
+    }
+  };
+  // aux offsets within a 128-byte entry: aux_section at 48, aux_b at 80.
+  // Key basis pointing at a non-basis section.
+  expect_error(patch_entry_u64(bytes, feature, 48, scalar),
+               "not a key basis");
+  // Key basis pointing at a missing (not-yet-parsed / out-of-range) section.
+  expect_error(patch_entry_u64(bytes, feature, 48, 9999),
+               "must reference an earlier section");
+  // Value encoder pointing at a model section.
+  expect_error(patch_entry_u64(bytes, feature, 80, keys_basis),
+               "not a value encoder");
+  // Multiscale finest basis pointing at a basis of the wrong row count.
+  expect_error(patch_entry_u64(bytes, multiscale, 48, keys_basis),
+               "not the finest-scale basis");
+  // Pipeline head whose model reference is an encoder section.
+  expect_error(patch_entry_u64(bytes, head, 80, scalar),
+               "not a pipeline model");
+  // Pipeline head whose encoder reference is a raw basis.
+  expect_error(patch_entry_u64(bytes, head, 48, keys_basis),
+               "not a pipeline encoder");
+}
+
+TEST(SnapshotFuzzTest, PipelineEncoderDimensionMismatchIsRejected) {
+  // A foreign basis of a different dimension in the same file: re-pointing
+  // the scalar-encoder config at it must fail the dimension cross-check.
+  hdc::RandomBasisConfig foreign_config;
+  foreign_config.dimension = 33;
+  foreign_config.size = 3;
+  foreign_config.seed = 77;
+  const Basis foreign = hdc::make_random_basis(foreign_config);
+
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = 70;
+  values_config.size = 4;
+  values_config.seed = 78;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), 1.0);
+  const KeyValueEncoder encoder(2, values, 79);
+  Rng rng(80);
+  hdc::CentroidClassifier classifier(2, 70, 81);
+  for (int i = 0; i < 4; ++i) {
+    classifier.add_sample(static_cast<std::size_t>(i) % 2,
+                          Hypervector::random(70, rng));
+  }
+  classifier.finalize();
+
+  SnapshotWriter writer(64);
+  writer.add_basis(foreign);
+  writer.add_pipeline(encoder, classifier);
+  std::stringstream out;
+  writer.write(out);
+  const std::string bytes = out.str();
+  const auto layout = hdc::io::parse_snapshot_layout(as_bytes(bytes));
+  const std::size_t scalar =
+      section_of_type(layout, hdc::io::SectionType::ScalarEncoderConfig);
+
+  const std::string corrupted = patch_entry_u64(bytes, scalar, 48, 0);
+  try {
+    (void)MappedSnapshot::from_bytes(as_bytes(corrupted));
+    FAIL() << "dimension mismatch accepted";
+  } catch (const SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("mismatched dimension"),
+              std::string::npos)
+        << "actual error: " << error.what();
+  }
+}
+
+// Pipeline::restore's own misuse surface: no head, ambiguous heads, and a
+// non-head index must all fail descriptively.
+TEST(SnapshotFuzzTest, PipelineRestoreRejectsMissingOrAmbiguousHeads) {
+  const std::string plain = snapshot_bytes();
+  const auto no_head = MappedSnapshot::from_bytes(as_bytes(plain));
+  EXPECT_THROW((void)Pipeline::restore(no_head), SnapshotError);
+  EXPECT_THROW((void)Pipeline::restore(no_head, 0), SnapshotError);
+  EXPECT_THROW((void)Pipeline::restore(no_head, 9999), std::out_of_range);
+
+  const std::string two = pipeline_snapshot_bytes();
+  const auto two_heads = MappedSnapshot::from_bytes(as_bytes(two));
+  EXPECT_THROW((void)Pipeline::restore(two_heads), SnapshotError);
+  const auto layout = hdc::io::parse_snapshot_layout(as_bytes(two));
+  const std::size_t head =
+      section_of_type(layout, hdc::io::SectionType::PipelineHead);
+  EXPECT_NO_THROW((void)Pipeline::restore(two_heads, head));
+}
+
 TEST(SnapshotFuzzTest, WriterRejectsUnusableInputs) {
   SnapshotWriter empty;
   std::stringstream out;
@@ -238,6 +524,42 @@ TEST(SnapshotFuzzTest, WriterRejectsUnusableInputs) {
   hdc::CentroidClassifier unfinalized(2, 70, 1);
   SnapshotWriter writer;
   EXPECT_THROW((void)writer.add_classifier(unfinalized), SnapshotError);
+
+  // Multiscale encoders beyond the section-entry scale capacity, or with
+  // duplicate scales (the format requires strictly increasing ring sizes).
+  hdc::MultiScaleCircularEncoder::Config duplicated;
+  duplicated.dimension = 70;
+  duplicated.scales = {4, 4};
+  duplicated.seed = 9;
+  EXPECT_THROW(
+      (void)writer.add_scalar_encoder(hdc::MultiScaleCircularEncoder(duplicated)),
+      SnapshotError);
+  hdc::MultiScaleCircularEncoder::Config oversubscribed;
+  oversubscribed.dimension = 70;
+  oversubscribed.scales = {2, 4, 8, 16, 32, 64};
+  oversubscribed.seed = 10;
+  EXPECT_THROW(
+      (void)writer.add_scalar_encoder(
+          hdc::MultiScaleCircularEncoder(oversubscribed)),
+      SnapshotError);
+
+  // Pipelines whose encoder and model dimensions disagree.
+  hdc::CircularBasisConfig values_config;
+  values_config.dimension = 64;
+  values_config.size = 4;
+  values_config.seed = 11;
+  const auto values = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(values_config), 1.0);
+  const KeyValueEncoder mismatched(2, values, 12);
+  Rng rng(13);
+  hdc::CentroidClassifier classifier(2, 70, 14);
+  for (int i = 0; i < 2; ++i) {
+    classifier.add_sample(static_cast<std::size_t>(i),
+                          Hypervector::random(70, rng));
+  }
+  classifier.finalize();
+  EXPECT_THROW((void)writer.add_pipeline(mismatched, classifier),
+               SnapshotError);
 }
 
 }  // namespace

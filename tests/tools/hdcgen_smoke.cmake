@@ -1,0 +1,80 @@
+# hdcgen CLI smoke suite, run by ctest as `hdcgen_smoke`.
+#
+# Asserts the contract a shell user sees: snap -> snap-info round trips for
+# both basis and pipeline snapshots on a scratch directory, and bad args /
+# unknown subcommands / corrupt or truncated files exit nonzero with a
+# diagnostic instead of crashing.
+#
+# Inputs: -DHDCGEN=<tool path> -DWORK_DIR=<scratch dir>
+
+if(NOT DEFINED HDCGEN OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "hdcgen_smoke: pass -DHDCGEN=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# run(<ok|fail> <needle> <out_var> args...): invokes hdcgen, asserts the
+# exit code, and asserts <needle> appears in combined stdout+stderr (pass ""
+# to skip the output check).
+function(run expectation needle)
+  execute_process(
+    COMMAND "${HDCGEN}" ${ARGN}
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGN})
+  set(all "${out}${err}")
+  if(expectation STREQUAL "ok" AND NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "hdcgen ${pretty}: expected success, got exit ${code}\n${all}")
+  endif()
+  if(expectation STREQUAL "fail" AND code EQUAL 0)
+    message(FATAL_ERROR "hdcgen ${pretty}: expected a nonzero exit\n${all}")
+  endif()
+  if(NOT needle STREQUAL "" AND NOT all MATCHES "${needle}")
+    message(FATAL_ERROR
+      "hdcgen ${pretty}: output lacks '${needle}'\n${all}")
+  endif()
+endfunction()
+
+# --- snap -> snap-info round trip on a basis snapshot.
+run(ok "wrote" snap --kind circular --size 8 --dim 96 --r 0.1
+    --out "${WORK_DIR}/basis.hdcs")
+run(ok "kind=circular" snap-info "${WORK_DIR}/basis.hdcs")
+run(ok "all sections OK" snap-info "${WORK_DIR}/basis.hdcs")
+
+# --- snap --pipeline -> snap-info round trip for both pipeline kinds.
+run(ok "classifier pipeline" snap --pipeline classifier --dim 96
+    --out "${WORK_DIR}/pipeline_cls.hdcs")
+run(ok "pipeline" snap-info "${WORK_DIR}/pipeline_cls.hdcs")
+run(ok "featureenc" snap-info "${WORK_DIR}/pipeline_cls.hdcs")
+run(ok "regressor pipeline" snap --pipeline regressor --dim 96
+    --out "${WORK_DIR}/pipeline_reg.hdcs")
+run(ok "multiscale" snap-info "${WORK_DIR}/pipeline_reg.hdcs")
+run(ok "all sections OK" snap-info "${WORK_DIR}/pipeline_reg.hdcs")
+
+# --- snap-fixtures regenerates the full golden set.
+run(ok "pipeline_combined" snap-fixtures "${WORK_DIR}/fixtures")
+
+# --- bad args: usage errors exit nonzero with a diagnostic.
+run(fail "usage")                                  # no command at all
+run(fail "usage" snap)                             # snap without flags
+run(fail "unknown kind" snap --kind bogus --size 8 --out "${WORK_DIR}/x.hdcs")
+run(fail "unknown pipeline" snap --pipeline bogus --out "${WORK_DIR}/x.hdcs")
+run(fail "usage" snap-info)                        # missing file operand
+
+# --- missing, truncated and corrupt files: diagnostic, nonzero, no crash.
+run(fail "hdcgen:" snap-info "${WORK_DIR}/does_not_exist.hdcs")
+
+# A file cut off mid-header: correct magic, nothing else.
+file(WRITE "${WORK_DIR}/truncated.hdcs" "HDCS")
+run(fail "hdcgen:" snap-info "${WORK_DIR}/truncated.hdcs")
+
+# A corrupt (non-snapshot) file with the right name must be rejected too;
+# long enough to pass the header-size gate so the magic check fires.
+string(REPEAT "this is not an HDCS snapshot at all. " 4 garbage)
+file(WRITE "${WORK_DIR}/garbage.hdcs" "${garbage}")
+run(fail "not an HDCS snapshot" snap-info "${WORK_DIR}/garbage.hdcs")
+
+message(STATUS "hdcgen_smoke: all checks passed")

@@ -7,6 +7,8 @@
 //   hdcgen dist FILE            # pairwise distance matrix
 //   hdcgen heatmap FILE         # ASCII similarity heat map (paper Fig. 3)
 //   hdcgen snap ...             # like gen, but writes an HDCS snapshot
+//   hdcgen snap --pipeline classifier|regressor [--dim D] [--seed S]
+//               --out FILE     # a complete encode->predict pipeline
 //   hdcgen snap-info FILE       # snapshot header + section table + verify
 //   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
 //
@@ -38,6 +40,8 @@ int usage() {
       "  hdcgen dist FILE\n"
       "  hdcgen heatmap FILE\n"
       "  hdcgen snap --kind KIND --size M [--dim D] [--r R] [--seed S] --out FILE\n"
+      "  hdcgen snap --pipeline classifier|regressor [--dim D] [--seed S]\n"
+      "              --out FILE\n"
       "  hdcgen snap-info FILE\n"
       "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n",
       stderr);
@@ -138,10 +142,49 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+/// The fixture spec shared by snap --pipeline and snap-fixtures; only
+/// explicit flags override the canonical defaults.
+hdc::io::fixtures::FixtureSpec spec_from_args(int argc, char** argv) {
+  hdc::io::fixtures::FixtureSpec spec;
+  if (const auto dim = arg_value(argc, argv, "--dim")) {
+    spec.dimension = std::stoul(*dim);
+  }
+  if (const auto size = arg_value(argc, argv, "--size")) {
+    spec.size = std::stoul(*size);
+  }
+  if (const auto seed = arg_value(argc, argv, "--seed")) {
+    spec.seed = std::stoull(*seed);
+  }
+  return spec;
+}
+
 int cmd_snap(int argc, char** argv) {
   const auto out_path = arg_value(argc, argv, "--out");
+  if (!out_path) {
+    return usage();
+  }
+  if (const auto pipeline = arg_value(argc, argv, "--pipeline")) {
+    const hdc::io::fixtures::FixtureSpec spec = spec_from_args(argc, argv);
+    hdc::io::SnapshotWriter writer;
+    if (*pipeline == "classifier") {
+      const auto models = hdc::io::fixtures::make_classifier_pipeline(spec);
+      writer.add_pipeline(models.encoder, models.model);
+    } else if (*pipeline == "regressor") {
+      const auto models = hdc::io::fixtures::make_regressor_pipeline(spec);
+      writer.add_pipeline(*models.encoder, models.model);
+    } else {
+      std::fprintf(stderr, "unknown pipeline '%s'\n", pipeline->c_str());
+      return usage();
+    }
+    writer.write_file(*out_path);
+    std::printf("wrote %s: %s pipeline, d = %zu, seed = %llu (%zu sections)\n",
+                out_path->c_str(), pipeline->c_str(), spec.dimension,
+                static_cast<unsigned long long>(spec.seed),
+                writer.section_count());
+    return 0;
+  }
   const auto basis = basis_from_args(argc, argv);
-  if (!basis || !out_path) {
+  if (!basis) {
     return usage();
   }
   hdc::io::SnapshotWriter writer;
@@ -173,6 +216,21 @@ int cmd_snap_info(const std::string& path) {
       case hdc::io::SectionType::RegressorModel:
         type = "regressor";
         break;
+      case hdc::io::SectionType::ScalarEncoderConfig:
+        type = "scalar-enc";
+        break;
+      case hdc::io::SectionType::MultiScaleEncoderConfig:
+        type = "multiscale";
+        break;
+      case hdc::io::SectionType::FeatureEncoderConfig:
+        type = "featureenc";
+        break;
+      case hdc::io::SectionType::PipelineHead:
+        type = "pipeline";
+        break;
+      case hdc::io::SectionType::SequenceEncoderConfig:
+        type = "sequence";
+        break;
     }
     std::printf(
         "  [%zu] %-10s d=%llu rows=%llu offset=%llu bytes=%llu xxh64=%016llx",
@@ -181,9 +239,50 @@ int cmd_snap_info(const std::string& path) {
         static_cast<unsigned long long>(record.payload_offset),
         static_cast<unsigned long long>(record.payload_bytes),
         static_cast<unsigned long long>(record.payload_checksum));
-    if (record.type == hdc::io::SectionType::BasisArena) {
-      std::printf(" kind=%s",
-                  hdc::to_string(static_cast<hdc::BasisKind>(record.kind)));
+    switch (record.type) {
+      case hdc::io::SectionType::BasisArena:
+        std::printf(" kind=%s",
+                    hdc::to_string(static_cast<hdc::BasisKind>(record.kind)));
+        break;
+      case hdc::io::SectionType::RegressorModel:
+      case hdc::io::SectionType::ScalarEncoderConfig:
+        if (record.label_encoder == hdc::io::LabelEncoderKind::Linear) {
+          std::printf(" enc=linear[%g, %g]", record.param_a, record.param_b);
+        } else {
+          std::printf(" enc=circular period=%g", record.param_b);
+        }
+        std::printf(" basis=[%llu]",
+                    static_cast<unsigned long long>(record.aux_section));
+        break;
+      case hdc::io::SectionType::MultiScaleEncoderConfig: {
+        std::printf(" period=%g scales={", record.param_b);
+        for (std::size_t s = 0; s < record.kind; ++s) {
+          std::printf("%s%llu", s == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(record.scales[s]));
+        }
+        std::printf("} basis=[%llu]",
+                    static_cast<unsigned long long>(record.aux_section));
+        break;
+      }
+      case hdc::io::SectionType::FeatureEncoderConfig:
+        std::printf(" keys=[%llu] values=[%llu]",
+                    static_cast<unsigned long long>(record.aux_section),
+                    static_cast<unsigned long long>(record.aux_section_b));
+        break;
+      case hdc::io::SectionType::PipelineHead:
+        std::printf(" encoder=[%llu] model=[%llu]",
+                    static_cast<unsigned long long>(record.aux_section),
+                    static_cast<unsigned long long>(record.aux_section_b));
+        break;
+      case hdc::io::SectionType::SequenceEncoderConfig:
+        if (record.kind == 0) {
+          std::printf(" enc=sequence");
+        } else {
+          std::printf(" enc=ngram n=%u", static_cast<unsigned>(record.method));
+        }
+        break;
+      case hdc::io::SectionType::ClassifierClassVectors:
+        break;
     }
     std::printf("\n");
   }
@@ -195,17 +294,8 @@ int cmd_snap_info(const std::string& path) {
 int cmd_snap_fixtures(int argc, char** argv, const std::string& dir) {
   // FixtureSpec's member initializers are the single source of the default
   // shape; only explicit flags override them.
-  hdc::io::fixtures::FixtureSpec spec;
-  if (const auto dim = arg_value(argc, argv, "--dim")) {
-    spec.dimension = std::stoul(*dim);
-  }
-  if (const auto size = arg_value(argc, argv, "--size")) {
-    spec.size = std::stoul(*size);
-  }
-  if (const auto seed = arg_value(argc, argv, "--seed")) {
-    spec.seed = std::stoull(*seed);
-  }
-  const auto written = hdc::io::fixtures::write_all(dir, spec);
+  const auto written =
+      hdc::io::fixtures::write_all(dir, spec_from_args(argc, argv));
   for (const std::string& path : written) {
     std::printf("wrote %s\n", path.c_str());
   }
