@@ -16,6 +16,9 @@
 #include <filesystem>
 #include <fstream>
 #include <span>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "hdc/core/accumulator.hpp"
@@ -28,6 +31,7 @@
 #include "hdc/io/pipeline.hpp"
 #include "hdc/io/snapshot.hpp"
 #include "hdc/runtime/runtime.hpp"
+#include "hdc/serve/serve.hpp"
 
 namespace {
 
@@ -432,6 +436,74 @@ void report_snapshot_load() {
               stream_ms_by_variant[1] / trust_ms[1]);
 }
 
+// Streaming-serve throughput: the whole `hdcgen serve` stack in process —
+// CSV rows through RowReader, micro-batched over the thread pool, plain
+// predictions out — over a trusted-mmap composed Beijing pipeline.  CI
+// archives the rows/s figure and gates it against
+// bench/baselines/BENCH_baseline.json (bench/compare_baseline.py).
+void report_serve_throughput() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kRows = 4'096;
+  constexpr std::size_t kBatch = 256;
+  using clock = std::chrono::steady_clock;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hdcs_serve_bench_" +
+       std::to_string(static_cast<unsigned long long>(
+           clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = (dir / "beijing.hdcs").string();
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_beijing_pipeline(spec);
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(*models.encoder, models.model);
+    writer.write_file(snap_path);
+  }
+
+  // One CSV byte stream, replayed for every run: the benchmark covers
+  // parsing, batching, encoding and prediction — the serving hot path.
+  std::string csv;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    csv += std::to_string(i % 5) + ',' +
+           std::to_string((static_cast<double>(i) * 61.7) + 3.25) + ',' +
+           std::to_string(0.5 * static_cast<double>((i * 7) % 48)) + '\n';
+  }
+
+  const auto snapshot = hdc::io::MappedSnapshot::open(
+      snap_path, hdc::io::SnapshotIntegrity::Trust);
+  hdc::serve::ServerOptions options;
+  options.batch_size = kBatch;
+  const hdc::serve::Server server(hdc::io::Pipeline::restore(snapshot),
+                                  options);
+
+  constexpr int kRepeats = 3;
+  double best_rows_per_second = 0.0;
+  std::size_t served_rows = 0;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    std::istringstream in(csv);
+    std::ostringstream out;
+    hdc::serve::RowReader reader(in, 3);
+    hdc::serve::PredictionWriter writer(out,
+                                        hdc::serve::OutputFormat::Plain);
+    const auto stats = server.run(reader, writer);
+    served_rows = stats.rows;
+    best_rows_per_second =
+        std::max(best_rows_per_second,
+                 static_cast<double>(stats.rows) / stats.seconds);
+  }
+  std::filesystem::remove_all(dir);
+
+  std::printf("\n[serve-throughput] d=%zu rows=%zu batch=%zu threads=%zu\n",
+              kDim, served_rows, kBatch,
+              static_cast<std::size_t>(
+                  std::thread::hardware_concurrency()));
+  std::printf("[serve-throughput] rows_per_second: %.0f\n",
+              best_rows_per_second);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -444,5 +516,6 @@ int main(int argc, char** argv) {
   report_batch_speedup();
   report_basis_memory();
   report_snapshot_load();
+  report_serve_throughput();
   return 0;
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate.
+
+Parses the ``[snapshot-load]`` and ``[serve-throughput]`` reports out of a
+``bench_ops`` text log, compares each metric against the committed floors in
+``bench/baselines/BENCH_baseline.json``, writes a machine-readable
+``bench_report.json`` (uploaded as a CI artifact so the bench trajectory is
+preserved per-commit), and exits nonzero when any metric falls more than the
+configured tolerance below its baseline.
+
+Usage:
+    python3 bench/compare_baseline.py BENCH_OPS_LOG [--baseline FILE]
+                                      [--report FILE]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+METRIC_PATTERNS = {
+    "snapshot_load_mmap_speedup":
+        re.compile(r"\[snapshot-load\] mmap speedup:\s*([0-9.]+)"),
+    "serve_throughput_rows_per_second":
+        re.compile(r"\[serve-throughput\] rows_per_second:\s*([0-9.]+)"),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("log", help="bench_ops stdout capture")
+    parser.add_argument("--baseline",
+                        default="bench/baselines/BENCH_baseline.json")
+    parser.add_argument("--report", default="bench_report.json")
+    args = parser.parse_args()
+
+    with open(args.log, encoding="utf-8") as handle:
+        log = handle.read()
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    tolerance = float(baseline.get("tolerance", 0.25))
+    report = {"tolerance": tolerance, "metrics": {}, "pass": True}
+    for name, spec in baseline["metrics"].items():
+        pattern = METRIC_PATTERNS.get(name)
+        entry = {"baseline": spec["baseline"]}
+        if pattern is None:
+            entry["error"] = "no parser for this metric"
+            report["pass"] = False
+        else:
+            match = pattern.search(log)
+            if match is None:
+                entry["error"] = f"'{spec['source']}' not found in {args.log}"
+                report["pass"] = False
+            else:
+                value = float(match.group(1))
+                floor = spec["baseline"] * (1.0 - tolerance)
+                entry.update(value=value, floor=floor, ok=value >= floor)
+                if not entry["ok"]:
+                    report["pass"] = False
+        report["metrics"][name] = entry
+
+    with open(args.report, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for name, entry in report["metrics"].items():
+        if "error" in entry:
+            print(f"FAIL {name}: {entry['error']}")
+        elif entry["ok"]:
+            print(f"ok   {name}: {entry['value']:g} "
+                  f"(baseline {entry['baseline']:g}, floor {entry['floor']:g})")
+        else:
+            print(f"FAIL {name}: {entry['value']:g} fell below floor "
+                  f"{entry['floor']:g} (baseline {entry['baseline']:g})")
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

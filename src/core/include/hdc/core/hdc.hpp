@@ -14,6 +14,7 @@
 #include "hdc/core/basis_random.hpp"     // IWYU pragma: export
 #include "hdc/core/bitops.hpp"           // IWYU pragma: export
 #include "hdc/core/classifier.hpp"       // IWYU pragma: export
+#include "hdc/core/composed_encoder.hpp" // IWYU pragma: export
 #include "hdc/core/feature_encoder.hpp"  // IWYU pragma: export
 #include "hdc/core/hypervector.hpp"      // IWYU pragma: export
 #include "hdc/core/item_memory.hpp"      // IWYU pragma: export

@@ -30,6 +30,11 @@ enum : std::uint64_t {
   stream_pipeline_classifier = 9,
   stream_pipeline_multiscale = 10,
   stream_pipeline_regressor = 11,
+  stream_beijing_year = 12,
+  stream_beijing_day = 13,
+  stream_beijing_hour = 14,
+  stream_beijing_labels = 15,
+  stream_beijing_model = 16,
 };
 
 }  // namespace
@@ -169,6 +174,71 @@ RegressorPipeline make_regressor_pipeline(const FixtureSpec& spec) {
   return {std::move(encoder), std::move(model)};
 }
 
+BeijingPipeline make_beijing_pipeline(const FixtureSpec& spec) {
+  // The paper's Beijing product: year stays a level encoding (macro trend),
+  // day and hour wrap with their own periods.  Small grids keep the fixture
+  // bytes compact; the shape — three encoders, two distinct periods, one
+  // XOR product — is what the format section exists for.
+  LevelBasisConfig year_config;
+  year_config.dimension = spec.dimension;
+  year_config.size = 5;
+  year_config.seed = derive_seed(spec.seed, stream_beijing_year);
+  auto year = std::make_shared<LinearScalarEncoder>(
+      make_level_basis(year_config), 0.0, 4.0);
+
+  CircularBasisConfig day_config;
+  day_config.dimension = spec.dimension;
+  day_config.size = 12;
+  day_config.r = 0.2;
+  day_config.seed = derive_seed(spec.seed, stream_beijing_day);
+  auto day = std::make_shared<CircularScalarEncoder>(
+      make_circular_basis(day_config), 366.0);
+
+  CircularBasisConfig hour_config;
+  hour_config.dimension = spec.dimension;
+  hour_config.size = 8;
+  hour_config.r = 0.2;
+  hour_config.seed = derive_seed(spec.seed, stream_beijing_hour);
+  auto hour = std::make_shared<CircularScalarEncoder>(
+      make_circular_basis(hour_config), 24.0);
+
+  auto encoder = std::make_shared<const ComposedEncoder>(
+      std::vector<ScalarEncoderPtr>{std::move(year), std::move(day),
+                                    std::move(hour)});
+
+  LevelBasisConfig label_config;
+  label_config.dimension = spec.dimension;
+  label_config.size = 16;
+  label_config.seed = derive_seed(spec.seed, stream_beijing_labels);
+  auto labels = std::make_shared<LinearScalarEncoder>(
+      make_level_basis(label_config), -20.0, 40.0);
+
+  // Seeded stand-in for the hourly series: annual harmonic (coldest
+  // mid-January), diurnal harmonic (warmest mid-afternoon), slight warming
+  // trend, and a little seeded weather noise.
+  constexpr double two_pi = 6.283185307179586476925287;
+  HDRegressor model(labels, derive_seed(spec.seed, stream_beijing_model));
+  Rng rng(derive_seed(spec.seed, stream_beijing_model));
+  for (std::size_t year_index = 0; year_index < 5; ++year_index) {
+    for (std::size_t d = 0; d < 12; ++d) {
+      const double day_of_year = 366.0 * static_cast<double>(d) / 12.0;
+      for (std::size_t h = 0; h < 6; ++h) {
+        const double hour_of_day = 24.0 * static_cast<double>(h) / 6.0;
+        const double temperature =
+            12.5 -
+            14.5 * std::cos(two_pi * (day_of_year - 15.0) / 366.0 + two_pi) +
+            4.0 * std::cos(two_pi * (hour_of_day - 15.0) / 24.0) +
+            0.04 * static_cast<double>(year_index) + rng.uniform(-0.5, 0.5);
+        const std::vector<double> row{static_cast<double>(year_index),
+                                      day_of_year, hour_of_day};
+        model.add_sample(encoder->encode(row), temperature);
+      }
+    }
+  }
+  model.finalize();
+  return {std::move(encoder), std::move(model)};
+}
+
 std::vector<std::string> fixture_names() {
   return {
       "basis_random.hdcs",   "basis_level.hdcs",
@@ -176,6 +246,7 @@ std::vector<std::string> fixture_names() {
       "classifier.hdcs",     "regressor.hdcs",
       "combined.hdcs",       "pipeline_classifier.hdcs",
       "pipeline_regressor.hdcs", "pipeline_combined.hdcs",
+      "pipeline_beijing.hdcs",
   };
 }
 
@@ -194,6 +265,7 @@ std::vector<std::string> write_all(const std::string& dir,
   const HDRegressor regressor = make_regressor(spec);
   const ClassifierPipeline classifier_pipeline = make_classifier_pipeline(spec);
   const RegressorPipeline regressor_pipeline = make_regressor_pipeline(spec);
+  const BeijingPipeline beijing_pipeline = make_beijing_pipeline(spec);
 
   std::vector<std::string> written;
   const auto write_one = [&](const std::string& name, const auto& add) {
@@ -230,6 +302,9 @@ std::vector<std::string> write_all(const std::string& dir,
   write_one("pipeline_combined.hdcs", [&](SnapshotWriter& w) {
     w.add_pipeline(classifier_pipeline.encoder, classifier_pipeline.model);
     w.add_pipeline(*regressor_pipeline.encoder, regressor_pipeline.model);
+  });
+  write_one("pipeline_beijing.hdcs", [&](SnapshotWriter& w) {
+    w.add_pipeline(*beijing_pipeline.encoder, beijing_pipeline.model);
   });
   return written;
 }

@@ -40,8 +40,9 @@ void encode_section_entry(std::span<std::byte> out, std::size_t at,
   store_u64(out, at + 64, record.payload_bytes);
   store_u64(out, at + 72, record.payload_checksum);
   store_u64(out, at + 80, record.aux_section_b);
-  // [at + 88, at + 128): the multiscale scale list; zero for every other
-  // section type, which keeps those bytes reserved in practice.
+  // [at + 88, at + 128): the multiscale scale list / composed sub-encoder
+  // references; zero for every other section type, which keeps those bytes
+  // reserved in practice.
   for (std::size_t i = 0; i < snapshot_max_scales; ++i) {
     store_u64(out, at + 88 + 8 * i, record.scales[i]);
   }
@@ -64,7 +65,7 @@ void require_zero_bytes(std::span<const std::byte> bytes, std::size_t begin,
                         std::size_t end, const char* where) {
   for (std::size_t i = begin; i < end; ++i) {
     if (bytes[i] != std::byte{0}) {
-      fail(std::string(where) + " reserved bytes must be zero in version 2");
+      fail(std::string(where) + " reserved bytes must be zero in version 3");
     }
   }
 }
@@ -94,8 +95,8 @@ SectionRecord decode_section_entry(std::span<const std::byte> table,
 }
 
 /// Per-entry metadata rules beyond bounds: what combination of fields each
-/// section type may carry in version 2.  Strict on purpose — every field a
-/// v2 reader does not interpret must be zero/sentinel, which keeps the fuzz
+/// section type may carry in version 3.  Strict on purpose — every field a
+/// v3 reader does not interpret must be zero/sentinel, which keeps the fuzz
 /// contract tight (a bit flip either breaks a checksum or breaks a rule
 /// here) and leaves room to assign meanings in later versions.
 void validate_section_metadata(const SectionRecord& record, std::size_t index,
@@ -108,7 +109,8 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
   // whole state in the table entry: no payload, count == 0.
   const bool config_only = record.type == SectionType::ScalarEncoderConfig ||
                            record.type == SectionType::PipelineHead ||
-                           record.type == SectionType::SequenceEncoderConfig;
+                           record.type == SectionType::SequenceEncoderConfig ||
+                           record.type == SectionType::ComposedEncoderConfig;
   if (config_only) {
     if (record.count != 0 || record.payload_bytes != 0) {
       fail(where + ": config sections carry no payload rows");
@@ -286,7 +288,8 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
           resolve(record.aux_section, "pipeline encoder");
       if (encoder.type != SectionType::ScalarEncoderConfig &&
           encoder.type != SectionType::MultiScaleEncoderConfig &&
-          encoder.type != SectionType::FeatureEncoderConfig) {
+          encoder.type != SectionType::FeatureEncoderConfig &&
+          encoder.type != SectionType::ComposedEncoderConfig) {
         fail(where + ": aux section is not a pipeline encoder");
       }
       const SectionRecord& model =
@@ -312,6 +315,44 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
       require_no_aux_b();
       require_zero_scales();
       break;
+    case SectionType::ComposedEncoderConfig: {
+      if (record.method != 0 || record.seed != 0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0 || record.param_b != 0.0) {
+        fail(where + ": unexpected fields on a composed encoder section");
+      }
+      const std::size_t num_parts = record.kind;
+      if (num_parts < 2 || num_parts > snapshot_max_composed) {
+        fail(where + ": composed sub-encoder count out of [2, " +
+             std::to_string(snapshot_max_composed) + "]");
+      }
+      const auto require_sub_encoder = [&](std::uint64_t aux,
+                                           std::size_t part) {
+        const SectionRecord& sub =
+            resolve(aux, "composed sub-encoder");
+        if (sub.type != SectionType::ScalarEncoderConfig &&
+            sub.type != SectionType::MultiScaleEncoderConfig) {
+          fail(where + ": sub-encoder " + std::to_string(part) +
+               " is not a scalar encoder config");
+        }
+      };
+      require_sub_encoder(record.aux_section, 0);
+      require_sub_encoder(record.aux_section_b, 1);
+      // Sub-encoders beyond the first two reuse the scale slots, stored as
+      // section index + 1 so 0 stays the "unused slot" sentinel.
+      for (std::size_t s = 0; s < snapshot_max_scales; ++s) {
+        if (s + 2 >= num_parts) {
+          if (record.scales[s] != 0) {
+            fail(where + ": trailing composed sub-encoder slots must be zero");
+          }
+        } else if (record.scales[s] == 0) {
+          fail(where + ": missing composed sub-encoder reference");
+        } else {
+          require_sub_encoder(record.scales[s] - 1, s + 2);
+        }
+      }
+      break;
+    }
     default:
       fail(where + ": unknown section type");
   }
@@ -340,7 +381,7 @@ SnapshotLayout parse_snapshot_layout(std::span<const std::byte> file) {
   }
   if (load_u32(file, 8) != snapshot_header_bytes ||
       load_u32(file, 12) != snapshot_entry_bytes) {
-    fail("header or section-entry size disagrees with version 2");
+    fail("header or section-entry size disagrees with version 3");
   }
   const std::uint32_t section_count = load_u32(file, 16);
   const std::uint32_t alignment = load_u32(file, 20);

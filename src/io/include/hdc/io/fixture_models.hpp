@@ -23,6 +23,7 @@
 
 #include "hdc/core/basis.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/composed_encoder.hpp"
 #include "hdc/core/feature_encoder.hpp"
 #include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/regressor.hpp"
@@ -68,10 +69,23 @@ struct RegressorPipeline {
 [[nodiscard]] RegressorPipeline make_regressor_pipeline(
     const FixtureSpec& spec = {});
 
+/// A composed three-encoder regression pipeline in the shape of the paper's
+/// Beijing circular-regression experiment: temperature regressed on
+/// Y ⊗ D ⊗ H, a level-encoded year index bound to circular encodings of
+/// day-of-year (period 366) and hour-of-day (period 24) — heterogeneous
+/// periods through one XOR product — trained on a seeded seasonal-diurnal
+/// temperature curve.
+struct BeijingPipeline {
+  std::shared_ptr<const ComposedEncoder> encoder;
+  HDRegressor model;
+};
+[[nodiscard]] BeijingPipeline make_beijing_pipeline(const FixtureSpec& spec = {});
+
 /// File names of the canonical fixture set, in generation order: one
 /// single-section snapshot per basis kind, a classifier, a regressor, one
-/// combined multi-section snapshot, and the three pipeline snapshots
-/// (classifier pipeline, regressor pipeline, both in one file).
+/// combined multi-section snapshot, and the four pipeline snapshots
+/// (classifier pipeline, regressor pipeline, both in one file, and the
+/// Beijing composed-encoder pipeline).
 [[nodiscard]] std::vector<std::string> fixture_names();
 
 /// Writes the canonical fixture snapshots into \p dir (created if missing)

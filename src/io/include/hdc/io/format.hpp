@@ -49,9 +49,11 @@ class SnapshotError : public std::runtime_error {
 
 inline constexpr std::array<char, 4> snapshot_magic = {'H', 'D', 'C', 'S'};
 /// Version 2 added the encoder/pipeline section types (4..8), the second
-/// aux-reference field and the multiscale scale list; see
-/// docs/snapshot_format.md for the migration notes.
-inline constexpr std::uint16_t snapshot_version = 2;
+/// aux-reference field and the multiscale scale list; version 3 added the
+/// ComposedEncoderConfig section (9) for N-way XOR-product encoder bindings
+/// with heterogeneous periods; see docs/snapshot_format.md for the
+/// migration notes.
+inline constexpr std::uint16_t snapshot_version = 3;
 /// 'E','L' on disk; a reader decoding the header little-endian sees 0x4C45.
 inline constexpr std::uint16_t snapshot_endian_marker = 0x4C45;
 inline constexpr std::size_t snapshot_header_bytes = 64;
@@ -71,6 +73,11 @@ inline constexpr std::uint64_t snapshot_max_sections = 1ULL << 20;
 /// Most scales a MultiScaleEncoderConfig section can record: the scale list
 /// lives in the fixed-size section entry (offsets [88, 128)).
 inline constexpr std::size_t snapshot_max_scales = 5;
+/// Most sub-encoders a ComposedEncoderConfig section can reference: the
+/// first two ride in aux_section / aux_section_b, the rest reuse the five
+/// entry slots at offsets [88, 128) (stored as section index + 1 so the
+/// all-zero slot keeps meaning "unused").
+inline constexpr std::size_t snapshot_max_composed = 2 + snapshot_max_scales;
 
 /// What a payload section holds.
 enum class SectionType : std::uint16_t {
@@ -105,6 +112,13 @@ enum class SectionType : std::uint16_t {
   /// fully determined by (dimension, seed[, n]); `kind` is 0 for sequence,
   /// 1 for n-gram, and `method` carries n for n-gram sections.
   SequenceEncoderConfig = 8,
+  /// A ComposedEncoder (version 3, no payload): `kind` scalar-encoder
+  /// config sections bound by XOR product, one feature each.  `aux_section`
+  /// and `aux_section_b` reference sub-encoders 0 and 1; sub-encoders 2..6
+  /// live in the `scales` slots as section index + 1 (0 = unused).  The
+  /// paper's Beijing Y ⊗ D ⊗ H product with heterogeneous periods is the
+  /// canonical instance.
+  ComposedEncoderConfig = 9,
 };
 
 /// Scalar-encoder family: the label encoder of a RegressorModel section and
@@ -136,7 +150,9 @@ struct SectionRecord {
   /// FeatureEncoderConfig, or the model section of a PipelineHead.
   std::uint64_t aux_section_b = snapshot_no_aux;
   /// Ring sizes of a MultiScaleEncoderConfig's bound scales, coarse -> fine
-  /// in the first `kind` slots; all-zero for every other section type.
+  /// in the first `kind` slots; on a ComposedEncoderConfig the first
+  /// `kind - 2` slots carry sub-encoder section references as index + 1;
+  /// all-zero for every other section type.
   std::array<std::uint64_t, snapshot_max_scales> scales{};
 };
 

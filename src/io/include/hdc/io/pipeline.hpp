@@ -23,6 +23,7 @@
 #include <span>
 
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/composed_encoder.hpp"
 #include "hdc/core/feature_encoder.hpp"
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/regressor.hpp"
@@ -65,8 +66,9 @@ class Pipeline {
   [[nodiscard]] PipelineKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
 
-  /// Features per sample: the key count of a feature-encoder pipeline, 1
-  /// for a scalar-encoder pipeline.
+  /// Features per sample: the key count of a feature-encoder pipeline, the
+  /// sub-encoder count of a composed-encoder pipeline, 1 for a
+  /// scalar-encoder pipeline.
   [[nodiscard]] std::size_t num_features() const noexcept;
 
   /// Encodes one feature row exactly as the written pipeline did.
@@ -94,6 +96,9 @@ class Pipeline {
   [[nodiscard]] const ScalarEncoder* scalar_encoder() const noexcept {
     return scalar_.get();
   }
+  [[nodiscard]] const ComposedEncoder* composed_encoder() const noexcept {
+    return composed_.get();
+  }
 
   /// hdc::runtime bridges: a BatchEncoder wrapping this pipeline's encode()
   /// and Batch{Classifier,Regressor} engines adopting (a shallow copy of)
@@ -116,6 +121,7 @@ class Pipeline {
   /// Exactly one encoder and one model slot is set, per kind_.
   std::shared_ptr<const KeyValueEncoder> features_;
   ScalarEncoderPtr scalar_;
+  std::shared_ptr<const ComposedEncoder> composed_;
   std::shared_ptr<const CentroidClassifier> classifier_;
   std::shared_ptr<const HDRegressor> regressor_;
 };

@@ -38,6 +38,7 @@
 
 #include "hdc/core/basis.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/composed_encoder.hpp"
 #include "hdc/core/feature_encoder.hpp"
 #include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/regressor.hpp"
@@ -90,6 +91,13 @@ class SnapshotWriter {
   /// \throws SnapshotError as add_scalar_encoder.
   std::size_t add_feature_encoder(const KeyValueEncoder& encoder);
 
+  /// Adds a ComposedEncoder — each sub-encoder via add_scalar_encoder, then
+  /// a payload-less ComposedEncoderConfig referencing them all — and
+  /// returns the index of the config section.  \throws SnapshotError if the
+  /// encoder has more than `snapshot_max_composed` sub-encoders, or as
+  /// add_scalar_encoder for each part.
+  std::size_t add_composed_encoder(const ComposedEncoder& encoder);
+
   /// Adds a sequence / n-gram encoder as one payload-less config section
   /// (both are fully determined by dimension, seed and n) and returns its
   /// index.  \throws SnapshotError if an n-gram n exceeds 65535.
@@ -109,6 +117,10 @@ class SnapshotWriter {
   std::size_t add_pipeline(const KeyValueEncoder& encoder,
                            const CentroidClassifier& model);
   std::size_t add_pipeline(const KeyValueEncoder& encoder,
+                           const HDRegressor& model);
+  std::size_t add_pipeline(const ComposedEncoder& encoder,
+                           const CentroidClassifier& model);
+  std::size_t add_pipeline(const ComposedEncoder& encoder,
                            const HDRegressor& model);
 
   [[nodiscard]] std::size_t section_count() const noexcept {
@@ -229,6 +241,11 @@ class MappedSnapshot {
   /// (key basis and value encoder borrow from the snapshot).  \throws as
   /// basis().
   [[nodiscard]] KeyValueEncoder feature_encoder(std::size_t i) const;
+
+  /// Composed-encoder config section \p i as a restored `ComposedEncoder`
+  /// (every sub-encoder's basis borrows from the snapshot).  \throws as
+  /// basis().
+  [[nodiscard]] ComposedEncoder composed_encoder(std::size_t i) const;
 
   /// Sequence-encoder config section \p i as a `SequenceEncoder` /
   /// `NGramEncoder`, rebuilt bit-exactly from (dimension, seed[, n]).

@@ -336,6 +336,25 @@ KeyValueEncoder MappedSnapshot::feature_encoder(std::size_t i) const {
                          std::move(tie_breaker), record.seed);
 }
 
+ComposedEncoder MappedSnapshot::composed_encoder(std::size_t i) const {
+  const SectionRecord& record = impl_->checked_section(i);
+  if (record.type != SectionType::ComposedEncoderConfig) {
+    throw SnapshotError("MappedSnapshot::composed_encoder: section " +
+                        std::to_string(i) +
+                        " is not a composed encoder config");
+  }
+  std::vector<ScalarEncoderPtr> parts;
+  parts.reserve(record.kind);
+  parts.push_back(scalar_encoder(static_cast<std::size_t>(record.aux_section)));
+  parts.push_back(
+      scalar_encoder(static_cast<std::size_t>(record.aux_section_b)));
+  for (std::size_t s = 2; s < record.kind; ++s) {
+    parts.push_back(scalar_encoder(
+        static_cast<std::size_t>(record.scales[s - 2] - 1)));
+  }
+  return ComposedEncoder(std::move(parts));
+}
+
 SequenceEncoder MappedSnapshot::sequence_encoder(std::size_t i) const {
   const SectionRecord& record = impl_->checked_section(i);
   if (record.type != SectionType::SequenceEncoderConfig || record.kind != 0) {

@@ -43,12 +43,18 @@ Pipeline Pipeline::restore(const MappedSnapshot& snapshot,
   pipeline.dimension_ = static_cast<std::size_t>(head.dimension);
 
   const auto encoder_index = static_cast<std::size_t>(head.aux_section);
-  if (snapshot.section(encoder_index).type ==
-      SectionType::FeatureEncoderConfig) {
-    pipeline.features_ = std::make_shared<KeyValueEncoder>(
-        snapshot.feature_encoder(encoder_index));
-  } else {
-    pipeline.scalar_ = snapshot.scalar_encoder(encoder_index);
+  switch (snapshot.section(encoder_index).type) {
+    case SectionType::FeatureEncoderConfig:
+      pipeline.features_ = std::make_shared<KeyValueEncoder>(
+          snapshot.feature_encoder(encoder_index));
+      break;
+    case SectionType::ComposedEncoderConfig:
+      pipeline.composed_ = std::make_shared<ComposedEncoder>(
+          snapshot.composed_encoder(encoder_index));
+      break;
+    default:
+      pipeline.scalar_ = snapshot.scalar_encoder(encoder_index);
+      break;
   }
 
   const auto model_index = static_cast<std::size_t>(head.aux_section_b);
@@ -66,12 +72,18 @@ Pipeline Pipeline::restore(const MappedSnapshot& snapshot,
 }
 
 std::size_t Pipeline::num_features() const noexcept {
-  return features_ ? features_->num_features() : 1;
+  if (features_) {
+    return features_->num_features();
+  }
+  return composed_ ? composed_->num_features() : 1;
 }
 
 Hypervector Pipeline::encode(std::span<const double> features) const {
   if (features_) {
     return features_->encode(features);
+  }
+  if (composed_) {
+    return composed_->encode(features);
   }
   if (features.size() != 1) {
     throw std::invalid_argument(
@@ -106,27 +118,28 @@ const HDRegressor& Pipeline::regressor() const {
 }
 
 runtime::BatchEncoder Pipeline::batch_encoder(runtime::ThreadPoolPtr pool) const {
+  // Every branch captures the shared encoder state, not this Pipeline
+  // object; the engine stays valid as long as the snapshot mapping does.
+  runtime::BatchEncoder::EncodeFn encode;
   if (features_) {
-    // Captures the shared encoder state, not this Pipeline object; the
-    // engine stays valid as long as the snapshot mapping does.
-    auto encoder = features_;
-    return runtime::BatchEncoder(
-        dimension_,
-        [encoder](std::span<const double> row) { return encoder->encode(row); },
-        std::move(pool));
+    encode = [encoder = features_](std::span<const double> row) {
+      return encoder->encode(row);
+    };
+  } else if (composed_) {
+    encode = [encoder = composed_](std::span<const double> row) {
+      return encoder->encode(row);
+    };
+  } else {
+    encode = [encoder = scalar_](std::span<const double> row) {
+      if (row.size() != 1) {
+        throw std::invalid_argument(
+            "Pipeline batch encoder: scalar-encoder pipelines take exactly "
+            "one feature per row");
+      }
+      return Hypervector(encoder->encode(row[0]));
+    };
   }
-  auto encoder = scalar_;
-  return runtime::BatchEncoder(
-      dimension_,
-      [encoder](std::span<const double> row) {
-        if (row.size() != 1) {
-          throw std::invalid_argument(
-              "Pipeline batch encoder: scalar-encoder pipelines take exactly "
-              "one feature per row");
-        }
-        return Hypervector(encoder->encode(row[0]));
-      },
-      std::move(pool));
+  return runtime::BatchEncoder(dimension_, std::move(encode), std::move(pool));
 }
 
 runtime::BatchClassifier Pipeline::batch_classifier(

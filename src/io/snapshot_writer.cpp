@@ -177,6 +177,35 @@ std::size_t SnapshotWriter::add_feature_encoder(const KeyValueEncoder& encoder) 
   return sections_.size() - 1;
 }
 
+std::size_t SnapshotWriter::add_composed_encoder(
+    const ComposedEncoder& encoder) {
+  const std::vector<ScalarEncoderPtr>& parts = encoder.parts();
+  if (parts.size() > snapshot_max_composed) {
+    throw SnapshotError(
+        "SnapshotWriter::add_composed_encoder: composed encoders with more "
+        "than " + std::to_string(snapshot_max_composed) +
+        " sub-encoders are not snapshot-able");
+  }
+  // Each part's sections land before the config section; the loop is
+  // explicitly sequenced so golden snapshots are compiler-independent.
+  std::vector<std::size_t> part_sections;
+  part_sections.reserve(parts.size());
+  for (const ScalarEncoderPtr& part : parts) {
+    part_sections.push_back(add_scalar_encoder(*part));
+  }
+  SectionRecord record;
+  record.type = SectionType::ComposedEncoderConfig;
+  record.kind = static_cast<std::uint16_t>(parts.size());
+  record.dimension = encoder.dimension();
+  record.aux_section = part_sections[0];
+  record.aux_section_b = part_sections[1];
+  for (std::size_t s = 2; s < part_sections.size(); ++s) {
+    record.scales[s - 2] = part_sections[s] + 1;
+  }
+  sections_.push_back(Pending{record, {}});
+  return sections_.size() - 1;
+}
+
 std::size_t SnapshotWriter::add_sequence_encoder(const SequenceEncoder& encoder) {
   SectionRecord record;
   record.type = SectionType::SequenceEncoderConfig;
@@ -248,6 +277,22 @@ std::size_t SnapshotWriter::add_pipeline(const KeyValueEncoder& encoder,
                                          const HDRegressor& model) {
   require_pipeline_dimensions(encoder.dimension(), model.dimension());
   const std::size_t encoder_section = add_feature_encoder(encoder);
+  const std::size_t model_section = add_regressor(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const ComposedEncoder& encoder,
+                                         const CentroidClassifier& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_composed_encoder(encoder);
+  const std::size_t model_section = add_classifier(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const ComposedEncoder& encoder,
+                                         const HDRegressor& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_composed_encoder(encoder);
   const std::size_t model_section = add_regressor(model);
   return add_pipeline_head(encoder_section, model_section, model.dimension());
 }

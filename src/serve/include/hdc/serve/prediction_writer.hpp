@@ -1,0 +1,72 @@
+#ifndef HDC_SERVE_PREDICTION_WRITER_HPP
+#define HDC_SERVE_PREDICTION_WRITER_HPP
+
+/// \file prediction_writer.hpp
+/// \brief Prediction emission for the serving front end.
+///
+/// Three wire formats, one writer:
+///
+///  * `Plain` — one prediction per line, nothing else.  This is the golden
+///    diff format of the serve-e2e CI suite: deterministic down to the last
+///    byte (std::to_chars emits the shortest locale-independent decimal
+///    that round-trips every double bit-exactly).
+///  * `Csv`   — `row,prediction[,latency_us]` with a header line.
+///  * `Jsonl` — `{"row": i, "prediction": p[, "latency_us": l]}`.
+///
+/// Per-row latency (micro-batch admission to prediction write-out) is
+/// opt-in because it is inherently nondeterministic: golden-file pipelines
+/// use Plain, operators watching tail latency use Csv/Jsonl with latency.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace hdc::serve {
+
+/// Output wire format.
+enum class OutputFormat : std::uint8_t {
+  Plain,
+  Csv,
+  Jsonl,
+};
+
+/// Parses \p name ("plain" / "csv" / "jsonl") into an OutputFormat.
+/// \throws std::invalid_argument on anything else.
+[[nodiscard]] OutputFormat parse_output_format(const std::string& name);
+
+/// Streaming prediction emitter; one instance per response stream.
+class PredictionWriter {
+ public:
+  /// \param out           Destination stream; must outlive the writer.
+  /// \param with_latency  Emit the per-row latency column/field (ignored by
+  ///                      Plain, which stays byte-deterministic).
+  PredictionWriter(std::ostream& out, OutputFormat format,
+                   bool with_latency = false);
+
+  /// Emits one regression prediction (classifier labels go through
+  /// write_class so Plain/Csv print them as integers).
+  void write(std::size_t row, double prediction, double latency_us);
+  void write_class(std::size_t row, std::size_t label, double latency_us);
+
+  /// Flushes the underlying stream (end of a micro-batch, so a downstream
+  /// consumer never waits on a full buffer for predictions already made).
+  void flush();
+
+  [[nodiscard]] OutputFormat format() const noexcept { return format_; }
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void write_row(std::size_t row, const std::string& value,
+                 double latency_us);
+
+  std::ostream* out_;
+  OutputFormat format_;
+  bool with_latency_;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hdc::serve
+
+#endif  // HDC_SERVE_PREDICTION_WRITER_HPP

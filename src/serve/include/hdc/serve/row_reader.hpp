@@ -1,0 +1,85 @@
+#ifndef HDC_SERVE_ROW_READER_HPP
+#define HDC_SERVE_ROW_READER_HPP
+
+/// \file row_reader.hpp
+/// \brief Line-oriented feature-row parsing for the serving front end.
+///
+/// A serving replica reads feature rows off a byte stream (stdin, a socket,
+/// a file) and must reject malformed traffic with a *diagnosable* error —
+/// line number, column context, reason — instead of crashing or silently
+/// mispredicting.  `RowReader` parses CSV (`1.5, 2, -3e4`) or JSONL
+/// (`[1.5, 2, -3e4]`) lines against the restored pipeline's declared
+/// feature arity.  Empty lines are skipped, trailing CR (CRLF input) is
+/// stripped, and every parse failure throws `RowError` naming the line.
+///
+/// The reader never buffers beyond the current line, so it serves unbounded
+/// streams in constant memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hdc::serve {
+
+/// Raised on malformed feature rows; the message names the 1-based input
+/// line and the reason, so a client can fix its producer.
+class RowError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Wire format of the incoming feature rows.
+enum class RowFormat : std::uint8_t {
+  /// One sample per line, comma-separated numeric fields.
+  Csv,
+  /// One sample per line, a JSON array of numbers (`[1.0, 2.5]`).
+  Jsonl,
+};
+
+/// Parses \p name ("csv" / "jsonl") into a RowFormat.
+/// \throws std::invalid_argument on anything else.
+[[nodiscard]] RowFormat parse_row_format(const std::string& name);
+
+/// Streaming feature-row parser with a fixed arity contract.
+class RowReader {
+ public:
+  /// \param in            Source stream; must outlive the reader.
+  /// \param num_features  Required fields per row (> 0).
+  /// \throws std::invalid_argument if num_features == 0.
+  RowReader(std::istream& in, std::size_t num_features,
+            RowFormat format = RowFormat::Csv);
+
+  /// Reads the next non-empty line into \p out (resized to num_features()).
+  /// Returns false on clean end of stream.  \throws RowError on wrong
+  /// arity, non-numeric fields, malformed JSON arrays, or stream failure.
+  [[nodiscard]] bool next(std::vector<double>& out);
+
+  [[nodiscard]] std::size_t num_features() const noexcept {
+    return num_features_;
+  }
+  [[nodiscard]] RowFormat format() const noexcept { return format_; }
+
+  /// 1-based number of the last line read (0 before the first read).
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_; }
+
+  /// Rows successfully parsed so far.
+  [[nodiscard]] std::size_t rows_read() const noexcept { return rows_; }
+
+ private:
+  void parse_csv(const std::string& line, std::vector<double>& out) const;
+  void parse_jsonl(const std::string& line, std::vector<double>& out) const;
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::istream* in_;
+  std::size_t num_features_;
+  RowFormat format_;
+  std::size_t line_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hdc::serve
+
+#endif  // HDC_SERVE_ROW_READER_HPP

@@ -1,0 +1,99 @@
+#ifndef HDC_SERVE_SERVER_HPP
+#define HDC_SERVE_SERVER_HPP
+
+/// \file server.hpp
+/// \brief Micro-batching prediction server over a restored pipeline.
+///
+/// The serving shape the ROADMAP asks for: a replica cold-starts from one
+/// mmapped snapshot (`hdc::io::Pipeline::restore`), then streams feature
+/// rows through the `hdc::runtime` thread pool in micro-batches — rows are
+/// admitted until the batch is full *or* the configured flush interval has
+/// elapsed since the batch opened, then encoded and predicted batch-at-a-
+/// time via the BatchEncoder/BatchClassifier/BatchRegressor bridges and
+/// written out in admission order.
+///
+/// Predictions are bit-identical to calling `Pipeline::classify`/`regress`
+/// per row, for any batch size and any thread count (the batch engines'
+/// determinism contract); the serve-e2e CI suite diffs the CLI output
+/// against committed goldens to pin exactly that.
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hdc/io/pipeline.hpp"
+#include "hdc/runtime/batch_classifier.hpp"
+#include "hdc/runtime/batch_encoder.hpp"
+#include "hdc/runtime/batch_regressor.hpp"
+#include "hdc/serve/prediction_writer.hpp"
+#include "hdc/serve/row_reader.hpp"
+
+namespace hdc::serve {
+
+/// Micro-batching policy.
+struct ServerOptions {
+  /// Rows per micro-batch (> 0).  Small batches bound per-row latency,
+  /// large batches amortize the fork-join fan-out.
+  std::size_t batch_size = 64;
+  /// Flush a partial batch once this much time has passed since its first
+  /// row was admitted; zero disables the timer (flush on full/EOF only).
+  /// Note: rows are read with blocking stream I/O, so the timer is checked
+  /// after each admitted row — it bounds batching delay under steady
+  /// traffic, not the blocking read itself.
+  std::chrono::microseconds flush_interval{0};
+  /// Worker threads for the internally created pool when none is passed
+  /// (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+};
+
+/// A ready-to-serve prediction loop around one restored pipeline.
+///
+/// The pipeline (and everything the Server builds from it) may borrow a
+/// snapshot mapping: the Server must not outlive the `MappedSnapshot` it
+/// was restored from.  `predict()` and `run()` are not re-entrant on one
+/// Server, but distinct Servers may share one thread pool.
+class Server {
+ public:
+  /// \throws std::invalid_argument if options.batch_size == 0.
+  explicit Server(io::Pipeline pipeline, ServerOptions options = {},
+                  runtime::ThreadPoolPtr pool = nullptr);
+
+  [[nodiscard]] const io::Pipeline& pipeline() const noexcept {
+    return pipeline_;
+  }
+  [[nodiscard]] const ServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// One micro-batch through the thread pool: encode every row, predict,
+  /// return predictions in row order (classifier labels as doubles).
+  /// \throws std::invalid_argument on a row of the wrong arity.
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const std::vector<double>> rows) const;
+
+  /// Serving-loop outcome.
+  struct Stats {
+    std::size_t rows = 0;
+    std::size_t batches = 0;
+    double seconds = 0.0;
+  };
+
+  /// Reads rows until end of stream, predicting in micro-batches and
+  /// writing every prediction (with its admission-to-write latency) in
+  /// input order.  \throws RowError on malformed input — every row that
+  /// parsed before the bad one is predicted, written and flushed first;
+  /// std::invalid_argument if the reader's arity disagrees with the
+  /// pipeline's.
+  Stats run(RowReader& reader, PredictionWriter& writer) const;
+
+ private:
+  io::Pipeline pipeline_;
+  ServerOptions options_;
+  runtime::ThreadPoolPtr pool_;
+  runtime::BatchEncoder encoder_;
+};
+
+}  // namespace hdc::serve
+
+#endif  // HDC_SERVE_SERVER_HPP

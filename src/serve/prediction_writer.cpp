@@ -1,0 +1,83 @@
+#include "hdc/serve/prediction_writer.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <stdexcept>
+
+namespace hdc::serve {
+
+namespace {
+
+/// Shortest round-trip decimal of a double via std::to_chars: re-parses
+/// bit-exactly (the golden-diff guarantee) and, unlike printf, cannot be
+/// bent by the host application's LC_NUMERIC locale.
+std::string format_double(double value) {
+  char buffer[32];
+  const auto [end, error] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return {buffer, error == std::errc{} ? end : buffer};
+}
+
+}  // namespace
+
+OutputFormat parse_output_format(const std::string& name) {
+  if (name == "plain") {
+    return OutputFormat::Plain;
+  }
+  if (name == "csv") {
+    return OutputFormat::Csv;
+  }
+  if (name == "jsonl") {
+    return OutputFormat::Jsonl;
+  }
+  throw std::invalid_argument("unknown output format '" + name +
+                              "' (expected plain, csv or jsonl)");
+}
+
+PredictionWriter::PredictionWriter(std::ostream& out, OutputFormat format,
+                                   bool with_latency)
+    : out_(&out), format_(format), with_latency_(with_latency) {}
+
+void PredictionWriter::write_row(std::size_t row, const std::string& value,
+                                 double latency_us) {
+  switch (format_) {
+    case OutputFormat::Plain:
+      *out_ << value << '\n';
+      break;
+    case OutputFormat::Csv:
+      if (!header_written_) {
+        *out_ << (with_latency_ ? "row,prediction,latency_us"
+                                : "row,prediction")
+              << '\n';
+        header_written_ = true;
+      }
+      *out_ << row << ',' << value;
+      if (with_latency_) {
+        *out_ << ',' << format_double(latency_us);
+      }
+      *out_ << '\n';
+      break;
+    case OutputFormat::Jsonl:
+      *out_ << "{\"row\": " << row << ", \"prediction\": " << value;
+      if (with_latency_) {
+        *out_ << ", \"latency_us\": " << format_double(latency_us);
+      }
+      *out_ << "}\n";
+      break;
+  }
+  ++rows_;
+}
+
+void PredictionWriter::write(std::size_t row, double prediction,
+                             double latency_us) {
+  write_row(row, format_double(prediction), latency_us);
+}
+
+void PredictionWriter::write_class(std::size_t row, std::size_t label,
+                                   double latency_us) {
+  write_row(row, std::to_string(label), latency_us);
+}
+
+void PredictionWriter::flush() { out_->flush(); }
+
+}  // namespace hdc::serve

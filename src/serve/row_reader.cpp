@@ -1,0 +1,182 @@
+#include "hdc/serve/row_reader.hpp"
+
+#include <charconv>
+#include <istream>
+
+namespace hdc::serve {
+
+namespace {
+
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\v' || c == '\f';
+}
+
+bool is_blank(const std::string& line) noexcept {
+  for (const char c : line) {
+    if (!is_space(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses one numeric field spanning [begin, end) of \p line; false on
+/// failure (the caller owns the diagnostic, which needs the line number).
+/// std::from_chars rather than strtod: the wire format must not depend on
+/// the host application's LC_NUMERIC locale.
+bool parse_field(const std::string& line, std::size_t begin, std::size_t end,
+                 double& value) {
+  while (begin < end && is_space(line[begin])) {
+    ++begin;
+  }
+  while (end > begin && is_space(line[end - 1])) {
+    --end;
+  }
+  if (begin < end && line[begin] == '+') {
+    ++begin;  // from_chars takes '-' but not the conventional '+'
+    if (begin < end && line[begin] == '-') {
+      return false;
+    }
+  }
+  if (begin == end) {
+    return false;
+  }
+  const auto [parsed_end, error] =
+      std::from_chars(line.data() + begin, line.data() + end, value);
+  return error == std::errc{} && parsed_end == line.data() + end;
+}
+
+}  // namespace
+
+RowFormat parse_row_format(const std::string& name) {
+  if (name == "csv") {
+    return RowFormat::Csv;
+  }
+  if (name == "jsonl") {
+    return RowFormat::Jsonl;
+  }
+  throw std::invalid_argument("unknown row format '" + name +
+                              "' (expected csv or jsonl)");
+}
+
+RowReader::RowReader(std::istream& in, std::size_t num_features,
+                     RowFormat format)
+    : in_(&in), num_features_(num_features), format_(format) {
+  if (num_features == 0) {
+    throw std::invalid_argument("RowReader: num_features must be > 0");
+  }
+}
+
+void RowReader::fail(const std::string& what) const {
+  throw RowError("row " + std::to_string(line_) + ": " + what);
+}
+
+bool RowReader::next(std::vector<double>& out) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_;
+    // CRLF producers (and text-mode Windows pipes) leave a trailing CR.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (is_blank(line)) {
+      continue;
+    }
+    out.resize(num_features_);
+    if (format_ == RowFormat::Csv) {
+      parse_csv(line, out);
+    } else {
+      parse_jsonl(line, out);
+    }
+    ++rows_;
+    return true;
+  }
+  if (in_->bad()) {
+    fail("stream read failure");
+  }
+  return false;
+}
+
+void RowReader::parse_csv(const std::string& line,
+                          std::vector<double>& out) const {
+  std::size_t begin = 0;
+  std::size_t field = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? line.size() : comma;
+    if (field >= num_features_) {
+      fail("expected " + std::to_string(num_features_) +
+           " fields, got more (extra field starts at column " +
+           std::to_string(begin + 1) + ")");
+    }
+    if (!parse_field(line, begin, end, out[field])) {
+      fail("field " + std::to_string(field + 1) + " ('" +
+           line.substr(begin, end - begin) + "') is not a number");
+    }
+    ++field;
+    if (comma == std::string::npos) {
+      break;
+    }
+    begin = comma + 1;
+  }
+  if (field != num_features_) {
+    fail("expected " + std::to_string(num_features_) + " fields, got " +
+         std::to_string(field));
+  }
+}
+
+void RowReader::parse_jsonl(const std::string& line,
+                            std::vector<double>& out) const {
+  std::size_t at = 0;
+  const auto skip_spaces = [&] {
+    while (at < line.size() && is_space(line[at])) {
+      ++at;
+    }
+  };
+  skip_spaces();
+  if (at >= line.size() || line[at] != '[') {
+    fail("JSONL rows must be arrays of numbers ('[v, ...]')");
+  }
+  ++at;
+  std::size_t field = 0;
+  while (true) {
+    skip_spaces();
+    if (at < line.size() && line[at] == ']' && field == 0) {
+      break;  // `[]` — caught as wrong arity below.
+    }
+    // A number token runs until the next delimiter.
+    const std::size_t begin = at;
+    while (at < line.size() && line[at] != ',' && line[at] != ']') {
+      ++at;
+    }
+    if (at >= line.size()) {
+      fail("unterminated JSON array (missing ']')");
+    }
+    if (field >= num_features_) {
+      fail("expected " + std::to_string(num_features_) +
+           " fields, got more (extra field starts at column " +
+           std::to_string(begin + 1) + ")");
+    }
+    if (!parse_field(line, begin, at, out[field])) {
+      fail("field " + std::to_string(field + 1) + " ('" +
+           line.substr(begin, at - begin) + "') is not a number");
+    }
+    ++field;
+    if (line[at] == ']') {
+      break;
+    }
+    ++at;  // consume the comma
+  }
+  ++at;  // consume the ']'
+  skip_spaces();
+  if (at != line.size()) {
+    fail("trailing bytes after the JSON array (column " +
+         std::to_string(at + 1) + ")");
+  }
+  if (field != num_features_) {
+    fail("expected " + std::to_string(num_features_) + " fields, got " +
+         std::to_string(field));
+  }
+}
+
+}  // namespace hdc::serve

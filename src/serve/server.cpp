@@ -1,0 +1,128 @@
+#include "hdc/serve/server.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hdc::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+runtime::ThreadPoolPtr ensure_pool(runtime::ThreadPoolPtr pool,
+                                   std::size_t num_threads) {
+  if (pool) {
+    return pool;
+  }
+  return std::make_shared<runtime::ThreadPool>(num_threads);
+}
+
+double microseconds_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+}  // namespace
+
+Server::Server(io::Pipeline pipeline, ServerOptions options,
+               runtime::ThreadPoolPtr pool)
+    : pipeline_(std::move(pipeline)),
+      options_(options),
+      pool_(ensure_pool(std::move(pool), options.num_threads)),
+      encoder_(pipeline_.batch_encoder(pool_)) {
+  if (options_.batch_size == 0) {
+    throw std::invalid_argument("Server: batch_size must be > 0");
+  }
+}
+
+std::vector<double> Server::predict(
+    std::span<const std::vector<double>> rows) const {
+  if (rows.empty()) {
+    return {};
+  }
+  const runtime::VectorArena encoded = encoder_.encode(rows);
+  if (pipeline_.kind() == io::PipelineKind::Classifier) {
+    const std::vector<std::size_t> labels =
+        pipeline_.batch_classifier(pool_).predict(encoded);
+    return {labels.begin(), labels.end()};
+  }
+  return pipeline_.batch_regressor(pool_).predict(encoded);
+}
+
+Server::Stats Server::run(RowReader& reader, PredictionWriter& writer) const {
+  if (reader.num_features() != pipeline_.num_features()) {
+    throw std::invalid_argument(
+        "Server::run: reader arity " + std::to_string(reader.num_features()) +
+        " disagrees with the pipeline's " +
+        std::to_string(pipeline_.num_features()) + " features");
+  }
+  const bool classifies = pipeline_.kind() == io::PipelineKind::Classifier;
+  // Per-kind engines constructed once per run, not per micro-batch.
+  std::optional<runtime::BatchClassifier> classifier;
+  std::optional<runtime::BatchRegressor> regressor;
+  if (classifies) {
+    classifier.emplace(pipeline_.batch_classifier(pool_));
+  } else {
+    regressor.emplace(pipeline_.batch_regressor(pool_));
+  }
+
+  Stats stats;
+  const clock::time_point start = clock::now();
+  std::vector<std::vector<double>> rows;
+  std::vector<clock::time_point> admitted;
+  rows.reserve(options_.batch_size);
+  admitted.reserve(options_.batch_size);
+  std::size_t next_row_index = 0;
+
+  const auto flush = [&] {
+    if (rows.empty()) {
+      return;
+    }
+    const runtime::VectorArena encoded = encoder_.encode(rows);
+    if (classifies) {
+      const std::vector<std::size_t> labels = classifier->predict(encoded);
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        writer.write_class(next_row_index + i, labels[i],
+                           microseconds_between(admitted[i], clock::now()));
+      }
+    } else {
+      const std::vector<double> predictions = regressor->predict(encoded);
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        writer.write(next_row_index + i, predictions[i],
+                     microseconds_between(admitted[i], clock::now()));
+      }
+    }
+    writer.flush();
+    next_row_index += rows.size();
+    stats.rows += rows.size();
+    ++stats.batches;
+    rows.clear();
+    admitted.clear();
+  };
+
+  std::vector<double> row;
+  try {
+    while (reader.next(row)) {
+      rows.push_back(row);
+      admitted.push_back(clock::now());
+      const bool full = rows.size() >= options_.batch_size;
+      const bool timed_out =
+          options_.flush_interval.count() > 0 &&
+          clock::now() - admitted.front() >= options_.flush_interval;
+      if (full || timed_out) {
+        flush();
+      }
+    }
+  } catch (const RowError&) {
+    // Serve every row that parsed before the bad one, then surface it.
+    flush();
+    throw;
+  }
+  flush();
+  stats.seconds =
+      std::chrono::duration<double>(clock::now() - start).count();
+  return stats;
+}
+
+}  // namespace hdc::serve

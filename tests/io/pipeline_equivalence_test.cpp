@@ -207,6 +207,119 @@ TEST(PipelineEquivalenceTest, TemperatureRegressorPipelineRoundTripsBitExact) {
   std::filesystem::remove(path);
 }
 
+TEST(PipelineEquivalenceTest, ComposedBeijingPipelineRoundTripsBitExact) {
+  // The paper's flagship circular-regression shape, end to end: temperature
+  // regressed on Y ⊗ D ⊗ H — level-encoded year bound to circular day
+  // (period 366) and hour (period 24) — over the full hourly series with
+  // the chronological split whose test window wraps Dec 31 -> Jan 1.
+  const auto records = hdc::data::make_beijing_dataset({});
+  const auto split = hdc::data::chronological_split(records.size(), 0.7);
+
+  hdc::LevelBasisConfig year_config;
+  year_config.dimension = kDim;
+  year_config.size = 5;
+  year_config.seed = 501;
+  auto year = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(year_config), 0.0, 4.0);
+  hdc::CircularBasisConfig day_config;
+  day_config.dimension = kDim;
+  day_config.size = 64;
+  day_config.r = 0.05;
+  day_config.seed = 502;
+  auto day = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(day_config), 366.0);
+  hdc::CircularBasisConfig hour_config;
+  hour_config.dimension = kDim;
+  hour_config.size = 24;
+  hour_config.r = 0.05;
+  hour_config.seed = 503;
+  auto hour = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(hour_config), 24.0);
+  const hdc::ComposedEncoder encoder(
+      {std::move(year), std::move(day), std::move(hour)});
+  const auto featurize = [](const hdc::data::BeijingRecord& r) {
+    return std::vector<double>{static_cast<double>(r.year_index),
+                               static_cast<double>(r.day_of_year - 1),
+                               static_cast<double>(r.hour)};
+  };
+
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 64;
+  label_config.seed = 504;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), -25.0, 42.0);
+  hdc::HDRegressor model(labels, 505);
+  for (const std::size_t i : split.train) {
+    model.add_sample(encoder.encode(featurize(records[i])),
+                     records[i].temperature);
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_composed_beijing.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  // In-memory oracle over the FULL test split.
+  std::vector<std::vector<double>> rows;
+  std::vector<Hypervector> expected_encoded;
+  std::vector<double> expected_predictions;
+  rows.reserve(split.test.size());
+  for (const std::size_t i : split.test) {
+    rows.push_back(featurize(records[i]));
+    expected_encoded.push_back(encoder.encode(rows.back()));
+    expected_predictions.push_back(model.predict(expected_encoded.back()));
+  }
+
+  const auto mapped = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(mapped);
+  EXPECT_EQ(pipeline.kind(), PipelineKind::Regressor);
+  EXPECT_EQ(pipeline.num_features(), 3U);
+  ASSERT_NE(pipeline.composed_encoder(), nullptr);
+  EXPECT_EQ(pipeline.feature_encoder(), nullptr);
+  EXPECT_EQ(pipeline.scalar_encoder(), nullptr);
+  // Restored parts borrow the mapping, period/range provenance intact.
+  const auto& restored = *pipeline.composed_encoder();
+  ASSERT_EQ(restored.num_features(), 3U);
+  const auto* restored_year =
+      dynamic_cast<const hdc::LinearScalarEncoder*>(&restored.part(0));
+  const auto* restored_day =
+      dynamic_cast<const hdc::CircularScalarEncoder*>(&restored.part(1));
+  const auto* restored_hour =
+      dynamic_cast<const hdc::CircularScalarEncoder*>(&restored.part(2));
+  ASSERT_NE(restored_year, nullptr);
+  ASSERT_NE(restored_day, nullptr);
+  ASSERT_NE(restored_hour, nullptr);
+  EXPECT_DOUBLE_EQ(restored_year->low(), 0.0);
+  EXPECT_DOUBLE_EQ(restored_year->high(), 4.0);
+  EXPECT_DOUBLE_EQ(restored_day->period(), 366.0);
+  EXPECT_DOUBLE_EQ(restored_hour->period(), 24.0);
+  EXPECT_FALSE(restored_day->basis().owns_storage());
+  expect_pipeline_matches(pipeline, rows, expected_encoded,
+                          expected_predictions);
+
+  // Stream loader and Trust fast path serve the same bits.
+  const auto streamed = hdc::io::load_snapshot(path);
+  expect_pipeline_matches(Pipeline::restore(streamed), rows, expected_encoded,
+                          expected_predictions);
+  const auto trusted = MappedSnapshot::open(path, SnapshotIntegrity::Trust);
+  expect_pipeline_matches(Pipeline::restore(trusted), rows, expected_encoded,
+                          expected_predictions);
+
+  // Thread pool over the full test split via the batch bridges.
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>(4);
+  const auto arena = pipeline.batch_encoder(pool).encode(rows);
+  const auto batch_predictions =
+      pipeline.batch_regressor(pool).predict(arena);
+  ASSERT_EQ(batch_predictions.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(arena.view(i) == expected_encoded[i]) << "row " << i;
+    EXPECT_EQ(batch_predictions[i], expected_predictions[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
 TEST(PipelineEquivalenceTest, ScalarEncoderPipelineRoundTripsBitExact) {
   // A single-feature pipeline: day-of-year phase -> temperature, with the
   // multiscale encoder itself as the pipeline encoder (exercises the

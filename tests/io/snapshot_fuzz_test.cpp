@@ -85,10 +85,11 @@ std::string snapshot_bytes() {
   return out.str();
 }
 
-/// A pipeline snapshot covering every v2 section type: a feature-encoder
-/// classification pipeline, a multiscale-circular regression pipeline, and
-/// both sequence-encoder kinds, at d = 70 (partial tail word) with
-/// alignment 64 so the quadratic fuzz loops stay fast.
+/// A pipeline snapshot covering every encoder/pipeline section type: a
+/// feature-encoder classification pipeline, a multiscale-circular
+/// regression pipeline, a composed three-encoder (Beijing-shape) regression
+/// pipeline, and both sequence-encoder kinds, at d = 70 (partial tail word)
+/// with alignment 64 so the quadratic fuzz loops stay fast.
 std::string pipeline_snapshot_bytes() {
   constexpr std::size_t d = 70;
 
@@ -126,9 +127,41 @@ std::string pipeline_snapshot_bytes() {
   }
   regressor.finalize();
 
+  // Beijing-shape composed product: linear year ⊗ circular day ⊗ circular
+  // hour, so a third sub-encoder reference lands in a scales slot.
+  hdc::LevelBasisConfig year_config;
+  year_config.dimension = d;
+  year_config.size = 2;
+  year_config.seed = 49;
+  auto year = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(year_config), 0.0, 4.0);
+  hdc::CircularBasisConfig day_config;
+  day_config.dimension = d;
+  day_config.size = 4;
+  day_config.seed = 50;
+  auto day = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(day_config), 366.0);
+  hdc::CircularBasisConfig hour_config;
+  hour_config.dimension = d;
+  hour_config.size = 3;
+  hour_config.seed = 51;
+  auto hour = std::make_shared<hdc::CircularScalarEncoder>(
+      hdc::make_circular_basis(hour_config), 24.0);
+  const hdc::ComposedEncoder composed({year, day, hour});
+  hdc::HDRegressor composed_regressor(labels, 52);
+  for (int k = 0; k < 4; ++k) {
+    const std::vector<double> row{static_cast<double>(k % 2),
+                                  91.5 * static_cast<double>(k),
+                                  6.0 * static_cast<double>(k)};
+    composed_regressor.add_sample(composed.encode(row),
+                                  static_cast<double>(k) / 4.0);
+  }
+  composed_regressor.finalize();
+
   SnapshotWriter writer(64);
   writer.add_pipeline(feature_encoder, classifier);
   writer.add_pipeline(multiscale, regressor);
+  writer.add_pipeline(composed, composed_regressor);
   writer.add_sequence_encoder(hdc::SequenceEncoder(d, 47));
   writer.add_sequence_encoder(hdc::NGramEncoder(d, 3, 48));
 
@@ -171,6 +204,12 @@ std::vector<std::vector<std::uint64_t>> materialize_all(
       }
       case hdc::io::SectionType::FeatureEncoderConfig: {
         const KeyValueEncoder encoder = snapshot.feature_encoder(i);
+        const std::vector<double> row(encoder.num_features(), 0.5);
+        EXPECT_EQ(encoder.encode(row).dimension(), encoder.dimension());
+        break;
+      }
+      case hdc::io::SectionType::ComposedEncoderConfig: {
+        const hdc::ComposedEncoder encoder = snapshot.composed_encoder(i);
         const std::vector<double> row(encoder.num_features(), 0.5);
         EXPECT_EQ(encoder.encode(row).dimension(), encoder.dimension());
         break;
@@ -371,7 +410,7 @@ TEST(SnapshotFuzzTest, PipelineEveryTruncationThrows) {
         << "prefix length " << length;
   }
   const auto snapshot = MappedSnapshot::from_bytes(as_bytes(bytes));
-  EXPECT_EQ(snapshot.section_count(), 13U);
+  EXPECT_EQ(snapshot.section_count(), 23U);
   (void)materialize_all(snapshot);
 }
 
@@ -450,6 +489,25 @@ TEST(SnapshotFuzzTest, PipelineBrokenSectionReferencesAreDescriptiveErrors) {
   // Pipeline head whose encoder reference is a raw basis.
   expect_error(patch_entry_u64(bytes, head, 48, keys_basis),
                "not a pipeline encoder");
+
+  // Composed-encoder reference misuse: sub-encoder slots must reference
+  // scalar-encoder configs (first two in aux/aux_b, the rest in scale
+  // slots as index + 1) and every declared slot must be present.
+  const std::size_t composed =
+      section_of_type(layout, hdc::io::SectionType::ComposedEncoderConfig);
+  expect_error(patch_entry_u64(bytes, composed, 48, keys_basis),
+               "not a scalar encoder config");
+  expect_error(patch_entry_u64(bytes, composed, 80, keys_basis),
+               "not a scalar encoder config");
+  // Third sub-encoder slot (scales[0], entry offset 88) zeroed out.
+  expect_error(patch_entry_u64(bytes, composed, 88, 0),
+               "missing composed sub-encoder reference");
+  // A forward reference in a scale slot (stored as index + 1).
+  expect_error(patch_entry_u64(bytes, composed, 88, 10000),
+               "must reference an earlier section");
+  // A trailing slot that version 3 says must stay zero.
+  expect_error(patch_entry_u64(bytes, composed, 96, keys_basis + 1),
+               "trailing composed sub-encoder slots must be zero");
 }
 
 TEST(SnapshotFuzzTest, PipelineEncoderDimensionMismatchIsRejected) {

@@ -1,0 +1,175 @@
+// Malformed-input coverage for the serving front end's row parser, in the
+// spirit of the snapshot fuzzer: every bad shape a client can send —
+// truncated rows, wrong arity, non-numeric fields, unterminated or
+// trailing-junk JSON arrays, stray bytes — must raise a descriptive
+// RowError naming the offending 1-based line, never crash, and never yield
+// a partially filled row.  Well-formed edge cases (empty lines, CRLF,
+// whitespace padding, scientific notation) must parse bit-exactly.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hdc/serve/row_reader.hpp"
+
+namespace {
+
+using hdc::serve::RowError;
+using hdc::serve::RowFormat;
+using hdc::serve::RowReader;
+
+/// Parses every row of \p text; returns all rows on success.
+std::vector<std::vector<double>> parse_all(const std::string& text,
+                                           std::size_t arity,
+                                           RowFormat format) {
+  std::istringstream in(text);
+  RowReader reader(in, arity, format);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> row;
+  while (reader.next(row)) {
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Asserts that parsing \p text raises a RowError whose message contains
+/// every needle (e.g. the line number and the reason).
+void expect_row_error(const std::string& text, std::size_t arity,
+                      RowFormat format,
+                      const std::vector<std::string>& needles) {
+  try {
+    (void)parse_all(text, arity, format);
+    FAIL() << "no RowError for input: " << text;
+  } catch (const RowError& error) {
+    const std::string what = error.what();
+    for (const std::string& needle : needles) {
+      EXPECT_NE(what.find(needle), std::string::npos)
+          << "error '" << what << "' lacks '" << needle << "'";
+    }
+  }
+}
+
+TEST(RowReaderTest, ParsesCsvRowsWithWhitespaceAndScientificNotation) {
+  const auto rows = parse_all("1,2,3\n 4.5 ,\t-6e2,  7.25\n", 3,
+                              RowFormat::Csv);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(rows[1], (std::vector<double>{4.5, -600.0, 7.25}));
+}
+
+TEST(RowReaderTest, SkipsEmptyAndWhitespaceOnlyLines) {
+  const auto rows = parse_all("\n1,2\n\n   \n3,4\n\n", 2, RowFormat::Csv);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1], (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(RowReaderTest, StripsCrlfLineEndings) {
+  const auto rows = parse_all("1,2\r\n3,4\r\n", 2, RowFormat::Csv);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(rows[1], (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(RowReaderTest, MissingFinalNewlineStillParsesTheLastRow) {
+  const auto rows = parse_all("1,2\n3,4", 2, RowFormat::Csv);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[1], (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(RowReaderTest, TruncatedCsvRowNamesLineAndCounts) {
+  expect_row_error("1,2,3\n4,5\n", 3, RowFormat::Csv,
+                   {"row 2", "expected 3 fields, got 2"});
+}
+
+TEST(RowReaderTest, OverlongCsvRowIsRejected) {
+  expect_row_error("1,2,3,4\n", 3, RowFormat::Csv,
+                   {"row 1", "expected 3 fields, got more"});
+}
+
+TEST(RowReaderTest, NonNumericCsvFieldNamesFieldAndContent) {
+  expect_row_error("1,potato,3\n", 3, RowFormat::Csv,
+                   {"row 1", "field 2", "potato", "not a number"});
+}
+
+TEST(RowReaderTest, EmptyCsvFieldIsRejected) {
+  expect_row_error("1,,3\n", 3, RowFormat::Csv, {"row 1", "field 2"});
+}
+
+TEST(RowReaderTest, PartialNumberWithTrailingJunkIsRejected) {
+  expect_row_error("1,2.5x,3\n", 3, RowFormat::Csv,
+                   {"row 1", "2.5x", "not a number"});
+}
+
+TEST(RowReaderTest, LineNumbersCountSkippedBlankLines) {
+  // The bad row is physically line 4: blank lines are skipped but counted.
+  expect_row_error("1,2\n\n3,4\nbad,row,here\n", 2, RowFormat::Csv,
+                   {"row 4"});
+}
+
+TEST(RowReaderTest, ParsesJsonlArrays) {
+  const auto rows = parse_all("[1, 2.5, -3]\n  [ 4 , 5e1 , 6 ]  \n", 3,
+                              RowFormat::Jsonl);
+  ASSERT_EQ(rows.size(), 2U);
+  EXPECT_EQ(rows[0], (std::vector<double>{1.0, 2.5, -3.0}));
+  EXPECT_EQ(rows[1], (std::vector<double>{4.0, 50.0, 6.0}));
+}
+
+TEST(RowReaderTest, JsonlMissingBracketIsRejected) {
+  expect_row_error("1, 2, 3\n", 3, RowFormat::Jsonl,
+                   {"row 1", "arrays of numbers"});
+}
+
+TEST(RowReaderTest, JsonlUnterminatedArrayIsRejected) {
+  expect_row_error("[1, 2, 3\n", 3, RowFormat::Jsonl,
+                   {"row 1", "missing ']'"});
+}
+
+TEST(RowReaderTest, JsonlTrailingBytesAreRejected) {
+  expect_row_error("[1, 2, 3] extra\n", 3, RowFormat::Jsonl,
+                   {"row 1", "trailing bytes"});
+}
+
+TEST(RowReaderTest, JsonlWrongArityIsRejected) {
+  expect_row_error("[1, 2]\n", 3, RowFormat::Jsonl,
+                   {"row 1", "expected 3 fields, got 2"});
+  expect_row_error("[]\n", 3, RowFormat::Jsonl,
+                   {"row 1", "expected 3 fields, got 0"});
+  expect_row_error("[1, 2, 3, 4]\n", 3, RowFormat::Jsonl,
+                   {"row 1", "got more"});
+}
+
+TEST(RowReaderTest, JsonlNonNumericElementIsRejected) {
+  expect_row_error("[1, \"two\", 3]\n", 3, RowFormat::Jsonl,
+                   {"row 1", "not a number"});
+}
+
+TEST(RowReaderTest, RowsAfterAnErrorAreStillReadable) {
+  // A reader survives its own throw: the bad line is consumed, parsing can
+  // resume on the next row (the CLI exits instead, but the API allows it).
+  std::istringstream in("1,2\nbad\n3,4\n");
+  RowReader reader(in, 2, RowFormat::Csv);
+  std::vector<double> row;
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_THROW((void)reader.next(row), RowError);
+  ASSERT_TRUE(reader.next(row));
+  EXPECT_EQ(row, (std::vector<double>{3.0, 4.0}));
+  EXPECT_FALSE(reader.next(row));
+  EXPECT_EQ(reader.rows_read(), 2U);
+  EXPECT_EQ(reader.line_number(), 3U);
+}
+
+TEST(RowReaderTest, ZeroArityIsRejectedAtConstruction) {
+  std::istringstream in("1\n");
+  EXPECT_THROW(RowReader(in, 0), std::invalid_argument);
+}
+
+TEST(RowReaderTest, FormatNamesParse) {
+  EXPECT_EQ(hdc::serve::parse_row_format("csv"), RowFormat::Csv);
+  EXPECT_EQ(hdc::serve::parse_row_format("jsonl"), RowFormat::Jsonl);
+  EXPECT_THROW((void)hdc::serve::parse_row_format("xml"),
+               std::invalid_argument);
+}
+
+}  // namespace

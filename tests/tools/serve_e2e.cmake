@@ -1,0 +1,131 @@
+# End-to-end serving suite, run by ctest as `serve_e2e`.
+#
+# The full cold-start story in one script: `hdcgen snap --pipeline beijing`
+# writes the composed Y ⊗ D ⊗ H regression pipeline as one HDCS artifact,
+# `hdcgen serve` streams the committed test rows through it, and the
+# predictions must match the committed golden file byte for byte — over the
+# checksum-verified mmap path, the Trust fast path, and for several batch
+# sizes and thread counts (the batch engines' determinism contract).
+# Malformed traffic must exit nonzero with a row-numbered diagnostic.
+#
+# Inputs: -DHDCGEN=<tool path> -DWORK_DIR=<scratch dir>
+#         -DDATA_DIR=<tests/serve/data>
+
+if(NOT DEFINED HDCGEN OR NOT DEFINED WORK_DIR OR NOT DEFINED DATA_DIR)
+  message(FATAL_ERROR
+    "serve_e2e: pass -DHDCGEN=... -DWORK_DIR=... and -DDATA_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(ROWS "${DATA_DIR}/beijing_rows.csv")
+set(GOLDEN "${DATA_DIR}/beijing_predictions.golden")
+set(SNAPSHOT "${WORK_DIR}/beijing.hdcs")
+
+# serve(<out_file> args...): hdcgen serve < ROWS > out_file, asserting exit 0.
+function(serve out_file)
+  execute_process(
+    COMMAND "${HDCGEN}" serve "${SNAPSHOT}" ${ARGN}
+    INPUT_FILE "${ROWS}"
+    OUTPUT_FILE "${out_file}"
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  string(JOIN " " pretty ${ARGN})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "hdcgen serve ${pretty}: exit ${code}\n${err}")
+  endif()
+  # The operator-facing summary goes to stderr, predictions to stdout.
+  if(NOT err MATCHES "served 60 rows")
+    message(FATAL_ERROR "hdcgen serve ${pretty}: summary lacks row count\n${err}")
+  endif()
+endfunction()
+
+function(diff_golden out_file label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${out_file}" "${GOLDEN}"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "serve_e2e: ${label} predictions differ from the committed golden "
+      "(${out_file} vs ${GOLDEN})")
+  endif()
+endfunction()
+
+# --- train -> snapshot: one file carries the whole composed pipeline.
+execute_process(
+  COMMAND "${HDCGEN}" snap --pipeline beijing --out "${SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "hdcgen snap --pipeline beijing: exit ${code}\n${out}${err}")
+endif()
+
+# --- snap-info sees the composed section wiring.
+execute_process(
+  COMMAND "${HDCGEN}" snap-info "${SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0 OR NOT "${out}${err}" MATCHES "composed")
+  message(FATAL_ERROR "snap-info lacks the composed section\n${out}${err}")
+endif()
+
+# --- serve over the committed rows: golden byte equality on the
+# checksum-verified mmap path, the Trust path, and across batch/thread
+# shapes (batch 1 = pure streaming, 7 = partial final batch, 256 = one
+# batch; thread counts 1 and 4).
+serve("${WORK_DIR}/checksum.txt")
+diff_golden("${WORK_DIR}/checksum.txt" "mmap+checksum")
+serve("${WORK_DIR}/trust.txt" --trust)
+diff_golden("${WORK_DIR}/trust.txt" "mmap+trust")
+serve("${WORK_DIR}/batch1.txt" --batch 1 --threads 1)
+diff_golden("${WORK_DIR}/batch1.txt" "batch=1")
+serve("${WORK_DIR}/batch7.txt" --batch 7 --threads 4)
+diff_golden("${WORK_DIR}/batch7.txt" "batch=7")
+serve("${WORK_DIR}/batch256.txt" --batch 256 --flush-us 1000000)
+diff_golden("${WORK_DIR}/batch256.txt" "batch=256")
+
+# --- JSONL input of the same rows must serve the same predictions.
+file(READ "${ROWS}" csv_rows)
+string(REGEX REPLACE "([^\n]+)\n" "[\\1]\n" jsonl_rows "${csv_rows}")
+file(WRITE "${WORK_DIR}/rows.jsonl" "${jsonl_rows}")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --input jsonl
+  INPUT_FILE "${WORK_DIR}/rows.jsonl"
+  OUTPUT_FILE "${WORK_DIR}/jsonl.txt"
+  ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "hdcgen serve --input jsonl: exit ${code}\n${err}")
+endif()
+diff_golden("${WORK_DIR}/jsonl.txt" "jsonl input")
+
+# --- malformed traffic: nonzero exit, row-numbered diagnostic, no crash.
+file(WRITE "${WORK_DIR}/bad_arity.csv" "0,15,3\n1,180\n")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}"
+  INPUT_FILE "${WORK_DIR}/bad_arity.csv"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "row 2")
+  message(FATAL_ERROR
+    "truncated row: expected nonzero exit naming row 2, got ${code}\n${err}")
+endif()
+
+file(WRITE "${WORK_DIR}/bad_field.csv" "0,abc,3\n")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}"
+  INPUT_FILE "${WORK_DIR}/bad_field.csv"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "not a number")
+  message(FATAL_ERROR
+    "non-numeric field: expected a diagnostic, got ${code}\n${err}")
+endif()
+
+# --- a corrupt snapshot must be refused before any prediction.
+file(WRITE "${WORK_DIR}/garbage.hdcs" "not a snapshot at all, not even close")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${WORK_DIR}/garbage.hdcs"
+  INPUT_FILE "${ROWS}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR "garbage snapshot served predictions\n${out}${err}")
+endif()
+
+message(STATUS "serve_e2e: all checks passed")

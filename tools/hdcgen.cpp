@@ -7,18 +7,26 @@
 //   hdcgen dist FILE            # pairwise distance matrix
 //   hdcgen heatmap FILE         # ASCII similarity heat map (paper Fig. 3)
 //   hdcgen snap ...             # like gen, but writes an HDCS snapshot
-//   hdcgen snap --pipeline classifier|regressor [--dim D] [--seed S]
+//   hdcgen snap --pipeline classifier|regressor|beijing [--dim D] [--seed S]
 //               --out FILE     # a complete encode->predict pipeline
 //   hdcgen snap-info FILE       # snapshot header + section table + verify
 //   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
+//   hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]
+//               [--input csv|jsonl] [--format plain|csv|jsonl]
+//               [--latency] [--trust]
+//                               # stream feature rows stdin -> predictions
+//                               # stdout (docs/serving.md)
 //
 // `gen` files use the library's portable stream format
-// (hdc/core/serialization); `snap*` commands use the mmap-able HDCS
+// (hdc/core/serialization); `snap*` and `serve` use the mmap-able HDCS
 // snapshot format (hdc/io/snapshot, docs/snapshot_format.md).
 
+#include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,6 +36,7 @@
 #include "hdc/experiments/table.hpp"
 #include "hdc/io/fixture_models.hpp"
 #include "hdc/io/io.hpp"
+#include "hdc/serve/serve.hpp"
 
 namespace {
 
@@ -40,10 +49,13 @@ int usage() {
       "  hdcgen dist FILE\n"
       "  hdcgen heatmap FILE\n"
       "  hdcgen snap --kind KIND --size M [--dim D] [--r R] [--seed S] --out FILE\n"
-      "  hdcgen snap --pipeline classifier|regressor [--dim D] [--seed S]\n"
+      "  hdcgen snap --pipeline classifier|regressor|beijing [--dim D] [--seed S]\n"
       "              --out FILE\n"
       "  hdcgen snap-info FILE\n"
-      "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n",
+      "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n"
+      "  hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]\n"
+      "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
+      "              [--latency] [--trust]\n",
       stderr);
   return 2;
 }
@@ -56,6 +68,15 @@ std::optional<std::string> arg_value(int argc, char** argv,
     }
   }
   return std::nullopt;
+}
+
+bool has_flag(int argc, char** argv, std::string_view name) {
+  for (int i = 2; i < argc; ++i) {
+    if (name == argv[i]) {
+      return true;
+    }
+  }
+  return false;
 }
 
 hdc::Basis load_basis(const std::string& path) {
@@ -166,12 +187,26 @@ int cmd_snap(int argc, char** argv) {
   if (const auto pipeline = arg_value(argc, argv, "--pipeline")) {
     const hdc::io::fixtures::FixtureSpec spec = spec_from_args(argc, argv);
     hdc::io::SnapshotWriter writer;
+    // The writer records spans into the models' arenas, so whichever
+    // pipeline is built must outlive write_file() (a scope-local `models`
+    // here once serialized dangling storage — checksum-consistently, which
+    // is why only restoring the file, not snap-info, could catch it).
+    std::optional<hdc::io::fixtures::ClassifierPipeline> classifier_models;
+    std::optional<hdc::io::fixtures::RegressorPipeline> regressor_models;
+    std::optional<hdc::io::fixtures::BeijingPipeline> beijing_models;
     if (*pipeline == "classifier") {
-      const auto models = hdc::io::fixtures::make_classifier_pipeline(spec);
-      writer.add_pipeline(models.encoder, models.model);
+      classifier_models.emplace(
+          hdc::io::fixtures::make_classifier_pipeline(spec));
+      writer.add_pipeline(classifier_models->encoder,
+                          classifier_models->model);
     } else if (*pipeline == "regressor") {
-      const auto models = hdc::io::fixtures::make_regressor_pipeline(spec);
-      writer.add_pipeline(*models.encoder, models.model);
+      regressor_models.emplace(
+          hdc::io::fixtures::make_regressor_pipeline(spec));
+      writer.add_pipeline(*regressor_models->encoder,
+                          regressor_models->model);
+    } else if (*pipeline == "beijing") {
+      beijing_models.emplace(hdc::io::fixtures::make_beijing_pipeline(spec));
+      writer.add_pipeline(*beijing_models->encoder, beijing_models->model);
     } else {
       std::fprintf(stderr, "unknown pipeline '%s'\n", pipeline->c_str());
       return usage();
@@ -231,6 +266,9 @@ int cmd_snap_info(const std::string& path) {
       case hdc::io::SectionType::SequenceEncoderConfig:
         type = "sequence";
         break;
+      case hdc::io::SectionType::ComposedEncoderConfig:
+        type = "composed";
+        break;
     }
     std::printf(
         "  [%zu] %-10s d=%llu rows=%llu offset=%llu bytes=%llu xxh64=%016llx",
@@ -281,6 +319,17 @@ int cmd_snap_info(const std::string& path) {
           std::printf(" enc=ngram n=%u", static_cast<unsigned>(record.method));
         }
         break;
+      case hdc::io::SectionType::ComposedEncoderConfig: {
+        std::printf(" parts=[%llu, %llu",
+                    static_cast<unsigned long long>(record.aux_section),
+                    static_cast<unsigned long long>(record.aux_section_b));
+        for (std::size_t s = 2; s < record.kind; ++s) {
+          std::printf(", %llu",
+                      static_cast<unsigned long long>(record.scales[s - 2] - 1));
+        }
+        std::printf("]");
+        break;
+      }
       case hdc::io::SectionType::ClassifierClassVectors:
         break;
     }
@@ -299,6 +348,71 @@ int cmd_snap_fixtures(int argc, char** argv, const std::string& dir) {
   for (const std::string& path : written) {
     std::printf("wrote %s\n", path.c_str());
   }
+  return 0;
+}
+
+/// Strict decimal count flag: all digits, within \p minimum..max.  stoul
+/// alone would wrap "--batch -1" to 2^64-1 (an unbounded-memory batch job)
+/// and silently truncate "12abc".
+std::size_t count_flag(const std::string& value, const char* flag,
+                       std::size_t minimum) {
+  std::size_t parsed = 0;
+  const auto [end, error] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (error != std::errc{} || end != value.data() + value.size() ||
+      parsed < minimum) {
+    throw std::invalid_argument(std::string(flag) + " needs an integer >= " +
+                                std::to_string(minimum) + ", got '" + value +
+                                "'");
+  }
+  return parsed;
+}
+
+/// Streams stdin feature rows through a snapshot pipeline to stdout —
+/// the `hdcgen serve` front end over hdc::serve (docs/serving.md).
+int cmd_serve(int argc, char** argv, const std::string& path) {
+  hdc::serve::ServerOptions options;
+  if (const auto batch = arg_value(argc, argv, "--batch")) {
+    options.batch_size = count_flag(*batch, "--batch", 1);
+  }
+  if (const auto flush = arg_value(argc, argv, "--flush-us")) {
+    options.flush_interval = std::chrono::microseconds(
+        static_cast<long long>(count_flag(*flush, "--flush-us", 0)));
+  }
+  if (const auto threads = arg_value(argc, argv, "--threads")) {
+    options.num_threads = count_flag(*threads, "--threads", 0);
+  }
+  const auto integrity = has_flag(argc, argv, "--trust")
+                             ? hdc::io::SnapshotIntegrity::Trust
+                             : hdc::io::SnapshotIntegrity::Checksum;
+  hdc::serve::RowFormat input = hdc::serve::RowFormat::Csv;
+  if (const auto name = arg_value(argc, argv, "--input")) {
+    input = hdc::serve::parse_row_format(*name);
+  }
+  hdc::serve::OutputFormat output = hdc::serve::OutputFormat::Plain;
+  if (const auto name = arg_value(argc, argv, "--format")) {
+    output = hdc::serve::parse_output_format(*name);
+  }
+
+  // The mapping must outlive the Server: the restored pipeline borrows it.
+  const auto snapshot = hdc::io::MappedSnapshot::open(path, integrity);
+  hdc::io::Pipeline pipeline = hdc::io::Pipeline::restore(snapshot);
+  const char* kind = hdc::io::to_string(pipeline.kind());
+  const std::size_t num_features = pipeline.num_features();
+  const std::size_t dimension = pipeline.dimension();
+
+  hdc::serve::RowReader reader(std::cin, num_features, input);
+  hdc::serve::PredictionWriter writer(std::cout, output,
+                                      has_flag(argc, argv, "--latency"));
+  const hdc::serve::Server server(std::move(pipeline), options);
+  const hdc::serve::Server::Stats stats = server.run(reader, writer);
+  std::fprintf(stderr,
+               "served %zu rows in %zu batches: %s pipeline, d = %zu, "
+               "%zu features/row, %.0f rows/s\n",
+               stats.rows, stats.batches, kind, dimension, num_features,
+               stats.seconds > 0.0
+                   ? static_cast<double>(stats.rows) / stats.seconds
+                   : 0.0);
   return 0;
 }
 
@@ -379,6 +493,9 @@ int main(int argc, char** argv) {
     }
     if (argc >= 3 && command == "snap-info") {
       return cmd_snap_info(argv[2]);
+    }
+    if (argc >= 3 && command == "serve") {
+      return cmd_serve(argc, argv, argv[2]);
     }
     if (argc >= 3 && command == "snap-fixtures") {
       return cmd_snap_fixtures(argc, argv, argv[2]);
