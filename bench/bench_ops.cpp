@@ -17,7 +17,9 @@
 #include <fstream>
 #include <span>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "hdc/core/basis_random.hpp"
 #include "hdc/core/bitops.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/kernels.hpp"
 #include "hdc/core/ops.hpp"
 #include "hdc/core/serialization.hpp"
 #include "hdc/io/fixture_models.hpp"
@@ -504,9 +507,156 @@ void report_serve_throughput() {
               best_rows_per_second);
 }
 
+// CoreMark-style self-checking kernel microbench: every available kernel
+// variant runs the same fixed workload, its result checksum must equal the
+// scalar reference's (a variant that is fast but wrong must fail the gate,
+// not win it), and per-variant GB/s / rows/s go into the [kernel-hamming] /
+// [kernel-nearest] reports that bench/compare_baseline.py checks against
+// committed baselines.  Returns false when any variant mis-computes.
+bool report_kernel_microbench() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kWords = kDim / 64;  // 160
+  constexpr std::size_t kHammingRows = 2'048;  // 2 x 3.2 MiB streams
+  constexpr std::size_t kNearestQueries = 1'024;
+  constexpr int kRepeats = 3;
+  using clock = std::chrono::steady_clock;
+
+  Rng rng(37);
+  std::vector<std::uint64_t> lhs(kHammingRows * kWords);
+  std::vector<std::uint64_t> rhs(lhs.size());
+  for (auto& w : lhs) {
+    w = rng();
+  }
+  for (auto& w : rhs) {
+    w = rng();
+  }
+
+  const QueryFixture fixture(kNearestQueries);
+  const auto& arena = fixture.arena;
+
+  // Reference checksums, computed once with the scalar variant directly
+  // (no dispatch): the self-check oracle.
+  const hdc::bits::Kernels& scalar = hdc::bits::scalar_kernels();
+  std::uint64_t expected_hamming_sum = 0;
+  for (std::size_t row = 0; row < kHammingRows; ++row) {
+    expected_hamming_sum += scalar.hamming(lhs.data() + row * kWords,
+                                           rhs.data() + row * kWords, kWords);
+  }
+  std::uint64_t expected_nearest_sum = 0;
+  for (std::size_t q = 0; q < kNearestQueries; ++q) {
+    const auto match = scalar.nearest_hamming(
+        fixture.query_arena.words(q).data(), kWords, arena.data().data(),
+        arena.words_per_vector(), arena.size());
+    expected_nearest_sum += match.index * 1'000'003ULL + match.distance;
+  }
+
+  const std::string previous = hdc::bits::active_kernels().name;
+  bool all_ok = true;
+  double best_gbps = 0.0;
+  double best_rows_per_second = 0.0;
+  const char* best_gbps_variant = "none";
+  const char* best_rows_variant = "none";
+
+  std::printf("\n[kernel-hamming] d=%zu words=%zu rows=%zu (xor+popcount "
+              "stream, self-checked vs scalar)\n",
+              kDim, kWords, kHammingRows);
+  std::printf("[kernel-nearest] d=%zu classes=%zu queries=%zu\n", kDim,
+              kQueryClasses, kNearestQueries);
+  for (const hdc::bits::Kernels* variant : hdc::bits::available_kernels()) {
+    hdc::bits::select_kernels(variant->name);
+
+    // --- hamming stream: GB/s over both input streams, best of N.
+    double hamming_seconds = 1e100;
+    std::uint64_t hamming_sum = 0;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      hamming_sum = 0;
+      const auto start = clock::now();
+      for (std::size_t row = 0; row < kHammingRows; ++row) {
+        hamming_sum += hdc::bits::hamming(
+            std::span(lhs).subspan(row * kWords, kWords),
+            std::span(rhs).subspan(row * kWords, kWords));
+      }
+      hamming_seconds = std::min(
+          hamming_seconds,
+          std::chrono::duration<double>(clock::now() - start).count());
+      benchmark::DoNotOptimize(hamming_sum);
+    }
+    const bool hamming_ok = hamming_sum == expected_hamming_sum;
+    const double gbps = static_cast<double>(2 * sizeof(std::uint64_t) *
+                                            kHammingRows * kWords) /
+                        hamming_seconds / 1.0e9;
+    std::printf("[kernel-hamming] variant=%-6s gbps=%7.2f self-check=%s\n",
+                variant->name, gbps, hamming_ok ? "ok" : "FAIL");
+    if (hamming_ok && gbps > best_gbps) {
+      best_gbps = gbps;
+      best_gbps_variant = variant->name;
+    }
+
+    // --- nearest sweep: queries/s against the class arena, best of N.
+    double nearest_seconds = 1e100;
+    std::uint64_t nearest_sum = 0;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      nearest_sum = 0;
+      const auto start = clock::now();
+      for (std::size_t q = 0; q < kNearestQueries; ++q) {
+        const auto match = hdc::bits::nearest_hamming(
+            fixture.query_arena.words(q), arena.data(),
+            arena.words_per_vector(), arena.size());
+        nearest_sum += match.index * 1'000'003ULL + match.distance;
+      }
+      nearest_seconds = std::min(
+          nearest_seconds,
+          std::chrono::duration<double>(clock::now() - start).count());
+      benchmark::DoNotOptimize(nearest_sum);
+    }
+    const bool nearest_ok = nearest_sum == expected_nearest_sum;
+    const double rows_per_second =
+        static_cast<double>(kNearestQueries) / nearest_seconds;
+    std::printf(
+        "[kernel-nearest] variant=%-6s rows_per_second=%9.0f self-check=%s\n",
+        variant->name, rows_per_second, nearest_ok ? "ok" : "FAIL");
+    if (nearest_ok && rows_per_second > best_rows_per_second) {
+      best_rows_per_second = rows_per_second;
+      best_rows_variant = variant->name;
+    }
+    all_ok = all_ok && hamming_ok && nearest_ok;
+  }
+  hdc::bits::select_kernels(previous);
+
+  std::printf("[kernel-hamming] best variant: %s\n", best_gbps_variant);
+  std::printf("[kernel-hamming] best_gbps: %.2f\n", best_gbps);
+  std::printf("[kernel-nearest] best variant: %s\n", best_rows_variant);
+  std::printf("[kernel-nearest] best_rows_per_second: %.0f\n",
+              best_rows_per_second);
+  std::printf("[kernel-selfcheck] pass: %d\n", all_ok ? 1 : 0);
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --kernel=NAME pins the dispatched variant for every report below (the
+  // microbench still sweeps all of them); peeled off before
+  // benchmark::Initialize, which rejects flags it does not know.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kKernelFlag = "--kernel=";
+    if (arg.starts_with(kKernelFlag)) {
+      try {
+        hdc::bits::select_kernels(arg.substr(kKernelFlag.size()));
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "bench_ops: %s\n", error.what());
+        return 1;
+      }
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  std::printf("[kernels] active variant: %s\n",
+              hdc::bits::active_kernels().name);
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
@@ -517,5 +667,8 @@ int main(int argc, char** argv) {
   report_basis_memory();
   report_snapshot_load();
   report_serve_throughput();
-  return 0;
+  const bool kernels_ok = report_kernel_microbench();
+  // A kernel variant that mis-computes must fail the bench job outright,
+  // not just dent a throughput number.
+  return kernels_ok ? 0 : 1;
 }

@@ -1,29 +1,14 @@
+// Shift and rotate over bit-packed vectors.  The fused XOR+popcount
+// kernels that used to live here are now runtime-dispatched per-ISA
+// variants — see bitops_scalar.cpp / bitops_avx2.cpp / bitops_avx512.cpp /
+// bitops_neon.cpp and the dispatcher in kernels.cpp.
+
 #include "hdc/core/bitops.hpp"
 
 #include <algorithm>
 #include <vector>
 
 namespace hdc::bits {
-
-std::size_t hamming(std::span<const std::uint64_t> a,
-                    std::span<const std::uint64_t> b) noexcept {
-  const std::size_t n = a.size();
-  std::size_t c0 = 0;
-  std::size_t c1 = 0;
-  std::size_t c2 = 0;
-  std::size_t c3 = 0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    c0 += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-    c1 += static_cast<std::size_t>(std::popcount(a[i + 1] ^ b[i + 1]));
-    c2 += static_cast<std::size_t>(std::popcount(a[i + 2] ^ b[i + 2]));
-    c3 += static_cast<std::size_t>(std::popcount(a[i + 3] ^ b[i + 3]));
-  }
-  for (; i < n; ++i) {
-    c0 += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
-  }
-  return c0 + c1 + c2 + c3;
-}
 
 void shift_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out,
                 std::size_t bit_count, std::size_t shift) noexcept {
@@ -91,30 +76,6 @@ void rotate_left(std::span<const std::uint64_t> in, std::span<std::uint64_t> out
   shift_right(in, wrapped, bit_count, bit_count - s);
   for (std::size_t w = 0; w < out.size(); ++w) {
     out[w] |= wrapped[w];
-  }
-}
-
-NearestMatch nearest_hamming(std::span<const std::uint64_t> query,
-                             std::span<const std::uint64_t> arena,
-                             std::size_t stride, std::size_t count) noexcept {
-  NearestMatch best{0, ~std::size_t{0}};
-  const std::size_t words = query.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    const std::size_t dist = hamming(query, arena.subspan(i * stride, words));
-    if (dist < best.distance) {
-      best.distance = dist;
-      best.index = i;
-    }
-  }
-  return best;
-}
-
-void hamming_many(std::span<const std::uint64_t> query,
-                  std::span<const std::uint64_t> arena, std::size_t stride,
-                  std::size_t count, std::span<std::size_t> out) noexcept {
-  const std::size_t words = query.size();
-  for (std::size_t i = 0; i < count; ++i) {
-    out[i] = hamming(query, arena.subspan(i * stride, words));
   }
 }
 

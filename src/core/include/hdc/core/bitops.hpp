@@ -9,11 +9,19 @@
 /// 64 leaves unused high bits in the last word; every routine here preserves
 /// the invariant that those tail bits are zero, so popcount-based distances
 /// and equality work on whole words.
+///
+/// The fused XOR+popcount kernels (hamming / nearest_hamming / hamming_many
+/// / count_ones / xor_into / xor_rows) are *dispatched*: each span function
+/// below is a thin shim over the process-wide `Kernels` table selected at
+/// startup from the compiled-in scalar / AVX2 / AVX-512 / NEON variants
+/// (hdc/core/kernels.hpp, docs/kernels.md).  Every variant is bit-exact
+/// with the scalar reference; selection only changes speed.
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+
+#include "hdc/core/kernels.hpp"
 
 namespace hdc::bits {
 
@@ -35,60 +43,48 @@ inline constexpr std::size_t word_bits = 64;
 /// Population count over a word span.
 [[nodiscard]] inline std::size_t count_ones(
     std::span<const std::uint64_t> words) noexcept {
-  std::size_t total = 0;
-  for (const std::uint64_t w : words) {
-    total += static_cast<std::size_t>(std::popcount(w));
-  }
-  return total;
+  return active_kernels().count_ones(words.data(), words.size());
 }
 
 /// Hamming distance (bit count of XOR) between two equal-length word spans.
-/// Fused XOR+popcount with a 4-way unrolled word loop: four independent
-/// accumulators keep the popcount chains out of each other's dependency
-/// shadow, which is what lets the compiler issue them in parallel.
-///
-/// Deliberately non-inline: the definition lives in bitops.cpp, which the
-/// build may compile with a wider popcount ISA (e.g. -mpopcnt on x86-64, see
-/// HDC_KERNEL_POPCNT) than the portable baseline the rest of the library
-/// targets — every caller then shares the fast kernel without changing the
-/// global architecture flags.
+/// Dispatches to the active kernel variant's fused XOR+popcount sweep.
 /// \pre a.size() == b.size().
-[[nodiscard]] std::size_t hamming(std::span<const std::uint64_t> a,
-                                  std::span<const std::uint64_t> b) noexcept;
-
-/// Result of a fused nearest-candidate scan: the first index attaining the
-/// minimum Hamming distance (ties keep the lowest index, matching a strict
-/// less-than linear scan).
-struct NearestMatch {
-  std::size_t index = 0;
-  std::size_t distance = 0;
-};
+[[nodiscard]] inline std::size_t hamming(
+    std::span<const std::uint64_t> a,
+    std::span<const std::uint64_t> b) noexcept {
+  return active_kernels().hamming(a.data(), b.data(), a.size());
+}
 
 /// Fused nearest-neighbour scan over a contiguous candidate arena: candidate
 /// i occupies words [i * stride, i * stride + query.size()).  Replaces
 /// per-pair hamming() calls with one XOR+popcount sweep; this is the shared
 /// inference kernel behind Basis::nearest, CentroidClassifier::predict and
-/// the hdc::runtime batch engines.
+/// the hdc::runtime batch engines.  Ties keep the lowest index for every
+/// kernel variant.
 /// \pre stride >= query.size() and arena.size() >= count * stride.
 /// \pre count >= 1.
-[[nodiscard]] NearestMatch nearest_hamming(std::span<const std::uint64_t> query,
-                                           std::span<const std::uint64_t> arena,
-                                           std::size_t stride,
-                                           std::size_t count) noexcept;
+[[nodiscard]] inline NearestMatch nearest_hamming(
+    std::span<const std::uint64_t> query, std::span<const std::uint64_t> arena,
+    std::size_t stride, std::size_t count) noexcept {
+  return active_kernels().nearest_hamming(query.data(), query.size(),
+                                          arena.data(), stride, count);
+}
 
 /// Hamming distance from \p query to each of \p count candidates laid out as
 /// in nearest_hamming; distances are written to out[0..count).
 /// \pre out.size() >= count, plus the nearest_hamming layout preconditions.
-void hamming_many(std::span<const std::uint64_t> query,
-                  std::span<const std::uint64_t> arena, std::size_t stride,
-                  std::size_t count, std::span<std::size_t> out) noexcept;
+inline void hamming_many(std::span<const std::uint64_t> query,
+                         std::span<const std::uint64_t> arena,
+                         std::size_t stride, std::size_t count,
+                         std::span<std::size_t> out) noexcept {
+  active_kernels().hamming_many(query.data(), query.size(), arena.data(),
+                                stride, count, out.data());
+}
 
 /// dst ^= src, element-wise. \pre dst.size() == src.size().
 inline void xor_into(std::span<std::uint64_t> dst,
                      std::span<const std::uint64_t> src) noexcept {
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] ^= src[i];
-  }
+  active_kernels().xor_into(dst.data(), src.data(), dst.size());
 }
 
 /// dst = a ^ b, element-wise; the allocation-free binding of two arena rows
@@ -97,9 +93,7 @@ inline void xor_into(std::span<std::uint64_t> dst,
 inline void xor_rows(std::span<std::uint64_t> dst,
                      std::span<const std::uint64_t> a,
                      std::span<const std::uint64_t> b) noexcept {
-  for (std::size_t i = 0; i < dst.size(); ++i) {
-    dst[i] = a[i] ^ b[i];
-  }
+  active_kernels().xor_rows(dst.data(), a.data(), b.data(), dst.size());
 }
 
 /// Reads bit \p index. \pre index < 64 * words.size().

@@ -1,0 +1,69 @@
+#ifndef HDC_CORE_KERNEL_DETAIL_HPP
+#define HDC_CORE_KERNEL_DETAIL_HPP
+
+/// \file kernel_detail.hpp
+/// \brief Private glue between the kernel dispatcher and the per-ISA TUs.
+///
+/// Not installed.  Each variant TU (bitops_scalar.cpp, bitops_avx2.cpp,
+/// bitops_avx512.cpp, bitops_neon.cpp) defines one `*_kernels()` accessor
+/// returning its table, or nullptr when the TU was compiled without the ISA
+/// (the build probes compiler flags; a TU whose ISA macro is absent
+/// compiles to the stub).  The dispatcher in kernels.cpp owns the CPU
+/// predicates so that support probing never executes code from a
+/// wider-ISA TU.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hdc/core/kernels.hpp"
+
+namespace hdc::bits::detail {
+
+/// Variant accessors; null when not compiled in.  scalar_variant() is
+/// always non-null.
+const Kernels* scalar_variant() noexcept;
+const Kernels* avx2_variant() noexcept;
+const Kernels* avx512_variant() noexcept;
+const Kernels* neon_variant() noexcept;
+
+/// Runtime CPU predicates, defined in the baseline-ISA dispatcher TU.
+bool cpu_always() noexcept;
+bool cpu_has_avx2() noexcept;
+bool cpu_has_avx512() noexcept;
+bool cpu_has_neon() noexcept;
+
+/// Shared row loops: every variant's nearest_hamming / hamming_many is the
+/// same scan instantiated over that variant's hamming core, compiled inside
+/// the variant's own TU so the core inlines under its ISA flags.
+template <typename HammingFn>
+inline NearestMatch nearest_rows(HammingFn hamming_fn,
+                                 const std::uint64_t* query,
+                                 std::size_t words,
+                                 const std::uint64_t* arena,
+                                 std::size_t stride,
+                                 std::size_t count) noexcept {
+  NearestMatch best{0, ~std::size_t{0}};
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t dist = hamming_fn(query, arena + i * stride, words);
+    // Strict less-than: ties keep the lowest index.
+    if (dist < best.distance) {
+      best.distance = dist;
+      best.index = i;
+    }
+  }
+  return best;
+}
+
+template <typename HammingFn>
+inline void hamming_rows(HammingFn hamming_fn, const std::uint64_t* query,
+                         std::size_t words, const std::uint64_t* arena,
+                         std::size_t stride, std::size_t count,
+                         std::size_t* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = hamming_fn(query, arena + i * stride, words);
+  }
+}
+
+}  // namespace hdc::bits::detail
+
+#endif  // HDC_CORE_KERNEL_DETAIL_HPP

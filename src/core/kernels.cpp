@@ -1,0 +1,191 @@
+// Kernel dispatcher: CPU-feature probing and the process-wide active
+// variant (hdc/core/kernels.hpp).
+//
+// This TU is compiled with the portable baseline ISA on purpose: the
+// support predicates live here, not in the per-ISA TUs, so probing for a
+// feature can never itself execute an instruction the CPU lacks.
+
+#include "hdc/core/kernels.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "kernel_detail.hpp"
+
+namespace hdc::bits {
+
+namespace detail {
+
+bool cpu_always() noexcept { return true; }
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+
+bool cpu_has_avx2() noexcept { return __builtin_cpu_supports("avx2") != 0; }
+
+bool cpu_has_avx512() noexcept {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512vpopcntdq") != 0;
+}
+
+#else
+
+bool cpu_has_avx2() noexcept { return false; }
+bool cpu_has_avx512() noexcept { return false; }
+
+#endif
+
+// AArch64 makes Advanced SIMD architecturally mandatory; there is nothing
+// to probe at runtime.
+#if defined(__aarch64__) && defined(__ARM_NEON)
+bool cpu_has_neon() noexcept { return true; }
+#else
+bool cpu_has_neon() noexcept { return false; }
+#endif
+
+}  // namespace detail
+
+namespace {
+
+/// Candidate slots in preference order (widest first); a slot is null when
+/// its TU was compiled without the ISA.  Scalar is always present and last.
+constexpr std::size_t kVariantSlots = 4;
+
+const Kernels* variant_slot(std::size_t i) noexcept {
+  switch (i) {
+    case 0:
+      return detail::avx512_variant();
+    case 1:
+      return detail::avx2_variant();
+    case 2:
+      return detail::neon_variant();
+    default:
+      return detail::scalar_variant();
+  }
+}
+
+/// First compiled-in variant named \p name; null when absent.
+const Kernels* find_variant(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kVariantSlots; ++i) {
+    const Kernels* variant = variant_slot(i);
+    if (variant != nullptr && name == variant->name) {
+      return variant;
+    }
+  }
+  return nullptr;
+}
+
+/// Best variant the running CPU supports: the auto-selection default.
+const Kernels* best_supported() noexcept {
+  for (std::size_t i = 0; i < kVariantSlots; ++i) {
+    const Kernels* variant = variant_slot(i);
+    if (variant != nullptr && variant->supported()) {
+      return variant;
+    }
+  }
+  return detail::scalar_variant();  // unreachable: scalar always supports
+}
+
+/// Resolves the initial selection once: the HDC_KERNELS override when it
+/// names a usable variant, the best supported variant otherwise.  A bad
+/// override is diagnosed, never fatal — a typo in an env var must only
+/// cost speed, not bring a replica down.
+const Kernels* initial_selection() noexcept {
+  const char* request = std::getenv("HDC_KERNELS");
+  if (request != nullptr && *request != '\0') {
+    const Kernels* variant = find_variant(request);
+    if (variant == nullptr) {
+      std::fprintf(stderr,
+                   "hdc: HDC_KERNELS=%s is not a compiled-in kernel variant; "
+                   "using auto selection\n",
+                   request);
+    } else if (!variant->supported()) {
+      std::fprintf(stderr,
+                   "hdc: HDC_KERNELS=%s is not supported by this CPU; "
+                   "using auto selection\n",
+                   request);
+    } else {
+      return variant;
+    }
+  }
+  return best_supported();
+}
+
+std::atomic<const Kernels*>& active_slot() noexcept {
+  // Function-local static: thread-safe one-time init on first use, after
+  // which active_kernels() is a single acquire load.
+  static std::atomic<const Kernels*> slot{initial_selection()};
+  return slot;
+}
+
+}  // namespace
+
+const Kernels& active_kernels() noexcept {
+  return *active_slot().load(std::memory_order_acquire);
+}
+
+const Kernels& scalar_kernels() noexcept {
+  return *detail::scalar_variant();
+}
+
+std::vector<const Kernels*> compiled_kernels() {
+  std::vector<const Kernels*> out;
+  for (std::size_t i = 0; i < kVariantSlots; ++i) {
+    const Kernels* variant = variant_slot(i);
+    if (variant != nullptr) {
+      out.push_back(variant);
+    }
+  }
+  return out;
+}
+
+std::vector<const Kernels*> available_kernels() {
+  std::vector<const Kernels*> out;
+  for (std::size_t i = 0; i < kVariantSlots; ++i) {
+    const Kernels* variant = variant_slot(i);
+    if (variant != nullptr && variant->supported()) {
+      out.push_back(variant);
+    }
+  }
+  return out;
+}
+
+const Kernels& select_kernels(std::string_view name) {
+  const Kernels* variant = find_variant(name);
+  if (variant == nullptr || !variant->supported()) {
+    std::string message = "select_kernels: '";
+    message += name;
+    message += variant == nullptr ? "' is not a compiled-in kernel variant"
+                                  : "' is not supported by this CPU";
+    message += " (available:";
+    for (const Kernels* candidate : available_kernels()) {
+      message += ' ';
+      message += candidate->name;
+    }
+    message += ')';
+    throw std::invalid_argument(message);
+  }
+  active_slot().store(variant, std::memory_order_release);
+  return *variant;
+}
+
+CpuFeatures cpu_features() noexcept {
+  CpuFeatures features;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  features.popcnt = __builtin_cpu_supports("popcnt") != 0;
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  features.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
+  features.avx512vl = __builtin_cpu_supports("avx512vl") != 0;
+  features.avx512vpopcntdq =
+      __builtin_cpu_supports("avx512vpopcntdq") != 0;
+#endif
+  features.neon = detail::cpu_has_neon();
+  return features;
+}
+
+}  // namespace hdc::bits

@@ -153,6 +153,23 @@ class SnapshotWriter {
   std::vector<Pending> sections_;
 };
 
+/// Residency hints for the mapped file (POSIX mmap backend only; both
+/// fields are documented no-ops on the heap fallback and on non-POSIX
+/// platforms, where the pages are ordinary owned memory anyway).
+struct MappingOptions {
+  /// Issue madvise(MADV_WILLNEED) over the whole mapping right after
+  /// mmap so the kernel starts read-ahead immediately: the first serving
+  /// request then touches warm pages instead of paying cold-start major
+  /// faults one 4 KiB page at a time.
+  bool willneed = true;
+  /// Pin the mapping with mlock(2) so a payload access can never major-
+  /// fault once serving has started (tail-latency insurance for
+  /// `hdcgen serve --mlock`).  Needs RLIMIT_MEMLOCK headroom for the
+  /// whole file; a failed mlock throws SnapshotError rather than serving
+  /// with a silently unpinned mapping.
+  bool lock_memory = false;
+};
+
 /// Payload-integrity policy for snapshot readers.
 enum class SnapshotIntegrity {
   /// Verify each section's XXH64 payload checksum before handing out a
@@ -174,11 +191,12 @@ class MappedSnapshot {
  public:
   /// Maps \p path read-only and validates the header and section table.
   /// On platforms without mmap the file is read into a heap buffer instead
-  /// (`zero_copy()` reports which).  \throws SnapshotError on any open,
-  /// map, or validation failure.
+  /// (`zero_copy()` reports which) and \p mapping is ignored.  \throws
+  /// SnapshotError on any open, map, validation, or mlock failure.
   [[nodiscard]] static MappedSnapshot open(
       const std::string& path,
-      SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+      SnapshotIntegrity integrity = SnapshotIntegrity::Checksum,
+      MappingOptions mapping = MappingOptions{});
 
   /// Heap-backed snapshot over a copy of \p bytes (the in-memory entry
   /// point; `load_snapshot` builds on it).  With `Checksum`, every payload
@@ -202,6 +220,10 @@ class MappedSnapshot {
   /// True when the payload bytes are served straight off an mmap; false for
   /// the heap-backed fallback.
   [[nodiscard]] bool zero_copy() const noexcept;
+
+  /// True when the mapping is pinned in memory
+  /// (`MappingOptions::lock_memory` on an mmap-backed snapshot).
+  [[nodiscard]] bool locked() const noexcept;
 
   [[nodiscard]] std::uint64_t file_bytes() const noexcept;
 

@@ -52,6 +52,7 @@ struct MappedSnapshot::Impl {
   const std::byte* data = nullptr;
   std::size_t bytes = 0;
   bool mapped = false;
+  bool locked = false;
 
   SnapshotLayout layout;
   SnapshotIntegrity integrity = SnapshotIntegrity::Checksum;
@@ -125,7 +126,8 @@ MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&&) noexcept = default;
 MappedSnapshot::~MappedSnapshot() = default;
 
 MappedSnapshot MappedSnapshot::open(const std::string& path,
-                                    SnapshotIntegrity integrity) {
+                                    SnapshotIntegrity integrity,
+                                    MappingOptions mapping_options) {
   auto impl = std::make_unique<Impl>();
   impl->integrity = integrity;
 #if HDC_IO_HAS_MMAP
@@ -155,6 +157,22 @@ MappedSnapshot MappedSnapshot::open(const std::string& path,
   impl->data = static_cast<const std::byte*>(mapping);
   impl->bytes = size;
   impl->mapped = true;
+  if (mapping_options.willneed) {
+    // Purely advisory read-ahead over the whole mapping (offsets inside it
+    // need not be page-aligned; the mapping base is): failure changes
+    // warm-up behaviour only, so it is deliberately not checked.
+    ::madvise(mapping, size, MADV_WILLNEED);
+  }
+  if (mapping_options.lock_memory) {
+    if (::mlock(mapping, size) != 0) {
+      // impl's destructor unmaps; do not serve with a silently unpinned
+      // mapping when the caller asked for residency guarantees.
+      throw SnapshotError("MappedSnapshot::open: mlock failed for " + path +
+                          " (RLIMIT_MEMLOCK too low for " +
+                          std::to_string(size) + " bytes?)");
+    }
+    impl->locked = true;
+  }
 #else
   // Heap fallback for platforms without mmap: same API, owned buffer.
   std::ifstream in(path, std::ios::binary);
@@ -165,6 +183,9 @@ MappedSnapshot MappedSnapshot::open(const std::string& path,
   impl->heap = slurp(in, byte_size);
   impl->data = reinterpret_cast<const std::byte*>(impl->heap.data());
   impl->bytes = byte_size;
+  // Residency hints are meaningless for an owned heap buffer; the options
+  // are documented no-ops here.
+  (void)mapping_options;
 #endif
   impl->parse();
   return MappedSnapshot(std::move(impl));
@@ -199,6 +220,8 @@ const SectionRecord& MappedSnapshot::section(std::size_t i) const {
 }
 
 bool MappedSnapshot::zero_copy() const noexcept { return impl_->mapped; }
+
+bool MappedSnapshot::locked() const noexcept { return impl_->locked; }
 
 std::uint64_t MappedSnapshot::file_bytes() const noexcept {
   return impl_->layout.file_bytes;

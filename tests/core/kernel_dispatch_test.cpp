@@ -1,0 +1,270 @@
+// Kernel-dispatch property suite: every compiled-in, CPU-supported kernel
+// variant (scalar / AVX2 / AVX-512 / NEON) must be bit-exact with the
+// scalar reference on the full primitive matrix — hamming, nearest_hamming
+// (including its lowest-index tie-break), hamming_many, count_ones,
+// xor_into and xor_rows — across dimensions that exercise every word-count
+// shape: single partial word, exact word boundaries, one-past boundaries,
+// and the paper-scale d = 10000 / 10240.  Variants are forced through
+// select_kernels(), the same switch HDC_KERNELS reaches at init, so this
+// suite is also the regression net for the dispatcher itself.
+
+#include "hdc/core/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/bitops.hpp"
+
+namespace {
+
+using hdc::Rng;
+namespace bits = hdc::bits;
+
+// The dimension matrix from the arena property suites: every tail shape.
+constexpr std::size_t kDims[] = {1, 63, 64, 65, 127, 10'000, 10'240};
+
+std::vector<std::uint64_t> random_words(std::size_t bit_count, Rng& rng) {
+  std::vector<std::uint64_t> words(bits::words_for(bit_count));
+  for (auto& w : words) {
+    w = rng();
+  }
+  if (!words.empty()) {
+    words.back() &= bits::tail_mask(bit_count);
+  }
+  return words;
+}
+
+/// Restores the entry selection when a test exits, pass or fail, so a
+/// failure in one variant cannot leak that variant into later suites.
+class KernelGuard {
+ public:
+  KernelGuard() : previous_(bits::active_kernels().name) {}
+  ~KernelGuard() { bits::select_kernels(previous_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+TEST(KernelDispatchTest, ScalarIsAlwaysAvailable) {
+  bool saw_scalar = false;
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    EXPECT_TRUE(variant->supported());
+    if (std::string_view(variant->name) == "scalar") {
+      saw_scalar = true;
+    }
+  }
+  EXPECT_TRUE(saw_scalar);
+  EXPECT_EQ(std::string_view(bits::scalar_kernels().name), "scalar");
+  EXPECT_TRUE(bits::scalar_kernels().supported());
+}
+
+TEST(KernelDispatchTest, AvailableIsTheSupportedSubsetOfCompiled) {
+  const auto compiled = bits::compiled_kernels();
+  EXPECT_GE(compiled.size(), bits::available_kernels().size());
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    EXPECT_NE(std::find(compiled.begin(), compiled.end(), variant),
+              compiled.end());
+  }
+}
+
+TEST(KernelDispatchTest, SelectRoundTripsEveryAvailableVariant) {
+  const KernelGuard guard;
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    const bits::Kernels& selected = bits::select_kernels(variant->name);
+    EXPECT_EQ(&selected, variant);
+    EXPECT_EQ(std::string_view(bits::active_kernels().name), variant->name);
+  }
+}
+
+TEST(KernelDispatchTest, SelectUnknownVariantThrowsAndKeepsSelection) {
+  const std::string before = bits::active_kernels().name;
+  EXPECT_THROW(bits::select_kernels("bogus"), std::invalid_argument);
+  EXPECT_THROW(bits::select_kernels(""), std::invalid_argument);
+  try {
+    bits::select_kernels("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    // The diagnostic must list the real alternatives.
+    EXPECT_NE(std::string(error.what()).find("scalar"), std::string::npos);
+  }
+  EXPECT_EQ(std::string(bits::active_kernels().name), before);
+}
+
+TEST(KernelDispatchTest, CpuFeaturesImplyCompiledVariantSupport) {
+  const bits::CpuFeatures features = bits::cpu_features();
+  for (const bits::Kernels* variant : bits::compiled_kernels()) {
+    const std::string_view name = variant->name;
+    if (name == "avx2") {
+      EXPECT_EQ(variant->supported(), features.avx2);
+    } else if (name == "avx512") {
+      EXPECT_EQ(variant->supported(),
+                features.avx512f && features.avx512vpopcntdq);
+    } else if (name == "neon") {
+      EXPECT_EQ(variant->supported(), features.neon);
+    }
+  }
+}
+
+/// Bit-exactness matrix, run once per available variant via the
+/// value-parameterized harness below.
+class KernelVariantTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override { bits::select_kernels(GetParam()); }
+  void TearDown() override { bits::select_kernels("scalar"); }
+};
+
+TEST_P(KernelVariantTest, HammingMatchesScalarReference) {
+  const bits::Kernels& reference = bits::scalar_kernels();
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 5 + 1);
+    for (int round = 0; round < 8; ++round) {
+      const auto a = random_words(dim, rng);
+      const auto b = random_words(dim, rng);
+      EXPECT_EQ(bits::hamming(a, b),
+                reference.hamming(a.data(), b.data(), a.size()))
+          << "variant " << GetParam() << " d=" << dim;
+    }
+    // Identical inputs and complementary tails are the distance extremes.
+    const auto a = random_words(dim, rng);
+    EXPECT_EQ(bits::hamming(a, a), 0U);
+    std::vector<std::uint64_t> flipped(a);
+    for (auto& w : flipped) {
+      w = ~w;
+    }
+    flipped.back() &= bits::tail_mask(dim);
+    EXPECT_EQ(bits::hamming(a, flipped), dim)
+        << "variant " << GetParam() << " d=" << dim;
+  }
+}
+
+TEST_P(KernelVariantTest, CountOnesMatchesScalarReference) {
+  const bits::Kernels& reference = bits::scalar_kernels();
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 7 + 2);
+    for (int round = 0; round < 8; ++round) {
+      const auto words = random_words(dim, rng);
+      EXPECT_EQ(bits::count_ones(words),
+                reference.count_ones(words.data(), words.size()))
+          << "variant " << GetParam() << " d=" << dim;
+    }
+  }
+}
+
+TEST_P(KernelVariantTest, XorMatchesScalarAndPreservesTailInvariant) {
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 11 + 3);
+    const auto a = random_words(dim, rng);
+    const auto b = random_words(dim, rng);
+    std::vector<std::uint64_t> expected(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      expected[i] = a[i] ^ b[i];
+    }
+
+    std::vector<std::uint64_t> rows_out(a.size(), ~0ULL);
+    bits::xor_rows(rows_out, a, b);
+    EXPECT_EQ(rows_out, expected) << "variant " << GetParam() << " d=" << dim;
+    // Tail-masked inputs must produce a tail-masked XOR.
+    EXPECT_EQ(rows_out.back() & ~bits::tail_mask(dim), 0U);
+
+    std::vector<std::uint64_t> into_out(a);
+    bits::xor_into(into_out, b);
+    EXPECT_EQ(into_out, expected) << "variant " << GetParam() << " d=" << dim;
+
+    // Aliased xor_rows(dst = dst ^ b) is part of the contract.
+    std::vector<std::uint64_t> aliased(a);
+    bits::xor_rows(aliased, aliased, b);
+    EXPECT_EQ(aliased, expected) << "variant " << GetParam() << " d=" << dim;
+  }
+}
+
+TEST_P(KernelVariantTest, NearestAndManyMatchScalarOverArenas) {
+  const bits::Kernels& reference = bits::scalar_kernels();
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 13 + 4);
+    const std::size_t words = bits::words_for(dim);
+    // stride > words exercises the padded-row layout the VectorArena uses.
+    const std::size_t stride = words + (dim % 3);
+    const std::size_t count = 17;
+    std::vector<std::uint64_t> arena(stride * count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto row = random_words(dim, rng);
+      std::copy(row.begin(), row.end(), arena.begin() + i * stride);
+    }
+    const auto query = random_words(dim, rng);
+
+    const bits::NearestMatch expected = reference.nearest_hamming(
+        query.data(), words, arena.data(), stride, count);
+    const bits::NearestMatch actual =
+        bits::nearest_hamming(query, arena, stride, count);
+    EXPECT_EQ(actual.index, expected.index)
+        << "variant " << GetParam() << " d=" << dim;
+    EXPECT_EQ(actual.distance, expected.distance)
+        << "variant " << GetParam() << " d=" << dim;
+
+    std::vector<std::size_t> distances(count, 0);
+    std::vector<std::size_t> reference_distances(count, 0);
+    bits::hamming_many(query, arena, stride, count, distances);
+    reference.hamming_many(query.data(), words, arena.data(), stride, count,
+                           reference_distances.data());
+    EXPECT_EQ(distances, reference_distances)
+        << "variant " << GetParam() << " d=" << dim;
+  }
+}
+
+TEST_P(KernelVariantTest, NearestBreaksTiesTowardLowestIndex) {
+  for (const std::size_t dim : kDims) {
+    Rng rng(dim * 17 + 5);
+    const std::size_t words = bits::words_for(dim);
+    const auto query = random_words(dim, rng);
+    const auto far = random_words(dim, rng);
+    const auto near = random_words(dim, rng);
+
+    // Rows [far, near, near, near]: the duplicated minimum must resolve to
+    // its first occurrence for every variant (index 1, never 2 or 3) —
+    // unless `far` accidentally ties or beats it, in which case index 0 is
+    // the correct strict-less-than answer; skip that degenerate draw.
+    if (bits::hamming(query, near) >= bits::hamming(query, far)) {
+      continue;
+    }
+    std::vector<std::uint64_t> arena;
+    for (const auto* row : {&far, &near, &near, &near}) {
+      arena.insert(arena.end(), row->begin(), row->end());
+    }
+    const bits::NearestMatch match =
+        bits::nearest_hamming(query, arena, words, 4);
+    EXPECT_EQ(match.index, 1U) << "variant " << GetParam() << " d=" << dim;
+
+    // An arena of identical rows must always resolve to index 0.
+    std::vector<std::uint64_t> same;
+    for (int i = 0; i < 5; ++i) {
+      same.insert(same.end(), near.begin(), near.end());
+    }
+    EXPECT_EQ(bits::nearest_hamming(query, same, words, 5).index, 0U)
+        << "variant " << GetParam() << " d=" << dim;
+  }
+}
+
+std::vector<std::string> available_variant_names() {
+  std::vector<std::string> names;
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    names.emplace_back(variant->name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, KernelVariantTest,
+    ::testing::ValuesIn(available_variant_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      return info.param;
+    });
+
+}  // namespace

@@ -280,4 +280,56 @@ TEST(SnapshotEquivalenceTest, HeapLoaderMatchesMappedLoader) {
   std::filesystem::remove(path);
 }
 
+TEST(SnapshotEquivalenceTest, MappingOptionsPreserveEquivalence) {
+  const Basis original = make_basis(BasisKind::Circular);
+  const std::string path = temp_file("equiv_mapping_options.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(original);
+  writer.write_file(path);
+
+  // willneed is the default; turning it off must be purely a residency
+  // hint with no effect on the served bytes.
+  hdc::io::MappingOptions cold;
+  cold.willneed = false;
+  const auto plain = MappedSnapshot::open(path);
+  const auto hinted = MappedSnapshot::open(
+      path, hdc::io::SnapshotIntegrity::Checksum, cold);
+  EXPECT_FALSE(plain.locked());
+  EXPECT_FALSE(hinted.locked());
+  ASSERT_EQ(hinted.section_count(), plain.section_count());
+  const Basis plain_basis = plain.basis(0);
+  const Basis hinted_basis = hinted.basis(0);
+  for (std::size_t i = 0; i < plain_basis.size(); ++i) {
+    EXPECT_TRUE(hinted_basis[i] == plain_basis[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SnapshotEquivalenceTest, LockMemoryPinsMappingOrFailsLoudly) {
+  const Basis original = make_basis(BasisKind::Random);
+  const std::string path = temp_file("equiv_mlock.hdcs");
+  SnapshotWriter writer;
+  writer.add_basis(original);
+  writer.write_file(path);
+
+  hdc::io::MappingOptions pinned;
+  pinned.lock_memory = true;
+  // mlock needs RLIMIT_MEMLOCK headroom, which sandboxed CI runners may
+  // not grant; the contract is pin-or-throw, never a silently unpinned
+  // mapping.
+  try {
+    const auto snapshot = MappedSnapshot::open(
+        path, hdc::io::SnapshotIntegrity::Checksum, pinned);
+    EXPECT_EQ(snapshot.locked(), snapshot.zero_copy());
+    const Basis basis = snapshot.basis(0);
+    ASSERT_EQ(basis.size(), original.size());
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      EXPECT_TRUE(basis[i] == original[i]) << "row " << i;
+    }
+  } catch (const hdc::io::SnapshotError& error) {
+    EXPECT_NE(std::string(error.what()).find("mlock"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
 }  // namespace

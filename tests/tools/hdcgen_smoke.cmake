@@ -38,6 +38,30 @@ function(run expectation needle)
   endif()
 endfunction()
 
+# run_stdin(<ok|fail> <needle> <input_file> args...): run() with stdin
+# redirected from <input_file>, for the streaming serve subcommand.
+function(run_stdin expectation needle input_file)
+  execute_process(
+    COMMAND "${HDCGEN}" ${ARGN}
+    INPUT_FILE "${input_file}"
+    RESULT_VARIABLE code
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  string(JOIN " " pretty ${ARGN})
+  set(all "${out}${err}")
+  if(expectation STREQUAL "ok" AND NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "hdcgen ${pretty}: expected success, got exit ${code}\n${all}")
+  endif()
+  if(expectation STREQUAL "fail" AND code EQUAL 0)
+    message(FATAL_ERROR "hdcgen ${pretty}: expected a nonzero exit\n${all}")
+  endif()
+  if(NOT needle STREQUAL "" AND NOT all MATCHES "${needle}")
+    message(FATAL_ERROR
+      "hdcgen ${pretty}: output lacks '${needle}'\n${all}")
+  endif()
+endfunction()
+
 # --- snap -> snap-info round trip on a basis snapshot.
 run(ok "wrote" snap --kind circular --size 8 --dim 96 --r 0.1
     --out "${WORK_DIR}/basis.hdcs")
@@ -56,6 +80,22 @@ run(ok "all sections OK" snap-info "${WORK_DIR}/pipeline_reg.hdcs")
 
 # --- snap-fixtures regenerates the full golden set.
 run(ok "pipeline_combined" snap-fixtures "${WORK_DIR}/fixtures")
+
+# --- kernels: dispatch report always lists the scalar fallback as both
+# compiled in and available, whatever the build machine's ISA.
+run(ok "active:" kernels)
+run(ok "scalar" kernels)
+
+# --- serve honors --kernel (both flag shapes) and rejects unknown
+# variants with the available list instead of crashing.  One CSV row in,
+# one prediction out, pinned-variant name in the stderr summary.
+file(WRITE "${WORK_DIR}/one_row.csv" "100.5\n")
+run_stdin(ok "kernels = scalar" "${WORK_DIR}/one_row.csv"
+    serve "${WORK_DIR}/pipeline_reg.hdcs" --kernel scalar)
+run_stdin(ok "kernels = scalar" "${WORK_DIR}/one_row.csv"
+    serve "${WORK_DIR}/pipeline_reg.hdcs" --kernel=scalar)
+run_stdin(fail "not a compiled-in kernel variant" "${WORK_DIR}/one_row.csv"
+    serve "${WORK_DIR}/pipeline_reg.hdcs" --kernel bogus)
 
 # --- bad args: usage errors exit nonzero with a diagnostic.
 run(fail "usage")                                  # no command at all

@@ -1,0 +1,143 @@
+#ifndef HDC_TOOLS_FLAG_PARSER_HPP
+#define HDC_TOOLS_FLAG_PARSER_HPP
+
+/// \file flag_parser.hpp
+/// \brief Shared command-line flag parsing for the tools/ binaries.
+///
+/// Every hdcgen subcommand reads the same flag shapes; before this header
+/// each of them carried its own argv scanning loop and its own numeric
+/// conversions (stoul in one place, strict from_chars in another).  The
+/// FlagParser consolidates both: one scanner accepting `--flag value` and
+/// `--flag=value`, and strict numeric accessors that reject the inputs
+/// stoul silently mangles ("--batch -1" wrapping to 2^64-1, "12abc"
+/// truncating to 12).
+
+#include <charconv>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hdc::tools {
+
+/// Non-owning scanner over one subcommand's argv tail.  hdcgen constructs
+/// it with first = 2 so the program name and the subcommand word are never
+/// mistaken for flags.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv, int first = 2)
+      : argc_(argc), argv_(argv), first_(first) {}
+
+  /// Value of `--name value` or `--name=value`; nullopt when absent.
+  [[nodiscard]] std::optional<std::string> value(
+      std::string_view name) const {
+    for (int i = first_; i < argc_; ++i) {
+      const std::string_view arg = argv_[i];
+      if (arg == name && i + 1 < argc_) {
+        return std::string(argv_[i + 1]);
+      }
+      if (arg.size() > name.size() + 1 && arg.starts_with(name) &&
+          arg[name.size()] == '=') {
+        return std::string(arg.substr(name.size() + 1));
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// True when the bare flag `--name` is present.
+  [[nodiscard]] bool has(std::string_view name) const {
+    for (int i = first_; i < argc_; ++i) {
+      if (name == argv_[i]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Strict decimal count flag: all digits and >= minimum, \p fallback
+  /// when absent.  Throws std::invalid_argument otherwise.
+  [[nodiscard]] std::size_t count_or(std::string_view name,
+                                     std::size_t minimum,
+                                     std::size_t fallback) const {
+    const auto text = value(name);
+    return text ? parse_count(*text, name, minimum) : fallback;
+  }
+
+  /// Strict decimal count flag that must be present (same contract as
+  /// count_or once found).
+  [[nodiscard]] std::size_t count(std::string_view name,
+                                  std::size_t minimum) const {
+    const auto text = value(name);
+    if (!text) {
+      throw std::invalid_argument(std::string(name) + " is required");
+    }
+    return parse_count(*text, name, minimum);
+  }
+
+  /// Strict unsigned 64-bit flag (seeds), \p fallback when absent.
+  [[nodiscard]] std::uint64_t u64_or(std::string_view name,
+                                     std::uint64_t fallback) const {
+    const auto text = value(name);
+    if (!text) {
+      return fallback;
+    }
+    std::uint64_t parsed = 0;
+    const auto [end, error] =
+        std::from_chars(text->data(), text->data() + text->size(), parsed);
+    if (error != std::errc{} || end != text->data() + text->size()) {
+      throw std::invalid_argument(std::string(name) +
+                                  " needs an unsigned integer, got '" +
+                                  *text + "'");
+    }
+    return parsed;
+  }
+
+  /// Floating-point flag, \p fallback when absent.  Throws on trailing
+  /// garbage ("0.5x") like the integer accessors do.
+  [[nodiscard]] double real_or(std::string_view name,
+                               double fallback) const {
+    const auto text = value(name);
+    if (!text) {
+      return fallback;
+    }
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+      parsed = std::stod(*text, &used);
+    } catch (const std::exception&) {
+      used = std::string::npos;
+    }
+    if (used != text->size()) {
+      throw std::invalid_argument(std::string(name) +
+                                  " needs a number, got '" + *text + "'");
+    }
+    return parsed;
+  }
+
+ private:
+  static std::size_t parse_count(const std::string& text,
+                                 std::string_view name,
+                                 std::size_t minimum) {
+    std::size_t parsed = 0;
+    const auto [end, error] =
+        std::from_chars(text.data(), text.data() + text.size(), parsed);
+    if (error != std::errc{} || end != text.data() + text.size() ||
+        parsed < minimum) {
+      throw std::invalid_argument(std::string(name) +
+                                  " needs an integer >= " +
+                                  std::to_string(minimum) + ", got '" +
+                                  text + "'");
+    }
+    return parsed;
+  }
+
+  int argc_;
+  char** argv_;
+  int first_;
+};
+
+}  // namespace hdc::tools
+
+#endif  // HDC_TOOLS_FLAG_PARSER_HPP

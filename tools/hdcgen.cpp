@@ -13,15 +13,19 @@
 //   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
 //   hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]
 //               [--input csv|jsonl] [--format plain|csv|jsonl]
-//               [--latency] [--trust]
+//               [--latency] [--trust] [--kernel NAME] [--mlock]
 //                               # stream feature rows stdin -> predictions
 //                               # stdout (docs/serving.md)
+//   hdcgen kernels              # CPU features + compiled/available SIMD
+//                               # kernel variants + active selection
 //
 // `gen` files use the library's portable stream format
 // (hdc/core/serialization); `snap*` and `serve` use the mmap-able HDCS
 // snapshot format (hdc/io/snapshot, docs/snapshot_format.md).
+//
+// Flags follow the `--name value` / `--name=value` shape shared by every
+// subcommand (tools/flag_parser.hpp).
 
-#include <charconv>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -32,7 +36,9 @@
 #include <string_view>
 #include <vector>
 
+#include "flag_parser.hpp"
 #include "hdc/core/hdc.hpp"
+#include "hdc/core/kernels.hpp"
 #include "hdc/experiments/table.hpp"
 #include "hdc/io/fixture_models.hpp"
 #include "hdc/io/io.hpp"
@@ -55,29 +61,13 @@ int usage() {
       "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n"
       "  hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]\n"
       "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
-      "              [--latency] [--trust]\n",
+      "              [--latency] [--trust] [--kernel NAME] [--mlock]\n"
+      "  hdcgen kernels\n",
       stderr);
   return 2;
 }
 
-std::optional<std::string> arg_value(int argc, char** argv,
-                                     std::string_view name) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (name == argv[i]) {
-      return std::string(argv[i + 1]);
-    }
-  }
-  return std::nullopt;
-}
-
-bool has_flag(int argc, char** argv, std::string_view name) {
-  for (int i = 2; i < argc; ++i) {
-    if (name == argv[i]) {
-      return true;
-    }
-  }
-  return false;
-}
+using hdc::tools::FlagParser;
 
 hdc::Basis load_basis(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -89,18 +79,15 @@ hdc::Basis load_basis(const std::string& path) {
 
 /// Builds the basis described by the gen/snap command-line flags; empty on
 /// a malformed or missing flag set.
-std::optional<hdc::Basis> basis_from_args(int argc, char** argv) {
-  const auto kind = arg_value(argc, argv, "--kind");
-  const auto size = arg_value(argc, argv, "--size");
-  if (!kind || !size) {
+std::optional<hdc::Basis> basis_from_args(const FlagParser& flags) {
+  const auto kind = flags.value("--kind");
+  if (!kind || !flags.value("--size")) {
     return std::nullopt;
   }
-  const std::size_t m = std::stoul(*size);
-  const std::size_t dim =
-      std::stoul(arg_value(argc, argv, "--dim").value_or("10000"));
-  const double r = std::stod(arg_value(argc, argv, "--r").value_or("0"));
-  const std::uint64_t seed =
-      std::stoull(arg_value(argc, argv, "--seed").value_or("1"));
+  const std::size_t m = flags.count("--size", 1);
+  const std::size_t dim = flags.count_or("--dim", 1, 10'000);
+  const double r = flags.real_or("--r", 0.0);
+  const std::uint64_t seed = flags.u64_or("--seed", 1);
 
   std::optional<hdc::Basis> basis;
   if (*kind == "random") {
@@ -147,9 +134,9 @@ void print_basis_summary(const char* path, const hdc::Basis& basis) {
               info.r, static_cast<unsigned long long>(info.seed));
 }
 
-int cmd_gen(int argc, char** argv) {
-  const auto out_path = arg_value(argc, argv, "--out");
-  const auto basis = basis_from_args(argc, argv);
+int cmd_gen(const FlagParser& flags) {
+  const auto out_path = flags.value("--out");
+  const auto basis = basis_from_args(flags);
   if (!basis || !out_path) {
     return usage();
   }
@@ -165,27 +152,21 @@ int cmd_gen(int argc, char** argv) {
 
 /// The fixture spec shared by snap --pipeline and snap-fixtures; only
 /// explicit flags override the canonical defaults.
-hdc::io::fixtures::FixtureSpec spec_from_args(int argc, char** argv) {
+hdc::io::fixtures::FixtureSpec spec_from_args(const FlagParser& flags) {
   hdc::io::fixtures::FixtureSpec spec;
-  if (const auto dim = arg_value(argc, argv, "--dim")) {
-    spec.dimension = std::stoul(*dim);
-  }
-  if (const auto size = arg_value(argc, argv, "--size")) {
-    spec.size = std::stoul(*size);
-  }
-  if (const auto seed = arg_value(argc, argv, "--seed")) {
-    spec.seed = std::stoull(*seed);
-  }
+  spec.dimension = flags.count_or("--dim", 1, spec.dimension);
+  spec.size = flags.count_or("--size", 1, spec.size);
+  spec.seed = flags.u64_or("--seed", spec.seed);
   return spec;
 }
 
-int cmd_snap(int argc, char** argv) {
-  const auto out_path = arg_value(argc, argv, "--out");
+int cmd_snap(const FlagParser& flags) {
+  const auto out_path = flags.value("--out");
   if (!out_path) {
     return usage();
   }
-  if (const auto pipeline = arg_value(argc, argv, "--pipeline")) {
-    const hdc::io::fixtures::FixtureSpec spec = spec_from_args(argc, argv);
+  if (const auto pipeline = flags.value("--pipeline")) {
+    const hdc::io::fixtures::FixtureSpec spec = spec_from_args(flags);
     hdc::io::SnapshotWriter writer;
     // The writer records spans into the models' arenas, so whichever
     // pipeline is built must outlive write_file() (a scope-local `models`
@@ -218,7 +199,7 @@ int cmd_snap(int argc, char** argv) {
                 writer.section_count());
     return 0;
   }
-  const auto basis = basis_from_args(argc, argv);
+  const auto basis = basis_from_args(flags);
   if (!basis) {
     return usage();
   }
@@ -340,62 +321,49 @@ int cmd_snap_info(const std::string& path) {
   return 0;
 }
 
-int cmd_snap_fixtures(int argc, char** argv, const std::string& dir) {
+int cmd_snap_fixtures(const FlagParser& flags, const std::string& dir) {
   // FixtureSpec's member initializers are the single source of the default
   // shape; only explicit flags override them.
   const auto written =
-      hdc::io::fixtures::write_all(dir, spec_from_args(argc, argv));
+      hdc::io::fixtures::write_all(dir, spec_from_args(flags));
   for (const std::string& path : written) {
     std::printf("wrote %s\n", path.c_str());
   }
   return 0;
 }
 
-/// Strict decimal count flag: all digits, within \p minimum..max.  stoul
-/// alone would wrap "--batch -1" to 2^64-1 (an unbounded-memory batch job)
-/// and silently truncate "12abc".
-std::size_t count_flag(const std::string& value, const char* flag,
-                       std::size_t minimum) {
-  std::size_t parsed = 0;
-  const auto [end, error] =
-      std::from_chars(value.data(), value.data() + value.size(), parsed);
-  if (error != std::errc{} || end != value.data() + value.size() ||
-      parsed < minimum) {
-    throw std::invalid_argument(std::string(flag) + " needs an integer >= " +
-                                std::to_string(minimum) + ", got '" + value +
-                                "'");
-  }
-  return parsed;
-}
-
 /// Streams stdin feature rows through a snapshot pipeline to stdout —
 /// the `hdcgen serve` front end over hdc::serve (docs/serving.md).
-int cmd_serve(int argc, char** argv, const std::string& path) {
+int cmd_serve(const FlagParser& flags, const std::string& path) {
   hdc::serve::ServerOptions options;
-  if (const auto batch = arg_value(argc, argv, "--batch")) {
-    options.batch_size = count_flag(*batch, "--batch", 1);
-  }
-  if (const auto flush = arg_value(argc, argv, "--flush-us")) {
+  options.batch_size = flags.count_or("--batch", 1, options.batch_size);
+  if (flags.value("--flush-us")) {
     options.flush_interval = std::chrono::microseconds(
-        static_cast<long long>(count_flag(*flush, "--flush-us", 0)));
+        static_cast<long long>(flags.count("--flush-us", 0)));
   }
-  if (const auto threads = arg_value(argc, argv, "--threads")) {
-    options.num_threads = count_flag(*threads, "--threads", 0);
+  options.num_threads = flags.count_or("--threads", 0, options.num_threads);
+  if (const auto kernel = flags.value("--kernel")) {
+    // Pin the SIMD kernel variant for this serving process; replaces the
+    // startup auto-selection exactly like HDC_KERNELS (docs/kernels.md).
+    hdc::bits::select_kernels(*kernel);
   }
-  const auto integrity = has_flag(argc, argv, "--trust")
+  const auto integrity = flags.has("--trust")
                              ? hdc::io::SnapshotIntegrity::Trust
                              : hdc::io::SnapshotIntegrity::Checksum;
   hdc::serve::RowFormat input = hdc::serve::RowFormat::Csv;
-  if (const auto name = arg_value(argc, argv, "--input")) {
+  if (const auto name = flags.value("--input")) {
     input = hdc::serve::parse_row_format(*name);
   }
   hdc::serve::OutputFormat output = hdc::serve::OutputFormat::Plain;
-  if (const auto name = arg_value(argc, argv, "--format")) {
+  if (const auto name = flags.value("--format")) {
     output = hdc::serve::parse_output_format(*name);
   }
+  hdc::io::MappingOptions mapping;
+  mapping.lock_memory = flags.has("--mlock");
 
   // The mapping must outlive the Server: the restored pipeline borrows it.
-  const auto snapshot = hdc::io::MappedSnapshot::open(path, integrity);
+  const auto snapshot = hdc::io::MappedSnapshot::open(path, integrity,
+                                                      mapping);
   hdc::io::Pipeline pipeline = hdc::io::Pipeline::restore(snapshot);
   const char* kind = hdc::io::to_string(pipeline.kind());
   const std::size_t num_features = pipeline.num_features();
@@ -403,16 +371,57 @@ int cmd_serve(int argc, char** argv, const std::string& path) {
 
   hdc::serve::RowReader reader(std::cin, num_features, input);
   hdc::serve::PredictionWriter writer(std::cout, output,
-                                      has_flag(argc, argv, "--latency"));
+                                      flags.has("--latency"));
   const hdc::serve::Server server(std::move(pipeline), options);
   const hdc::serve::Server::Stats stats = server.run(reader, writer);
   std::fprintf(stderr,
                "served %zu rows in %zu batches: %s pipeline, d = %zu, "
-               "%zu features/row, %.0f rows/s\n",
+               "%zu features/row, %.0f rows/s, kernels = %s%s\n",
                stats.rows, stats.batches, kind, dimension, num_features,
                stats.seconds > 0.0
                    ? static_cast<double>(stats.rows) / stats.seconds
-                   : 0.0);
+                   : 0.0,
+               hdc::bits::active_kernels().name,
+               snapshot.locked() ? ", mlock" : "");
+  return 0;
+}
+
+/// Reports the CPU's SIMD features and the kernel-variant dispatch state —
+/// what was compiled in, what this CPU can run, and what is selected.
+int cmd_kernels() {
+  const hdc::bits::CpuFeatures features = hdc::bits::cpu_features();
+  std::printf("cpu:       ");
+  bool any = false;
+  const struct {
+    const char* name;
+    bool present;
+  } probes[] = {
+      {"popcnt", features.popcnt},
+      {"avx2", features.avx2},
+      {"avx512f", features.avx512f},
+      {"avx512bw", features.avx512bw},
+      {"avx512vl", features.avx512vl},
+      {"avx512vpopcntdq", features.avx512vpopcntdq},
+      {"neon", features.neon},
+  };
+  for (const auto& probe : probes) {
+    if (probe.present) {
+      std::printf(" %s", probe.name);
+      any = true;
+    }
+  }
+  std::printf("%s\n", any ? "" : " (baseline only)");
+  std::printf("compiled:  ");
+  for (const hdc::bits::Kernels* variant : hdc::bits::compiled_kernels()) {
+    std::printf(" %s", variant->name);
+  }
+  std::printf("\navailable: ");
+  for (const hdc::bits::Kernels* variant : hdc::bits::available_kernels()) {
+    std::printf(" %s", variant->name);
+  }
+  std::printf("\nactive:     %s\n", hdc::bits::active_kernels().name);
+  std::printf("override:   HDC_KERNELS env var, or --kernel NAME on "
+              "serve/bench\n");
   return 0;
 }
 
@@ -484,21 +493,25 @@ int main(int argc, char** argv) {
     return usage();
   }
   const std::string_view command = argv[1];
+  const FlagParser flags(argc, argv);
   try {
     if (command == "gen") {
-      return cmd_gen(argc, argv);
+      return cmd_gen(flags);
     }
     if (command == "snap") {
-      return cmd_snap(argc, argv);
+      return cmd_snap(flags);
+    }
+    if (command == "kernels") {
+      return cmd_kernels();
     }
     if (argc >= 3 && command == "snap-info") {
       return cmd_snap_info(argv[2]);
     }
     if (argc >= 3 && command == "serve") {
-      return cmd_serve(argc, argv, argv[2]);
+      return cmd_serve(flags, argv[2]);
     }
     if (argc >= 3 && command == "snap-fixtures") {
-      return cmd_snap_fixtures(argc, argv, argv[2]);
+      return cmd_snap_fixtures(flags, argv[2]);
     }
     if (argc >= 3 && command == "info") {
       return cmd_info(argv[2]);
