@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -22,6 +23,14 @@
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
 
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/basis_random.hpp"
@@ -507,6 +516,160 @@ void report_serve_throughput() {
               best_rows_per_second);
 }
 
+// Socket-serving tail latency: the whole network front end in process — a
+// NetServer on a loopback TCP port, one persistent client connection
+// pipelining CSV rows with a bounded window, per-row send-to-response
+// latency recorded at the client.  This is the `[serve-latency]` report the
+// CI gate checks as a *ceiling* (direction "lower" in
+// bench/baselines/BENCH_baseline.json): a regression that parks rows on the
+// flush timer or serializes the batch path shows up as a tail blow-up long
+// before throughput moves.  serve_load emits the identical block against an
+// out-of-process server for ad-hoc runs.
+#if !defined(_WIN32)
+void report_serve_latency() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kRows = 4'096;
+  constexpr std::size_t kBatch = 32;
+  constexpr std::size_t kWindow = 32;
+  using clock = std::chrono::steady_clock;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hdcs_latency_bench_" +
+       std::to_string(static_cast<unsigned long long>(
+           clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = (dir / "beijing.hdcs").string();
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_beijing_pipeline(spec);
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(*models.encoder, models.model);
+    writer.write_file(snap_path);
+  }
+
+  std::vector<std::string> rows;
+  rows.reserve(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows.push_back(std::to_string(i % 5) + ',' +
+                   std::to_string((static_cast<double>(i) * 61.7) + 3.25) +
+                   ',' +
+                   std::to_string(0.5 * static_cast<double>((i * 7) % 48)) +
+                   '\n');
+  }
+
+  hdc::serve::NetServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;  // ephemeral
+  options.batch_size = kBatch;
+  options.flush_interval = std::chrono::microseconds(2'000);
+  options.mapping = {};
+  hdc::serve::NetServer server(
+      hdc::io::load_pipeline(snap_path, hdc::io::SnapshotIntegrity::Trust),
+      snap_path, options);
+  std::thread server_thread([&server] { server.run(); });
+
+  std::vector<double> latencies;
+  latencies.reserve(kRows);
+  double seconds = 0.0;
+  bool ok = false;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  do {
+    if (fd < 0) {
+      break;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    // Windowed pipelining, timing each row from send to its response line.
+    std::vector<clock::time_point> sent_at(kRows);
+    std::string inbuf;
+    char chunk[4096];
+    std::size_t sent = 0;
+    std::size_t received = 0;
+    bool dead = false;
+    const auto start = clock::now();
+    while (received < kRows && !dead) {
+      while (sent < kRows && sent - received < kWindow) {
+        sent_at[sent] = clock::now();
+        const std::string& row = rows[sent];
+        std::size_t done = 0;
+        while (done < row.size()) {
+          const ssize_t n = ::send(fd, row.data() + done, row.size() - done,
+                                   MSG_NOSIGNAL);
+          if (n <= 0) {
+            dead = true;
+            break;
+          }
+          done += static_cast<std::size_t>(n);
+        }
+        if (dead) {
+          break;
+        }
+        ++sent;
+      }
+      std::size_t newline;
+      while ((newline = inbuf.find('\n')) == std::string::npos && !dead) {
+        const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (got <= 0) {
+          dead = true;
+          break;
+        }
+        inbuf.append(chunk, static_cast<std::size_t>(got));
+      }
+      if (dead) {
+        break;
+      }
+      inbuf.erase(0, newline + 1);
+      latencies.push_back(std::chrono::duration<double, std::micro>(
+                              clock::now() - sent_at[received])
+                              .count());
+      ++received;
+    }
+    seconds = std::chrono::duration<double>(clock::now() - start).count();
+    ok = received == kRows;
+  } while (false);
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  server.stop();
+  server_thread.join();
+  std::filesystem::remove_all(dir);
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&latencies](double q) {
+    if (latencies.empty()) {
+      return 0.0;
+    }
+    const auto rank =
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size()));
+    return latencies[std::min(rank, latencies.size() - 1)];
+  };
+  std::printf("\n[serve-latency] d=%zu rows=%zu batch=%zu window=%zu "
+              "loopback tcp (%s)\n",
+              kDim, latencies.size(), kBatch, kWindow,
+              ok ? "complete" : "INCOMPLETE");
+  std::printf("[serve-latency] rows_per_second: %.0f\n",
+              ok && seconds > 0.0
+                  ? static_cast<double>(latencies.size()) / seconds
+                  : 0.0);
+  // An incomplete run reports +inf tails so the ceiling gate fails loudly
+  // instead of averaging over the rows that did make it.
+  std::printf("[serve-latency] p50_us: %.1f\n", ok ? pct(0.50) : 1.0e9);
+  std::printf("[serve-latency] p99_us: %.1f\n", ok ? pct(0.99) : 1.0e9);
+  std::printf("[serve-latency] p999_us: %.1f\n", ok ? pct(0.999) : 1.0e9);
+}
+#endif  // !defined(_WIN32)
+
 // CoreMark-style self-checking kernel microbench: every available kernel
 // variant runs the same fixed workload, its result checksum must equal the
 // scalar reference's (a variant that is fast but wrong must fail the gate,
@@ -667,6 +830,9 @@ int main(int argc, char** argv) {
   report_basis_memory();
   report_snapshot_load();
   report_serve_throughput();
+#if !defined(_WIN32)
+  report_serve_latency();
+#endif
   const bool kernels_ok = report_kernel_microbench();
   // A kernel variant that mis-computes must fail the bench job outright,
   // not just dent a throughput number.

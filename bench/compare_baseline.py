@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Parses the ``[snapshot-load]`` and ``[serve-throughput]`` reports out of a
-``bench_ops`` text log, compares each metric against the committed floors in
+Parses the ``[snapshot-load]``, ``[serve-throughput]``, ``[serve-latency]``
+and ``[kernel-*]`` reports out of a ``bench_ops`` text log, compares each
+metric against the committed baselines in
 ``bench/baselines/BENCH_baseline.json``, writes a machine-readable
 ``bench_report.json`` (uploaded as a CI artifact so the bench trajectory is
-preserved per-commit), and exits nonzero when any metric falls more than the
-configured tolerance below its baseline.
+preserved per-commit), and exits nonzero when any metric crosses its gate.
+Throughput-style metrics (the default, ``direction: "higher"``) gate on a
+floor ``baseline * (1 - tolerance)``; latency-style metrics
+(``direction: "lower"``) gate on a ceiling ``baseline * (1 + tolerance)``.
 
 Usage:
     python3 bench/compare_baseline.py BENCH_OPS_LOG [--baseline FILE]
@@ -29,6 +32,14 @@ METRIC_PATTERNS = {
         re.compile(r"\[kernel-nearest\] best_rows_per_second:\s*([0-9.]+)"),
     "kernel_selfcheck_pass":
         re.compile(r"\[kernel-selfcheck\] pass:\s*([0-9.]+)"),
+    "serve_latency_rows_per_second":
+        re.compile(r"\[serve-latency\] rows_per_second:\s*([0-9.]+)"),
+    "serve_latency_p50_us":
+        re.compile(r"\[serve-latency\] p50_us:\s*([0-9.]+)"),
+    "serve_latency_p99_us":
+        re.compile(r"\[serve-latency\] p99_us:\s*([0-9.]+)"),
+    "serve_latency_p999_us":
+        re.compile(r"\[serve-latency\] p999_us:\s*([0-9.]+)"),
 }
 
 
@@ -60,8 +71,17 @@ def main() -> int:
                 report["pass"] = False
             else:
                 value = float(match.group(1))
-                floor = spec["baseline"] * (1.0 - tolerance)
-                entry.update(value=value, floor=floor, ok=value >= floor)
+                # direction "higher" (default): throughput-style, gate is a
+                # floor below the baseline.  direction "lower": latency-style,
+                # gate is a ceiling above it.
+                direction = spec.get("direction", "higher")
+                if direction == "lower":
+                    ceiling = spec["baseline"] * (1.0 + tolerance)
+                    entry.update(value=value, ceiling=ceiling,
+                                 ok=value <= ceiling)
+                else:
+                    floor = spec["baseline"] * (1.0 - tolerance)
+                    entry.update(value=value, floor=floor, ok=value >= floor)
                 if not entry["ok"]:
                     report["pass"] = False
         report["metrics"][name] = entry
@@ -73,6 +93,13 @@ def main() -> int:
     for name, entry in report["metrics"].items():
         if "error" in entry:
             print(f"FAIL {name}: {entry['error']}")
+        elif "ceiling" in entry:
+            if entry["ok"]:
+                print(f"ok   {name}: {entry['value']:g} (baseline "
+                      f"{entry['baseline']:g}, ceiling {entry['ceiling']:g})")
+            else:
+                print(f"FAIL {name}: {entry['value']:g} rose above ceiling "
+                      f"{entry['ceiling']:g} (baseline {entry['baseline']:g})")
         elif entry["ok"]:
             print(f"ok   {name}: {entry['value']:g} "
                   f"(baseline {entry['baseline']:g}, floor {entry['floor']:g})")

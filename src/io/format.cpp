@@ -11,7 +11,8 @@ namespace hdc::io {
 
 namespace detail {
 
-void store_f64(std::span<std::byte> out, std::size_t at, double value) noexcept {
+void store_f64(std::span<std::byte> out, std::size_t at,
+               double value) noexcept {
   std::uint64_t bits = 0;
   std::memcpy(&bits, &value, sizeof(bits));
   store_u64(out, at, bits);

@@ -79,7 +79,8 @@ struct BeijingPipeline {
   std::shared_ptr<const ComposedEncoder> encoder;
   HDRegressor model;
 };
-[[nodiscard]] BeijingPipeline make_beijing_pipeline(const FixtureSpec& spec = {});
+[[nodiscard]] BeijingPipeline make_beijing_pipeline(
+    const FixtureSpec& spec = {});
 
 /// File names of the canonical fixture set, in generation order: one
 /// single-section snapshot per basis kind, a classifier, a regressor, one

@@ -230,8 +230,8 @@ void store_f64(std::span<std::byte> out, std::size_t at, double value) noexcept;
                               std::size_t at) noexcept;
 
 /// at rounded up to the next multiple of alignment (a power of two).
-[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t at,
-                                               std::uint64_t alignment) noexcept {
+[[nodiscard]] constexpr std::uint64_t align_up(
+    std::uint64_t at, std::uint64_t alignment) noexcept {
   return (at + alignment - 1) & ~(alignment - 1);
 }
 

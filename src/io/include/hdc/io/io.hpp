@@ -7,6 +7,7 @@
 #include "hdc/io/checksum.hpp"  // IWYU pragma: export
 #include "hdc/io/format.hpp"    // IWYU pragma: export
 #include "hdc/io/pipeline.hpp"  // IWYU pragma: export
+#include "hdc/io/reload.hpp"    // IWYU pragma: export
 #include "hdc/io/snapshot.hpp"  // IWYU pragma: export
 
 #endif  // HDC_IO_IO_HPP

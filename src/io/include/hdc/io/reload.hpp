@@ -1,0 +1,62 @@
+#ifndef HDC_IO_RELOAD_HPP
+#define HDC_IO_RELOAD_HPP
+
+/// \file reload.hpp
+/// \brief Validated pipeline (re)loading for long-lived serving replicas.
+///
+/// A serving process that hot-swaps its model mid-traffic must never flip
+/// to a snapshot it has not fully vetted: a corrupt file, a file holding no
+/// pipeline, or a retrained model whose input shape silently changed would
+/// all turn live traffic into garbage.  `load_pipeline` is the one entry
+/// point that takes a path and returns a mapping *and* the pipeline
+/// restored over it — every structural and checksum validation the restore
+/// path performs has already passed by the time it returns — and
+/// `ensure_swappable` is the shape gate a replica applies before flipping
+/// its active pointer: the incumbent keeps serving unless the replacement
+/// predicts the same kind of output from the same number of features.
+///
+/// The returned `LoadedPipeline` keeps the snapshot and the pipeline
+/// restored from it together because the pipeline borrows the mapping: the
+/// pair must live and die as one (`hdc::serve::ServingState` wraps exactly
+/// this bundle behind a `shared_ptr` for the hot-swap protocol).
+
+#include <string>
+
+#include "hdc/io/pipeline.hpp"
+#include "hdc/io/snapshot.hpp"
+
+namespace hdc::io {
+
+/// A snapshot mapping and the pipeline restored over it, bound together so
+/// the borrow can never outlive its storage.  Move-only (the snapshot is);
+/// moving keeps every borrowed span valid because the mapping itself never
+/// relocates.
+struct LoadedPipeline {
+  MappedSnapshot snapshot;
+  Pipeline pipeline;
+};
+
+/// Maps \p path and restores its single pipeline, validating everything the
+/// restore path touches (header, section table, referenced-section
+/// checksums under `Checksum` integrity) before returning.  This is the
+/// reload entry point: a caller that wants to replace a live pipeline calls
+/// this first, then `ensure_swappable`, and only then flips — on any throw
+/// the incumbent pipeline is untouched.
+/// \throws SnapshotError on open/validation failure or when the snapshot
+/// holds no (or more than one) pipeline head.
+[[nodiscard]] LoadedPipeline load_pipeline(
+    const std::string& path,
+    SnapshotIntegrity integrity = SnapshotIntegrity::Checksum,
+    MappingOptions mapping = MappingOptions{});
+
+/// Verifies \p fresh can replace \p incumbent without breaking the wire
+/// contract of clients already streaming rows: same prediction kind
+/// (classifier labels vs regression values) and same feature arity.  The
+/// dimension is deliberately *not* checked — retraining at a different d is
+/// a legitimate redeploy and invisible on the wire.
+/// \throws SnapshotError naming the mismatch otherwise.
+void ensure_swappable(const Pipeline& fresh, const Pipeline& incumbent);
+
+}  // namespace hdc::io
+
+#endif  // HDC_IO_RELOAD_HPP

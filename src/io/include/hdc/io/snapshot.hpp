@@ -291,7 +291,8 @@ class MappedSnapshot {
 /// through portable stream I/O and returns it with all payload checksums
 /// verified (unless `Trust`).  \throws SnapshotError on any failure.
 [[nodiscard]] MappedSnapshot load_snapshot(
-    std::istream& in, SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
+    std::istream& in,
+    SnapshotIntegrity integrity = SnapshotIntegrity::Checksum);
 
 /// load_snapshot() over a file path.
 [[nodiscard]] MappedSnapshot load_snapshot(

@@ -131,7 +131,8 @@ MappedSnapshot MappedSnapshot::open(const std::string& path,
   auto impl = std::make_unique<Impl>();
   impl->integrity = integrity;
 #if HDC_IO_HAS_MMAP
-  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg)
+  const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw SnapshotError("MappedSnapshot::open: cannot open " + path);
   }
@@ -353,8 +354,9 @@ KeyValueEncoder MappedSnapshot::feature_encoder(std::size_t i) const {
   // The tie-breaker is one row and is copied into the owning encoder state
   // (bundling scratch must not depend on the mapping's lifetime rules any
   // more than the regressor model row does).
-  Hypervector tie_breaker(HypervectorView(
-      static_cast<std::size_t>(record.dimension), impl_->payload_words(record)));
+  Hypervector tie_breaker(
+      HypervectorView(static_cast<std::size_t>(record.dimension),
+                      impl_->payload_words(record)));
   return KeyValueEncoder(std::move(keys), std::move(values),
                          std::move(tie_breaker), record.seed);
 }

@@ -117,7 +117,8 @@ const HDRegressor& Pipeline::regressor() const {
   return *regressor_;
 }
 
-runtime::BatchEncoder Pipeline::batch_encoder(runtime::ThreadPoolPtr pool) const {
+runtime::BatchEncoder Pipeline::batch_encoder(
+    runtime::ThreadPoolPtr pool) const {
   // Every branch captures the shared encoder state, not this Pipeline
   // object; the engine stays valid as long as the snapshot mapping does.
   runtime::BatchEncoder::EncodeFn encode;

@@ -1,0 +1,36 @@
+#include "hdc/io/reload.hpp"
+
+#include <string>
+#include <utility>
+
+namespace hdc::io {
+
+LoadedPipeline load_pipeline(const std::string& path,
+                             SnapshotIntegrity integrity,
+                             MappingOptions mapping) {
+  MappedSnapshot snapshot = MappedSnapshot::open(path, integrity, mapping);
+  // Restore before the snapshot moves into the result so every section the
+  // pipeline references is checksum-verified (under Checksum integrity)
+  // while we still hold the mapping by name; the borrowed spans stay valid
+  // across the move because MappedSnapshot's storage never relocates.
+  Pipeline pipeline = Pipeline::restore(snapshot);
+  return LoadedPipeline{std::move(snapshot), std::move(pipeline)};
+}
+
+void ensure_swappable(const Pipeline& fresh, const Pipeline& incumbent) {
+  if (fresh.kind() != incumbent.kind()) {
+    throw SnapshotError(
+        std::string("reload rejected: replacement pipeline is a ") +
+        to_string(fresh.kind()) + " but the serving pipeline is a " +
+        to_string(incumbent.kind()));
+  }
+  if (fresh.num_features() != incumbent.num_features()) {
+    throw SnapshotError(
+        "reload rejected: replacement pipeline takes " +
+        std::to_string(fresh.num_features()) +
+        " features/row but clients are streaming " +
+        std::to_string(incumbent.num_features()));
+  }
+}
+
+}  // namespace hdc::io

@@ -165,7 +165,8 @@ std::size_t SnapshotWriter::add_scalar_encoder(const ScalarEncoder& encoder) {
   return sections_.size() - 1;
 }
 
-std::size_t SnapshotWriter::add_feature_encoder(const KeyValueEncoder& encoder) {
+std::size_t SnapshotWriter::add_feature_encoder(
+    const KeyValueEncoder& encoder) {
   SectionRecord record;
   record.type = SectionType::FeatureEncoderConfig;
   record.dimension = encoder.dimension();
@@ -206,7 +207,8 @@ std::size_t SnapshotWriter::add_composed_encoder(
   return sections_.size() - 1;
 }
 
-std::size_t SnapshotWriter::add_sequence_encoder(const SequenceEncoder& encoder) {
+std::size_t SnapshotWriter::add_sequence_encoder(
+    const SequenceEncoder& encoder) {
   SectionRecord record;
   record.type = SectionType::SequenceEncoderConfig;
   record.kind = 0;

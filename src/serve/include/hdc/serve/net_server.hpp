@@ -1,0 +1,180 @@
+#ifndef HDC_SERVE_NET_SERVER_HPP
+#define HDC_SERVE_NET_SERVER_HPP
+
+/// \file net_server.hpp
+/// \brief Long-lived socket front end over the hdc::serve pipeline stack.
+///
+/// `Server` serves one blocking byte stream and returns; a replica fleet
+/// needs the other shape: a process that listens on a TCP (and/or
+/// unix-domain) socket, serves many persistent connections concurrently,
+/// and keeps serving while its model is retrained and redeployed.
+/// `NetServer` is that front end:
+///
+///  * every accepted connection gets its own `RowReader`/`PredictionWriter`
+///    pair and a poll-driven micro-batch loop whose flush deadline is a
+///    *real* latency bound — the poll timeout is the time left until the
+///    oldest admitted row's deadline, so a stalled client can never pin
+///    rows in a partial batch (the blocking `Server::run` can only
+///    approximate this; see ServerOptions::flush_interval);
+///  * batches from all connections fan out over one shared
+///    `hdc::runtime::ThreadPool`;
+///  * the model is held in a `SwapState` and hot-swapped with zero
+///    downtime: `reload()` maps and fully validates the new snapshot off
+///    to the side (`io::load_pipeline` + `io::ensure_swappable`), then
+///    flips the active `shared_ptr` atomically.  Batches already encoding
+///    finish on the mapping they started with; the old mapping is dropped
+///    when its last in-flight batch releases it.  A rejected reload
+///    (corrupt file, wrong arity, wrong kind) leaves the incumbent serving
+///    untouched.
+///
+/// ## Wire protocol
+///
+/// Lines in, lines out — exactly the `hdcgen serve` stdin format, so the
+/// same producers work against both front ends.  Data lines are CSV/JSONL
+/// feature rows; responses are emitted in admission order per connection.
+/// Lines starting with `!` are control commands:
+///
+///   * `!ping`          → `!ok pong generation=G`
+///   * `!stats`         → `!ok rows=N batches=B generation=G`
+///   * `!reload [PATH]` → `!ok reloaded generation=G source=PATH`, or
+///                        `!error reload rejected: ...` with the old model
+///                        still serving.  Without PATH the snapshot the
+///                        server is currently serving from is re-read
+///                        (SIGHUP triggers exactly this via
+///                        reload_notify_fd()).
+///   * `!quit`          → `!ok bye`, then the connection closes.
+///
+/// A malformed data line flushes every row admitted before it, answers
+/// `!error row N: ...` and closes that one connection; the server and all
+/// other connections keep running.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "hdc/io/reload.hpp"
+#include "hdc/runtime/batch_encoder.hpp"
+#include "hdc/serve/prediction_writer.hpp"
+#include "hdc/serve/row_reader.hpp"
+#include "hdc/serve/swap_state.hpp"
+
+namespace hdc::serve {
+
+/// Listener + micro-batching policy for the socket front end.
+struct NetServerOptions {
+  /// TCP bind address (IPv4 dotted quad); empty disables the TCP listener.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 asks the kernel for an ephemeral port (query port()).
+  std::uint16_t port = 0;
+  /// Unix-domain socket path; empty disables the unix listener.  A stale
+  /// socket file at the path is unlinked before bind.
+  std::string unix_path;
+  /// Rows per micro-batch per connection (> 0).
+  std::size_t batch_size = 64;
+  /// Upper bound on how long an admitted row may wait in a partial batch
+  /// (enforced via the poll timeout, millisecond granularity).  Zero means
+  /// "flush whenever the connection has no more bytes ready" — the lowest
+  /// latency, least batching setting.
+  std::chrono::microseconds flush_interval{2000};
+  /// Worker threads for the internally created pool when none is passed
+  /// (0 = hardware concurrency).
+  std::size_t num_threads = 0;
+  /// Wire formats, as in the stdin front end.
+  RowFormat input = RowFormat::Csv;
+  OutputFormat output = OutputFormat::Plain;
+  bool with_latency = false;
+  /// Connections beyond this are refused with `!error server full`.
+  std::size_t max_connections = 256;
+  /// Residency hints applied when reload() maps a replacement snapshot
+  /// (reloads always checksum-verify regardless of how the initial
+  /// snapshot was opened: a hot-swap must never trust unvetted bytes).
+  io::MappingOptions mapping{};
+};
+
+/// The persistent socket server.  Construction binds the listeners (so
+/// port() is answerable immediately); run() serves until stop().  Not
+/// copyable or movable; destroy it only after run() has returned.
+class NetServer {
+ public:
+  /// \throws std::invalid_argument on batch_size == 0 or no listener
+  /// configured; std::runtime_error when a socket cannot be bound.
+  NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
+            NetServerOptions options = {},
+            runtime::ThreadPoolPtr pool = nullptr);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound TCP port (resolved when options.port was 0); 0 when the
+  /// TCP listener is disabled.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const NetServerOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Accepts and serves connections until stop(); joins every connection
+  /// thread before returning.  Call at most once.
+  void run();
+
+  /// Asks run() to wind down: stops accepting, wakes every connection,
+  /// flushes nothing further.  Safe from any thread; idempotent.
+  void stop();
+
+  /// Hot-swaps the serving model to the (fully validated) snapshot at
+  /// \p path; in-flight batches finish on the old mapping.  Returns the
+  /// new active state.  \throws io::SnapshotError and leaves the incumbent
+  /// serving on any validation failure.  Safe from any thread.
+  ServingStatePtr reload(const std::string& path);
+
+  /// reload() of the path the active state was loaded from — the SIGHUP
+  /// semantic ("the trainer overwrote my snapshot; pick it up").
+  ServingStatePtr reload();
+
+  /// Write end of the self-pipe that requests an asynchronous reload():
+  /// writing one byte (async-signal-safe) makes the accept loop perform
+  /// reload() and log the outcome to stderr — wire a SIGHUP handler to
+  /// exactly this.
+  [[nodiscard]] int reload_notify_fd() const noexcept {
+    return reload_pipe_[1];
+  }
+
+  /// The active model generation (0 = the snapshot run() started with).
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return swap_.generation();
+  }
+
+  /// Monotonic serving counters (snapshot; concurrently updated).
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t rows = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t reloads = 0;
+    std::uint64_t rejected_reloads = 0;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
+ private:
+  struct Impl;
+
+  void accept_loop();
+  void serve_connection(int fd);
+  void handle_async_reload();
+
+  NetServerOptions options_;
+  runtime::ThreadPoolPtr pool_;
+  SwapState swap_;
+  std::size_t num_features_;
+  bool classifies_;
+  std::uint16_t port_ = 0;
+  int tcp_fd_ = -1;
+  int unix_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  int reload_pipe_[2] = {-1, -1};
+  Impl* impl_;  ///< Connection registry + counters (net_server.cpp).
+};
+
+}  // namespace hdc::serve
+
+#endif  // HDC_SERVE_NET_SERVER_HPP

@@ -20,9 +20,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 namespace hdc::serve {
+
+/// Raised when the prediction stream can no longer be written — typically
+/// the downstream consumer closed its end (EPIPE with SIGPIPE ignored).
+/// Serving loops treat it as "this client is gone", not as a parse error:
+/// the stdin front end exits nonzero with a summary, the socket front end
+/// closes the one connection.
+class WriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Output wire format.
 enum class OutputFormat : std::uint8_t {
@@ -51,6 +62,9 @@ class PredictionWriter {
 
   /// Flushes the underlying stream (end of a micro-batch, so a downstream
   /// consumer never waits on a full buffer for predictions already made).
+  /// \throws WriteError when the stream has failed — predictions that can
+  /// no longer reach the consumer must stop the loop, not scroll into a
+  /// dead buffer.
   void flush();
 
   [[nodiscard]] OutputFormat format() const noexcept { return format_; }

@@ -11,6 +11,9 @@
 /// (`[1.5, 2, -3e4]`) lines against the restored pipeline's declared
 /// feature arity.  Empty lines are skipped, trailing CR (CRLF input) is
 /// stripped, and every parse failure throws `RowError` naming the line.
+/// Non-finite fields (`nan`, `inf`, `-inf`) are rejected like any other
+/// malformed input: fed to the encoder they would silently corrupt every
+/// prediction in the batch instead of failing loudly at the parse edge.
 ///
 /// The reader never buffers beyond the current line, so it serves unbounded
 /// streams in constant memory.
@@ -52,15 +55,37 @@ class RowReader {
   RowReader(std::istream& in, std::size_t num_features,
             RowFormat format = RowFormat::Csv);
 
+  /// Stream-less reader for front ends that own their I/O (the socket
+  /// server reads lines off a polled fd and feeds them to parse_line()).
+  /// next() on such a reader throws std::logic_error.
+  /// \throws std::invalid_argument if num_features == 0.
+  explicit RowReader(std::size_t num_features,
+                     RowFormat format = RowFormat::Csv);
+
   /// Reads the next non-empty line into \p out (resized to num_features()).
   /// Returns false on clean end of stream.  \throws RowError on wrong
-  /// arity, non-numeric fields, malformed JSON arrays, or stream failure.
+  /// arity, non-numeric or non-finite fields, malformed JSON arrays, or
+  /// stream failure.
   [[nodiscard]] bool next(std::vector<double>& out);
+
+  /// Parses one already-read line as the next input line: counts it,
+  /// strips a trailing CR, and returns false (without consuming arity)
+  /// when it is blank.  \throws RowError exactly as next().
+  [[nodiscard]] bool parse_line(const std::string& line,
+                                std::vector<double>& out);
 
   [[nodiscard]] std::size_t num_features() const noexcept {
     return num_features_;
   }
   [[nodiscard]] RowFormat format() const noexcept { return format_; }
+
+  /// Best-effort "would next() block?" probe for latency-bounded serving
+  /// loops: true when the underlying stream reports no buffered characters
+  /// (or the reader is stream-less / already at EOF).  A buffered partial
+  /// line can still block, so this is a heuristic — callers use it to
+  /// flush pending work *before* a probably-blocking read, never for
+  /// correctness.
+  [[nodiscard]] bool may_block() const;
 
   /// 1-based number of the last line read (0 before the first read).
   [[nodiscard]] std::size_t line_number() const noexcept { return line_; }
@@ -73,7 +98,7 @@ class RowReader {
   void parse_jsonl(const std::string& line, std::vector<double>& out) const;
   [[noreturn]] void fail(const std::string& what) const;
 
-  std::istream* in_;
+  std::istream* in_;  ///< Null for the stream-less (parse_line-only) mode.
   std::size_t num_features_;
   RowFormat format_;
   std::size_t line_ = 0;

@@ -38,9 +38,12 @@ struct ServerOptions {
   std::size_t batch_size = 64;
   /// Flush a partial batch once this much time has passed since its first
   /// row was admitted; zero disables the timer (flush on full/EOF only).
-  /// Note: rows are read with blocking stream I/O, so the timer is checked
-  /// after each admitted row — it bounds batching delay under steady
-  /// traffic, not the blocking read itself.
+  /// Rows are read with blocking stream I/O, so the interval is enforced
+  /// as a *bounded-staleness* guarantee: the deadline is checked before
+  /// every read, and a partial batch is additionally flushed whenever the
+  /// stream has nothing buffered and the next read could therefore stall —
+  /// admitted rows never wait on a paused producer.  (`NetServer` goes
+  /// further and turns the deadline into a poll timeout.)
   std::chrono::microseconds flush_interval{0};
   /// Worker threads for the internally created pool when none is passed
   /// (0 = hardware concurrency).

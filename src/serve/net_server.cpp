@@ -1,0 +1,598 @@
+#include "hdc/serve/net_server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "hdc/runtime/batch_classifier.hpp"
+#include "hdc/runtime/batch_regressor.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace hdc::serve {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+runtime::ThreadPoolPtr ensure_pool(runtime::ThreadPoolPtr pool,
+                                   std::size_t num_threads) {
+  if (pool) {
+    return pool;
+  }
+  return std::make_shared<runtime::ThreadPool>(num_threads);
+}
+
+double microseconds_between(clock::time_point from, clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if !defined(_WIN32)
+
+namespace {
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+/// Sends the whole buffer, suppressing SIGPIPE; false when the peer is gone.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+bool send_all(int fd, const std::string& text) {
+  return send_all(fd, text.data(), text.size());
+}
+
+int make_tcp_listener(const std::string& host, std::uint16_t port,
+                      std::uint16_t& bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("NetServer: socket");
+  }
+  set_cloexec(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("NetServer: '" + host +
+                             "' is not an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("NetServer: bind/listen on " + host + ":" +
+                std::to_string(port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("NetServer: getsockname");
+  }
+  bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+int make_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("NetServer: unix socket path too long: " + path);
+  }
+  std::copy(path.begin(), path.end(), addr.sun_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw_errno("NetServer: socket(AF_UNIX)");
+  }
+  set_cloexec(fd);
+  ::unlink(path.c_str());  // A stale socket file would make bind fail.
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, SOMAXCONN) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("NetServer: bind/listen on " + path);
+  }
+  return fd;
+}
+
+}  // namespace
+
+/// Connection registry + counters, kept out of the header so the header
+/// stays free of <thread>/<list> and platform details.
+struct NetServer::Impl {
+  struct Conn {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  std::mutex conns_mutex;
+  std::list<Conn> conns;  ///< Stable addresses for the `done` flags.
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> ran{false};
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> rows{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> reloads{0};
+  std::atomic<std::uint64_t> rejected_reloads{0};
+
+  /// Joins (only) connections that have finished; called opportunistically
+  /// from the accept loop so a long-lived server does not accumulate dead
+  /// threads.
+  void reap_finished() {
+    const std::lock_guard<std::mutex> lock(conns_mutex);
+    for (auto it = conns.begin(); it != conns.end();) {
+      if (it->done.load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void join_all() {
+    const std::lock_guard<std::mutex> lock(conns_mutex);
+    for (Conn& conn : conns) {
+      conn.thread.join();
+    }
+    conns.clear();
+  }
+};
+
+NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
+                     NetServerOptions options, runtime::ThreadPoolPtr pool)
+    : options_(std::move(options)),
+      pool_(ensure_pool(std::move(pool), options_.num_threads)),
+      swap_(std::move(loaded), std::move(snapshot_path)),
+      num_features_(swap_.load()->pipeline().num_features()),
+      classifies_(swap_.load()->pipeline().kind() ==
+                  io::PipelineKind::Classifier),
+      impl_(new Impl) {
+  try {
+    if (options_.batch_size == 0) {
+      throw std::invalid_argument("NetServer: batch_size must be > 0");
+    }
+    if (options_.host.empty() && options_.unix_path.empty()) {
+      throw std::invalid_argument(
+          "NetServer: no listener configured (need a host or a unix path)");
+    }
+    if (::pipe(stop_pipe_) != 0 || ::pipe(reload_pipe_) != 0) {
+      throw_errno("NetServer: pipe");
+    }
+    for (const int fd : {stop_pipe_[0], stop_pipe_[1], reload_pipe_[0],
+                         reload_pipe_[1]}) {
+      set_cloexec(fd);
+    }
+    // The notify write end must never block inside a signal handler.
+    ::fcntl(reload_pipe_[1], F_SETFL, O_NONBLOCK);
+    if (!options_.host.empty()) {
+      tcp_fd_ = make_tcp_listener(options_.host, options_.port, port_);
+    }
+    if (!options_.unix_path.empty()) {
+      unix_fd_ = make_unix_listener(options_.unix_path);
+    }
+  } catch (...) {
+    for (const int fd : {tcp_fd_, unix_fd_, stop_pipe_[0], stop_pipe_[1],
+                         reload_pipe_[0], reload_pipe_[1]}) {
+      if (fd >= 0) {
+        ::close(fd);
+      }
+    }
+    delete impl_;
+    throw;
+  }
+}
+
+NetServer::~NetServer() {
+  stop();
+  impl_->join_all();
+  for (const int fd : {tcp_fd_, unix_fd_, stop_pipe_[0], stop_pipe_[1],
+                       reload_pipe_[0], reload_pipe_[1]}) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+  delete impl_;
+}
+
+void NetServer::stop() {
+  if (!impl_->stop_requested.exchange(true)) {
+    // One byte, never drained: level-triggered POLLIN keeps waking every
+    // poller (accept loop and all connection loops) until they exit.
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t ignored =
+        ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+ServingStatePtr NetServer::reload(const std::string& path) {
+  try {
+    io::LoadedPipeline fresh =
+        io::load_pipeline(path, io::SnapshotIntegrity::Checksum,
+                          options_.mapping);
+    ServingStatePtr state = swap_.swap_to(std::move(fresh), path);
+    impl_->reloads.fetch_add(1, std::memory_order_relaxed);
+    return state;
+  } catch (...) {
+    impl_->rejected_reloads.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+}
+
+ServingStatePtr NetServer::reload() {
+  return reload(swap_.load()->source_path());
+}
+
+NetServer::Stats NetServer::stats() const noexcept {
+  Stats out;
+  out.connections = impl_->connections.load(std::memory_order_relaxed);
+  out.rows = impl_->rows.load(std::memory_order_relaxed);
+  out.batches = impl_->batches.load(std::memory_order_relaxed);
+  out.reloads = impl_->reloads.load(std::memory_order_relaxed);
+  out.rejected_reloads =
+      impl_->rejected_reloads.load(std::memory_order_relaxed);
+  return out;
+}
+
+void NetServer::handle_async_reload() {
+  // Coalesce queued notifications (several HUPs before we got scheduled)
+  // into one reload; the read end saw POLLIN so this does not block.
+  char drain[64];
+  [[maybe_unused]] const ssize_t drained =
+      ::read(reload_pipe_[0], drain, sizeof(drain));
+  const std::string path = swap_.load()->source_path();
+  try {
+    const ServingStatePtr state = reload();
+    std::cerr << "hdc::serve: reloaded " << path << " (generation "
+              << state->generation() << ")\n";
+  } catch (const std::exception& e) {
+    std::cerr << "hdc::serve: reload of " << path
+              << " rejected, old model still serving: " << e.what() << "\n";
+  }
+}
+
+void NetServer::run() {
+  if (impl_->ran.exchange(true)) {
+    throw std::logic_error("NetServer::run: already run");
+  }
+  accept_loop();
+  impl_->join_all();
+}
+
+void NetServer::accept_loop() {
+  std::vector<pollfd> fds;
+  fds.push_back({stop_pipe_[0], POLLIN, 0});
+  fds.push_back({reload_pipe_[0], POLLIN, 0});
+  if (tcp_fd_ >= 0) {
+    fds.push_back({tcp_fd_, POLLIN, 0});
+  }
+  if (unix_fd_ >= 0) {
+    fds.push_back({unix_fd_, POLLIN, 0});
+  }
+  while (!impl_->stop_requested.load(std::memory_order_acquire)) {
+    for (pollfd& p : fds) {
+      p.revents = 0;
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw_errno("NetServer: poll");
+    }
+    if (fds[0].revents != 0) {
+      break;  // stop(); the byte stays so connection pollers wake too.
+    }
+    if (fds[1].revents != 0) {
+      handle_async_reload();
+    }
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) {
+        continue;
+      }
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) {
+        continue;  // Peer vanished between poll and accept; not fatal.
+      }
+      set_cloexec(conn);
+      if (fds[i].fd == tcp_fd_) {
+        const int one = 1;
+        ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      impl_->reap_finished();
+      {
+        const std::lock_guard<std::mutex> lock(impl_->conns_mutex);
+        if (impl_->conns.size() >= options_.max_connections) {
+          send_all(conn, "!error server full\n");
+          ::close(conn);
+          continue;
+        }
+        impl_->connections.fetch_add(1, std::memory_order_relaxed);
+        Impl::Conn& slot = impl_->conns.emplace_back();
+        slot.thread = std::thread([this, conn, &slot] {
+          serve_connection(conn);
+          slot.done.store(true, std::memory_order_release);
+        });
+      }
+    }
+  }
+}
+
+void NetServer::serve_connection(int fd) {
+  // Everything the model generation determines, bundled so a hot swap
+  // replaces it wholesale.  `state` is declared first: members are
+  // destroyed in reverse order, so the engines borrowing the mapping die
+  // before the bundle that may hold its last reference.
+  struct Engines {
+    ServingStatePtr state;
+    runtime::BatchEncoder encoder;
+    std::optional<runtime::BatchClassifier> classifier;
+    std::optional<runtime::BatchRegressor> regressor;
+  };
+  const auto make_engines = [this](ServingStatePtr state) {
+    auto engines = std::make_unique<Engines>(Engines{
+        state, state->pipeline().batch_encoder(pool_), std::nullopt,
+        std::nullopt});
+    if (classifies_) {
+      engines->classifier.emplace(state->pipeline().batch_classifier(pool_));
+    } else {
+      engines->regressor.emplace(state->pipeline().batch_regressor(pool_));
+    }
+    return engines;
+  };
+
+  RowReader reader(num_features_, options_.input);
+  std::ostringstream response;
+  PredictionWriter writer(response, options_.output, options_.with_latency);
+  auto engines = make_engines(swap_.load());
+
+  std::vector<std::vector<double>> rows;
+  std::vector<clock::time_point> admitted;
+  rows.reserve(options_.batch_size);
+  admitted.reserve(options_.batch_size);
+  std::size_t next_row_index = 0;
+
+  // Predicts the pending rows and sends the formatted batch; false when the
+  // peer is gone.  Each batch re-loads the swap state, so a reload takes
+  // effect at the very next micro-batch boundary on every connection.
+  const auto flush = [&]() -> bool {
+    if (rows.empty()) {
+      return true;
+    }
+    const ServingStatePtr latest = swap_.load();
+    if (latest != engines->state) {
+      engines = make_engines(latest);
+    }
+    const runtime::VectorArena encoded = engines->encoder.encode(rows);
+    if (classifies_) {
+      const std::vector<std::size_t> labels =
+          engines->classifier->predict(encoded);
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        writer.write_class(next_row_index + i, labels[i],
+                           microseconds_between(admitted[i], clock::now()));
+      }
+    } else {
+      const std::vector<double> predictions =
+          engines->regressor->predict(encoded);
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        writer.write(next_row_index + i, predictions[i],
+                     microseconds_between(admitted[i], clock::now()));
+      }
+    }
+    next_row_index += rows.size();
+    impl_->rows.fetch_add(rows.size(), std::memory_order_relaxed);
+    impl_->batches.fetch_add(1, std::memory_order_relaxed);
+    rows.clear();
+    admitted.clear();
+    std::string text = response.str();
+    response.str(std::string());
+    return send_all(fd, text);
+  };
+
+  // Control replies are ordered after the predictions for every row the
+  // client sent first, so `!stats` and `!reload` acks are sequencing
+  // points; returns false when the connection should close.
+  const auto handle_control = [&](const std::string& line) -> bool {
+    if (!flush()) {
+      return false;
+    }
+    const std::size_t space = line.find(' ');
+    const std::string cmd = line.substr(0, space);
+    const std::string arg =
+        space == std::string::npos ? std::string() : line.substr(space + 1);
+    std::string reply;
+    bool keep_open = true;
+    if (cmd == "!ping") {
+      reply = "!ok pong generation=" + std::to_string(generation()) + "\n";
+    } else if (cmd == "!stats") {
+      const Stats snap = stats();
+      reply = "!ok rows=" + std::to_string(snap.rows) +
+              " batches=" + std::to_string(snap.batches) +
+              " generation=" + std::to_string(generation()) + "\n";
+    } else if (cmd == "!reload") {
+      try {
+        const ServingStatePtr state = arg.empty() ? reload() : reload(arg);
+        reply = "!ok reloaded generation=" +
+                std::to_string(state->generation()) +
+                " source=" + state->source_path() + "\n";
+      } catch (const std::exception& e) {
+        reply = std::string("!error reload rejected: ") + e.what() + "\n";
+      }
+    } else if (cmd == "!quit") {
+      reply = "!ok bye\n";
+      keep_open = false;
+    } else {
+      reply = "!error unknown control command '" + cmd +
+              "' (expected !ping, !stats, !reload [PATH], !quit)\n";
+    }
+    return send_all(fd, reply) && keep_open;
+  };
+
+  std::string inbuf;
+  std::string line;
+  std::vector<double> row;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    // The flush deadline *is* the poll timeout: a partial batch can wait at
+    // most until the oldest admitted row's deadline, whether or not the
+    // client ever sends another byte.  flush_interval == 0 degenerates to
+    // "flush as soon as the socket has nothing more for us".
+    int timeout_ms = -1;
+    if (!rows.empty()) {
+      if (options_.flush_interval.count() <= 0) {
+        timeout_ms = 0;
+      } else {
+        const clock::time_point deadline =
+            admitted.front() +
+            std::chrono::duration_cast<clock::duration>(
+                options_.flush_interval);
+        const clock::time_point now = clock::now();
+        if (now >= deadline) {
+          timeout_ms = 0;
+        } else {
+          const auto wait =
+              std::chrono::ceil<std::chrono::milliseconds>(deadline - now)
+                  .count();
+          timeout_ms = wait > 1000 ? 1000 : static_cast<int>(wait);
+        }
+      }
+    }
+    pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (fds[1].revents != 0) {
+      break;  // Server stopping; drop the connection.
+    }
+    if (ready == 0 || fds[0].revents == 0) {
+      if (!flush()) {
+        break;  // Deadline flush found the peer gone.
+      }
+      continue;
+    }
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    if (got == 0) {
+      // Clean shutdown from the client: answer everything admitted, then
+      // close.  (A client that wants its tail predictions does
+      // shutdown(SHUT_WR) and keeps reading.)
+      flush();
+      break;
+    }
+    inbuf.append(chunk, static_cast<std::size_t>(got));
+    std::size_t begin = 0;
+    std::size_t newline;
+    while (open && (newline = inbuf.find('\n', begin)) != std::string::npos) {
+      line.assign(inbuf, begin, newline - begin);
+      begin = newline + 1;
+      if (!line.empty() && line.front() == '!') {
+        open = handle_control(line);
+        continue;
+      }
+      try {
+        if (!reader.parse_line(line, row)) {
+          continue;  // Blank line.
+        }
+      } catch (const RowError& e) {
+        // Serve every row admitted before the bad one, report, and close
+        // this connection only — the server keeps running.
+        flush();
+        send_all(fd, std::string("!error ") + e.what() + "\n");
+        open = false;
+        break;
+      }
+      rows.push_back(row);
+      admitted.push_back(clock::now());
+      if (rows.size() >= options_.batch_size && !flush()) {
+        open = false;
+        break;
+      }
+    }
+    inbuf.erase(0, begin);
+  }
+  ::close(fd);
+}
+
+#else  // !defined(_WIN32)
+
+struct NetServer::Impl {};
+
+NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
+                     NetServerOptions options, runtime::ThreadPoolPtr)
+    : options_(std::move(options)),
+      swap_(std::move(loaded), std::move(snapshot_path)),
+      num_features_(0),
+      classifies_(false),
+      impl_(nullptr) {
+  throw std::runtime_error("NetServer: POSIX sockets are not available");
+}
+NetServer::~NetServer() = default;
+void NetServer::run() {}
+void NetServer::stop() {}
+ServingStatePtr NetServer::reload(const std::string&) { return nullptr; }
+ServingStatePtr NetServer::reload() { return nullptr; }
+NetServer::Stats NetServer::stats() const noexcept { return {}; }
+void NetServer::accept_loop() {}
+void NetServer::serve_connection(int) {}
+void NetServer::handle_async_reload() {}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace hdc::serve

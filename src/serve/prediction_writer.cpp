@@ -78,6 +78,13 @@ void PredictionWriter::write_class(std::size_t row, std::size_t label,
   write_row(row, std::to_string(label), latency_us);
 }
 
-void PredictionWriter::flush() { out_->flush(); }
+void PredictionWriter::flush() {
+  out_->flush();
+  if (!out_->good()) {
+    throw WriteError(
+        "prediction stream write failure after " + std::to_string(rows_) +
+        " rows (downstream consumer closed?)");
+  }
+}
 
 }  // namespace hdc::serve

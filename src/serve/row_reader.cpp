@@ -1,6 +1,7 @@
 #include "hdc/serve/row_reader.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <istream>
 
 namespace hdc::serve {
@@ -20,12 +21,22 @@ bool is_blank(const std::string& line) noexcept {
   return true;
 }
 
-/// Parses one numeric field spanning [begin, end) of \p line; false on
-/// failure (the caller owns the diagnostic, which needs the line number).
-/// std::from_chars rather than strtod: the wire format must not depend on
-/// the host application's LC_NUMERIC locale.
-bool parse_field(const std::string& line, std::size_t begin, std::size_t end,
-                 double& value) {
+/// Outcome of parsing one numeric field: the two failure shapes carry
+/// distinct diagnostics (a stray word vs a syntactically valid nan/inf).
+enum class FieldParse : std::uint8_t {
+  Ok,
+  Malformed,
+  NonFinite,
+};
+
+/// Parses one numeric field spanning [begin, end) of \p line (the caller
+/// owns the diagnostic, which needs the line number).  std::from_chars
+/// rather than strtod: the wire format must not depend on the host
+/// application's LC_NUMERIC locale.  from_chars happily accepts "nan" and
+/// "inf"; those are rejected here — a non-finite feature fed to the encoder
+/// corrupts predictions silently instead of failing at the parse edge.
+FieldParse parse_field(const std::string& line, std::size_t begin,
+                       std::size_t end, double& value) {
   while (begin < end && is_space(line[begin])) {
     ++begin;
   }
@@ -35,15 +46,23 @@ bool parse_field(const std::string& line, std::size_t begin, std::size_t end,
   if (begin < end && line[begin] == '+') {
     ++begin;  // from_chars takes '-' but not the conventional '+'
     if (begin < end && line[begin] == '-') {
-      return false;
+      return FieldParse::Malformed;
     }
   }
   if (begin == end) {
-    return false;
+    return FieldParse::Malformed;
   }
   const auto [parsed_end, error] =
       std::from_chars(line.data() + begin, line.data() + end, value);
-  return error == std::errc{} && parsed_end == line.data() + end;
+  if (error == std::errc::result_out_of_range &&
+      parsed_end == line.data() + end) {
+    // "1e999" parses but overflows to +-inf: same poison, same rejection.
+    return FieldParse::NonFinite;
+  }
+  if (error != std::errc{} || parsed_end != line.data() + end) {
+    return FieldParse::Malformed;
+  }
+  return std::isfinite(value) ? FieldParse::Ok : FieldParse::NonFinite;
 }
 
 }  // namespace
@@ -67,34 +86,60 @@ RowReader::RowReader(std::istream& in, std::size_t num_features,
   }
 }
 
+RowReader::RowReader(std::size_t num_features, RowFormat format)
+    : in_(nullptr), num_features_(num_features), format_(format) {
+  if (num_features == 0) {
+    throw std::invalid_argument("RowReader: num_features must be > 0");
+  }
+}
+
 void RowReader::fail(const std::string& what) const {
   throw RowError("row " + std::to_string(line_) + ": " + what);
 }
 
+bool RowReader::parse_line(const std::string& line, std::vector<double>& out) {
+  ++line_;
+  // CRLF producers (and text-mode Windows pipes) leave a trailing CR; the
+  // copy is taken only on that path.
+  const std::string* text = &line;
+  std::string stripped;
+  if (!line.empty() && line.back() == '\r') {
+    stripped.assign(line, 0, line.size() - 1);
+    text = &stripped;
+  }
+  if (is_blank(*text)) {
+    return false;
+  }
+  out.resize(num_features_);
+  if (format_ == RowFormat::Csv) {
+    parse_csv(*text, out);
+  } else {
+    parse_jsonl(*text, out);
+  }
+  ++rows_;
+  return true;
+}
+
 bool RowReader::next(std::vector<double>& out) {
+  if (in_ == nullptr) {
+    throw std::logic_error(
+        "RowReader::next: stream-less reader (use parse_line)");
+  }
   std::string line;
   while (std::getline(*in_, line)) {
-    ++line_;
-    // CRLF producers (and text-mode Windows pipes) leave a trailing CR.
-    if (!line.empty() && line.back() == '\r') {
-      line.pop_back();
+    if (parse_line(line, out)) {
+      return true;
     }
-    if (is_blank(line)) {
-      continue;
-    }
-    out.resize(num_features_);
-    if (format_ == RowFormat::Csv) {
-      parse_csv(line, out);
-    } else {
-      parse_jsonl(line, out);
-    }
-    ++rows_;
-    return true;
   }
   if (in_->bad()) {
     fail("stream read failure");
   }
   return false;
+}
+
+bool RowReader::may_block() const {
+  return in_ == nullptr || !in_->good() || in_->rdbuf() == nullptr ||
+         in_->rdbuf()->in_avail() <= 0;
 }
 
 void RowReader::parse_csv(const std::string& line,
@@ -109,9 +154,16 @@ void RowReader::parse_csv(const std::string& line,
            " fields, got more (extra field starts at column " +
            std::to_string(begin + 1) + ")");
     }
-    if (!parse_field(line, begin, end, out[field])) {
-      fail("field " + std::to_string(field + 1) + " ('" +
-           line.substr(begin, end - begin) + "') is not a number");
+    switch (parse_field(line, begin, end, out[field])) {
+      case FieldParse::Ok:
+        break;
+      case FieldParse::Malformed:
+        fail("field " + std::to_string(field + 1) + " ('" +
+             line.substr(begin, end - begin) + "') is not a number");
+      case FieldParse::NonFinite:
+        fail("field " + std::to_string(field + 1) + " ('" +
+             line.substr(begin, end - begin) +
+             "') is not finite (nan/inf rejected)");
     }
     ++field;
     if (comma == std::string::npos) {
@@ -157,9 +209,16 @@ void RowReader::parse_jsonl(const std::string& line,
            " fields, got more (extra field starts at column " +
            std::to_string(begin + 1) + ")");
     }
-    if (!parse_field(line, begin, at, out[field])) {
-      fail("field " + std::to_string(field + 1) + " ('" +
-           line.substr(begin, at - begin) + "') is not a number");
+    switch (parse_field(line, begin, at, out[field])) {
+      case FieldParse::Ok:
+        break;
+      case FieldParse::Malformed:
+        fail("field " + std::to_string(field + 1) + " ('" +
+             line.substr(begin, at - begin) + "') is not a number");
+      case FieldParse::NonFinite:
+        fail("field " + std::to_string(field + 1) + " ('" +
+             line.substr(begin, at - begin) +
+             "') is not finite (nan/inf rejected)");
     }
     ++field;
     if (line[at] == ']') {

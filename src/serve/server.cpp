@@ -103,14 +103,26 @@ Server::Stats Server::run(RowReader& reader, PredictionWriter& writer) const {
 
   std::vector<double> row;
   try {
-    while (reader.next(row)) {
+    while (true) {
+      // Bounded-staleness guard: with a flush interval configured, pending
+      // rows are flushed *before* a read that may block — either their
+      // deadline has already passed, or the stream has nothing buffered
+      // and the next getline could stall unboundedly (the PR-5 latency
+      // bug: the timer was only ever evaluated after a new row arrived,
+      // so admitted rows waited as long as the input paused).
+      if (!rows.empty() && options_.flush_interval.count() > 0) {
+        const bool deadline_passed =
+            clock::now() - admitted.front() >= options_.flush_interval;
+        if (deadline_passed || reader.may_block()) {
+          flush();
+        }
+      }
+      if (!reader.next(row)) {
+        break;
+      }
       rows.push_back(row);
       admitted.push_back(clock::now());
-      const bool full = rows.size() >= options_.batch_size;
-      const bool timed_out =
-          options_.flush_interval.count() > 0 &&
-          clock::now() - admitted.front() >= options_.flush_interval;
-      if (full || timed_out) {
+      if (rows.size() >= options_.batch_size) {
         flush();
       }
     }

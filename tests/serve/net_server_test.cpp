@@ -1,0 +1,515 @@
+// Socket front-end conformance: round-trip equivalence against the
+// sequential oracle, the zero-downtime hot-swap protocol (every prediction
+// a client ever sees is bit-identical to one of the two generations —
+// never torn, never dropped), reload rejection leaving the incumbent
+// serving, per-connection error isolation, the SIGHUP-style async reload,
+// unix-domain sockets, control commands, and the poll-deadline flush bound.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hdc/io/fixture_models.hpp"
+#include "hdc/io/io.hpp"
+#include "hdc/serve/serve.hpp"
+
+namespace {
+
+using hdc::io::MappedSnapshot;
+using hdc::io::Pipeline;
+using hdc::io::SnapshotWriter;
+using hdc::serve::NetServer;
+using hdc::serve::NetServerOptions;
+using hdc::serve::OutputFormat;
+using hdc::serve::PredictionWriter;
+namespace fixtures = hdc::io::fixtures;
+
+std::string temp_file(const std::string& name) {
+  const auto stamp = static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return (std::filesystem::path(testing::TempDir()) /
+          ("net_" + std::to_string(stamp) + "_" + name))
+      .string();
+}
+
+std::string write_beijing(const std::string& name, std::uint64_t seed) {
+  const std::string path = temp_file(name);
+  fixtures::FixtureSpec spec;
+  spec.seed = seed;
+  const fixtures::BeijingPipeline models =
+      fixtures::make_beijing_pipeline(spec);
+  SnapshotWriter writer;
+  writer.add_pipeline(*models.encoder, models.model);
+  writer.write_file(path);
+  return path;
+}
+
+std::vector<std::vector<double>> beijing_rows(std::size_t count) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rows.push_back({static_cast<double>(i % 5),
+                    static_cast<double>((i * 53) % 366),
+                    0.5 * static_cast<double>((i * 7) % 48)});
+  }
+  return rows;
+}
+
+std::string as_csv(const std::vector<std::vector<double>>& rows) {
+  std::ostringstream out;
+  for (const auto& row : rows) {
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      out << (f == 0 ? "" : ",") << row[f];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+/// The exact Plain-format line each row would get from \p snapshot_path —
+/// the per-generation oracle the wire output must match byte for byte.
+std::vector<std::string> oracle_lines(
+    const std::string& snapshot_path,
+    const std::vector<std::vector<double>>& rows) {
+  const auto snapshot = MappedSnapshot::open(snapshot_path);
+  const Pipeline pipeline = Pipeline::restore(snapshot);
+  std::ostringstream out;
+  PredictionWriter writer(out, OutputFormat::Plain);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    writer.write(i, pipeline.regress(rows[i]), 0.0);
+  }
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// NetServer + its run() thread with exception-safe teardown.
+struct RunningServer {
+  NetServer server;
+  std::thread thread;
+
+  RunningServer(const std::string& snapshot_path, NetServerOptions options)
+      : server(hdc::io::load_pipeline(snapshot_path), snapshot_path,
+               std::move(options)),
+        thread([this] { server.run(); }) {}
+  ~RunningServer() {
+    server.stop();
+    thread.join();
+  }
+};
+
+/// Minimal blocking line client with a receive timeout so a server bug
+/// fails the test instead of hanging ctest.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    open(AF_INET, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+
+  explicit Client(const std::string& unix_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path.size() >= sizeof(addr.sun_path)) {
+      ADD_FAILURE() << "unix path too long: " << unix_path;
+      return;
+    }
+    std::copy(unix_path.begin(), unix_path.end(), addr.sun_path);
+    open(AF_UNIX, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  }
+
+  ~Client() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send(const std::string& text) const {
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+      const ssize_t n =
+          ::send(fd_, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdown_write() const { ::shutdown(fd_, SHUT_WR); }
+
+  /// Next '\n'-terminated line, or nullopt on clean EOF.  A receive
+  /// timeout (server stalled) fails the calling test.
+  std::optional<std::string> read_line() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got == 0) {
+        EXPECT_TRUE(buffer_.empty()) << "EOF mid-line: " << buffer_;
+        return std::nullopt;
+      }
+      if (got < 0) {
+        ADD_FAILURE() << "recv: " << std::strerror(errno);
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  void open(int family, const sockaddr* addr, socklen_t len) {
+    fd_ = ::socket(family, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      ADD_FAILURE() << "socket: " << std::strerror(errno);
+      return;
+    }
+    if (::connect(fd_, addr, len) != 0) {
+      ADD_FAILURE() << "connect: " << std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    // A server bug must fail the test instead of hanging ctest.
+    timeval timeout{};
+    timeout.tv_sec = 20;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+TEST(NetServerTest, RoundTripMatchesSequentialOracle) {
+  const std::string path = write_beijing("roundtrip.hdcs", 2023);
+  const auto rows = beijing_rows(60);
+  const auto expected = oracle_lines(path, rows);
+
+  NetServerOptions options;
+  options.batch_size = 7;  // never divides 60: partial tail batch
+  RunningServer running(path, options);
+  ASSERT_GT(running.server.port(), 0);
+
+  Client client(running.server.port());
+  client.send(as_csv(rows));
+  client.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "dropped row " << i;
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  EXPECT_FALSE(client.read_line().has_value());
+
+  const NetServer::Stats stats = running.server.stats();
+  EXPECT_EQ(stats.rows, rows.size());
+  EXPECT_EQ(stats.connections, 1U);
+  EXPECT_GE(stats.batches, (rows.size() + 6) / 7);
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, HotSwapYieldsOnlyWholeGenerationPredictions) {
+  const std::string path_a = write_beijing("swap_a.hdcs", 2023);
+  const std::string path_b = write_beijing("swap_b.hdcs", 7777);
+  const auto rows = beijing_rows(120);
+  const auto oracle_a = oracle_lines(path_a, rows);
+  const auto oracle_b = oracle_lines(path_b, rows);
+  // The generations must be distinguishable for the test to mean anything.
+  ASSERT_NE(oracle_a, oracle_b);
+
+  NetServerOptions options;
+  options.batch_size = 4;
+  RunningServer running(path_a, options);
+  const std::uint16_t port = running.server.port();
+
+  // N client threads stream the same rows in small pulses while the main
+  // thread hot-swaps the model mid-run.  Every client must receive exactly
+  // one prediction per row (zero drops), every line must be bit-identical
+  // to generation A's or generation B's oracle (never torn), and per
+  // connection the generation may only move forward (A..A then B..B).
+  constexpr std::size_t kClients = 3;
+  std::vector<std::vector<std::string>> received(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(port);
+      constexpr std::size_t kPulse = 6;
+      for (std::size_t begin = 0; begin < rows.size(); begin += kPulse) {
+        const std::size_t end = std::min(begin + kPulse, rows.size());
+        const std::vector<std::vector<double>> pulse(
+            rows.begin() + static_cast<std::ptrdiff_t>(begin),
+            rows.begin() + static_cast<std::ptrdiff_t>(end));
+        client.send(as_csv(pulse));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      client.shutdown_write();
+      while (auto line = client.read_line()) {
+        received[c].push_back(*line);
+      }
+    });
+  }
+
+  // Swap once the clients are demonstrably mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(4));
+  {
+    Client control(port);
+    control.send("!reload " + path_b + "\n");
+    const auto ack = control.read_line();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->rfind("!ok reloaded generation=1", 0), 0U) << *ack;
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(running.server.generation(), 1U);
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    SCOPED_TRACE("client " + std::to_string(c));
+    ASSERT_EQ(received[c].size(), rows.size()) << "dropped predictions";
+    bool swapped = false;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::string& line = received[c][i];
+      if (!swapped) {
+        if (line == oracle_a[i]) {
+          continue;
+        }
+        ASSERT_EQ(line, oracle_b[i]) << "torn prediction at row " << i;
+        swapped = true;
+      } else {
+        ASSERT_EQ(line, oracle_b[i])
+            << "generation went backwards at row " << i;
+      }
+    }
+  }
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST(NetServerTest, RejectedReloadLeavesIncumbentServing) {
+  const std::string path = write_beijing("reject_a.hdcs", 2023);
+  const auto rows = beijing_rows(10);
+  const auto expected = oracle_lines(path, rows);
+
+  RunningServer running(path, NetServerOptions{});
+  Client client(running.server.port());
+
+  // A corrupt snapshot: validation must fail before any flip.
+  const std::string corrupt = temp_file("reject_corrupt.hdcs");
+  {
+    std::filesystem::copy_file(path, corrupt);
+    std::filesystem::resize_file(corrupt,
+                                 std::filesystem::file_size(corrupt) / 2);
+  }
+  client.send("!reload " + corrupt + "\n");
+  auto reply = client.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("!error reload rejected:", 0), 0U) << *reply;
+
+  // A valid snapshot of the wrong kind: the shape gate must reject it.
+  const std::string classifier_path = temp_file("reject_classifier.hdcs");
+  {
+    const fixtures::ClassifierPipeline models =
+        fixtures::make_classifier_pipeline();
+    SnapshotWriter writer;
+    writer.add_pipeline(models.encoder, models.model);
+    writer.write_file(classifier_path);
+  }
+  client.send("!reload " + classifier_path + "\n");
+  reply = client.read_line();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->rfind("!error reload rejected:", 0), 0U) << *reply;
+
+  // Same connection, same generation, still bit-exact.
+  EXPECT_EQ(running.server.generation(), 0U);
+  EXPECT_EQ(running.server.stats().rejected_reloads, 2U);
+  client.send(as_csv(rows));
+  client.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  for (const auto& file : {path, corrupt, classifier_path}) {
+    std::filesystem::remove(file);
+  }
+}
+
+TEST(NetServerTest, AsyncReloadNotifyReloadsTheServingPath) {
+  // The SIGHUP deployment shape: the trainer overwrites the snapshot file
+  // in place, the signal handler writes one byte to the notify pipe, the
+  // server re-reads its own source path.
+  const std::string path = write_beijing("sighup.hdcs", 2023);
+  const std::string retrained = write_beijing("sighup_retrained.hdcs", 7777);
+  const auto rows = beijing_rows(10);
+  const auto expected = oracle_lines(retrained, rows);
+
+  RunningServer running(path, NetServerOptions{});
+  std::filesystem::copy_file(path, path + ".old");
+  std::filesystem::rename(retrained, path);
+  const char byte = 'r';
+  ASSERT_EQ(::write(running.server.reload_notify_fd(), &byte, 1), 1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (running.server.generation() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(running.server.generation(), 1U) << "async reload never landed";
+
+  Client client(running.server.port());
+  client.send(as_csv(rows));
+  client.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".old");
+}
+
+TEST(NetServerTest, MalformedRowClosesOnlyThatConnection) {
+  const std::string path = write_beijing("isolate.hdcs", 2023);
+  const auto rows = beijing_rows(4);
+  const auto expected = oracle_lines(path, rows);
+
+  RunningServer running(path, NetServerOptions{});
+  Client bad(running.server.port());
+  Client good(running.server.port());
+
+  // Rows before the poison pill are served, then the reader's diagnostic
+  // arrives as a control-style error and the connection closes.
+  bad.send(as_csv({rows[0], rows[1]}) + "0.5,nan,3\n");
+  auto line = bad.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, expected[0]);
+  line = bad.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, expected[1]);
+  line = bad.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error row 3:", 0), 0U) << *line;
+  EXPECT_NE(line->find("not finite"), std::string::npos) << *line;
+  EXPECT_FALSE(bad.read_line().has_value());  // closed
+
+  // The sibling connection (and the server) are unaffected.
+  good.send(as_csv(rows));
+  good.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    line = good.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, UnixSocketServesAndControlCommandsAnswer) {
+  const std::string path = write_beijing("unix.hdcs", 2023);
+  const auto rows = beijing_rows(5);
+  const auto expected = oracle_lines(path, rows);
+
+  NetServerOptions options;
+  options.host.clear();  // unix-only: port() must stay 0
+  options.unix_path = temp_file("hdc_serve.sock");
+  RunningServer running(path, options);
+  EXPECT_EQ(running.server.port(), 0);
+
+  Client client(options.unix_path);
+  client.send("!ping\n");
+  auto line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok pong generation=0");
+
+  client.send(as_csv(rows));
+  client.send("!stats\n");
+  // The !stats ack is a sequencing point: every row sent before it is
+  // predicted and delivered first.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!ok rows=5 batches=", 0), 0U) << *line;
+
+  client.send("!frobnicate\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error unknown control command", 0), 0U) << *line;
+
+  client.send("!quit\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok bye");
+  EXPECT_FALSE(client.read_line().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, FlushDeadlineBoundsPartialBatchLatency) {
+  // A batch that will never fill and a client that never closes: the only
+  // thing that can deliver these predictions is the poll-deadline flush.
+  const std::string path = write_beijing("deadline.hdcs", 2023);
+  const auto rows = beijing_rows(3);
+  const auto expected = oracle_lines(path, rows);
+
+  NetServerOptions options;
+  options.batch_size = 1024;
+  options.flush_interval = std::chrono::milliseconds(5);
+  RunningServer running(path, options);
+
+  Client client(running.server.port());
+  client.send(as_csv(rows));  // no shutdown, no further bytes
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "deadline flush never fired";
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, ConstructorValidatesOptions) {
+  const std::string path = write_beijing("ctor.hdcs", 2023);
+  NetServerOptions no_listener;
+  no_listener.host.clear();
+  EXPECT_THROW(
+      NetServer(hdc::io::load_pipeline(path), path, no_listener),
+      std::invalid_argument);
+  NetServerOptions zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(
+      NetServer(hdc::io::load_pipeline(path), path, zero_batch),
+      std::invalid_argument);
+  NetServerOptions bad_host;
+  bad_host.host = "not-an-address";
+  EXPECT_THROW(NetServer(hdc::io::load_pipeline(path), path, bad_host),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

@@ -145,6 +145,59 @@ TEST(RowReaderTest, JsonlNonNumericElementIsRejected) {
                    {"row 1", "not a number"});
 }
 
+TEST(RowReaderTest, NonFiniteCsvFieldsAreRejected) {
+  // std::from_chars happily parses nan/inf spellings (and overflow turns
+  // into ±inf); fed to the encoder they would poison the whole batch, so
+  // the parse edge must reject every spelling with a finiteness-specific
+  // message.
+  for (const std::string field :
+       {"nan", "NaN", "-nan", "inf", "-inf", "+inf", "Inf", "infinity",
+        "1e999", "-1e999"}) {
+    expect_row_error("1," + field + ",3\n", 3, RowFormat::Csv,
+                     {"row 1", "field 2", field, "not finite"});
+  }
+}
+
+TEST(RowReaderTest, NonFiniteJsonlElementsAreRejected) {
+  for (const std::string field : {"nan", "-inf", "1e999"}) {
+    expect_row_error("[1, " + field + ", 3]\n", 3, RowFormat::Jsonl,
+                     {"row 1", field, "not finite"});
+  }
+}
+
+TEST(RowReaderTest, FiniteExtremesStillParse) {
+  // Rejection is about finiteness, not magnitude: the largest finite
+  // doubles and subnormals are legitimate traffic.
+  const auto rows = parse_all(
+      "1.7976931348623157e308,-1.7976931348623157e308,5e-324\n", 3,
+      RowFormat::Csv);
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_EQ(rows[0][0], 1.7976931348623157e308);
+  EXPECT_EQ(rows[0][2], 5e-324);
+}
+
+TEST(RowReaderTest, ParseLineFeedsStreamlessReader) {
+  // The socket front end owns its I/O and hands completed lines to a
+  // stream-less reader; line numbering, CR stripping, blank skipping and
+  // error text must match the streaming path exactly.
+  RowReader reader(2, RowFormat::Csv);
+  std::vector<double> row;
+  ASSERT_TRUE(reader.parse_line("1,2\r", row));
+  EXPECT_EQ(row, (std::vector<double>{1.0, 2.0}));
+  EXPECT_FALSE(reader.parse_line("", row));
+  EXPECT_FALSE(reader.parse_line("   ", row));
+  ASSERT_TRUE(reader.parse_line("3,4", row));
+  EXPECT_EQ(reader.rows_read(), 2U);
+  EXPECT_EQ(reader.line_number(), 4U);
+  try {
+    (void)reader.parse_line("5,nan", row);
+    FAIL() << "non-finite field must throw through parse_line too";
+  } catch (const RowError& error) {
+    EXPECT_NE(std::string(error.what()).find("row 5"), std::string::npos);
+  }
+  EXPECT_THROW((void)reader.next(row), std::logic_error);
+}
+
 TEST(RowReaderTest, RowsAfterAnErrorAreStillReadable) {
   // A reader survives its own throw: the bad line is consumed, parsing can
   // resume on the next row (the CLI exits instead, but the API allows it).

@@ -271,6 +271,49 @@ TEST(ServerTest, FlushIntervalFlushesPartialBatches) {
   EXPECT_LE(stats.batches, 5U);
 }
 
+TEST(ServerTest, PausedProducerNeverPinsAdmittedRows) {
+  // Regression for the serve-loop latency bug: the flush timer used to be
+  // evaluated only after reader.next() returned another row, so a row
+  // admitted right before the producer paused sat in the partial batch for
+  // the whole pause (unbounded, not flush_interval).  The loop now flushes
+  // pending rows before any read that may block.  With SlowLineBuf the
+  // stream's buffer is provably empty after every admitted row, so each of
+  // the 5 rows must be flushed as its own batch *before* the next
+  // inter-row sleep — deterministically, whatever the scheduler does.
+  const auto snapshot = MappedSnapshot::open(beijing_snapshot());
+  ServerOptions options;
+  options.batch_size = 1024;
+  options.flush_interval = std::chrono::milliseconds(60'000);  // huge
+  const Server server(Pipeline::restore(snapshot), options);
+  SlowLineBuf buf(as_csv(beijing_rows(5)), std::chrono::milliseconds(1));
+  std::istream in(&buf);
+  std::ostringstream out;
+  RowReader reader(in, 3);
+  PredictionWriter writer(out, OutputFormat::Plain);
+  const Server::Stats stats = server.run(reader, writer);
+  EXPECT_EQ(stats.rows, 5U);
+  // The huge interval proves the flush came from the may-block guard, not
+  // the deadline: the old loop would have served all 5 rows in one batch
+  // at end of stream.
+  EXPECT_EQ(stats.batches, 5U);
+}
+
+TEST(ServerTest, ZeroFlushIntervalDisablesTheTimer) {
+  const auto snapshot = MappedSnapshot::open(beijing_snapshot());
+  ServerOptions options;
+  options.batch_size = 1024;
+  options.flush_interval = std::chrono::microseconds(0);
+  const Server server(Pipeline::restore(snapshot), options);
+  SlowLineBuf buf(as_csv(beijing_rows(5)), std::chrono::milliseconds(1));
+  std::istream in(&buf);
+  std::ostringstream out;
+  RowReader reader(in, 3);
+  PredictionWriter writer(out, OutputFormat::Plain);
+  const Server::Stats stats = server.run(reader, writer);
+  EXPECT_EQ(stats.rows, 5U);
+  EXPECT_EQ(stats.batches, 1U);  // full/EOF flushes only
+}
+
 TEST(ServerTest, MalformedRowServesEarlierRowsThenThrows) {
   const auto snapshot = MappedSnapshot::open(beijing_snapshot());
   const Pipeline pipeline = Pipeline::restore(snapshot);

@@ -118,6 +118,52 @@ if(code EQUAL 0 OR NOT err MATCHES "not a number")
     "non-numeric field: expected a diagnostic, got ${code}\n${err}")
 endif()
 
+# --- non-finite fields: nan/inf are data corruption, not numbers — the
+# reader must refuse them with a row-numbered diagnostic instead of
+# poisoning a whole batch of similarity scores downstream.
+file(WRITE "${WORK_DIR}/bad_nonfinite.csv" "0,15,3\n0.5,nan,3\n")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}"
+  INPUT_FILE "${WORK_DIR}/bad_nonfinite.csv"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "row 2" OR NOT err MATCHES "not finite")
+  message(FATAL_ERROR
+    "nan field: expected nonzero exit naming row 2 as not finite, "
+    "got ${code}\n${err}")
+endif()
+
+file(WRITE "${WORK_DIR}/bad_overflow.csv" "1e999,15,3\n")
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}"
+  INPUT_FILE "${WORK_DIR}/bad_overflow.csv"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "not finite")
+  message(FATAL_ERROR
+    "overflowing field: expected a not-finite diagnostic, got ${code}\n${err}")
+endif()
+
+# --- a downstream consumer hanging up mid-stream (broken pipe) must end
+# the serve loop with a clean nonzero exit and an operator-readable
+# summary, not a SIGPIPE death.  Enough rows to overrun the pipe buffer
+# after `head` exits.
+if(UNIX)
+  file(READ "${ROWS}" csv_rows)
+  string(REPEAT "${csv_rows}" 2000 many_rows)
+  file(WRITE "${WORK_DIR}/many_rows.csv" "${many_rows}")
+  execute_process(
+    COMMAND "${HDCGEN}" serve "${SNAPSHOT}"
+    COMMAND head -n 1
+    INPUT_FILE "${WORK_DIR}/many_rows.csv"
+    OUTPUT_VARIABLE out ERROR_VARIABLE err
+    RESULTS_VARIABLE codes)
+  list(GET codes 0 serve_code)
+  if(NOT serve_code EQUAL 1 OR NOT err MATCHES "downstream closed")
+    message(FATAL_ERROR
+      "broken pipe: expected exit 1 with a 'downstream closed' summary, "
+      "got ${serve_code}\n${err}")
+  endif()
+endif()
+
 # --- a corrupt snapshot must be refused before any prediction.
 file(WRITE "${WORK_DIR}/garbage.hdcs" "not a snapshot at all, not even close")
 execute_process(

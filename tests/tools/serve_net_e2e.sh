@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end socket-serving suite, run by ctest as `serve_net_e2e`.
+#
+# The full replica lifecycle against a real hdcgen process:
+#   1. snapshot two generations (seed 2023 and a retrained seed 7777) and
+#      capture each generation's golden predictions via the stdin front end;
+#   2. start `hdcgen serve --listen 127.0.0.1:0`, parse the ephemeral port;
+#   3. drive it with serve_load: 2 connections x 300 pipelined rows with a
+#      `!reload` hot-swap mid-run — every response must be bit-identical to
+#      one of the two generation goldens (serve_load exits nonzero on a
+#      torn, dropped or cross-generation prediction), and both generations
+#      must actually be observed;
+#   4. overwrite the serving snapshot in place and SIGHUP the server: the
+#      trainer-redeploy path must land as generation 2 and serve the
+#      retrained predictions;
+#   5. SIGHUP again with a corrupt snapshot in place: the reload must be
+#      rejected with the old model still serving;
+#   6. SIGTERM: clean summary exit.
+#
+# The serve_load latency report is left in $WORK_DIR/serve_latency.txt for
+# the CI artifact upload.
+#
+# Usage: serve_net_e2e.sh HDCGEN SERVE_LOAD WORK_DIR DATA_DIR
+
+set -u
+
+HDCGEN=$1
+SERVE_LOAD=$2
+WORK_DIR=$3
+DATA_DIR=$4
+ROWS="$DATA_DIR/beijing_rows.csv"
+
+SERVER_PID=""
+fail() {
+  echo "serve_net_e2e: FAIL: $*" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null' EXIT
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+cd "$WORK_DIR" || fail "cannot enter $WORK_DIR"
+
+# --- 1. two generations + their golden predictions.
+"$HDCGEN" snap --pipeline beijing --out gen_a.hdcs >/dev/null \
+  || fail "snap generation A"
+"$HDCGEN" snap --pipeline beijing --seed 7777 --out gen_b.hdcs >/dev/null \
+  || fail "snap generation B"
+"$HDCGEN" serve gen_a.hdcs <"$ROWS" >golden_a.txt 2>/dev/null \
+  || fail "golden A"
+"$HDCGEN" serve gen_b.hdcs <"$ROWS" >golden_b.txt 2>/dev/null \
+  || fail "golden B"
+cmp -s golden_a.txt golden_b.txt \
+  && fail "generations A and B are indistinguishable"
+
+# --- 2. a live server on an ephemeral port, serving generation A.
+cp gen_a.hdcs live.hdcs
+"$HDCGEN" serve live.hdcs --listen 127.0.0.1:0 --batch 8 2>server.log &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' server.log)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died: $(cat server.log)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no listening port in server.log"
+
+# --- 3. pipelined load with a mid-run hot swap; verify every line.  The
+# swap target becomes the server's active source path, so deploy.hdcs is
+# what later SIGHUPs re-read.
+cp gen_b.hdcs deploy.hdcs
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$ROWS" \
+  --count 300 --connections 2 --window 16 \
+  --swap-to deploy.hdcs --swap-at 150 \
+  --expect-a golden_a.txt --expect-b golden_b.txt \
+  >serve_latency.txt 2>load.log \
+  || fail "hot-swap load run: $(cat load.log)"
+grep -q "rows_per_second" serve_latency.txt \
+  || fail "no latency report: $(cat serve_latency.txt)"
+MIX=$(sed -n 's/^serve_load: generation mix: //p' load.log)
+case "$MIX" in
+  a=0*|*b=0) fail "swap not observed on the wire (mix: $MIX)" ;;
+  a=*b=*) ;;
+  *) fail "no generation mix in load.log: $(cat load.log)" ;;
+esac
+
+# --- 4. SIGHUP redeploy: replace the active serving path with an atomic
+# rename (never overwrite in place — the incumbent mapping still reads the
+# old inode), signal, verify the replacement generation answers.
+cp gen_a.hdcs deploy.tmp && mv deploy.tmp deploy.hdcs
+kill -HUP "$SERVER_PID"
+for _ in $(seq 1 100); do
+  grep -q "reloaded deploy.hdcs" server.log && break
+  sleep 0.1
+done
+grep -q "reloaded deploy.hdcs (generation 2)" server.log \
+  || fail "SIGHUP reload never landed: $(cat server.log)"
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$ROWS" \
+  --expect-a golden_a.txt >/dev/null 2>>load.log \
+  || fail "post-SIGHUP predictions are not generation A: $(tail -5 load.log)"
+
+# --- 5. a corrupt redeploy must be rejected with the old model serving.
+head -c 100 gen_a.hdcs >corrupt.tmp && mv corrupt.tmp deploy.hdcs
+kill -HUP "$SERVER_PID"
+for _ in $(seq 1 100); do
+  grep -q "rejected" server.log && break
+  sleep 0.1
+done
+grep -q "reload of deploy.hdcs rejected, old model still serving" server.log \
+  || fail "corrupt reload not rejected: $(cat server.log)"
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$ROWS" \
+  --expect-a golden_a.txt >/dev/null 2>>load.log \
+  || fail "rejected reload disturbed serving: $(tail -5 load.log)"
+
+# --- 6. clean SIGTERM shutdown with an operator summary.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_EXIT=$?
+SERVER_PID=""
+[ "$SERVER_EXIT" -eq 0 ] || fail "server exit $SERVER_EXIT: $(cat server.log)"
+grep -q "served .* rows .* 2 reloads (1 rejected), final generation 2" \
+  server.log || fail "summary mismatch: $(tail -1 server.log)"
+
+echo "serve_net_e2e: all checks passed"
+cat serve_latency.txt

@@ -14,8 +14,12 @@
 //   hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]
 //               [--input csv|jsonl] [--format plain|csv|jsonl]
 //               [--latency] [--trust] [--kernel NAME] [--mlock]
+//               [--listen HOST:PORT] [--unix PATH] [--max-conns N]
 //                               # stream feature rows stdin -> predictions
-//                               # stdout (docs/serving.md)
+//                               # stdout; with --listen/--unix, serve many
+//                               # persistent socket connections with
+//                               # SIGHUP snapshot hot-reload
+//                               # (docs/serving.md)
 //   hdcgen kernels              # CPU features + compiled/available SIMD
 //                               # kernel variants + active selection
 //
@@ -27,6 +31,7 @@
 // subcommand (tools/flag_parser.hpp).
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +40,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "flag_parser.hpp"
 #include "hdc/core/hdc.hpp"
@@ -62,6 +71,9 @@ int usage() {
       "  hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]\n"
       "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
       "              [--latency] [--trust] [--kernel NAME] [--mlock]\n"
+      "              [--listen HOST:PORT] [--unix PATH] [--max-conns N]\n"
+      "       without --listen/--unix: stdin -> stdout; with them: a\n"
+      "       persistent socket server with SIGHUP snapshot hot-reload\n"
       "  hdcgen kernels\n",
       stderr);
   return 2;
@@ -332,16 +344,98 @@ int cmd_snap_fixtures(const FlagParser& flags, const std::string& dir) {
   return 0;
 }
 
-/// Streams stdin feature rows through a snapshot pipeline to stdout —
-/// the `hdcgen serve` front end over hdc::serve (docs/serving.md).
-int cmd_serve(const FlagParser& flags, const std::string& path) {
-  hdc::serve::ServerOptions options;
-  options.batch_size = flags.count_or("--batch", 1, options.batch_size);
-  if (flags.value("--flush-us")) {
-    options.flush_interval = std::chrono::microseconds(
-        static_cast<long long>(flags.count("--flush-us", 0)));
+#if !defined(_WIN32)
+// Signal plumbing for the socket server: SIGHUP asks for a snapshot
+// hot-reload (one async-signal-safe write to the server's notify pipe),
+// SIGINT/SIGTERM wind the accept loop down for a summary exit.
+int g_reload_notify_fd = -1;
+hdc::serve::NetServer* g_net_server = nullptr;
+
+extern "C" void hdcgen_on_sighup(int) {
+  if (g_reload_notify_fd >= 0) {
+    const char byte = 'r';
+    [[maybe_unused]] const ssize_t ignored =
+        ::write(g_reload_notify_fd, &byte, 1);
   }
-  options.num_threads = flags.count_or("--threads", 0, options.num_threads);
+}
+
+extern "C" void hdcgen_on_terminate(int) {
+  if (g_net_server != nullptr) {
+    g_net_server->stop();  // lock-free flag + one pipe write: signal-safe
+  }
+}
+#endif
+
+/// The persistent socket front end: `hdcgen serve SNAPSHOT --listen/--unix`
+/// (docs/serving.md).  Blocks until SIGINT/SIGTERM.
+int cmd_serve_net(const std::string& path,
+                  hdc::serve::NetServerOptions options,
+                  hdc::io::SnapshotIntegrity integrity) {
+#if defined(_WIN32)
+  (void)path;
+  (void)options;
+  (void)integrity;
+  std::fputs("hdcgen serve: sockets need a POSIX host\n", stderr);
+  return 1;
+#else
+  hdc::io::LoadedPipeline loaded =
+      hdc::io::load_pipeline(path, integrity, options.mapping);
+  const char* kind = hdc::io::to_string(loaded.pipeline.kind());
+  const std::size_t num_features = loaded.pipeline.num_features();
+  const std::size_t dimension = loaded.pipeline.dimension();
+
+  hdc::serve::NetServer server(std::move(loaded), path, options);
+  // Scripts parse these lines to learn the ephemeral port.
+  if (!options.host.empty()) {
+    std::fprintf(stderr, "listening on %s:%u\n", options.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+  }
+  if (!options.unix_path.empty()) {
+    std::fprintf(stderr, "listening on unix:%s\n",
+                 options.unix_path.c_str());
+  }
+  std::fprintf(stderr,
+               "serving %s pipeline: d = %zu, %zu features/row, "
+               "kernels = %s (SIGHUP reloads %s)\n",
+               kind, dimension, num_features,
+               hdc::bits::active_kernels().name, path.c_str());
+
+  g_reload_notify_fd = server.reload_notify_fd();
+  g_net_server = &server;
+  std::signal(SIGHUP, hdcgen_on_sighup);
+  std::signal(SIGINT, hdcgen_on_terminate);
+  std::signal(SIGTERM, hdcgen_on_terminate);
+  server.run();
+  std::signal(SIGHUP, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_net_server = nullptr;
+  g_reload_notify_fd = -1;
+
+  const hdc::serve::NetServer::Stats stats = server.stats();
+  std::fprintf(stderr,
+               "served %llu rows in %llu batches over %llu connections, "
+               "%llu reloads (%llu rejected), final generation %llu\n",
+               static_cast<unsigned long long>(stats.rows),
+               static_cast<unsigned long long>(stats.batches),
+               static_cast<unsigned long long>(stats.connections),
+               static_cast<unsigned long long>(stats.reloads),
+               static_cast<unsigned long long>(stats.rejected_reloads),
+               static_cast<unsigned long long>(server.generation()));
+  return 0;
+#endif
+}
+
+/// Streams stdin feature rows through a snapshot pipeline to stdout, or
+/// serves sockets with --listen/--unix — the `hdcgen serve` front end over
+/// hdc::serve (docs/serving.md).
+int cmd_serve(const FlagParser& flags, const std::string& path) {
+#if !defined(_WIN32)
+  // A downstream consumer closing early (head, a dying client) must
+  // surface as a WriteError summary or a dropped connection, never kill
+  // the process mid-batch with SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
   if (const auto kernel = flags.value("--kernel")) {
     // Pin the SIMD kernel variant for this serving process; replaces the
     // startup auto-selection exactly like HDC_KERNELS (docs/kernels.md).
@@ -361,6 +455,52 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
   hdc::io::MappingOptions mapping;
   mapping.lock_memory = flags.has("--mlock");
 
+  const auto listen = flags.value("--listen");
+  const auto unix_path = flags.value("--unix");
+  if (listen || unix_path) {
+    hdc::serve::NetServerOptions options;
+    options.host.clear();
+    if (listen) {
+      const std::size_t colon = listen->rfind(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--listen expects HOST:PORT, got '" +
+                                    *listen + "'");
+      }
+      options.host = listen->substr(0, colon);
+      options.port = static_cast<std::uint16_t>(
+          std::stoul(listen->substr(colon + 1)));
+      if (options.host.empty()) {
+        options.host = "127.0.0.1";
+      }
+    }
+    if (unix_path) {
+      options.unix_path = *unix_path;
+    }
+    options.batch_size =
+        flags.count_or("--batch", 1, options.batch_size);
+    if (flags.value("--flush-us")) {
+      options.flush_interval = std::chrono::microseconds(
+          static_cast<long long>(flags.count("--flush-us", 0)));
+    }
+    options.num_threads =
+        flags.count_or("--threads", 0, options.num_threads);
+    options.max_connections =
+        flags.count_or("--max-conns", 1, options.max_connections);
+    options.input = input;
+    options.output = output;
+    options.with_latency = flags.has("--latency");
+    options.mapping = mapping;
+    return cmd_serve_net(path, std::move(options), integrity);
+  }
+
+  hdc::serve::ServerOptions options;
+  options.batch_size = flags.count_or("--batch", 1, options.batch_size);
+  if (flags.value("--flush-us")) {
+    options.flush_interval = std::chrono::microseconds(
+        static_cast<long long>(flags.count("--flush-us", 0)));
+  }
+  options.num_threads = flags.count_or("--threads", 0, options.num_threads);
+
   // The mapping must outlive the Server: the restored pipeline borrows it.
   const auto snapshot = hdc::io::MappedSnapshot::open(path, integrity,
                                                       mapping);
@@ -373,7 +513,17 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
   hdc::serve::PredictionWriter writer(std::cout, output,
                                       flags.has("--latency"));
   const hdc::serve::Server server(std::move(pipeline), options);
-  const hdc::serve::Server::Stats stats = server.run(reader, writer);
+  hdc::serve::Server::Stats stats;
+  try {
+    stats = server.run(reader, writer);
+  } catch (const hdc::serve::WriteError& error) {
+    // Downstream hung up (EPIPE with SIGPIPE ignored): a clean summary
+    // exit, not a crash — the rows already delivered stay delivered.
+    std::fprintf(stderr,
+                 "hdcgen serve: downstream closed after %zu rows: %s\n",
+                 writer.rows_written(), error.what());
+    return 1;
+  }
   std::fprintf(stderr,
                "served %zu rows in %zu batches: %s pipeline, d = %zu, "
                "%zu features/row, %.0f rows/s, kernels = %s%s\n",

@@ -1,0 +1,410 @@
+// serve_load — load generator and correctness prober for the hdcgen socket
+// front end (docs/serving.md).
+//
+// Opens N persistent connections, streams feature rows with windowed
+// pipelining (up to W rows in flight per connection), measures per-row
+// send-to-response latency, and reports the tail as a `[serve-latency]`
+// block in the bench/compare_baseline.py metric format:
+//
+//   [serve-latency] rows_per_second: R
+//   [serve-latency] p50_us: L
+//   [serve-latency] p99_us: L
+//   [serve-latency] p999_us: L
+//
+// With --swap-to it also exercises the zero-downtime hot-swap protocol: a
+// control connection issues `!reload PATH` once --swap-at rows have been
+// answered, and with --expect-a/--expect-b every response line is verified
+// to be bit-identical to one of the two committed per-generation goldens —
+// a torn, dropped or cross-generation prediction fails the run.
+//
+// Usage:
+//   serve_load --connect HOST:PORT | --unix PATH
+//              --rows FILE            # feature rows, sent verbatim
+//              [--count N]            # rows per connection (cycled)
+//              [--connections C]      # default 1
+//              [--window W]           # in-flight rows per conn, default 32
+//              [--swap-to SNAPSHOT --swap-at ROWS]
+//              [--expect-a GOLDEN] [--expect-b GOLDEN]
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "flag_parser.hpp"
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+struct Config {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string unix_path;
+  std::string rows_path;
+  std::size_t count = 0;  // 0 = one pass over the rows file
+  std::size_t connections = 1;
+  std::size_t window = 32;
+  std::string swap_to;
+  std::size_t swap_at = 0;
+  std::vector<std::vector<std::string>> goldens;  // [generation][row]
+};
+
+std::atomic<std::uint64_t> g_received{0};
+std::atomic<bool> g_failed{false};
+
+void fail(const std::string& what) {
+  std::fprintf(stderr, "serve_load: %s\n", what.c_str());
+  g_failed.store(true);
+}
+
+int connect_server(const Config& config) {
+  int fd = -1;
+  if (!config.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.unix_path.size() >= sizeof(addr.sun_path)) {
+      fail("unix path too long: " + config.unix_path);
+      return -1;
+    }
+    std::copy(config.unix_path.begin(), config.unix_path.end(),
+              addr.sun_path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      fail("connect " + config.unix_path + ": " + std::strerror(errno));
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      return -1;
+    }
+  } else {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config.port);
+    if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+      fail("'" + config.host + "' is not an IPv4 address");
+      return -1;
+    }
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      fail("connect " + config.host + ":" + std::to_string(config.port) +
+           ": " + std::strerror(errno));
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  timeval timeout{};
+  timeout.tv_sec = 30;  // a stalled server fails the run, never hangs it
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n = ::send(fd, text.data() + sent, text.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Blocking buffered line reads off one socket.
+class LineSocket {
+ public:
+  explicit LineSocket(int fd) : fd_(fd) {}
+  std::optional<std::string> read_line() {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (got == 0) {
+        return std::nullopt;
+      }
+      if (got < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return std::nullopt;
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+/// One connection's run: pipeline rows, collect latencies, verify each
+/// response against the per-generation goldens.
+void run_connection(const Config& config,
+                    const std::vector<std::string>& rows,
+                    std::size_t conn_index,
+                    std::vector<double>& latencies_out,
+                    std::vector<std::size_t>& generation_counts_out) {
+  const int fd = connect_server(config);
+  if (fd < 0) {
+    return;
+  }
+  LineSocket reader(fd);
+  const std::size_t count = config.count;
+  std::vector<clock_type::time_point> sent_at(count);
+  std::vector<double> latencies;
+  latencies.reserve(count);
+  std::vector<std::size_t> generation_counts(config.goldens.size(), 0);
+
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  while (received < count && !g_failed.load(std::memory_order_relaxed)) {
+    while (sent < count && sent - received < config.window) {
+      sent_at[sent] = clock_type::now();
+      if (!send_all(fd, rows[sent % rows.size()] + "\n")) {
+        fail("connection " + std::to_string(conn_index) +
+             ": send failed at row " + std::to_string(sent));
+        ::close(fd);
+        return;
+      }
+      ++sent;
+    }
+    const auto line = reader.read_line();
+    if (!line.has_value()) {
+      fail("connection " + std::to_string(conn_index) +
+           ": server closed after " + std::to_string(received) + "/" +
+           std::to_string(count) + " rows (dropped predictions)");
+      break;
+    }
+    if (!line->empty() && line->front() == '!') {
+      fail("connection " + std::to_string(conn_index) +
+           ": unexpected control reply: " + *line);
+      break;
+    }
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            clock_type::now() - sent_at[received])
+                            .count());
+    if (!config.goldens.empty()) {
+      bool matched = false;
+      for (std::size_t g = 0; g < config.goldens.size(); ++g) {
+        const auto& golden = config.goldens[g];
+        if (*line == golden[received % golden.size()]) {
+          ++generation_counts[g];
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        fail("connection " + std::to_string(conn_index) + ": row " +
+             std::to_string(received) +
+             " matches no generation golden (torn?): " + *line);
+        break;
+      }
+    }
+    ++received;
+    g_received.fetch_add(1, std::memory_order_relaxed);
+  }
+  ::close(fd);
+  latencies_out = std::move(latencies);
+  generation_counts_out = std::move(generation_counts);
+}
+
+/// Issues `!reload` on a control connection once --swap-at rows have been
+/// answered fleet-wide.
+void run_swapper(const Config& config, std::size_t total_rows) {
+  while (g_received.load(std::memory_order_relaxed) < config.swap_at &&
+         g_received.load(std::memory_order_relaxed) < total_rows &&
+         !g_failed.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const int fd = connect_server(config);
+  if (fd < 0) {
+    return;
+  }
+  LineSocket reader(fd);
+  if (!send_all(fd, "!reload " + config.swap_to + "\n")) {
+    fail("swap: send failed");
+    ::close(fd);
+    return;
+  }
+  const auto ack = reader.read_line();
+  if (!ack.has_value() || ack->rfind("!ok reloaded", 0) != 0) {
+    fail("swap: reload not acknowledged: " + ack.value_or("<eof>"));
+  } else {
+    std::fprintf(stderr, "serve_load: %s (after %llu rows)\n", ack->c_str(),
+                 static_cast<unsigned long long>(
+                     g_received.load(std::memory_order_relaxed)));
+  }
+  ::close(fd);
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot open " + path);
+    return {};
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size()));
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+int usage() {
+  std::fputs(
+      "usage: serve_load (--connect HOST:PORT | --unix PATH) --rows FILE\n"
+      "                  [--count N] [--connections C] [--window W]\n"
+      "                  [--swap-to SNAPSHOT --swap-at ROWS]\n"
+      "                  [--expect-a GOLDEN] [--expect-b GOLDEN]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // first = 1: serve_load has no subcommand word, flags start at argv[1].
+  const hdc::tools::FlagParser flags(argc, argv, 1);
+  Config config;
+  if (const auto connect = flags.value("--connect")) {
+    const std::size_t colon = connect->rfind(':');
+    if (colon == std::string::npos) {
+      return usage();
+    }
+    config.host = connect->substr(0, colon);
+    config.port =
+        static_cast<std::uint16_t>(std::stoul(connect->substr(colon + 1)));
+    if (config.host.empty()) {
+      config.host = "127.0.0.1";
+    }
+  }
+  if (const auto unix_path = flags.value("--unix")) {
+    config.unix_path = *unix_path;
+  }
+  const auto rows_path = flags.value("--rows");
+  if ((config.host.empty() && config.unix_path.empty()) || !rows_path) {
+    return usage();
+  }
+  config.rows_path = *rows_path;
+  const std::vector<std::string> rows = read_lines(config.rows_path);
+  if (rows.empty()) {
+    std::fprintf(stderr, "serve_load: no rows in %s\n",
+                 config.rows_path.c_str());
+    return 1;
+  }
+  config.count = flags.count_or("--count", 1, rows.size());
+  config.connections = flags.count_or("--connections", 1, 1);
+  config.window = flags.count_or("--window", 1, 32);
+  if (const auto swap_to = flags.value("--swap-to")) {
+    config.swap_to = *swap_to;
+    config.swap_at = flags.count_or("--swap-at", 0, config.count / 2);
+  }
+  for (const char* flag : {"--expect-a", "--expect-b"}) {
+    if (const auto golden = flags.value(flag)) {
+      config.goldens.push_back(read_lines(*golden));
+      if (config.goldens.back().empty()) {
+        return 1;
+      }
+    }
+  }
+
+  const std::size_t total_rows = config.count * config.connections;
+  std::vector<std::vector<double>> latencies(config.connections);
+  std::vector<std::vector<std::size_t>> generation_counts(
+      config.connections);
+  const clock_type::time_point start = clock_type::now();
+  std::vector<std::thread> workers;
+  workers.reserve(config.connections);
+  for (std::size_t c = 0; c < config.connections; ++c) {
+    workers.emplace_back([&, c] {
+      run_connection(config, rows, c, latencies[c], generation_counts[c]);
+    });
+  }
+  std::thread swapper;
+  if (!config.swap_to.empty()) {
+    swapper = std::thread([&] { run_swapper(config, total_rows); });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  if (swapper.joinable()) {
+    swapper.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(clock_type::now() - start).count();
+
+  std::vector<double> all;
+  all.reserve(total_rows);
+  for (const auto& conn : latencies) {
+    all.insert(all.end(), conn.begin(), conn.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::printf("[serve-latency] rows_per_second: %.0f\n",
+              seconds > 0.0 ? static_cast<double>(all.size()) / seconds
+                            : 0.0);
+  std::printf("[serve-latency] p50_us: %.1f\n", percentile(all, 0.50));
+  std::printf("[serve-latency] p99_us: %.1f\n", percentile(all, 0.99));
+  std::printf("[serve-latency] p999_us: %.1f\n", percentile(all, 0.999));
+
+  if (!config.goldens.empty()) {
+    std::string mix = "generation mix:";
+    for (std::size_t g = 0; g < config.goldens.size(); ++g) {
+      std::size_t count = 0;
+      for (const auto& conn : generation_counts) {
+        count += g < conn.size() ? conn[g] : 0;
+      }
+      mix += (g == 0 ? " a=" : " b=") + std::to_string(count);
+    }
+    std::fprintf(stderr, "serve_load: %s\n", mix.c_str());
+  }
+  std::fprintf(
+      stderr,
+      "serve_load: %zu/%zu rows over %zu connections in %.3f s\n",
+      all.size(), total_rows, config.connections, seconds);
+  return g_failed.load() || all.size() != total_rows ? 1 : 0;
+}
