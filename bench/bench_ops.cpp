@@ -32,6 +32,7 @@
 #include <unistd.h>
 #endif
 
+#include "hdc/cluster/cluster.hpp"
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/basis_random.hpp"
 #include "hdc/core/bitops.hpp"
@@ -526,6 +527,79 @@ void report_serve_throughput() {
 // before throughput moves.  serve_load emits the identical block against an
 // out-of-process server for ad-hoc runs.
 #if !defined(_WIN32)
+/// [cluster-scaling]: end-to-end ShardedServer predict throughput at 1, 2
+/// and 4 fork replicas under row sharding — the scaling story of the
+/// hdc::cluster subsystem, gated by compare_baseline.py.  Forks real worker
+/// processes, so it runs between reports whose thread pools are scoped:
+/// when it starts, the process is single-threaded again.
+void report_cluster_scaling() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kRows = 4'096;
+  constexpr std::size_t kBatch = 256;
+  using clock = std::chrono::steady_clock;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hdcs_cluster_bench_" +
+       std::to_string(static_cast<unsigned long long>(
+           clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = (dir / "beijing.hdcs").string();
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_beijing_pipeline(spec);
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(*models.encoder, models.model);
+    writer.write_file(snap_path);
+  }
+
+  // The same row mix as the serve reports, already parsed: this measures
+  // the cluster scatter/predict/gather path itself, not CSV parsing.
+  std::vector<std::vector<double>> rows;
+  rows.reserve(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows.push_back({static_cast<double>(i % 5),
+                    (static_cast<double>(i) * 61.7) + 3.25,
+                    0.5 * static_cast<double>((i * 7) % 48)});
+  }
+
+  std::printf(
+      "\n[cluster-scaling] d=%zu rows=%zu batch=%zu shard=rows "
+      "backend=fork\n",
+      kDim, kRows, kBatch);
+  constexpr int kRepeats = 3;
+  for (const std::size_t replicas : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+    hdc::cluster::ClusterOptions options;
+    options.replicas = replicas;
+    options.scheme = hdc::cluster::ShardScheme::Rows;
+    options.backend = hdc::cluster::CommBackend::Fork;
+    options.integrity = hdc::io::SnapshotIntegrity::Trust;
+    hdc::cluster::ShardedServer server(snap_path, options);
+    double best = 0.0;
+    for (int repeat = 0; repeat < kRepeats; ++repeat) {
+      std::size_t served = 0;
+      const auto start = clock::now();
+      for (std::size_t i = 0; i < kRows; i += kBatch) {
+        const std::size_t n = std::min(kBatch, kRows - i);
+        served += server
+                      .predict(std::span<const std::vector<double>>(rows)
+                                   .subspan(i, n))
+                      .predictions.size();
+      }
+      const double seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      if (served == kRows && seconds > 0.0) {
+        best = std::max(best, static_cast<double>(served) / seconds);
+      }
+    }
+    std::printf("[cluster-scaling] replicas%zu_rows_per_second: %.0f\n",
+                replicas, best);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 void report_serve_latency() {
   constexpr std::size_t kDim = 10'240;
   constexpr std::size_t kRows = 4'096;
@@ -831,6 +905,7 @@ int main(int argc, char** argv) {
   report_snapshot_load();
   report_serve_throughput();
 #if !defined(_WIN32)
+  report_cluster_scaling();
   report_serve_latency();
 #endif
   const bool kernels_ok = report_kernel_microbench();

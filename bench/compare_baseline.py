@@ -32,6 +32,12 @@ METRIC_PATTERNS = {
         re.compile(r"\[kernel-nearest\] best_rows_per_second:\s*([0-9.]+)"),
     "kernel_selfcheck_pass":
         re.compile(r"\[kernel-selfcheck\] pass:\s*([0-9.]+)"),
+    "cluster_scaling_replicas1_rows_per_second":
+        re.compile(r"\[cluster-scaling\] replicas1_rows_per_second:\s*([0-9.]+)"),
+    "cluster_scaling_replicas2_rows_per_second":
+        re.compile(r"\[cluster-scaling\] replicas2_rows_per_second:\s*([0-9.]+)"),
+    "cluster_scaling_replicas4_rows_per_second":
+        re.compile(r"\[cluster-scaling\] replicas4_rows_per_second:\s*([0-9.]+)"),
     "serve_latency_rows_per_second":
         re.compile(r"\[serve-latency\] rows_per_second:\s*([0-9.]+)"),
     "serve_latency_p50_us":

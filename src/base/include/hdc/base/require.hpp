@@ -45,7 +45,8 @@ inline void require(bool cond, std::string_view where, std::string_view what) {
 
 /// Requires a strictly positive count-like argument.
 template <typename Int>
-void require_positive(Int value, std::string_view where, std::string_view name) {
+void require_positive(Int value, std::string_view where,
+                      std::string_view name) {
   if (!(value > Int{0})) {
     throw_invalid(where, std::string(name) + " must be positive, got " +
                              std::to_string(value));

@@ -19,7 +19,8 @@ namespace hdc {
 /// SplitMix64 step; used to expand a single 64-bit seed into engine state.
 /// Public because derived-seed schemes (per-level, per-feature sub-streams)
 /// use it directly.
-[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+[[nodiscard]] constexpr std::uint64_t splitmix64(
+    std::uint64_t& state) noexcept {
   state += 0x9E3779B97F4A7C15ULL;
   std::uint64_t z = state;
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
@@ -30,8 +31,8 @@ namespace hdc {
 /// Derives an independent stream seed from a base seed and a stream index.
 /// Used to give sub-components (e.g. each anchor of a concatenated level set)
 /// decorrelated randomness while staying reproducible.
-[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base,
-                                                  std::uint64_t stream) noexcept {
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::uint64_t base, std::uint64_t stream) noexcept {
   std::uint64_t s = base ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
   // Two SplitMix64 rounds fully mix the stream index into the seed.
   (void)splitmix64(s);
@@ -83,7 +84,8 @@ class Rng {
   [[nodiscard]] constexpr std::uint64_t below(std::uint64_t bound) noexcept {
     // Rejection sampling on the top of the range keeps the result unbiased
     // without 128-bit arithmetic portability concerns.
-    const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+    // threshold = (2^64 - bound) % bound
+    const std::uint64_t threshold = (~bound + 1) % bound;
     for (;;) {
       const std::uint64_t r = (*this)();
       if (r >= threshold) {
@@ -101,7 +103,9 @@ class Rng {
   }
 
   /// Fair coin flip.
-  [[nodiscard]] constexpr bool flip() noexcept { return ((*this)() >> 63) != 0; }
+  [[nodiscard]] constexpr bool flip() noexcept {
+    return ((*this)() >> 63) != 0;
+  }
 
   /// Standard normal deviate (Marsaglia polar method; portable).
   [[nodiscard]] double normal() noexcept;

@@ -1,0 +1,12 @@
+#ifndef HDC_CLUSTER_CLUSTER_HPP
+#define HDC_CLUSTER_CLUSTER_HPP
+
+/// \file cluster.hpp
+/// \brief Umbrella header for the sharded multi-replica serving layer.
+
+#include "hdc/cluster/comm.hpp"            // IWYU pragma: export
+#include "hdc/cluster/shard.hpp"           // IWYU pragma: export
+#include "hdc/cluster/sharded_server.hpp"  // IWYU pragma: export
+#include "hdc/cluster/worker.hpp"          // IWYU pragma: export
+
+#endif  // HDC_CLUSTER_CLUSTER_HPP

@@ -1,0 +1,168 @@
+#ifndef HDC_CLUSTER_COMM_HPP
+#define HDC_CLUSTER_COMM_HPP
+
+/// \file comm.hpp
+/// \brief The rank/size transport abstraction behind `ShardedServer`.
+///
+/// `Comm` is deliberately thin — rank/size, scatter one request frame per
+/// rank, gather one response frame per rank, barrier — so a backend is
+/// little more than a way to move byte frames.  Two are always built:
+///
+///  * `LoopbackComm` hosts every rank's `Worker` in this process and
+///    exchanges serially.  It has no transport to fail, which makes it the
+///    correctness oracle the fork backend (and the equivalence suite) are
+///    measured against, and the portable fallback on platforms without
+///    fork().
+///
+///  * `ForkComm` keeps rank 0 in-process and forks ranks 1..P-1 *before
+///    any thread pool exists* (forking a multithreaded process without
+///    exec is a malloc-deadlock minefield, so construction order is part
+///    of the contract).  Each child maps the same snapshot — the kernel
+///    shares the page-cache copy — and speaks length-prefixed frames over
+///    a socketpair.  A dead child (EOF/EPIPE on its pair) surfaces as
+///    `ClusterError` naming the rank, pid and exit cause; the coordinator
+///    never blocks on a corpse.
+///
+/// An MPI backend would be a third subclass translating scatter/gather to
+/// MPI_Send/MPI_Recv over the same frames (docs/cluster.md sketches it);
+/// nothing above `Comm` would change.
+///
+/// The exchange contract is lock-step: one scatter() followed by one
+/// gather(), coordinator-side only.  `ShardedServer` serializes exchanges
+/// behind its own mutex, so a `Comm` needs no internal locking.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#if defined(_WIN32)
+using pid_t = int;
+#else
+#include <sys/types.h>
+#endif
+
+#include "hdc/cluster/shard.hpp"
+#include "hdc/cluster/worker.hpp"
+
+namespace hdc::cluster {
+
+/// Transport interface; one instance per `ShardedServer`.
+class Comm {
+ public:
+  virtual ~Comm() = default;
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  /// Number of ranks (>= 1).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// "loopback" / "fork".
+  [[nodiscard]] virtual const char* backend() const noexcept = 0;
+
+  /// Rank 0's worker, which both backends host in-process; the coordinator
+  /// uses it for metadata (pipeline kind, arity, label decode) without a
+  /// round-trip.
+  [[nodiscard]] virtual Worker& local_worker() noexcept = 0;
+
+  /// Sends one request payload to each rank (requests.size() == size()).
+  /// \throws ClusterError if a rank's transport is gone.
+  virtual void scatter(const std::vector<std::string>& requests) = 0;
+
+  /// Collects one response payload per rank, in rank order; rank 0's work
+  /// happens here, after the remote ranks have been fed.
+  /// \throws ClusterError on a dead rank or torn frame.
+  [[nodiscard]] virtual std::vector<std::string> gather() = 0;
+
+  /// scatter() + gather().
+  [[nodiscard]] std::vector<std::string> exchange(
+      const std::vector<std::string>& requests) {
+    scatter(requests);
+    return gather();
+  }
+
+  /// Full ping round-trip to every rank.  \throws ClusterError as gather().
+  void barrier();
+
+  /// Pids of the forked workers for ranks 1..P-1 (empty for loopback);
+  /// index i holds rank i+1.  Exposed for diagnostics and the
+  /// fault-injection suite.
+  [[nodiscard]] virtual std::vector<pid_t> worker_pids() const { return {}; }
+
+ protected:
+  explicit Comm(std::size_t size) : size_(size) {}
+
+ private:
+  std::size_t size_;
+};
+
+/// Everything a backend needs to build rank r's worker.
+[[nodiscard]] Worker::Config worker_config(const Worker::Config& base,
+                                           std::size_t rank,
+                                           std::size_t replicas);
+
+/// All ranks in-process, exchanged serially.
+class LoopbackComm final : public Comm {
+ public:
+  /// Builds \p replicas workers from \p base (rank/replicas overridden).
+  /// \throws as Worker's constructor.
+  LoopbackComm(const Worker::Config& base, std::size_t replicas);
+
+  [[nodiscard]] const char* backend() const noexcept override {
+    return "loopback";
+  }
+  [[nodiscard]] Worker& local_worker() noexcept override {
+    return *workers_.front();
+  }
+  void scatter(const std::vector<std::string>& requests) override;
+  [[nodiscard]] std::vector<std::string> gather() override;
+
+ private:
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::string> pending_;
+};
+
+/// Rank 0 in-process; ranks 1..P-1 forked children over socketpairs.
+///
+/// Construction forks first and builds the rank-0 worker after, so children
+/// never inherit the coordinator's mapping (each maps the snapshot itself).
+/// Must be constructed while the process is still single-threaded.
+/// The destructor sends Shutdown, waits briefly, then SIGKILLs stragglers —
+/// it never throws and never leaks a zombie.
+class ForkComm final : public Comm {
+ public:
+  /// \throws ClusterError if fork/socketpair fails or a child fails to
+  /// initialize (the child's error message is forwarded); as Worker's
+  /// constructor for rank 0.
+  ForkComm(const Worker::Config& base, std::size_t replicas);
+  ~ForkComm() override;
+
+  [[nodiscard]] const char* backend() const noexcept override {
+    return "fork";
+  }
+  [[nodiscard]] Worker& local_worker() noexcept override { return *local_; }
+  void scatter(const std::vector<std::string>& requests) override;
+  [[nodiscard]] std::vector<std::string> gather() override;
+  [[nodiscard]] std::vector<pid_t> worker_pids() const override;
+
+ private:
+  struct Remote {
+    int fd = -1;
+    pid_t pid = -1;
+  };
+
+  /// Describes why talking to rank \p rank failed, reaping the child if it
+  /// already exited ("killed by signal 9 (Killed)" for the SIGKILL case).
+  [[nodiscard]] ClusterError rank_failure(std::size_t rank,
+                                          const char* during);
+
+  std::unique_ptr<Worker> local_;
+  std::vector<Remote> remotes_;  ///< Index i is rank i+1.
+  std::string pending_local_;
+  bool inflight_ = false;
+};
+
+}  // namespace hdc::cluster
+
+#endif  // HDC_CLUSTER_COMM_HPP

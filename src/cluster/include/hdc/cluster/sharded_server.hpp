@@ -1,0 +1,145 @@
+#ifndef HDC_CLUSTER_SHARDED_SERVER_HPP
+#define HDC_CLUSTER_SHARDED_SERVER_HPP
+
+/// \file sharded_server.hpp
+/// \brief The coordinator: sharded prediction bit-identical to one process.
+///
+/// `ShardedServer` owns a `Comm` and turns batches of feature rows into
+/// predictions by scattering work across ranks and reducing the gathered
+/// responses.  Its contract — enforced by the tests/cluster equivalence
+/// matrix — is that for any {replicas, scheme, backend, batch size, kernel
+/// variant} the prediction stream is **bit-identical** to calling the
+/// single-process pipeline row by row:
+///
+///  * `Rows`    — rank r predicts rows [shard_begin, shard_end) of the
+///    batch; slices concatenate in rank order.  Exact because each row is
+///    predicted by the same code over the same snapshot bytes.
+///  * `Classes` — every rank scans its slice of the class-vector (or
+///    label-basis) arena and reports per-row `(distance, global index)`
+///    minima; the coordinator takes the lexicographic minimum across ranks.
+///    Exact because rank slices are disjoint ascending index ranges, so the
+///    lexicographic reduce reproduces argmin-with-lowest-index-tie-break.
+///
+/// Batches are generation-atomic: `predict()` and `reload()` serialize on
+/// one mutex, every predict response carries the worker's generation, and a
+/// mismatch inside one batch is a hard `ClusterError` — a batch is computed
+/// entirely on one model generation or not answered at all.  The same
+/// serialization makes `reload()` a cluster-wide barrier: rank 0 validates
+/// the replacement first (load + `ensure_swappable`), so a bad snapshot is
+/// rejected before any rank has flipped.
+///
+/// Worker failure surfaces as `ClusterError` from the faulting call;
+/// `serve_stream()` additionally drains what the batch admitted before the
+/// fault (flushes every already-written prediction) and rethrows with the
+/// input line number, so a stream consumer can tell exactly which rows were
+/// answered.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hdc/cluster/comm.hpp"
+#include "hdc/cluster/shard.hpp"
+#include "hdc/io/pipeline.hpp"
+#include "hdc/io/snapshot.hpp"
+#include "hdc/serve/prediction_writer.hpp"
+#include "hdc/serve/row_reader.hpp"
+
+namespace hdc::cluster {
+
+struct ClusterOptions {
+  std::size_t replicas = 1;
+  ShardScheme scheme = ShardScheme::Rows;
+  CommBackend backend = CommBackend::Loopback;
+  io::SnapshotIntegrity integrity = io::SnapshotIntegrity::Checksum;
+  io::MappingOptions mapping{};
+};
+
+/// One rank's counters, as reported by `!stats` and the stats() exchange.
+struct RankStats {
+  std::size_t rank = 0;
+  std::uint64_t generation = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t batches = 0;
+};
+
+/// Coordinator over N worker ranks; thread-safe (exchanges serialize).
+class ShardedServer {
+ public:
+  /// Builds the comm (forking before any thread pool exists — construct
+  /// this before `NetServer` or other pool owners) and barriers once so a
+  /// worker that failed to initialize fails construction, not traffic.
+  /// \throws ClusterError / io::SnapshotError / std::invalid_argument.
+  ShardedServer(std::string snapshot_path, ClusterOptions options);
+
+  [[nodiscard]] io::PipelineKind kind() const noexcept;
+  [[nodiscard]] std::size_t num_features() const noexcept;
+  [[nodiscard]] std::size_t dimension() const noexcept;
+  [[nodiscard]] std::size_t replicas() const noexcept { return comm_->size(); }
+  [[nodiscard]] ShardScheme scheme() const noexcept { return options_.scheme; }
+  [[nodiscard]] const char* backend() const noexcept {
+    return comm_->backend();
+  }
+  [[nodiscard]] std::vector<pid_t> worker_pids() const {
+    return comm_->worker_pids();
+  }
+
+  /// One generation-atomic batch: predictions[i] answers rows[i] (labels as
+  /// doubles for classifier pipelines, exactly like serve::Server).
+  /// \throws ClusterError on worker failure or torn generation;
+  /// std::invalid_argument if a row's arity is wrong.
+  struct BatchResult {
+    std::vector<double> predictions;
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] BatchResult predict(
+      std::span<const std::vector<double>> rows);
+
+  /// Hot-swaps every rank to \p path ("" reloads the active source).
+  /// Validates on rank 0 first; on rejection no rank has changed.  Returns
+  /// the new cluster generation.
+  /// \throws io::SnapshotError on rejection; ClusterError if a rank failed
+  /// after validation (the cluster is then inconsistent and unusable).
+  std::uint64_t reload(const std::string& path);
+
+  /// Last generation every rank agreed on.
+  [[nodiscard]] std::uint64_t generation() const;
+
+  /// Path serving the current generation.
+  [[nodiscard]] std::string source_path() const;
+
+  /// Per-rank counters, gathered live.  \throws ClusterError as predict().
+  [[nodiscard]] std::vector<RankStats> stats();
+
+  /// Streaming front end: reads rows, predicts in micro-batches of
+  /// \p batch_size, writes predictions in input order.  On ClusterError the
+  /// admitted rows of earlier batches are already flushed downstream and
+  /// the error is rethrown with the current input line appended.
+  struct StreamStats {
+    std::uint64_t rows = 0;
+    std::uint64_t batches = 0;
+  };
+  StreamStats serve_stream(serve::RowReader& reader,
+                           serve::PredictionWriter& writer,
+                           std::size_t batch_size);
+
+ private:
+  [[nodiscard]] BatchResult predict_locked(
+      std::span<const std::vector<double>> rows);
+  [[nodiscard]] std::vector<std::string> checked_exchange(
+      std::vector<std::string> requests, const char* what);
+
+  ClusterOptions options_;
+  std::unique_ptr<Comm> comm_;
+  mutable std::mutex mutex_;
+  std::uint64_t generation_ = 1;
+  std::string source_path_;
+};
+
+}  // namespace hdc::cluster
+
+#endif  // HDC_CLUSTER_SHARDED_SERVER_HPP

@@ -1,0 +1,139 @@
+#ifndef HDC_CLUSTER_WORKER_HPP
+#define HDC_CLUSTER_WORKER_HPP
+
+/// \file worker.hpp
+/// \brief One rank's compute engine and the framed request protocol.
+///
+/// A `Worker` is the rank-local half of the cluster: it maps the snapshot
+/// itself (so N fork workers share one page-cache copy of the model bytes),
+/// restores the pipeline, and answers framed requests.  The same class runs
+/// in-process (loopback backend, and rank 0 of the fork backend) and inside
+/// forked children — `handle()` is the single entry point either way, so
+/// the loopback backend is a true oracle for the fork transport.
+///
+/// The wire protocol is deliberately minimal: every request and response is
+/// one length-prefixed frame (`comm.hpp` owns the framing); the payload
+/// starts with a one-byte opcode (requests) or status (responses) followed
+/// by fixed-width little-endian fields.  Same-machine processes only, so no
+/// cross-endian concerns — but the layout is pinned here so the coordinator,
+/// the workers and the tests agree on one encoding:
+///
+///   predict request   [op][u64 nrows][u64 nfeat][nrows*nfeat f64]
+///   predict response  [ok][u64 generation][u64 n] then either
+///                       n f64 predictions           (Rows scheme)
+///                       n (u64 dist, u64 index)     (Classes scheme)
+///   reload request    [op][u64 len][path bytes]
+///   reload response   [ok][u64 generation]
+///   stats response    [ok][u64 rank][u64 generation][u64 rows][u64 batches]
+///   ping response     [ok][u64 rank]
+///   error response    [err][message bytes]
+///
+/// Under the `Classes` scheme a worker never produces final predictions: it
+/// returns its slice's best `(distance, global index)` per row — the
+/// classifier scans class-vectors [shard_begin, shard_end), the regressor
+/// binds `model ⊗ phi(x̂)` and scans its slice of the label basis — and the
+/// coordinator reduces and maps the winning index back to a label or value.
+/// An empty slice (more ranks than classes) reports the all-ones sentinel,
+/// which never wins a reduce.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hdc/cluster/shard.hpp"
+#include "hdc/io/reload.hpp"
+#include "hdc/io/snapshot.hpp"
+
+namespace hdc::cluster {
+
+/// Request opcodes (first payload byte of a request frame).
+enum class WorkerOp : std::uint8_t {
+  Ping = 1,
+  Predict = 2,
+  Reload = 3,
+  Stats = 4,
+  Shutdown = 5,
+};
+
+/// Response status (first payload byte of a response frame).
+inline constexpr std::uint8_t kWorkerOk = 0;
+inline constexpr std::uint8_t kWorkerErr = 1;
+
+/// Sentinel `(distance, index)` reported for an empty Classes slice; loses
+/// every lexicographic reduce against a real candidate.
+inline constexpr std::uint64_t kNoCandidate = ~std::uint64_t{0};
+
+/// One rank of the cluster: a mapped snapshot, its restored pipeline, and
+/// the request dispatcher.  Not thread-safe; each rank is single-threaded
+/// by construction (parallelism comes from the process fan-out).
+class Worker {
+ public:
+  struct Config {
+    std::string snapshot_path;
+    std::size_t rank = 0;
+    std::size_t replicas = 1;
+    ShardScheme scheme = ShardScheme::Rows;
+    io::SnapshotIntegrity integrity = io::SnapshotIntegrity::Checksum;
+    io::MappingOptions mapping{};
+  };
+
+  /// Maps \p cfg.snapshot_path and restores the pipeline.
+  /// \throws io::SnapshotError on open/validation failure;
+  /// std::invalid_argument on rank >= replicas or replicas == 0.
+  explicit Worker(Config cfg);
+
+  /// Dispatches one request payload and returns the response payload.
+  /// Never throws: every failure becomes an error response.  After a
+  /// Shutdown request, `shutdown_requested()` turns true and the caller's
+  /// loop should exit.
+  [[nodiscard]] std::string handle(std::string_view request);
+
+  [[nodiscard]] bool shutdown_requested() const noexcept { return shutdown_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return cfg_.rank; }
+  [[nodiscard]] std::size_t replicas() const noexcept { return cfg_.replicas; }
+  [[nodiscard]] ShardScheme scheme() const noexcept { return cfg_.scheme; }
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] const io::Pipeline& pipeline() const noexcept {
+    return loaded_.pipeline;
+  }
+  [[nodiscard]] const std::string& source_path() const noexcept {
+    return source_path_;
+  }
+
+ private:
+  [[nodiscard]] std::string handle_predict(std::string_view body);
+  [[nodiscard]] std::string handle_reload(std::string_view body);
+  void predict_rows(std::size_t nrows, std::size_t nfeat, const char* data,
+                    std::string& out) const;
+  void predict_classes(std::size_t nrows, std::size_t nfeat, const char* data,
+                       std::string& out) const;
+
+  Config cfg_;
+  io::LoadedPipeline loaded_;
+  std::string source_path_;
+  std::uint64_t generation_ = 1;
+  std::uint64_t rows_ = 0;
+  std::uint64_t batches_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Payload builders shared by the coordinator and the tests; the layouts
+/// are documented in the file comment.
+[[nodiscard]] std::string encode_ping_request();
+[[nodiscard]] std::string encode_predict_request(
+    const double* rows, std::size_t nrows, std::size_t nfeat);
+[[nodiscard]] std::string encode_reload_request(const std::string& path);
+[[nodiscard]] std::string encode_stats_request();
+[[nodiscard]] std::string encode_shutdown_request();
+
+/// Little-endian field helpers for the fixed-width payload layout.
+void put_u64(std::string& out, std::uint64_t value);
+void put_f64(std::string& out, double value);
+[[nodiscard]] std::uint64_t get_u64(std::string_view payload,
+                                    std::size_t offset);
+[[nodiscard]] double get_f64(std::string_view payload, std::size_t offset);
+
+}  // namespace hdc::cluster
+
+#endif  // HDC_CLUSTER_WORKER_HPP

@@ -1,0 +1,37 @@
+#include "hdc/cluster/shard.hpp"
+
+#include <stdexcept>
+
+namespace hdc::cluster {
+
+ShardScheme parse_shard_scheme(const std::string& name) {
+  if (name == "rows") {
+    return ShardScheme::Rows;
+  }
+  if (name == "classes") {
+    return ShardScheme::Classes;
+  }
+  throw std::invalid_argument{"unknown shard scheme '" + name +
+                              "' (expected rows or classes)"};
+}
+
+const char* to_string(ShardScheme scheme) noexcept {
+  return scheme == ShardScheme::Rows ? "rows" : "classes";
+}
+
+CommBackend parse_comm_backend(const std::string& name) {
+  if (name == "loopback") {
+    return CommBackend::Loopback;
+  }
+  if (name == "fork") {
+    return CommBackend::Fork;
+  }
+  throw std::invalid_argument{"unknown comm backend '" + name +
+                              "' (expected loopback or fork)"};
+}
+
+const char* to_string(CommBackend backend) noexcept {
+  return backend == CommBackend::Loopback ? "loopback" : "fork";
+}
+
+}  // namespace hdc::cluster

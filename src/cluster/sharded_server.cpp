@@ -1,0 +1,287 @@
+#include "hdc/cluster/sharded_server.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "hdc/io/reload.hpp"
+
+namespace hdc::cluster {
+
+namespace {
+
+/// Offsets inside a predict response payload: [ok][u64 gen][u64 n][data].
+constexpr std::size_t kGenOffset = 1;
+constexpr std::size_t kCountOffset = 9;
+constexpr std::size_t kDataOffset = 17;
+
+}  // namespace
+
+ShardedServer::ShardedServer(std::string snapshot_path,
+                             ClusterOptions options)
+    : options_(options), source_path_(std::move(snapshot_path)) {
+  Worker::Config base;
+  base.snapshot_path = source_path_;
+  base.scheme = options_.scheme;
+  base.integrity = options_.integrity;
+  base.mapping = options_.mapping;
+  if (options_.backend == CommBackend::Loopback) {
+    comm_ = std::make_unique<LoopbackComm>(base, options_.replicas);
+  } else {
+    comm_ = std::make_unique<ForkComm>(base, options_.replicas);
+  }
+  comm_->barrier();
+}
+
+io::PipelineKind ShardedServer::kind() const noexcept {
+  return comm_->local_worker().pipeline().kind();
+}
+
+std::size_t ShardedServer::num_features() const noexcept {
+  return comm_->local_worker().pipeline().num_features();
+}
+
+std::size_t ShardedServer::dimension() const noexcept {
+  return comm_->local_worker().pipeline().dimension();
+}
+
+std::vector<std::string> ShardedServer::checked_exchange(
+    std::vector<std::string> requests, const char* what) {
+  std::vector<std::string> responses = comm_->exchange(requests);
+  for (std::size_t rank = 0; rank < responses.size(); ++rank) {
+    const std::string& r = responses[rank];
+    if (r.empty()) {
+      throw ClusterError{"cluster rank " + std::to_string(rank) +
+                         " returned an empty frame during " + what};
+    }
+    if (static_cast<std::uint8_t>(r[0]) != kWorkerOk) {
+      throw ClusterError{"cluster rank " + std::to_string(rank) +
+                         " rejected " + what + ": " + r.substr(1)};
+    }
+  }
+  return responses;
+}
+
+ShardedServer::BatchResult ShardedServer::predict(
+    std::span<const std::vector<double>> rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return predict_locked(rows);
+}
+
+ShardedServer::BatchResult ShardedServer::predict_locked(
+    std::span<const std::vector<double>> rows) {
+  const std::size_t nfeat = num_features();
+  for (const std::vector<double>& row : rows) {
+    if (row.size() != nfeat) {
+      throw std::invalid_argument{"cluster predict: row arity mismatch"};
+    }
+  }
+  const std::size_t replicas = comm_->size();
+  const std::size_t nrows = rows.size();
+
+  std::vector<std::string> requests(replicas);
+  if (options_.scheme == ShardScheme::Rows) {
+    std::vector<double> flat;
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      const std::size_t begin = shard_begin(rank, replicas, nrows);
+      const std::size_t end = shard_end(rank, replicas, nrows);
+      flat.clear();
+      flat.reserve((end - begin) * nfeat);
+      for (std::size_t i = begin; i < end; ++i) {
+        flat.insert(flat.end(), rows[i].begin(), rows[i].end());
+      }
+      requests[rank] =
+          encode_predict_request(flat.data(), end - begin, nfeat);
+    }
+  } else {
+    std::vector<double> flat;
+    flat.reserve(nrows * nfeat);
+    for (const std::vector<double>& row : rows) {
+      flat.insert(flat.end(), row.begin(), row.end());
+    }
+    const std::string request =
+        encode_predict_request(flat.data(), nrows, nfeat);
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      requests[rank] = request;
+    }
+  }
+
+  const std::vector<std::string> responses =
+      checked_exchange(std::move(requests), "predict");
+
+  // A batch must be answered by exactly one model generation on every rank;
+  // anything else would interleave two models inside one reply stream.
+  BatchResult result;
+  result.generation = get_u64(responses[0], kGenOffset);
+  for (std::size_t rank = 1; rank < replicas; ++rank) {
+    if (get_u64(responses[rank], kGenOffset) != result.generation) {
+      throw ClusterError{"cluster predict: torn generation across ranks"};
+    }
+  }
+
+  result.predictions.reserve(nrows);
+  if (options_.scheme == ShardScheme::Rows) {
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      const std::string& r = responses[rank];
+      const std::size_t count = get_u64(r, kCountOffset);
+      for (std::size_t i = 0; i < count; ++i) {
+        result.predictions.push_back(get_f64(r, kDataOffset + i * 8));
+      }
+    }
+    if (result.predictions.size() != nrows) {
+      throw ClusterError{"cluster predict: row count mismatch in gather"};
+    }
+  } else {
+    const bool classifier = kind() == io::PipelineKind::Classifier;
+    for (std::size_t i = 0; i < nrows; ++i) {
+      std::uint64_t best_distance = kNoCandidate;
+      std::uint64_t best_index = kNoCandidate;
+      for (std::size_t rank = 0; rank < replicas; ++rank) {
+        const std::size_t base = kDataOffset + i * 16;
+        const std::uint64_t distance = get_u64(responses[rank], base);
+        const std::uint64_t index = get_u64(responses[rank], base + 8);
+        if (index == kNoCandidate) {
+          continue;  // Empty slice (more ranks than candidates).
+        }
+        // Lexicographic (distance, index) minimum across disjoint ascending
+        // slices == global argmin with lowest-index tie-breaking.
+        if (distance < best_distance ||
+            (distance == best_distance && index < best_index)) {
+          best_distance = distance;
+          best_index = index;
+        }
+      }
+      if (best_index == kNoCandidate) {
+        throw ClusterError{"cluster predict: no candidate from any rank"};
+      }
+      if (classifier) {
+        result.predictions.push_back(static_cast<double>(best_index));
+      } else {
+        result.predictions.push_back(
+            comm_->local_worker().pipeline().regressor().labels().value_of(
+                best_index));
+      }
+    }
+  }
+  return result;
+}
+
+std::uint64_t ShardedServer::reload(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string resolved = path.empty() ? source_path_ : path;
+  // Validate on rank 0 before any rank flips: a rejected snapshot must
+  // leave the whole cluster serving the incumbent generation.
+  {
+    const io::LoadedPipeline trial =
+        io::load_pipeline(resolved, options_.integrity, options_.mapping);
+    io::ensure_swappable(trial.pipeline, comm_->local_worker().pipeline());
+  }
+  const std::vector<std::string> responses = checked_exchange(
+      std::vector<std::string>(comm_->size(), encode_reload_request(resolved)),
+      "reload");
+  const std::uint64_t generation = get_u64(responses[0], 1);
+  for (std::size_t rank = 1; rank < responses.size(); ++rank) {
+    if (get_u64(responses[rank], 1) != generation) {
+      throw ClusterError{"cluster reload: generation diverged across ranks"};
+    }
+  }
+  generation_ = generation;
+  source_path_ = resolved;
+  return generation;
+}
+
+std::uint64_t ShardedServer::generation() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+std::string ShardedServer::source_path() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return source_path_;
+}
+
+std::vector<RankStats> ShardedServer::stats() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::string> responses = checked_exchange(
+      std::vector<std::string>(comm_->size(), encode_stats_request()),
+      "stats");
+  std::vector<RankStats> out;
+  out.reserve(responses.size());
+  for (const std::string& r : responses) {
+    RankStats s;
+    s.rank = get_u64(r, 1);
+    s.generation = get_u64(r, 9);
+    s.rows = get_u64(r, 17);
+    s.batches = get_u64(r, 25);
+    out.push_back(s);
+  }
+  return out;
+}
+
+ShardedServer::StreamStats ShardedServer::serve_stream(
+    serve::RowReader& reader, serve::PredictionWriter& writer,
+    std::size_t batch_size) {
+  if (batch_size == 0) {
+    batch_size = 1;
+  }
+  StreamStats stats;
+  std::vector<std::vector<double>> rows;
+  rows.reserve(batch_size);
+  std::vector<double> row;
+  const bool classifier = kind() == io::PipelineKind::Classifier;
+
+  const auto flush = [&] {
+    if (rows.empty()) {
+      return;
+    }
+    BatchResult batch;
+    try {
+      batch = predict(rows);
+    } catch (const ClusterError& e) {
+      // Drain what earlier batches admitted, then rethrow with the stream
+      // position: the consumer knows exactly which rows were answered.
+      try {
+        writer.flush();
+      } catch (...) {  // NOLINT(bugprone-empty-catch)
+      }
+      throw ClusterError{std::string{e.what()} + " (at input line " +
+                         std::to_string(reader.line_number()) + "; " +
+                         std::to_string(stats.rows) +
+                         " rows already answered)"};
+    }
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::size_t index = static_cast<std::size_t>(stats.rows) + i;
+      if (classifier) {
+        writer.write_class(
+            index, static_cast<std::size_t>(batch.predictions[i]), 0.0);
+      } else {
+        writer.write(index, batch.predictions[i], 0.0);
+      }
+    }
+    writer.flush();
+    stats.rows += rows.size();
+    ++stats.batches;
+    rows.clear();
+  };
+
+  bool more = true;
+  while (more) {
+    try {
+      more = reader.next(row);
+    } catch (const serve::RowError&) {
+      flush();  // Answer everything admitted before the malformed line.
+      throw;
+    }
+    if (!more) {
+      break;
+    }
+    rows.push_back(row);
+    if (rows.size() >= batch_size) {
+      flush();
+    }
+  }
+  flush();
+  return stats;
+}
+
+}  // namespace hdc::cluster

@@ -1,0 +1,250 @@
+#include "hdc/cluster/worker.hpp"
+
+#include <cstring>
+#include <exception>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "hdc/core/bitops.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/hypervector.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/io/reload.hpp"
+
+namespace hdc::cluster {
+
+namespace {
+
+/// Minimum payload bytes for a predict request header (op + two u64).
+constexpr std::size_t kPredictHeader = 1 + 8 + 8;
+
+[[nodiscard]] std::string error_response(const std::string& message) {
+  std::string out;
+  out.reserve(1 + message.size());
+  out.push_back(static_cast<char>(kWorkerErr));
+  out.append(message);
+  return out;
+}
+
+}  // namespace
+
+void put_u64(std::string& out, std::uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, sizeof buf);
+  out.append(buf, sizeof buf);
+}
+
+void put_f64(std::string& out, double value) {
+  char buf[8];
+  std::memcpy(buf, &value, sizeof buf);
+  out.append(buf, sizeof buf);
+}
+
+std::uint64_t get_u64(std::string_view payload, std::size_t offset) {
+  if (offset + 8 > payload.size()) {
+    throw std::out_of_range{"cluster frame: truncated u64 field"};
+  }
+  std::uint64_t value = 0;
+  std::memcpy(&value, payload.data() + offset, sizeof value);
+  return value;
+}
+
+double get_f64(std::string_view payload, std::size_t offset) {
+  if (offset + 8 > payload.size()) {
+    throw std::out_of_range{"cluster frame: truncated f64 field"};
+  }
+  double value = 0;
+  std::memcpy(&value, payload.data() + offset, sizeof value);
+  return value;
+}
+
+std::string encode_ping_request() {
+  return std::string(1, static_cast<char>(WorkerOp::Ping));
+}
+
+std::string encode_predict_request(const double* rows, std::size_t nrows,
+                                   std::size_t nfeat) {
+  std::string out;
+  out.reserve(kPredictHeader + nrows * nfeat * 8);
+  out.push_back(static_cast<char>(WorkerOp::Predict));
+  put_u64(out, nrows);
+  put_u64(out, nfeat);
+  if (nrows * nfeat != 0) {
+    out.append(reinterpret_cast<const char*>(rows), nrows * nfeat * 8);
+  }
+  return out;
+}
+
+std::string encode_reload_request(const std::string& path) {
+  std::string out;
+  out.reserve(1 + 8 + path.size());
+  out.push_back(static_cast<char>(WorkerOp::Reload));
+  put_u64(out, path.size());
+  out.append(path);
+  return out;
+}
+
+std::string encode_stats_request() {
+  return std::string(1, static_cast<char>(WorkerOp::Stats));
+}
+
+std::string encode_shutdown_request() {
+  return std::string(1, static_cast<char>(WorkerOp::Shutdown));
+}
+
+Worker::Worker(Config cfg)
+    : cfg_(std::move(cfg)),
+      loaded_(io::load_pipeline(cfg_.snapshot_path, cfg_.integrity,
+                                cfg_.mapping)),
+      source_path_(cfg_.snapshot_path) {
+  if (cfg_.replicas == 0) {
+    throw std::invalid_argument{"cluster worker: replicas must be >= 1"};
+  }
+  if (cfg_.rank >= cfg_.replicas) {
+    throw std::invalid_argument{"cluster worker: rank out of range"};
+  }
+}
+
+std::string Worker::handle(std::string_view request) {
+  try {
+    if (request.empty()) {
+      return error_response("empty request frame");
+    }
+    switch (static_cast<WorkerOp>(request[0])) {
+      case WorkerOp::Ping: {
+        std::string out(1, static_cast<char>(kWorkerOk));
+        put_u64(out, cfg_.rank);
+        return out;
+      }
+      case WorkerOp::Predict:
+        return handle_predict(request.substr(1));
+      case WorkerOp::Reload:
+        return handle_reload(request.substr(1));
+      case WorkerOp::Stats: {
+        std::string out(1, static_cast<char>(kWorkerOk));
+        put_u64(out, cfg_.rank);
+        put_u64(out, generation_);
+        put_u64(out, rows_);
+        put_u64(out, batches_);
+        return out;
+      }
+      case WorkerOp::Shutdown:
+        shutdown_ = true;
+        return std::string(1, static_cast<char>(kWorkerOk));
+    }
+    return error_response("unknown opcode");
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+std::string Worker::handle_predict(std::string_view body) {
+  const std::size_t nrows = get_u64(body, 0);
+  const std::size_t nfeat = get_u64(body, 8);
+  if (nfeat != loaded_.pipeline.num_features()) {
+    throw std::invalid_argument{"predict: feature arity mismatch"};
+  }
+  const std::size_t want = 16 + nrows * nfeat * 8;
+  if (body.size() != want) {
+    throw std::invalid_argument{"predict: truncated row payload"};
+  }
+  const char* data = body.data() + 16;
+
+  std::string out;
+  out.push_back(static_cast<char>(kWorkerOk));
+  put_u64(out, generation_);
+  put_u64(out, nrows);
+  if (cfg_.scheme == ShardScheme::Rows) {
+    predict_rows(nrows, nfeat, data, out);
+  } else {
+    predict_classes(nrows, nfeat, data, out);
+  }
+  rows_ += nrows;
+  ++batches_;
+  return out;
+}
+
+void Worker::predict_rows(std::size_t nrows, std::size_t nfeat,
+                          const char* data, std::string& out) const {
+  const io::Pipeline& p = loaded_.pipeline;
+  std::vector<double> row(nfeat);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
+    if (p.kind() == io::PipelineKind::Classifier) {
+      put_f64(out, static_cast<double>(p.classify(row)));
+    } else {
+      put_f64(out, p.regress(row));
+    }
+  }
+}
+
+void Worker::predict_classes(std::size_t nrows, std::size_t nfeat,
+                             const char* data, std::string& out) const {
+  const io::Pipeline& p = loaded_.pipeline;
+  // The scanned arena: class-vectors for a classifier, the label basis for
+  // a regressor (whose query is the self-inverse unbinding model ⊗ phi(x̂)).
+  std::span<const std::uint64_t> arena;
+  std::size_t stride = 0;
+  std::size_t candidates = 0;
+  if (p.kind() == io::PipelineKind::Classifier) {
+    const CentroidClassifier& model = p.classifier();
+    arena = model.packed_class_words();
+    stride = model.words_per_class();
+    candidates = model.num_classes();
+  } else {
+    const Basis& labels = p.regressor().labels().basis();
+    arena = labels.packed_words();
+    stride = labels.words_per_vector();
+    candidates = labels.size();
+  }
+  const std::size_t begin = shard_begin(cfg_.rank, cfg_.replicas, candidates);
+  const std::size_t end = shard_end(cfg_.rank, cfg_.replicas, candidates);
+
+  std::vector<double> row(nfeat);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
+    if (begin == end) {
+      put_u64(out, kNoCandidate);
+      put_u64(out, kNoCandidate);
+      continue;
+    }
+    const Hypervector encoded = p.encode(row);
+    bits::NearestMatch best{};
+    if (p.kind() == io::PipelineKind::Classifier) {
+      best = bits::nearest_hamming(encoded.words(),
+                                   arena.subspan(begin * stride), stride,
+                                   end - begin);
+    } else {
+      const Hypervector bound = p.regressor().model() ^ encoded;
+      best = bits::nearest_hamming(bound.words(),
+                                   arena.subspan(begin * stride), stride,
+                                   end - begin);
+    }
+    put_u64(out, best.distance);
+    put_u64(out, begin + best.index);
+  }
+}
+
+std::string Worker::handle_reload(std::string_view body) {
+  const std::size_t len = get_u64(body, 0);
+  if (body.size() != 8 + len) {
+    throw std::invalid_argument{"reload: truncated path"};
+  }
+  std::string path(body.substr(8, len));
+  if (path.empty()) {
+    path = source_path_;
+  }
+  io::LoadedPipeline fresh =
+      io::load_pipeline(path, cfg_.integrity, cfg_.mapping);
+  io::ensure_swappable(fresh.pipeline, loaded_.pipeline);
+  loaded_ = std::move(fresh);
+  source_path_ = std::move(path);
+  ++generation_;
+  std::string out(1, static_cast<char>(kWorkerOk));
+  put_u64(out, generation_);
+  return out;
+}
+
+}  // namespace hdc::cluster

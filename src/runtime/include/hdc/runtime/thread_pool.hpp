@@ -25,8 +25,15 @@ namespace hdc::runtime {
 class ThreadPool {
  public:
   /// Spawns \p num_threads workers; 0 picks std::thread::hardware_concurrency
-  /// (at least 1).
+  /// (at least 1).  \throws std::invalid_argument when num_threads exceeds
+  /// max_threads() — rejecting an absurd count up front beats spawning
+  /// thousands of threads before std::thread finally fails.
   explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Upper bound accepted by the constructor.
+  [[nodiscard]] static constexpr std::size_t max_threads() noexcept {
+    return 4096;
+  }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace hdc::runtime {
@@ -15,6 +16,11 @@ thread_local const ThreadPool* current_pool = nullptr;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads > max_threads()) {
+    throw std::invalid_argument(
+        "ThreadPool: num_threads " + std::to_string(num_threads) +
+        " exceeds the supported maximum of " + std::to_string(max_threads()));
+  }
   std::size_t n = num_threads;
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());

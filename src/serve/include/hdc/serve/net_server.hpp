@@ -51,7 +51,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "hdc/io/reload.hpp"
 #include "hdc/runtime/batch_encoder.hpp"
@@ -60,6 +63,25 @@
 #include "hdc/serve/swap_state.hpp"
 
 namespace hdc::serve {
+
+/// Optional delegation of the model plane to an external coordinator
+/// (hdc::cluster::ShardedServer behind `hdcgen serve --replicas`).  When
+/// `predict` is set, connection loops route micro-batches through it
+/// instead of the in-process batch engines — the socket front end fans
+/// in/out of the cluster transparently — and the control protocol follows:
+/// `!reload` goes through `reload` (throws to reject), `generation`/
+/// `source` back the `!ping`/`!reload` replies, and `stats_suffix` is
+/// appended verbatim to the `!stats` reply (per-rank counters).  All
+/// callables must be thread-safe; unset members fall back to the local
+/// swap-state behaviour.
+struct ClusterHooks {
+  std::function<std::vector<double>(std::span<const std::vector<double>>)>
+      predict;
+  std::function<std::uint64_t(const std::string& path)> reload;
+  std::function<std::uint64_t()> generation;
+  std::function<std::string()> source;
+  std::function<std::string()> stats_suffix;
+};
 
 /// Listener + micro-batching policy for the socket front end.
 struct NetServerOptions {
@@ -90,6 +112,8 @@ struct NetServerOptions {
   /// (reloads always checksum-verify regardless of how the initial
   /// snapshot was opened: a hot-swap must never trust unvetted bytes).
   io::MappingOptions mapping{};
+  /// Sharded-serving delegation; inactive while `cluster.predict` is unset.
+  ClusterHooks cluster{};
 };
 
 /// The persistent socket server.  Construction binds the listeners (so
@@ -140,10 +164,9 @@ class NetServer {
     return reload_pipe_[1];
   }
 
-  /// The active model generation (0 = the snapshot run() started with).
-  [[nodiscard]] std::uint64_t generation() const noexcept {
-    return swap_.generation();
-  }
+  /// The active model generation (0 = the snapshot run() started with;
+  /// the cluster generation when ClusterHooks are active).
+  [[nodiscard]] std::uint64_t generation() const;
 
   /// Monotonic serving counters (snapshot; concurrently updated).
   struct Stats {
@@ -160,7 +183,15 @@ class NetServer {
 
   void accept_loop();
   void serve_connection(int fd);
+  void serve_connection_body(int fd);
   void handle_async_reload();
+
+  /// The shared worker pool, created on first use.  Lazy on purpose: an
+  /// impossible thread count must surface as an `!error` reply on the
+  /// first connection that needs engines (see serve_connection), not tear
+  /// the whole server down at construction — and a cluster-backed server
+  /// never pays for a pool at all.
+  [[nodiscard]] runtime::ThreadPoolPtr ensure_worker_pool();
 
   NetServerOptions options_;
   runtime::ThreadPoolPtr pool_;

@@ -34,14 +34,6 @@ namespace {
 
 using clock = std::chrono::steady_clock;
 
-runtime::ThreadPoolPtr ensure_pool(runtime::ThreadPoolPtr pool,
-                                   std::size_t num_threads) {
-  if (pool) {
-    return pool;
-  }
-  return std::make_shared<runtime::ThreadPool>(num_threads);
-}
-
 double microseconds_between(clock::time_point from, clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
@@ -152,6 +144,7 @@ struct NetServer::Impl {
 
   std::mutex conns_mutex;
   std::list<Conn> conns;  ///< Stable addresses for the `done` flags.
+  std::mutex pool_mutex;  ///< Guards the lazy worker-pool creation.
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> ran{false};
   std::atomic<std::uint64_t> connections{0};
@@ -187,7 +180,7 @@ struct NetServer::Impl {
 NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
                      NetServerOptions options, runtime::ThreadPoolPtr pool)
     : options_(std::move(options)),
-      pool_(ensure_pool(std::move(pool), options_.num_threads)),
+      pool_(std::move(pool)),
       swap_(std::move(loaded), std::move(snapshot_path)),
       num_features_(swap_.load()->pipeline().num_features()),
       classifies_(swap_.load()->pipeline().kind() ==
@@ -271,6 +264,21 @@ ServingStatePtr NetServer::reload() {
   return reload(swap_.load()->source_path());
 }
 
+std::uint64_t NetServer::generation() const {
+  if (options_.cluster.generation) {
+    return options_.cluster.generation();
+  }
+  return swap_.generation();
+}
+
+runtime::ThreadPoolPtr NetServer::ensure_worker_pool() {
+  const std::lock_guard<std::mutex> lock(impl_->pool_mutex);
+  if (!pool_) {
+    pool_ = std::make_shared<runtime::ThreadPool>(options_.num_threads);
+  }
+  return pool_;
+}
+
 NetServer::Stats NetServer::stats() const noexcept {
   Stats out;
   out.connections = impl_->connections.load(std::memory_order_relaxed);
@@ -288,6 +296,21 @@ void NetServer::handle_async_reload() {
   char drain[64];
   [[maybe_unused]] const ssize_t drained =
       ::read(reload_pipe_[0], drain, sizeof(drain));
+  if (options_.cluster.reload) {
+    const std::string path =
+        options_.cluster.source ? options_.cluster.source() : std::string{};
+    try {
+      const std::uint64_t gen = options_.cluster.reload(std::string{});
+      impl_->reloads.fetch_add(1, std::memory_order_relaxed);
+      std::cerr << "hdc::serve: reloaded " << path << " (generation " << gen
+                << ")\n";
+    } catch (const std::exception& e) {
+      impl_->rejected_reloads.fetch_add(1, std::memory_order_relaxed);
+      std::cerr << "hdc::serve: reload of " << path
+                << " rejected, old model still serving: " << e.what() << "\n";
+    }
+    return;
+  }
   const std::string path = swap_.load()->source_path();
   try {
     const ServingStatePtr state = reload();
@@ -366,6 +389,18 @@ void NetServer::accept_loop() {
 }
 
 void NetServer::serve_connection(int fd) {
+  try {
+    serve_connection_body(fd);
+  } catch (const std::exception& e) {
+    // Building the serving machinery (worker pool, batch engines) or a
+    // cluster exchange failed: answer *something* instead of silently
+    // closing, and drop only this connection — the server keeps running.
+    send_all(fd, std::string("!error server error: ") + e.what() + "\n");
+  }
+  ::close(fd);
+}
+
+void NetServer::serve_connection_body(int fd) {
   // Everything the model generation determines, bundled so a hot swap
   // replaces it wholesale.  `state` is declared first: members are
   // destroyed in reverse order, so the engines borrowing the mapping die
@@ -377,13 +412,14 @@ void NetServer::serve_connection(int fd) {
     std::optional<runtime::BatchRegressor> regressor;
   };
   const auto make_engines = [this](ServingStatePtr state) {
+    const runtime::ThreadPoolPtr pool = ensure_worker_pool();
     auto engines = std::make_unique<Engines>(Engines{
-        state, state->pipeline().batch_encoder(pool_), std::nullopt,
+        state, state->pipeline().batch_encoder(pool), std::nullopt,
         std::nullopt});
     if (classifies_) {
-      engines->classifier.emplace(state->pipeline().batch_classifier(pool_));
+      engines->classifier.emplace(state->pipeline().batch_classifier(pool));
     } else {
-      engines->regressor.emplace(state->pipeline().batch_regressor(pool_));
+      engines->regressor.emplace(state->pipeline().batch_regressor(pool));
     }
     return engines;
   };
@@ -391,7 +427,13 @@ void NetServer::serve_connection(int fd) {
   RowReader reader(num_features_, options_.input);
   std::ostringstream response;
   PredictionWriter writer(response, options_.output, options_.with_latency);
-  auto engines = make_engines(swap_.load());
+  // A cluster-backed connection never builds local engines (or the pool):
+  // its batches go through the coordinator.  Local engines are built on the
+  // first data batch, not at accept time, so a control-only connection
+  // needs no pool and a pool-construction failure surfaces as an `!error`
+  // reply exactly where the first prediction was requested.
+  const bool clustered = static_cast<bool>(options_.cluster.predict);
+  std::unique_ptr<Engines> engines;
 
   std::vector<std::vector<double>> rows;
   std::vector<clock::time_point> admitted;
@@ -406,24 +448,39 @@ void NetServer::serve_connection(int fd) {
     if (rows.empty()) {
       return true;
     }
-    const ServingStatePtr latest = swap_.load();
-    if (latest != engines->state) {
-      engines = make_engines(latest);
-    }
-    const runtime::VectorArena encoded = engines->encoder.encode(rows);
-    if (classifies_) {
-      const std::vector<std::size_t> labels =
-          engines->classifier->predict(encoded);
-      for (std::size_t i = 0; i < labels.size(); ++i) {
-        writer.write_class(next_row_index + i, labels[i],
-                           microseconds_between(admitted[i], clock::now()));
+    if (clustered) {
+      const std::vector<double> predictions = options_.cluster.predict(rows);
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        const double latency =
+            microseconds_between(admitted[i], clock::now());
+        if (classifies_) {
+          writer.write_class(next_row_index + i,
+                             static_cast<std::size_t>(predictions[i]),
+                             latency);
+        } else {
+          writer.write(next_row_index + i, predictions[i], latency);
+        }
       }
     } else {
-      const std::vector<double> predictions =
-          engines->regressor->predict(encoded);
-      for (std::size_t i = 0; i < predictions.size(); ++i) {
-        writer.write(next_row_index + i, predictions[i],
-                     microseconds_between(admitted[i], clock::now()));
+      const ServingStatePtr latest = swap_.load();
+      if (!engines || latest != engines->state) {
+        engines = make_engines(latest);
+      }
+      const runtime::VectorArena encoded = engines->encoder.encode(rows);
+      if (classifies_) {
+        const std::vector<std::size_t> labels =
+            engines->classifier->predict(encoded);
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          writer.write_class(next_row_index + i, labels[i],
+                             microseconds_between(admitted[i], clock::now()));
+        }
+      } else {
+        const std::vector<double> predictions =
+            engines->regressor->predict(encoded);
+        for (std::size_t i = 0; i < predictions.size(); ++i) {
+          writer.write(next_row_index + i, predictions[i],
+                       microseconds_between(admitted[i], clock::now()));
+        }
       }
     }
     next_row_index += rows.size();
@@ -455,15 +512,36 @@ void NetServer::serve_connection(int fd) {
       const Stats snap = stats();
       reply = "!ok rows=" + std::to_string(snap.rows) +
               " batches=" + std::to_string(snap.batches) +
-              " generation=" + std::to_string(generation()) + "\n";
+              " generation=" + std::to_string(generation());
+      if (options_.cluster.stats_suffix) {
+        reply += options_.cluster.stats_suffix();
+      }
+      reply += "\n";
     } else if (cmd == "!reload") {
-      try {
-        const ServingStatePtr state = arg.empty() ? reload() : reload(arg);
-        reply = "!ok reloaded generation=" +
-                std::to_string(state->generation()) +
-                " source=" + state->source_path() + "\n";
-      } catch (const std::exception& e) {
-        reply = std::string("!error reload rejected: ") + e.what() + "\n";
+      if (options_.cluster.reload) {
+        try {
+          const std::uint64_t gen = options_.cluster.reload(arg);
+          std::string src = arg;
+          if (src.empty()) {
+            src = options_.cluster.source ? options_.cluster.source()
+                                          : std::string{"active"};
+          }
+          impl_->reloads.fetch_add(1, std::memory_order_relaxed);
+          reply = "!ok reloaded generation=" + std::to_string(gen) +
+                  " source=" + src + "\n";
+        } catch (const std::exception& e) {
+          impl_->rejected_reloads.fetch_add(1, std::memory_order_relaxed);
+          reply = std::string("!error reload rejected: ") + e.what() + "\n";
+        }
+      } else {
+        try {
+          const ServingStatePtr state = arg.empty() ? reload() : reload(arg);
+          reply = "!ok reloaded generation=" +
+                  std::to_string(state->generation()) +
+                  " source=" + state->source_path() + "\n";
+        } catch (const std::exception& e) {
+          reply = std::string("!error reload rejected: ") + e.what() + "\n";
+        }
       }
     } else if (cmd == "!quit") {
       reply = "!ok bye\n";
@@ -567,7 +645,6 @@ void NetServer::serve_connection(int fd) {
     }
     inbuf.erase(0, begin);
   }
-  ::close(fd);
 }
 
 #else  // !defined(_WIN32)
@@ -589,8 +666,11 @@ void NetServer::stop() {}
 ServingStatePtr NetServer::reload(const std::string&) { return nullptr; }
 ServingStatePtr NetServer::reload() { return nullptr; }
 NetServer::Stats NetServer::stats() const noexcept { return {}; }
+std::uint64_t NetServer::generation() const { return swap_.generation(); }
+runtime::ThreadPoolPtr NetServer::ensure_worker_pool() { return nullptr; }
 void NetServer::accept_loop() {}
 void NetServer::serve_connection(int) {}
+void NetServer::serve_connection_body(int) {}
 void NetServer::handle_async_reload() {}
 
 #endif  // !defined(_WIN32)

@@ -56,9 +56,10 @@ CircularSummary circular_summary(std::span<const double> angles) {
   out.mean_direction = wrap_angle(std::atan2(s, c));
   out.resultant_length = std::min(r, 1.0);
   out.variance = 1.0 - out.resultant_length;
-  out.stddev = out.resultant_length > 0.0
-                   ? std::sqrt(std::max(0.0, -2.0 * std::log(out.resultant_length)))
-                   : std::numeric_limits<double>::infinity();
+  out.stddev =
+      out.resultant_length > 0.0
+          ? std::sqrt(std::max(0.0, -2.0 * std::log(out.resultant_length)))
+          : std::numeric_limits<double>::infinity();
   return out;
 }
 

@@ -59,8 +59,8 @@ struct CircularSummary {
 /// y with (cos theta, sin theta) regressors (Mardia & Jupp, 2000, sec. 11.2).
 /// Returns a value in [0, 1]; 0 means no circular-linear correlation.
 /// \throws std::invalid_argument if sizes differ or fewer than 3 samples.
-[[nodiscard]] double circular_linear_correlation(std::span<const double> angles,
-                                                 std::span<const double> values);
+[[nodiscard]] double circular_linear_correlation(
+    std::span<const double> angles, std::span<const double> values);
 
 }  // namespace hdc::stats
 

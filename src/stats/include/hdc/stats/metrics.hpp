@@ -60,7 +60,8 @@ class ConfusionMatrix {
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
 
   /// Count of samples with the given true and predicted labels.
-  [[nodiscard]] std::size_t count(std::size_t truth, std::size_t predicted) const;
+  [[nodiscard]] std::size_t count(std::size_t truth,
+                                  std::size_t predicted) const;
 
   /// Overall accuracy; 0 if no samples recorded.
   [[nodiscard]] double accuracy() const noexcept;
@@ -68,7 +69,8 @@ class ConfusionMatrix {
   /// Per-class recall (diagonal / row sum); 0 for classes never seen.
   [[nodiscard]] std::vector<double> per_class_recall() const;
 
-  /// Per-class precision (diagonal / column sum); 0 for classes never predicted.
+  /// Per-class precision (diagonal / column sum); 0 for classes never
+  /// predicted.
   [[nodiscard]] std::vector<double> per_class_precision() const;
 
   /// Macro-averaged F1 score over all classes.

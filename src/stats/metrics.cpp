@@ -123,7 +123,8 @@ std::vector<double> ConfusionMatrix::per_class_recall() const {
       row += cells_[i * k_ + j];
     }
     if (row > 0) {
-      out[i] = static_cast<double>(cells_[i * k_ + i]) / static_cast<double>(row);
+      out[i] =
+          static_cast<double>(cells_[i * k_ + i]) / static_cast<double>(row);
     }
   }
   return out;
@@ -137,7 +138,8 @@ std::vector<double> ConfusionMatrix::per_class_precision() const {
       col += cells_[i * k_ + j];
     }
     if (col > 0) {
-      out[j] = static_cast<double>(cells_[j * k_ + j]) / static_cast<double>(col);
+      out[j] =
+          static_cast<double>(cells_[j * k_ + j]) / static_cast<double>(col);
     }
   }
   return out;

@@ -13,7 +13,8 @@ std::vector<double> solve_tridiagonal(std::span<const double> lower,
                                       std::span<const double> rhs) {
   const std::size_t n = diag.size();
   require(n > 0, "solve_tridiagonal", "system must be non-empty");
-  require(rhs.size() == n, "solve_tridiagonal", "rhs size must equal diag size");
+  require(rhs.size() == n, "solve_tridiagonal",
+          "rhs size must equal diag size");
   require(lower.size() == n - 1, "solve_tridiagonal",
           "lower diagonal must have n-1 entries");
   require(upper.size() == n - 1, "solve_tridiagonal",

@@ -8,7 +8,8 @@
 
 namespace hdc::stats {
 
-VonMises::VonMises(double mu, double kappa) : mu_(wrap_angle(mu)), kappa_(kappa) {
+VonMises::VonMises(double mu, double kappa)
+    : mu_(wrap_angle(mu)), kappa_(kappa) {
   require(std::isfinite(kappa) && kappa >= 0.0, "VonMises",
           "kappa must be finite and non-negative");
   log_norm_ = std::log(two_pi) + std::log(bessel_i0(kappa_));

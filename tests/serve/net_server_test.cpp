@@ -493,6 +493,39 @@ TEST(NetServerTest, FlushDeadlineBoundsPartialBatchLatency) {
   std::filesystem::remove(path);
 }
 
+TEST(NetServerTest, WorkerPoolFailureAnswersErrorInsteadOfClosing) {
+  // The worker pool is created lazily on the first data batch; an
+  // impossible thread count must therefore surface on the wire as an
+  // `!error server error: ...` reply — not a silently dropped connection,
+  // and never a dead server.
+  const std::string path = write_beijing("badpool.hdcs", 2023);
+  const auto rows = beijing_rows(2);
+  const auto expected = oracle_lines(path, rows);
+
+  NetServerOptions options;
+  options.num_threads = 1'000'000;  // > ThreadPool::max_threads()
+  RunningServer running(path, options);
+
+  Client doomed(running.server.port());
+  doomed.send(as_csv(rows));
+  doomed.shutdown_write();
+  auto line = doomed.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error server error:", 0), 0U) << *line;
+  EXPECT_NE(line->find("exceeds the supported maximum"), std::string::npos)
+      << *line;
+  EXPECT_FALSE(doomed.read_line().has_value());  // that connection closes
+
+  // The server survives: control commands (which need no pool) still
+  // answer on a fresh connection.
+  Client control(running.server.port());
+  control.send("!ping\n");
+  line = control.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok pong generation=0");
+  std::filesystem::remove(path);
+}
+
 TEST(NetServerTest, ConstructorValidatesOptions) {
   const std::string path = write_beijing("ctor.hdcs", 2023);
   NetServerOptions no_listener;

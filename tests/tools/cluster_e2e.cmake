@@ -1,0 +1,101 @@
+# End-to-end sharded serving through the CLI, run by ctest as `cluster_e2e`.
+#
+# `hdcgen serve --replicas N` must be invisible in the output: for every
+# {--shard rows|classes} x {--backend loopback|fork} x {replicas 2, 3, 7}
+# the prediction stream over the committed test rows is byte-compared
+# against the single-process baseline (which itself matches the committed
+# golden).  Also asserts the operator summary names the cluster shape, the
+# fork banner lists worker pids, and bad flag values are refused.
+#
+# Inputs: -DHDCGEN=<tool path> -DWORK_DIR=<scratch dir>
+#         -DDATA_DIR=<tests/serve/data>
+
+if(NOT DEFINED HDCGEN OR NOT DEFINED WORK_DIR OR NOT DEFINED DATA_DIR)
+  message(FATAL_ERROR
+    "cluster_e2e: pass -DHDCGEN=... -DWORK_DIR=... and -DDATA_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(ROWS "${DATA_DIR}/beijing_rows.csv")
+set(GOLDEN "${DATA_DIR}/beijing_predictions.golden")
+set(SNAPSHOT "${WORK_DIR}/beijing.hdcs")
+
+execute_process(
+  COMMAND "${HDCGEN}" snap --pipeline beijing --out "${SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "hdcgen snap: exit ${code}\n${out}${err}")
+endif()
+
+# --- single-process baseline, itself pinned to the committed golden.
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --batch 8
+  INPUT_FILE "${ROWS}"
+  OUTPUT_FILE "${WORK_DIR}/baseline.txt"
+  ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "baseline serve: exit ${code}\n${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/baseline.txt" "${GOLDEN}"
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "baseline diverges from the committed golden")
+endif()
+
+# --- the replica matrix must be byte-identical to the baseline.
+foreach(backend loopback fork)
+  foreach(shard rows classes)
+    foreach(replicas 2 3 7)
+      set(label "${backend}-${shard}-r${replicas}")
+      execute_process(
+        COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --batch 8
+          --replicas ${replicas} --shard ${shard} --backend ${backend}
+        INPUT_FILE "${ROWS}"
+        OUTPUT_FILE "${WORK_DIR}/${label}.txt"
+        ERROR_VARIABLE err RESULT_VARIABLE code)
+      if(NOT code EQUAL 0)
+        message(FATAL_ERROR "serve ${label}: exit ${code}\n${err}")
+      endif()
+      if(NOT err MATCHES "${replicas} replicas \\(${backend}, shard=${shard}\\)")
+        message(FATAL_ERROR
+          "serve ${label}: summary lacks the cluster shape\n${err}")
+      endif()
+      if(backend STREQUAL "fork" AND NOT err MATCHES "worker pids:")
+        message(FATAL_ERROR
+          "serve ${label}: fork banner lacks worker pids\n${err}")
+      endif()
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files
+          "${WORK_DIR}/${label}.txt" "${WORK_DIR}/baseline.txt"
+        RESULT_VARIABLE code)
+      if(NOT code EQUAL 0)
+        message(FATAL_ERROR
+          "cluster_e2e: ${label} predictions differ from the baseline")
+      endif()
+    endforeach()
+  endforeach()
+endforeach()
+
+# --- invalid cluster flags are refused up front with a usage diagnostic.
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --replicas 2 --shard columns
+  INPUT_FILE "${ROWS}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "shard")
+  message(FATAL_ERROR
+    "bad --shard: expected nonzero exit with a diagnostic, got ${code}\n${err}")
+endif()
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --replicas 2 --backend mpi
+  INPUT_FILE "${ROWS}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "backend")
+  message(FATAL_ERROR
+    "bad --backend: expected nonzero exit with a diagnostic, got ${code}\n${err}")
+endif()
+
+message(STATUS "cluster_e2e: all checks passed")

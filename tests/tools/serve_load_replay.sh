@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serve_load corpus replay, run by ctest as `serve_load_replay`.
+#
+# Replays the committed Beijing row corpus with serve_load against a live
+# `hdcgen serve --listen` backed by a 2-replica loopback cluster, then
+# golden-diffs the `[serve-latency]` summary *shape*: every field name and
+# every count (120/120 rows over 2 connections) must match the committed
+# golden byte for byte, with only the timing values normalized away — a
+# renamed metric, a dropped row or a lost connection fails the diff, while
+# machine speed cannot.  Every response line is also verified bit-identical
+# to the stdin front end's predictions (--expect-a).
+#
+# Usage: serve_load_replay.sh HDCGEN SERVE_LOAD WORK_DIR DATA_DIR GOLDEN
+
+set -u
+
+HDCGEN=$1
+SERVE_LOAD=$2
+WORK_DIR=$3
+DATA_DIR=$4
+GOLDEN=$5
+ROWS="$DATA_DIR/beijing_rows.csv"
+
+SERVER_PID=""
+fail() {
+  echo "serve_load_replay: FAIL: $*" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null' EXIT
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+cd "$WORK_DIR" || fail "cannot enter $WORK_DIR"
+
+"$HDCGEN" snap --pipeline beijing --out model.hdcs >/dev/null \
+  || fail "snap"
+"$HDCGEN" serve model.hdcs <"$ROWS" >golden_predictions.txt 2>/dev/null \
+  || fail "stdin golden"
+
+"$HDCGEN" serve model.hdcs --listen 127.0.0.1:0 --batch 8 \
+  --replicas 2 --backend loopback 2>server.log &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' server.log)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died: $(cat server.log)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no listening port in server.log"
+
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$ROWS" \
+  --count 60 --connections 2 --window 16 \
+  --expect-a golden_predictions.txt \
+  >latency.txt 2>load.log \
+  || fail "replay run: $(cat load.log)"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exit: $(cat server.log)"
+SERVER_PID=""
+
+# Normalize the timing values, keep every field name and count.
+{
+  sed 's/^\(\[serve-latency\] [a-z0-9_]*:\) [0-9.]*$/\1 <num>/' latency.txt
+  sed -n 's/ in [0-9.]* s$/ in <num> s/p' load.log |
+    grep '^serve_load: .*rows over'
+} >summary.txt
+
+diff -u "$GOLDEN" summary.txt \
+  || fail "summary shape diverged from the committed golden"
+
+echo "serve_load_replay: all checks passed"

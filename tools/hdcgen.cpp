@@ -15,11 +15,15 @@
 //               [--input csv|jsonl] [--format plain|csv|jsonl]
 //               [--latency] [--trust] [--kernel NAME] [--mlock]
 //               [--listen HOST:PORT] [--unix PATH] [--max-conns N]
+//               [--replicas N] [--shard rows|classes]
+//               [--backend loopback|fork]
 //                               # stream feature rows stdin -> predictions
 //                               # stdout; with --listen/--unix, serve many
 //                               # persistent socket connections with
 //                               # SIGHUP snapshot hot-reload
-//                               # (docs/serving.md)
+//                               # (docs/serving.md); --replicas shards the
+//                               # work across N worker ranks, bit-identical
+//                               # to one process (docs/cluster.md)
 //   hdcgen kernels              # CPU features + compiled/available SIMD
 //                               # kernel variants + active selection
 //
@@ -36,6 +40,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,6 +51,7 @@
 #endif
 
 #include "flag_parser.hpp"
+#include "hdc/cluster/cluster.hpp"
 #include "hdc/core/hdc.hpp"
 #include "hdc/core/kernels.hpp"
 #include "hdc/experiments/table.hpp"
@@ -72,8 +78,11 @@ int usage() {
       "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
       "              [--latency] [--trust] [--kernel NAME] [--mlock]\n"
       "              [--listen HOST:PORT] [--unix PATH] [--max-conns N]\n"
+      "              [--replicas N] [--shard rows|classes]\n"
+      "              [--backend loopback|fork]\n"
       "       without --listen/--unix: stdin -> stdout; with them: a\n"
-      "       persistent socket server with SIGHUP snapshot hot-reload\n"
+      "       persistent socket server with SIGHUP snapshot hot-reload;\n"
+      "       --replicas shards work across N worker ranks (docs/cluster.md)\n"
       "  hdcgen kernels\n",
       stderr);
   return 2;
@@ -366,18 +375,83 @@ extern "C" void hdcgen_on_terminate(int) {
 }
 #endif
 
+/// Builds the ShardedServer behind --replicas/--shard/--backend; null when
+/// none of the cluster flags are present.  Must run before any thread pool
+/// exists: the fork backend forks its workers here (docs/cluster.md).
+std::unique_ptr<hdc::cluster::ShardedServer> make_sharded(
+    const FlagParser& flags, const std::string& path,
+    hdc::io::SnapshotIntegrity integrity, hdc::io::MappingOptions mapping) {
+  if (!flags.value("--replicas") && !flags.value("--shard") &&
+      !flags.value("--backend")) {
+    return nullptr;
+  }
+  hdc::cluster::ClusterOptions options;
+  options.replicas = flags.count_or("--replicas", 1, 1);
+  if (const auto scheme = flags.value("--shard")) {
+    options.scheme = hdc::cluster::parse_shard_scheme(*scheme);
+  }
+#if !defined(_WIN32)
+  options.backend = hdc::cluster::CommBackend::Fork;
+#endif
+  if (const auto backend = flags.value("--backend")) {
+    options.backend = hdc::cluster::parse_comm_backend(*backend);
+  }
+  options.integrity = integrity;
+  options.mapping = mapping;
+  auto sharded =
+      std::make_unique<hdc::cluster::ShardedServer>(path, options);
+  std::string pids;
+  for (const pid_t pid : sharded->worker_pids()) {
+    pids += ' ' + std::to_string(pid);
+  }
+  // Scripts (and the fault-injection suite) parse this line for the pids.
+  std::fprintf(stderr, "cluster: %zu replicas, shard=%s, backend=%s%s%s\n",
+               sharded->replicas(), to_string(sharded->scheme()),
+               sharded->backend(),
+               pids.empty() ? "" : ", worker pids:", pids.c_str());
+  return sharded;
+}
+
 /// The persistent socket front end: `hdcgen serve SNAPSHOT --listen/--unix`
 /// (docs/serving.md).  Blocks until SIGINT/SIGTERM.
 int cmd_serve_net(const std::string& path,
                   hdc::serve::NetServerOptions options,
-                  hdc::io::SnapshotIntegrity integrity) {
+                  hdc::io::SnapshotIntegrity integrity,
+                  std::unique_ptr<hdc::cluster::ShardedServer> sharded) {
 #if defined(_WIN32)
   (void)path;
   (void)options;
   (void)integrity;
+  (void)sharded;
   std::fputs("hdcgen serve: sockets need a POSIX host\n", stderr);
   return 1;
 #else
+  if (sharded) {
+    // The socket front end fans in/out of the cluster transparently: data
+    // batches, !reload and !stats all route through the coordinator.  The
+    // raw pointer is safe — `sharded` (a parameter) outlives the local
+    // `server` below.
+    hdc::cluster::ShardedServer* srv = sharded.get();
+    options.cluster.predict =
+        [srv](std::span<const std::vector<double>> rows) {
+          return srv->predict(rows).predictions;
+        };
+    options.cluster.reload = [srv](const std::string& snapshot) {
+      return srv->reload(snapshot);
+    };
+    options.cluster.generation = [srv] { return srv->generation(); };
+    options.cluster.source = [srv] { return srv->source_path(); };
+    options.cluster.stats_suffix = [srv] {
+      std::string out;
+      for (const hdc::cluster::RankStats& rank : srv->stats()) {
+        out += " rank" + std::to_string(rank.rank) +
+               "=rows:" + std::to_string(rank.rows) +
+               ",batches:" + std::to_string(rank.batches) +
+               ",gen:" + std::to_string(rank.generation);
+      }
+      return out;
+    };
+  }
   hdc::io::LoadedPipeline loaded =
       hdc::io::load_pipeline(path, integrity, options.mapping);
   const char* kind = hdc::io::to_string(loaded.pipeline.kind());
@@ -455,6 +529,10 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
   hdc::io::MappingOptions mapping;
   mapping.lock_memory = flags.has("--mlock");
 
+  // Cluster flags fork their workers here, before any thread pool exists.
+  std::unique_ptr<hdc::cluster::ShardedServer> sharded =
+      make_sharded(flags, path, integrity, mapping);
+
   const auto listen = flags.value("--listen");
   const auto unix_path = flags.value("--unix");
   if (listen || unix_path) {
@@ -490,7 +568,48 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
     options.output = output;
     options.with_latency = flags.has("--latency");
     options.mapping = mapping;
-    return cmd_serve_net(path, std::move(options), integrity);
+    return cmd_serve_net(path, std::move(options), integrity,
+                         std::move(sharded));
+  }
+
+  if (sharded) {
+    // Sharded stdin front end: rows stream through the coordinator; a dead
+    // worker drains the admitted rows and exits with a line-numbered
+    // diagnostic instead of emitting a torn batch.
+    hdc::serve::RowReader reader(std::cin, sharded->num_features(), input);
+    hdc::serve::PredictionWriter writer(std::cout, output,
+                                        flags.has("--latency"));
+    const std::size_t batch = flags.count_or("--batch", 1, 64);
+    const char* kind = hdc::io::to_string(sharded->kind());
+    const auto start = std::chrono::steady_clock::now();
+    hdc::cluster::ShardedServer::StreamStats stats;
+    try {
+      stats = sharded->serve_stream(reader, writer, batch);
+    } catch (const hdc::cluster::ClusterError& error) {
+      std::fprintf(stderr, "hdcgen serve: %s\n", error.what());
+      return 1;
+    } catch (const hdc::serve::WriteError& error) {
+      std::fprintf(stderr,
+                   "hdcgen serve: downstream closed after %zu rows: %s\n",
+                   writer.rows_written(), error.what());
+      return 1;
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::fprintf(
+        stderr,
+        "served %llu rows in %llu batches: %s pipeline, d = %zu, "
+        "%zu features/row, %.0f rows/s, %zu replicas (%s, shard=%s), "
+        "kernels = %s\n",
+        static_cast<unsigned long long>(stats.rows),
+        static_cast<unsigned long long>(stats.batches), kind,
+        sharded->dimension(), sharded->num_features(),
+        seconds > 0.0 ? static_cast<double>(stats.rows) / seconds : 0.0,
+        sharded->replicas(), sharded->backend(),
+        to_string(sharded->scheme()), hdc::bits::active_kernels().name);
+    return 0;
   }
 
   hdc::serve::ServerOptions options;
