@@ -42,6 +42,7 @@
 #include "hdc/core/serialization.hpp"
 #include "hdc/io/fixture_models.hpp"
 #include "hdc/io/pipeline.hpp"
+#include "hdc/io/reload.hpp"
 #include "hdc/io/snapshot.hpp"
 #include "hdc/runtime/runtime.hpp"
 #include "hdc/serve/serve.hpp"
@@ -517,6 +518,79 @@ void report_serve_throughput() {
               best_rows_per_second);
 }
 
+// Online-adaptation feedback throughput: one AdaptiveState over an mmapped
+// classifier snapshot, fed a mistake-heavy labelled stream.  Each feedback
+// row costs an encode, a predict and (on a miss) a copy-on-write row
+// update, all under the state mutex — the `!adapt` control-path budget.
+// The CI gate pins a floor on feedback rows/s so the overlay never
+// regresses to cloning the whole model per sample.
+void report_adapt_throughput() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kRows = 4'096;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hdcs_adapt_bench_" +
+       std::to_string(static_cast<unsigned long long>(
+           std::chrono::steady_clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = (dir / "classifier.hdcs").string();
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_classifier_pipeline(spec);
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(models.encoder, models.model);
+    writer.write_file(snap_path);
+  }
+
+  std::vector<std::vector<double>> rows;
+  std::vector<double> targets;
+  rows.reserve(kRows);
+  targets.reserve(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    std::vector<double> row(4);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      row[f] = 23.0 * static_cast<double>(i) + 80.0 * static_cast<double>(f);
+    }
+    rows.push_back(std::move(row));
+    // A rotating label disagrees with most predictions, so the stream
+    // exercises the expensive (row-updating) path, not just the predict.
+    targets.push_back(static_cast<double>(i % 3));
+  }
+
+  const auto base = std::make_shared<const hdc::serve::ServingState>(
+      hdc::io::load_pipeline(snap_path, hdc::io::SnapshotIntegrity::Trust),
+      0, snap_path);
+
+  constexpr int kRepeats = 3;
+  double best_rows_per_second = 0.0;
+  std::uint64_t updates = 0;
+  std::uint64_t overlay_rows = 0;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    hdc::serve::AdaptiveState state(base);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kRows; ++i) {
+      (void)state.adapt(rows[i], targets[i]);
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best_rows_per_second =
+        std::max(best_rows_per_second,
+                 static_cast<double>(kRows) / elapsed.count());
+    updates = state.updates();
+    overlay_rows = state.overlay_rows();
+  }
+  std::filesystem::remove_all(dir);
+
+  std::printf("\n[adapt-throughput] d=%zu rows=%zu updates=%llu "
+              "overlay_rows=%llu\n",
+              kDim, kRows, static_cast<unsigned long long>(updates),
+              static_cast<unsigned long long>(overlay_rows));
+  std::printf("[adapt-throughput] feedback_rows_per_second: %.0f\n",
+              best_rows_per_second);
+}
+
 // Socket-serving tail latency: the whole network front end in process — a
 // NetServer on a loopback TCP port, one persistent client connection
 // pipelining CSV rows with a bounded window, per-row send-to-response
@@ -904,6 +978,7 @@ int main(int argc, char** argv) {
   report_basis_memory();
   report_snapshot_load();
   report_serve_throughput();
+  report_adapt_throughput();
 #if !defined(_WIN32)
   report_cluster_scaling();
   report_serve_latency();

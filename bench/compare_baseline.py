@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """CI bench-regression gate.
 
-Parses the ``[snapshot-load]``, ``[serve-throughput]``, ``[serve-latency]``
-and ``[kernel-*]`` reports out of a ``bench_ops`` text log, compares each
+Parses the ``[snapshot-load]``, ``[serve-throughput]``,
+``[adapt-throughput]``, ``[serve-latency]`` and ``[kernel-*]`` reports out
+of a ``bench_ops`` text log, compares each
 metric against the committed baselines in
 ``bench/baselines/BENCH_baseline.json``, writes a machine-readable
 ``bench_report.json`` (uploaded as a CI artifact so the bench trajectory is
@@ -38,6 +39,9 @@ METRIC_PATTERNS = {
         re.compile(r"\[cluster-scaling\] replicas2_rows_per_second:\s*([0-9.]+)"),
     "cluster_scaling_replicas4_rows_per_second":
         re.compile(r"\[cluster-scaling\] replicas4_rows_per_second:\s*([0-9.]+)"),
+    "adapt_throughput_feedback_rows_per_second":
+        re.compile(
+            r"\[adapt-throughput\] feedback_rows_per_second:\s*([0-9.]+)"),
     "serve_latency_rows_per_second":
         re.compile(r"\[serve-latency\] rows_per_second:\s*([0-9.]+)"),
     "serve_latency_p50_us":

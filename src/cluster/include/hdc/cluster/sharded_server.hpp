@@ -46,6 +46,7 @@
 #include "hdc/cluster/shard.hpp"
 #include "hdc/io/pipeline.hpp"
 #include "hdc/io/snapshot.hpp"
+#include "hdc/serve/adaptive_state.hpp"
 #include "hdc/serve/prediction_writer.hpp"
 #include "hdc/serve/row_reader.hpp"
 
@@ -99,12 +100,31 @@ class ShardedServer {
   [[nodiscard]] BatchResult predict(
       std::span<const std::vector<double>> rows);
 
-  /// Hot-swaps every rank to \p path ("" reloads the active source).
-  /// Validates on rank 0 first; on rejection no rank has changed.  Returns
-  /// the new cluster generation.
+  /// Hot-swaps every rank to \p path ("" reloads the active source; an
+  /// HDCS delta file patches the tracked base).  Validates on rank 0
+  /// first; on rejection no rank has changed.  Returns the new cluster
+  /// generation.
   /// \throws io::SnapshotError on rejection; ClusterError if a rank failed
   /// after validation (the cluster is then inconsistent and unusable).
   std::uint64_t reload(const std::string& path);
+
+  /// One `!adapt` feedback sample, broadcast to every rank: each applies
+  /// it to its deterministic rank-local overlay and serves the adapted
+  /// model from the next batch on.  The full response payload must be
+  /// byte-identical on every rank — divergence is a hard ClusterError.
+  /// \throws ClusterError on worker failure or divergence;
+  /// std::invalid_argument on arity mismatch (validated rank-side too).
+  serve::AdaptOutcome adapt(double target, std::span<const double> features);
+
+  /// Writes the cluster's adapted-vs-base difference (gathered as
+  /// per-rank changed-row sets, verified byte-identical) as an HDCS delta
+  /// file at \p out_path; returns the changed-row count.
+  /// \throws ClusterError on divergence; std::runtime_error when nothing
+  /// differs from the base; io::SnapshotError on write failure.
+  std::uint64_t export_delta(const std::string& out_path);
+
+  /// The last *full* snapshot the cluster loaded (delta reloads keep it).
+  [[nodiscard]] std::string base_path() const;
 
   /// Last generation every rank agreed on.
   [[nodiscard]] std::uint64_t generation() const;
@@ -138,6 +158,7 @@ class ShardedServer {
   mutable std::mutex mutex_;
   std::uint64_t generation_ = 1;
   std::string source_path_;
+  std::string base_path_;
 };
 
 }  // namespace hdc::cluster

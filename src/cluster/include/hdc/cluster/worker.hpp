@@ -24,6 +24,12 @@
 ///                       n (u64 dist, u64 index)     (Classes scheme)
 ///   reload request    [op][u64 len][path bytes]
 ///   reload response   [ok][u64 generation]
+///   adapt request     [op][f64 target][u64 nfeat][nfeat f64]
+///   adapt response    [ok][u64 generation][f64 predicted][u64 updated]
+///                       [u64 feedback][u64 updates][u64 overlay_rows]
+///   delta-rows req.   [op]
+///   delta-rows resp.  [ok][u64 generation][u64 nrows][u64 wpr] then
+///                       nrows ([u64 index][wpr u64 row words])
 ///   stats response    [ok][u64 rank][u64 generation][u64 rows][u64 batches]
 ///   ping response     [ok][u64 rank]
 ///   error response    [err][message bytes]
@@ -35,13 +41,28 @@
 /// coordinator reduces and maps the winning index back to a label or value.
 /// An empty slice (more ranks than classes) reports the all-ones sentinel,
 /// which never wins a reduce.
+///
+/// ## Online adaptation
+///
+/// `Adapt` broadcasts one feedback sample to every rank; each rank applies
+/// it to a rank-local copy-on-write overlay (hdc/core/adaptive.hpp) seeded
+/// with the shared `kDefaultAdaptSeed`, so overlays are bit-identical
+/// across ranks by construction and every later `Predict` serves the
+/// adapted model without further coordination.  `DeltaRows` reports the
+/// rank's current model rows that differ from the tracked *base* snapshot
+/// file (the last full snapshot loaded), which the coordinator verifies are
+/// identical on every rank before writing a delta file.  Any reload drops
+/// the overlay: its feedback targeted the retired generation.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 
 #include "hdc/cluster/shard.hpp"
+#include "hdc/core/adaptive.hpp"
 #include "hdc/io/reload.hpp"
 #include "hdc/io/snapshot.hpp"
 
@@ -54,6 +75,8 @@ enum class WorkerOp : std::uint8_t {
   Reload = 3,
   Stats = 4,
   Shutdown = 5,
+  Adapt = 6,
+  DeltaRows = 7,
 };
 
 /// Response status (first payload byte of a response frame).
@@ -101,17 +124,34 @@ class Worker {
     return source_path_;
   }
 
+  /// The last *full* snapshot this rank loaded — what delta reloads patch
+  /// against and what `DeltaRows` diffs against.
+  [[nodiscard]] const std::string& base_path() const noexcept {
+    return base_path_;
+  }
+
  private:
   [[nodiscard]] std::string handle_predict(std::string_view body);
   [[nodiscard]] std::string handle_reload(std::string_view body);
+  [[nodiscard]] std::string handle_adapt(std::string_view body);
+  [[nodiscard]] std::string handle_delta_rows();
   void predict_rows(std::size_t nrows, std::size_t nfeat, const char* data,
                     std::string& out) const;
   void predict_classes(std::size_t nrows, std::size_t nfeat, const char* data,
                        std::string& out) const;
+  /// Row \p index of the model this rank currently serves: the overlay row
+  /// when adapted, else the restored pipeline's row.
+  [[nodiscard]] std::span<const std::uint64_t> current_model_row(
+      std::size_t index) const;
 
   Config cfg_;
   io::LoadedPipeline loaded_;
   std::string source_path_;
+  std::string base_path_;
+  /// Rank-local adaptation overlay (at most one non-null, matching the
+  /// pipeline kind); null until the first Adapt after a (re)load.
+  std::unique_ptr<AdaptiveClassifier> adaptive_classifier_;
+  std::unique_ptr<AdaptiveRegressor> adaptive_regressor_;
   std::uint64_t generation_ = 1;
   std::uint64_t rows_ = 0;
   std::uint64_t batches_ = 0;
@@ -126,6 +166,10 @@ class Worker {
 [[nodiscard]] std::string encode_reload_request(const std::string& path);
 [[nodiscard]] std::string encode_stats_request();
 [[nodiscard]] std::string encode_shutdown_request();
+[[nodiscard]] std::string encode_adapt_request(double target,
+                                               const double* features,
+                                               std::size_t nfeat);
+[[nodiscard]] std::string encode_delta_rows_request();
 
 /// Little-endian field helpers for the fixed-width payload layout.
 void put_u64(std::string& out, std::uint64_t value);

@@ -1,9 +1,12 @@
 #include "hdc/cluster/sharded_server.hpp"
 
+#include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "hdc/io/delta.hpp"
 #include "hdc/io/reload.hpp"
 
 namespace hdc::cluster {
@@ -19,7 +22,9 @@ constexpr std::size_t kDataOffset = 17;
 
 ShardedServer::ShardedServer(std::string snapshot_path,
                              ClusterOptions options)
-    : options_(options), source_path_(std::move(snapshot_path)) {
+    : options_(options),
+      source_path_(std::move(snapshot_path)),
+      base_path_(source_path_) {
   Worker::Config base;
   base.snapshot_path = source_path_;
   base.scheme = options_.scheme;
@@ -169,11 +174,12 @@ ShardedServer::BatchResult ShardedServer::predict_locked(
 std::uint64_t ShardedServer::reload(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::string resolved = path.empty() ? source_path_ : path;
+  const bool is_delta = io::snapshot_is_delta(resolved);
   // Validate on rank 0 before any rank flips: a rejected snapshot must
   // leave the whole cluster serving the incumbent generation.
   {
-    const io::LoadedPipeline trial =
-        io::load_pipeline(resolved, options_.integrity, options_.mapping);
+    const io::LoadedPipeline trial = io::load_pipeline_or_delta(
+        resolved, base_path_, options_.integrity, options_.mapping);
     io::ensure_swappable(trial.pipeline, comm_->local_worker().pipeline());
   }
   const std::vector<std::string> responses = checked_exchange(
@@ -187,7 +193,82 @@ std::uint64_t ShardedServer::reload(const std::string& path) {
   }
   generation_ = generation;
   source_path_ = resolved;
+  if (!is_delta) {
+    base_path_ = resolved;
+  }
   return generation;
+}
+
+serve::AdaptOutcome ShardedServer::adapt(double target,
+                                         std::span<const double> features) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (features.size() != num_features()) {
+    throw std::invalid_argument{"cluster adapt: feature arity mismatch"};
+  }
+  const std::vector<std::string> responses = checked_exchange(
+      std::vector<std::string>(
+          comm_->size(),
+          encode_adapt_request(target, features.data(), features.size())),
+      "adapt");
+  // Every rank applied the same sample to a deterministically-seeded
+  // overlay: the *entire* response payload must agree byte for byte, or
+  // the bit-identical serving contract is already broken.
+  for (std::size_t rank = 1; rank < responses.size(); ++rank) {
+    if (responses[rank] != responses[0]) {
+      throw ClusterError{"cluster adapt: outcome diverged across ranks"};
+    }
+  }
+  serve::AdaptOutcome out;
+  out.predicted = get_f64(responses[0], 9);
+  out.updated = get_u64(responses[0], 17) != 0;
+  out.feedback_rows = get_u64(responses[0], 25);
+  out.updates = get_u64(responses[0], 33);
+  out.overlay_rows = get_u64(responses[0], 41);
+  return out;
+}
+
+std::uint64_t ShardedServer::export_delta(const std::string& out_path) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::string> responses = checked_exchange(
+      std::vector<std::string>(comm_->size(), encode_delta_rows_request()),
+      "delta export");
+  for (std::size_t rank = 1; rank < responses.size(); ++rank) {
+    if (responses[rank] != responses[0]) {
+      throw ClusterError{
+          "cluster delta export: changed rows diverged across ranks"};
+    }
+  }
+  const std::string& r = responses[0];
+  const std::uint64_t nrows = get_u64(r, 9);
+  const std::uint64_t wpr = get_u64(r, 17);
+  if (nrows == 0) {
+    throw std::runtime_error{
+        "delta export: the adapted model does not differ from " + base_path_};
+  }
+  if (r.size() != 25 + nrows * (8 + wpr * 8)) {
+    throw ClusterError{"cluster delta export: truncated row payload"};
+  }
+  std::map<std::size_t, std::vector<std::uint64_t>> rows;
+  std::size_t at = 25;
+  for (std::uint64_t i = 0; i < nrows; ++i) {
+    const std::uint64_t index = get_u64(r, at);
+    at += 8;
+    std::vector<std::uint64_t> words(wpr);
+    std::memcpy(words.data(), r.data() + at, wpr * 8);
+    at += wpr * 8;
+    rows.emplace(index, std::move(words));
+  }
+  const io::MappedSnapshot base = io::MappedSnapshot::open(base_path_);
+  const std::size_t section = io::find_model_section(base);
+  io::write_delta_file(
+      io::make_delta(base, io::snapshot_file_hash(base_path_), section, rows),
+      out_path);
+  return nrows;
+}
+
+std::string ShardedServer::base_path() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return base_path_;
 }
 
 std::uint64_t ShardedServer::generation() const {

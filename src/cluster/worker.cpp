@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <exception>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "hdc/core/classifier.hpp"
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/regressor.hpp"
+#include "hdc/io/delta.hpp"
 #include "hdc/io/reload.hpp"
 
 namespace hdc::cluster {
@@ -94,11 +96,29 @@ std::string encode_shutdown_request() {
   return std::string(1, static_cast<char>(WorkerOp::Shutdown));
 }
 
+std::string encode_adapt_request(double target, const double* features,
+                                 std::size_t nfeat) {
+  std::string out;
+  out.reserve(1 + 8 + 8 + nfeat * 8);
+  out.push_back(static_cast<char>(WorkerOp::Adapt));
+  put_f64(out, target);
+  put_u64(out, nfeat);
+  if (nfeat != 0) {
+    out.append(reinterpret_cast<const char*>(features), nfeat * 8);
+  }
+  return out;
+}
+
+std::string encode_delta_rows_request() {
+  return std::string(1, static_cast<char>(WorkerOp::DeltaRows));
+}
+
 Worker::Worker(Config cfg)
     : cfg_(std::move(cfg)),
       loaded_(io::load_pipeline(cfg_.snapshot_path, cfg_.integrity,
                                 cfg_.mapping)),
-      source_path_(cfg_.snapshot_path) {
+      source_path_(cfg_.snapshot_path),
+      base_path_(cfg_.snapshot_path) {
   if (cfg_.replicas == 0) {
     throw std::invalid_argument{"cluster worker: replicas must be >= 1"};
   }
@@ -133,6 +153,10 @@ std::string Worker::handle(std::string_view request) {
       case WorkerOp::Shutdown:
         shutdown_ = true;
         return std::string(1, static_cast<char>(kWorkerOk));
+      case WorkerOp::Adapt:
+        return handle_adapt(request.substr(1));
+      case WorkerOp::DeltaRows:
+        return handle_delta_rows();
     }
     return error_response("unknown opcode");
   } catch (const std::exception& e) {
@@ -172,7 +196,15 @@ void Worker::predict_rows(std::size_t nrows, std::size_t nfeat,
   std::vector<double> row(nfeat);
   for (std::size_t i = 0; i < nrows; ++i) {
     std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
-    if (p.kind() == io::PipelineKind::Classifier) {
+    // An adapted rank serves its overlay immediately: every rank applied
+    // the same feedback deterministically, so this stays bit-identical
+    // across the fleet.
+    if (adaptive_classifier_ != nullptr) {
+      put_f64(out, static_cast<double>(
+                       adaptive_classifier_->predict(p.encode(row))));
+    } else if (adaptive_regressor_ != nullptr) {
+      put_f64(out, adaptive_regressor_->predict(p.encode(row)));
+    } else if (p.kind() == io::PipelineKind::Classifier) {
       put_f64(out, static_cast<double>(p.classify(row)));
     } else {
       put_f64(out, p.regress(row));
@@ -211,9 +243,30 @@ void Worker::predict_classes(std::size_t nrows, std::size_t nfeat,
       continue;
     }
     const Hypervector encoded = p.encode(row);
+    if (adaptive_classifier_ != nullptr) {
+      // The overlay scan substitutes adapted rows inside the slice and
+      // returns the global index directly.
+      const auto [distance, index] =
+          adaptive_classifier_->nearest_in_slice(encoded, begin, end);
+      put_u64(out, distance);
+      put_u64(out, index);
+      continue;
+    }
     bits::NearestMatch best{};
     if (p.kind() == io::PipelineKind::Classifier) {
       best = bits::nearest_hamming(encoded.words(),
+                                   arena.subspan(begin * stride), stride,
+                                   end - begin);
+    } else if (adaptive_regressor_ != nullptr) {
+      // Unbind against the *adapted* model; the scanned label basis is
+      // shared with the base, so only the query changes.
+      const std::span<const std::uint64_t> model =
+          adaptive_regressor_->model_words();
+      std::vector<std::uint64_t> bound(encoded.words().size());
+      for (std::size_t w = 0; w < bound.size(); ++w) {
+        bound[w] = model[w] ^ encoded.words()[w];
+      }
+      best = bits::nearest_hamming(std::span<const std::uint64_t>(bound),
                                    arena.subspan(begin * stride), stride,
                                    end - begin);
     } else {
@@ -236,14 +289,125 @@ std::string Worker::handle_reload(std::string_view body) {
   if (path.empty()) {
     path = source_path_;
   }
+  const bool is_delta = io::snapshot_is_delta(path);
   io::LoadedPipeline fresh =
-      io::load_pipeline(path, cfg_.integrity, cfg_.mapping);
+      io::load_pipeline_or_delta(path, base_path_, cfg_.integrity,
+                                 cfg_.mapping);
   io::ensure_swappable(fresh.pipeline, loaded_.pipeline);
   loaded_ = std::move(fresh);
   source_path_ = std::move(path);
+  if (!is_delta) {
+    base_path_ = source_path_;
+  }
+  // Any reload retires the overlay: its feedback targeted the old
+  // generation.  (A delta reload of the overlay's own export serves the
+  // identical model, now without the overlay indirection.)
+  adaptive_classifier_.reset();
+  adaptive_regressor_.reset();
   ++generation_;
   std::string out(1, static_cast<char>(kWorkerOk));
   put_u64(out, generation_);
+  return out;
+}
+
+std::string Worker::handle_adapt(std::string_view body) {
+  const double target = get_f64(body, 0);
+  const std::size_t nfeat = get_u64(body, 8);
+  if (nfeat != loaded_.pipeline.num_features()) {
+    throw std::invalid_argument{"adapt: feature arity mismatch"};
+  }
+  if (body.size() != 16 + nfeat * 8) {
+    throw std::invalid_argument{"adapt: truncated feature payload"};
+  }
+  std::vector<double> row(nfeat);
+  std::memcpy(row.data(), body.data() + 16, nfeat * 8);
+  const io::Pipeline& p = loaded_.pipeline;
+  // Validate before lazily creating the overlay so a rejected sample
+  // leaves the rank exactly as it was (every rank must stay in lockstep).
+  std::size_t label = 0;
+  if (p.kind() == io::PipelineKind::Classifier) {
+    label = checked_class_label(target, p.classifier().num_classes());
+  }
+  const Hypervector encoded = p.encode(row);
+  double predicted = 0.0;
+  std::uint64_t feedback = 0;
+  std::uint64_t updates = 0;
+  std::uint64_t overlay_rows = 0;
+  std::uint64_t before = 0;
+  if (p.kind() == io::PipelineKind::Classifier) {
+    if (adaptive_classifier_ == nullptr) {
+      adaptive_classifier_ = std::make_unique<AdaptiveClassifier>(
+          p.classifier_ptr(), kDefaultAdaptSeed);
+    }
+    before = adaptive_classifier_->updates();
+    predicted =
+        static_cast<double>(adaptive_classifier_->adapt(label, encoded));
+    feedback = adaptive_classifier_->feedback_rows();
+    updates = adaptive_classifier_->updates();
+    overlay_rows = adaptive_classifier_->touched_classes();
+  } else {
+    if (adaptive_regressor_ == nullptr) {
+      adaptive_regressor_ = std::make_unique<AdaptiveRegressor>(
+          p.regressor_ptr(), kDefaultAdaptSeed);
+    }
+    before = adaptive_regressor_->updates();
+    predicted = adaptive_regressor_->adapt(encoded, target);
+    feedback = adaptive_regressor_->feedback_rows();
+    updates = adaptive_regressor_->updates();
+    overlay_rows = adaptive_regressor_->touched() ? 1 : 0;
+  }
+  std::string out(1, static_cast<char>(kWorkerOk));
+  put_u64(out, generation_);
+  put_f64(out, predicted);
+  put_u64(out, updates != before ? 1 : 0);
+  put_u64(out, feedback);
+  put_u64(out, updates);
+  put_u64(out, overlay_rows);
+  return out;
+}
+
+std::span<const std::uint64_t> Worker::current_model_row(
+    std::size_t index) const {
+  if (adaptive_classifier_ != nullptr) {
+    return adaptive_classifier_->class_row(index);
+  }
+  if (adaptive_regressor_ != nullptr) {
+    return adaptive_regressor_->model_words();
+  }
+  const io::Pipeline& p = loaded_.pipeline;
+  if (p.kind() == io::PipelineKind::Classifier) {
+    const CentroidClassifier& model = p.classifier();
+    return model.packed_class_words().subspan(
+        index * model.words_per_class(), model.words_per_class());
+  }
+  return p.regressor().model().words();
+}
+
+std::string Worker::handle_delta_rows() {
+  // Diff against the base *file*, not the in-memory base model: rows a
+  // delta reload already changed must stay in the next patch, and overlay
+  // rows that drifted back to the base must drop out.
+  const io::MappedSnapshot base = io::MappedSnapshot::open(base_path_);
+  const std::size_t section = io::find_model_section(base);
+  const io::SectionRecord& record = base.section(section);
+  const std::size_t dimension = loaded_.pipeline.dimension();
+  if (record.dimension != dimension) {
+    throw std::invalid_argument{
+        "delta rows: base snapshot dimension disagrees with the serving "
+        "model"};
+  }
+  const auto rows = io::diff_rows(
+      base, section, [this](std::size_t i) { return current_model_row(i); });
+  const std::uint64_t wpr = (dimension + 63) / 64;
+  std::string out(1, static_cast<char>(kWorkerOk));
+  put_u64(out, generation_);
+  put_u64(out, rows.size());
+  put_u64(out, wpr);
+  for (const auto& [index, words] : rows) {
+    put_u64(out, index);
+    out.append(reinterpret_cast<const char*>(words.data()),
+               words.size() * 8);
+  }
   return out;
 }
 

@@ -141,6 +141,10 @@ std::size_t CentroidClassifier::predict(HypervectorView query) const {
 
 std::size_t CentroidClassifier::predict_words(
     std::span<const std::uint64_t> query_words) const {
+  // The finalized gate must hold here too, not just in predict(): this is the
+  // batch runtime's entry point, and skipping the check let a model
+  // invalidated by add_sample()/absorb() silently serve the stale arena.
+  require_finalized("CentroidClassifier::predict_words");
   require(query_words.size() == words_per_class_,
           "CentroidClassifier::predict_words",
           "query word count must equal words_per_class()");

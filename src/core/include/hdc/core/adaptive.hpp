@@ -1,0 +1,215 @@
+#ifndef HDC_CORE_ADAPTIVE_HPP
+#define HDC_CORE_ADAPTIVE_HPP
+
+/// \file adaptive.hpp
+/// \brief Copy-on-write online adaptation over restored (borrowed) models.
+///
+/// Restored models are inference-only by design: their integer accumulators
+/// are not part of the serialized state, and a snapshot-backed arena is a
+/// read-only mapping that must never be written.  Production models drift
+/// anyway, so serving needs the OnlineHD-style mistake-driven refinement
+/// *without* giving up the zero-copy base.  The overlay classes here provide
+/// exactly that:
+///
+///  * the base model (typically borrowed straight off an
+///    `hdc::io::MappedSnapshot`) stays untouched and keeps serving;
+///  * the first `adapt()` that touches a class clones only that class's row
+///    into an owning overlay and seeds a fresh accumulator from the row's
+///    bits (counter = bit ? +1 : -1 — one majority vote for the snapshot
+///    state), so memory grows with the number of *touched* classes, not the
+///    model size;
+///  * `predict()` reads overlay rows where they exist and base rows
+///    everywhere else, with the same argmin-lowest-index tie-break as
+///    `CentroidClassifier::predict` — so an overlay with no touched rows is
+///    bit-identical to the base, and `materialize()` (a full owning model
+///    with overlay rows patched in) always predicts bit-identically to the
+///    overlay it came from.
+///
+/// The touched rows are exactly the payload of an HDCS v4 delta section
+/// (`hdc::io::SnapshotWriter::add_delta`): an adapted model ships as base +
+/// small patch instead of a full snapshot.
+///
+/// Determinism: two overlays built with the same seed over the same base and
+/// fed the same feedback stream are bit-identical — the property the cluster
+/// layer relies on when broadcasting `!adapt` feedback to every rank.
+///
+/// Thread safety: const members are safe to call concurrently; `adapt()` is
+/// not (callers serialize, e.g. `hdc::serve::AdaptiveState`).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hdc/core/accumulator.hpp"
+#include "hdc/core/classifier.hpp"
+#include "hdc/core/hypervector.hpp"
+#include "hdc/core/regressor.hpp"
+
+namespace hdc {
+
+/// Default overlay seed shared by every serving layer.  Replicas fed the
+/// same feedback stream must build bit-identical overlays (the cluster
+/// broadcast correctness condition), so they must also agree on the
+/// tie-breaker derivation — one well-known seed, overridable only when a
+/// caller owns determinism end to end.
+inline constexpr std::uint64_t kDefaultAdaptSeed = 0xADA57A7EULL;
+
+/// Validates a feedback target for an N-class classifier: must be an
+/// integral value in [0, num_classes).  Returns it as a class label.
+/// \throws std::invalid_argument otherwise (the wire carries targets as
+/// doubles, so "2.5" or "-1" must fail here, not truncate silently).
+[[nodiscard]] std::size_t checked_class_label(double target,
+                                              std::size_t num_classes);
+
+/// Mistake-driven classifier overlay: copy-on-write class rows over a
+/// shared, finalized (usually snapshot-backed) `CentroidClassifier`.
+class AdaptiveClassifier {
+ public:
+  /// \param base  Finalized base model; shared so the overlay keeps the
+  /// snapshot mapping alive through whatever owns it.
+  /// \param seed  Derives the deterministic majority tie-breaker.
+  /// \throws std::invalid_argument if base is null;
+  /// std::logic_error if base is not finalized.
+  AdaptiveClassifier(std::shared_ptr<const CentroidClassifier> base,
+                     std::uint64_t seed);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept {
+    return base_->num_classes();
+  }
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return base_->dimension();
+  }
+  [[nodiscard]] const CentroidClassifier& base() const noexcept {
+    return *base_;
+  }
+
+  /// argmin_i delta(query, row_i) where row_i is the overlay row when class
+  /// i was touched and the base row otherwise; ties keep the lowest index
+  /// (bit-identical to CentroidClassifier::predict on materialize()).
+  /// \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] std::size_t predict(HypervectorView query) const;
+
+  /// Best `(Hamming distance, global class index)` over classes
+  /// [begin, end), reading overlay rows where they exist — the sharded
+  /// Classes-scheme slice scan.  Lexicographic minima over disjoint
+  /// ascending slices reduce to exactly predict()'s argmin with
+  /// lowest-index ties.  \throws std::invalid_argument on dimension
+  /// mismatch or an empty/out-of-range slice.
+  [[nodiscard]] std::pair<std::uint64_t, std::size_t> nearest_in_slice(
+      HypervectorView query, std::size_t begin, std::size_t end) const;
+
+  /// One mistake-driven update: predicts \p encoded; on a miss clones the
+  /// true and predicted class rows into the overlay (first touch only),
+  /// adds the sample to the true class, subtracts it from the predicted
+  /// one, and re-thresholds both rows.  The model stays queryable-consistent
+  /// after every call — there is no finalize() step to forget.  Returns the
+  /// pre-update prediction.
+  /// \throws std::invalid_argument on bad label or dimension mismatch.
+  std::size_t adapt(std::size_t label, HypervectorView encoded);
+
+  /// Class \p label's current row: the overlay row if touched, else the
+  /// base row.  \throws std::invalid_argument on a bad label.
+  [[nodiscard]] std::span<const std::uint64_t> class_row(
+      std::size_t label) const;
+
+  /// The touched rows, keyed by class index in ascending order — exactly
+  /// the per-class changed-row patches of an HDCS delta section.
+  [[nodiscard]] std::map<std::size_t, std::vector<std::uint64_t>>
+  changed_rows() const;
+
+  /// Number of classes with an overlay row.
+  [[nodiscard]] std::size_t touched_classes() const noexcept {
+    return overlay_.size();
+  }
+  /// Feedback rows seen / rows that actually updated the model.
+  [[nodiscard]] std::uint64_t feedback_rows() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+
+  /// A full owning, inference-only `CentroidClassifier` with the overlay
+  /// rows patched into a copy of the base arena; predicts bit-identically
+  /// to this overlay.
+  [[nodiscard]] CentroidClassifier materialize() const;
+
+  /// Drops every overlay row: the model is the base again.
+  void reset() noexcept;
+
+ private:
+  struct Overlay {
+    BundleAccumulator acc;
+    std::vector<std::uint64_t> row;
+  };
+
+  Overlay& touch(std::size_t label);
+
+  std::shared_ptr<const CentroidClassifier> base_;
+  std::map<std::size_t, Overlay> overlay_;
+  Hypervector tie_breaker_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+/// Mistake-driven regressor overlay: a copy-on-write model hypervector over
+/// a shared, finalized (usually snapshot-backed) `HDRegressor`.
+class AdaptiveRegressor {
+ public:
+  /// \throws std::invalid_argument if base is null; std::logic_error if
+  /// base is not finalized.
+  AdaptiveRegressor(std::shared_ptr<const HDRegressor> base,
+                    std::uint64_t seed);
+
+  [[nodiscard]] std::size_t dimension() const noexcept {
+    return base_->dimension();
+  }
+  [[nodiscard]] const HDRegressor& base() const noexcept { return *base_; }
+
+  /// decode(M ⊗ phi(x̂)) over the current (overlay or base) model.
+  /// \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] double predict(HypervectorView encoded_input) const;
+
+  /// One mistake-driven update, mirroring `HDRegressor::adapt`: on a decoded
+  /// value that differs from \p target, adds phi(x̂) ⊗ phi_l(target),
+  /// subtracts phi(x̂) ⊗ phi_l(predicted), and re-thresholds the model row
+  /// (cloned from the base on first touch).  Returns the pre-update
+  /// prediction.  \throws std::invalid_argument on dimension mismatch.
+  double adapt(HypervectorView encoded_input, double target);
+
+  /// The current model row's packed words (overlay if touched, else base).
+  [[nodiscard]] std::span<const std::uint64_t> model_words() const;
+
+  /// True once adapt() has cloned the model row.
+  [[nodiscard]] bool touched() const noexcept { return overlay_ != nullptr; }
+  [[nodiscard]] std::uint64_t feedback_rows() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+
+  /// The changed rows in delta-patch form: empty when untouched, else the
+  /// single model row at index 0.
+  [[nodiscard]] std::map<std::size_t, std::vector<std::uint64_t>>
+  changed_rows() const;
+
+  /// An owning, inference-only `HDRegressor` over the current model;
+  /// predicts bit-identically to this overlay.
+  [[nodiscard]] HDRegressor materialize() const;
+
+  /// Drops the overlay: the model is the base again.
+  void reset() noexcept;
+
+ private:
+  struct Overlay {
+    BundleAccumulator acc;
+    Hypervector model;
+  };
+
+  std::shared_ptr<const HDRegressor> base_;
+  std::unique_ptr<Overlay> overlay_;
+  Hypervector tie_breaker_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_ADAPTIVE_HPP

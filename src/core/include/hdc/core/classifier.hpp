@@ -95,7 +95,8 @@ class CentroidClassifier {
   void absorb(std::size_t label, const BundleAccumulator& partial);
 
   /// Thresholds all accumulators into class-vectors.  Must be called after
-  /// training (and after any adapt() pass) before predict().
+  /// training (add_sample/absorb) before predict(); adapt() refreshes the
+  /// touched class-vectors itself and never invalidates the model.
   /// \throws std::logic_error on inference-only models (no accumulators).
   void finalize();
 
@@ -110,8 +111,10 @@ class CentroidClassifier {
 
   /// predict() on a raw word span; the allocation-free entry point shared
   /// with the batch runtime.  The span must carry exactly
-  /// words_per_class() words with tail bits zero.  \pre the model is
-  /// finalized.
+  /// words_per_class() words with tail bits zero.
+  /// \throws std::logic_error if the model is not finalized (same gate as
+  /// predict(); this path used to skip it and silently serve the stale
+  /// arena after add_sample()/absorb()).
   /// \throws std::invalid_argument if query_words.size() !=
   /// words_per_class().
   [[nodiscard]] std::size_t predict_words(
@@ -142,7 +145,9 @@ class CentroidClassifier {
   /// Extension: one mistake-driven update.  Predicts \p encoded with the
   /// current class-vectors; on a miss, adds the sample to the true class and
   /// subtracts it from the predicted class, then refreshes the two affected
-  /// class-vectors.  Returns the (pre-update) prediction.
+  /// class-vectors.  The model stays finalized and queryable-consistent
+  /// after every call — no finalize() pass is needed between adapt() and
+  /// predict().  Returns the (pre-update) prediction.
   /// \throws std::logic_error if the model is not finalized.
   std::size_t adapt(std::size_t label, HypervectorView encoded);
 

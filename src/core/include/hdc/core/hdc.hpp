@@ -8,6 +8,7 @@
 #include "hdc/base/rng.hpp"       // IWYU pragma: export
 #include "hdc/base/version.hpp"   // IWYU pragma: export
 #include "hdc/core/accumulator.hpp"      // IWYU pragma: export
+#include "hdc/core/adaptive.hpp"         // IWYU pragma: export
 #include "hdc/core/basis.hpp"            // IWYU pragma: export
 #include "hdc/core/basis_circular.hpp"   // IWYU pragma: export
 #include "hdc/core/basis_level.hpp"      // IWYU pragma: export

@@ -57,6 +57,13 @@ class HDRegressor {
   }
   [[nodiscard]] const ScalarEncoder& labels() const noexcept { return *labels_; }
 
+  /// The shared label encoder itself, for overlays/serializers that must
+  /// keep phi_l alive beyond this object (e.g. AdaptiveRegressor,
+  /// from_model() round trips).
+  [[nodiscard]] const ScalarEncoderPtr& labels_ptr() const noexcept {
+    return labels_;
+  }
+
   /// Accumulates one training pair (phi(x) given encoded, label y).
   /// \throws std::invalid_argument on dimension mismatch; std::logic_error
   /// on inference-only models.
@@ -73,6 +80,16 @@ class HDRegressor {
   void finalize();
 
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  /// Extension: one mistake-driven update, the regression counterpart of
+  /// CentroidClassifier::adapt().  Predicts \p encoded_input; when the
+  /// decoded grid point differs from \p target's, adds
+  /// phi(x̂) ⊗ phi_l(target), subtracts phi(x̂) ⊗ phi_l(predicted), and
+  /// re-quantizes the model, so it stays finalized and queryable-consistent
+  /// after every call.  Returns the (pre-update) prediction.
+  /// \throws std::logic_error if not finalized or inference-only;
+  /// std::invalid_argument on dimension mismatch.
+  double adapt(HypervectorView encoded_input, double target);
 
   /// Paper-faithful prediction: decode(M ⊗ phi(x̂)) via the label basis.
   /// \throws std::logic_error if not finalized; std::invalid_argument on

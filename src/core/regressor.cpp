@@ -70,6 +70,24 @@ void HDRegressor::finalize() {
   finalized_ = true;
 }
 
+double HDRegressor::adapt(HypervectorView encoded_input, double target) {
+  require_trainable("HDRegressor::adapt");
+  if (!finalized_) {
+    throw std::logic_error("HDRegressor::adapt: call finalize() first");
+  }
+  require(encoded_input.dimension() == dimension(), "HDRegressor::adapt",
+          "input dimension mismatch");
+  const double predicted = predict(encoded_input);
+  // Mistakes are judged on the label grid: predicted is already a grid value
+  // and any target is quantized by phi_l before it can influence the model.
+  if (labels_->index_of(target) != labels_->index_of(predicted)) {
+    accumulator_.add(encoded_input ^ labels_->encode(target));
+    accumulator_.subtract(encoded_input ^ labels_->encode(predicted));
+    model_ = accumulator_.finalize(tie_breaker_);
+  }
+  return predicted;
+}
+
 double HDRegressor::predict(HypervectorView encoded_input) const {
   if (!finalized_) {
     throw std::logic_error("HDRegressor::predict: call finalize() first");

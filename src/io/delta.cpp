@@ -1,0 +1,364 @@
+#include "hdc/io/delta.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "hdc/core/bitops.hpp"
+#include "hdc/io/checksum.hpp"
+
+namespace hdc::io {
+
+namespace {
+
+using detail::load_u64;
+using detail::store_u64;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SnapshotError("delta: " + what);
+}
+
+std::vector<std::byte> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    fail("cannot open " + path);
+  }
+  const std::streamsize size = in.tellg();
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) {
+    fail("cannot read " + path);
+  }
+  return bytes;
+}
+
+bool is_model_section(SectionType type) noexcept {
+  return type == SectionType::ClassifierClassVectors ||
+         type == SectionType::RegressorModel;
+}
+
+/// Validates the payload-level invariants structural parsing cannot see:
+/// strictly increasing in-range indices and zero tail bits on every row.
+void validate_patch_payload(const DeltaPatch& patch) {
+  const std::uint64_t count = patch.changed_rows();
+  if (count == 0 ||
+      patch.words.size() != count * (1 + patch.words_per_row())) {
+    fail("patch carries no complete changed rows");
+  }
+  if (patch.base_rows < count) {
+    fail("patch has more rows than the base model");
+  }
+  if (!is_model_section(patch.target_type)) {
+    fail("patch target is not a model section type");
+  }
+  const std::uint64_t tail = bits::tail_mask(patch.dimension);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t index = patch.row_index(i);
+    if (index >= patch.base_rows) {
+      fail("changed-row index " + std::to_string(index) +
+           " is outside the base model");
+    }
+    if (i > 0 && index <= patch.row_index(i - 1)) {
+      fail("changed-row indices must be strictly increasing");
+    }
+    const auto row = patch.row_words(i);
+    if ((row.back() & ~tail) != 0) {
+      fail("changed row " + std::to_string(index) +
+           " has set bits beyond the dimension");
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t snapshot_file_hash(const std::string& path) {
+  return xxhash64(read_file_bytes(path));
+}
+
+std::size_t SnapshotWriter::add_delta(const DeltaPatch& patch) {
+  validate_patch_payload(patch);
+  SectionRecord record;
+  record.type = SectionType::DeltaPatch;
+  record.kind = static_cast<std::uint16_t>(patch.target_type);
+  record.dimension = patch.dimension;
+  record.count = patch.changed_rows();
+  record.seed = patch.base_hash;
+  record.aux_section = patch.base_section;
+  record.aux_section_b = patch.base_rows;
+  sections_.push_back(Pending{record, patch.words});
+  return sections_.size() - 1;
+}
+
+std::size_t find_model_section(const MappedSnapshot& snapshot) {
+  // Prefer the pipeline's own model reference; a bare model file (e.g. the
+  // classifier golden fixture) falls back to its single model section.
+  std::size_t head = snapshot.section_count();
+  std::size_t model = snapshot.section_count();
+  std::size_t model_candidates = 0;
+  for (std::size_t i = 0; i < snapshot.section_count(); ++i) {
+    const SectionRecord& record = snapshot.section(i);
+    if (record.type == SectionType::PipelineHead) {
+      if (head != snapshot.section_count()) {
+        fail("snapshot holds more than one pipeline head");
+      }
+      head = i;
+    } else if (is_model_section(record.type)) {
+      model = i;
+      ++model_candidates;
+    }
+  }
+  if (head != snapshot.section_count()) {
+    return static_cast<std::size_t>(snapshot.section(head).aux_section_b);
+  }
+  if (model_candidates != 1) {
+    fail("snapshot holds no single model section to patch");
+  }
+  return model;
+}
+
+DeltaPatch make_delta(
+    const MappedSnapshot& base, std::uint64_t base_hash,
+    std::size_t model_section,
+    const std::map<std::size_t, std::vector<std::uint64_t>>& rows) {
+  if (rows.empty()) {
+    fail("no changed rows to patch");
+  }
+  const SectionRecord& record = base.section(model_section);
+  if (!is_model_section(record.type)) {
+    fail("section " + std::to_string(model_section) +
+         " of the base is not a model section");
+  }
+  DeltaPatch patch;
+  patch.target_type = record.type;
+  patch.base_section = model_section;
+  patch.base_hash = base_hash;
+  patch.base_rows = record.count;
+  patch.dimension = record.dimension;
+  patch.words.reserve(rows.size() * (1 + patch.words_per_row()));
+  for (const auto& [index, _] : rows) {
+    patch.words.push_back(index);
+  }
+  for (const auto& [index, row] : rows) {
+    if (row.size() != patch.words_per_row()) {
+      fail("changed row " + std::to_string(index) +
+           " has the wrong word count for dimension " +
+           std::to_string(patch.dimension));
+    }
+    patch.words.insert(patch.words.end(), row.begin(), row.end());
+  }
+  validate_patch_payload(patch);
+  return patch;
+}
+
+std::map<std::size_t, std::vector<std::uint64_t>> diff_rows(
+    const MappedSnapshot& base, std::size_t model_section,
+    const std::function<std::span<const std::uint64_t>(std::size_t)>&
+        current_row) {
+  const SectionRecord& record = base.section(model_section);
+  if (!is_model_section(record.type)) {
+    fail("section " + std::to_string(model_section) +
+         " of the base is not a model section");
+  }
+  const std::uint64_t words_per_row = (record.dimension + 63) / 64;
+  const auto arena = base.section_words(model_section);
+  std::map<std::size_t, std::vector<std::uint64_t>> rows;
+  for (std::uint64_t r = 0; r < record.count; ++r) {
+    const auto now = current_row(static_cast<std::size_t>(r));
+    if (now.size() != words_per_row) {
+      fail("adapted row " + std::to_string(r) +
+           " has the wrong word count for the base model");
+    }
+    const auto was = arena.subspan(r * words_per_row, words_per_row);
+    if (!std::equal(now.begin(), now.end(), was.begin())) {
+      rows.emplace(r, std::vector<std::uint64_t>(now.begin(), now.end()));
+    }
+  }
+  return rows;
+}
+
+DeltaPatch diff_snapshots(const std::string& base_path,
+                          const std::string& adapted_path) {
+  const std::vector<std::byte> base = read_file_bytes(base_path);
+  const std::vector<std::byte> adapted = read_file_bytes(adapted_path);
+  if (base.size() != adapted.size()) {
+    fail("base and adapted snapshots have different sizes: a delta patches "
+         "model rows, not layout changes");
+  }
+  const SnapshotLayout base_layout = parse_snapshot_layout(base);
+  const SnapshotLayout adapted_layout = parse_snapshot_layout(adapted);
+  const MappedSnapshot base_snapshot = MappedSnapshot::from_bytes(base);
+  const std::size_t model = find_model_section(base_snapshot);
+  const SectionRecord& record = base_layout.sections[model];
+  const SectionRecord& adapted_record = adapted_layout.sections[model];
+  if (adapted_record.type != record.type ||
+      adapted_record.dimension != record.dimension ||
+      adapted_record.count != record.count ||
+      adapted_record.payload_offset != record.payload_offset) {
+    fail("model sections of base and adapted snapshots disagree");
+  }
+  // Everything outside the model payload, its checksum entry, and the table
+  // checksum must match byte for byte — otherwise base + patch cannot
+  // reproduce the adapted file.
+  const std::size_t entry_at = snapshot_header_bytes +
+                               model * snapshot_entry_bytes + 72;
+  const auto excluded = [&](std::size_t i) {
+    return (i >= record.payload_offset &&
+            i < record.payload_offset + record.payload_bytes) ||
+           (i >= entry_at && i < entry_at + 8) || (i >= 32 && i < 40);
+  };
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i] != adapted[i] && !excluded(i)) {
+      fail("snapshots differ outside the model payload (byte " +
+           std::to_string(i) + "); a delta cannot bridge them");
+    }
+  }
+  const std::uint64_t words_per_row = (record.dimension + 63) / 64;
+  std::map<std::size_t, std::vector<std::uint64_t>> rows;
+  for (std::uint64_t r = 0; r < record.count; ++r) {
+    const std::size_t at =
+        record.payload_offset + r * words_per_row * 8;
+    if (std::memcmp(base.data() + at, adapted.data() + at,
+                    words_per_row * 8) != 0) {
+      std::vector<std::uint64_t> row(words_per_row);
+      for (std::uint64_t w = 0; w < words_per_row; ++w) {
+        row[w] = load_u64(adapted, at + w * 8);
+      }
+      rows.emplace(r, std::move(row));
+    }
+  }
+  if (rows.empty()) {
+    fail("snapshots are identical: nothing to patch");
+  }
+  return make_delta(base_snapshot, xxhash64(base), model, rows);
+}
+
+void write_delta_file(const DeltaPatch& patch, const std::string& path) {
+  validate_patch_payload(patch);
+  SnapshotWriter writer;
+  writer.add_delta(patch);
+  writer.write_file(path);
+}
+
+DeltaPatch read_delta_file(const std::string& path,
+                           SnapshotIntegrity integrity) {
+  const MappedSnapshot snapshot = MappedSnapshot::open(path, integrity);
+  if (snapshot.section_count() != 1 ||
+      snapshot.section(0).type != SectionType::DeltaPatch) {
+    fail(path + " is not a single-section delta snapshot");
+  }
+  const SectionRecord& record = snapshot.section(0);
+  const auto words = snapshot.section_words(0);
+  DeltaPatch patch;
+  patch.target_type = static_cast<SectionType>(record.kind);
+  patch.base_section = record.aux_section;
+  patch.base_hash = record.seed;
+  patch.base_rows = record.aux_section_b;
+  patch.dimension = record.dimension;
+  patch.words.assign(words.begin(), words.end());
+  validate_patch_payload(patch);
+  return patch;
+}
+
+bool snapshot_is_delta(const std::string& path) {
+  const std::vector<std::byte> bytes = read_file_bytes(path);
+  const SnapshotLayout layout = parse_snapshot_layout(bytes);
+  for (const SectionRecord& record : layout.sections) {
+    if (record.type == SectionType::DeltaPatch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::byte> apply_delta(std::span<const std::byte> base_file,
+                                   const DeltaPatch& patch) {
+  validate_patch_payload(patch);
+  const std::uint64_t base_hash = xxhash64(base_file);
+  if (base_hash != patch.base_hash) {
+    fail("base snapshot content hash mismatch: the patch was made against a "
+         "different base file");
+  }
+  const SnapshotLayout layout = parse_snapshot_layout(base_file);
+  if (patch.base_section >= layout.sections.size()) {
+    fail("patch references section " + std::to_string(patch.base_section) +
+         " but the base has only " + std::to_string(layout.sections.size()));
+  }
+  const SectionRecord& record =
+      layout.sections[static_cast<std::size_t>(patch.base_section)];
+  if (record.type != patch.target_type ||
+      record.dimension != patch.dimension ||
+      record.count != patch.base_rows) {
+    fail("patch and base model section disagree on type, dimension or rows");
+  }
+
+  std::vector<std::byte> out(base_file.begin(), base_file.end());
+  const std::uint64_t count = patch.changed_rows();
+  const std::uint64_t words_per_row = patch.words_per_row();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t at = static_cast<std::size_t>(
+        record.payload_offset + patch.row_index(i) * words_per_row * 8);
+    const auto row = patch.row_words(i);
+    for (std::uint64_t w = 0; w < words_per_row; ++w) {
+      store_u64(out, at + w * 8, row[w]);
+    }
+  }
+  // Refresh the patched section's payload checksum, then the table checksum
+  // that covers it — same order and seeds as SnapshotWriter::write, so the
+  // result is byte-identical to writing the adapted model directly.
+  const auto payload = std::span<const std::byte>(out).subspan(
+      record.payload_offset, record.payload_bytes);
+  const std::size_t entry_at =
+      snapshot_header_bytes +
+      static_cast<std::size_t>(patch.base_section) * snapshot_entry_bytes;
+  store_u64(out, entry_at + 72, xxhash64(payload));
+  const std::uint64_t table_end =
+      snapshot_header_bytes + layout.sections.size() * snapshot_entry_bytes;
+  const auto table = std::span<const std::byte>(out).subspan(
+      snapshot_header_bytes, table_end - snapshot_header_bytes);
+  store_u64(out, 32, xxhash64(table, snapshot_version));
+  // The patched image must still be a valid snapshot before anyone maps it.
+  (void)parse_snapshot_layout(out);
+  return out;
+}
+
+void apply_delta_file(const std::string& base_path,
+                      const std::string& delta_path,
+                      const std::string& out_path) {
+  const DeltaPatch patch = read_delta_file(delta_path);
+  const std::vector<std::byte> base = read_file_bytes(base_path);
+  const std::vector<std::byte> out = apply_delta(base, patch);
+  std::ofstream file(out_path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    fail("cannot create " + out_path);
+  }
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file) {
+    fail("write failed for " + out_path);
+  }
+}
+
+LoadedPipeline load_pipeline_or_delta(const std::string& path,
+                                      const std::string& base_path,
+                                      SnapshotIntegrity integrity,
+                                      MappingOptions mapping) {
+  if (!snapshot_is_delta(path)) {
+    return load_pipeline(path, integrity, mapping);
+  }
+  if (base_path.empty()) {
+    fail(path + " is a delta snapshot but no base snapshot is tracked; load "
+                "a full snapshot first");
+  }
+  const DeltaPatch patch = read_delta_file(path, integrity);
+  const std::vector<std::byte> base = read_file_bytes(base_path);
+  const std::vector<std::byte> patched = apply_delta(base, patch);
+  MappedSnapshot snapshot = MappedSnapshot::from_bytes(patched, integrity);
+  Pipeline pipeline = Pipeline::restore(snapshot);
+  return LoadedPipeline{std::move(snapshot), std::move(pipeline)};
+}
+
+}  // namespace hdc::io

@@ -66,7 +66,7 @@ void require_zero_bytes(std::span<const std::byte> bytes, std::size_t begin,
                         std::size_t end, const char* where) {
   for (std::size_t i = begin; i < end; ++i) {
     if (bytes[i] != std::byte{0}) {
-      fail(std::string(where) + " reserved bytes must be zero in version 3");
+      fail(std::string(where) + " reserved bytes must be zero in version 4");
     }
   }
 }
@@ -96,8 +96,8 @@ SectionRecord decode_section_entry(std::span<const std::byte> table,
 }
 
 /// Per-entry metadata rules beyond bounds: what combination of fields each
-/// section type may carry in version 3.  Strict on purpose — every field a
-/// v3 reader does not interpret must be zero/sentinel, which keeps the fuzz
+/// section type may carry in version 4.  Strict on purpose — every field a
+/// v4 reader does not interpret must be zero/sentinel, which keeps the fuzz
 /// contract tight (a bit flip either breaks a checksum or breaks a rule
 /// here) and leaves room to assign meanings in later versions.
 void validate_section_metadata(const SectionRecord& record, std::size_t index,
@@ -121,7 +121,13 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
       fail(where + ": implausible row count");
     }
     const std::uint64_t words_per_row = (record.dimension + 63) / 64;
-    if (record.payload_bytes != record.count * words_per_row * 8) {
+    // A delta payload prefixes its rows with one u64 row index per row; the
+    // sanity limit on count keeps both products far from overflow.
+    const std::uint64_t expected_bytes =
+        record.type == SectionType::DeltaPatch
+            ? record.count * 8 + record.count * words_per_row * 8
+            : record.count * words_per_row * 8;
+    if (record.payload_bytes != expected_bytes) {
       fail(where + ": payload byte count disagrees with dimension and count");
     }
   }
@@ -354,6 +360,35 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
       }
       break;
     }
+    case SectionType::DeltaPatch: {
+      const auto target = static_cast<SectionType>(record.kind);
+      if (target != SectionType::ClassifierClassVectors &&
+          target != SectionType::RegressorModel) {
+        fail(where + ": delta target must be a classifier or regressor model");
+      }
+      if (record.method != 0 ||
+          record.label_encoder != LabelEncoderKind::None ||
+          record.param_a != 0.0 || record.param_b != 0.0) {
+        fail(where + ": unexpected fields on a delta patch section");
+      }
+      // `seed` is the base file's content hash (any value), `aux_section`
+      // the patched section's index in the *base* file — the one cross-file
+      // reference in the format, so it cannot resolve() here; bound it and
+      // let apply_delta() check it against the actual base.
+      if (record.aux_section >= snapshot_max_sections) {
+        fail(where + ": implausible base section reference");
+      }
+      if (record.aux_section_b < record.count ||
+          record.aux_section_b > snapshot_sanity_limit) {
+        fail(where + ": base row count below patch rows or implausible");
+      }
+      if (target == SectionType::RegressorModel &&
+          (record.count != 1 || record.aux_section_b != 1)) {
+        fail(where + ": regressor delta must patch exactly the one model row");
+      }
+      require_zero_scales();
+      break;
+    }
     default:
       fail(where + ": unknown section type");
   }
@@ -382,7 +417,7 @@ SnapshotLayout parse_snapshot_layout(std::span<const std::byte> file) {
   }
   if (load_u32(file, 8) != snapshot_header_bytes ||
       load_u32(file, 12) != snapshot_entry_bytes) {
-    fail("header or section-entry size disagrees with version 3");
+    fail("header or section-entry size disagrees with version 4");
   }
   const std::uint32_t section_count = load_u32(file, 16);
   const std::uint32_t alignment = load_u32(file, 20);

@@ -51,9 +51,10 @@ inline constexpr std::array<char, 4> snapshot_magic = {'H', 'D', 'C', 'S'};
 /// Version 2 added the encoder/pipeline section types (4..8), the second
 /// aux-reference field and the multiscale scale list; version 3 added the
 /// ComposedEncoderConfig section (9) for N-way XOR-product encoder bindings
-/// with heterogeneous periods; see docs/snapshot_format.md for the
-/// migration notes.
-inline constexpr std::uint16_t snapshot_version = 3;
+/// with heterogeneous periods; version 4 added the DeltaPatch section (10)
+/// so an adapted model ships as base snapshot + changed-row patch; see
+/// docs/snapshot_format.md for the migration notes.
+inline constexpr std::uint16_t snapshot_version = 4;
 /// 'E','L' on disk; a reader decoding the header little-endian sees 0x4C45.
 inline constexpr std::uint16_t snapshot_endian_marker = 0x4C45;
 inline constexpr std::size_t snapshot_header_bytes = 64;
@@ -119,6 +120,16 @@ enum class SectionType : std::uint16_t {
   /// paper's Beijing Y ⊗ D ⊗ H product with heterogeneous periods is the
   /// canonical instance.
   ComposedEncoderConfig = 9,
+  /// A changed-row patch against a *base* snapshot file (version 4): the
+  /// payload is `count` strictly increasing u64 row indices followed by
+  /// `count` packed rows of words_for(dimension) words each.  `seed` is the
+  /// XXH64 content hash of the entire base snapshot file, `aux_section` the
+  /// patched model section's index *in the base file* (the one cross-file
+  /// reference in the format), `kind` the target SectionType
+  /// (ClassifierClassVectors or RegressorModel) and `aux_section_b` the base
+  /// model's total row count.  Applying the patch to the base reproduces the
+  /// adapted full snapshot byte-for-byte (hdc::io::apply_delta).
+  DeltaPatch = 10,
 };
 
 /// Scalar-encoder family: the label encoder of a RegressorModel section and

@@ -5,6 +5,7 @@
 /// \brief Umbrella header: the full public API of the hdc::io subsystem.
 
 #include "hdc/io/checksum.hpp"  // IWYU pragma: export
+#include "hdc/io/delta.hpp"     // IWYU pragma: export
 #include "hdc/io/format.hpp"    // IWYU pragma: export
 #include "hdc/io/pipeline.hpp"  // IWYU pragma: export
 #include "hdc/io/reload.hpp"    // IWYU pragma: export

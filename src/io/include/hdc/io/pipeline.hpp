@@ -89,6 +89,14 @@ class Pipeline {
   [[nodiscard]] const CentroidClassifier& classifier() const;
   [[nodiscard]] const HDRegressor& regressor() const;
 
+  /// The restored model as its shared handle, for adaptation overlays
+  /// (hdc::AdaptiveClassifier / AdaptiveRegressor) that must keep the model
+  /// alive independently of this Pipeline object.  \throws std::logic_error
+  /// when the pipeline is not of that kind.
+  [[nodiscard]] std::shared_ptr<const CentroidClassifier> classifier_ptr()
+      const;
+  [[nodiscard]] std::shared_ptr<const HDRegressor> regressor_ptr() const;
+
   /// The restored encoder: exactly one of these is non-null.
   [[nodiscard]] const KeyValueEncoder* feature_encoder() const noexcept {
     return features_.get();

@@ -48,6 +48,8 @@
 
 namespace hdc::io {
 
+struct DeltaPatch;
+
 /// Streams finalized models into one HDCS snapshot.
 ///
 /// `add_*` records a *reference* to the model's packed words (no copy); the
@@ -122,6 +124,13 @@ class SnapshotWriter {
                            const CentroidClassifier& model);
   std::size_t add_pipeline(const ComposedEncoder& encoder,
                            const HDRegressor& model);
+
+  /// Adds a version-4 delta section (hdc/io/delta.hpp): the changed rows of
+  /// an adapted model against a hashed base snapshot.  Like every add_*,
+  /// records a reference — \p patch must outlive write()/write_file().
+  /// Returns the section index.  \throws SnapshotError if the patch has no
+  /// changed rows or fails its payload invariants.
+  std::size_t add_delta(const DeltaPatch& patch);
 
   [[nodiscard]] std::size_t section_count() const noexcept {
     return sections_.size();

@@ -117,6 +117,22 @@ const HDRegressor& Pipeline::regressor() const {
   return *regressor_;
 }
 
+std::shared_ptr<const CentroidClassifier> Pipeline::classifier_ptr() const {
+  if (!classifier_) {
+    throw std::logic_error(
+        "Pipeline::classifier_ptr: this is a regressor pipeline");
+  }
+  return classifier_;
+}
+
+std::shared_ptr<const HDRegressor> Pipeline::regressor_ptr() const {
+  if (!regressor_) {
+    throw std::logic_error(
+        "Pipeline::regressor_ptr: this is a classifier pipeline");
+  }
+  return regressor_;
+}
+
 runtime::BatchEncoder Pipeline::batch_encoder(
     runtime::ThreadPoolPtr pool) const {
   // Every branch captures the shared encoder state, not this Pipeline

@@ -1,0 +1,126 @@
+#include "hdc/serve/adaptive_state.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hdc/io/delta.hpp"
+
+namespace hdc::serve {
+
+AdaptiveState::AdaptiveState(ServingStatePtr base, std::uint64_t seed)
+    : base_(std::move(base)) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("AdaptiveState: base state must not be null");
+  }
+  if (base_->pipeline().kind() == io::PipelineKind::Classifier) {
+    classifier_ = std::make_unique<AdaptiveClassifier>(
+        base_->pipeline().classifier_ptr(), seed);
+  } else {
+    regressor_ = std::make_unique<AdaptiveRegressor>(
+        base_->pipeline().regressor_ptr(), seed);
+  }
+}
+
+AdaptOutcome AdaptiveState::adapt(std::span<const double> features,
+                                  double target) {
+  // Encoding is const over shared encoder state; only the overlay update
+  // itself needs the lock.
+  const Hypervector encoded = base_->pipeline().encode(features);
+  AdaptOutcome out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (classifier_ != nullptr) {
+    const std::size_t label =
+        checked_class_label(target, classifier_->num_classes());
+    const std::uint64_t before = classifier_->updates();
+    out.predicted =
+        static_cast<double>(classifier_->adapt(label, encoded));
+    out.feedback_rows = classifier_->feedback_rows();
+    out.updates = classifier_->updates();
+    out.updated = out.updates != before;
+    out.overlay_rows = classifier_->touched_classes();
+  } else {
+    const std::uint64_t before = regressor_->updates();
+    out.predicted = regressor_->adapt(encoded, target);
+    out.feedback_rows = regressor_->feedback_rows();
+    out.updates = regressor_->updates();
+    out.updated = out.updates != before;
+    out.overlay_rows = regressor_->touched() ? 1 : 0;
+  }
+  return out;
+}
+
+double AdaptiveState::predict(std::span<const double> features) const {
+  const Hypervector encoded = base_->pipeline().encode(features);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (classifier_ != nullptr) {
+    return static_cast<double>(classifier_->predict(encoded));
+  }
+  return regressor_->predict(encoded);
+}
+
+std::uint64_t AdaptiveState::overlay_rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return classifier_ != nullptr ? classifier_->touched_classes()
+                                : (regressor_->touched() ? 1 : 0);
+}
+
+std::uint64_t AdaptiveState::feedback_rows() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return classifier_ != nullptr ? classifier_->feedback_rows()
+                                : regressor_->feedback_rows();
+}
+
+std::uint64_t AdaptiveState::updates() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return classifier_ != nullptr ? classifier_->updates()
+                                : regressor_->updates();
+}
+
+std::map<std::size_t, std::vector<std::uint64_t>> AdaptiveState::changed_rows()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return classifier_ != nullptr ? classifier_->changed_rows()
+                                : regressor_->changed_rows();
+}
+
+std::size_t AdaptiveState::export_delta(const std::string& base_path,
+                                        const std::string& out_path) const {
+  const io::MappedSnapshot base = io::MappedSnapshot::open(base_path);
+  const std::size_t section = io::find_model_section(base);
+  const io::SectionRecord& record = base.section(section);
+  const std::size_t model_rows =
+      classifier_ != nullptr ? classifier_->num_classes() : 1;
+  const std::size_t dimension = classifier_ != nullptr
+                                    ? classifier_->dimension()
+                                    : regressor_->dimension();
+  if (record.count != model_rows || record.dimension != dimension) {
+    throw io::SnapshotError(
+        "delta export: the base snapshot's model shape disagrees with the "
+        "serving model (" +
+        base_path + ")");
+  }
+  const std::uint64_t hash = io::snapshot_file_hash(base_path);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto rows =
+      io::diff_rows(base, section, [this](std::size_t i) {
+        return classifier_ != nullptr ? classifier_->class_row(i)
+                                      : regressor_->model_words();
+      });
+  if (rows.empty()) {
+    throw std::runtime_error(
+        "delta export: the adapted model does not differ from " + base_path);
+  }
+  io::write_delta_file(io::make_delta(base, hash, section, rows), out_path);
+  return rows.size();
+}
+
+void AdaptiveState::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (classifier_ != nullptr) {
+    classifier_->reset();
+  } else {
+    regressor_->reset();
+  }
+}
+
+}  // namespace hdc::serve

@@ -41,8 +41,33 @@
 ///                        still serving.  Without PATH the snapshot the
 ///                        server is currently serving from is re-read
 ///                        (SIGHUP triggers exactly this via
-///                        reload_notify_fd()).
+///                        reload_notify_fd()).  PATH may also be an HDCS
+///                        delta file: it is applied against the last *full*
+///                        snapshot the server loaded (the tracked base) and
+///                        the patched model hot-swaps in like any other.
+///   * `!adapt T ROW`   → one online-feedback sample: ROW is a data line in
+///                        the configured input format, T the true target
+///                        (an integral class label for classifiers).
+///                        Replies `!ok adapt predicted=P updated=U
+///                        feedback=N updates=M overlay_rows=K generation=G`
+///                        without touching the serving base model — the
+///                        update lands in a copy-on-write overlay pinned to
+///                        the current generation (and is dropped when a
+///                        reload retires that generation).
+///   * `!use base|adapted` → A/B switch for *this connection's* data rows:
+///                        `adapted` routes them through the overlay,
+///                        `base` (the default) through the swap state.
+///   * `!delta PATH`    → exports the overlay-vs-base difference as an HDCS
+///                        delta file at PATH (`!ok delta rows=N path=PATH`);
+///                        `!reload PATH` on any replica of the same base —
+///                        or `hdcgen patch` — restores the adapted model
+///                        bit-identically.
 ///   * `!quit`          → `!ok bye`, then the connection closes.
+///
+/// In cluster mode (`--replicas`), `!adapt` broadcasts the sample to every
+/// rank, which apply it to deterministic rank-local overlays and serve the
+/// adapted model immediately; `!use` is rejected and `!delta` gathers the
+/// changed rows from rank 0.
 ///
 /// A malformed data line flushes every row admitted before it, answers
 /// `!error row N: ...` and closes that one connection; the server and all
@@ -52,12 +77,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "hdc/io/reload.hpp"
 #include "hdc/runtime/batch_encoder.hpp"
+#include "hdc/serve/adaptive_state.hpp"
 #include "hdc/serve/prediction_writer.hpp"
 #include "hdc/serve/row_reader.hpp"
 #include "hdc/serve/swap_state.hpp"
@@ -81,6 +108,13 @@ struct ClusterHooks {
   std::function<std::uint64_t()> generation;
   std::function<std::string()> source;
   std::function<std::string()> stats_suffix;
+  /// `!adapt` feedback: broadcast (target, features) to every rank and
+  /// return the agreed outcome (ranks must agree bit-identically).
+  std::function<AdaptOutcome(double target, std::span<const double> features)>
+      adapt;
+  /// `!delta PATH`: write the cluster's adapted-vs-base difference as a
+  /// delta file; returns the changed-row count.
+  std::function<std::uint64_t(const std::string& out_path)> export_delta;
 };
 
 /// Listener + micro-batching policy for the socket front end.
@@ -147,7 +181,9 @@ class NetServer {
   void stop();
 
   /// Hot-swaps the serving model to the (fully validated) snapshot at
-  /// \p path; in-flight batches finish on the old mapping.  Returns the
+  /// \p path; in-flight batches finish on the old mapping.  \p path may be
+  /// an HDCS delta file, which is applied against base_snapshot_path()
+  /// in memory; a full snapshot becomes the new tracked base.  Returns the
   /// new active state.  \throws io::SnapshotError and leaves the incumbent
   /// serving on any validation failure.  Safe from any thread.
   ServingStatePtr reload(const std::string& path);
@@ -168,6 +204,10 @@ class NetServer {
   /// the cluster generation when ClusterHooks are active).
   [[nodiscard]] std::uint64_t generation() const;
 
+  /// The last *full* snapshot loaded — what delta reloads patch against and
+  /// what `!delta` diffs against.  Thread-safe.
+  [[nodiscard]] std::string base_snapshot_path() const;
+
   /// Monotonic serving counters (snapshot; concurrently updated).
   struct Stats {
     std::uint64_t connections = 0;
@@ -186,6 +226,11 @@ class NetServer {
   void serve_connection_body(int fd);
   void handle_async_reload();
 
+  /// The adaptation overlay pinned to the *current* generation, created on
+  /// first use and replaced (feedback discarded, by design: it targeted a
+  /// retired model) whenever a reload has swapped the active state since.
+  [[nodiscard]] AdaptiveStatePtr adaptive_state();
+
   /// The shared worker pool, created on first use.  Lazy on purpose: an
   /// impossible thread count must surface as an `!error` reply on the
   /// first connection that needs engines (see serve_connection), not tear
@@ -196,6 +241,11 @@ class NetServer {
   NetServerOptions options_;
   runtime::ThreadPoolPtr pool_;
   SwapState swap_;
+  /// Guards base_snapshot_path_ and the adaptive_ slot (not the overlay's
+  /// own updates — AdaptiveState has its own mutex).
+  mutable std::mutex adapt_mutex_;
+  std::string base_snapshot_path_;
+  AdaptiveStatePtr adaptive_;
   std::size_t num_features_;
   bool classifies_;
   std::uint16_t port_ = 0;

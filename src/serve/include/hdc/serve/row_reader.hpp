@@ -23,9 +23,28 @@
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hdc::serve {
+
+/// Outcome of parsing one numeric token: the two failure shapes carry
+/// distinct diagnostics (a stray word vs a syntactically valid nan/inf).
+enum class NumberParse : std::uint8_t {
+  Ok,
+  Malformed,
+  NonFinite,
+};
+
+/// The one strict numeric-token policy every text front end shares: CSV
+/// fields, JSONL array elements, `!adapt` targets and `--real` flag values
+/// all accept exactly the same strings.  Surrounding spaces/tabs are
+/// trimmed, a conventional leading `+` is taken, and the rest must be a
+/// full, finite std::from_chars general-format number — so hex floats
+/// ("0x1p3") and locale-dependent strtod extensions are rejected
+/// everywhere, not just on the row path.
+[[nodiscard]] NumberParse parse_strict_number(std::string_view text,
+                                              double& value);
 
 /// Raised on malformed feature rows; the message names the 1-based input
 /// line and the reason, so a client can fix its producer.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <charconv>
 #include <cstring>
 #include <iostream>
 #include <list>
@@ -10,10 +11,12 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "hdc/io/delta.hpp"
 #include "hdc/runtime/batch_classifier.hpp"
 #include "hdc/runtime/batch_regressor.hpp"
 
@@ -36,6 +39,15 @@ using clock = std::chrono::steady_clock;
 
 double microseconds_between(clock::time_point from, clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Shortest round-trip decimal of a double (the `!adapt` reply's predicted=
+/// field; classifier labels print as integers this way too).
+std::string format_double(double value) {
+  char buffer[64];
+  const auto [end, error] =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return error == std::errc{} ? std::string(buffer, end) : std::string("?");
 }
 
 [[noreturn]] void throw_errno(const std::string& what) {
@@ -182,6 +194,7 @@ NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
     : options_(std::move(options)),
       pool_(std::move(pool)),
       swap_(std::move(loaded), std::move(snapshot_path)),
+      base_snapshot_path_(swap_.load()->source_path()),
       num_features_(swap_.load()->pipeline().num_features()),
       classifies_(swap_.load()->pipeline().kind() ==
                   io::PipelineKind::Classifier),
@@ -248,16 +261,40 @@ void NetServer::stop() {
 
 ServingStatePtr NetServer::reload(const std::string& path) {
   try {
-    io::LoadedPipeline fresh =
-        io::load_pipeline(path, io::SnapshotIntegrity::Checksum,
-                          options_.mapping);
+    // A delta file is applied in memory against the tracked base; a full
+    // snapshot loads as before and *becomes* the tracked base.  The check
+    // runs before the load so base tracking and loading agree on what the
+    // file was even if it changes on disk mid-reload (the loaded bytes are
+    // authoritative either way: validation rejects torn files).
+    const bool is_delta = io::snapshot_is_delta(path);
+    io::LoadedPipeline fresh = io::load_pipeline_or_delta(
+        path, base_snapshot_path(), io::SnapshotIntegrity::Checksum,
+        options_.mapping);
     ServingStatePtr state = swap_.swap_to(std::move(fresh), path);
+    if (!is_delta) {
+      const std::lock_guard<std::mutex> lock(adapt_mutex_);
+      base_snapshot_path_ = path;
+    }
     impl_->reloads.fetch_add(1, std::memory_order_relaxed);
     return state;
   } catch (...) {
     impl_->rejected_reloads.fetch_add(1, std::memory_order_relaxed);
     throw;
   }
+}
+
+std::string NetServer::base_snapshot_path() const {
+  const std::lock_guard<std::mutex> lock(adapt_mutex_);
+  return base_snapshot_path_;
+}
+
+AdaptiveStatePtr NetServer::adaptive_state() {
+  const ServingStatePtr active = swap_.load();
+  const std::lock_guard<std::mutex> lock(adapt_mutex_);
+  if (!adaptive_ || adaptive_->base_state() != active) {
+    adaptive_ = std::make_shared<AdaptiveState>(active);
+  }
+  return adaptive_;
 }
 
 ServingStatePtr NetServer::reload() {
@@ -434,6 +471,12 @@ void NetServer::serve_connection_body(int fd) {
   // reply exactly where the first prediction was requested.
   const bool clustered = static_cast<bool>(options_.cluster.predict);
   std::unique_ptr<Engines> engines;
+  // `!use adapted` routes this connection's data rows through the overlay;
+  // other connections (and the default) keep reading the base — the A/B.
+  bool use_adapted = false;
+  // `!adapt` rows ride inside a control line, so they must not advance the
+  // data reader's line accounting: separate reader, same format and arity.
+  RowReader adapt_reader(num_features_, options_.input);
 
   std::vector<std::vector<double>> rows;
   std::vector<clock::time_point> admitted;
@@ -459,6 +502,21 @@ void NetServer::serve_connection_body(int fd) {
                              latency);
         } else {
           writer.write(next_row_index + i, predictions[i], latency);
+        }
+      }
+    } else if (use_adapted) {
+      // The adapted side of the A/B: row-at-a-time through the overlay.
+      // Feedback is a low-rate refinement stream, so the adapted side
+      // trades batch throughput for the freshest model on every row.
+      const AdaptiveStatePtr adapted = adaptive_state();
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const double prediction = adapted->predict(rows[i]);
+        const double latency = microseconds_between(admitted[i], clock::now());
+        if (classifies_) {
+          writer.write_class(next_row_index + i,
+                             static_cast<std::size_t>(prediction), latency);
+        } else {
+          writer.write(next_row_index + i, prediction, latency);
         }
       }
     } else {
@@ -543,12 +601,71 @@ void NetServer::serve_connection_body(int fd) {
           reply = std::string("!error reload rejected: ") + e.what() + "\n";
         }
       }
+    } else if (cmd == "!adapt") {
+      const std::size_t cut = arg.find(' ');
+      double target = 0.0;
+      if (cut == std::string::npos ||
+          parse_strict_number(std::string_view(arg).substr(0, cut), target) !=
+              NumberParse::Ok) {
+        reply =
+            "!error adapt rejected: expected '!adapt TARGET ROW' with a "
+            "finite numeric TARGET\n";
+      } else {
+        try {
+          std::vector<double> sample;
+          if (!adapt_reader.parse_line(arg.substr(cut + 1), sample)) {
+            throw RowError("adapt: ROW must not be blank");
+          }
+          const AdaptOutcome outcome =
+              options_.cluster.adapt ? options_.cluster.adapt(target, sample)
+                                     : adaptive_state()->adapt(sample, target);
+          reply = "!ok adapt predicted=" + format_double(outcome.predicted) +
+                  " updated=" + std::to_string(outcome.updated ? 1 : 0) +
+                  " feedback=" + std::to_string(outcome.feedback_rows) +
+                  " updates=" + std::to_string(outcome.updates) +
+                  " overlay_rows=" + std::to_string(outcome.overlay_rows) +
+                  " generation=" + std::to_string(generation()) + "\n";
+        } catch (const std::exception& e) {
+          reply = std::string("!error adapt rejected: ") + e.what() + "\n";
+        }
+      }
+    } else if (cmd == "!use") {
+      if (options_.cluster.predict) {
+        reply =
+            "!error use rejected: cluster ranks serve the adapted model as "
+            "soon as feedback arrives (no per-connection A/B)\n";
+      } else if (arg == "base") {
+        use_adapted = false;
+        reply = "!ok use base\n";
+      } else if (arg == "adapted") {
+        use_adapted = true;
+        reply = "!ok use adapted\n";
+      } else {
+        reply = "!error use rejected: expected '!use base' or '!use "
+                "adapted'\n";
+      }
+    } else if (cmd == "!delta") {
+      if (arg.empty()) {
+        reply = "!error delta rejected: expected '!delta PATH'\n";
+      } else {
+        try {
+          const std::uint64_t changed =
+              options_.cluster.export_delta
+                  ? options_.cluster.export_delta(arg)
+                  : adaptive_state()->export_delta(base_snapshot_path(), arg);
+          reply = "!ok delta rows=" + std::to_string(changed) +
+                  " path=" + arg + "\n";
+        } catch (const std::exception& e) {
+          reply = std::string("!error delta rejected: ") + e.what() + "\n";
+        }
+      }
     } else if (cmd == "!quit") {
       reply = "!ok bye\n";
       keep_open = false;
     } else {
       reply = "!error unknown control command '" + cmd +
-              "' (expected !ping, !stats, !reload [PATH], !quit)\n";
+              "' (expected !ping, !stats, !reload [PATH], !adapt TARGET "
+              "ROW, !use base|adapted, !delta PATH, !quit)\n";
     }
     return send_all(fd, reply) && keep_open;
   };
@@ -667,6 +784,8 @@ ServingStatePtr NetServer::reload(const std::string&) { return nullptr; }
 ServingStatePtr NetServer::reload() { return nullptr; }
 NetServer::Stats NetServer::stats() const noexcept { return {}; }
 std::uint64_t NetServer::generation() const { return swap_.generation(); }
+std::string NetServer::base_snapshot_path() const { return {}; }
+AdaptiveStatePtr NetServer::adaptive_state() { return nullptr; }
 runtime::ThreadPoolPtr NetServer::ensure_worker_pool() { return nullptr; }
 void NetServer::accept_loop() {}
 void NetServer::serve_connection(int) {}

@@ -21,51 +21,52 @@ bool is_blank(const std::string& line) noexcept {
   return true;
 }
 
-/// Outcome of parsing one numeric field: the two failure shapes carry
-/// distinct diagnostics (a stray word vs a syntactically valid nan/inf).
-enum class FieldParse : std::uint8_t {
-  Ok,
-  Malformed,
-  NonFinite,
-};
-
 /// Parses one numeric field spanning [begin, end) of \p line (the caller
-/// owns the diagnostic, which needs the line number).  std::from_chars
-/// rather than strtod: the wire format must not depend on the host
-/// application's LC_NUMERIC locale.  from_chars happily accepts "nan" and
-/// "inf"; those are rejected here — a non-finite feature fed to the encoder
-/// corrupts predictions silently instead of failing at the parse edge.
-FieldParse parse_field(const std::string& line, std::size_t begin,
-                       std::size_t end, double& value) {
-  while (begin < end && is_space(line[begin])) {
-    ++begin;
-  }
-  while (end > begin && is_space(line[end - 1])) {
-    --end;
-  }
-  if (begin < end && line[begin] == '+') {
-    ++begin;  // from_chars takes '-' but not the conventional '+'
-    if (begin < end && line[begin] == '-') {
-      return FieldParse::Malformed;
-    }
-  }
-  if (begin == end) {
-    return FieldParse::Malformed;
-  }
-  const auto [parsed_end, error] =
-      std::from_chars(line.data() + begin, line.data() + end, value);
-  if (error == std::errc::result_out_of_range &&
-      parsed_end == line.data() + end) {
-    // "1e999" parses but overflows to +-inf: same poison, same rejection.
-    return FieldParse::NonFinite;
-  }
-  if (error != std::errc{} || parsed_end != line.data() + end) {
-    return FieldParse::Malformed;
-  }
-  return std::isfinite(value) ? FieldParse::Ok : FieldParse::NonFinite;
+/// owns the diagnostic, which needs the line number).
+NumberParse parse_field(const std::string& line, std::size_t begin,
+                        std::size_t end, double& value) {
+  return parse_strict_number(
+      std::string_view(line).substr(begin, end - begin), value);
 }
 
 }  // namespace
+
+NumberParse parse_strict_number(std::string_view text, double& value) {
+  // std::from_chars rather than strtod: the wire format must not depend on
+  // the host application's LC_NUMERIC locale (and strtod's hex-float
+  // extension must not leak into any accepting front end).  from_chars
+  // happily accepts "nan" and "inf"; those are rejected here — a non-finite
+  // value fed onward corrupts results silently instead of failing at the
+  // parse edge.
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) {
+    ++begin;
+  }
+  while (end > begin && is_space(text[end - 1])) {
+    --end;
+  }
+  if (begin < end && text[begin] == '+') {
+    ++begin;  // from_chars takes '-' but not the conventional '+'
+    if (begin < end && text[begin] == '-') {
+      return NumberParse::Malformed;
+    }
+  }
+  if (begin == end) {
+    return NumberParse::Malformed;
+  }
+  const auto [parsed_end, error] =
+      std::from_chars(text.data() + begin, text.data() + end, value);
+  if (error == std::errc::result_out_of_range &&
+      parsed_end == text.data() + end) {
+    // "1e999" parses but overflows to +-inf: same poison, same rejection.
+    return NumberParse::NonFinite;
+  }
+  if (error != std::errc{} || parsed_end != text.data() + end) {
+    return NumberParse::Malformed;
+  }
+  return std::isfinite(value) ? NumberParse::Ok : NumberParse::NonFinite;
+}
 
 RowFormat parse_row_format(const std::string& name) {
   if (name == "csv") {
@@ -155,12 +156,12 @@ void RowReader::parse_csv(const std::string& line,
            std::to_string(begin + 1) + ")");
     }
     switch (parse_field(line, begin, end, out[field])) {
-      case FieldParse::Ok:
+      case NumberParse::Ok:
         break;
-      case FieldParse::Malformed:
+      case NumberParse::Malformed:
         fail("field " + std::to_string(field + 1) + " ('" +
              line.substr(begin, end - begin) + "') is not a number");
-      case FieldParse::NonFinite:
+      case NumberParse::NonFinite:
         fail("field " + std::to_string(field + 1) + " ('" +
              line.substr(begin, end - begin) +
              "') is not finite (nan/inf rejected)");
@@ -210,12 +211,12 @@ void RowReader::parse_jsonl(const std::string& line,
            std::to_string(begin + 1) + ")");
     }
     switch (parse_field(line, begin, at, out[field])) {
-      case FieldParse::Ok:
+      case NumberParse::Ok:
         break;
-      case FieldParse::Malformed:
+      case NumberParse::Malformed:
         fail("field " + std::to_string(field + 1) + " ('" +
              line.substr(begin, at - begin) + "') is not a number");
-      case FieldParse::NonFinite:
+      case NumberParse::NonFinite:
         fail("field " + std::to_string(field + 1) + " ('" +
              line.substr(begin, at - begin) +
              "') is not finite (nan/inf rejected)");

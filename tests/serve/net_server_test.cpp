@@ -526,6 +526,180 @@ TEST(NetServerTest, WorkerPoolFailureAnswersErrorInsteadOfClosing) {
   std::filesystem::remove(path);
 }
 
+std::string write_classifier(const std::string& name) {
+  const std::string path = temp_file(name);
+  const fixtures::ClassifierPipeline models =
+      fixtures::make_classifier_pipeline();
+  SnapshotWriter writer;
+  writer.add_pipeline(models.encoder, models.model);
+  writer.write_file(path);
+  return path;
+}
+
+std::vector<std::vector<double>> classifier_rows(std::size_t count) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<double> row(4);
+    for (std::size_t f = 0; f < row.size(); ++f) {
+      row[f] = 23.0 * static_cast<double>(i) + 80.0 * static_cast<double>(f);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Plain-format oracle for a classifier snapshot (write_class lines).
+std::vector<std::string> classifier_oracle_lines(
+    const std::string& snapshot_path,
+    const std::vector<std::vector<double>>& rows) {
+  const auto snapshot = MappedSnapshot::open(snapshot_path);
+  const Pipeline pipeline = Pipeline::restore(snapshot);
+  std::ostringstream out;
+  PredictionWriter writer(out, OutputFormat::Plain);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    writer.write_class(i, pipeline.classify(rows[i]), 0.0);
+  }
+  std::vector<std::string> lines;
+  std::istringstream split(out.str());
+  std::string line;
+  while (std::getline(split, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(NetServerTest, AdaptDeltaAndABServingRoundTrip) {
+  // The online-adaptation loop end to end over one socket: `!adapt`
+  // feedback builds the overlay, `!delta` exports it, `!use` A/B-serves
+  // base vs adapted from the same process, and `!reload DELTA` swaps the
+  // default side to a model bit-identical to the overlay.
+  const std::string base_path = write_classifier("adapt_base.hdcs");
+  const auto rows = classifier_rows(10);
+  const auto base_oracle = classifier_oracle_lines(base_path, rows);
+
+  RunningServer running(base_path, NetServerOptions{});
+  Client client(running.server.port());
+
+  // Before any feedback nothing differs from the base: no delta to export.
+  const std::string delta_path = temp_file("adapt.delta.hdcs");
+  client.send("!delta " + delta_path + "\n");
+  auto line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error delta rejected:", 0), 0U) << *line;
+
+  // Malformed feedback is rejected without touching the overlay.
+  const auto row_csv = [&](std::size_t i) {
+    std::ostringstream out;
+    for (std::size_t f = 0; f < rows[i].size(); ++f) {
+      out << (f == 0 ? "" : ",") << rows[i][f];
+    }
+    return out.str();
+  };
+  for (const std::string& bad :
+       {std::string("!adapt foo " + row_csv(0)),
+        std::string("!adapt 1.5 " + row_csv(0)),
+        std::string("!adapt 1 1,2"), std::string("!adapt 1 0.5,nan,3,4")}) {
+    client.send(bad + "\n");
+    line = client.read_line();
+    ASSERT_TRUE(line.has_value());
+    EXPECT_EQ(line->rfind("!error adapt rejected:", 0), 0U)
+        << bad << " -> " << *line;
+  }
+
+  // Poison the model: repeatedly insist every probe row belongs to the
+  // next class over.  Deterministic, so the adapted side provably drifts
+  // from the base.
+  const auto base_snapshot = MappedSnapshot::open(base_path);
+  const Pipeline base_pipeline = Pipeline::restore(base_snapshot);
+  bool updated_once = false;
+  for (std::size_t pass = 0; pass < 8; ++pass) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const std::size_t wrong = (base_pipeline.classify(rows[i]) + 1) % 3;
+      client.send("!adapt " + std::to_string(wrong) + " " + row_csv(i) +
+                  "\n");
+      line = client.read_line();
+      ASSERT_TRUE(line.has_value());
+      ASSERT_EQ(line->rfind("!ok adapt predicted=", 0), 0U) << *line;
+      EXPECT_NE(line->find(" generation=0"), std::string::npos) << *line;
+      updated_once = updated_once ||
+                     line->find(" updated=1 ") != std::string::npos;
+    }
+  }
+  ASSERT_TRUE(updated_once) << "no feedback row ever changed the model";
+
+  // Export the overlay and rebuild the adapted oracle from base + delta —
+  // the wire's adapted side must match it bit for bit.
+  client.send("!delta " + delta_path + "\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  ASSERT_EQ(line->rfind("!ok delta rows=", 0), 0U) << *line;
+  EXPECT_NE(line->find(" path=" + delta_path), std::string::npos) << *line;
+
+  const std::string patched_path = temp_file("adapt.patched.hdcs");
+  hdc::io::apply_delta_file(base_path, delta_path, patched_path);
+  const auto adapted_oracle = classifier_oracle_lines(patched_path, rows);
+  ASSERT_NE(adapted_oracle, base_oracle)
+      << "poisoned feedback left the model unchanged";
+
+  // A/B on one connection: `!use adapted` then `!use base`, with `!stats`
+  // as the sequencing point between row pulses.
+  const auto expect_rows = [&](const std::vector<std::string>& oracle) {
+    client.send(as_csv(rows));
+    client.send("!stats\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto got = client.read_line();
+      ASSERT_TRUE(got.has_value()) << "dropped row " << i;
+      EXPECT_EQ(*got, oracle[i]) << "row " << i;
+    }
+    const auto ack = client.read_line();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->rfind("!ok rows=", 0), 0U) << *ack;
+  };
+  client.send("!use adapted\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok use adapted");
+  expect_rows(adapted_oracle);
+
+  client.send("!use base\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok use base");
+  expect_rows(base_oracle);
+
+  client.send("!use sideways\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error use rejected:", 0), 0U) << *line;
+
+  // The acceptance path: `!reload` with the delta file promotes the
+  // adapted model to the default side for every connection.
+  client.send("!reload " + delta_path + "\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!ok reloaded generation=1 source=" + delta_path, 0),
+            0U)
+      << *line;
+  expect_rows(adapted_oracle);
+
+  // Rows inherited from the delta reload stay exportable: a fresh `!delta`
+  // against the (unchanged) base restores the same model again.
+  const std::string delta2_path = temp_file("adapt.delta2.hdcs");
+  client.send("!delta " + delta2_path + "\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  ASSERT_EQ(line->rfind("!ok delta rows=", 0), 0U) << *line;
+  const std::string patched2_path = temp_file("adapt.patched2.hdcs");
+  hdc::io::apply_delta_file(base_path, delta2_path, patched2_path);
+  EXPECT_EQ(classifier_oracle_lines(patched2_path, rows), adapted_oracle);
+
+  for (const auto& file : {base_path, delta_path, patched_path, delta2_path,
+                           patched2_path}) {
+    std::filesystem::remove(file);
+  }
+}
+
 TEST(NetServerTest, ConstructorValidatesOptions) {
   const std::string path = write_beijing("ctor.hdcs", 2023);
   NetServerOptions no_listener;

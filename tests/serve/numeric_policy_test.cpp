@@ -1,0 +1,180 @@
+// One strict numeric policy, everywhere.  CSV fields, JSONL array
+// elements and --real flag values historically drifted (stoul/stod in one
+// place, from_chars in another); now they all route through
+// hdc::serve::parse_strict_number.  This suite drives one shared corpus
+// through all four front ends and requires identical accept/reject
+// decisions — any future drift fails here, naming the token.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "flag_parser.hpp"
+#include "hdc/serve/row_reader.hpp"
+
+namespace {
+
+using hdc::serve::NumberParse;
+using hdc::serve::parse_strict_number;
+using hdc::serve::RowError;
+using hdc::serve::RowFormat;
+using hdc::serve::RowReader;
+using hdc::tools::FlagParser;
+
+struct Token {
+  const char* text;
+  NumberParse expected;
+  double value;  // Meaningful only when expected == Ok.
+};
+
+// The shared corpus.  Tokens are non-blank on purpose: a blank line is a
+// row-framing concern (parse_line returns false), not a numeric one.
+constexpr std::array<Token, 18> kCorpus = {{
+    {"1.5", NumberParse::Ok, 1.5},
+    {" 2 ", NumberParse::Ok, 2.0},
+    {"\t-0.25\t", NumberParse::Ok, -0.25},
+    {"+3", NumberParse::Ok, 3.0},
+    {"1e3", NumberParse::Ok, 1000.0},
+    {"9.5E-2", NumberParse::Ok, 0.095},
+    {".5", NumberParse::Ok, 0.5},
+    {"0", NumberParse::Ok, 0.0},
+    // Rejected as malformed: partial consumes and non-numbers.
+    {"0x1p3", NumberParse::Malformed, 0.0},  // No hex floats anywhere.
+    {"1.5x", NumberParse::Malformed, 0.0},
+    {"+-1", NumberParse::Malformed, 0.0},
+    {"++2", NumberParse::Malformed, 0.0},
+    {"abc", NumberParse::Malformed, 0.0},
+    {"1 2", NumberParse::Malformed, 0.0},  // Inner space is not trimming.
+    // Syntactically fine but non-finite: a distinct diagnostic.
+    {"nan", NumberParse::NonFinite, 0.0},
+    {"inf", NumberParse::NonFinite, 0.0},
+    {"-inf", NumberParse::NonFinite, 0.0},
+    {"1e999", NumberParse::NonFinite, 0.0},  // Overflow, not truncation.
+}};
+
+double flag_parse(const std::string& token) {
+  std::string prog = "prog";
+  std::string cmd = "cmd";
+  std::string flag = "--x";
+  std::string value = token;
+  std::array<char*, 4> argv = {prog.data(), cmd.data(), flag.data(),
+                               value.data()};
+  const FlagParser flags(static_cast<int>(argv.size()), argv.data());
+  return flags.real_or("--x", -1.0);
+}
+
+TEST(NumericPolicyTest, ParseStrictNumberClassifiesTheCorpus) {
+  for (const Token& token : kCorpus) {
+    double value = 0.0;
+    EXPECT_EQ(parse_strict_number(token.text, value), token.expected)
+        << "token '" << token.text << "'";
+    if (token.expected == NumberParse::Ok) {
+      EXPECT_EQ(value, token.value) << "token '" << token.text << "'";
+    }
+  }
+}
+
+TEST(NumericPolicyTest, CsvRowsAcceptExactlyTheCorpusPolicy) {
+  RowReader reader(1, RowFormat::Csv);
+  std::vector<double> row;
+  for (const Token& token : kCorpus) {
+    if (token.expected == NumberParse::Ok) {
+      ASSERT_TRUE(reader.parse_line(token.text, row))
+          << "token '" << token.text << "'";
+      EXPECT_EQ(row, std::vector<double>{token.value})
+          << "token '" << token.text << "'";
+    } else {
+      EXPECT_THROW((void)reader.parse_line(token.text, row), RowError)
+          << "token '" << token.text << "'";
+    }
+  }
+}
+
+TEST(NumericPolicyTest, JsonlElementsAcceptExactlyTheCorpusPolicy) {
+  RowReader reader(1, RowFormat::Jsonl);
+  std::vector<double> row;
+  for (const Token& token : kCorpus) {
+    const std::string line = std::string("[") + token.text + "]";
+    if (token.expected == NumberParse::Ok) {
+      ASSERT_TRUE(reader.parse_line(line, row)) << "line '" << line << "'";
+      EXPECT_EQ(row, std::vector<double>{token.value})
+          << "line '" << line << "'";
+    } else {
+      EXPECT_THROW((void)reader.parse_line(line, row), RowError)
+          << "line '" << line << "'";
+    }
+  }
+}
+
+TEST(NumericPolicyTest, RealFlagsAcceptExactlyTheCorpusPolicy) {
+  for (const Token& token : kCorpus) {
+    if (token.expected == NumberParse::Ok) {
+      EXPECT_EQ(flag_parse(token.text), token.value)
+          << "token '" << token.text << "'";
+    } else {
+      EXPECT_THROW((void)flag_parse(token.text), std::invalid_argument)
+          << "token '" << token.text << "'";
+    }
+  }
+}
+
+TEST(NumericPolicyTest, StreamingReadersAgreeWithParseLine) {
+  // next() and parse_line() are the same policy behind two entry points.
+  std::string csv_text;
+  std::string jsonl_text;
+  std::size_t ok_count = 0;
+  for (const Token& token : kCorpus) {
+    if (token.expected != NumberParse::Ok) {
+      continue;
+    }
+    csv_text += std::string(token.text) + "\n";
+    jsonl_text += std::string("[") + token.text + "]\n";
+    ++ok_count;
+  }
+  std::istringstream csv_in(csv_text);
+  std::istringstream jsonl_in(jsonl_text);
+  RowReader csv(csv_in, 1, RowFormat::Csv);
+  RowReader jsonl(jsonl_in, 1, RowFormat::Jsonl);
+  std::vector<double> row;
+  for (std::size_t seen = 0; seen < ok_count; ++seen) {
+    ASSERT_TRUE(csv.next(row));
+    ASSERT_TRUE(jsonl.next(row));
+  }
+  EXPECT_FALSE(csv.next(row));
+  EXPECT_FALSE(jsonl.next(row));
+}
+
+TEST(FlagParserTest, DuplicateFlagsAreAnErrorInEverySpelling) {
+  const auto parse = [](std::vector<std::string> args) {
+    std::vector<char*> argv;
+    argv.reserve(args.size());
+    for (std::string& arg : args) {
+      argv.push_back(arg.data());
+    }
+    const FlagParser flags(static_cast<int>(argv.size()), argv.data());
+    return flags.count_or("--dim", 1, 0);
+  };
+  for (const auto& dup :
+       {std::vector<std::string>{"prog", "cmd", "--dim", "96", "--dim",
+                                 "128"},
+        std::vector<std::string>{"prog", "cmd", "--dim=96", "--dim=128"},
+        std::vector<std::string>{"prog", "cmd", "--dim", "96",
+                                 "--dim=128"}}) {
+    try {
+      (void)parse(dup);
+      FAIL() << "duplicate --dim accepted";
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("passed more than once"),
+                std::string::npos)
+          << error.what();
+    }
+  }
+  // Mixing spellings across *different* flags stays legal.
+  EXPECT_EQ(parse({"prog", "cmd", "--dim=96", "--seed", "7"}), 96U);
+  EXPECT_EQ(parse({"prog", "cmd", "--seed=7", "--dim", "96"}), 96U);
+}
+
+}  // namespace

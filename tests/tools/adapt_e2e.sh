@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# Online-adaptation acceptance suite, run by ctest as `adapt_e2e`.
+#
+# The full feedback lifecycle against real hdcgen processes:
+#   1. snapshot a classifier pipeline and capture its golden predictions;
+#   2. start `hdcgen serve --listen 127.0.0.1:0`, poison the model over the
+#      control channel (`!adapt` with systematically wrong labels);
+#   3. `!delta` the overlay out, `hdcgen patch` it back onto the base, and
+#      `hdcgen snap-info` the delta file — the patched snapshot's
+#      predictions are the adapted golden and must differ from the base;
+#   4. A/B on one connection: `!use adapted` serves the adapted golden,
+#      `!use base` the base golden;
+#   5. `!reload DELTA` promotes the adapted model for every connection
+#      (verified bit-exactly by serve_load);
+#   6. the same feedback stream against `--replicas 2` must export a delta
+#      BYTE-IDENTICAL to the single-process one, and `!reload DELTA`
+#      cluster-wide must serve the same adapted golden.
+#
+# Usage: adapt_e2e.sh HDCGEN SERVE_LOAD WORK_DIR
+
+set -u
+
+HDCGEN=$1
+SERVE_LOAD=$2
+WORK_DIR=$3
+
+SERVER_PID=""
+fail() {
+  echo "adapt_e2e: FAIL: $*" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null' EXIT
+
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR"
+cd "$WORK_DIR" || fail "cannot enter $WORK_DIR"
+
+start_server() {  # start_server LOGFILE ARGS... -> sets SERVER_PID and PORT
+  local log=$1
+  shift
+  "$HDCGEN" serve "$@" --listen 127.0.0.1:0 2>"$log" &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$log")
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died: $(cat "$log")"
+    sleep 0.1
+  done
+  [ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no listening port in $log"
+}
+
+stop_server() {
+  kill -TERM "$SERVER_PID" 2>/dev/null
+  wait "$SERVER_PID" 2>/dev/null
+  SERVER_PID=""
+}
+
+ctl() {  # ctl COMMAND EXPECTED_PREFIX -> reply in $REPLY_LINE
+  printf '%s\n' "$1" >&3
+  IFS= read -t 15 -r REPLY_LINE <&3 || fail "no reply to '$1'"
+  case "$REPLY_LINE" in
+    "$2"*) ;;
+    *) fail "'$1' answered '$REPLY_LINE' (wanted '$2...')" ;;
+  esac
+}
+
+# Feeds the poisoning stream: every row claimed to belong to the next
+# class over its base label, 8 passes — deterministic, so every server
+# (and every rank) builds the same overlay.
+poison() {
+  local pass label row wrong
+  for pass in $(seq 1 8); do
+    while read -r label row; do
+      wrong=$(( (label + 1) % 3 ))
+      ctl "!adapt $wrong $row" "!ok adapt predicted="
+    done < <(paste golden_base.txt rows.csv)
+  done
+}
+
+# Streams rows.csv on the open control connection and requires the replies
+# to match GOLDEN line for line (with !stats as the sequencing point).
+expect_rows() {
+  local golden=$1 expected got
+  cat rows.csv >&3
+  printf '!stats\n' >&3
+  while IFS= read -r expected; do
+    IFS= read -t 15 -r got <&3 || fail "dropped prediction ($golden)"
+    [ "$got" = "$expected" ] || fail "got '$got' wanted '$expected' ($golden)"
+  done <"$golden"
+  IFS= read -t 15 -r got <&3 || fail "no !stats ack"
+  case "$got" in "!ok rows="*) ;; *) fail "!stats answered '$got'" ;; esac
+}
+
+# --- 1. base snapshot + golden predictions (Plain format: one label/line).
+awk 'BEGIN { for (i = 0; i < 12; i++)
+  printf "%g,%g,%g,%g\n", 12*i+0.25, 12*i+90.5, 12*i+180.75, 12*i+271 }' \
+  >rows.csv
+"$HDCGEN" snap --pipeline classifier --out base.hdcs >/dev/null \
+  || fail "snap base"
+"$HDCGEN" serve base.hdcs <rows.csv >golden_base.txt 2>/dev/null \
+  || fail "golden base"
+
+# --- 2. single-process server; poison it over the control channel.
+start_server server.log base.hdcs
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect control channel"
+ctl "!ping" "!ok pong generation=0"
+poison
+
+# --- 3. export the overlay, patch it back onto the base via the CLI, and
+# inspect the delta file.
+ctl "!delta delta.hdcs" "!ok delta rows="
+DELTA_ROWS=${REPLY_LINE#"!ok delta rows="}
+DELTA_ROWS=${DELTA_ROWS%% *}
+[ "$DELTA_ROWS" -gt 0 ] || fail "empty delta: $REPLY_LINE"
+"$HDCGEN" snap-info delta.hdcs >snap_info.txt 2>&1 \
+  || fail "snap-info delta: $(cat snap_info.txt)"
+grep -q "delta" snap_info.txt || fail "snap-info missing delta type"
+grep -q "base_xxh64" snap_info.txt || fail "snap-info missing base hash"
+"$HDCGEN" patch base.hdcs delta.hdcs --out patched.hdcs >/dev/null \
+  || fail "hdcgen patch"
+"$HDCGEN" serve patched.hdcs <rows.csv >golden_adapted.txt 2>/dev/null \
+  || fail "golden adapted"
+cmp -s golden_base.txt golden_adapted.txt \
+  && fail "poisoned feedback left the model unchanged"
+
+# --- 4. A/B serving from one process: adapted side, then base side.
+ctl "!use adapted" "!ok use adapted"
+expect_rows golden_adapted.txt
+ctl "!use base" "!ok use base"
+expect_rows golden_base.txt
+
+# --- 5. delta reload promotes the adapted model for every connection.
+ctl "!reload delta.hdcs" "!ok reloaded generation=1 source=delta.hdcs"
+expect_rows golden_adapted.txt
+exec 3<&- 3>&-
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows rows.csv \
+  --expect-a golden_adapted.txt >/dev/null 2>load.log \
+  || fail "post-reload predictions are not the adapted golden: \
+$(tail -5 load.log)"
+stop_server
+
+# --- 6. the same lifecycle against a 2-replica fork cluster.
+start_server cluster.log base.hdcs --replicas 2
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect cluster control"
+ctl "!ping" "!ok pong generation=1"
+ctl "!use adapted" "!error use rejected:"
+poison
+ctl "!delta cluster.delta.hdcs" "!ok delta rows=$DELTA_ROWS"
+cmp -s delta.hdcs cluster.delta.hdcs \
+  || fail "cluster delta is not byte-identical to the single-process delta"
+ctl "!reload cluster.delta.hdcs" \
+  "!ok reloaded generation=2 source=cluster.delta.hdcs"
+expect_rows golden_adapted.txt
+exec 3<&- 3>&-
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows rows.csv \
+  --expect-a golden_adapted.txt >/dev/null 2>>load.log \
+  || fail "cluster post-reload predictions diverge: $(tail -5 load.log)"
+stop_server
+
+echo "adapt_e2e: all checks passed"

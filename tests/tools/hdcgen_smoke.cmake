@@ -97,6 +97,35 @@ run_stdin(ok "kernels = scalar" "${WORK_DIR}/one_row.csv"
 run_stdin(fail "not a compiled-in kernel variant" "${WORK_DIR}/one_row.csv"
     serve "${WORK_DIR}/pipeline_reg.hdcs" --kernel bogus)
 
+# --- flag spellings: `--flag value` and `--flag=value` mix freely across
+# different flags, but the same flag twice — in any spelling combination —
+# is a diagnosed error, never a silent first-wins.
+run(ok "wrote" snap --kind=circular --size 8 --dim=96 --r 0.1
+    --out "${WORK_DIR}/mixed.hdcs")
+run(fail "passed more than once" snap --kind circular --size 8
+    --dim 96 --dim 128 --out "${WORK_DIR}/dup.hdcs")
+run(fail "passed more than once" snap --kind circular --size 8
+    --dim=96 --dim=128 --out "${WORK_DIR}/dup.hdcs")
+run(fail "passed more than once" snap --kind circular --size 8
+    --dim 96 --dim=128 --out "${WORK_DIR}/dup.hdcs")
+
+# --- delta/patch: identical snapshots have nothing to patch, snapshots
+# that differ outside the model payload cannot be bridged, and patch
+# demands an actual delta file.  (The positive round trip — adapt, export,
+# patch, byte-compare — runs in the adapt e2e test, which can drive the
+# socket feedback path.)
+run(ok "classifier pipeline" snap --pipeline classifier --dim 96 --seed 7
+    --out "${WORK_DIR}/other_seed.hdcs")
+run(fail "identical" delta "${WORK_DIR}/pipeline_cls.hdcs"
+    "${WORK_DIR}/pipeline_cls.hdcs" --out "${WORK_DIR}/noop.delta")
+run(fail "differ outside the model payload"
+    delta "${WORK_DIR}/pipeline_cls.hdcs" "${WORK_DIR}/other_seed.hdcs"
+    --out "${WORK_DIR}/bad.delta")
+run(fail "" delta "${WORK_DIR}/pipeline_cls.hdcs")       # missing operand
+run(fail "not a single-section delta"
+    patch "${WORK_DIR}/pipeline_cls.hdcs" "${WORK_DIR}/other_seed.hdcs"
+    --out "${WORK_DIR}/bad_patch.hdcs")
+
 # --- bad args: usage errors exit nonzero with a diagnostic.
 run(fail "usage")                                  # no command at all
 run(fail "usage" snap)                             # snap without flags

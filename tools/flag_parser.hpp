@@ -11,6 +11,13 @@
 /// `--flag=value`, and strict numeric accessors that reject the inputs
 /// stoul silently mangles ("--batch -1" wrapping to 2^64-1, "12abc"
 /// truncating to 12).
+///
+/// A flag passed twice — in either or both spellings — is an error, not a
+/// silent first-wins: `--dim 1000 ... --dim=2000` almost always means a
+/// stale script, and the ignored value would mask it.  Floating-point
+/// flags share `hdc::serve::parse_strict_number` with the CSV/JSONL row
+/// readers, so the CLI accepts exactly the numbers the serving wire
+/// accepts (no hex floats, no locale-dependent strtod extensions).
 
 #include <charconv>
 #include <cstddef>
@@ -19,6 +26,9 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+
+#include "hdc/serve/row_reader.hpp"
 
 namespace hdc::tools {
 
@@ -31,19 +41,33 @@ class FlagParser {
       : argc_(argc), argv_(argv), first_(first) {}
 
   /// Value of `--name value` or `--name=value`; nullopt when absent.
+  /// \throws std::invalid_argument when the flag appears more than once
+  /// (in either spelling): the value that would be ignored almost always
+  /// signals an editing mistake, so it must be diagnosed, not dropped.
   [[nodiscard]] std::optional<std::string> value(
       std::string_view name) const {
+    std::optional<std::string> found;
     for (int i = first_; i < argc_; ++i) {
       const std::string_view arg = argv_[i];
+      std::optional<std::string> hit;
       if (arg == name && i + 1 < argc_) {
-        return std::string(argv_[i + 1]);
+        hit = std::string(argv_[i + 1]);
+        ++i;  // The value token is consumed, never rescanned as a flag.
+      } else if (arg.size() > name.size() + 1 && arg.starts_with(name) &&
+                 arg[name.size()] == '=') {
+        hit = std::string(arg.substr(name.size() + 1));
       }
-      if (arg.size() > name.size() + 1 && arg.starts_with(name) &&
-          arg[name.size()] == '=') {
-        return std::string(arg.substr(name.size() + 1));
+      if (!hit) {
+        continue;
       }
+      if (found) {
+        throw std::invalid_argument(
+            std::string(name) + " passed more than once ('" + *found +
+            "' and '" + *hit + "'); drop one");
+      }
+      found = std::move(hit);
     }
-    return std::nullopt;
+    return found;
   }
 
   /// True when the bare flag `--name` is present.
@@ -94,24 +118,22 @@ class FlagParser {
     return parsed;
   }
 
-  /// Floating-point flag, \p fallback when absent.  Throws on trailing
-  /// garbage ("0.5x") like the integer accessors do.
+  /// Floating-point flag, \p fallback when absent.  Shares the serving
+  /// wire's strict policy (hdc::serve::parse_strict_number): full-token
+  /// from_chars, finite only — so "0.5x", "0x1p3" and "nan" all throw
+  /// here exactly as they would be rejected in a CSV/JSONL row.
   [[nodiscard]] double real_or(std::string_view name,
                                double fallback) const {
     const auto text = value(name);
     if (!text) {
       return fallback;
     }
-    std::size_t used = 0;
     double parsed = 0.0;
-    try {
-      parsed = std::stod(*text, &used);
-    } catch (const std::exception&) {
-      used = std::string::npos;
-    }
-    if (used != text->size()) {
+    if (serve::parse_strict_number(*text, parsed) !=
+        serve::NumberParse::Ok) {
       throw std::invalid_argument(std::string(name) +
-                                  " needs a number, got '" + *text + "'");
+                                  " needs a finite number, got '" + *text +
+                                  "'");
     }
     return parsed;
   }

@@ -11,6 +11,12 @@
 //               --out FILE     # a complete encode->predict pipeline
 //   hdcgen snap-info FILE       # snapshot header + section table + verify
 //   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
+//   hdcgen delta BASE ADAPTED --out FILE
+//                               # changed-row HDCS delta between two full
+//                               # snapshots (docs/online_learning.md)
+//   hdcgen patch BASE DELTA --out FILE
+//                               # apply a delta back onto its base; output
+//                               # is byte-identical to the adapted snapshot
 //   hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]
 //               [--input csv|jsonl] [--format plain|csv|jsonl]
 //               [--latency] [--trust] [--kernel NAME] [--mlock]
@@ -42,6 +48,7 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,6 +81,8 @@ int usage() {
       "              --out FILE\n"
       "  hdcgen snap-info FILE\n"
       "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n"
+      "  hdcgen delta BASE ADAPTED --out FILE\n"
+      "  hdcgen patch BASE DELTA --out FILE\n"
       "  hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]\n"
       "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
       "              [--latency] [--trust] [--kernel NAME] [--mlock]\n"
@@ -271,6 +280,9 @@ int cmd_snap_info(const std::string& path) {
       case hdc::io::SectionType::ComposedEncoderConfig:
         type = "composed";
         break;
+      case hdc::io::SectionType::DeltaPatch:
+        type = "delta";
+        break;
     }
     std::printf(
         "  [%zu] %-10s d=%llu rows=%llu offset=%llu bytes=%llu xxh64=%016llx",
@@ -332,6 +344,18 @@ int cmd_snap_info(const std::string& path) {
         std::printf("]");
         break;
       }
+      case hdc::io::SectionType::DeltaPatch:
+        std::printf(
+            " target=%s base_section=[%llu] base_rows=%llu "
+            "base_xxh64=%016llx",
+            static_cast<hdc::io::SectionType>(record.kind) ==
+                    hdc::io::SectionType::ClassifierClassVectors
+                ? "classifier"
+                : "regressor",
+            static_cast<unsigned long long>(record.aux_section),
+            static_cast<unsigned long long>(record.aux_section_b),
+            static_cast<unsigned long long>(record.seed));
+        break;
       case hdc::io::SectionType::ClassifierClassVectors:
         break;
     }
@@ -339,6 +363,40 @@ int cmd_snap_info(const std::string& path) {
   }
   snapshot.verify();
   std::printf("checksums:  all sections OK\n");
+  return 0;
+}
+
+/// `hdcgen delta BASE ADAPTED --out FILE`: recovers the changed-row patch
+/// between two full snapshots of the same layout (the pair an offline
+/// adapt-and-save pass produces) and writes it as a standalone delta file.
+int cmd_delta(const FlagParser& flags, const std::string& base,
+              const std::string& adapted) {
+  const auto out = flags.value("--out");
+  if (!out) {
+    return usage();
+  }
+  const hdc::io::DeltaPatch patch = hdc::io::diff_snapshots(base, adapted);
+  hdc::io::write_delta_file(patch, *out);
+  std::printf("wrote %s: %llu of %llu rows changed vs %s (xxh64 %016llx)\n",
+              out->c_str(),
+              static_cast<unsigned long long>(patch.changed_rows()),
+              static_cast<unsigned long long>(patch.base_rows), base.c_str(),
+              static_cast<unsigned long long>(patch.base_hash));
+  return 0;
+}
+
+/// `hdcgen patch BASE DELTA --out FILE`: applies a delta back onto its base
+/// file; the output is byte-identical to the adapted snapshot the delta was
+/// taken from.
+int cmd_patch(const FlagParser& flags, const std::string& base,
+              const std::string& delta) {
+  const auto out = flags.value("--out");
+  if (!out) {
+    return usage();
+  }
+  hdc::io::apply_delta_file(base, delta, *out);
+  std::printf("wrote %s: %s patched with %s\n", out->c_str(), base.c_str(),
+              delta.c_str());
   return 0;
 }
 
@@ -441,6 +499,13 @@ int cmd_serve_net(const std::string& path,
     };
     options.cluster.generation = [srv] { return srv->generation(); };
     options.cluster.source = [srv] { return srv->source_path(); };
+    options.cluster.adapt = [srv](double target,
+                                  std::span<const double> features) {
+      return srv->adapt(target, features);
+    };
+    options.cluster.export_delta = [srv](const std::string& out_path) {
+      return srv->export_delta(out_path);
+    };
     options.cluster.stats_suffix = [srv] {
       std::string out;
       for (const hdc::cluster::RankStats& rank : srv->stats()) {
@@ -781,6 +846,13 @@ int main(int argc, char** argv) {
     }
     if (argc >= 3 && command == "snap-fixtures") {
       return cmd_snap_fixtures(flags, argv[2]);
+    }
+    if (argc >= 4 && command == "delta") {
+      // Two positionals: flags start after them.
+      return cmd_delta(FlagParser(argc, argv, 4), argv[2], argv[3]);
+    }
+    if (argc >= 4 && command == "patch") {
+      return cmd_patch(FlagParser(argc, argv, 4), argv[2], argv[3]);
     }
     if (argc >= 3 && command == "info") {
       return cmd_info(argv[2]);
