@@ -518,6 +518,87 @@ void report_serve_throughput() {
               best_rows_per_second);
 }
 
+// Raw-text serve throughput: the `hdcgen serve --input text` stack in
+// process — one raw sample per line through RowReader(Text), micro-batched
+// trigram encoding over the thread pool, class labels out — over a
+// trusted-mmap text-classifier pipeline.  Trigram encoding binds one
+// warmed byte-trigram vector per position, so the per-row cost scales with
+// sample length, not feature arity; the CI gate pins a rows/s floor
+// against bench/baselines/BENCH_baseline.json.
+void report_text_throughput() {
+  constexpr std::size_t kDim = 10'240;
+  constexpr std::size_t kRows = 4'096;
+  constexpr std::size_t kBatch = 256;
+  using clock = std::chrono::steady_clock;
+
+  const auto dir =
+      std::filesystem::temp_directory_path() /
+      ("hdcs_text_bench_" +
+       std::to_string(static_cast<unsigned long long>(
+           clock::now().time_since_epoch().count())));
+  std::filesystem::create_directories(dir);
+  const std::string snap_path = (dir / "text.hdcs").string();
+  {
+    hdc::io::fixtures::FixtureSpec spec;
+    spec.dimension = kDim;
+    const auto models = hdc::io::fixtures::make_text_pipeline(spec);
+    hdc::io::SnapshotWriter writer;
+    writer.add_pipeline(models.encoder, models.model);
+    writer.write_file(snap_path);
+  }
+
+  // One raw-text byte stream, replayed per run: short language-ID-shaped
+  // samples (a few dozen bytes) mixing the three fixture vocabularies.
+  static constexpr const char* kSamples[] = {
+      "the quick brown fox jumps over it",
+      "hello there again my old friend",
+      "el gato corre ahora mismo alli",
+      "buenos dias amigo como estas hoy",
+      "der hund lauft schnell nach hause",
+      "guten morgen freund wie geht es",
+  };
+  std::string stream;
+  std::size_t text_bytes = 0;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const std::string row = std::string(kSamples[i % 6]) + " " +
+                            std::to_string(i % 97);
+    text_bytes += row.size();
+    stream += row + '\n';
+  }
+
+  const auto snapshot = hdc::io::MappedSnapshot::open(
+      snap_path, hdc::io::SnapshotIntegrity::Trust);
+  hdc::serve::ServerOptions options;
+  options.batch_size = kBatch;
+  const hdc::serve::Server server(hdc::io::Pipeline::restore(snapshot),
+                                  options);
+
+  constexpr int kRepeats = 3;
+  double best_rows_per_second = 0.0;
+  std::size_t served_rows = 0;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    std::istringstream in(stream);
+    std::ostringstream out;
+    hdc::serve::RowReader reader(in, 0, hdc::serve::RowFormat::Text);
+    hdc::serve::PredictionWriter writer(out,
+                                        hdc::serve::OutputFormat::Plain);
+    const auto stats = server.run(reader, writer);
+    served_rows = stats.rows;
+    best_rows_per_second =
+        std::max(best_rows_per_second,
+                 static_cast<double>(stats.rows) / stats.seconds);
+  }
+  std::filesystem::remove_all(dir);
+
+  std::printf("\n[text-throughput] d=%zu rows=%zu batch=%zu "
+              "mean_bytes=%zu threads=%zu\n",
+              kDim, served_rows, kBatch, text_bytes / kRows,
+              static_cast<std::size_t>(
+                  std::thread::hardware_concurrency()));
+  std::printf("[text-throughput] rows_per_second: %.0f\n",
+              best_rows_per_second);
+}
+
 // Online-adaptation feedback throughput: one AdaptiveState over an mmapped
 // classifier snapshot, fed a mistake-heavy labelled stream.  Each feedback
 // row costs an encode, a predict and (on a miss) a copy-on-write row
@@ -978,6 +1059,7 @@ int main(int argc, char** argv) {
   report_basis_memory();
   report_snapshot_load();
   report_serve_throughput();
+  report_text_throughput();
   report_adapt_throughput();
 #if !defined(_WIN32)
   report_cluster_scaling();

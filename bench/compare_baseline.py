@@ -39,6 +39,8 @@ METRIC_PATTERNS = {
         re.compile(r"\[cluster-scaling\] replicas2_rows_per_second:\s*([0-9.]+)"),
     "cluster_scaling_replicas4_rows_per_second":
         re.compile(r"\[cluster-scaling\] replicas4_rows_per_second:\s*([0-9.]+)"),
+    "text_throughput_rows_per_second":
+        re.compile(r"\[text-throughput\] rows_per_second:\s*([0-9.]+)"),
     "adapt_throughput_feedback_rows_per_second":
         re.compile(
             r"\[adapt-throughput\] feedback_rows_per_second:\s*([0-9.]+)"),

@@ -40,10 +40,12 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hdc/cluster/comm.hpp"
 #include "hdc/cluster/shard.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/io/pipeline.hpp"
 #include "hdc/io/snapshot.hpp"
 #include "hdc/serve/adaptive_state.hpp"
@@ -100,6 +102,31 @@ class ShardedServer {
   [[nodiscard]] BatchResult predict(
       std::span<const std::vector<double>> rows);
 
+  /// The text twin of predict(): one generation-atomic batch of raw-text
+  /// rows for a sequence/n-gram pipeline, with the same bit-identity
+  /// contract against per-row classify_text()/regress_text().
+  /// \throws ClusterError as predict(); std::invalid_argument when the
+  /// pipeline takes numeric rows.
+  [[nodiscard]] BatchResult predict_text(std::span<const std::string> rows);
+
+  /// One head-carrying batch: values[i] answers rows[i] and either
+  /// confidences[i] (classifier pipelines) or bands[i] (regressor
+  /// pipelines) carries its head.  Heads reduce exactly as predictions do —
+  /// classifier ranks report slice top-2 candidates merged with
+  /// merge_top2(), regressor ranks report slice distance profiles that
+  /// concatenate into the full label grid — so every head is bit-identical
+  /// to the single-process batch engines.
+  struct HeadBatchResult {
+    std::vector<double> values;
+    std::vector<double> confidences;  ///< One per row for classifiers.
+    std::vector<Band> bands;          ///< One per row for regressors.
+    std::uint64_t generation = 0;
+  };
+  [[nodiscard]] HeadBatchResult predict_head(
+      std::span<const std::vector<double>> rows);
+  [[nodiscard]] HeadBatchResult predict_text_head(
+      std::span<const std::string> rows);
+
   /// Hot-swaps every rank to \p path ("" reloads the active source; an
   /// HDCS delta file patches the tracked base).  Validates on rank 0
   /// first; on rejection no rank has changed.  Returns the new cluster
@@ -115,6 +142,11 @@ class ShardedServer {
   /// \throws ClusterError on worker failure or divergence;
   /// std::invalid_argument on arity mismatch (validated rank-side too).
   serve::AdaptOutcome adapt(double target, std::span<const double> features);
+
+  /// The text twin of adapt(): one raw-text feedback sample broadcast to
+  /// every rank.  \throws as adapt(); std::invalid_argument when the
+  /// pipeline takes numeric rows.
+  serve::AdaptOutcome adapt_text(double target, std::string_view text);
 
   /// Writes the cluster's adapted-vs-base difference (gathered as
   /// per-rank changed-row sets, verified byte-identical) as an HDCS delta
@@ -135,10 +167,14 @@ class ShardedServer {
   /// Per-rank counters, gathered live.  \throws ClusterError as predict().
   [[nodiscard]] std::vector<RankStats> stats();
 
-  /// Streaming front end: reads rows, predicts in micro-batches of
-  /// \p batch_size, writes predictions in input order.  On ClusterError the
-  /// admitted rows of earlier batches are already flushed downstream and
-  /// the error is rethrown with the current input line appended.
+  /// Streaming front end: reads rows (numeric or raw text, following the
+  /// reader's format), predicts in micro-batches of \p batch_size, writes
+  /// predictions — with confidence/band heads when the writer carries a
+  /// HeadMode — in input order.  On ClusterError the admitted rows of
+  /// earlier batches are already flushed downstream and the error is
+  /// rethrown with the current input line appended.
+  /// \throws std::invalid_argument when the reader's format disagrees with
+  /// the pipeline's input mode or the writer's head with its kind.
   struct StreamStats {
     std::uint64_t rows = 0;
     std::uint64_t batches = 0;
@@ -150,6 +186,22 @@ class ShardedServer {
  private:
   [[nodiscard]] BatchResult predict_locked(
       std::span<const std::vector<double>> rows);
+  /// Scatter builders for the two input modes; Rows-scheme requests carry
+  /// each rank's row slice, Classes-scheme requests broadcast the batch.
+  [[nodiscard]] std::vector<std::string> build_predict_requests(
+      std::span<const std::vector<double>> rows, bool head);
+  [[nodiscard]] std::vector<std::string> build_text_requests(
+      std::span<const std::string> rows, bool head);
+  /// Generation check + the scheme reduce over gathered predict responses.
+  [[nodiscard]] BatchResult gather_predictions(
+      const std::vector<std::string>& responses, std::size_t nrows);
+  [[nodiscard]] HeadBatchResult gather_heads(
+      const std::vector<std::string>& responses, std::size_t nrows);
+  [[nodiscard]] std::uint64_t checked_generation(
+      const std::vector<std::string>& responses) const;
+  /// Broadcast + divergence check + outcome parse shared by both adapt
+  /// entry points.
+  [[nodiscard]] serve::AdaptOutcome adapt_exchange(std::string request);
   [[nodiscard]] std::vector<std::string> checked_exchange(
       std::vector<std::string> requests, const char* what);
 

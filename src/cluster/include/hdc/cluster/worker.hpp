@@ -34,6 +34,29 @@
 ///   ping response     [ok][u64 rank]
 ///   error response    [err][message bytes]
 ///
+/// The flags-carrying `Predict2` frame extends prediction to raw-text rows
+/// and head-carrying responses without touching the layouts above:
+///
+///   predict2 request  [op][u8 flags][u64 nrows] then
+///                       numeric: [u64 nfeat][nrows*nfeat f64]
+///                       text (bit 0): nrows ([u64 len][len text bytes])
+///   predict2 response [ok][u64 generation][u64 n] then
+///                       flags bit 1 (head) clear: exactly as predict
+///                       Rows + classifier head:  n (f64 label, f64 conf)
+///                       Rows + regressor head:   n (f64 value, f64 p10,
+///                                                   f64 p50, f64 p90)
+///                       Classes + classifier head: n (u64 d1, u64 i1,
+///                                                     u64 d2, u64 i2) —
+///                         the slice top-2, absent slots all-ones
+///                       Classes + regressor head: [u64 slice_len] then
+///                         n * slice_len u64 distances — the rank's slice
+///                         of the label-grid profile; concatenated in rank
+///                         order it is the full profile, so the coordinator
+///                         reproduces predict() (argmin) and the band
+///                         (band_from_distances) bit-identically
+///   adapt-text req.   [op][f64 target][u64 len][len text bytes]
+///   adapt-text resp.  exactly the adapt response
+///
 /// Under the `Classes` scheme a worker never produces final predictions: it
 /// returns its slice's best `(distance, global index)` per row — the
 /// classifier scans class-vectors [shard_begin, shard_end), the regressor
@@ -63,6 +86,7 @@
 
 #include "hdc/cluster/shard.hpp"
 #include "hdc/core/adaptive.hpp"
+#include "hdc/core/hypervector.hpp"
 #include "hdc/io/reload.hpp"
 #include "hdc/io/snapshot.hpp"
 
@@ -77,7 +101,13 @@ enum class WorkerOp : std::uint8_t {
   Shutdown = 5,
   Adapt = 6,
   DeltaRows = 7,
+  Predict2 = 8,
+  AdaptText = 9,
 };
+
+/// `Predict2` request flags (second payload byte).
+inline constexpr std::uint8_t kPredictFlagText = 1;  ///< Rows are raw text.
+inline constexpr std::uint8_t kPredictFlagHead = 2;  ///< Carry head fields.
 
 /// Response status (first payload byte of a response frame).
 inline constexpr std::uint8_t kWorkerOk = 0;
@@ -116,7 +146,9 @@ class Worker {
   [[nodiscard]] std::size_t rank() const noexcept { return cfg_.rank; }
   [[nodiscard]] std::size_t replicas() const noexcept { return cfg_.replicas; }
   [[nodiscard]] ShardScheme scheme() const noexcept { return cfg_.scheme; }
-  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
   [[nodiscard]] const io::Pipeline& pipeline() const noexcept {
     return loaded_.pipeline;
   }
@@ -132,12 +164,19 @@ class Worker {
 
  private:
   [[nodiscard]] std::string handle_predict(std::string_view body);
+  [[nodiscard]] std::string handle_predict2(std::string_view body);
   [[nodiscard]] std::string handle_reload(std::string_view body);
   [[nodiscard]] std::string handle_adapt(std::string_view body);
+  [[nodiscard]] std::string handle_adapt_text(std::string_view body);
   [[nodiscard]] std::string handle_delta_rows();
-  void predict_rows(std::size_t nrows, std::size_t nfeat, const char* data,
+  /// Post-encoding tail shared by Adapt and AdaptText: validates the
+  /// target, lazily creates the overlay, applies the update and builds the
+  /// (identical) response frame.
+  [[nodiscard]] std::string adapt_response(double target,
+                                           const Hypervector& encoded);
+  void predict_rows(std::span<const Hypervector> encoded, bool head,
                     std::string& out) const;
-  void predict_classes(std::size_t nrows, std::size_t nfeat, const char* data,
+  void predict_classes(std::span<const Hypervector> encoded, bool head,
                        std::string& out) const;
   /// Row \p index of the model this rank currently serves: the overlay row
   /// when adapted, else the restored pipeline's row.
@@ -170,6 +209,14 @@ class Worker {
                                                const double* features,
                                                std::size_t nfeat);
 [[nodiscard]] std::string encode_delta_rows_request();
+[[nodiscard]] std::string encode_predict2_request(const double* rows,
+                                                  std::size_t nrows,
+                                                  std::size_t nfeat,
+                                                  bool head);
+[[nodiscard]] std::string encode_predict2_text_request(
+    std::span<const std::string> rows, bool head);
+[[nodiscard]] std::string encode_adapt_text_request(double target,
+                                                    std::string_view text);
 
 /// Little-endian field helpers for the fixed-width payload layout.
 void put_u64(std::string& out, std::uint64_t value);

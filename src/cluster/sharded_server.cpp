@@ -75,6 +75,42 @@ ShardedServer::BatchResult ShardedServer::predict(
 
 ShardedServer::BatchResult ShardedServer::predict_locked(
     std::span<const std::vector<double>> rows) {
+  const std::vector<std::string> responses = checked_exchange(
+      build_predict_requests(rows, /*head=*/false), "predict");
+  return gather_predictions(responses, rows.size());
+}
+
+ShardedServer::BatchResult ShardedServer::predict_text(
+    std::span<const std::string> rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::string> responses = checked_exchange(
+      build_text_requests(rows, /*head=*/false), "predict");
+  return gather_predictions(responses, rows.size());
+}
+
+ShardedServer::HeadBatchResult ShardedServer::predict_head(
+    std::span<const std::vector<double>> rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::string> responses = checked_exchange(
+      build_predict_requests(rows, /*head=*/true), "predict");
+  return gather_heads(responses, rows.size());
+}
+
+ShardedServer::HeadBatchResult ShardedServer::predict_text_head(
+    std::span<const std::string> rows) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::vector<std::string> responses = checked_exchange(
+      build_text_requests(rows, /*head=*/true), "predict");
+  return gather_heads(responses, rows.size());
+}
+
+std::vector<std::string> ShardedServer::build_predict_requests(
+    std::span<const std::vector<double>> rows, bool head) {
+  if (comm_->local_worker().pipeline().input() !=
+      io::PipelineInput::Numeric) {
+    throw std::invalid_argument{
+        "cluster predict: text pipeline takes raw rows (predict_text)"};
+  }
   const std::size_t nfeat = num_features();
   for (const std::vector<double>& row : rows) {
     if (row.size() != nfeat) {
@@ -83,6 +119,10 @@ ShardedServer::BatchResult ShardedServer::predict_locked(
   }
   const std::size_t replicas = comm_->size();
   const std::size_t nrows = rows.size();
+  const auto encode = [&](const double* data, std::size_t count) {
+    return head ? encode_predict2_request(data, count, nfeat, true)
+                : encode_predict_request(data, count, nfeat);
+  };
 
   std::vector<std::string> requests(replicas);
   if (options_.scheme == ShardScheme::Rows) {
@@ -95,8 +135,7 @@ ShardedServer::BatchResult ShardedServer::predict_locked(
       for (std::size_t i = begin; i < end; ++i) {
         flat.insert(flat.end(), rows[i].begin(), rows[i].end());
       }
-      requests[rank] =
-          encode_predict_request(flat.data(), end - begin, nfeat);
+      requests[rank] = encode(flat.data(), end - begin);
     }
   } else {
     std::vector<double> flat;
@@ -104,26 +143,57 @@ ShardedServer::BatchResult ShardedServer::predict_locked(
     for (const std::vector<double>& row : rows) {
       flat.insert(flat.end(), row.begin(), row.end());
     }
-    const std::string request =
-        encode_predict_request(flat.data(), nrows, nfeat);
+    const std::string request = encode(flat.data(), nrows);
     for (std::size_t rank = 0; rank < replicas; ++rank) {
       requests[rank] = request;
     }
   }
+  return requests;
+}
 
-  const std::vector<std::string> responses =
-      checked_exchange(std::move(requests), "predict");
+std::vector<std::string> ShardedServer::build_text_requests(
+    std::span<const std::string> rows, bool head) {
+  if (comm_->local_worker().pipeline().input() != io::PipelineInput::Text) {
+    throw std::invalid_argument{
+        "cluster predict: numeric pipeline takes feature rows, not text"};
+  }
+  const std::size_t replicas = comm_->size();
+  const std::size_t nrows = rows.size();
+  std::vector<std::string> requests(replicas);
+  if (options_.scheme == ShardScheme::Rows) {
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      const std::size_t begin = shard_begin(rank, replicas, nrows);
+      const std::size_t end = shard_end(rank, replicas, nrows);
+      requests[rank] = encode_predict2_text_request(
+          rows.subspan(begin, end - begin), head);
+    }
+  } else {
+    const std::string request = encode_predict2_text_request(rows, head);
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      requests[rank] = request;
+    }
+  }
+  return requests;
+}
 
+std::uint64_t ShardedServer::checked_generation(
+    const std::vector<std::string>& responses) const {
   // A batch must be answered by exactly one model generation on every rank;
   // anything else would interleave two models inside one reply stream.
-  BatchResult result;
-  result.generation = get_u64(responses[0], kGenOffset);
-  for (std::size_t rank = 1; rank < replicas; ++rank) {
-    if (get_u64(responses[rank], kGenOffset) != result.generation) {
+  const std::uint64_t generation = get_u64(responses[0], kGenOffset);
+  for (std::size_t rank = 1; rank < responses.size(); ++rank) {
+    if (get_u64(responses[rank], kGenOffset) != generation) {
       throw ClusterError{"cluster predict: torn generation across ranks"};
     }
   }
+  return generation;
+}
 
+ShardedServer::BatchResult ShardedServer::gather_predictions(
+    const std::vector<std::string>& responses, std::size_t nrows) {
+  const std::size_t replicas = responses.size();
+  BatchResult result;
+  result.generation = checked_generation(responses);
   result.predictions.reserve(nrows);
   if (options_.scheme == ShardScheme::Rows) {
     for (std::size_t rank = 0; rank < replicas; ++rank) {
@@ -171,6 +241,100 @@ ShardedServer::BatchResult ShardedServer::predict_locked(
   return result;
 }
 
+ShardedServer::HeadBatchResult ShardedServer::gather_heads(
+    const std::vector<std::string>& responses, std::size_t nrows) {
+  const std::size_t replicas = responses.size();
+  const bool classifier = kind() == io::PipelineKind::Classifier;
+  HeadBatchResult result;
+  result.generation = checked_generation(responses);
+  result.values.reserve(nrows);
+  if (classifier) {
+    result.confidences.reserve(nrows);
+  } else {
+    result.bands.reserve(nrows);
+  }
+
+  if (options_.scheme == ShardScheme::Rows) {
+    // Ranks computed heads locally over the full model; slices concatenate
+    // in rank order exactly as plain predictions do.
+    const std::size_t fields = classifier ? 2 : 4;
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      const std::string& r = responses[rank];
+      const std::size_t count = get_u64(r, kCountOffset);
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t base = kDataOffset + i * fields * 8;
+        result.values.push_back(get_f64(r, base));
+        if (classifier) {
+          result.confidences.push_back(get_f64(r, base + 8));
+        } else {
+          result.bands.push_back(Band{get_f64(r, base + 8),
+                                      get_f64(r, base + 16),
+                                      get_f64(r, base + 24)});
+        }
+      }
+    }
+    if (result.values.size() != nrows) {
+      throw ClusterError{"cluster predict: row count mismatch in gather"};
+    }
+  } else if (classifier) {
+    // merge_top2 over disjoint ascending slices equals the top-2 of the
+    // union, so label and margin reproduce the single-process head.
+    for (std::size_t i = 0; i < nrows; ++i) {
+      Top2 merged{};
+      for (std::size_t rank = 0; rank < replicas; ++rank) {
+        const std::string& r = responses[rank];
+        const std::size_t base = kDataOffset + i * 32;
+        const Top2 slice{{get_u64(r, base), get_u64(r, base + 8)},
+                         {get_u64(r, base + 16), get_u64(r, base + 24)}};
+        merged = merge_top2(merged, slice);
+      }
+      if (merged.best.absent()) {
+        throw ClusterError{"cluster predict: no candidate from any rank"};
+      }
+      result.values.push_back(static_cast<double>(merged.best.index));
+      result.confidences.push_back(margin_confidence(merged));
+    }
+  } else {
+    // Each rank sent its slice of the label-grid distance profile; rank
+    // slices are disjoint ascending grid ranges, so concatenating them in
+    // rank order rebuilds the full profile and both the argmin readout and
+    // the band are computed from exactly the single-process integers.
+    const ScalarEncoder& labels =
+        comm_->local_worker().pipeline().regressor().labels();
+    const std::size_t dim = dimension();
+    std::vector<std::size_t> widths(replicas);
+    std::size_t total = 0;
+    for (std::size_t rank = 0; rank < replicas; ++rank) {
+      widths[rank] = get_u64(responses[rank], kDataOffset);
+      total += widths[rank];
+    }
+    if (total != labels.size()) {
+      throw ClusterError{
+          "cluster predict: profile slices do not cover the label grid"};
+    }
+    std::vector<std::size_t> profile(total);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      std::size_t at = 0;
+      for (std::size_t rank = 0; rank < replicas; ++rank) {
+        const std::string& r = responses[rank];
+        const std::size_t base = kDataOffset + 8 + i * widths[rank] * 8;
+        for (std::size_t j = 0; j < widths[rank]; ++j) {
+          profile[at++] = get_u64(r, base + j * 8);
+        }
+      }
+      std::size_t best = 0;
+      for (std::size_t j = 1; j < total; ++j) {
+        if (profile[j] < profile[best]) {
+          best = j;
+        }
+      }
+      result.values.push_back(labels.value_of(best));
+      result.bands.push_back(band_from_distances(profile, labels, dim));
+    }
+  }
+  return result;
+}
+
 std::uint64_t ShardedServer::reload(const std::string& path) {
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::string resolved = path.empty() ? source_path_ : path;
@@ -202,14 +366,30 @@ std::uint64_t ShardedServer::reload(const std::string& path) {
 serve::AdaptOutcome ShardedServer::adapt(double target,
                                          std::span<const double> features) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (comm_->local_worker().pipeline().input() != io::PipelineInput::Numeric) {
+    throw std::invalid_argument{
+        "cluster adapt: text pipeline takes raw samples (adapt_text)"};
+  }
   if (features.size() != num_features()) {
     throw std::invalid_argument{"cluster adapt: feature arity mismatch"};
   }
+  return adapt_exchange(
+      encode_adapt_request(target, features.data(), features.size()));
+}
+
+serve::AdaptOutcome ShardedServer::adapt_text(double target,
+                                              std::string_view text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (comm_->local_worker().pipeline().input() != io::PipelineInput::Text) {
+    throw std::invalid_argument{
+        "cluster adapt: numeric pipeline takes feature rows, not text"};
+  }
+  return adapt_exchange(encode_adapt_text_request(target, text));
+}
+
+serve::AdaptOutcome ShardedServer::adapt_exchange(std::string request) {
   const std::vector<std::string> responses = checked_exchange(
-      std::vector<std::string>(
-          comm_->size(),
-          encode_adapt_request(target, features.data(), features.size())),
-      "adapt");
+      std::vector<std::string>(comm_->size(), std::move(request)), "adapt");
   // Every rank applied the same sample to a deterministically-seeded
   // overlay: the *entire* response payload must agree byte for byte, or
   // the bit-identical serving contract is already broken.
@@ -305,19 +485,47 @@ ShardedServer::StreamStats ShardedServer::serve_stream(
   if (batch_size == 0) {
     batch_size = 1;
   }
+  const bool text = reader.format() == serve::RowFormat::Text;
+  const bool pipeline_text =
+      comm_->local_worker().pipeline().input() == io::PipelineInput::Text;
+  if (text != pipeline_text) {
+    throw std::invalid_argument{
+        std::string{"cluster serve: the pipeline takes "} +
+        io::to_string(comm_->local_worker().pipeline().input()) +
+        " rows but the reader's format disagrees"};
+  }
+  const bool classifier = kind() == io::PipelineKind::Classifier;
+  const serve::HeadMode head = writer.head();
+  if (head == serve::HeadMode::Confidence && !classifier) {
+    throw std::invalid_argument{
+        "cluster serve: confidence heads come from classifiers; regressor "
+        "pipelines emit bands"};
+  }
+  if (head == serve::HeadMode::Band && classifier) {
+    throw std::invalid_argument{
+        "cluster serve: band heads come from regressors; classifier "
+        "pipelines emit confidences"};
+  }
+
   StreamStats stats;
   std::vector<std::vector<double>> rows;
-  rows.reserve(batch_size);
+  std::vector<std::string> text_rows;
   std::vector<double> row;
-  const bool classifier = kind() == io::PipelineKind::Classifier;
+  std::string text_row;
 
   const auto flush = [&] {
-    if (rows.empty()) {
+    const std::size_t count = text ? text_rows.size() : rows.size();
+    if (count == 0) {
       return;
     }
     BatchResult batch;
+    HeadBatchResult heads;
     try {
-      batch = predict(rows);
+      if (head == serve::HeadMode::None) {
+        batch = text ? predict_text(text_rows) : predict(rows);
+      } else {
+        heads = text ? predict_text_head(text_rows) : predict_head(rows);
+      }
     } catch (const ClusterError& e) {
       // Drain what earlier batches admitted, then rethrow with the stream
       // position: the consumer knows exactly which rows were answered.
@@ -330,9 +538,15 @@ ShardedServer::StreamStats ShardedServer::serve_stream(
                          std::to_string(stats.rows) +
                          " rows already answered)"};
     }
-    for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t i = 0; i < count; ++i) {
       const std::size_t index = static_cast<std::size_t>(stats.rows) + i;
-      if (classifier) {
+      if (head == serve::HeadMode::Confidence) {
+        writer.write_class(index,
+                           static_cast<std::size_t>(heads.values[i]),
+                           heads.confidences[i], 0.0);
+      } else if (head == serve::HeadMode::Band) {
+        writer.write_band(index, heads.values[i], heads.bands[i], 0.0);
+      } else if (classifier) {
         writer.write_class(
             index, static_cast<std::size_t>(batch.predictions[i]), 0.0);
       } else {
@@ -340,15 +554,16 @@ ShardedServer::StreamStats ShardedServer::serve_stream(
       }
     }
     writer.flush();
-    stats.rows += rows.size();
+    stats.rows += count;
     ++stats.batches;
     rows.clear();
+    text_rows.clear();
   };
 
   bool more = true;
   while (more) {
     try {
-      more = reader.next(row);
+      more = text ? reader.next_text(text_row) : reader.next(row);
     } catch (const serve::RowError&) {
       flush();  // Answer everything admitted before the malformed line.
       throw;
@@ -356,8 +571,12 @@ ShardedServer::StreamStats ShardedServer::serve_stream(
     if (!more) {
       break;
     }
-    rows.push_back(row);
-    if (rows.size() >= batch_size) {
+    if (text) {
+      text_rows.push_back(text_row);
+    } else {
+      rows.push_back(row);
+    }
+    if ((text ? text_rows.size() : rows.size()) >= batch_size) {
       flush();
     }
   }

@@ -10,6 +10,7 @@
 
 #include "hdc/core/bitops.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/regressor.hpp"
 #include "hdc/io/delta.hpp"
@@ -113,6 +114,49 @@ std::string encode_delta_rows_request() {
   return std::string(1, static_cast<char>(WorkerOp::DeltaRows));
 }
 
+std::string encode_predict2_request(const double* rows, std::size_t nrows,
+                                    std::size_t nfeat, bool head) {
+  std::string out;
+  out.reserve(2 + kPredictHeader - 1 + nrows * nfeat * 8);
+  out.push_back(static_cast<char>(WorkerOp::Predict2));
+  out.push_back(static_cast<char>(head ? kPredictFlagHead : 0));
+  put_u64(out, nrows);
+  put_u64(out, nfeat);
+  if (nrows * nfeat != 0) {
+    out.append(reinterpret_cast<const char*>(rows), nrows * nfeat * 8);
+  }
+  return out;
+}
+
+std::string encode_predict2_text_request(std::span<const std::string> rows,
+                                         bool head) {
+  std::size_t bytes = 0;
+  for (const std::string& row : rows) {
+    bytes += 8 + row.size();
+  }
+  std::string out;
+  out.reserve(2 + 8 + bytes);
+  out.push_back(static_cast<char>(WorkerOp::Predict2));
+  out.push_back(static_cast<char>(kPredictFlagText |
+                                  (head ? kPredictFlagHead : 0)));
+  put_u64(out, rows.size());
+  for (const std::string& row : rows) {
+    put_u64(out, row.size());
+    out.append(row);
+  }
+  return out;
+}
+
+std::string encode_adapt_text_request(double target, std::string_view text) {
+  std::string out;
+  out.reserve(1 + 8 + 8 + text.size());
+  out.push_back(static_cast<char>(WorkerOp::AdaptText));
+  put_f64(out, target);
+  put_u64(out, text.size());
+  out.append(text);
+  return out;
+}
+
 Worker::Worker(Config cfg)
     : cfg_(std::move(cfg)),
       loaded_(io::load_pipeline(cfg_.snapshot_path, cfg_.integrity,
@@ -157,6 +201,10 @@ std::string Worker::handle(std::string_view request) {
         return handle_adapt(request.substr(1));
       case WorkerOp::DeltaRows:
         return handle_delta_rows();
+      case WorkerOp::Predict2:
+        return handle_predict2(request.substr(1));
+      case WorkerOp::AdaptText:
+        return handle_adapt_text(request.substr(1));
     }
     return error_response("unknown opcode");
   } catch (const std::exception& e) {
@@ -175,52 +223,139 @@ std::string Worker::handle_predict(std::string_view body) {
     throw std::invalid_argument{"predict: truncated row payload"};
   }
   const char* data = body.data() + 16;
+  const io::Pipeline& p = loaded_.pipeline;
+  std::vector<Hypervector> encoded;
+  encoded.reserve(nrows);
+  std::vector<double> row(nfeat);
+  for (std::size_t i = 0; i < nrows; ++i) {
+    std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
+    encoded.push_back(p.encode(row));
+  }
 
   std::string out;
   out.push_back(static_cast<char>(kWorkerOk));
   put_u64(out, generation_);
   put_u64(out, nrows);
   if (cfg_.scheme == ShardScheme::Rows) {
-    predict_rows(nrows, nfeat, data, out);
+    predict_rows(encoded, /*head=*/false, out);
   } else {
-    predict_classes(nrows, nfeat, data, out);
+    predict_classes(encoded, /*head=*/false, out);
   }
   rows_ += nrows;
   ++batches_;
   return out;
 }
 
-void Worker::predict_rows(std::size_t nrows, std::size_t nfeat,
-                          const char* data, std::string& out) const {
+std::string Worker::handle_predict2(std::string_view body) {
+  if (body.empty()) {
+    throw std::invalid_argument{"predict: missing flags byte"};
+  }
+  const std::uint8_t flags = static_cast<std::uint8_t>(body[0]);
+  if ((flags & ~(kPredictFlagText | kPredictFlagHead)) != 0) {
+    throw std::invalid_argument{"predict: unknown request flags"};
+  }
+  const bool text = (flags & kPredictFlagText) != 0;
+  const bool head = (flags & kPredictFlagHead) != 0;
   const io::Pipeline& p = loaded_.pipeline;
-  std::vector<double> row(nfeat);
-  for (std::size_t i = 0; i < nrows; ++i) {
-    std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
+  if (text != (p.input() == io::PipelineInput::Text)) {
+    throw std::invalid_argument{
+        std::string{"predict: request carries "} +
+        (text ? "text" : "numeric") + " rows but the pipeline takes " +
+        io::to_string(p.input()) + " rows"};
+  }
+  const std::size_t nrows = get_u64(body, 1);
+  std::vector<Hypervector> encoded;
+  encoded.reserve(nrows);
+  if (text) {
+    std::size_t at = 9;
+    for (std::size_t i = 0; i < nrows; ++i) {
+      const std::size_t len = get_u64(body, at);
+      at += 8;
+      if (len > body.size() - at) {
+        throw std::invalid_argument{"predict: truncated text row"};
+      }
+      encoded.push_back(p.encode_text(body.substr(at, len)));
+      at += len;
+    }
+    if (at != body.size()) {
+      throw std::invalid_argument{"predict: trailing bytes after text rows"};
+    }
+  } else {
+    const std::size_t nfeat = get_u64(body, 9);
+    if (nfeat != p.num_features()) {
+      throw std::invalid_argument{"predict: feature arity mismatch"};
+    }
+    if (body.size() != 17 + nrows * nfeat * 8) {
+      throw std::invalid_argument{"predict: truncated row payload"};
+    }
+    std::vector<double> row(nfeat);
+    for (std::size_t i = 0; i < nrows; ++i) {
+      std::memcpy(row.data(), body.data() + 17 + i * nfeat * 8, nfeat * 8);
+      encoded.push_back(p.encode(row));
+    }
+  }
+
+  std::string out;
+  out.push_back(static_cast<char>(kWorkerOk));
+  put_u64(out, generation_);
+  put_u64(out, nrows);
+  if (cfg_.scheme == ShardScheme::Rows) {
+    predict_rows(encoded, head, out);
+  } else {
+    predict_classes(encoded, head, out);
+  }
+  rows_ += nrows;
+  ++batches_;
+  return out;
+}
+
+void Worker::predict_rows(std::span<const Hypervector> encoded, bool head,
+                          std::string& out) const {
+  const io::Pipeline& p = loaded_.pipeline;
+  const bool classifies = p.kind() == io::PipelineKind::Classifier;
+  for (const Hypervector& query : encoded) {
     // An adapted rank serves its overlay immediately: every rank applied
     // the same feedback deterministically, so this stays bit-identical
     // across the fleet.
-    if (adaptive_classifier_ != nullptr) {
-      put_f64(out, static_cast<double>(
-                       adaptive_classifier_->predict(p.encode(row))));
-    } else if (adaptive_regressor_ != nullptr) {
-      put_f64(out, adaptive_regressor_->predict(p.encode(row)));
-    } else if (p.kind() == io::PipelineKind::Classifier) {
-      put_f64(out, static_cast<double>(p.classify(row)));
+    if (classifies) {
+      if (head) {
+        const Top2 top = adaptive_classifier_ != nullptr
+                             ? adaptive_classifier_->predict_top2(query)
+                             : p.classifier().predict_top2(query);
+        put_f64(out, static_cast<double>(top.best.index));
+        put_f64(out, margin_confidence(top));
+      } else if (adaptive_classifier_ != nullptr) {
+        put_f64(out,
+                static_cast<double>(adaptive_classifier_->predict(query)));
+      } else {
+        put_f64(out, static_cast<double>(p.classifier().predict(query)));
+      }
     } else {
-      put_f64(out, p.regress(row));
+      put_f64(out, adaptive_regressor_ != nullptr
+                       ? adaptive_regressor_->predict(query)
+                       : p.regressor().predict(query));
+      if (head) {
+        const Band band = adaptive_regressor_ != nullptr
+                              ? adaptive_regressor_->predict_band(query)
+                              : p.regressor().predict_band(query);
+        put_f64(out, band.p10);
+        put_f64(out, band.p50);
+        put_f64(out, band.p90);
+      }
     }
   }
 }
 
-void Worker::predict_classes(std::size_t nrows, std::size_t nfeat,
-                             const char* data, std::string& out) const {
+void Worker::predict_classes(std::span<const Hypervector> encoded, bool head,
+                             std::string& out) const {
   const io::Pipeline& p = loaded_.pipeline;
+  const bool classifies = p.kind() == io::PipelineKind::Classifier;
   // The scanned arena: class-vectors for a classifier, the label basis for
   // a regressor (whose query is the self-inverse unbinding model ⊗ phi(x̂)).
   std::span<const std::uint64_t> arena;
   std::size_t stride = 0;
   std::size_t candidates = 0;
-  if (p.kind() == io::PipelineKind::Classifier) {
+  if (classifies) {
     const CentroidClassifier& model = p.classifier();
     arena = model.packed_class_words();
     stride = model.words_per_class();
@@ -234,49 +369,73 @@ void Worker::predict_classes(std::size_t nrows, std::size_t nfeat,
   const std::size_t begin = shard_begin(cfg_.rank, cfg_.replicas, candidates);
   const std::size_t end = shard_end(cfg_.rank, cfg_.replicas, candidates);
 
-  std::vector<double> row(nfeat);
-  for (std::size_t i = 0; i < nrows; ++i) {
-    std::memcpy(row.data(), data + i * nfeat * 8, nfeat * 8);
+  if (!classifies && head) {
+    // The head-carrying regressor frame leads with the slice width; rank
+    // profiles concatenated in rank order rebuild the full grid profile.
+    put_u64(out, end - begin);
+  }
+  std::vector<std::uint64_t> bound;
+  for (const Hypervector& query : encoded) {
     if (begin == end) {
-      put_u64(out, kNoCandidate);
-      put_u64(out, kNoCandidate);
-      continue;
-    }
-    const Hypervector encoded = p.encode(row);
-    if (adaptive_classifier_ != nullptr) {
-      // The overlay scan substitutes adapted rows inside the slice and
-      // returns the global index directly.
-      const auto [distance, index] =
-          adaptive_classifier_->nearest_in_slice(encoded, begin, end);
-      put_u64(out, distance);
-      put_u64(out, index);
-      continue;
-    }
-    bits::NearestMatch best{};
-    if (p.kind() == io::PipelineKind::Classifier) {
-      best = bits::nearest_hamming(encoded.words(),
-                                   arena.subspan(begin * stride), stride,
-                                   end - begin);
-    } else if (adaptive_regressor_ != nullptr) {
-      // Unbind against the *adapted* model; the scanned label basis is
-      // shared with the base, so only the query changes.
-      const std::span<const std::uint64_t> model =
-          adaptive_regressor_->model_words();
-      std::vector<std::uint64_t> bound(encoded.words().size());
-      for (std::size_t w = 0; w < bound.size(); ++w) {
-        bound[w] = model[w] ^ encoded.words()[w];
+      // Empty slice (more ranks than candidates): all-ones sentinels for
+      // candidate frames, zero-width profiles for regressor heads.
+      if (!classifies && head) {
+        continue;
       }
-      best = bits::nearest_hamming(std::span<const std::uint64_t>(bound),
-                                   arena.subspan(begin * stride), stride,
-                                   end - begin);
-    } else {
-      const Hypervector bound = p.regressor().model() ^ encoded;
-      best = bits::nearest_hamming(bound.words(),
-                                   arena.subspan(begin * stride), stride,
-                                   end - begin);
+      const int sentinels = classifies && head ? 4 : 2;
+      for (int k = 0; k < sentinels; ++k) {
+        put_u64(out, kNoCandidate);
+      }
+      continue;
     }
-    put_u64(out, best.distance);
-    put_u64(out, begin + best.index);
+    if (classifies) {
+      if (head) {
+        const Top2 top =
+            adaptive_classifier_ != nullptr
+                ? adaptive_classifier_->top2_in_slice(query, begin, end)
+                : top2_hamming(query.words(), arena.subspan(begin * stride),
+                               stride, end - begin, begin);
+        put_u64(out, top.best.distance);
+        put_u64(out, top.best.index);
+        put_u64(out, top.second.distance);
+        put_u64(out, top.second.index);
+      } else if (adaptive_classifier_ != nullptr) {
+        // The overlay scan substitutes adapted rows inside the slice and
+        // returns the global index directly.
+        const auto [distance, index] =
+            adaptive_classifier_->nearest_in_slice(query, begin, end);
+        put_u64(out, distance);
+        put_u64(out, index);
+      } else {
+        const bits::NearestMatch best = bits::nearest_hamming(
+            query.words(), arena.subspan(begin * stride), stride,
+            end - begin);
+        put_u64(out, best.distance);
+        put_u64(out, begin + best.index);
+      }
+      continue;
+    }
+    // Unbind against the (possibly adapted) model; the scanned label basis
+    // is shared with the base, so only the query changes.
+    const std::span<const std::uint64_t> model =
+        adaptive_regressor_ != nullptr ? adaptive_regressor_->model_words()
+                                       : p.regressor().model().words();
+    bound.resize(query.words().size());
+    for (std::size_t w = 0; w < bound.size(); ++w) {
+      bound[w] = model[w] ^ query.words()[w];
+    }
+    const std::span<const std::uint64_t> unbound{bound};
+    if (head) {
+      for (std::size_t j = begin; j < end; ++j) {
+        put_u64(out, bits::hamming(unbound, arena.subspan(j * stride,
+                                                          stride)));
+      }
+    } else {
+      const bits::NearestMatch best = bits::nearest_hamming(
+          unbound, arena.subspan(begin * stride), stride, end - begin);
+      put_u64(out, best.distance);
+      put_u64(out, begin + best.index);
+    }
   }
 }
 
@@ -321,6 +480,21 @@ std::string Worker::handle_adapt(std::string_view body) {
   }
   std::vector<double> row(nfeat);
   std::memcpy(row.data(), body.data() + 16, nfeat * 8);
+  return adapt_response(target, loaded_.pipeline.encode(row));
+}
+
+std::string Worker::handle_adapt_text(std::string_view body) {
+  const double target = get_f64(body, 0);
+  const std::size_t len = get_u64(body, 8);
+  if (body.size() != 16 + len) {
+    throw std::invalid_argument{"adapt: truncated text payload"};
+  }
+  return adapt_response(target,
+                        loaded_.pipeline.encode_text(body.substr(16, len)));
+}
+
+std::string Worker::adapt_response(double target,
+                                   const Hypervector& encoded) {
   const io::Pipeline& p = loaded_.pipeline;
   // Validate before lazily creating the overlay so a rejected sample
   // leaves the rank exactly as it was (every rank must stay in lockstep).
@@ -328,7 +502,6 @@ std::string Worker::handle_adapt(std::string_view body) {
   if (p.kind() == io::PipelineKind::Classifier) {
     label = checked_class_label(target, p.classifier().num_classes());
   }
-  const Hypervector encoded = p.encode(row);
   double predicted = 0.0;
   std::uint64_t feedback = 0;
   std::uint64_t updates = 0;

@@ -76,6 +76,35 @@ std::pair<std::uint64_t, std::size_t> AdaptiveClassifier::nearest_in_slice(
   return {static_cast<std::uint64_t>(distances[best]), begin + best};
 }
 
+Top2 AdaptiveClassifier::top2_in_slice(HypervectorView query,
+                                       std::size_t begin,
+                                       std::size_t end) const {
+  require(query.dimension() == dimension(), "AdaptiveClassifier::top2_in_slice",
+          "query dimension mismatch");
+  require(begin < end && end <= num_classes(),
+          "AdaptiveClassifier::top2_in_slice", "slice out of range");
+  const std::size_t stride = base_->words_per_class();
+  std::vector<std::size_t> distances(end - begin);
+  bits::hamming_many(query.words(),
+                     base_->packed_class_words().subspan(begin * stride),
+                     stride, end - begin, distances);
+  for (auto it = overlay_.lower_bound(begin);
+       it != overlay_.end() && it->first < end; ++it) {
+    distances[it->first - begin] = bits::hamming(
+        query.words(), std::span<const std::uint64_t>(it->second.row));
+  }
+  Top2 top{};
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    top2_offer(top, Candidate{static_cast<std::uint64_t>(distances[i]),
+                              static_cast<std::uint64_t>(begin + i)});
+  }
+  return top;
+}
+
+Top2 AdaptiveClassifier::predict_top2(HypervectorView query) const {
+  return top2_in_slice(query, 0, num_classes());
+}
+
 AdaptiveClassifier::Overlay& AdaptiveClassifier::touch(std::size_t label) {
   const auto it = overlay_.find(label);
   if (it != overlay_.end()) {
@@ -175,6 +204,25 @@ double AdaptiveRegressor::predict(HypervectorView encoded_input) const {
     return base_->predict(encoded_input);
   }
   return base_->labels().decode(overlay_->model ^ encoded_input);
+}
+
+void AdaptiveRegressor::label_distances(HypervectorView encoded_input,
+                                        std::span<std::size_t> out) const {
+  require(encoded_input.dimension() == dimension(),
+          "AdaptiveRegressor::label_distances", "input dimension mismatch");
+  const Basis& basis = base_->labels().basis();
+  require(out.size() >= basis.size(), "AdaptiveRegressor::label_distances",
+          "out must hold one distance per label grid point");
+  std::vector<std::uint64_t> bound(bits::words_for(dimension()));
+  bits::xor_rows(bound, model_words(), encoded_input.words());
+  bits::hamming_many(bound, basis.packed_words(), basis.words_per_vector(),
+                     basis.size(), out);
+}
+
+Band AdaptiveRegressor::predict_band(HypervectorView encoded_input) const {
+  std::vector<std::size_t> distances(base_->labels().size());
+  label_distances(encoded_input, distances);
+  return band_from_distances(distances, base_->labels(), dimension());
 }
 
 double AdaptiveRegressor::adapt(HypervectorView encoded_input, double target) {

@@ -153,6 +153,23 @@ std::size_t CentroidClassifier::predict_words(
       .index;
 }
 
+Top2 CentroidClassifier::predict_top2(HypervectorView query) const {
+  require_finalized("CentroidClassifier::predict_top2");
+  require(query.dimension() == dimension_, "CentroidClassifier::predict_top2",
+          "query dimension mismatch");
+  return predict_top2_words(query.words());
+}
+
+Top2 CentroidClassifier::predict_top2_words(
+    std::span<const std::uint64_t> query_words) const {
+  require_finalized("CentroidClassifier::predict_top2_words");
+  require(query_words.size() == words_per_class_,
+          "CentroidClassifier::predict_top2_words",
+          "query word count must equal words_per_class()");
+  return top2_hamming(query_words, class_arena_.words(), words_per_class_,
+                      num_classes_);
+}
+
 double CentroidClassifier::class_similarity(std::size_t label,
                                             HypervectorView query) const {
   require_finalized("CentroidClassifier::class_similarity");

@@ -1,0 +1,118 @@
+#include "hdc/core/confidence.hpp"
+
+#include <vector>
+
+#include "hdc/base/require.hpp"
+#include "hdc/core/bitops.hpp"
+
+namespace hdc {
+
+void top2_offer(Top2& top, Candidate candidate) noexcept {
+  if (candidate.absent()) {
+    return;
+  }
+  if (top.best.absent() || candidate_less(candidate, top.best)) {
+    top.second = top.best;
+    top.best = candidate;
+  } else if (top.second.absent() || candidate_less(candidate, top.second)) {
+    top.second = candidate;
+  }
+}
+
+Top2 merge_top2(const Top2& a, const Top2& b) noexcept {
+  Top2 merged = a;
+  top2_offer(merged, b.best);
+  top2_offer(merged, b.second);
+  return merged;
+}
+
+Top2 top2_hamming(std::span<const std::uint64_t> query,
+                  std::span<const std::uint64_t> arena, std::size_t stride,
+                  std::size_t count, std::uint64_t index_offset,
+                  std::span<std::size_t> scratch) {
+  require(scratch.size() >= count, "top2_hamming",
+          "scratch must hold one distance per candidate");
+  bits::hamming_many(query, arena, stride, count, scratch);
+  Top2 top{};
+  for (std::size_t i = 0; i < count; ++i) {
+    top2_offer(top, Candidate{static_cast<std::uint64_t>(scratch[i]),
+                              index_offset + i});
+  }
+  return top;
+}
+
+Top2 top2_hamming(std::span<const std::uint64_t> query,
+                  std::span<const std::uint64_t> arena, std::size_t stride,
+                  std::size_t count, std::uint64_t index_offset) {
+  std::vector<std::size_t> scratch(count);
+  return top2_hamming(query, arena, stride, count, index_offset, scratch);
+}
+
+double margin_confidence(const Top2& top) noexcept {
+  if (top.best.absent()) {
+    return 0.0;
+  }
+  if (top.second.absent()) {
+    return 1.0;
+  }
+  const double d1 = static_cast<double>(top.best.distance);
+  const double d2 = static_cast<double>(top.second.distance);
+  const double sum = d1 + d2;
+  return sum == 0.0 ? 0.0 : (d2 - d1) / sum;
+}
+
+Band band_from_distances(std::span<const std::size_t> distances,
+                         const ScalarEncoder& labels, std::size_t dimension) {
+  require(distances.size() == labels.size(), "band_from_distances",
+          "need one distance per label grid point");
+  require_positive(dimension, "band_from_distances", "dimension");
+  const double d = static_cast<double>(dimension);
+  double total = 0.0;
+  std::size_t argmin = 0;
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const double weight = 1.0 - 2.0 * static_cast<double>(distances[i]) / d;
+    if (weight > 0.0) {
+      total += weight;
+    }
+    if (distances[i] < distances[argmin]) {
+      argmin = i;
+    }
+  }
+  if (total == 0.0) {
+    // Query uncorrelated with the entire grid: no distribution to read,
+    // fall back to the point prediction (lowest-index argmin, like decode).
+    const double value = labels.value_of(argmin);
+    return Band{value, value, value};
+  }
+  // One cumulative sweep in grid order answers all three quantiles; the
+  // summation order is fixed, so the doubles are reproducible everywhere.
+  const double thresholds[3] = {0.1 * total, 0.5 * total, 0.9 * total};
+  double quantiles[3] = {0.0, 0.0, 0.0};
+  std::size_t next = 0;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < distances.size() && next < 3; ++i) {
+    const double weight = 1.0 - 2.0 * static_cast<double>(distances[i]) / d;
+    if (weight <= 0.0) {
+      continue;
+    }
+    cumulative += weight;
+    while (next < 3 && cumulative >= thresholds[next]) {
+      quantiles[next] = labels.value_of(i);
+      ++next;
+    }
+  }
+  // Rounding could leave the p90 threshold a hair above the final
+  // cumulative sum; close any unanswered quantiles with the last positive-
+  // weight grid point.
+  for (; next < 3; ++next) {
+    std::size_t last = distances.size() - 1;
+    while (last > 0 && 1.0 - 2.0 * static_cast<double>(distances[last]) / d <=
+                           0.0) {
+      --last;
+    }
+    quantiles[next] = labels.value_of(last);
+  }
+  return Band{quantiles[0], quantiles[1], quantiles[2]};
+}
+
+}  // namespace hdc

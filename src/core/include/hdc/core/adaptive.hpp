@@ -46,6 +46,7 @@
 
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/classifier.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/regressor.hpp"
 
@@ -101,6 +102,20 @@ class AdaptiveClassifier {
   /// mismatch or an empty/out-of-range slice.
   [[nodiscard]] std::pair<std::uint64_t, std::size_t> nearest_in_slice(
       HypervectorView query, std::size_t begin, std::size_t end) const;
+
+  /// Top-2 (distance, global index) candidates over classes [begin, end),
+  /// overlay rows substituted — the head-carrying variant of
+  /// nearest_in_slice().  merge_top2() over disjoint ascending slices
+  /// equals top2_in_slice() over the union, which is what keeps cluster
+  /// confidence bit-identical to one process.  \throws as
+  /// nearest_in_slice().
+  [[nodiscard]] Top2 top2_in_slice(HypervectorView query, std::size_t begin,
+                                   std::size_t end) const;
+
+  /// Top-2 over every class; `best` matches predict(), and
+  /// margin_confidence() of the result is the adapted model's confidence
+  /// head.  \throws std::invalid_argument on dimension mismatch.
+  [[nodiscard]] Top2 predict_top2(HypervectorView query) const;
 
   /// One mistake-driven update: predicts \p encoded; on a miss clones the
   /// true and predicted class rows into the overlay (first touch only),
@@ -169,6 +184,17 @@ class AdaptiveRegressor {
   /// decode(M ⊗ phi(x̂)) over the current (overlay or base) model.
   /// \throws std::invalid_argument on dimension mismatch.
   [[nodiscard]] double predict(HypervectorView encoded_input) const;
+
+  /// The label-grid distance profile of the *current* (overlay or base)
+  /// model — `HDRegressor::label_distances` over the adapted model row.
+  /// \p out must hold base().labels().size() entries.
+  /// \throws std::invalid_argument on dimension or size mismatch.
+  void label_distances(HypervectorView encoded_input,
+                       std::span<std::size_t> out) const;
+
+  /// p10/p50/p90 band over the current model (see
+  /// HDRegressor::predict_band).
+  [[nodiscard]] Band predict_band(HypervectorView encoded_input) const;
 
   /// One mistake-driven update, mirroring `HDRegressor::adapt`: on a decoded
   /// value that differs from \p target, adds phi(x̂) ⊗ phi_l(target),

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "hdc/core/accumulator.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/word_storage.hpp"
 
@@ -133,6 +134,18 @@ class CentroidClassifier {
   [[nodiscard]] std::size_t words_per_class() const noexcept {
     return words_per_class_;
   }
+
+  /// The two nearest class-vectors as lexicographic (distance, index)
+  /// candidates: `best` is exactly predict()'s argmin with lowest-index
+  /// ties, `second` is absent for single-class models.  Feeds
+  /// margin_confidence() — the classifier's confidence head.
+  /// \throws std::logic_error / std::invalid_argument as for predict().
+  [[nodiscard]] Top2 predict_top2(HypervectorView query) const;
+
+  /// predict_top2() on a raw word span (the batch-runtime entry point);
+  /// same contract as predict_words().
+  [[nodiscard]] Top2 predict_top2_words(
+      std::span<const std::uint64_t> query_words) const;
 
   /// Similarity (1 - delta) between the query and one class-vector.
   /// \throws std::logic_error / std::invalid_argument as for predict().

@@ -1,0 +1,127 @@
+#ifndef HDC_CORE_CONFIDENCE_HPP
+#define HDC_CORE_CONFIDENCE_HPP
+
+/// \file confidence.hpp
+/// \brief Prediction heads beyond argmin: similarity-margin confidence and
+/// distributional (quantile-band) regression readouts.
+///
+/// The point predictors (`CentroidClassifier::predict`,
+/// `HDRegressor::predict`) reduce a full Hamming-distance profile to one
+/// argmin and throw the rest away.  The heads here keep just enough of the
+/// profile to quantify uncertainty, following the distributional reading of
+/// the hyperdimensional transform (PAPERS.md):
+///
+///  * **Margin confidence** (classifiers): from the two nearest class
+///    vectors at integer distances d1 <= d2, confidence is the normalized
+///    margin (d2 - d1) / (d1 + d2) in [0, 1] — 0 for a dead tie, 1 when the
+///    query sits exactly on a class vector with the runner-up at a
+///    distance, and monotone in the gap for a fixed d1 + d2.
+///  * **Quantile band** (regressors): each label-basis grid point i at
+///    normalized distance delta_i gets weight max(0, 1 - 2 * delta_i) —
+///    the expected-similarity profile of a bundled label, linear in the
+///    match fraction, which discounts the >= d/2 noise floor of unrelated
+///    vectors.  p10/p50/p90 are the empirical weighted quantiles of the
+///    grid values in grid order, so the band brackets the point prediction
+///    and p10 <= p50 <= p90 by construction.
+///
+/// Everything is computed from *integer* Hamming distances in a fixed
+/// order, so heads are bit-identical across kernel variants, batch shapes
+/// and shard schemes — the same contract the point predictors honour.  The
+/// `Candidate`/`Top2` lexicographic-minimum algebra is associative over
+/// disjoint ascending index slices, which is exactly what lets the cluster
+/// coordinator merge per-rank top-2 pairs into the global top-2.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "hdc/core/scalar_encoder.hpp"
+
+namespace hdc {
+
+/// Sentinel distance/index for "no candidate"; loses every lexicographic
+/// comparison against a real candidate (same value the cluster wire
+/// protocol uses for empty Classes-scheme slices).
+inline constexpr std::uint64_t kAbsentCandidate = ~std::uint64_t{0};
+
+/// One `(distance, global index)` candidate; absent when distance ==
+/// kAbsentCandidate.  Ordered lexicographically, so ties keep the lowest
+/// index — the argmin tie-break every predictor uses.
+struct Candidate {
+  std::uint64_t distance = kAbsentCandidate;
+  std::uint64_t index = kAbsentCandidate;
+
+  [[nodiscard]] bool absent() const noexcept {
+    return distance == kAbsentCandidate;
+  }
+};
+
+/// Lexicographic (distance, index) order.
+[[nodiscard]] constexpr bool candidate_less(Candidate a, Candidate b) noexcept {
+  return a.distance != b.distance ? a.distance < b.distance
+                                  : a.index < b.index;
+}
+
+/// The two lexicographically smallest candidates seen so far.  `best` is
+/// absent only when no candidate was offered; `second` is absent when fewer
+/// than two were.
+struct Top2 {
+  Candidate best{};
+  Candidate second{};
+};
+
+/// Offers one candidate, keeping the two smallest.
+void top2_offer(Top2& top, Candidate candidate) noexcept;
+
+/// Merges two Top2 sets into the Top2 of the union.  Associative and
+/// commutative for candidate sets with distinct indices — the coordinator's
+/// cross-rank reduce.
+[[nodiscard]] Top2 merge_top2(const Top2& a, const Top2& b) noexcept;
+
+/// Top-2 scan over a contiguous candidate arena (layout as in
+/// bits::nearest_hamming: candidate i at words [i * stride, ...)).
+/// Reported indices are offset by \p index_offset, so a shard slice can
+/// report global indices.  \p scratch must hold at least \p count entries.
+/// \pre stride >= query.size(), arena.size() >= count * stride.
+[[nodiscard]] Top2 top2_hamming(std::span<const std::uint64_t> query,
+                                std::span<const std::uint64_t> arena,
+                                std::size_t stride, std::size_t count,
+                                std::uint64_t index_offset,
+                                std::span<std::size_t> scratch);
+
+/// Allocating convenience overload of the scratch-based top2_hamming.
+[[nodiscard]] Top2 top2_hamming(std::span<const std::uint64_t> query,
+                                std::span<const std::uint64_t> arena,
+                                std::size_t stride, std::size_t count,
+                                std::uint64_t index_offset = 0);
+
+/// Normalized similarity margin of a top-2 result, in [0, 1]:
+/// (d2 - d1) / (d1 + d2).  A single-candidate model (no runner-up) is
+/// fully confident (1.0); a dead tie — including both distances zero — is
+/// fully uncertain (0.0); no candidates at all is 0.0.  For a fixed
+/// d1 + d2 the value is strictly increasing in the gap d2 - d1.
+[[nodiscard]] double margin_confidence(const Top2& top) noexcept;
+
+/// A p10/p50/p90 prediction band; p10 <= p50 <= p90 always.
+struct Band {
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+};
+
+/// Weighted empirical quantiles over a label grid from its full
+/// Hamming-distance profile.  distances[i] is the integer distance of the
+/// (unbound) query to grid point i of \p labels; weight_i =
+/// max(0, 1 - 2 * distances[i] / dimension).  Quantile q is the first grid
+/// index (ascending) whose cumulative weight reaches q * total.  When every
+/// weight is zero (query uncorrelated with the whole grid) the band
+/// collapses to the argmin grid value — the point prediction.
+/// \pre distances.size() == labels.size() and dimension > 0.
+/// \throws std::invalid_argument on a size mismatch.
+[[nodiscard]] Band band_from_distances(std::span<const std::size_t> distances,
+                                       const ScalarEncoder& labels,
+                                       std::size_t dimension);
+
+}  // namespace hdc
+
+#endif  // HDC_CORE_CONFIDENCE_HPP

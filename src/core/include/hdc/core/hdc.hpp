@@ -16,6 +16,7 @@
 #include "hdc/core/bitops.hpp"           // IWYU pragma: export
 #include "hdc/core/classifier.hpp"       // IWYU pragma: export
 #include "hdc/core/composed_encoder.hpp" // IWYU pragma: export
+#include "hdc/core/confidence.hpp"       // IWYU pragma: export
 #include "hdc/core/feature_encoder.hpp"  // IWYU pragma: export
 #include "hdc/core/hypervector.hpp"      // IWYU pragma: export
 #include "hdc/core/item_memory.hpp"      // IWYU pragma: export

@@ -18,8 +18,10 @@
 ///    which preserves per-sample magnitudes.
 
 #include <cstdint>
+#include <span>
 
 #include "hdc/core/accumulator.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/core/scalar_encoder.hpp"
 
 namespace hdc {
@@ -95,6 +97,21 @@ class HDRegressor {
   /// \throws std::logic_error if not finalized; std::invalid_argument on
   /// dimension mismatch.
   [[nodiscard]] double predict(HypervectorView encoded_input) const;
+
+  /// The full label-grid distance profile behind predict(): distance of
+  /// M ⊗ phi(x̂) to each label-basis vector, written to out[0..m).  The
+  /// argmin of this profile (lowest index on ties) is exactly predict()'s
+  /// decoded grid point; the whole profile feeds band_from_distances() —
+  /// the regressor's distributional head.  \p out must hold labels().size()
+  /// entries.  \throws std::logic_error if not finalized;
+  /// std::invalid_argument on dimension or size mismatch.
+  void label_distances(HypervectorView encoded_input,
+                       std::span<std::size_t> out) const;
+
+  /// Distributional prediction: the p10/p50/p90 weighted-quantile band of
+  /// the label grid under the similarity profile of M ⊗ phi(x̂)
+  /// (band_from_distances()).  Same preconditions as predict().
+  [[nodiscard]] Band predict_band(HypervectorView encoded_input) const;
 
   /// Extension: integer-accumulator prediction.  For each label vector L_l,
   /// scores the signed projection of the accumulator onto phi(x̂) ⊗ L_l and

@@ -21,6 +21,13 @@
 namespace hdc {
 
 /// Position-aware sequence encoder backed by an `ItemMemory`.
+///
+/// The `ItemMemory` materializes symbol vectors lazily, so the mutable
+/// encode overloads are for training.  Serving shares one encoder across
+/// connections behind a `shared_ptr<const>`; call `warm_bytes()` once after
+/// construction and the const overloads then encode any byte string without
+/// ever mutating the memory (symbol vectors depend only on (seed, symbol),
+/// so warming never changes what a symbol encodes to).
 class SequenceEncoder {
  public:
   /// \throws std::invalid_argument if dimension == 0.
@@ -33,6 +40,16 @@ class SequenceEncoder {
   /// Convenience: encodes a word character by character.
   /// \throws std::invalid_argument if word is empty.
   [[nodiscard]] Hypervector encode_word(std::string_view word);
+
+  /// Materializes all 256 single-byte symbols, making every byte string
+  /// encodable through the const overloads.  Idempotent.
+  void warm_bytes();
+
+  /// Const encode_word over already-materialized symbols (serving path;
+  /// bit-identical to the mutable overload).  \throws std::invalid_argument
+  /// if word is empty; std::logic_error if a byte was never materialized
+  /// (call warm_bytes() first).
+  [[nodiscard]] Hypervector encode_word(std::string_view word) const;
 
   [[nodiscard]] std::size_t dimension() const noexcept {
     return items_.dimension();
@@ -58,6 +75,16 @@ class NGramEncoder {
   /// Encodes text; texts shorter than n are encoded as a single partial
   /// window.  \throws std::invalid_argument if text is empty.
   [[nodiscard]] Hypervector encode(std::string_view text);
+
+  /// Materializes all 256 single-byte symbols for the const overload.
+  /// Idempotent.
+  void warm_bytes();
+
+  /// Const encode over already-materialized symbols (serving path;
+  /// bit-identical to the mutable overload).  \throws std::invalid_argument
+  /// if text is empty; std::logic_error if a byte was never materialized
+  /// (call warm_bytes() first).
+  [[nodiscard]] Hypervector encode(std::string_view text) const;
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] std::size_t dimension() const noexcept {

@@ -99,6 +99,28 @@ double HDRegressor::predict(HypervectorView encoded_input) const {
   return labels_->decode(model_ ^ encoded_input);
 }
 
+void HDRegressor::label_distances(HypervectorView encoded_input,
+                                  std::span<std::size_t> out) const {
+  if (!finalized_) {
+    throw std::logic_error("HDRegressor::label_distances: call finalize() first");
+  }
+  require(encoded_input.dimension() == dimension(),
+          "HDRegressor::label_distances", "input dimension mismatch");
+  const Basis& basis = labels_->basis();
+  require(out.size() >= basis.size(), "HDRegressor::label_distances",
+          "out must hold one distance per label grid point");
+  std::vector<std::uint64_t> bound(bits::words_for(dimension()));
+  bits::xor_rows(bound, model_.words(), encoded_input.words());
+  bits::hamming_many(bound, basis.packed_words(), basis.words_per_vector(),
+                     basis.size(), out);
+}
+
+Band HDRegressor::predict_band(HypervectorView encoded_input) const {
+  std::vector<std::size_t> distances(labels_->size());
+  label_distances(encoded_input, distances);
+  return band_from_distances(distances, *labels_, dimension());
+}
+
 double HDRegressor::predict_integer(HypervectorView encoded_input) const {
   require_trainable("HDRegressor::predict_integer");
   require(encoded_input.dimension() == dimension(),

@@ -1,5 +1,8 @@
 #include "hdc/core/sequence_encoder.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "hdc/base/require.hpp"
 #include "hdc/core/accumulator.hpp"
 #include "hdc/core/ops.hpp"
@@ -11,6 +14,24 @@ namespace {
 Hypervector make_tie_breaker(std::size_t dimension, std::uint64_t seed) {
   Rng rng(derive_seed(seed, 0x71EB4EA4ULL));
   return Hypervector::random(dimension, rng);
+}
+
+void warm_all_bytes(ItemMemory& items) {
+  for (unsigned b = 0; b < 256; ++b) {
+    const char byte = static_cast<char>(b);
+    (void)items.get(std::string_view(&byte, 1));
+  }
+}
+
+const Hypervector& find_byte(const ItemMemory& items, std::string_view symbol,
+                             const char* where) {
+  const Hypervector* found = items.find(symbol);
+  if (found == nullptr) {
+    throw std::logic_error(std::string(where) +
+                           ": symbol not materialized; call warm_bytes() "
+                           "before const encoding");
+  }
+  return *found;
 }
 
 }  // namespace
@@ -39,6 +60,20 @@ Hypervector SequenceEncoder::encode_word(std::string_view word) {
   return acc.finalize(tie_breaker_);
 }
 
+void SequenceEncoder::warm_bytes() { warm_all_bytes(items_); }
+
+Hypervector SequenceEncoder::encode_word(std::string_view word) const {
+  require(!word.empty(), "SequenceEncoder::encode_word",
+          "word must be non-empty");
+  BundleAccumulator acc(dimension());
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    acc.add(permute(find_byte(items_, std::string_view(&word[i], 1),
+                              "SequenceEncoder::encode_word"),
+                    i + 1));
+  }
+  return acc.finalize(tie_breaker_);
+}
+
 NGramEncoder::NGramEncoder(std::size_t dimension, std::size_t n,
                            std::uint64_t seed)
     : items_(dimension, seed), n_(n),
@@ -55,6 +90,28 @@ Hypervector NGramEncoder::encode(std::string_view text) {
     Hypervector gram = permute(items_.get(std::string_view(&text[start], 1)), 0);
     for (std::size_t k = 1; k < window; ++k) {
       gram ^= permute(items_.get(std::string_view(&text[start + k], 1)), k);
+    }
+    acc.add(gram);
+  }
+  return acc.finalize(tie_breaker_);
+}
+
+void NGramEncoder::warm_bytes() { warm_all_bytes(items_); }
+
+Hypervector NGramEncoder::encode(std::string_view text) const {
+  require(!text.empty(), "NGramEncoder::encode", "text must be non-empty");
+  BundleAccumulator acc(dimension());
+  const std::size_t window = std::min(n_, text.size());
+  const std::size_t last_start = text.size() - window;
+  for (std::size_t start = 0; start <= last_start; ++start) {
+    Hypervector gram =
+        permute(find_byte(items_, std::string_view(&text[start], 1),
+                          "NGramEncoder::encode"),
+                0);
+    for (std::size_t k = 1; k < window; ++k) {
+      gram ^= permute(find_byte(items_, std::string_view(&text[start + k], 1),
+                                "NGramEncoder::encode"),
+                      k);
     }
     acc.add(gram);
   }

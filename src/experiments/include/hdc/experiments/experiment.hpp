@@ -93,8 +93,8 @@ struct RegressionRun {
 /// Section 6.2 Beijing temperature task: samples encoded as Y ⊗ D ⊗ H (year
 /// always a level basis; day-of-year and hour-of-day use the basis family
 /// under test), chronological 70/30 split, level-encoded labels.
-[[nodiscard]] RegressionRun run_beijing_regression(BasisChoice choice, double r,
-                                                   const ExperimentParams& params);
+[[nodiscard]] RegressionRun run_beijing_regression(
+    BasisChoice choice, double r, const ExperimentParams& params);
 
 /// Section 6.2 Mars Express task: the mean anomaly is the single encoded
 /// input, random 70/30 split, level-encoded power labels.

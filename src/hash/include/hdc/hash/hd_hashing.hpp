@@ -71,7 +71,8 @@ class HDHashRing {
       std::string_view key, std::size_t corrupted_bits, Rng& rng) const;
 
   /// Slots currently owned by \p id (empty if unknown).
-  [[nodiscard]] std::vector<std::size_t> server_slots(std::string_view id) const;
+  [[nodiscard]] std::vector<std::size_t> server_slots(
+      std::string_view id) const;
 
   /// The circular basis backing the ring (for inspection and tests).
   [[nodiscard]] const Basis& ring() const noexcept { return encoder_.basis(); }

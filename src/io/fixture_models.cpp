@@ -35,6 +35,8 @@ enum : std::uint64_t {
   stream_beijing_hour = 14,
   stream_beijing_labels = 15,
   stream_beijing_model = 16,
+  stream_text_encoder = 17,
+  stream_text_model = 18,
 };
 
 }  // namespace
@@ -239,6 +241,32 @@ BeijingPipeline make_beijing_pipeline(const FixtureSpec& spec) {
   return {std::move(encoder), std::move(model)};
 }
 
+TextPipeline make_text_pipeline(const FixtureSpec& spec) {
+  constexpr std::size_t num_classes = 3;
+  // One tiny pseudo-language per class; trigram statistics separate them.
+  static constexpr std::array<std::array<const char*, 4>, num_classes>
+      phrases{{
+          {"the quick brown fox", "hello there again", "we shall meet today",
+           "thank you very much"},
+          {"el gato corre ahora", "buenos dias amigo", "gracias por la cena",
+           "hasta luego entonces"},
+          {"der hund lauft schnell", "guten morgen freund",
+           "danke fur das essen", "bis spater dann"},
+      }};
+
+  NGramEncoder encoder(spec.dimension, 3,
+                       derive_seed(spec.seed, stream_text_encoder));
+  CentroidClassifier model(num_classes, spec.dimension,
+                           derive_seed(spec.seed, stream_text_model));
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    for (const char* phrase : phrases[c]) {
+      model.add_sample(c, encoder.encode(phrase));
+    }
+  }
+  model.finalize();
+  return {std::move(encoder), std::move(model)};
+}
+
 std::vector<std::string> fixture_names() {
   return {
       "basis_random.hdcs",   "basis_level.hdcs",
@@ -246,7 +274,7 @@ std::vector<std::string> fixture_names() {
       "classifier.hdcs",     "regressor.hdcs",
       "combined.hdcs",       "pipeline_classifier.hdcs",
       "pipeline_regressor.hdcs", "pipeline_combined.hdcs",
-      "pipeline_beijing.hdcs",
+      "pipeline_beijing.hdcs", "pipeline_text.hdcs",
   };
 }
 
@@ -266,6 +294,7 @@ std::vector<std::string> write_all(const std::string& dir,
   const ClassifierPipeline classifier_pipeline = make_classifier_pipeline(spec);
   const RegressorPipeline regressor_pipeline = make_regressor_pipeline(spec);
   const BeijingPipeline beijing_pipeline = make_beijing_pipeline(spec);
+  const TextPipeline text_pipeline = make_text_pipeline(spec);
 
   std::vector<std::string> written;
   const auto write_one = [&](const std::string& name, const auto& add) {
@@ -305,6 +334,9 @@ std::vector<std::string> write_all(const std::string& dir,
   });
   write_one("pipeline_beijing.hdcs", [&](SnapshotWriter& w) {
     w.add_pipeline(*beijing_pipeline.encoder, beijing_pipeline.model);
+  });
+  write_one("pipeline_text.hdcs", [&](SnapshotWriter& w) {
+    w.add_pipeline(text_pipeline.encoder, text_pipeline.model);
   });
   return written;
 }

@@ -296,7 +296,8 @@ void validate_section_metadata(const SectionRecord& record, std::size_t index,
       if (encoder.type != SectionType::ScalarEncoderConfig &&
           encoder.type != SectionType::MultiScaleEncoderConfig &&
           encoder.type != SectionType::FeatureEncoderConfig &&
-          encoder.type != SectionType::ComposedEncoderConfig) {
+          encoder.type != SectionType::ComposedEncoderConfig &&
+          encoder.type != SectionType::SequenceEncoderConfig) {
         fail(where + ": aux section is not a pipeline encoder");
       }
       const SectionRecord& model =

@@ -27,6 +27,7 @@
 #include "hdc/core/feature_encoder.hpp"
 #include "hdc/core/multiscale_encoder.hpp"
 #include "hdc/core/regressor.hpp"
+#include "hdc/core/sequence_encoder.hpp"
 
 namespace hdc::io::fixtures {
 
@@ -82,11 +83,22 @@ struct BeijingPipeline {
 [[nodiscard]] BeijingPipeline make_beijing_pipeline(
     const FixtureSpec& spec = {});
 
+/// A raw-text classification pipeline in the language-ID shape: character
+/// trigrams (n = 3) bundled per phrase, plus a 3-class centroid model
+/// trained on seeded phrase lists (one pseudo-language per class).  The
+/// snapshot side is config-only — dimension, n, seed — so the committed
+/// fixture stays a few hundred bytes.
+struct TextPipeline {
+  NGramEncoder encoder;
+  CentroidClassifier model;
+};
+[[nodiscard]] TextPipeline make_text_pipeline(const FixtureSpec& spec = {});
+
 /// File names of the canonical fixture set, in generation order: one
 /// single-section snapshot per basis kind, a classifier, a regressor, one
-/// combined multi-section snapshot, and the four pipeline snapshots
-/// (classifier pipeline, regressor pipeline, both in one file, and the
-/// Beijing composed-encoder pipeline).
+/// combined multi-section snapshot, and the five pipeline snapshots
+/// (classifier pipeline, regressor pipeline, both in one file, the Beijing
+/// composed-encoder pipeline, and the n-gram text pipeline).
 [[nodiscard]] std::vector<std::string> fixture_names();
 
 /// Writes the canonical fixture snapshots into \p dir (created if missing)

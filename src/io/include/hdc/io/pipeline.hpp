@@ -21,6 +21,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <string_view>
 
 #include "hdc/core/classifier.hpp"
 #include "hdc/core/composed_encoder.hpp"
@@ -28,10 +29,12 @@
 #include "hdc/core/hypervector.hpp"
 #include "hdc/core/regressor.hpp"
 #include "hdc/core/scalar_encoder.hpp"
+#include "hdc/core/sequence_encoder.hpp"
 #include "hdc/io/snapshot.hpp"
 #include "hdc/runtime/batch_classifier.hpp"
 #include "hdc/runtime/batch_encoder.hpp"
 #include "hdc/runtime/batch_regressor.hpp"
+#include "hdc/runtime/batch_text_encoder.hpp"
 
 namespace hdc::io {
 
@@ -43,6 +46,19 @@ enum class PipelineKind : std::uint8_t {
 
 /// Human-readable kind name ("classifier" / "regressor").
 [[nodiscard]] const char* to_string(PipelineKind kind) noexcept;
+
+/// What a restored pipeline consumes: numeric feature rows (every scalar /
+/// feature / composed encoder) or raw text (sequence / n-gram encoders).
+/// The two input modes have disjoint entry points — encode()/classify()/
+/// regress() for Numeric, encode_text()/classify_text()/regress_text() for
+/// Text — and crossing them throws std::logic_error.
+enum class PipelineInput : std::uint8_t {
+  Numeric = 0,
+  Text = 1,
+};
+
+/// Human-readable input-mode name ("numeric" / "text").
+[[nodiscard]] const char* to_string(PipelineInput input) noexcept;
 
 /// A ready-to-serve encode->predict pipeline restored from a snapshot.
 ///
@@ -66,9 +82,15 @@ class Pipeline {
   [[nodiscard]] PipelineKind kind() const noexcept { return kind_; }
   [[nodiscard]] std::size_t dimension() const noexcept { return dimension_; }
 
+  /// Input mode: Text for sequence/n-gram-encoder pipelines, else Numeric.
+  [[nodiscard]] PipelineInput input() const noexcept {
+    return sequence_ || ngram_ ? PipelineInput::Text : PipelineInput::Numeric;
+  }
+
   /// Features per sample: the key count of a feature-encoder pipeline, the
   /// sub-encoder count of a composed-encoder pipeline, 1 for a
-  /// scalar-encoder pipeline.
+  /// scalar-encoder pipeline, 0 for a text pipeline (rows are strings, not
+  /// feature vectors — check input() first).
   [[nodiscard]] std::size_t num_features() const noexcept;
 
   /// Encodes one feature row exactly as the written pipeline did.
@@ -83,6 +105,20 @@ class Pipeline {
   /// std::logic_error on a classifier pipeline; std::invalid_argument as
   /// encode().
   [[nodiscard]] double regress(std::span<const double> features) const;
+
+  /// Encodes one raw text row exactly as the written pipeline did (the
+  /// const, warmed-symbol path — safe to call concurrently).  \throws
+  /// std::logic_error on a numeric pipeline; std::invalid_argument if text
+  /// is empty.
+  [[nodiscard]] Hypervector encode_text(std::string_view text) const;
+
+  /// encode_text() + nearest-class prediction.  \throws std::logic_error on
+  /// a regressor or numeric pipeline.
+  [[nodiscard]] std::size_t classify_text(std::string_view text) const;
+
+  /// encode_text() + regression readout.  \throws std::logic_error on a
+  /// classifier or numeric pipeline.
+  [[nodiscard]] double regress_text(std::string_view text) const;
 
   /// The restored model.  \throws std::logic_error when the pipeline is not
   /// of that kind — query kind() first.
@@ -107,6 +143,12 @@ class Pipeline {
   [[nodiscard]] const ComposedEncoder* composed_encoder() const noexcept {
     return composed_.get();
   }
+  [[nodiscard]] const SequenceEncoder* sequence_encoder() const noexcept {
+    return sequence_.get();
+  }
+  [[nodiscard]] const NGramEncoder* ngram_encoder() const noexcept {
+    return ngram_.get();
+  }
 
   /// hdc::runtime bridges: a BatchEncoder wrapping this pipeline's encode()
   /// and Batch{Classifier,Regressor} engines adopting (a shallow copy of)
@@ -121,6 +163,12 @@ class Pipeline {
   [[nodiscard]] runtime::BatchRegressor batch_regressor(
       runtime::ThreadPoolPtr pool) const;
 
+  /// The text twin of batch_encoder(): a BatchTextEncoder wrapping this
+  /// pipeline's encode_text().  \throws std::logic_error on a numeric
+  /// pipeline; std::invalid_argument if pool is null.
+  [[nodiscard]] runtime::BatchTextEncoder batch_text_encoder(
+      runtime::ThreadPoolPtr pool) const;
+
  private:
   Pipeline() = default;
 
@@ -130,6 +178,10 @@ class Pipeline {
   std::shared_ptr<const KeyValueEncoder> features_;
   ScalarEncoderPtr scalar_;
   std::shared_ptr<const ComposedEncoder> composed_;
+  /// Text encoders are warmed (warm_bytes()) before being frozen const, so
+  /// encode_text() never mutates shared state.
+  std::shared_ptr<const SequenceEncoder> sequence_;
+  std::shared_ptr<const NGramEncoder> ngram_;
   std::shared_ptr<const CentroidClassifier> classifier_;
   std::shared_ptr<const HDRegressor> regressor_;
 };

@@ -124,6 +124,14 @@ class SnapshotWriter {
                            const CentroidClassifier& model);
   std::size_t add_pipeline(const ComposedEncoder& encoder,
                            const HDRegressor& model);
+  std::size_t add_pipeline(const SequenceEncoder& encoder,
+                           const CentroidClassifier& model);
+  std::size_t add_pipeline(const SequenceEncoder& encoder,
+                           const HDRegressor& model);
+  std::size_t add_pipeline(const NGramEncoder& encoder,
+                           const CentroidClassifier& model);
+  std::size_t add_pipeline(const NGramEncoder& encoder,
+                           const HDRegressor& model);
 
   /// Adds a version-4 delta section (hdc/io/delta.hpp): the changed rows of
   /// an adapted model against a hashed base snapshot.  Like every add_*,

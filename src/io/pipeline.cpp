@@ -10,6 +10,10 @@ const char* to_string(PipelineKind kind) noexcept {
   return kind == PipelineKind::Classifier ? "classifier" : "regressor";
 }
 
+const char* to_string(PipelineInput input) noexcept {
+  return input == PipelineInput::Text ? "text" : "numeric";
+}
+
 Pipeline Pipeline::restore(const MappedSnapshot& snapshot) {
   std::size_t head_index = 0;
   std::size_t heads = 0;
@@ -52,6 +56,22 @@ Pipeline Pipeline::restore(const MappedSnapshot& snapshot,
       pipeline.composed_ = std::make_shared<ComposedEncoder>(
           snapshot.composed_encoder(encoder_index));
       break;
+    case SectionType::SequenceEncoderConfig:
+      // Warm every single-byte symbol *before* freezing the encoder const:
+      // serving shares one encoder across threads, and the const encode
+      // path only reads already-materialized symbols.
+      if (snapshot.section(encoder_index).kind == 0) {
+        auto sequence = std::make_shared<SequenceEncoder>(
+            snapshot.sequence_encoder(encoder_index));
+        sequence->warm_bytes();
+        pipeline.sequence_ = std::move(sequence);
+      } else {
+        auto ngram = std::make_shared<NGramEncoder>(
+            snapshot.ngram_encoder(encoder_index));
+        ngram->warm_bytes();
+        pipeline.ngram_ = std::move(ngram);
+      }
+      break;
     default:
       pipeline.scalar_ = snapshot.scalar_encoder(encoder_index);
       break;
@@ -75,6 +95,9 @@ std::size_t Pipeline::num_features() const noexcept {
   if (features_) {
     return features_->num_features();
   }
+  if (sequence_ || ngram_) {
+    return 0;
+  }
   return composed_ ? composed_->num_features() : 1;
 }
 
@@ -84,6 +107,10 @@ Hypervector Pipeline::encode(std::span<const double> features) const {
   }
   if (composed_) {
     return composed_->encode(features);
+  }
+  if (sequence_ || ngram_) {
+    throw std::logic_error(
+        "Pipeline::encode: text pipelines take raw rows via encode_text()");
   }
   if (features.size() != 1) {
     throw std::invalid_argument(
@@ -99,6 +126,25 @@ std::size_t Pipeline::classify(std::span<const double> features) const {
 
 double Pipeline::regress(std::span<const double> features) const {
   return regressor().predict(encode(features));
+}
+
+Hypervector Pipeline::encode_text(std::string_view text) const {
+  if (sequence_) {
+    return sequence_->encode_word(text);
+  }
+  if (ngram_) {
+    return ngram_->encode(text);
+  }
+  throw std::logic_error(
+      "Pipeline::encode_text: this is a numeric pipeline; use encode()");
+}
+
+std::size_t Pipeline::classify_text(std::string_view text) const {
+  return classifier().predict(encode_text(text));
+}
+
+double Pipeline::regress_text(std::string_view text) const {
+  return regressor().predict(encode_text(text));
 }
 
 const CentroidClassifier& Pipeline::classifier() const {
@@ -137,6 +183,11 @@ runtime::BatchEncoder Pipeline::batch_encoder(
     runtime::ThreadPoolPtr pool) const {
   // Every branch captures the shared encoder state, not this Pipeline
   // object; the engine stays valid as long as the snapshot mapping does.
+  if (sequence_ || ngram_) {
+    throw std::logic_error(
+        "Pipeline::batch_encoder: text pipelines batch via "
+        "batch_text_encoder()");
+  }
   runtime::BatchEncoder::EncodeFn encode;
   if (features_) {
     encode = [encoder = features_](std::span<const double> row) {
@@ -157,6 +208,28 @@ runtime::BatchEncoder Pipeline::batch_encoder(
     };
   }
   return runtime::BatchEncoder(dimension_, std::move(encode), std::move(pool));
+}
+
+runtime::BatchTextEncoder Pipeline::batch_text_encoder(
+    runtime::ThreadPoolPtr pool) const {
+  // Capture the shared encoder handle, not this Pipeline object, so the
+  // engine stays valid as long as the snapshot mapping does.
+  runtime::BatchTextEncoder::TextEncodeFn encode;
+  if (sequence_) {
+    encode = [encoder = sequence_](std::string_view text) {
+      return encoder->encode_word(text);
+    };
+  } else if (ngram_) {
+    encode = [encoder = ngram_](std::string_view text) {
+      return encoder->encode(text);
+    };
+  } else {
+    throw std::logic_error(
+        "Pipeline::batch_text_encoder: this is a numeric pipeline; use "
+        "batch_encoder()");
+  }
+  return runtime::BatchTextEncoder(dimension_, std::move(encode),
+                                   std::move(pool));
 }
 
 runtime::BatchClassifier Pipeline::batch_classifier(

@@ -24,6 +24,12 @@ void ensure_swappable(const Pipeline& fresh, const Pipeline& incumbent) {
         to_string(fresh.kind()) + " but the serving pipeline is a " +
         to_string(incumbent.kind()));
   }
+  if (fresh.input() != incumbent.input()) {
+    throw SnapshotError(
+        std::string("reload rejected: replacement pipeline takes ") +
+        to_string(fresh.input()) + " rows but clients are streaming " +
+        to_string(incumbent.input()) + " rows");
+  }
   if (fresh.num_features() != incumbent.num_features()) {
     throw SnapshotError(
         "reload rejected: replacement pipeline takes " +

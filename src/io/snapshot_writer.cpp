@@ -299,6 +299,38 @@ std::size_t SnapshotWriter::add_pipeline(const ComposedEncoder& encoder,
   return add_pipeline_head(encoder_section, model_section, model.dimension());
 }
 
+std::size_t SnapshotWriter::add_pipeline(const SequenceEncoder& encoder,
+                                         const CentroidClassifier& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_sequence_encoder(encoder);
+  const std::size_t model_section = add_classifier(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const SequenceEncoder& encoder,
+                                         const HDRegressor& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_sequence_encoder(encoder);
+  const std::size_t model_section = add_regressor(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const NGramEncoder& encoder,
+                                         const CentroidClassifier& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_sequence_encoder(encoder);
+  const std::size_t model_section = add_classifier(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
+std::size_t SnapshotWriter::add_pipeline(const NGramEncoder& encoder,
+                                         const HDRegressor& model) {
+  require_pipeline_dimensions(encoder.dimension(), model.dimension());
+  const std::size_t encoder_section = add_sequence_encoder(encoder);
+  const std::size_t model_section = add_regressor(model);
+  return add_pipeline_head(encoder_section, model_section, model.dimension());
+}
+
 std::size_t SnapshotWriter::add_pipeline_head(std::size_t encoder_section,
                                               std::size_t model_section,
                                               std::size_t dimension) {

@@ -88,4 +88,27 @@ std::vector<std::size_t> BatchClassifier::predict(
   return out;
 }
 
+std::vector<Top2> BatchClassifier::predict_top2(
+    const VectorArena& queries) const {
+  if (!model_.finalized()) {
+    throw std::logic_error(
+        "BatchClassifier::predict_top2: call model().finalize() before "
+        "inference");
+  }
+  require(queries.dimension() == dimension(), "BatchClassifier::predict_top2",
+          "query dimension mismatch");
+  std::vector<Top2> out(queries.size());
+  pool_->for_chunks(queries.size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t /*chunk*/) {
+    // Per-chunk distance scratch so the hot loop never allocates.
+    std::vector<std::size_t> scratch(num_classes());
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = top2_hamming(queries.words(i), model_.packed_class_words(),
+                            model_.words_per_class(), num_classes(), 0,
+                            scratch);
+    }
+  });
+  return out;
+}
+
 }  // namespace hdc::runtime

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "hdc/base/require.hpp"
+#include "hdc/core/bitops.hpp"
 
 namespace hdc::runtime {
 
@@ -89,6 +90,35 @@ std::vector<double> BatchRegressor::predict(const VectorArena& queries) const {
         scratch[w] = model_words[w] ^ query[w];
       }
       out[i] = label_encoder.decode(bound);
+    }
+  });
+  return out;
+}
+
+std::vector<Band> BatchRegressor::predict_band(
+    const VectorArena& queries) const {
+  if (!model_.finalized()) {
+    throw std::logic_error(
+        "BatchRegressor::predict_band: call model().finalize() before "
+        "inference");
+  }
+  require(queries.dimension() == dimension(), "BatchRegressor::predict_band",
+          "query dimension mismatch");
+  const ScalarEncoder& label_encoder = model_.labels();
+  const Basis& basis = label_encoder.basis();
+  const Hypervector& model_hv = model_.model();
+  std::vector<Band> out(queries.size());
+  pool_->for_chunks(queries.size(), [&](std::size_t begin, std::size_t end,
+                                        std::size_t /*chunk*/) {
+    // Per-chunk scratch (bound query + distance profile) reused across
+    // rows so the hot loop never allocates.
+    Hypervector bound(dimension());
+    std::vector<std::size_t> distances(basis.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      bits::xor_rows(bound.words(), model_hv.words(), queries.words(i));
+      bits::hamming_many(bound.words(), basis.packed_words(),
+                         basis.words_per_vector(), basis.size(), distances);
+      out[i] = band_from_distances(distances, label_encoder, dimension());
     }
   });
   return out;

@@ -1,0 +1,36 @@
+#include "hdc/runtime/batch_text_encoder.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "hdc/base/require.hpp"
+
+namespace hdc::runtime {
+
+BatchTextEncoder::BatchTextEncoder(std::size_t dimension, TextEncodeFn encode,
+                                   ThreadPoolPtr pool)
+    : dimension_(dimension), encode_(std::move(encode)),
+      pool_(std::move(pool)) {
+  require_positive(dimension, "BatchTextEncoder", "dimension");
+  require(encode_ != nullptr, "BatchTextEncoder", "encode must not be null");
+  require(pool_ != nullptr, "BatchTextEncoder", "pool must not be null");
+}
+
+VectorArena BatchTextEncoder::encode(
+    std::span<const std::string> rows) const {
+  const std::size_t count = rows.size();
+  VectorArena arena(dimension_, count);
+  pool_->for_chunks(count, [&](std::size_t begin, std::size_t end,
+                               std::size_t /*chunk*/) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Hypervector hv = encode_(rows[i]);
+      require(hv.dimension() == dimension_, "BatchTextEncoder::encode",
+              "encode function returned a wrong-dimension hypervector");
+      const auto src = hv.words();
+      std::copy(src.begin(), src.end(), arena.mutable_words(i).begin());
+    }
+  });
+  return arena;
+}
+
+}  // namespace hdc::runtime

@@ -69,6 +69,13 @@ class BatchClassifier {
   [[nodiscard]] std::vector<std::size_t> predict(
       const VectorArena& queries) const;
 
+  /// Top-2 (distance, index) candidates for every arena row, in parallel;
+  /// out[i] == model().predict_top2(...) for all i, for any thread count —
+  /// the batched confidence head (feed each result to margin_confidence()).
+  /// \throws as predict().
+  [[nodiscard]] std::vector<Top2> predict_top2(
+      const VectorArena& queries) const;
+
  private:
   CentroidClassifier model_;
   ThreadPoolPtr pool_;

@@ -62,6 +62,13 @@ class BatchRegressor {
   /// std::invalid_argument on dimension mismatch.
   [[nodiscard]] std::vector<double> predict(const VectorArena& queries) const;
 
+  /// p10/p50/p90 quantile band (HDRegressor::predict_band) for every arena
+  /// row, in parallel; out[i] == model().predict_band(...) for all i, for
+  /// any thread count — the batched distributional head.
+  /// \throws as predict().
+  [[nodiscard]] std::vector<Band> predict_band(
+      const VectorArena& queries) const;
+
   /// Integer-accumulator prediction (HDRegressor::predict_integer) for every
   /// arena row, in parallel.  Does not require finalize().
   /// \throws std::invalid_argument on dimension mismatch.

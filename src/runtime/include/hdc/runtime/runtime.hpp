@@ -8,6 +8,7 @@
 #include "hdc/runtime/batch_classifier.hpp"  // IWYU pragma: export
 #include "hdc/runtime/batch_encoder.hpp"     // IWYU pragma: export
 #include "hdc/runtime/batch_regressor.hpp"   // IWYU pragma: export
+#include "hdc/runtime/batch_text_encoder.hpp"  // IWYU pragma: export
 #include "hdc/runtime/thread_pool.hpp"       // IWYU pragma: export
 
 #endif  // HDC_RUNTIME_RUNTIME_HPP

@@ -21,11 +21,8 @@ AdaptiveState::AdaptiveState(ServingStatePtr base, std::uint64_t seed)
   }
 }
 
-AdaptOutcome AdaptiveState::adapt(std::span<const double> features,
-                                  double target) {
-  // Encoding is const over shared encoder state; only the overlay update
-  // itself needs the lock.
-  const Hypervector encoded = base_->pipeline().encode(features);
+AdaptOutcome AdaptiveState::adapt_encoded(const Hypervector& encoded,
+                                          double target) {
   AdaptOutcome out;
   const std::lock_guard<std::mutex> lock(mutex_);
   if (classifier_ != nullptr) {
@@ -49,13 +46,65 @@ AdaptOutcome AdaptiveState::adapt(std::span<const double> features,
   return out;
 }
 
-double AdaptiveState::predict(std::span<const double> features) const {
-  const Hypervector encoded = base_->pipeline().encode(features);
+AdaptOutcome AdaptiveState::adapt(std::span<const double> features,
+                                  double target) {
+  // Encoding is const over shared encoder state; only the overlay update
+  // itself needs the lock.
+  return adapt_encoded(base_->pipeline().encode(features), target);
+}
+
+AdaptOutcome AdaptiveState::adapt_text(std::string_view text, double target) {
+  return adapt_encoded(base_->pipeline().encode_text(text), target);
+}
+
+double AdaptiveState::predict_encoded(const Hypervector& encoded) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (classifier_ != nullptr) {
     return static_cast<double>(classifier_->predict(encoded));
   }
   return regressor_->predict(encoded);
+}
+
+double AdaptiveState::predict(std::span<const double> features) const {
+  return predict_encoded(base_->pipeline().encode(features));
+}
+
+double AdaptiveState::predict_text(std::string_view text) const {
+  return predict_encoded(base_->pipeline().encode_text(text));
+}
+
+Top2 AdaptiveState::top2_encoded(const Hypervector& encoded) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (classifier_ == nullptr) {
+    throw std::logic_error(
+        "AdaptiveState: confidence heads come from classifier overlays");
+  }
+  return classifier_->predict_top2(encoded);
+}
+
+Top2 AdaptiveState::predict_top2(std::span<const double> features) const {
+  return top2_encoded(base_->pipeline().encode(features));
+}
+
+Top2 AdaptiveState::predict_top2_text(std::string_view text) const {
+  return top2_encoded(base_->pipeline().encode_text(text));
+}
+
+Band AdaptiveState::band_encoded(const Hypervector& encoded) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (regressor_ == nullptr) {
+    throw std::logic_error(
+        "AdaptiveState: band heads come from regressor overlays");
+  }
+  return regressor_->predict_band(encoded);
+}
+
+Band AdaptiveState::predict_band(std::span<const double> features) const {
+  return band_encoded(base_->pipeline().encode(features));
+}
+
+Band AdaptiveState::predict_band_text(std::string_view text) const {
+  return band_encoded(base_->pipeline().encode_text(text));
 }
 
 std::uint64_t AdaptiveState::overlay_rows() const {

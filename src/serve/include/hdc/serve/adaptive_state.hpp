@@ -34,9 +34,11 @@
 #include <mutex>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "hdc/core/adaptive.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/serve/swap_state.hpp"
 
 namespace hdc::serve {
@@ -73,13 +75,29 @@ class AdaptiveState {
   /// One feedback row: encodes \p features over the pinned pipeline and
   /// applies the mistake-driven update.  Classifier targets must be
   /// integral labels in range (hdc::checked_class_label).
-  /// \throws std::invalid_argument on arity, dimension or target errors.
+  /// \throws std::invalid_argument on arity, dimension or target errors;
+  /// std::logic_error on a text pipeline (use adapt_text).
   AdaptOutcome adapt(std::span<const double> features, double target);
+
+  /// The text twin of adapt(): one raw-text feedback sample.
+  /// \throws std::logic_error on a numeric pipeline.
+  AdaptOutcome adapt_text(std::string_view text, double target);
 
   /// Prediction over the overlay (class index as double for classifiers) —
   /// the "adapted" side of the `!use` A/B switch.
   /// \throws std::invalid_argument on arity mismatch.
   [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] double predict_text(std::string_view text) const;
+
+  /// Head-carrying predictions over the overlay, mirroring the batch
+  /// engines' heads (hdc/core/confidence.hpp) for the adapted side of the
+  /// A/B.  top2 variants \throws std::logic_error on regressor overlays,
+  /// band variants on classifier overlays; _text variants on numeric
+  /// pipelines and the numeric ones on text pipelines.
+  [[nodiscard]] Top2 predict_top2(std::span<const double> features) const;
+  [[nodiscard]] Top2 predict_top2_text(std::string_view text) const;
+  [[nodiscard]] Band predict_band(std::span<const double> features) const;
+  [[nodiscard]] Band predict_band_text(std::string_view text) const;
 
   /// Counters, as in the overlay classes.
   [[nodiscard]] std::uint64_t overlay_rows() const;
@@ -104,6 +122,13 @@ class AdaptiveState {
   void reset();
 
  private:
+  /// Locked update/readout over an already-encoded feedback row (the
+  /// numeric and text entry points share everything past encoding).
+  AdaptOutcome adapt_encoded(const Hypervector& encoded, double target);
+  [[nodiscard]] double predict_encoded(const Hypervector& encoded) const;
+  [[nodiscard]] Top2 top2_encoded(const Hypervector& encoded) const;
+  [[nodiscard]] Band band_encoded(const Hypervector& encoded) const;
+
   mutable std::mutex mutex_;
   ServingStatePtr base_;
   std::unique_ptr<AdaptiveClassifier> classifier_;

@@ -31,7 +31,11 @@
 ///
 /// Lines in, lines out — exactly the `hdcgen serve` stdin format, so the
 /// same producers work against both front ends.  Data lines are CSV/JSONL
-/// feature rows; responses are emitted in admission order per connection.
+/// feature rows — or, for text pipelines served with `--input text`, raw
+/// text samples (one per line; a leading `!` still marks a control line).
+/// Responses are emitted in admission order per connection, optionally
+/// carrying a prediction head (NetServerOptions::head): a margin
+/// confidence per classifier row or a p10/p50/p90 band per regressor row.
 /// Lines starting with `!` are control commands:
 ///
 ///   * `!ping`          → `!ok pong generation=G`
@@ -101,6 +105,15 @@ namespace hdc::serve {
 /// appended verbatim to the `!stats` reply (per-rank counters).  All
 /// callables must be thread-safe; unset members fall back to the local
 /// swap-state behaviour.
+/// One head-carrying batch result from the cluster: values[i] is row i's
+/// prediction; confidences (classifiers) or bands (regressors) run
+/// parallel to it, the other stays empty.
+struct HeadBatch {
+  std::vector<double> values;
+  std::vector<double> confidences;
+  std::vector<Band> bands;
+};
+
 struct ClusterHooks {
   std::function<std::vector<double>(std::span<const std::vector<double>>)>
       predict;
@@ -115,6 +128,16 @@ struct ClusterHooks {
   /// `!delta PATH`: write the cluster's adapted-vs-base difference as a
   /// delta file; returns the changed-row count.
   std::function<std::uint64_t(const std::string& out_path)> export_delta;
+  /// Text-pipeline twins: raw-text micro-batches and feedback rows.  Must
+  /// be set when the server's input format is Text and `predict` is set.
+  std::function<std::vector<double>(std::span<const std::string>)>
+      predict_text;
+  std::function<AdaptOutcome(double target, std::string_view text)> adapt_text;
+  /// Head-carrying prediction planes, used instead of `predict` /
+  /// `predict_text` when the server emits a prediction head.  Must be set
+  /// when a head mode is configured and `predict` is set.
+  std::function<HeadBatch(std::span<const std::vector<double>>)> predict_head;
+  std::function<HeadBatch(std::span<const std::string>)> predict_text_head;
 };
 
 /// Listener + micro-batching policy for the socket front end.
@@ -136,10 +159,14 @@ struct NetServerOptions {
   /// Worker threads for the internally created pool when none is passed
   /// (0 = hardware concurrency).
   std::size_t num_threads = 0;
-  /// Wire formats, as in the stdin front end.
+  /// Wire formats, as in the stdin front end.  `input` must match the
+  /// pipeline's input mode (Text for text pipelines) and `head` its kind
+  /// (Confidence for classifiers, Band for regressors) — both are checked
+  /// at construction.
   RowFormat input = RowFormat::Csv;
   OutputFormat output = OutputFormat::Plain;
   bool with_latency = false;
+  HeadMode head = HeadMode::None;
   /// Connections beyond this are refused with `!error server full`.
   std::size_t max_connections = 256;
   /// Residency hints applied when reload() maps a replacement snapshot
@@ -248,6 +275,7 @@ class NetServer {
   AdaptiveStatePtr adaptive_;
   std::size_t num_features_;
   bool classifies_;
+  bool text_input_;
   std::uint16_t port_ = 0;
   int tcp_fd_ = -1;
   int unix_fd_ = -1;

@@ -59,32 +59,42 @@ enum class RowFormat : std::uint8_t {
   Csv,
   /// One sample per line, a JSON array of numbers (`[1.0, 2.5]`).
   Jsonl,
+  /// One sample per line, the raw line *is* the sample (text pipelines).
+  /// No numeric parsing happens: every byte after the CR strip belongs to
+  /// the sample, so text rows cannot be malformed — only blank.
+  Text,
 };
 
-/// Parses \p name ("csv" / "jsonl") into a RowFormat.
+/// Parses \p name ("csv" / "jsonl" / "text") into a RowFormat.
 /// \throws std::invalid_argument on anything else.
 [[nodiscard]] RowFormat parse_row_format(const std::string& name);
 
-/// Streaming feature-row parser with a fixed arity contract.
+/// Streaming feature-row parser with a fixed arity contract.  Numeric
+/// formats (Csv/Jsonl) parse into feature vectors; the Text format passes
+/// raw lines through (next_text()/parse_text_line()).  The arity contract
+/// mirrors io::Pipeline::num_features(): > 0 for numeric formats, exactly
+/// 0 for Text.
 class RowReader {
  public:
   /// \param in            Source stream; must outlive the reader.
-  /// \param num_features  Required fields per row (> 0).
-  /// \throws std::invalid_argument if num_features == 0.
+  /// \param num_features  Required fields per row (> 0 for Csv/Jsonl, 0
+  ///                      for Text).
+  /// \throws std::invalid_argument if num_features disagrees with the
+  /// format's arity contract.
   RowReader(std::istream& in, std::size_t num_features,
             RowFormat format = RowFormat::Csv);
 
   /// Stream-less reader for front ends that own their I/O (the socket
   /// server reads lines off a polled fd and feeds them to parse_line()).
   /// next() on such a reader throws std::logic_error.
-  /// \throws std::invalid_argument if num_features == 0.
+  /// \throws std::invalid_argument as the stream constructor.
   explicit RowReader(std::size_t num_features,
                      RowFormat format = RowFormat::Csv);
 
   /// Reads the next non-empty line into \p out (resized to num_features()).
   /// Returns false on clean end of stream.  \throws RowError on wrong
   /// arity, non-numeric or non-finite fields, malformed JSON arrays, or
-  /// stream failure.
+  /// stream failure; std::logic_error on a Text reader (use next_text()).
   [[nodiscard]] bool next(std::vector<double>& out);
 
   /// Parses one already-read line as the next input line: counts it,
@@ -92,6 +102,14 @@ class RowReader {
   /// when it is blank.  \throws RowError exactly as next().
   [[nodiscard]] bool parse_line(const std::string& line,
                                 std::vector<double>& out);
+
+  /// Text-format twins of next()/parse_line(): the (CR-stripped) line is
+  /// the sample.  Returns false on end of stream / a blank line.  \throws
+  /// std::logic_error on a numeric-format reader; RowError on stream
+  /// failure.
+  [[nodiscard]] bool next_text(std::string& out);
+  [[nodiscard]] bool parse_text_line(const std::string& line,
+                                     std::string& out);
 
   [[nodiscard]] std::size_t num_features() const noexcept {
     return num_features_;

@@ -19,13 +19,16 @@
 
 #include <chrono>
 #include <cstddef>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "hdc/io/pipeline.hpp"
 #include "hdc/runtime/batch_classifier.hpp"
 #include "hdc/runtime/batch_encoder.hpp"
 #include "hdc/runtime/batch_regressor.hpp"
+#include "hdc/runtime/batch_text_encoder.hpp"
 #include "hdc/serve/prediction_writer.hpp"
 #include "hdc/serve/row_reader.hpp"
 
@@ -71,9 +74,15 @@ class Server {
 
   /// One micro-batch through the thread pool: encode every row, predict,
   /// return predictions in row order (classifier labels as doubles).
-  /// \throws std::invalid_argument on a row of the wrong arity.
+  /// \throws std::invalid_argument on a row of the wrong arity;
+  /// std::logic_error on a text pipeline (use predict_text).
   [[nodiscard]] std::vector<double> predict(
       std::span<const std::vector<double>> rows) const;
+
+  /// The text twin of predict(): one raw-text sample per element.
+  /// \throws std::logic_error on a numeric pipeline.
+  [[nodiscard]] std::vector<double> predict_text(
+      std::span<const std::string> rows) const;
 
   /// Serving-loop outcome.
   struct Stats {
@@ -84,17 +93,22 @@ class Server {
 
   /// Reads rows until end of stream, predicting in micro-batches and
   /// writing every prediction (with its admission-to-write latency) in
-  /// input order.  \throws RowError on malformed input — every row that
+  /// input order.  The reader's format must match the pipeline's input
+  /// mode (Text readers for text pipelines) and the writer's head mode its
+  /// kind (Confidence heads come from classifiers, Band heads from
+  /// regressors).  \throws RowError on malformed input — every row that
   /// parsed before the bad one is predicted, written and flushed first;
-  /// std::invalid_argument if the reader's arity disagrees with the
-  /// pipeline's.
+  /// std::invalid_argument if the reader's format/arity or the writer's
+  /// head disagrees with the pipeline.
   Stats run(RowReader& reader, PredictionWriter& writer) const;
 
  private:
   io::Pipeline pipeline_;
   ServerOptions options_;
   runtime::ThreadPoolPtr pool_;
-  runtime::BatchEncoder encoder_;
+  /// Exactly one is engaged, per the pipeline's input mode.
+  std::optional<runtime::BatchEncoder> encoder_;
+  std::optional<runtime::BatchTextEncoder> text_encoder_;
 };
 
 }  // namespace hdc::serve

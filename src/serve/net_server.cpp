@@ -198,10 +198,28 @@ NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
       num_features_(swap_.load()->pipeline().num_features()),
       classifies_(swap_.load()->pipeline().kind() ==
                   io::PipelineKind::Classifier),
+      text_input_(swap_.load()->pipeline().input() ==
+                  io::PipelineInput::Text),
       impl_(new Impl) {
   try {
     if (options_.batch_size == 0) {
       throw std::invalid_argument("NetServer: batch_size must be > 0");
+    }
+    if (text_input_ != (options_.input == RowFormat::Text)) {
+      throw std::invalid_argument(
+          std::string("NetServer: the pipeline takes ") +
+          io::to_string(swap_.load()->pipeline().input()) +
+          " rows but the configured input format disagrees");
+    }
+    if (options_.head == HeadMode::Confidence && !classifies_) {
+      throw std::invalid_argument(
+          "NetServer: confidence heads come from classifiers; regressor "
+          "pipelines emit bands");
+    }
+    if (options_.head == HeadMode::Band && classifies_) {
+      throw std::invalid_argument(
+          "NetServer: band heads come from regressors; classifier "
+          "pipelines emit confidences");
     }
     if (options_.host.empty() && options_.unix_path.empty()) {
       throw std::invalid_argument(
@@ -444,15 +462,21 @@ void NetServer::serve_connection_body(int fd) {
   // before the bundle that may hold its last reference.
   struct Engines {
     ServingStatePtr state;
-    runtime::BatchEncoder encoder;
+    std::optional<runtime::BatchEncoder> encoder;
+    std::optional<runtime::BatchTextEncoder> text_encoder;
     std::optional<runtime::BatchClassifier> classifier;
     std::optional<runtime::BatchRegressor> regressor;
   };
   const auto make_engines = [this](ServingStatePtr state) {
     const runtime::ThreadPoolPtr pool = ensure_worker_pool();
-    auto engines = std::make_unique<Engines>(Engines{
-        state, state->pipeline().batch_encoder(pool), std::nullopt,
-        std::nullopt});
+    auto engines = std::make_unique<Engines>();
+    engines->state = state;
+    if (text_input_) {
+      engines->text_encoder.emplace(
+          state->pipeline().batch_text_encoder(pool));
+    } else {
+      engines->encoder.emplace(state->pipeline().batch_encoder(pool));
+    }
     if (classifies_) {
       engines->classifier.emplace(state->pipeline().batch_classifier(pool));
     } else {
@@ -463,7 +487,8 @@ void NetServer::serve_connection_body(int fd) {
 
   RowReader reader(num_features_, options_.input);
   std::ostringstream response;
-  PredictionWriter writer(response, options_.output, options_.with_latency);
+  PredictionWriter writer(response, options_.output, options_.with_latency,
+                          options_.head);
   // A cluster-backed connection never builds local engines (or the pool):
   // its batches go through the coordinator.  Local engines are built on the
   // first data batch, not at accept time, so a control-only connection
@@ -478,30 +503,69 @@ void NetServer::serve_connection_body(int fd) {
   // data reader's line accounting: separate reader, same format and arity.
   RowReader adapt_reader(num_features_, options_.input);
 
+  // One of the two row buffers stays empty, per the input mode.
   std::vector<std::vector<double>> rows;
+  std::vector<std::string> text_rows;
   std::vector<clock::time_point> admitted;
-  rows.reserve(options_.batch_size);
   admitted.reserve(options_.batch_size);
   std::size_t next_row_index = 0;
+  const HeadMode head = options_.head;
+
+  const auto latency_of = [&](std::size_t i) {
+    return microseconds_between(admitted[i], clock::now());
+  };
+  // Emits one already-predicted row in the configured head mode; the four
+  // prediction planes below (cluster, adapted, local classifier/regressor)
+  // all funnel through these.
+  const auto emit_class = [&](std::size_t i, std::size_t label,
+                              double confidence) {
+    if (head == HeadMode::Confidence) {
+      writer.write_class(next_row_index + i, label, confidence,
+                         latency_of(i));
+    } else {
+      writer.write_class(next_row_index + i, label, latency_of(i));
+    }
+  };
+  const auto emit_value = [&](std::size_t i, double prediction,
+                              const Band& band) {
+    if (head == HeadMode::Band) {
+      writer.write_band(next_row_index + i, prediction, band, latency_of(i));
+    } else {
+      writer.write(next_row_index + i, prediction, latency_of(i));
+    }
+  };
 
   // Predicts the pending rows and sends the formatted batch; false when the
   // peer is gone.  Each batch re-loads the swap state, so a reload takes
   // effect at the very next micro-batch boundary on every connection.
   const auto flush = [&]() -> bool {
-    if (rows.empty()) {
+    const std::size_t count = text_input_ ? text_rows.size() : rows.size();
+    if (count == 0) {
       return true;
     }
     if (clustered) {
-      const std::vector<double> predictions = options_.cluster.predict(rows);
-      for (std::size_t i = 0; i < predictions.size(); ++i) {
-        const double latency =
-            microseconds_between(admitted[i], clock::now());
-        if (classifies_) {
-          writer.write_class(next_row_index + i,
-                             static_cast<std::size_t>(predictions[i]),
-                             latency);
-        } else {
-          writer.write(next_row_index + i, predictions[i], latency);
+      if (head != HeadMode::None) {
+        const HeadBatch batch =
+            text_input_ ? options_.cluster.predict_text_head(text_rows)
+                        : options_.cluster.predict_head(rows);
+        for (std::size_t i = 0; i < batch.values.size(); ++i) {
+          if (classifies_) {
+            emit_class(i, static_cast<std::size_t>(batch.values[i]),
+                       batch.confidences[i]);
+          } else {
+            emit_value(i, batch.values[i], batch.bands[i]);
+          }
+        }
+      } else {
+        const std::vector<double> predictions =
+            text_input_ ? options_.cluster.predict_text(text_rows)
+                        : options_.cluster.predict(rows);
+        for (std::size_t i = 0; i < predictions.size(); ++i) {
+          if (classifies_) {
+            emit_class(i, static_cast<std::size_t>(predictions[i]), 0.0);
+          } else {
+            emit_value(i, predictions[i], Band{});
+          }
         }
       }
     } else if (use_adapted) {
@@ -509,14 +573,26 @@ void NetServer::serve_connection_body(int fd) {
       // Feedback is a low-rate refinement stream, so the adapted side
       // trades batch throughput for the freshest model on every row.
       const AdaptiveStatePtr adapted = adaptive_state();
-      for (std::size_t i = 0; i < rows.size(); ++i) {
-        const double prediction = adapted->predict(rows[i]);
-        const double latency = microseconds_between(admitted[i], clock::now());
+      for (std::size_t i = 0; i < count; ++i) {
+        if (classifies_ && head == HeadMode::Confidence) {
+          const Top2 top2 = text_input_
+                                ? adapted->predict_top2_text(text_rows[i])
+                                : adapted->predict_top2(rows[i]);
+          emit_class(i, static_cast<std::size_t>(top2.best.index),
+                     margin_confidence(top2));
+          continue;
+        }
+        const double prediction = text_input_
+                                      ? adapted->predict_text(text_rows[i])
+                                      : adapted->predict(rows[i]);
         if (classifies_) {
-          writer.write_class(next_row_index + i,
-                             static_cast<std::size_t>(prediction), latency);
+          emit_class(i, static_cast<std::size_t>(prediction), 0.0);
+        } else if (head == HeadMode::Band) {
+          emit_value(i, prediction,
+                     text_input_ ? adapted->predict_band_text(text_rows[i])
+                                 : adapted->predict_band(rows[i]));
         } else {
-          writer.write(next_row_index + i, prediction, latency);
+          emit_value(i, prediction, Band{});
         }
       }
     } else {
@@ -524,27 +600,45 @@ void NetServer::serve_connection_body(int fd) {
       if (!engines || latest != engines->state) {
         engines = make_engines(latest);
       }
-      const runtime::VectorArena encoded = engines->encoder.encode(rows);
+      const runtime::VectorArena encoded =
+          text_input_ ? engines->text_encoder->encode(text_rows)
+                      : engines->encoder->encode(rows);
       if (classifies_) {
-        const std::vector<std::size_t> labels =
-            engines->classifier->predict(encoded);
-        for (std::size_t i = 0; i < labels.size(); ++i) {
-          writer.write_class(next_row_index + i, labels[i],
-                             microseconds_between(admitted[i], clock::now()));
+        if (head == HeadMode::Confidence) {
+          const std::vector<Top2> top2 =
+              engines->classifier->predict_top2(encoded);
+          for (std::size_t i = 0; i < top2.size(); ++i) {
+            emit_class(i, static_cast<std::size_t>(top2[i].best.index),
+                       margin_confidence(top2[i]));
+          }
+        } else {
+          const std::vector<std::size_t> labels =
+              engines->classifier->predict(encoded);
+          for (std::size_t i = 0; i < labels.size(); ++i) {
+            emit_class(i, labels[i], 0.0);
+          }
         }
       } else {
         const std::vector<double> predictions =
             engines->regressor->predict(encoded);
-        for (std::size_t i = 0; i < predictions.size(); ++i) {
-          writer.write(next_row_index + i, predictions[i],
-                       microseconds_between(admitted[i], clock::now()));
+        if (head == HeadMode::Band) {
+          const std::vector<Band> bands =
+              engines->regressor->predict_band(encoded);
+          for (std::size_t i = 0; i < predictions.size(); ++i) {
+            emit_value(i, predictions[i], bands[i]);
+          }
+        } else {
+          for (std::size_t i = 0; i < predictions.size(); ++i) {
+            emit_value(i, predictions[i], Band{});
+          }
         }
       }
     }
-    next_row_index += rows.size();
-    impl_->rows.fetch_add(rows.size(), std::memory_order_relaxed);
+    next_row_index += count;
+    impl_->rows.fetch_add(count, std::memory_order_relaxed);
     impl_->batches.fetch_add(1, std::memory_order_relaxed);
     rows.clear();
+    text_rows.clear();
     admitted.clear();
     std::string text = response.str();
     response.str(std::string());
@@ -612,13 +706,24 @@ void NetServer::serve_connection_body(int fd) {
             "finite numeric TARGET\n";
       } else {
         try {
-          std::vector<double> sample;
-          if (!adapt_reader.parse_line(arg.substr(cut + 1), sample)) {
-            throw RowError("adapt: ROW must not be blank");
+          AdaptOutcome outcome;
+          if (text_input_) {
+            std::string sample;
+            if (!adapt_reader.parse_text_line(arg.substr(cut + 1), sample)) {
+              throw RowError("adapt: ROW must not be blank");
+            }
+            outcome = options_.cluster.adapt_text
+                          ? options_.cluster.adapt_text(target, sample)
+                          : adaptive_state()->adapt_text(sample, target);
+          } else {
+            std::vector<double> sample;
+            if (!adapt_reader.parse_line(arg.substr(cut + 1), sample)) {
+              throw RowError("adapt: ROW must not be blank");
+            }
+            outcome = options_.cluster.adapt
+                          ? options_.cluster.adapt(target, sample)
+                          : adaptive_state()->adapt(sample, target);
           }
-          const AdaptOutcome outcome =
-              options_.cluster.adapt ? options_.cluster.adapt(target, sample)
-                                     : adaptive_state()->adapt(sample, target);
           reply = "!ok adapt predicted=" + format_double(outcome.predicted) +
                   " updated=" + std::to_string(outcome.updated ? 1 : 0) +
                   " feedback=" + std::to_string(outcome.feedback_rows) +
@@ -681,7 +786,7 @@ void NetServer::serve_connection_body(int fd) {
     // client ever sends another byte.  flush_interval == 0 degenerates to
     // "flush as soon as the socket has nothing more for us".
     int timeout_ms = -1;
-    if (!rows.empty()) {
+    if (!admitted.empty()) {
       if (options_.flush_interval.count() <= 0) {
         timeout_ms = 0;
       } else {
@@ -742,8 +847,17 @@ void NetServer::serve_connection_body(int fd) {
         continue;
       }
       try {
-        if (!reader.parse_line(line, row)) {
-          continue;  // Blank line.
+        if (text_input_) {
+          std::string text_row;
+          if (!reader.parse_text_line(line, text_row)) {
+            continue;  // Blank line.
+          }
+          text_rows.push_back(std::move(text_row));
+        } else {
+          if (!reader.parse_line(line, row)) {
+            continue;  // Blank line.
+          }
+          rows.push_back(row);
         }
       } catch (const RowError& e) {
         // Serve every row admitted before the bad one, report, and close
@@ -753,9 +867,8 @@ void NetServer::serve_connection_body(int fd) {
         open = false;
         break;
       }
-      rows.push_back(row);
       admitted.push_back(clock::now());
-      if (rows.size() >= options_.batch_size && !flush()) {
+      if (admitted.size() >= options_.batch_size && !flush()) {
         open = false;
         break;
       }
@@ -774,6 +887,7 @@ NetServer::NetServer(io::LoadedPipeline loaded, std::string snapshot_path,
       swap_(std::move(loaded), std::move(snapshot_path)),
       num_features_(0),
       classifies_(false),
+      text_input_(false),
       impl_(nullptr) {
   throw std::runtime_error("NetServer: POSIX sockets are not available");
 }

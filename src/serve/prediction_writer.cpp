@@ -35,23 +35,46 @@ OutputFormat parse_output_format(const std::string& name) {
 }
 
 PredictionWriter::PredictionWriter(std::ostream& out, OutputFormat format,
-                                   bool with_latency)
-    : out_(&out), format_(format), with_latency_(with_latency) {}
+                                   bool with_latency, HeadMode head)
+    : out_(&out), format_(format), with_latency_(with_latency), head_(head) {}
+
+void PredictionWriter::require_head(HeadMode required,
+                                    const char* method) const {
+  if (head_ != required) {
+    throw std::logic_error(std::string("PredictionWriter::") + method +
+                           ": head mode disagrees with the stream's "
+                           "configured head (columns must not change "
+                           "mid-stream)");
+  }
+}
 
 void PredictionWriter::write_row(std::size_t row, const std::string& value,
-                                 double latency_us) {
+                                 const HeadField* fields,
+                                 std::size_t num_fields, double latency_us) {
   switch (format_) {
     case OutputFormat::Plain:
-      *out_ << value << '\n';
+      *out_ << value;
+      for (std::size_t i = 0; i < num_fields; ++i) {
+        *out_ << ' ' << fields[i].value;
+      }
+      *out_ << '\n';
       break;
     case OutputFormat::Csv:
       if (!header_written_) {
-        *out_ << (with_latency_ ? "row,prediction,latency_us"
-                                : "row,prediction")
-              << '\n';
+        *out_ << "row,prediction";
+        for (std::size_t i = 0; i < num_fields; ++i) {
+          *out_ << ',' << fields[i].name;
+        }
+        if (with_latency_) {
+          *out_ << ",latency_us";
+        }
+        *out_ << '\n';
         header_written_ = true;
       }
       *out_ << row << ',' << value;
+      for (std::size_t i = 0; i < num_fields; ++i) {
+        *out_ << ',' << fields[i].value;
+      }
       if (with_latency_) {
         *out_ << ',' << format_double(latency_us);
       }
@@ -59,6 +82,9 @@ void PredictionWriter::write_row(std::size_t row, const std::string& value,
       break;
     case OutputFormat::Jsonl:
       *out_ << "{\"row\": " << row << ", \"prediction\": " << value;
+      for (std::size_t i = 0; i < num_fields; ++i) {
+        *out_ << ", \"" << fields[i].name << "\": " << fields[i].value;
+      }
       if (with_latency_) {
         *out_ << ", \"latency_us\": " << format_double(latency_us);
       }
@@ -70,12 +96,30 @@ void PredictionWriter::write_row(std::size_t row, const std::string& value,
 
 void PredictionWriter::write(std::size_t row, double prediction,
                              double latency_us) {
-  write_row(row, format_double(prediction), latency_us);
+  require_head(HeadMode::None, "write");
+  write_row(row, format_double(prediction), nullptr, 0, latency_us);
 }
 
 void PredictionWriter::write_class(std::size_t row, std::size_t label,
                                    double latency_us) {
-  write_row(row, std::to_string(label), latency_us);
+  require_head(HeadMode::None, "write_class");
+  write_row(row, std::to_string(label), nullptr, 0, latency_us);
+}
+
+void PredictionWriter::write_class(std::size_t row, std::size_t label,
+                                   double confidence, double latency_us) {
+  require_head(HeadMode::Confidence, "write_class");
+  const HeadField fields[] = {{"confidence", format_double(confidence)}};
+  write_row(row, std::to_string(label), fields, 1, latency_us);
+}
+
+void PredictionWriter::write_band(std::size_t row, double prediction,
+                                  const Band& band, double latency_us) {
+  require_head(HeadMode::Band, "write_band");
+  const HeadField fields[] = {{"p10", format_double(band.p10)},
+                              {"p50", format_double(band.p50)},
+                              {"p90", format_double(band.p90)}};
+  write_row(row, format_double(prediction), fields, 3, latency_us);
 }
 
 void PredictionWriter::flush() {

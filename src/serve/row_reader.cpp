@@ -75,23 +75,42 @@ RowFormat parse_row_format(const std::string& name) {
   if (name == "jsonl") {
     return RowFormat::Jsonl;
   }
+  if (name == "text") {
+    return RowFormat::Text;
+  }
   throw std::invalid_argument("unknown row format '" + name +
-                              "' (expected csv or jsonl)");
+                              "' (expected csv, jsonl or text)");
 }
+
+namespace {
+
+/// Numeric formats need a positive arity; Text rows have none (matching
+/// io::Pipeline::num_features() == 0 for text pipelines), so the two
+/// mistakes — a text reader on a numeric pipeline or vice versa — both
+/// fail at construction.
+void require_arity(std::size_t num_features, RowFormat format) {
+  if (format == RowFormat::Text) {
+    if (num_features != 0) {
+      throw std::invalid_argument(
+          "RowReader: text format takes num_features == 0 (rows are raw "
+          "lines, not feature vectors)");
+    }
+  } else if (num_features == 0) {
+    throw std::invalid_argument("RowReader: num_features must be > 0");
+  }
+}
+
+}  // namespace
 
 RowReader::RowReader(std::istream& in, std::size_t num_features,
                      RowFormat format)
     : in_(&in), num_features_(num_features), format_(format) {
-  if (num_features == 0) {
-    throw std::invalid_argument("RowReader: num_features must be > 0");
-  }
+  require_arity(num_features, format);
 }
 
 RowReader::RowReader(std::size_t num_features, RowFormat format)
     : in_(nullptr), num_features_(num_features), format_(format) {
-  if (num_features == 0) {
-    throw std::invalid_argument("RowReader: num_features must be > 0");
-  }
+  require_arity(num_features, format);
 }
 
 void RowReader::fail(const std::string& what) const {
@@ -99,6 +118,10 @@ void RowReader::fail(const std::string& what) const {
 }
 
 bool RowReader::parse_line(const std::string& line, std::vector<double>& out) {
+  if (format_ == RowFormat::Text) {
+    throw std::logic_error(
+        "RowReader::parse_line: text-format reader (use parse_text_line)");
+  }
   ++line_;
   // CRLF producers (and text-mode Windows pipes) leave a trailing CR; the
   // copy is taken only on that path.
@@ -121,6 +144,24 @@ bool RowReader::parse_line(const std::string& line, std::vector<double>& out) {
   return true;
 }
 
+bool RowReader::parse_text_line(const std::string& line, std::string& out) {
+  if (format_ != RowFormat::Text) {
+    throw std::logic_error(
+        "RowReader::parse_text_line: numeric-format reader (use "
+        "parse_line)");
+  }
+  ++line_;
+  out = line;
+  if (!out.empty() && out.back() == '\r') {
+    out.pop_back();
+  }
+  if (is_blank(out)) {
+    return false;
+  }
+  ++rows_;
+  return true;
+}
+
 bool RowReader::next(std::vector<double>& out) {
   if (in_ == nullptr) {
     throw std::logic_error(
@@ -129,6 +170,23 @@ bool RowReader::next(std::vector<double>& out) {
   std::string line;
   while (std::getline(*in_, line)) {
     if (parse_line(line, out)) {
+      return true;
+    }
+  }
+  if (in_->bad()) {
+    fail("stream read failure");
+  }
+  return false;
+}
+
+bool RowReader::next_text(std::string& out) {
+  if (in_ == nullptr) {
+    throw std::logic_error(
+        "RowReader::next_text: stream-less reader (use parse_text_line)");
+  }
+  std::string line;
+  while (std::getline(*in_, line)) {
+    if (parse_text_line(line, out)) {
       return true;
     }
   }

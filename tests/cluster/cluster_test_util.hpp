@@ -85,6 +85,47 @@ inline std::vector<std::vector<double>> beijing_rows(std::size_t count) {
   return rows;
 }
 
+/// Language-ID-shape text classifier snapshot (character trigrams, 3
+/// classes) under \p seed.
+inline std::string write_text_snapshot(const std::string& name,
+                                       std::uint64_t seed) {
+  const std::string path = temp_file(name);
+  io::fixtures::FixtureSpec spec;
+  spec.seed = seed;
+  io::fixtures::TextPipeline models = io::fixtures::make_text_pipeline(spec);
+  io::SnapshotWriter writer;
+  writer.add_pipeline(models.encoder, models.model);
+  writer.write_file(path);
+  return path;
+}
+
+/// Deterministic raw-text probe rows mixing the three fixture vocabularies
+/// (plus out-of-vocabulary bytes) so every class and the tie paths get hit.
+inline std::vector<std::string> text_rows(std::size_t count) {
+  const char* vocab[] = {"lo vo miri",      "zu ka pelo tir",
+                         "anda vestri olm", "tir tir",
+                         "1,2,3 not csv",   "zz"};
+  std::vector<std::string> rows;
+  rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    rows.push_back(std::string(vocab[i % 6]) + " #" + std::to_string(i % 4));
+  }
+  return rows;
+}
+
+/// The single-process prediction stream for a text snapshot over \p rows.
+inline std::vector<double> text_oracle(const std::string& snapshot_path,
+                                       const std::vector<std::string>& rows) {
+  const auto snapshot = io::MappedSnapshot::open(snapshot_path);
+  const io::Pipeline pipeline = io::Pipeline::restore(snapshot);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const std::string& row : rows) {
+    out.push_back(static_cast<double>(pipeline.classify_text(row)));
+  }
+  return out;
+}
+
 /// The single-process prediction stream for \p snapshot_path over \p rows —
 /// classifier labels cast to double exactly as ShardedServer reports them.
 inline std::vector<double> oracle(

@@ -102,6 +102,62 @@ TEST(ShardedAdaptTest, BroadcastFeedbackMatchesSingleProcessOverlay) {
   }
 }
 
+TEST(ShardedAdaptTest, TextFeedbackMatchesSingleProcessOverlay) {
+  // The raw-text twin of the parity test above: adapt_text broadcasts one
+  // raw sample, every rank encodes it with the warmed text encoder, and
+  // the cluster must stay bit-identical to a single-process AdaptiveState
+  // fed the same stream — outcomes, then head-carrying predictions.
+  const std::string path =
+      testutil::write_text_snapshot("adapt_text_parity.hdcs", 5);
+  const std::vector<std::string> rows = testutil::text_rows(10);
+
+  // Poisoning stream: every row repeatedly claimed as the next class over.
+  std::vector<std::pair<double, std::string>> stream;
+  {
+    const auto snapshot = hdc::io::MappedSnapshot::open(path);
+    const auto pipeline = hdc::io::Pipeline::restore(snapshot);
+    for (std::size_t pass = 0; pass < 6; ++pass) {
+      for (const std::string& row : rows) {
+        stream.emplace_back(
+            static_cast<double>((pipeline.classify_text(row) + 1) % 3),
+            row);
+      }
+    }
+  }
+
+  for (const ShardScheme scheme :
+       {ShardScheme::Rows, ShardScheme::Classes}) {
+    SCOPED_TRACE(scheme == ShardScheme::Rows ? "rows" : "classes");
+    ShardedServer server(path, fork_pair(scheme));
+    AdaptiveState local = make_local_overlay(path);
+
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const auto& [target, row] = stream[i];
+      const AdaptOutcome got = server.adapt_text(target, row);
+      const AdaptOutcome want = local.adapt_text(row, target);
+      ASSERT_EQ(got.predicted, want.predicted) << "sample " << i;
+      ASSERT_EQ(got.updated, want.updated) << "sample " << i;
+      ASSERT_EQ(got.updates, want.updates) << "sample " << i;
+      ASSERT_EQ(got.overlay_rows, want.overlay_rows) << "sample " << i;
+    }
+    EXPECT_GT(local.updates(), 0U);
+
+    // Adapted serving parity for both the plain and the head-carrying
+    // batch planes.
+    const auto batch = server.predict_text(rows);
+    const auto heads = server.predict_text_head(rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      EXPECT_EQ(batch.predictions[i], local.predict_text(rows[i]))
+          << "row " << i;
+      const hdc::Top2 top = local.predict_top2_text(rows[i]);
+      EXPECT_EQ(heads.values[i], static_cast<double>(top.best.index))
+          << "row " << i;
+      EXPECT_EQ(heads.confidences[i], hdc::margin_confidence(top))
+          << "row " << i;
+    }
+  }
+}
+
 TEST(ShardedAdaptTest, ExportedDeltaIsByteIdenticalAcrossProcessCounts) {
   const std::string path =
       testutil::write_classifier_snapshot("adapt_delta.hdcs", 1);

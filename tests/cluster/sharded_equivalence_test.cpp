@@ -234,4 +234,167 @@ TEST(ShardedEquivalenceTest, CoordinatorValidatesInput) {
   EXPECT_THROW(ShardedServer(path, zero), std::invalid_argument);
 }
 
+TEST(ShardedEquivalenceTest, TextMatrixMatchesOracle) {
+  // The text workload through the same configuration matrix: raw rows are
+  // broadcast (Classes) or row-sliced (Rows) and encoded rank-side, so the
+  // prediction stream must still be bit-identical to per-row
+  // classify_text().
+  const std::string path = testutil::write_text_snapshot("eq_text.hdcs", 9);
+  const std::vector<std::string> rows = testutil::text_rows(23);
+  const std::vector<double> golden = testutil::text_oracle(path, rows);
+  for (const CommBackend backend : kBackendAxis) {
+    for (const ShardScheme scheme : kSchemeAxis) {
+      for (const std::size_t replicas : {1U, 2U, 3U}) {
+        ClusterOptions options;
+        options.replicas = replicas;
+        options.scheme = scheme;
+        options.backend = backend;
+        ShardedServer server(path, options);
+        EXPECT_EQ(server.kind(), hdc::io::PipelineKind::Classifier);
+        EXPECT_EQ(server.num_features(), 0u);
+        for (const std::size_t batch : kBatchAxis) {
+          const std::string where =
+              std::string("backend=") + hdc::cluster::to_string(backend) +
+              " scheme=" + hdc::cluster::to_string(scheme) +
+              " replicas=" + std::to_string(replicas) +
+              " batch=" + std::to_string(batch);
+          std::vector<double> got;
+          got.reserve(rows.size());
+          for (std::size_t i = 0; i < rows.size(); i += batch) {
+            const std::size_t n = std::min(batch, rows.size() - i);
+            const auto result = server.predict_text(
+                std::span<const std::string>(rows).subspan(i, n));
+            got.insert(got.end(), result.predictions.begin(),
+                       result.predictions.end());
+          }
+          ASSERT_EQ(got, golden) << where;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, ClassifierHeadsMatchSingleProcess) {
+  // Confidence heads across both input modes and both shard schemes: the
+  // coordinator merges per-rank top-2 candidates, which must reproduce the
+  // single-process margin exactly (integer distances, no tolerance).
+  const std::string text_path =
+      testutil::write_text_snapshot("eq_text_head.hdcs", 9);
+  const std::vector<std::string> text_rows = testutil::text_rows(17);
+  const std::string num_path =
+      testutil::write_classifier_snapshot("eq_num_head.hdcs", 2023);
+  const auto num_rows = testutil::classifier_rows(17);
+
+  // Single-process oracles straight off the restored pipelines.
+  const auto text_snapshot = hdc::io::MappedSnapshot::open(text_path);
+  const auto text_oracle = hdc::io::Pipeline::restore(text_snapshot);
+  const auto num_snapshot = hdc::io::MappedSnapshot::open(num_path);
+  const auto num_oracle = hdc::io::Pipeline::restore(num_snapshot);
+
+  for (const CommBackend backend : kBackendAxis) {
+    for (const ShardScheme scheme : kSchemeAxis) {
+      const std::string where =
+          std::string("backend=") + hdc::cluster::to_string(backend) +
+          " scheme=" + hdc::cluster::to_string(scheme);
+      ClusterOptions options;
+      options.replicas = 2;
+      options.scheme = scheme;
+      options.backend = backend;
+      {
+        ShardedServer server(text_path, options);
+        const auto heads = server.predict_text_head(text_rows);
+        ASSERT_EQ(heads.values.size(), text_rows.size()) << where;
+        ASSERT_EQ(heads.confidences.size(), text_rows.size()) << where;
+        EXPECT_TRUE(heads.bands.empty()) << where;
+        for (std::size_t i = 0; i < text_rows.size(); ++i) {
+          const hdc::Top2 top = text_oracle.classifier().predict_top2(
+              text_oracle.encode_text(text_rows[i]));
+          ASSERT_EQ(heads.values[i],
+                    static_cast<double>(top.best.index))
+              << where << " row " << i;
+          ASSERT_EQ(heads.confidences[i], hdc::margin_confidence(top))
+              << where << " row " << i;
+        }
+      }
+      {
+        ShardedServer server(num_path, options);
+        const auto heads = server.predict_head(num_rows);
+        ASSERT_EQ(heads.values.size(), num_rows.size()) << where;
+        for (std::size_t i = 0; i < num_rows.size(); ++i) {
+          const hdc::Top2 top = num_oracle.classifier().predict_top2(
+              num_oracle.encode(num_rows[i]));
+          ASSERT_EQ(heads.values[i],
+                    static_cast<double>(top.best.index))
+              << where << " row " << i;
+          ASSERT_EQ(heads.confidences[i], hdc::margin_confidence(top))
+              << where << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, RegressorBandsMatchSingleProcess) {
+  // Band heads: Classes-scheme ranks ship label-grid distance-profile
+  // slices which concatenate into exactly the single-process profile, so
+  // every quantile must be bit-identical, replica count notwithstanding.
+  const std::string path =
+      testutil::write_beijing_snapshot("eq_band.hdcs", 2023);
+  const auto rows = testutil::beijing_rows(17);
+  const auto snapshot = hdc::io::MappedSnapshot::open(path);
+  const auto oracle = hdc::io::Pipeline::restore(snapshot);
+
+  for (const CommBackend backend : kBackendAxis) {
+    for (const ShardScheme scheme : kSchemeAxis) {
+      for (const std::size_t replicas : {1U, 2U, 3U, 7U}) {
+        const std::string where =
+            std::string("backend=") + hdc::cluster::to_string(backend) +
+            " scheme=" + hdc::cluster::to_string(scheme) +
+            " replicas=" + std::to_string(replicas);
+        ClusterOptions options;
+        options.replicas = replicas;
+        options.scheme = scheme;
+        options.backend = backend;
+        ShardedServer server(path, options);
+        const auto heads = server.predict_head(rows);
+        ASSERT_EQ(heads.values.size(), rows.size()) << where;
+        ASSERT_EQ(heads.bands.size(), rows.size()) << where;
+        EXPECT_TRUE(heads.confidences.empty()) << where;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+          const hdc::Hypervector encoded = oracle.encode(rows[i]);
+          const hdc::Band band = oracle.regressor().predict_band(encoded);
+          ASSERT_EQ(heads.values[i], oracle.regressor().predict(encoded))
+              << where << " row " << i;
+          ASSERT_EQ(heads.bands[i].p10, band.p10) << where << " row " << i;
+          ASSERT_EQ(heads.bands[i].p50, band.p50) << where << " row " << i;
+          ASSERT_EQ(heads.bands[i].p90, band.p90) << where << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, InputModeIsValidatedCoordinatorSide) {
+  const std::string text_path =
+      testutil::write_text_snapshot("eq_text_valid.hdcs", 9);
+  const std::string num_path =
+      testutil::write_beijing_snapshot("eq_num_valid.hdcs", 2023);
+  ClusterOptions options;
+  options.replicas = 2;
+  ShardedServer text_server(text_path, options);
+  ShardedServer num_server(num_path, options);
+  const std::vector<std::vector<double>> numeric = {{1.0, 2.0, 3.0}};
+  const std::vector<std::string> text = {"abc"};
+  EXPECT_THROW((void)text_server.predict(numeric), std::invalid_argument);
+  EXPECT_THROW((void)num_server.predict_text(text), std::invalid_argument);
+  EXPECT_THROW((void)text_server.predict_head(numeric),
+               std::invalid_argument);
+  EXPECT_THROW((void)num_server.predict_text_head(text),
+               std::invalid_argument);
+  EXPECT_THROW((void)text_server.adapt(0.0, numeric[0]),
+               std::invalid_argument);
+  EXPECT_THROW((void)num_server.adapt_text(0.0, "abc"),
+               std::invalid_argument);
+}
+
 }  // namespace

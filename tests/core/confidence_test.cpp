@@ -1,0 +1,302 @@
+// Property suite for the prediction heads: the Candidate/Top2 lexicographic
+// algebra, margin confidence monotonicity, top2_hamming against a naive
+// reference (across every available kernel variant), and the quantile-band
+// invariants p10 <= p50 <= p90 with the all-zero-weight argmin fallback.
+
+#include "hdc/core/confidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "hdc/base/rng.hpp"
+#include "hdc/core/basis_level.hpp"
+#include "hdc/core/bitops.hpp"
+#include "hdc/core/hypervector.hpp"
+#include "hdc/core/kernels.hpp"
+#include "hdc/core/regressor.hpp"
+#include "hdc/core/scalar_encoder.hpp"
+
+namespace {
+
+using hdc::Band;
+using hdc::band_from_distances;
+using hdc::Candidate;
+using hdc::candidate_less;
+using hdc::HDRegressor;
+using hdc::Hypervector;
+using hdc::kAbsentCandidate;
+using hdc::margin_confidence;
+using hdc::merge_top2;
+using hdc::Rng;
+using hdc::Top2;
+using hdc::top2_hamming;
+using hdc::top2_offer;
+namespace bits = hdc::bits;
+
+// Dimensions exercising a lone partial word, exact boundaries and beyond.
+constexpr std::size_t kDims[] = {63, 64, 96, 128, 1'000};
+
+std::vector<std::uint64_t> random_words(std::size_t bit_count, Rng& rng) {
+  std::vector<std::uint64_t> words(bits::words_for(bit_count));
+  for (auto& w : words) {
+    w = rng();
+  }
+  if (!words.empty()) {
+    words.back() &= bits::tail_mask(bit_count);
+  }
+  return words;
+}
+
+/// Reference top-2: sort all (distance, index) pairs lexicographically.
+Top2 reference_top2(const std::vector<Candidate>& candidates) {
+  std::vector<Candidate> sorted = candidates;
+  std::sort(sorted.begin(), sorted.end(),
+            [](Candidate a, Candidate b) { return candidate_less(a, b); });
+  Top2 top;
+  if (!sorted.empty()) {
+    top.best = sorted[0];
+  }
+  if (sorted.size() > 1) {
+    top.second = sorted[1];
+  }
+  return top;
+}
+
+/// Restores the kernel selection on scope exit so one test cannot leak its
+/// forced variant into the rest of the suite.
+class KernelGuard {
+ public:
+  KernelGuard() : previous_(bits::active_kernels().name) {}
+  ~KernelGuard() { bits::select_kernels(previous_); }
+  KernelGuard(const KernelGuard&) = delete;
+  KernelGuard& operator=(const KernelGuard&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+hdc::ScalarEncoderPtr make_labels(std::size_t dimension, std::size_t size,
+                                  double lo, double hi) {
+  hdc::LevelBasisConfig config;
+  config.dimension = dimension;
+  config.size = size;
+  config.seed = 414;
+  return std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(config), lo, hi);
+}
+
+TEST(ConfidenceTest, AbsentCandidateLosesEveryComparison) {
+  const Candidate absent;
+  EXPECT_TRUE(absent.absent());
+  const Candidate real{17, 3};
+  EXPECT_FALSE(real.absent());
+  EXPECT_TRUE(candidate_less(real, absent));
+  EXPECT_FALSE(candidate_less(absent, real));
+}
+
+TEST(ConfidenceTest, OfferKeepsTwoSmallestWithIndexTieBreak) {
+  Top2 top;
+  top2_offer(top, {5, 10});
+  EXPECT_EQ(top.best.distance, 5U);
+  EXPECT_TRUE(top.second.absent());
+  top2_offer(top, {5, 2});  // Same distance, lower index: becomes best.
+  EXPECT_EQ(top.best.index, 2U);
+  EXPECT_EQ(top.second.index, 10U);
+  top2_offer(top, {3, 7});
+  EXPECT_EQ(top.best.distance, 3U);
+  EXPECT_EQ(top.second.distance, 5U);
+  EXPECT_EQ(top.second.index, 2U);
+}
+
+TEST(ConfidenceTest, MarginConfidenceEdgeCases) {
+  EXPECT_EQ(margin_confidence(Top2{}), 0.0);  // No candidates at all.
+  Top2 lone;
+  top2_offer(lone, {42, 0});
+  EXPECT_EQ(margin_confidence(lone), 1.0);  // No runner-up: fully confident.
+  Top2 tie;
+  top2_offer(tie, {9, 0});
+  top2_offer(tie, {9, 1});
+  EXPECT_EQ(margin_confidence(tie), 0.0);  // Dead tie: fully uncertain.
+  Top2 zeros;
+  top2_offer(zeros, {0, 0});
+  top2_offer(zeros, {0, 1});
+  EXPECT_EQ(margin_confidence(zeros), 0.0);  // Both zero: no 0/0 NaN.
+}
+
+TEST(ConfidenceTest, MarginConfidenceMonotoneInGap) {
+  // For a fixed d1 + d2, a larger gap d2 - d1 must yield strictly larger
+  // confidence; the whole range stays inside [0, 1].
+  for (const std::uint64_t sum : {10ULL, 100ULL, 10'000ULL}) {
+    double previous = -1.0;
+    for (std::uint64_t d1 = sum / 2; d1 + 1 >= 1; --d1) {
+      Top2 top;
+      top2_offer(top, {d1, 0});
+      top2_offer(top, {sum - d1, 1});
+      const double confidence = margin_confidence(top);
+      EXPECT_GE(confidence, 0.0);
+      EXPECT_LE(confidence, 1.0);
+      EXPECT_GT(confidence, previous)
+          << "gap " << (sum - 2 * d1) << " of sum " << sum;
+      previous = confidence;
+      if (d1 == 0) {
+        break;
+      }
+    }
+  }
+}
+
+TEST(ConfidenceTest, Top2HammingMatchesReferenceOnEveryVariant) {
+  const KernelGuard guard;
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    bits::select_kernels(variant->name);
+    for (const std::size_t dim : kDims) {
+      Rng rng(900 + dim);
+      const std::size_t stride = bits::words_for(dim);
+      constexpr std::size_t kCount = 37;
+      std::vector<std::uint64_t> arena;
+      for (std::size_t i = 0; i < kCount; ++i) {
+        const auto words = random_words(dim, rng);
+        arena.insert(arena.end(), words.begin(), words.end());
+      }
+      const auto query = random_words(dim, rng);
+      std::vector<Candidate> all;
+      for (std::size_t i = 0; i < kCount; ++i) {
+        const std::size_t d = bits::hamming(
+            query, std::span<const std::uint64_t>(arena).subspan(
+                       i * stride, stride));
+        all.push_back({d, i});
+      }
+      const Top2 expected = reference_top2(all);
+      const Top2 got = top2_hamming(query, arena, stride, kCount, 0);
+      EXPECT_EQ(got.best.distance, expected.best.distance)
+          << variant->name << " dim " << dim;
+      EXPECT_EQ(got.best.index, expected.best.index);
+      EXPECT_EQ(got.second.distance, expected.second.distance);
+      EXPECT_EQ(got.second.index, expected.second.index);
+      // The index offset shifts reported indices and nothing else.
+      const Top2 shifted = top2_hamming(query, arena, stride, kCount, 1'000);
+      EXPECT_EQ(shifted.best.index, expected.best.index + 1'000);
+      EXPECT_EQ(shifted.second.index, expected.second.index + 1'000);
+    }
+  }
+}
+
+TEST(ConfidenceTest, MergeOverDisjointSlicesEqualsGlobalTop2) {
+  // The cluster reduce: splitting the candidate range at any point and
+  // merging per-slice top-2 results must reproduce the global top-2.  This
+  // is the invariant that makes Classes-scheme confidence bit-identical.
+  Rng rng(77);
+  constexpr std::size_t kDim = 96;
+  constexpr std::size_t kCount = 24;
+  const std::size_t stride = bits::words_for(kDim);
+  std::vector<std::uint64_t> arena;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const auto words = random_words(kDim, rng);
+    arena.insert(arena.end(), words.begin(), words.end());
+  }
+  const auto query = random_words(kDim, rng);
+  const std::span<const std::uint64_t> arena_span(arena);
+  const Top2 global = top2_hamming(query, arena, stride, kCount, 0);
+  for (std::size_t split = 0; split <= kCount; ++split) {
+    const Top2 low = top2_hamming(query, arena_span.first(split * stride),
+                                  stride, split, 0);
+    const Top2 high =
+        top2_hamming(query, arena_span.subspan(split * stride), stride,
+                     kCount - split, split);
+    const Top2 merged = merge_top2(low, high);
+    EXPECT_EQ(merged.best.distance, global.best.distance) << split;
+    EXPECT_EQ(merged.best.index, global.best.index) << split;
+    EXPECT_EQ(merged.second.distance, global.second.distance) << split;
+    EXPECT_EQ(merged.second.index, global.second.index) << split;
+    // Merge is commutative for disjoint index sets.
+    const Top2 swapped = merge_top2(high, low);
+    EXPECT_EQ(swapped.best.index, merged.best.index);
+    EXPECT_EQ(swapped.second.index, merged.second.index);
+  }
+}
+
+TEST(ConfidenceTest, BandOrderingHoldsOnRandomProfiles) {
+  const auto labels = make_labels(1'000, 32, 0.0, 31.0);
+  Rng rng(505);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::size_t> distances(labels->size());
+    for (auto& d : distances) {
+      d = rng() % 1'001;  // Anywhere from exact match to full inversion.
+    }
+    const Band band = band_from_distances(distances, *labels, 1'000);
+    EXPECT_LE(band.p10, band.p50) << "trial " << trial;
+    EXPECT_LE(band.p50, band.p90) << "trial " << trial;
+  }
+}
+
+TEST(ConfidenceTest, BandCollapsesToArgminWhenUncorrelated) {
+  // Every distance at or past d/2 has zero weight; the band must fall back
+  // to the argmin grid value (lowest index on ties) like predict() does.
+  const auto labels = make_labels(1'000, 16, 0.0, 15.0);
+  std::vector<std::size_t> distances(labels->size(), 700);
+  distances[5] = 640;  // Still >= d/2: weightless, but the unique argmin.
+  const Band band = band_from_distances(distances, *labels, 1'000);
+  EXPECT_EQ(band.p10, labels->value_of(5));
+  EXPECT_EQ(band.p50, labels->value_of(5));
+  EXPECT_EQ(band.p90, labels->value_of(5));
+}
+
+TEST(ConfidenceTest, BandConcentratesOnAnExactMatch) {
+  // Distance 0 at one grid point with everything else at the noise floor
+  // puts the entire weight mass there: the band collapses onto that value.
+  const auto labels = make_labels(1'000, 16, 0.0, 15.0);
+  std::vector<std::size_t> distances(labels->size(), 520);
+  distances[9] = 0;
+  const Band band = band_from_distances(distances, *labels, 1'000);
+  EXPECT_EQ(band.p10, labels->value_of(9));
+  EXPECT_EQ(band.p50, labels->value_of(9));
+  EXPECT_EQ(band.p90, labels->value_of(9));
+}
+
+TEST(ConfidenceTest, BandValidatesProfileSize) {
+  const auto labels = make_labels(256, 8, 0.0, 7.0);
+  std::vector<std::size_t> wrong(labels->size() + 1, 0);
+  EXPECT_THROW((void)band_from_distances(wrong, *labels, 256),
+               std::invalid_argument);
+}
+
+TEST(ConfidenceTest, RegressorBandIsBitIdenticalAcrossKernelVariants) {
+  // Train one regressor, then read the band under every available kernel
+  // variant: integer distances make the head exactly reproducible.
+  constexpr std::size_t kDim = 1'000;
+  HDRegressor model(make_labels(kDim, 32, 0.0, 10.0), 7);
+  Rng rng(31);
+  std::vector<Hypervector> queries;
+  for (int i = 0; i < 12; ++i) {
+    const auto sample = Hypervector::random(kDim, rng);
+    model.add_sample(sample, 10.0 * static_cast<double>(i) / 12.0);
+    queries.push_back(sample);
+  }
+  model.finalize();
+
+  const KernelGuard guard;
+  std::vector<Band> reference;
+  bits::select_kernels("scalar");
+  for (const auto& query : queries) {
+    reference.push_back(model.predict_band(query));
+    EXPECT_LE(reference.back().p10, reference.back().p50);
+    EXPECT_LE(reference.back().p50, reference.back().p90);
+  }
+  for (const bits::Kernels* variant : bits::available_kernels()) {
+    bits::select_kernels(variant->name);
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const Band band = model.predict_band(queries[i]);
+      EXPECT_EQ(band.p10, reference[i].p10) << variant->name;
+      EXPECT_EQ(band.p50, reference[i].p50) << variant->name;
+      EXPECT_EQ(band.p90, reference[i].p90) << variant->name;
+    }
+  }
+}
+
+}  // namespace

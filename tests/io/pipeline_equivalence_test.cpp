@@ -426,4 +426,129 @@ TEST(PipelineEquivalenceTest, RestoredPipelineStateIsCoherent) {
   std::filesystem::remove(path);
 }
 
+TEST(PipelineEquivalenceTest, TextClassifierPipelineRoundTripsBitExact) {
+  // Language-ID shape: character trigrams bundled per phrase, one centroid
+  // per pseudo-language.  The snapshot stores config only (dimension, n,
+  // seed) for the encoder, so the restored pipeline must rebuild the exact
+  // item memory and reproduce training-time encodings bit for bit.
+  const std::vector<std::vector<std::string>> phrases = {
+      {"lomo viri solenne", "miri velo sonare", "virelo memo lima"},
+      {"zuk tak prell", "skarn tzek kalt", "prak zel tikk"},
+      {"anda vestri olm", "ulfar esta brind", "orvan dilas pena"},
+  };
+  hdc::NGramEncoder encoder(kDim, 3, 501);
+  hdc::CentroidClassifier model(phrases.size(), kDim, 502);
+  for (std::size_t c = 0; c < phrases.size(); ++c) {
+    for (const std::string& phrase : phrases[c]) {
+      model.add_sample(c, encoder.encode(phrase));
+    }
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_text_classifier.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  std::vector<std::string> rows = {"lomo velo sonare", "tak tzek prak",
+                                   "vestri dilas olm", "zz",
+                                   "bytes & spaces 42"};
+  std::vector<Hypervector> expected_encoded;
+  std::vector<std::size_t> expected_predictions;
+  for (const std::string& row : rows) {
+    expected_encoded.push_back(encoder.encode(row));
+    expected_predictions.push_back(model.predict(expected_encoded.back()));
+  }
+
+  const auto verify = [&](const Pipeline& pipeline) {
+    EXPECT_EQ(pipeline.kind(), PipelineKind::Classifier);
+    EXPECT_EQ(pipeline.input(), hdc::io::PipelineInput::Text);
+    EXPECT_EQ(pipeline.num_features(), 0U);
+    ASSERT_NE(pipeline.ngram_encoder(), nullptr);
+    EXPECT_EQ(pipeline.ngram_encoder()->n(), 3U);
+    EXPECT_EQ(pipeline.ngram_encoder()->seed(), encoder.seed());
+    // Numeric entry points are sealed off on a text pipeline.
+    const std::vector<double> numeric_row{1.0};
+    EXPECT_THROW((void)pipeline.encode(numeric_row), std::logic_error);
+    EXPECT_THROW((void)pipeline.classify(numeric_row), std::logic_error);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(pipeline.encode_text(rows[i]) == expected_encoded[i])
+          << rows[i];
+      EXPECT_EQ(pipeline.classify_text(rows[i]), expected_predictions[i])
+          << rows[i];
+    }
+  };
+  const auto mapped = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(mapped);
+  verify(pipeline);
+  const auto streamed = hdc::io::load_snapshot(path);
+  verify(Pipeline::restore(streamed));
+
+  // Batch bridge: parallel text encoding and the confidence head must match
+  // the sequential oracle bit for bit.
+  const auto pool = std::make_shared<hdc::runtime::ThreadPool>(4);
+  const auto arena = pipeline.batch_text_encoder(pool).encode(rows);
+  const auto batch = pipeline.batch_classifier(pool);
+  const auto batch_predictions = batch.predict(arena);
+  const auto batch_top2 = batch.predict_top2(arena);
+  ASSERT_EQ(batch_predictions.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_TRUE(arena.view(i) == expected_encoded[i]) << "row " << i;
+    EXPECT_EQ(batch_predictions[i], expected_predictions[i]) << "row " << i;
+    const hdc::Top2 expected_top2 =
+        model.predict_top2(expected_encoded[i]);
+    EXPECT_EQ(batch_top2[i].best.index, expected_top2.best.index);
+    EXPECT_EQ(hdc::margin_confidence(batch_top2[i]),
+              hdc::margin_confidence(expected_top2));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PipelineEquivalenceTest, TextRegressorPipelineRoundTripsBitExact) {
+  // Sequence-encoder regressor: score raw words against a numeric target
+  // (a toy "sentiment strength"), snapshot, and serve the band head.
+  hdc::SequenceEncoder encoder(kDim, 601);
+  hdc::LevelBasisConfig label_config;
+  label_config.dimension = kDim;
+  label_config.size = 32;
+  label_config.seed = 602;
+  const auto labels = std::make_shared<hdc::LinearScalarEncoder>(
+      hdc::make_level_basis(label_config), 0.0, 1.0);
+  hdc::HDRegressor model(labels, 603);
+  const std::vector<std::pair<std::string, double>> samples = {
+      {"awful", 0.05}, {"bad", 0.2},  {"meh", 0.45},
+      {"fine", 0.6},   {"good", 0.8}, {"superb", 0.95},
+  };
+  for (const auto& [word, score] : samples) {
+    model.add_sample(encoder.encode_word(word), score);
+  }
+  model.finalize();
+
+  const std::string path = temp_file("pipeline_text_regressor.hdcs");
+  SnapshotWriter writer;
+  writer.add_pipeline(encoder, model);
+  writer.write_file(path);
+
+  const std::vector<std::string> rows = {"awful", "good", "grand", "so-so"};
+  const auto snapshot = MappedSnapshot::open(path);
+  const Pipeline pipeline = Pipeline::restore(snapshot);
+  EXPECT_EQ(pipeline.kind(), PipelineKind::Regressor);
+  EXPECT_EQ(pipeline.input(), hdc::io::PipelineInput::Text);
+  ASSERT_NE(pipeline.sequence_encoder(), nullptr);
+  for (const std::string& row : rows) {
+    const Hypervector encoded = encoder.encode_word(row);
+    ASSERT_TRUE(pipeline.encode_text(row) == encoded) << row;
+    EXPECT_DOUBLE_EQ(pipeline.regress_text(row), model.predict(encoded))
+        << row;
+    const hdc::Band expected_band = model.predict_band(encoded);
+    const hdc::Band band = pipeline.regressor().predict_band(encoded);
+    EXPECT_EQ(band.p10, expected_band.p10) << row;
+    EXPECT_EQ(band.p50, expected_band.p50) << row;
+    EXPECT_EQ(band.p90, expected_band.p90) << row;
+    EXPECT_LE(band.p10, band.p50) << row;
+    EXPECT_LE(band.p50, band.p90) << row;
+  }
+  std::filesystem::remove(path);
+}
+
 }  // namespace

@@ -12,6 +12,7 @@
 #include "hdc/core/basis_circular.hpp"
 #include "hdc/core/basis_level.hpp"
 #include "hdc/core/bitops.hpp"
+#include "hdc/core/confidence.hpp"
 #include "hdc/core/feature_encoder.hpp"
 #include "hdc/core/ops.hpp"
 #include "hdc/runtime/runtime.hpp"
@@ -180,6 +181,90 @@ TEST(BatchRegressorTest, FitAndPredictMatchSequentialModel) {
     EXPECT_DOUBLE_EQ(batched[i], reference.predict(queries[i]));
     EXPECT_DOUBLE_EQ(batched_integer[i],
                      reference.predict_integer(queries[i]));
+  }
+}
+
+TEST(BatchClassifierTest, Top2HeadMatchesPerRowAcrossBatchShapes) {
+  // The batched confidence head must be bit-identical to the per-row model
+  // call for every batch shape and thread count — the serve/cluster layers
+  // rely on this to keep heads reproducible under re-batching.
+  constexpr std::size_t kClasses = 4;
+  Rng rng(27);
+  BatchClassifier seeded(kClasses, kDim, 91, make_pool());
+  std::vector<Hypervector> samples;
+  std::vector<std::size_t> labels;
+  for (int i = 0; i < 40; ++i) {
+    samples.push_back(Hypervector::random(kDim, rng));
+    labels.push_back(static_cast<std::size_t>(i) % kClasses);
+  }
+  seeded.fit_finalize(VectorArena::pack(samples), labels);
+  const CentroidClassifier& model = seeded.model();
+
+  std::vector<Hypervector> queries;
+  for (int i = 0; i < 23; ++i) {  // Prime count: uneven thread splits.
+    queries.push_back(Hypervector::random(kDim, rng));
+  }
+  for (const std::size_t threads : {1U, 2U, 5U}) {
+    BatchClassifier batch(model, make_pool(threads));
+    for (const std::size_t shape : {1U, 7U, 23U}) {
+      for (std::size_t begin = 0; begin < queries.size(); begin += shape) {
+        const std::size_t end = std::min(begin + shape, queries.size());
+        const std::vector<Hypervector> slice(queries.begin() + begin,
+                                             queries.begin() + end);
+        const std::vector<hdc::Top2> batched =
+            batch.predict_top2(VectorArena::pack(slice));
+        ASSERT_EQ(batched.size(), slice.size());
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+          const hdc::Top2 expected = model.predict_top2(slice[i]);
+          EXPECT_EQ(batched[i].best.distance, expected.best.distance);
+          EXPECT_EQ(batched[i].best.index, expected.best.index);
+          EXPECT_EQ(batched[i].second.distance, expected.second.distance);
+          EXPECT_EQ(batched[i].second.index, expected.second.index);
+          EXPECT_EQ(hdc::margin_confidence(batched[i]),
+                    hdc::margin_confidence(expected));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchRegressorTest, BandHeadMatchesPerRowAcrossBatchShapes) {
+  const auto labels_encoder = make_angle_labels(24, 7);
+  Rng rng(28);
+  BatchRegressor seeded(labels_encoder, 92, make_pool());
+  std::vector<Hypervector> inputs;
+  std::vector<double> labels;
+  for (int i = 0; i < 36; ++i) {
+    inputs.push_back(Hypervector::random(kDim, rng));
+    labels.push_back(rng.uniform(0.0, hdc::stats::two_pi));
+  }
+  seeded.fit_finalize(VectorArena::pack(inputs), labels);
+  const HDRegressor& model = seeded.model();
+
+  std::vector<Hypervector> queries;
+  for (int i = 0; i < 19; ++i) {
+    queries.push_back(Hypervector::random(kDim, rng));
+  }
+  for (const std::size_t threads : {1U, 3U}) {
+    BatchRegressor batch(model, make_pool(threads));
+    for (const std::size_t shape : {1U, 5U, 19U}) {
+      for (std::size_t begin = 0; begin < queries.size(); begin += shape) {
+        const std::size_t end = std::min(begin + shape, queries.size());
+        const std::vector<Hypervector> slice(queries.begin() + begin,
+                                             queries.begin() + end);
+        const std::vector<hdc::Band> batched =
+            batch.predict_band(VectorArena::pack(slice));
+        ASSERT_EQ(batched.size(), slice.size());
+        for (std::size_t i = 0; i < slice.size(); ++i) {
+          const hdc::Band expected = model.predict_band(slice[i]);
+          EXPECT_EQ(batched[i].p10, expected.p10);
+          EXPECT_EQ(batched[i].p50, expected.p50);
+          EXPECT_EQ(batched[i].p90, expected.p90);
+          EXPECT_LE(batched[i].p10, batched[i].p50);
+          EXPECT_LE(batched[i].p50, batched[i].p90);
+        }
+      }
+    }
   }
 }
 

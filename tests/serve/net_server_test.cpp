@@ -700,6 +700,197 @@ TEST(NetServerTest, AdaptDeltaAndABServingRoundTrip) {
   }
 }
 
+std::string write_text(const std::string& name) {
+  const std::string path = temp_file(name);
+  fixtures::TextPipeline models = fixtures::make_text_pipeline();
+  SnapshotWriter writer;
+  writer.add_pipeline(models.encoder, models.model);
+  writer.write_file(path);
+  return path;
+}
+
+TEST(NetServerTest, TextPipelineServesAndAdaptsOverTheWire) {
+  // Raw-text serving end to end: one sample per line, commas and brackets
+  // are payload, `!`-control lines still work, and `!adapt TARGET TEXT`
+  // feeds the overlay exactly like its numeric twin.
+  const std::string path = write_text("text_wire.hdcs");
+  const std::vector<std::string> rows = {
+      "lo vo miri", "zu ka pelo tir", "anda vestri olm",
+      "1,2,3 not csv", "tir tir tir", "zz"};
+
+  const auto snapshot = MappedSnapshot::open(path);
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  std::vector<std::string> expected;
+  {
+    std::ostringstream out;
+    PredictionWriter writer(out, OutputFormat::Plain);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      writer.write_class(i, oracle.classify_text(rows[i]), 0.0);
+    }
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) {
+      expected.push_back(line);
+    }
+  }
+
+  NetServerOptions options;
+  options.input = hdc::serve::RowFormat::Text;
+  options.batch_size = 4;  // never divides 6: partial tail batch
+  RunningServer running(path, options);
+
+  Client client(running.server.port());
+  client.send("!ping\n");
+  auto line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "!ok pong generation=0");
+
+  std::string payload;
+  for (const std::string& row : rows) {
+    payload += row + "\n";
+  }
+  client.send(payload);
+  client.send("!stats\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "dropped row " << i;
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!ok rows=6 batches=", 0), 0U) << *line;
+
+  // Feedback rides a control line; the sample may itself contain spaces.
+  const std::size_t wrong = (oracle.classify_text(rows[0]) + 1) % 3;
+  client.send("!adapt " + std::to_string(wrong) + " " + rows[0] + "\n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!ok adapt predicted=", 0), 0U) << *line;
+
+  // A blank sample is rejected without touching the overlay.
+  client.send("!adapt 1 \n");
+  line = client.read_line();
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->rfind("!error adapt rejected:", 0), 0U) << *line;
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, ConfidenceHeadStreamsWithEveryPrediction) {
+  const std::string path = write_text("conf_wire.hdcs");
+  const std::vector<std::string> rows = {"lo vo miri", "zu ka pelo tir",
+                                         "anda vestri olm", "zzz",
+                                         "tir tir"};
+  const auto snapshot = MappedSnapshot::open(path);
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  std::vector<std::string> expected;
+  {
+    std::ostringstream out;
+    PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                            hdc::serve::HeadMode::Confidence);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const hdc::Top2 top =
+          oracle.classifier().predict_top2(oracle.encode_text(rows[i]));
+      writer.write_class(i, top.best.index, hdc::margin_confidence(top),
+                         0.0);
+    }
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) {
+      expected.push_back(line);
+    }
+  }
+
+  NetServerOptions options;
+  options.input = hdc::serve::RowFormat::Text;
+  options.head = hdc::serve::HeadMode::Confidence;
+  options.batch_size = 2;
+  RunningServer running(path, options);
+
+  Client client(running.server.port());
+  std::string payload;
+  for (const std::string& row : rows) {
+    payload += row + "\n";
+  }
+  client.send(payload);
+  client.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "dropped row " << i;
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  EXPECT_FALSE(client.read_line().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, BandHeadStreamsQuantilesWithEveryPrediction) {
+  const std::string path = write_beijing("band_wire.hdcs", 2023);
+  const auto rows = beijing_rows(9);
+  const auto snapshot = MappedSnapshot::open(path);
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  std::vector<std::string> expected;
+  {
+    std::ostringstream out;
+    PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                            hdc::serve::HeadMode::Band);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const hdc::Hypervector encoded = oracle.encode(rows[i]);
+      writer.write_band(i, oracle.regressor().predict(encoded),
+                        oracle.regressor().predict_band(encoded), 0.0);
+    }
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line)) {
+      expected.push_back(line);
+    }
+  }
+
+  NetServerOptions options;
+  options.head = hdc::serve::HeadMode::Band;
+  options.batch_size = 4;
+  RunningServer running(path, options);
+
+  Client client(running.server.port());
+  client.send(as_csv(rows));
+  client.shutdown_write();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto line = client.read_line();
+    ASSERT_TRUE(line.has_value()) << "dropped row " << i;
+    EXPECT_EQ(*line, expected[i]) << "row " << i;
+  }
+  EXPECT_FALSE(client.read_line().has_value());
+  std::filesystem::remove(path);
+}
+
+TEST(NetServerTest, WireFormatsMustMatchThePipeline) {
+  const std::string text_path = write_text("gate_text.hdcs");
+  const std::string beijing_path = write_beijing("gate_beijing.hdcs", 2023);
+
+  // Input mode is checked at construction, both directions.
+  EXPECT_THROW(NetServer(hdc::io::load_pipeline(text_path), text_path,
+                         NetServerOptions{}),
+               std::invalid_argument);
+  NetServerOptions text_options;
+  text_options.input = hdc::serve::RowFormat::Text;
+  EXPECT_THROW(NetServer(hdc::io::load_pipeline(beijing_path), beijing_path,
+                         text_options),
+               std::invalid_argument);
+
+  // Head kind is checked against the pipeline kind.
+  NetServerOptions band_on_classifier;
+  band_on_classifier.input = hdc::serve::RowFormat::Text;
+  band_on_classifier.head = hdc::serve::HeadMode::Band;
+  EXPECT_THROW(NetServer(hdc::io::load_pipeline(text_path), text_path,
+                         band_on_classifier),
+               std::invalid_argument);
+  NetServerOptions confidence_on_regressor;
+  confidence_on_regressor.head = hdc::serve::HeadMode::Confidence;
+  EXPECT_THROW(NetServer(hdc::io::load_pipeline(beijing_path), beijing_path,
+                         confidence_on_regressor),
+               std::invalid_argument);
+  std::filesystem::remove(text_path);
+  std::filesystem::remove(beijing_path);
+}
+
 TEST(NetServerTest, ConstructorValidatesOptions) {
   const std::string path = write_beijing("ctor.hdcs", 2023);
   NetServerOptions no_listener;

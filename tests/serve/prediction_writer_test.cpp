@@ -1,0 +1,99 @@
+// Wire-format goldens for the prediction writer's head modes.  The head
+// columns are deterministic (derived from integer Hamming distances), so
+// every format is pinned byte for byte here: a drift in any emitted
+// character is a wire-protocol break for golden-diff consumers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "hdc/serve/prediction_writer.hpp"
+
+namespace {
+
+using hdc::Band;
+using hdc::serve::HeadMode;
+using hdc::serve::OutputFormat;
+using hdc::serve::PredictionWriter;
+
+TEST(PredictionWriterTest, PlainConfidenceRowsAreLabelSpaceConfidence) {
+  std::ostringstream out;
+  PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                          HeadMode::Confidence);
+  writer.write_class(0, 2, 0.5, 0.0);
+  writer.write_class(1, 0, 1.0, 0.0);
+  writer.write_class(2, 17, 0.0625, 123.0);  // Latency never leaks in Plain.
+  EXPECT_EQ(out.str(), "2 0.5\n0 1\n17 0.0625\n");
+}
+
+TEST(PredictionWriterTest, PlainBandRowsAreValueThenQuantiles) {
+  std::ostringstream out;
+  PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                          HeadMode::Band);
+  writer.write_band(0, 21.5, Band{20.0, 21.5, 23.25}, 0.0);
+  writer.write_band(1, -3.0, Band{-3.0, -3.0, -3.0}, 0.0);
+  EXPECT_EQ(out.str(), "21.5 20 21.5 23.25\n-3 -3 -3 -3\n");
+}
+
+TEST(PredictionWriterTest, CsvHeadColumnsPrecedeLatency) {
+  std::ostringstream confidence_out;
+  PredictionWriter confidence(confidence_out, OutputFormat::Csv,
+                              /*with_latency=*/true, HeadMode::Confidence);
+  confidence.write_class(0, 3, 0.75, 42.0);
+  EXPECT_EQ(confidence_out.str(),
+            "row,prediction,confidence,latency_us\n0,3,0.75,42\n");
+
+  std::ostringstream band_out;
+  PredictionWriter band(band_out, OutputFormat::Csv, /*with_latency=*/true,
+                        HeadMode::Band);
+  band.write_band(0, 1.5, Band{1.0, 1.5, 2.0}, 7.0);
+  EXPECT_EQ(band_out.str(),
+            "row,prediction,p10,p50,p90,latency_us\n0,1.5,1,1.5,2,7\n");
+}
+
+TEST(PredictionWriterTest, CsvHeadColumnsWithoutLatency) {
+  std::ostringstream out;
+  PredictionWriter writer(out, OutputFormat::Csv, /*with_latency=*/false,
+                          HeadMode::Band);
+  writer.write_band(0, 1.5, Band{1.0, 1.5, 2.0}, 7.0);
+  EXPECT_EQ(out.str(), "row,prediction,p10,p50,p90\n0,1.5,1,1.5,2\n");
+}
+
+TEST(PredictionWriterTest, JsonlHeadFieldsAreNamed) {
+  std::ostringstream confidence_out;
+  PredictionWriter confidence(confidence_out, OutputFormat::Jsonl,
+                              /*with_latency=*/false, HeadMode::Confidence);
+  confidence.write_class(4, 1, 0.25, 0.0);
+  EXPECT_EQ(confidence_out.str(),
+            "{\"row\": 4, \"prediction\": 1, \"confidence\": 0.25}\n");
+
+  std::ostringstream band_out;
+  PredictionWriter band(band_out, OutputFormat::Jsonl, /*with_latency=*/true,
+                        HeadMode::Band);
+  band.write_band(0, 0.5, Band{0.25, 0.5, 0.75}, 3.0);
+  EXPECT_EQ(band_out.str(),
+            "{\"row\": 0, \"prediction\": 0.5, \"p10\": 0.25, \"p50\": 0.5, "
+            "\"p90\": 0.75, \"latency_us\": 3}\n");
+}
+
+TEST(PredictionWriterTest, HeadModeSealsTheOtherWriteMethods) {
+  std::ostringstream out;
+  PredictionWriter none(out, OutputFormat::Plain);
+  EXPECT_THROW(none.write_class(0, 1, 0.5, 0.0), std::logic_error);
+  EXPECT_THROW(none.write_band(0, 1.0, Band{}, 0.0), std::logic_error);
+
+  PredictionWriter confidence(out, OutputFormat::Plain,
+                              /*with_latency=*/false, HeadMode::Confidence);
+  EXPECT_THROW(confidence.write(0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(confidence.write_class(0, 1, 0.0), std::logic_error);
+  EXPECT_THROW(confidence.write_band(0, 1.0, Band{}, 0.0), std::logic_error);
+
+  PredictionWriter band(out, OutputFormat::Plain, /*with_latency=*/false,
+                        HeadMode::Band);
+  EXPECT_THROW(band.write(0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(band.write_class(0, 1, 0.5, 0.0), std::logic_error);
+}
+
+}  // namespace

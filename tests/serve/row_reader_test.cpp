@@ -221,8 +221,67 @@ TEST(RowReaderTest, ZeroArityIsRejectedAtConstruction) {
 TEST(RowReaderTest, FormatNamesParse) {
   EXPECT_EQ(hdc::serve::parse_row_format("csv"), RowFormat::Csv);
   EXPECT_EQ(hdc::serve::parse_row_format("jsonl"), RowFormat::Jsonl);
+  EXPECT_EQ(hdc::serve::parse_row_format("text"), RowFormat::Text);
   EXPECT_THROW((void)hdc::serve::parse_row_format("xml"),
                std::invalid_argument);
+}
+
+TEST(RowReaderTest, TextRowsPassThroughVerbatim) {
+  // Raw mode: every byte after the CR strip belongs to the sample —
+  // commas, brackets and numeric-looking junk are all payload.
+  std::istringstream in("hello world\n1,2,3\n[not json]\n  padded  \n");
+  RowReader reader(in, 0, RowFormat::Text);
+  std::string row;
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "hello world");
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "1,2,3");
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "[not json]");
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "  padded  ");  // Whitespace is payload, not framing.
+  EXPECT_FALSE(reader.next_text(row));
+}
+
+TEST(RowReaderTest, TextRowsStripCrlfAndSkipBlankLines) {
+  std::istringstream in("alpha\r\n\n\r\nbeta\r\n");
+  RowReader reader(in, 0, RowFormat::Text);
+  std::string row;
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "alpha");
+  ASSERT_TRUE(reader.next_text(row));
+  EXPECT_EQ(row, "beta");
+  EXPECT_EQ(reader.line_number(), 4U);  // Blank lines count as input lines.
+  EXPECT_FALSE(reader.next_text(row));
+}
+
+TEST(RowReaderTest, TextArityContractIsEnforcedAtConstruction) {
+  // Text readers carry arity 0 (io::Pipeline::num_features() of a text
+  // pipeline); numeric formats still require a positive arity.
+  std::istringstream in("x\n");
+  EXPECT_THROW(RowReader(in, 3, RowFormat::Text), std::invalid_argument);
+  EXPECT_THROW(RowReader(in, 0, RowFormat::Jsonl), std::invalid_argument);
+}
+
+TEST(RowReaderTest, TextAndNumericEntryPointsDoNotCross) {
+  std::istringstream text_in("sample\n");
+  RowReader text_reader(text_in, 0, RowFormat::Text);
+  std::vector<double> numeric_row;
+  EXPECT_THROW((void)text_reader.next(numeric_row), std::logic_error);
+
+  std::istringstream csv_in("1,2\n");
+  RowReader csv_reader(csv_in, 2, RowFormat::Csv);
+  std::string text_row;
+  EXPECT_THROW((void)csv_reader.next_text(text_row), std::logic_error);
+}
+
+TEST(RowReaderTest, ParseTextLineFeedsStreamlessReader) {
+  RowReader reader(0, RowFormat::Text);
+  std::string row;
+  EXPECT_TRUE(reader.parse_text_line("net sample\r", row));
+  EXPECT_EQ(row, "net sample");
+  EXPECT_FALSE(reader.parse_text_line("", row));  // Blank: skipped, counted.
+  EXPECT_EQ(reader.line_number(), 2U);
 }
 
 }  // namespace

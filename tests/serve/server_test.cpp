@@ -188,6 +188,177 @@ TEST(ServerTest, ClassifierPipelineWritesIntegerLabels) {
   std::filesystem::remove(path);
 }
 
+/// Process-unique text-pipeline snapshot (same rationale as
+/// beijing_snapshot()).
+const std::string& text_snapshot() {
+  static const std::string path = [] {
+    const auto stamp = static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    const std::string file =
+        temp_file("serve_text_" + std::to_string(stamp) + ".hdcs");
+    const fixtures::TextPipeline models = fixtures::make_text_pipeline();
+    SnapshotWriter writer;
+    writer.add_pipeline(models.encoder, models.model);
+    writer.write_file(file);
+    return file;
+  }();
+  return path;
+}
+
+TEST(ServerTest, TextPipelineServesRawLinesBitExact) {
+  const auto snapshot = MappedSnapshot::open(text_snapshot());
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  const std::vector<std::string> rows = {
+      "lo vo miri",  "zu ka pelo tir", "anda vestri olm", "tir tir",
+      "1,2,3",  // Numeric-looking bytes are still raw text payload.
+      "mixed 42 bytes!"};
+  std::string input;
+  for (const std::string& row : rows) {
+    input += row + "\n";
+  }
+
+  for (const std::size_t batch : {1U, 4U, 64U}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    ServerOptions options;
+    options.batch_size = batch;
+    options.num_threads = 3;
+    const Server server(Pipeline::restore(snapshot), options);
+    std::istringstream in(input);
+    std::ostringstream out;
+    RowReader reader(in, 0, RowFormat::Text);
+    PredictionWriter writer(out, OutputFormat::Plain);
+    const Server::Stats stats = server.run(reader, writer);
+    EXPECT_EQ(stats.rows, rows.size());
+    std::istringstream lines(out.str());
+    std::string line;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_TRUE(std::getline(lines, line)) << "row " << i;
+      EXPECT_EQ(line, std::to_string(oracle.classify_text(rows[i])))
+          << "row " << i;
+    }
+    EXPECT_FALSE(std::getline(lines, line));
+  }
+
+  // predict_text agrees with the per-row oracle too.
+  const Server server(Pipeline::restore(snapshot), {});
+  const std::vector<double> batched = server.predict_text(rows);
+  ASSERT_EQ(batched.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(batched[i],
+              static_cast<double>(oracle.classify_text(rows[i])))
+        << "row " << i;
+  }
+}
+
+TEST(ServerTest, ReaderFormatMustMatchThePipelineInputMode) {
+  // Text pipeline + numeric reader (and vice versa) is a configuration
+  // error, rejected before any row is consumed.
+  const auto text = MappedSnapshot::open(text_snapshot());
+  const Server text_server(Pipeline::restore(text), {});
+  std::istringstream in("1,2,3\n");
+  std::ostringstream out;
+  RowReader csv_reader(in, 3, RowFormat::Csv);
+  PredictionWriter writer(out, OutputFormat::Plain);
+  EXPECT_THROW((void)text_server.run(csv_reader, writer),
+               std::invalid_argument);
+
+  const auto beijing = MappedSnapshot::open(beijing_snapshot());
+  const Server numeric_server(Pipeline::restore(beijing), {});
+  RowReader text_reader(in, 0, RowFormat::Text);
+  EXPECT_THROW((void)numeric_server.run(text_reader, writer),
+               std::invalid_argument);
+  const std::vector<std::string> text_rows{"abc"};
+  EXPECT_THROW((void)numeric_server.predict_text(text_rows),
+               std::logic_error);
+}
+
+TEST(ServerTest, ConfidenceHeadMatchesPerRowTop2) {
+  const auto snapshot = MappedSnapshot::open(text_snapshot());
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  const std::vector<std::string> rows = {"lo vo miri", "zu ka pelo tir",
+                                         "anda vestri olm", "zzz"};
+  std::string input;
+  std::string expected;
+  {
+    std::ostringstream expect_out;
+    PredictionWriter expect_writer(expect_out, OutputFormat::Plain,
+                                   /*with_latency=*/false,
+                                   hdc::serve::HeadMode::Confidence);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      input += rows[i] + "\n";
+      const hdc::Top2 top =
+          oracle.classifier().predict_top2(oracle.encode_text(rows[i]));
+      expect_writer.write_class(i, top.best.index,
+                                hdc::margin_confidence(top), 0.0);
+    }
+    expected = expect_out.str();
+  }
+  ServerOptions options;
+  options.batch_size = 3;
+  const Server server(Pipeline::restore(snapshot), options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  RowReader reader(in, 0, RowFormat::Text);
+  PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                          hdc::serve::HeadMode::Confidence);
+  (void)server.run(reader, writer);
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ServerTest, BandHeadMatchesPerRowPredictBand) {
+  const auto snapshot = MappedSnapshot::open(beijing_snapshot());
+  const Pipeline oracle = Pipeline::restore(snapshot);
+  const auto rows = beijing_rows(11);
+  std::string expected;
+  {
+    std::ostringstream expect_out;
+    PredictionWriter expect_writer(expect_out, OutputFormat::Plain,
+                                   /*with_latency=*/false,
+                                   hdc::serve::HeadMode::Band);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const hdc::Hypervector encoded = oracle.encode(rows[i]);
+      expect_writer.write_band(i, oracle.regressor().predict(encoded),
+                               oracle.regressor().predict_band(encoded),
+                               0.0);
+    }
+    expected = expect_out.str();
+  }
+  ServerOptions options;
+  options.batch_size = 4;
+  options.num_threads = 2;
+  const Server server(Pipeline::restore(snapshot), options);
+  std::istringstream in(as_csv(rows));
+  std::ostringstream out;
+  RowReader reader(in, 3);
+  PredictionWriter writer(out, OutputFormat::Plain, /*with_latency=*/false,
+                          hdc::serve::HeadMode::Band);
+  (void)server.run(reader, writer);
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST(ServerTest, HeadModeMustMatchThePipelineKind) {
+  // Confidence is a classifier head, Band a regressor head; a mismatch is
+  // rejected before any row is consumed.
+  const auto beijing = MappedSnapshot::open(beijing_snapshot());
+  const Server regressor_server(Pipeline::restore(beijing), {});
+  std::istringstream in("1,2,3\n");
+  std::ostringstream out;
+  RowReader reader(in, 3);
+  PredictionWriter confidence(out, OutputFormat::Plain,
+                              /*with_latency=*/false,
+                              hdc::serve::HeadMode::Confidence);
+  EXPECT_THROW((void)regressor_server.run(reader, confidence),
+               std::invalid_argument);
+
+  const auto text = MappedSnapshot::open(text_snapshot());
+  const Server classifier_server(Pipeline::restore(text), {});
+  RowReader text_reader(in, 0, RowFormat::Text);
+  PredictionWriter band(out, OutputFormat::Plain, /*with_latency=*/false,
+                        hdc::serve::HeadMode::Band);
+  EXPECT_THROW((void)classifier_server.run(text_reader, band),
+               std::invalid_argument);
+}
+
 TEST(ServerTest, CsvAndJsonlOutputCarryRowIndexAndLatency) {
   const auto snapshot = MappedSnapshot::open(beijing_snapshot());
   const Server server(Pipeline::restore(snapshot), {});

@@ -80,6 +80,80 @@ foreach(backend loopback fork)
   endforeach()
 endforeach()
 
+# --- text pipeline sharding: raw samples fan out the same way, and both
+# the plain predictions and the confidence head stay byte-identical to
+# the committed single-process goldens.
+set(TEXT_SNAPSHOT "${WORK_DIR}/text.hdcs")
+set(TEXT_ROWS "${DATA_DIR}/text_rows.txt")
+execute_process(
+  COMMAND "${HDCGEN}" snap --pipeline text --out "${TEXT_SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "hdcgen snap --pipeline text: exit ${code}\n${out}${err}")
+endif()
+foreach(backend loopback fork)
+  foreach(shard rows classes)
+    set(label "text-${backend}-${shard}")
+    execute_process(
+      COMMAND "${HDCGEN}" serve "${TEXT_SNAPSHOT}" --input text --batch 5
+        --replicas 2 --shard ${shard} --backend ${backend}
+      INPUT_FILE "${TEXT_ROWS}"
+      OUTPUT_FILE "${WORK_DIR}/${label}.txt"
+      ERROR_VARIABLE err RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR "serve ${label}: exit ${code}\n${err}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${WORK_DIR}/${label}.txt" "${DATA_DIR}/text_predictions.golden"
+      RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "cluster_e2e: ${label} predictions differ from the golden")
+    endif()
+    execute_process(
+      COMMAND "${HDCGEN}" serve "${TEXT_SNAPSHOT}" --input text --head
+        --batch 5 --replicas 2 --shard ${shard} --backend ${backend}
+      INPUT_FILE "${TEXT_ROWS}"
+      OUTPUT_FILE "${WORK_DIR}/${label}-head.txt"
+      ERROR_VARIABLE err RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR "serve ${label} --head: exit ${code}\n${err}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+        "${WORK_DIR}/${label}-head.txt" "${DATA_DIR}/text_confidence.golden"
+      RESULT_VARIABLE code)
+    if(NOT code EQUAL 0)
+      message(FATAL_ERROR
+        "cluster_e2e: ${label} confidence head differs from the golden")
+    endif()
+  endforeach()
+endforeach()
+
+# --- the regressor band head also survives sharding bit-exactly, including
+# a replica count above the label-grid slice width.
+foreach(replicas 2 7)
+  set(label "bands-r${replicas}")
+  execute_process(
+    COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --head --batch 8
+      --replicas ${replicas} --shard classes --backend fork
+    INPUT_FILE "${ROWS}"
+    OUTPUT_FILE "${WORK_DIR}/${label}.txt"
+    ERROR_VARIABLE err RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "serve ${label}: exit ${code}\n${err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      "${WORK_DIR}/${label}.txt" "${DATA_DIR}/beijing_bands.golden"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "cluster_e2e: ${label} bands differ from the committed golden")
+  endif()
+endforeach()
+
 # --- invalid cluster flags are refused up front with a usage diagnostic.
 execute_process(
   COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --replicas 2 --shard columns

@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Documentation smoke suite, run by ctest as `doc_smoke`.
+#
+# Two gates over docs/*.md and the top-level README.md:
+#
+#   1. Every `hdcgen` command shown in a fenced code block is executed,
+#      in document order, inside one shared scratch directory — so the
+#      examples an operator would copy-paste cannot silently rot when a
+#      flag is renamed or a workflow changes.  Socket commands
+#      (`--listen` / `--unix`) and `serve_load` invocations are skipped:
+#      they block on live traffic and are exercised end to end by
+#      serve_net_e2e / adapt_e2e instead.
+#   2. Every relative markdown link resolves to an existing file — no
+#      dead cross-references between the guides.
+#
+# The scratch directory is pre-seeded with the inputs the examples name
+# but do not create themselves: `rows.csv` (the committed Beijing test
+# rows) and a `base.hdcs` / `adapted.hdcs` pair for the delta examples,
+# produced the way the docs describe — live `!adapt` feedback over the
+# control channel, `!delta` export, `hdcgen patch`.
+#
+# Usage: doc_smoke.sh HDCGEN WORK_DIR REPO_DIR
+
+set -u
+
+HDCGEN=$1
+WORK_DIR=$2
+REPO_DIR=$3
+
+SERVER_PID=""
+fail() {
+  echo "doc_smoke: FAIL: $*" >&2
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null' EXIT
+
+# --- 1. relative-link check over the guides and the README.
+check_links() {
+  local file=$1 dir target resolved
+  dir=$(dirname "$file")
+  # One markdown link per line: [text](target) and ![alt](target).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|"#"*) continue ;;
+    esac
+    resolved="$dir/${target%%#*}"
+    [ -e "$resolved" ] \
+      || fail "dead link in ${file#"$REPO_DIR"/}: ($target)"
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$file" 2>/dev/null \
+           | sed 's/^\[[^]]*\](\([^)]*\))$/\1/')
+}
+
+LINKED=0
+for doc in "$REPO_DIR"/docs/*.md "$REPO_DIR"/README.md; do
+  check_links "$doc"
+  LINKED=$((LINKED + 1))
+done
+echo "doc_smoke: checked links in $LINKED files"
+
+# --- 2. scratch inputs the examples reference but never create.
+rm -rf "$WORK_DIR"
+mkdir -p "$WORK_DIR/bin"
+ln -s "$HDCGEN" "$WORK_DIR/bin/hdcgen"
+export PATH="$WORK_DIR/bin:$PATH"
+cd "$WORK_DIR" || fail "cannot enter $WORK_DIR"
+
+cp "$REPO_DIR/tests/serve/data/beijing_rows.csv" rows.csv \
+  || fail "missing committed beijing rows"
+
+# base.hdcs / adapted.hdcs for the delta/patch examples: adapt a live
+# server (several passes of systematically wrong labels, so the packed
+# centroids really move), export the overlay, patch it back onto the
+# base.
+awk 'BEGIN { for (i = 0; i < 12; i++)
+  printf "%g,%g,%g,%g\n", 12*i+0.25, 12*i+90.5, 12*i+180.75, 12*i+271 }' \
+  >prep_rows.csv
+"$HDCGEN" snap --pipeline classifier --out base.hdcs >/dev/null \
+  || fail "snap base"
+"$HDCGEN" serve base.hdcs <prep_rows.csv >prep_labels.txt 2>/dev/null \
+  || fail "base labels"
+"$HDCGEN" serve base.hdcs --listen 127.0.0.1:0 2>prep_server.log &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    prep_server.log)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null \
+    || fail "prep server died: $(cat prep_server.log)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no prep server port"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "cannot connect prep server"
+for _ in $(seq 1 8); do
+  while read -r label row; do
+    printf '!adapt %s %s\n' "$(( (label + 1) % 3 ))" "$row" >&3
+    IFS= read -t 15 -r reply <&3 || fail "no !adapt reply"
+    case "$reply" in "!ok adapt predicted="*) ;;
+      *) fail "!adapt answered '$reply'" ;; esac
+  done < <(paste prep_labels.txt prep_rows.csv)
+done
+printf '!delta prep_delta.hdcs\n' >&3
+IFS= read -t 15 -r reply <&3 || fail "no !delta reply"
+case "$reply" in "!ok delta rows="*) ;;
+  *) fail "!delta answered '$reply'" ;; esac
+exec 3<&- 3>&-
+kill -TERM "$SERVER_PID" 2>/dev/null
+wait "$SERVER_PID" 2>/dev/null
+SERVER_PID=""
+"$HDCGEN" patch base.hdcs prep_delta.hdcs --out adapted.hdcs >/dev/null \
+  || fail "patch adapted"
+rm -f prep_delta.hdcs prep_rows.csv prep_labels.txt
+cmp -s base.hdcs adapted.hdcs && fail "prep feedback changed nothing"
+
+# --- 3. run every fenced `hdcgen` command, per guide, in document order.
+# Backslash continuations are joined before filtering, so a multi-line
+# `printf ... | \` pipe is executed as the one command it renders as.
+extract_commands() {
+  awk '
+    /^```/ { in_block = !in_block; next }
+    !in_block { next }
+    {
+      line = $0
+      sub(/\r$/, "", line)
+      if (line ~ /\\$/) { joined = joined substr(line, 1, length(line) - 1); next }
+      line = joined line
+      joined = ""
+      if (line ~ /(^|[ |(])hdcgen /) print line
+    }
+  ' "$1"
+}
+
+RAN=0
+SKIPPED=0
+for doc in "$REPO_DIR"/docs/*.md "$REPO_DIR"/README.md; do
+  name=${doc#"$REPO_DIR"/}
+  while IFS= read -r cmd; do
+    case "$cmd" in
+      *--listen*|*--unix*|*serve_load*)
+        SKIPPED=$((SKIPPED + 1))
+        continue ;;
+    esac
+    if ! timeout 60 bash -c "$cmd" </dev/null >cmd_out.txt 2>cmd_err.txt
+    then
+      fail "$name: \`$cmd\` failed: $(tail -3 cmd_err.txt)"
+    fi
+    RAN=$((RAN + 1))
+  done < <(extract_commands "$doc")
+done
+[ "$RAN" -ge 15 ] || fail "only $RAN commands extracted — parser broken?"
+
+echo "doc_smoke: ran $RAN documented commands ($SKIPPED socket/load" \
+  "commands skipped), all green"

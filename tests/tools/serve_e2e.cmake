@@ -97,6 +97,99 @@ if(NOT code EQUAL 0)
 endif()
 diff_golden("${WORK_DIR}/jsonl.txt" "jsonl input")
 
+# --- prediction heads: the same snapshot serves p10/p50/p90 bands next to
+# every prediction, byte-exact against committed goldens in all three
+# writer formats.
+function(diff_files got want label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${got}" "${want}"
+    RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR
+      "serve_e2e: ${label} output differs from the committed golden "
+      "(${got} vs ${want})")
+  endif()
+endfunction()
+
+serve("${WORK_DIR}/bands.txt" --head)
+diff_files("${WORK_DIR}/bands.txt" "${DATA_DIR}/beijing_bands.golden"
+  "band head (plain)")
+serve("${WORK_DIR}/bands.csv" --head --format csv)
+diff_files("${WORK_DIR}/bands.csv" "${DATA_DIR}/beijing_bands_csv.golden"
+  "band head (csv)")
+serve("${WORK_DIR}/bands.jsonl" --head --format jsonl)
+diff_files("${WORK_DIR}/bands.jsonl" "${DATA_DIR}/beijing_bands_jsonl.golden"
+  "band head (jsonl)")
+serve("${WORK_DIR}/bands_batch3.txt" --head --batch 3 --threads 4)
+diff_files("${WORK_DIR}/bands_batch3.txt" "${DATA_DIR}/beijing_bands.golden"
+  "band head (batch=3)")
+
+# --- text pipeline: snap --pipeline text -> serve raw samples with
+# --input text, byte-exact against the committed golden, with the
+# confidence head as a second pass.
+set(TEXT_SNAPSHOT "${WORK_DIR}/text.hdcs")
+set(TEXT_ROWS "${DATA_DIR}/text_rows.txt")
+execute_process(
+  COMMAND "${HDCGEN}" snap --pipeline text --out "${TEXT_SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "hdcgen snap --pipeline text: exit ${code}\n${out}${err}")
+endif()
+execute_process(
+  COMMAND "${HDCGEN}" snap-info "${TEXT_SNAPSHOT}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(NOT code EQUAL 0 OR NOT "${out}${err}" MATCHES "sequence")
+  message(FATAL_ERROR "snap-info lacks the sequence encoder\n${out}${err}")
+endif()
+
+function(serve_text out_file)
+  execute_process(
+    COMMAND "${HDCGEN}" serve "${TEXT_SNAPSHOT}" --input text ${ARGN}
+    INPUT_FILE "${TEXT_ROWS}"
+    OUTPUT_FILE "${out_file}"
+    ERROR_VARIABLE err
+    RESULT_VARIABLE code)
+  string(JOIN " " pretty ${ARGN})
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "hdcgen serve --input text ${pretty}: exit ${code}\n${err}")
+  endif()
+  if(NOT err MATCHES "served 12 rows")
+    message(FATAL_ERROR
+      "hdcgen serve --input text ${pretty}: summary lacks row count\n${err}")
+  endif()
+endfunction()
+
+serve_text("${WORK_DIR}/text.txt")
+diff_files("${WORK_DIR}/text.txt" "${DATA_DIR}/text_predictions.golden"
+  "text pipeline")
+serve_text("${WORK_DIR}/text_batch5.txt" --batch 5 --threads 4)
+diff_files("${WORK_DIR}/text_batch5.txt" "${DATA_DIR}/text_predictions.golden"
+  "text pipeline (batch=5)")
+serve_text("${WORK_DIR}/text_conf.txt" --head)
+diff_files("${WORK_DIR}/text_conf.txt" "${DATA_DIR}/text_confidence.golden"
+  "confidence head")
+
+# --- wire-format gates: numeric input to a text pipeline (and the
+# reverse) must be refused before any prediction, as must a band head on a
+# classifier.
+execute_process(
+  COMMAND "${HDCGEN}" serve "${TEXT_SNAPSHOT}"
+  INPUT_FILE "${ROWS}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0 OR NOT err MATCHES "text")
+  message(FATAL_ERROR
+    "csv rows into a text pipeline: expected a refusal naming the text "
+    "input mode, got ${code}\n${err}")
+endif()
+execute_process(
+  COMMAND "${HDCGEN}" serve "${SNAPSHOT}" --input text
+  INPUT_FILE "${TEXT_ROWS}"
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE code)
+if(code EQUAL 0)
+  message(FATAL_ERROR
+    "--input text against a numeric pipeline was accepted\n${out}${err}")
+endif()
+
 # --- malformed traffic: nonzero exit, row-numbered diagnostic, no crash.
 file(WRITE "${WORK_DIR}/bad_arity.csv" "0,15,3\n1,180\n")
 execute_process(

@@ -123,5 +123,62 @@ SERVER_PID=""
 grep -q "served .* rows .* 2 reloads (1 rejected), final generation 2" \
   server.log || fail "summary mismatch: $(tail -1 server.log)"
 
+# --- 7. the band head over the wire: every line must match the committed
+# golden byte for byte AND pass serve_load's structural band check
+# (p10 <= p50 <= p90 on every row).
+"$HDCGEN" serve gen_a.hdcs --head <"$ROWS" >golden_bands.txt 2>/dev/null \
+  || fail "band golden"
+cmp -s golden_bands.txt "$DATA_DIR/beijing_bands.golden" \
+  || fail "band golden diverges from the committed one"
+"$HDCGEN" serve gen_a.hdcs --listen 127.0.0.1:0 --batch 8 --head \
+  2>band_server.log &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    band_server.log)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null \
+    || fail "band server died: $(cat band_server.log)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no band server port"
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$ROWS" \
+  --count 120 --connections 2 --window 8 \
+  --expect-a golden_bands.txt --check-head band \
+  >/dev/null 2>>load.log \
+  || fail "band head load run: $(tail -5 load.log)"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "band server exit: $(cat band_server.log)"
+SERVER_PID=""
+
+# --- 8. a text pipeline behind the same front end: raw samples in,
+# label + confidence out, bit-identical to the committed golden and
+# structurally valid per serve_load's confidence check.
+TEXT_ROWS="$DATA_DIR/text_rows.txt"
+"$HDCGEN" snap --pipeline text --out text.hdcs >/dev/null \
+  || fail "snap text pipeline"
+"$HDCGEN" serve text.hdcs --listen 127.0.0.1:0 --batch 5 \
+  --input text --head 2>text_server.log &
+SERVER_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    text_server.log)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null \
+    || fail "text server died: $(cat text_server.log)"
+  sleep 0.1
+done
+[ -n "$PORT" ] && [ "$PORT" != "0" ] || fail "no text server port"
+"$SERVE_LOAD" --connect "127.0.0.1:$PORT" --rows "$TEXT_ROWS" \
+  --count 60 --connections 2 --window 8 \
+  --expect-a "$DATA_DIR/text_confidence.golden" --check-head confidence \
+  >/dev/null 2>>load.log \
+  || fail "text head load run: $(tail -5 load.log)"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "text server exit: $(cat text_server.log)"
+SERVER_PID=""
+
 echo "serve_net_e2e: all checks passed"
 cat serve_latency.txt

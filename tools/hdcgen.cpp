@@ -7,8 +7,11 @@
 //   hdcgen dist FILE            # pairwise distance matrix
 //   hdcgen heatmap FILE         # ASCII similarity heat map (paper Fig. 3)
 //   hdcgen snap ...             # like gen, but writes an HDCS snapshot
-//   hdcgen snap --pipeline classifier|regressor|beijing [--dim D] [--seed S]
-//               --out FILE     # a complete encode->predict pipeline
+//   hdcgen snap --pipeline classifier|regressor|beijing|text [--dim D]
+//               [--seed S] --out FILE
+//                               # a complete encode->predict pipeline
+//                               # (text: n-gram encoder + language
+//                               # classifier over raw-text rows)
 //   hdcgen snap-info FILE       # snapshot header + section table + verify
 //   hdcgen snap-fixtures DIR    # regenerate the golden-file fixture set
 //   hdcgen delta BASE ADAPTED --out FILE
@@ -18,18 +21,22 @@
 //                               # apply a delta back onto its base; output
 //                               # is byte-identical to the adapted snapshot
 //   hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]
-//               [--input csv|jsonl] [--format plain|csv|jsonl]
-//               [--latency] [--trust] [--kernel NAME] [--mlock]
+//               [--input csv|jsonl|text] [--format plain|csv|jsonl]
+//               [--head] [--latency] [--trust] [--kernel NAME] [--mlock]
 //               [--listen HOST:PORT] [--unix PATH] [--max-conns N]
 //               [--replicas N] [--shard rows|classes]
 //               [--backend loopback|fork]
-//                               # stream feature rows stdin -> predictions
-//                               # stdout; with --listen/--unix, serve many
-//                               # persistent socket connections with
-//                               # SIGHUP snapshot hot-reload
-//                               # (docs/serving.md); --replicas shards the
-//                               # work across N worker ranks, bit-identical
-//                               # to one process (docs/cluster.md)
+//                               # stream rows stdin -> predictions stdout
+//                               # (--input text: one raw sample per line
+//                               # for text pipelines); with
+//                               # --listen/--unix, serve many persistent
+//                               # socket connections with SIGHUP snapshot
+//                               # hot-reload (docs/serving.md); --head adds
+//                               # the margin-confidence column (classifier)
+//                               # or the p10/p50/p90 band (regressor);
+//                               # --replicas shards the work across N
+//                               # worker ranks, bit-identical to one
+//                               # process (docs/cluster.md)
 //   hdcgen kernels              # CPU features + compiled/available SIMD
 //                               # kernel variants + active selection
 //
@@ -77,20 +84,22 @@ int usage() {
       "  hdcgen dist FILE\n"
       "  hdcgen heatmap FILE\n"
       "  hdcgen snap --kind KIND --size M [--dim D] [--r R] [--seed S] --out FILE\n"
-      "  hdcgen snap --pipeline classifier|regressor|beijing [--dim D] [--seed S]\n"
-      "              --out FILE\n"
+      "  hdcgen snap --pipeline classifier|regressor|beijing|text [--dim D]\n"
+      "              [--seed S] --out FILE\n"
       "  hdcgen snap-info FILE\n"
       "  hdcgen snap-fixtures DIR [--dim D] [--size M] [--seed S]\n"
       "  hdcgen delta BASE ADAPTED --out FILE\n"
       "  hdcgen patch BASE DELTA --out FILE\n"
       "  hdcgen serve SNAPSHOT [--batch N] [--flush-us U] [--threads T]\n"
-      "              [--input csv|jsonl] [--format plain|csv|jsonl]\n"
-      "              [--latency] [--trust] [--kernel NAME] [--mlock]\n"
+      "              [--input csv|jsonl|text] [--format plain|csv|jsonl]\n"
+      "              [--head] [--latency] [--trust] [--kernel NAME] [--mlock]\n"
       "              [--listen HOST:PORT] [--unix PATH] [--max-conns N]\n"
       "              [--replicas N] [--shard rows|classes]\n"
       "              [--backend loopback|fork]\n"
       "       without --listen/--unix: stdin -> stdout; with them: a\n"
       "       persistent socket server with SIGHUP snapshot hot-reload;\n"
+      "       --input text streams raw samples (text pipelines); --head\n"
+      "       adds the confidence column / p10-p50-p90 band;\n"
       "       --replicas shards work across N worker ranks (docs/cluster.md)\n"
       "  hdcgen kernels\n",
       stderr);
@@ -205,6 +214,7 @@ int cmd_snap(const FlagParser& flags) {
     std::optional<hdc::io::fixtures::ClassifierPipeline> classifier_models;
     std::optional<hdc::io::fixtures::RegressorPipeline> regressor_models;
     std::optional<hdc::io::fixtures::BeijingPipeline> beijing_models;
+    std::optional<hdc::io::fixtures::TextPipeline> text_models;
     if (*pipeline == "classifier") {
       classifier_models.emplace(
           hdc::io::fixtures::make_classifier_pipeline(spec));
@@ -218,6 +228,9 @@ int cmd_snap(const FlagParser& flags) {
     } else if (*pipeline == "beijing") {
       beijing_models.emplace(hdc::io::fixtures::make_beijing_pipeline(spec));
       writer.add_pipeline(*beijing_models->encoder, beijing_models->model);
+    } else if (*pipeline == "text") {
+      text_models.emplace(hdc::io::fixtures::make_text_pipeline(spec));
+      writer.add_pipeline(text_models->encoder, text_models->model);
     } else {
       std::fprintf(stderr, "unknown pipeline '%s'\n", pipeline->c_str());
       return usage();
@@ -475,12 +488,14 @@ std::unique_ptr<hdc::cluster::ShardedServer> make_sharded(
 int cmd_serve_net(const std::string& path,
                   hdc::serve::NetServerOptions options,
                   hdc::io::SnapshotIntegrity integrity,
-                  std::unique_ptr<hdc::cluster::ShardedServer> sharded) {
+                  std::unique_ptr<hdc::cluster::ShardedServer> sharded,
+                  bool want_head) {
 #if defined(_WIN32)
   (void)path;
   (void)options;
   (void)integrity;
   (void)sharded;
+  (void)want_head;
   std::fputs("hdcgen serve: sockets need a POSIX host\n", stderr);
   return 1;
 #else
@@ -494,6 +509,26 @@ int cmd_serve_net(const std::string& path,
         [srv](std::span<const std::vector<double>> rows) {
           return srv->predict(rows).predictions;
         };
+    options.cluster.predict_text =
+        [srv](std::span<const std::string> rows) {
+          return srv->predict_text(rows).predictions;
+        };
+    const auto to_head_batch =
+        [](hdc::cluster::ShardedServer::HeadBatchResult batch) {
+          hdc::serve::HeadBatch out;
+          out.values = std::move(batch.values);
+          out.confidences = std::move(batch.confidences);
+          out.bands = std::move(batch.bands);
+          return out;
+        };
+    options.cluster.predict_head =
+        [srv, to_head_batch](std::span<const std::vector<double>> rows) {
+          return to_head_batch(srv->predict_head(rows));
+        };
+    options.cluster.predict_text_head =
+        [srv, to_head_batch](std::span<const std::string> rows) {
+          return to_head_batch(srv->predict_text_head(rows));
+        };
     options.cluster.reload = [srv](const std::string& snapshot) {
       return srv->reload(snapshot);
     };
@@ -502,6 +537,10 @@ int cmd_serve_net(const std::string& path,
     options.cluster.adapt = [srv](double target,
                                   std::span<const double> features) {
       return srv->adapt(target, features);
+    };
+    options.cluster.adapt_text = [srv](double target,
+                                       std::string_view text) {
+      return srv->adapt_text(target, text);
     };
     options.cluster.export_delta = [srv](const std::string& out_path) {
       return srv->export_delta(out_path);
@@ -519,6 +558,12 @@ int cmd_serve_net(const std::string& path,
   }
   hdc::io::LoadedPipeline loaded =
       hdc::io::load_pipeline(path, integrity, options.mapping);
+  if (want_head) {
+    options.head =
+        loaded.pipeline.kind() == hdc::io::PipelineKind::Classifier
+            ? hdc::serve::HeadMode::Confidence
+            : hdc::serve::HeadMode::Band;
+  }
   const char* kind = hdc::io::to_string(loaded.pipeline.kind());
   const std::size_t num_features = loaded.pipeline.num_features();
   const std::size_t dimension = loaded.pipeline.dimension();
@@ -593,6 +638,7 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
   }
   hdc::io::MappingOptions mapping;
   mapping.lock_memory = flags.has("--mlock");
+  const bool want_head = flags.has("--head");
 
   // Cluster flags fork their workers here, before any thread pool exists.
   std::unique_ptr<hdc::cluster::ShardedServer> sharded =
@@ -634,16 +680,31 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
     options.with_latency = flags.has("--latency");
     options.mapping = mapping;
     return cmd_serve_net(path, std::move(options), integrity,
-                         std::move(sharded));
+                         std::move(sharded), want_head);
   }
 
   if (sharded) {
     // Sharded stdin front end: rows stream through the coordinator; a dead
     // worker drains the admitted rows and exits with a line-numbered
     // diagnostic instead of emitting a torn batch.
+    const hdc::serve::HeadMode head =
+        !want_head ? hdc::serve::HeadMode::None
+        : sharded->kind() == hdc::io::PipelineKind::Classifier
+            ? hdc::serve::HeadMode::Confidence
+            : hdc::serve::HeadMode::Band;
+    // Text pipelines carry no numeric features; gate the reader format
+    // here so the operator sees the flag to change, not a reader internal.
+    const bool wants_text = sharded->num_features() == 0;
+    if (wants_text != (input == hdc::serve::RowFormat::Text)) {
+      throw std::invalid_argument(
+          wants_text ? "this pipeline reads raw text samples: pass "
+                       "--input text"
+                     : "--input text requires a text pipeline; this "
+                       "snapshot reads numeric rows");
+    }
     hdc::serve::RowReader reader(std::cin, sharded->num_features(), input);
     hdc::serve::PredictionWriter writer(std::cout, output,
-                                        flags.has("--latency"));
+                                        flags.has("--latency"), head);
     const std::size_t batch = flags.count_or("--batch", 1, 64);
     const char* kind = hdc::io::to_string(sharded->kind());
     const auto start = std::chrono::steady_clock::now();
@@ -692,10 +753,24 @@ int cmd_serve(const FlagParser& flags, const std::string& path) {
   const char* kind = hdc::io::to_string(pipeline.kind());
   const std::size_t num_features = pipeline.num_features();
   const std::size_t dimension = pipeline.dimension();
+  const hdc::serve::HeadMode head =
+      !want_head ? hdc::serve::HeadMode::None
+      : pipeline.kind() == hdc::io::PipelineKind::Classifier
+          ? hdc::serve::HeadMode::Confidence
+          : hdc::serve::HeadMode::Band;
 
+  // Same gate as the sharded path: name the flag, not a reader internal.
+  const bool wants_text = pipeline.input() == hdc::io::PipelineInput::Text;
+  if (wants_text != (input == hdc::serve::RowFormat::Text)) {
+    throw std::invalid_argument(
+        wants_text
+            ? "this pipeline reads raw text samples: pass --input text"
+            : "--input text requires a text pipeline; this snapshot "
+              "reads numeric rows");
+  }
   hdc::serve::RowReader reader(std::cin, num_features, input);
   hdc::serve::PredictionWriter writer(std::cout, output,
-                                      flags.has("--latency"));
+                                      flags.has("--latency"), head);
   const hdc::serve::Server server(std::move(pipeline), options);
   hdc::serve::Server::Stats stats;
   try {

@@ -17,20 +17,28 @@
 // to be bit-identical to one of the two committed per-generation goldens —
 // a torn, dropped or cross-generation prediction fails the run.
 //
+// Rows are sent verbatim, so the same binary drives CSV, JSONL and raw-text
+// (--input text) servers.  With --check-head every plain-format response
+// line is structurally validated against the server's prediction head:
+// `confidence` requires a trailing confidence in [0, 1], `band` a
+// p10 <= p50 <= p90 triple after the prediction.
+//
 // Usage:
 //   serve_load --connect HOST:PORT | --unix PATH
-//              --rows FILE            # feature rows, sent verbatim
+//              --rows FILE            # rows (feature or raw text), verbatim
 //              [--count N]            # rows per connection (cycled)
 //              [--connections C]      # default 1
 //              [--window W]           # in-flight rows per conn, default 32
 //              [--swap-to SNAPSHOT --swap-at ROWS]
 //              [--expect-a GOLDEN] [--expect-b GOLDEN]
+//              [--check-head confidence|band]
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -51,6 +59,8 @@ namespace {
 
 using clock_type = std::chrono::steady_clock;
 
+enum class HeadCheck { None, Confidence, Band };
+
 struct Config {
   std::string host;
   std::uint16_t port = 0;
@@ -62,6 +72,7 @@ struct Config {
   std::string swap_to;
   std::size_t swap_at = 0;
   std::vector<std::vector<std::string>> goldens;  // [generation][row]
+  HeadCheck head_check = HeadCheck::None;
 };
 
 std::atomic<std::uint64_t> g_received{0};
@@ -70,6 +81,25 @@ std::atomic<bool> g_failed{false};
 void fail(const std::string& what) {
   std::fprintf(stderr, "serve_load: %s\n", what.c_str());
   g_failed.store(true);
+}
+
+/// Structural head validation of one plain-format response line: the
+/// prediction leads, then either a confidence in [0, 1] or an ordered
+/// p10 <= p50 <= p90 triple (a trailing latency column is tolerated).
+bool head_fields_ok(HeadCheck check, const std::string& line) {
+  std::vector<double> fields;
+  const char* at = line.c_str();
+  char* end = nullptr;
+  for (double value = std::strtod(at, &end); end != at;
+       value = std::strtod(at, &end)) {
+    fields.push_back(value);
+    at = end;
+  }
+  if (check == HeadCheck::Confidence) {
+    return fields.size() >= 2 && fields[1] >= 0.0 && fields[1] <= 1.0;
+  }
+  return fields.size() >= 4 && fields[1] <= fields[2] &&
+         fields[2] <= fields[3];
 }
 
 int connect_server(const Config& config) {
@@ -230,6 +260,15 @@ void run_connection(const Config& config,
         break;
       }
     }
+    if (config.head_check != HeadCheck::None &&
+        !head_fields_ok(config.head_check, *line)) {
+      fail("connection " + std::to_string(conn_index) + ": row " +
+           std::to_string(received) + " fails the " +
+           (config.head_check == HeadCheck::Confidence ? "confidence"
+                                                       : "band") +
+           std::string(" head check: ") + *line);
+      break;
+    }
     ++received;
     g_received.fetch_add(1, std::memory_order_relaxed);
   }
@@ -300,7 +339,8 @@ int usage() {
       "usage: serve_load (--connect HOST:PORT | --unix PATH) --rows FILE\n"
       "                  [--count N] [--connections C] [--window W]\n"
       "                  [--swap-to SNAPSHOT --swap-at ROWS]\n"
-      "                  [--expect-a GOLDEN] [--expect-b GOLDEN]\n",
+      "                  [--expect-a GOLDEN] [--expect-b GOLDEN]\n"
+      "                  [--check-head confidence|band]\n",
       stderr);
   return 2;
 }
@@ -350,6 +390,15 @@ int main(int argc, char** argv) {
       if (config.goldens.back().empty()) {
         return 1;
       }
+    }
+  }
+  if (const auto head = flags.value("--check-head")) {
+    if (*head == "confidence") {
+      config.head_check = HeadCheck::Confidence;
+    } else if (*head == "band") {
+      config.head_check = HeadCheck::Band;
+    } else {
+      return usage();
     }
   }
 
